@@ -1,0 +1,144 @@
+//! Theorem I.5 end-to-end: `(1+ε)`-approximate APSP with zero-weight
+//! edges allowed.
+
+use crate::positive::approx_positive_apsp;
+use crate::zero_closure::zero_reachability;
+use dw_congest::{EngineConfig, RunStats};
+use dw_graph::{NodeId, WGraph, INFINITY};
+use dw_seqref::DistMatrix;
+
+/// Result of the approximate APSP.
+#[derive(Debug, Clone)]
+pub struct ApproxOutcome {
+    /// Estimates `δ ≤ δ̂ ≤ (1+ε)·δ` (`INFINITY` for unreachable pairs).
+    pub matrix: DistMatrix,
+    /// Rounds of the zero-closure phase.
+    pub zero_rounds: u64,
+    /// Rounds of the positive-weight substrate.
+    pub positive_rounds: u64,
+    /// Composed stats.
+    pub stats: RunStats,
+}
+
+/// `(1+ε)`-approximate APSP for non-negative integer weights (zero
+/// allowed), `ε = eps_num/eps_den`. The paper's analysis needs
+/// `ε > 3/n`; the inner substrate runs at `ε/3`.
+pub fn approx_apsp(
+    g: &WGraph,
+    eps_num: u64,
+    eps_den: u64,
+    engine: EngineConfig,
+) -> ApproxOutcome {
+    assert!(eps_num > 0 && eps_den > 0);
+    let n = g.n() as u64;
+    // Step 1: zero-path reachability.
+    let (reach0, zero_stats) = zero_reachability(g, engine.clone());
+
+    // Step 2: the weight transform w' = n²·w (zero → 1).
+    let n2 = n * n;
+    let gp = g.map_weights(|e| if e.w == 0 { 1 } else { n2 * e.w });
+
+    // Step 3: positive-weight (1+ε/3)-approx APSP on G'.
+    let (mp, pos_stats) = approx_positive_apsp(&gp, eps_num, 3 * eps_den, engine);
+
+    // Step 4: local division by n².
+    let sources: Vec<NodeId> = g.nodes().collect();
+    let dist: Vec<Vec<u64>> = (0..g.n())
+        .map(|s| {
+            (0..g.n())
+                .map(|v| {
+                    if reach0[s][v] {
+                        0
+                    } else {
+                        let d = mp.at(s, v as NodeId);
+                        if d == INFINITY {
+                            INFINITY
+                        } else {
+                            d / n2
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    ApproxOutcome {
+        matrix: DistMatrix::new(sources, dist),
+        zero_rounds: zero_stats.rounds,
+        positive_rounds: pos_stats.rounds,
+        stats: zero_stats.then(&pos_stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen;
+
+    fn check(g: &WGraph, eps_num: u64, eps_den: u64) -> ApproxOutcome {
+        let out = approx_apsp(g, eps_num, eps_den, EngineConfig::default());
+        let exact = dw_seqref::apsp_dijkstra(g);
+        for s in g.nodes() {
+            for v in g.nodes() {
+                let d = exact.from_source(s, v).unwrap();
+                let e = out.matrix.from_source(s, v).unwrap();
+                if d == INFINITY {
+                    assert_eq!(e, INFINITY, "{s}->{v}");
+                } else {
+                    assert!(e >= d, "{s}->{v}: underestimate {e} < {d}");
+                    assert!(
+                        (e as u128) * (eps_den as u128)
+                            <= (d as u128) * (eps_den as u128 + eps_num as u128),
+                        "{s}->{v}: {e} vs (1+{eps_num}/{eps_den})·{d}"
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn zero_heavy_graphs_within_ratio() {
+        for seed in 0..3 {
+            let g = gen::zero_heavy(12, 0.2, 0.5, 6, true, seed);
+            check(&g, 1, 2);
+        }
+    }
+
+    #[test]
+    fn undirected_and_tighter_eps() {
+        let g = gen::zero_heavy(10, 0.25, 0.4, 4, false, 17);
+        check(&g, 1, 4);
+    }
+
+    #[test]
+    fn all_zero_graph_is_exact() {
+        let g = gen::ring(8, false, dw_graph::gen::WeightDist::Constant(0), 0);
+        let out = check(&g, 1, 2);
+        for s in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(out.matrix.from_source(s, v), Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_paths_beat_weighted_detours() {
+        // 0 -(0)-> 1 -(0)-> 2 and 0 -(9)-> 2: answer must be 0, which the
+        // transform alone would miss without the zero closure
+        let mut b = dw_graph::GraphBuilder::new(3, true);
+        b.add_edge(0, 1, 0).add_edge(1, 2, 0).add_edge(0, 2, 9);
+        let g = b.build();
+        let out = check(&g, 1, 2);
+        assert_eq!(out.matrix.from_source(0, 2), Some(0));
+    }
+
+    #[test]
+    fn round_split_reported() {
+        let g = gen::zero_heavy(10, 0.2, 0.5, 4, true, 9);
+        let out = check(&g, 1, 2);
+        assert!(out.zero_rounds > 0);
+        assert!(out.positive_rounds > out.zero_rounds);
+        assert_eq!(out.stats.rounds, out.zero_rounds + out.positive_rounds);
+    }
+}

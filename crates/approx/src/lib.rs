@@ -1,0 +1,25 @@
+//! Section IV: deterministic `(1+ε)`-approximate APSP for non-negative
+//! poly(n) integer weights **with zero-weight edges** (Theorem I.5),
+//! in `O((n/ε²)·log n)` rounds.
+//!
+//! The reduction (paper Section IV):
+//!
+//! 1. compute all-pairs **zero-path reachability** by running the
+//!    unweighted pipelined APSP on the zero-weight subgraph (`O(n)`
+//!    rounds) — such pairs have distance exactly 0;
+//! 2. transform `G` into `G'`: zero weights become 1, every other weight
+//!    `w` becomes `n²·w`;
+//! 3. run a positive-weight `(1+ε/3)`-approximate APSP on `G'` (the
+//!    \[16\]/\[18\] substrate, built in [`positive`] from scale decomposition
+//!    + weight rounding + the delayed-BFS pipeline);
+//! 4. divide by `n²`: `δ̂(u,v) = ⌊δ'(u,v)/n²⌋` for pairs without a zero
+//!    path. The floor keeps answers integral without breaking either side
+//!    of the `(1+ε)` sandwich.
+
+pub mod apsp;
+pub mod positive;
+pub mod zero_closure;
+
+pub use apsp::{approx_apsp, ApproxOutcome};
+pub use positive::{approx_positive_apsp, scale_count};
+pub use zero_closure::zero_reachability;

@@ -1,0 +1,211 @@
+//! `(1+ε)`-approximate APSP for **positive** integer weights — the
+//! substrate Theorem IV.1 cites from \[16\], \[18\], rebuilt from first
+//! principles.
+//!
+//! Standard scale decomposition: for each distance scale `D_i = 2^i`
+//! round weights to `w_i(e) = ⌈w(e)/ρ_i⌉` with `ρ_i = ε·D_i/(2n)`; the
+//! rounded weights are positive integers, so the delayed-BFS pipeline
+//! (`dw-baselines`) computes exact rounded distances in `O(n + cap_i)`
+//! rounds, where `cap_i = ⌈2n/ε⌉ + n` caps the distances a scale needs to
+//! resolve. A pair with true distance `d ∈ (D_{i-1}, D_i]` satisfies
+//!
+//! ```text
+//! d  <=  d̂_i = ρ_i · d_i(u,v)  <=  d + n·ρ_i  =  d + ε·D_i/2  <=  (1+ε)·d,
+//! ```
+//!
+//! and taking the minimum over scales never drops below `d` (rounding only
+//! overestimates). `O(log(n·W))` scales at `O(n/ε)` rounds each gives the
+//! `O((n/ε)·log(nW))` total the paper's Table II row reports (with
+//! `ε' = ε/3` inside Theorem I.5 this is the `O((n/ε²)·log n)` bound for
+//! poly(n) weights).
+
+use dw_baselines::delayed_bfs::run_best_list;
+use dw_congest::{EngineConfig, RunStats};
+use dw_graph::{NodeId, WGraph, Weight, INFINITY};
+use dw_seqref::DistMatrix;
+
+/// Number of scales needed to cover distances up to `n·W`.
+pub fn scale_count(n: usize, max_weight: Weight) -> u32 {
+    let max_dist = (n as u128).saturating_mul(max_weight.max(1) as u128);
+    128 - max_dist.leading_zeros()
+}
+
+/// Per-scale rounding denominator `ρ_i = ε·2^i/(2n)` represented as an
+/// exact rational `num/den` to keep everything integral: with
+/// `ε = eps_num/eps_den`, `ρ_i = eps_num·2^i / (eps_den·2n)`.
+#[derive(Debug, Clone, Copy)]
+struct Rho {
+    num: u128,
+    den: u128,
+}
+
+impl Rho {
+    fn new(eps_num: u64, eps_den: u64, i: u32, n: usize) -> Self {
+        Rho {
+            num: (eps_num as u128) << i,
+            den: (eps_den as u128) * 2 * n as u128,
+        }
+    }
+
+    /// `⌈w/ρ⌉ = ⌈w·den/num⌉`.
+    fn round_up(&self, w: Weight) -> u128 {
+        let x = w as u128 * self.den;
+        x.div_ceil(self.num)
+    }
+
+    /// `x·ρ` rounded **down**. Rounding down keeps the `(1+ε)` upper bound
+    /// intact (a ceil here can add a whole unit, which breaks the bound at
+    /// `d = 1`), while the lower bound survives because
+    /// `x ≥ d/ρ  ⇒  ⌊x·ρ⌋ ≥ d` for integer `d`.
+    fn scale_back(&self, x: u128) -> u128 {
+        (x * self.num) / self.den
+    }
+}
+
+/// `(1+ε)`-approximate APSP for a graph with positive integer weights.
+/// `ε = eps_num/eps_den > 0`. Returns the estimate matrix (entries
+/// `d ≤ d̂ ≤ (1+ε)·d`, `INFINITY` for unreachable pairs) and composed run
+/// statistics.
+pub fn approx_positive_apsp(
+    g: &WGraph,
+    eps_num: u64,
+    eps_den: u64,
+    engine: EngineConfig,
+) -> (DistMatrix, RunStats) {
+    assert!(eps_num > 0 && eps_den > 0, "ε must be positive");
+    let n = g.n();
+    let sources: Vec<NodeId> = g.nodes().collect();
+    let w_max = g.max_weight().max(1);
+    debug_assert!(
+        g.edges().all(|e| e.w >= 1),
+        "positive-weight substrate requires w >= 1"
+    );
+
+    let mut best: Vec<Vec<u128>> = vec![vec![u128::MAX; n]; n];
+    let mut stats = RunStats::default();
+    // distances a scale must resolve in rounded units
+    for i in 0..=scale_count(n, w_max) {
+        let rho = Rho::new(eps_num, eps_den, i, n);
+        let cap: u128 = (2 * n as u128 * eps_den as u128).div_ceil(eps_num as u128) + n as u128;
+        // cap weights: anything above `cap` can never be on a relevant path
+        let cap_w = (cap + 1).min(u64::MAX as u128) as u64;
+        let rounded = g.map_weights(|e| {
+            let r = rho.round_up(e.w);
+            r.min(cap_w as u128) as Weight
+        });
+        let (out, st) = run_best_list(
+            &rounded,
+            &sources,
+            false,
+            cap.min(u64::MAX as u128) as u64 + n as u64 + 2,
+            engine.clone(),
+        );
+        stats = stats.then(&st);
+        debug_assert_eq!(out.stranded, 0, "positive rounded weights never strand");
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..n {
+            for v in 0..n {
+                let d_i = out.matrix.at(s, v as NodeId);
+                if d_i != INFINITY && (d_i as u128) <= cap {
+                    let est = rho.scale_back(d_i as u128);
+                    if est < best[s][v] {
+                        best[s][v] = est;
+                    }
+                }
+            }
+        }
+    }
+
+    let dist: Vec<Vec<Weight>> = best
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|x| {
+                    if x == u128::MAX {
+                        INFINITY
+                    } else {
+                        x.min(u64::MAX as u128 - 1) as Weight
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (DistMatrix::new(sources, dist), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+
+    fn check_ratio(g: &WGraph, eps_num: u64, eps_den: u64) -> RunStats {
+        let (m, stats) = approx_positive_apsp(g, eps_num, eps_den, EngineConfig::default());
+        let exact = dw_seqref::apsp_dijkstra(g);
+        for s in g.nodes() {
+            for v in g.nodes() {
+                let d = exact.from_source(s, v).unwrap();
+                let e = m.from_source(s, v).unwrap();
+                if d == INFINITY {
+                    assert_eq!(e, INFINITY, "{s}->{v}");
+                } else {
+                    assert!(e >= d, "{s}->{v}: underestimate {e} < {d}");
+                    // e ≤ (1+ε)d  ⇔  e·den ≤ d·(den+num)
+                    assert!(
+                        (e as u128) * (eps_den as u128)
+                            <= (d as u128) * (eps_den as u128 + eps_num as u128),
+                        "{s}->{v}: {e} > (1+{eps_num}/{eps_den})·{d}"
+                    );
+                }
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn ratio_holds_on_random_graphs() {
+        for seed in 0..3 {
+            let g = gen::gnp_connected(
+                14,
+                0.15,
+                true,
+                WeightDist::ZeroOr { p_zero: 0.0, max: 50 },
+                seed,
+            );
+            check_ratio(&g, 1, 2); // ε = 0.5
+        }
+    }
+
+    #[test]
+    fn tighter_epsilon_still_correct() {
+        let g = gen::gnp_connected(12, 0.2, false, WeightDist::ZeroOr { p_zero: 0.0, max: 30 }, 7);
+        check_ratio(&g, 1, 8); // ε = 0.125
+    }
+
+    #[test]
+    fn exact_when_distances_small() {
+        // path of weight-1 edges: estimates must stay within (1+ε) of i
+        let g = gen::path(10, false, WeightDist::Constant(1), 0);
+        let (m, _) = approx_positive_apsp(&g, 1, 4, EngineConfig::default());
+        for v in 0..10u32 {
+            let d = m.from_source(0, v).unwrap();
+            assert!(d >= v as u64 && 4 * d <= 5 * v as u64 + 4, "0->{v}: {d}");
+        }
+    }
+
+    #[test]
+    fn rounds_scale_with_log_and_inverse_eps() {
+        let g = gen::gnp_connected(12, 0.2, true, WeightDist::ZeroOr { p_zero: 0.0, max: 9 }, 3);
+        let coarse = check_ratio(&g, 1, 2);
+        let fine = check_ratio(&g, 1, 8);
+        assert!(fine.rounds > coarse.rounds, "smaller ε costs more rounds");
+        let scales = scale_count(g.n(), g.max_weight()) as u64 + 1;
+        let per_scale = 2 * 12 * 8 + 12 + 2; // cap + n + 2 at ε=1/8
+        assert!(fine.rounds <= scales * per_scale);
+    }
+
+    #[test]
+    fn scale_count_logarithmic() {
+        assert!(scale_count(16, 1) <= 5);
+        assert!(scale_count(1024, 1 << 20) <= 31);
+    }
+}

@@ -1,0 +1,60 @@
+//! Zero-path reachability (step 1 of the Section IV reduction).
+
+use dw_baselines::unweighted_apsp;
+use dw_congest::{EngineConfig, RunStats};
+use dw_graph::{WGraph, INFINITY};
+
+/// `reach[s][v]` = there is a directed path from `s` to `v` using only
+/// zero-weight edges (so `δ(s,v) = 0`). Computed by running the
+/// unweighted pipelined APSP of \[12\] on the zero-weight subgraph —
+/// `O(n)` rounds.
+pub fn zero_reachability(g: &WGraph, engine: EngineConfig) -> (Vec<Vec<bool>>, RunStats) {
+    let z = g.zero_subgraph();
+    let (out, stats) = unweighted_apsp(&z, engine);
+    let n = g.n();
+    let reach = (0..n)
+        .map(|s| {
+            (0..n as u32)
+                .map(|v| out.matrix.at(s, v) != INFINITY)
+                .collect()
+        })
+        .collect();
+    (reach, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen;
+    use dw_graph::GraphBuilder;
+
+    #[test]
+    fn zero_reach_matches_zero_distance() {
+        let g = gen::zero_heavy(18, 0.2, 0.5, 5, true, 31);
+        let (reach, stats) = zero_reachability(&g, EngineConfig::default());
+        let reference = dw_seqref::apsp_dijkstra(&g);
+        for s in g.nodes() {
+            for v in g.nodes() {
+                if reach[s as usize][v as usize] {
+                    assert_eq!(reference.from_source(s, v), Some(0));
+                }
+                // the converse: distance 0 implies a zero-edge path
+                if reference.from_source(s, v) == Some(0) {
+                    assert!(reach[s as usize][v as usize], "{s}->{v}");
+                }
+            }
+        }
+        assert!(stats.rounds <= 2 * g.n() as u64);
+    }
+
+    #[test]
+    fn directed_zero_reach_is_asymmetric() {
+        let mut b = GraphBuilder::new(3, true);
+        b.add_edge(0, 1, 0).add_edge(1, 2, 3);
+        let g = b.build();
+        let (reach, _) = zero_reachability(&g, EngineConfig::default());
+        assert!(reach[0][1]);
+        assert!(!reach[1][0]);
+        assert!(!reach[0][2]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Pipelined APSP/k-SSP for **positive** integer weights — the classical
+//! "expand an edge of weight w into w unit edges" approach, realized as a
+//! \[12\]-style pipeline with key `d` and send schedule `r = d + pos`.
+//!
+//! This is the technique used by the approximate algorithms \[16\], \[18\]
+//! (and by our `dw-approx` per scale). It is correct for weights `>= 1`:
+//! an improvement traversing an edge raises the key by at least the hop
+//! count, so every estimate arrives before its announcement round. With
+//! **zero-weight edges this breaks** — keys stop growing along edges and
+//! estimates can arrive after their scheduled round, stranding them
+//! unannounced (exactly the failure mode the paper describes in Section I
+//! and fixes with Algorithm 1's composite key). The `stranded` counter
+//! makes that failure observable; see the crate tests and experiment E10.
+
+use dw_congest::{
+    EngineConfig, Envelope, MsgSize, Network, NodeCtx, Outbox, Protocol, Round, RunStats,
+};
+use dw_graph::{NodeId, WGraph, Weight, INFINITY};
+use dw_seqref::DistMatrix;
+
+/// `(d, source)` — 2 words.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BestMsg {
+    pub d: Weight,
+    pub src: NodeId,
+}
+
+impl MsgSize for BestMsg {
+    fn size_words(&self) -> usize {
+        2
+    }
+}
+
+/// One best-estimate entry per source, sorted by `(d, src)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BestEntry {
+    pub d: Weight,
+    pub src: NodeId,
+    pub parent: Option<NodeId>,
+    pub sent: bool,
+}
+
+/// Single-best-per-source pipelined node (\[12\] generalized to integer
+/// weights). With `unit_weights` every edge counts as 1 (the unweighted
+/// algorithm, used on the zero-edge subgraph in Section IV).
+#[derive(Clone)]
+pub(crate) struct BestListNode {
+    pub unit_weights: bool,
+    pub is_source: bool,
+    /// Sorted by (d, src).
+    pub list: Vec<BestEntry>,
+    /// Estimates that arrived at or after their announcement round and
+    /// will therefore never be sent (always 0 for weights >= 1).
+    pub stranded: u64,
+}
+
+impl BestListNode {
+    fn position_of(&self, src: NodeId) -> Option<usize> {
+        self.list.iter().position(|e| e.src == src)
+    }
+
+    fn schedule(&self, idx: usize) -> u64 {
+        self.list[idx].d + idx as u64 + 1
+    }
+
+    fn upsert(&mut self, src: NodeId, d: Weight, parent: Option<NodeId>, round: Round) {
+        if let Some(old) = self.position_of(src) {
+            if self.list[old].d <= d {
+                return;
+            }
+            self.list.remove(old);
+        }
+        let idx = self
+            .list
+            .partition_point(|e| (e.d, e.src) <= (d, src));
+        self.list.insert(
+            idx,
+            BestEntry {
+                d,
+                src,
+                parent,
+                sent: false,
+            },
+        );
+        if round >= self.schedule(idx) {
+            self.stranded += 1;
+        }
+    }
+
+    pub fn best(&self, src: NodeId) -> Option<&BestEntry> {
+        self.list.iter().find(|e| e.src == src)
+    }
+}
+
+impl Protocol for BestListNode {
+    type Msg = BestMsg;
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        if self.is_source {
+            self.list.push(BestEntry {
+                d: 0,
+                src: ctx.id,
+                parent: None,
+                sent: false,
+            });
+        }
+    }
+
+    fn send(&mut self, round: Round, _ctx: &NodeCtx, out: &mut Outbox<BestMsg>) {
+        // schedule values d + pos are strictly increasing along the list,
+        // so at most one entry matches the round
+        let n = self.list.len();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.schedule(mid) < round {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < n && self.schedule(lo) == round && !self.list[lo].sent {
+            self.list[lo].sent = true;
+            let e = self.list[lo];
+            out.broadcast(BestMsg { d: e.d, src: e.src });
+        }
+    }
+
+    fn receive(&mut self, round: Round, inbox: &[Envelope<BestMsg>], ctx: &NodeCtx) {
+        for env in inbox {
+            let Some(w) = ctx.in_weight_from(env.from) else {
+                continue;
+            };
+            let step = if self.unit_weights { 1 } else { w };
+            let d = env.msg.d + step;
+            self.upsert(env.msg.src, d, Some(env.from), round);
+        }
+    }
+
+    fn earliest_send(&self, after: Round, _ctx: &NodeCtx) -> Option<Round> {
+        (0..self.list.len())
+            .filter(|&i| !self.list[i].sent)
+            .map(|i| self.schedule(i))
+            .filter(|&v| v >= after)
+            .min()
+    }
+}
+
+/// Outcome of a delayed-BFS run.
+#[derive(Debug, Clone)]
+pub struct DelayedBfsOutcome {
+    pub matrix: DistMatrix,
+    pub parent: Vec<Vec<Option<NodeId>>>,
+    /// Total stranded estimates across nodes — 0 for positive weights,
+    /// typically positive when zero-weight edges are present (the failure
+    /// the paper fixes).
+    pub stranded: u64,
+}
+
+pub fn run_best_list(
+    g: &WGraph,
+    sources: &[NodeId],
+    unit_weights: bool,
+    budget: u64,
+    engine: EngineConfig,
+) -> (DelayedBfsOutcome, RunStats) {
+    let mut is_source = vec![false; g.n()];
+    for &s in sources {
+        is_source[s as usize] = true;
+    }
+    let mut net = Network::new(g, engine, |v| BestListNode {
+        unit_weights,
+        is_source: is_source[v as usize],
+        list: Vec::new(),
+        stranded: 0,
+    });
+    net.run(budget);
+    let stats = net.stats();
+    let n = g.n();
+    let k = sources.len();
+    let mut dist = vec![vec![INFINITY; n]; k];
+    let mut parent = vec![vec![None; n]; k];
+    let mut stranded = 0;
+    for (v, node) in net.nodes().iter().enumerate() {
+        stranded += node.stranded;
+        for (i, &s) in sources.iter().enumerate() {
+            if let Some(e) = node.best(s) {
+                dist[i][v] = e.d;
+                parent[i][v] = e.parent;
+            }
+        }
+    }
+    (
+        DelayedBfsOutcome {
+            matrix: DistMatrix::new(sources.to_vec(), dist),
+            parent,
+            stranded,
+        },
+        stats,
+    )
+}
+
+/// k-SSP for positive integer weights; `delta` bounds the distances (round
+/// budget `Δ + n + 2`).
+pub fn delayed_bfs_k_source(
+    g: &WGraph,
+    sources: &[NodeId],
+    delta: Weight,
+    engine: EngineConfig,
+) -> (DelayedBfsOutcome, RunStats) {
+    run_best_list(
+        g,
+        sources,
+        false,
+        delta + g.n() as u64 + 2,
+        engine,
+    )
+}
+
+/// APSP for positive integer weights.
+pub fn delayed_bfs_apsp(
+    g: &WGraph,
+    delta: Weight,
+    engine: EngineConfig,
+) -> (DelayedBfsOutcome, RunStats) {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    delayed_bfs_k_source(g, &sources, delta, engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+    use dw_seqref::{apsp_dijkstra, assert_matrices_equal, max_finite_distance};
+
+    #[test]
+    fn exact_on_positive_weights() {
+        for seed in 0..3 {
+            let g = gen::gnp_connected(
+                18,
+                0.12,
+                true,
+                WeightDist::ZeroOr { p_zero: 0.0, max: 7 },
+                seed,
+            );
+            let delta = max_finite_distance(&g);
+            let (out, stats) = delayed_bfs_apsp(&g, delta, EngineConfig::default());
+            assert_eq!(out.stranded, 0, "no stranding with positive weights");
+            assert_matrices_equal(&apsp_dijkstra(&g), &out.matrix, "delayed bfs");
+            assert!(stats.rounds <= delta + g.n() as u64 + 2);
+        }
+    }
+
+    #[test]
+    fn round_bound_delta_plus_n() {
+        let g = gen::path(20, false, WeightDist::Constant(3), 0);
+        let delta = max_finite_distance(&g);
+        let (_, stats) = delayed_bfs_apsp(&g, delta, EngineConfig::default());
+        assert!(stats.rounds <= delta + 22);
+    }
+
+    /// The paper's motivating failure: with zero-weight edges the
+    /// `d + pos` schedule strands estimates or reports wrong distances.
+    #[test]
+    fn zero_weights_break_the_schedule() {
+        let mut broke = false;
+        for seed in 0..6 {
+            let g = gen::zero_heavy(16, 0.25, 0.6, 5, true, seed);
+            let delta = max_finite_distance(&g);
+            let (out, _) = delayed_bfs_apsp(&g, delta, EngineConfig::default());
+            let reference = apsp_dijkstra(&g);
+            let diffs = dw_seqref::matrices_equal(&reference, &out.matrix, 1);
+            if out.stranded > 0 || !diffs.is_empty() {
+                broke = true;
+                break;
+            }
+        }
+        assert!(
+            broke,
+            "zero-heavy graphs should exhibit stranded estimates or wrong distances"
+        );
+    }
+}

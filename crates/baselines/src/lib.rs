@@ -1,0 +1,21 @@
+//! Distributed baselines the paper builds on or compares against.
+//!
+//! * [`bellman_ford`] — k-source distributed Bellman–Ford with round-robin
+//!   source scheduling (`O(k·h)` rounds): the textbook baseline that
+//!   Algorithm 3 uses per blocker node, and the "slow but simple" row of
+//!   the exact-APSP comparison (experiment E1).
+//! * [`unweighted`] — the pipelined unweighted APSP in the style of \[12\]
+//!   (`< 2n` rounds): the algorithm the paper generalizes, and the
+//!   zero-edge reachability substrate of Section IV.
+//! * [`delayed_bfs`] — pipelined APSP for **positive** integer weights via
+//!   the classical weight-expansion idea (`O(Δ + n)` rounds): the approach
+//!   whose failure on zero-weight edges motivates the whole paper, and the
+//!   per-scale workhorse of the (1+ε) substrate.
+
+pub mod bellman_ford;
+pub mod delayed_bfs;
+pub mod unweighted;
+
+pub use bellman_ford::{bf_apsp, bf_k_source, BfResult};
+pub use delayed_bfs::{delayed_bfs_apsp, delayed_bfs_k_source, run_best_list, DelayedBfsOutcome};
+pub use unweighted::{unweighted_apsp, unweighted_k_source};

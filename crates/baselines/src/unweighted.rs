@@ -1,0 +1,100 @@
+//! The pipelined **unweighted** APSP of \[12\] — the algorithm the paper's
+//! Section II recaps as its starting point.
+//!
+//! Every node keeps its best (hop) distance per source in sorted order and
+//! announces the estimate with `d(s) + pos(s) = r` in round `r`. All
+//! distances arrive within `2n` rounds. Edge weights are ignored (every
+//! edge counts one hop), which is exactly what the Section IV zero-closure
+//! needs: running this on the zero-weight subgraph computes zero-path
+//! reachability.
+
+use crate::delayed_bfs::{run_best_list, DelayedBfsOutcome};
+use dw_congest::{EngineConfig, RunStats};
+use dw_graph::{NodeId, WGraph};
+
+/// Unweighted APSP (hop distances from every node), `< 2n` rounds.
+pub fn unweighted_apsp(g: &WGraph, engine: EngineConfig) -> (DelayedBfsOutcome, RunStats) {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    unweighted_k_source(g, &sources, engine)
+}
+
+/// Unweighted k-SSP (hop distances from `sources`).
+pub fn unweighted_k_source(
+    g: &WGraph,
+    sources: &[NodeId],
+    engine: EngineConfig,
+) -> (DelayedBfsOutcome, RunStats) {
+    run_best_list(g, sources, true, 2 * g.n() as u64 + 2, engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+    use dw_graph::INFINITY;
+
+    fn hop_reference(g: &WGraph, s: NodeId) -> Vec<u64> {
+        // BFS over out-edges (directed semantics)
+        let mut dist = vec![INFINITY; g.n()];
+        dist[s as usize] = 0;
+        let mut q = std::collections::VecDeque::from([s]);
+        while let Some(v) = q.pop_front() {
+            for &(u, _) in g.out_edges(v) {
+                if dist[u as usize] == INFINITY {
+                    dist[u as usize] = dist[v as usize] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn matches_bfs_reference() {
+        let g = gen::gnp_connected(30, 0.08, true, WeightDist::Uniform { max: 9 }, 12);
+        let (out, stats) = unweighted_apsp(&g, EngineConfig::default());
+        assert_eq!(out.stranded, 0);
+        for s in g.nodes() {
+            let expect = hop_reference(&g, s);
+            for v in g.nodes() {
+                assert_eq!(
+                    out.matrix.from_source(s, v),
+                    Some(expect[v as usize]),
+                    "{s}->{v}"
+                );
+            }
+        }
+        // Theorem of [12]: all estimates arrive within 2n rounds.
+        assert!(stats.rounds <= 2 * g.n() as u64, "rounds {}", stats.rounds);
+    }
+
+    #[test]
+    fn zero_subgraph_reachability() {
+        // the Section IV use: which pairs are joined by all-zero paths?
+        let g = gen::zero_heavy(20, 0.15, 0.5, 6, true, 7);
+        let z = g.zero_subgraph();
+        let (out, _) = unweighted_apsp(&z, EngineConfig::default());
+        let reference = dw_seqref::apsp_dijkstra(&g);
+        for s in g.nodes() {
+            for v in g.nodes() {
+                let zero_reachable = out.matrix.from_source(s, v) != Some(INFINITY);
+                if zero_reachable {
+                    assert_eq!(
+                        reference.from_source(s, v),
+                        Some(0),
+                        "zero-path implies distance 0"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_node_single_message_per_source() {
+        // [12]: each node sends at most one message per source
+        let g = gen::path(10, false, WeightDist::Constant(1), 0);
+        let (_, stats) = unweighted_apsp(&g, EngineConfig::default());
+        // a node's sends ≤ number of sources
+        assert!(stats.max_node_sends <= g.n() as u64);
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion bench behind experiment E6: CSSSP construction and the
+//! greedy blocker-set computation (scores, Algorithm 4 updates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dw_bench::workloads;
+use dw_blocker::{find_blocker_set, TreeKnowledge};
+use dw_congest::EngineConfig;
+use dw_graph::NodeId;
+use dw_pipeline::build_csssp;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_blocker");
+    group.sample_size(10);
+    let wl = workloads::zero_heavy(18, 5, 101);
+    let sources: Vec<NodeId> = (0..wl.n() as NodeId).collect();
+    for h in [2u64, 4] {
+        let delta = wl.delta_h(2 * h as usize);
+        group.bench_with_input(BenchmarkId::new("build_csssp", h), &h, |b, &h| {
+            b.iter(|| build_csssp(&wl.graph, &sources, h, delta, EngineConfig::default()))
+        });
+        let (csssp, _) = build_csssp(&wl.graph, &sources, h, delta, EngineConfig::default());
+        let know = TreeKnowledge::from_csssp(&csssp);
+        group.bench_with_input(BenchmarkId::new("find_blocker_set", h), &know, |b, know| {
+            b.iter(|| find_blocker_set(&wl.graph, know, EngineConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

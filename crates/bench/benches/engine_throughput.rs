@@ -1,0 +1,34 @@
+//! Simulator micro-benchmarks: raw round throughput of the engine and of
+//! the key list operations (supporting data for the substrate, not a
+//! paper artifact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dw_bench::workloads;
+use dw_congest::EngineConfig;
+use dw_pipeline::{apsp, Gamma};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let wl = workloads::positive_random(n, 8, 2000 + n as u64);
+        group.bench_with_input(BenchmarkId::new("alg1_apsp_positive", n), &wl, |b, wl| {
+            b.iter(|| apsp(&wl.graph, wl.delta, EngineConfig::default()))
+        });
+    }
+    group.bench_function("key_cmp_and_ceil", |b| {
+        let g = Gamma::new(64, 64, 1000);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for d in 0..200u64 {
+                acc ^= g.ceil_kappa(d, d % 17);
+                acc ^= g.cmp_kappa(d, 3, d + 1, 9) as u64;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

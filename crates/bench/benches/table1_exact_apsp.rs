@@ -1,0 +1,33 @@
+//! Criterion bench behind Table I (experiment E1): wall-clock of the
+//! exact-APSP simulations (Algorithm 1, Algorithm 3, Bellman–Ford) on the
+//! shared zero-heavy workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dw_baselines::bf_apsp;
+use dw_bench::workloads;
+use dw_blocker::alg3::{alg3_apsp, suggested_h_weight_regime};
+use dw_congest::EngineConfig;
+use dw_pipeline::apsp;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_exact_apsp");
+    group.sample_size(10);
+    for n in [16usize, 24, 32] {
+        let wl = workloads::zero_heavy(n, 6, 1000 + n as u64);
+        group.bench_with_input(BenchmarkId::new("alg1_pipelined", n), &wl, |b, wl| {
+            b.iter(|| apsp(&wl.graph, wl.delta, EngineConfig::default()))
+        });
+        let h = suggested_h_weight_regime(n, n, 6);
+        let delta2h = wl.delta_h(2 * h as usize);
+        group.bench_with_input(BenchmarkId::new("alg3_blocker", n), &wl, |b, wl| {
+            b.iter(|| alg3_apsp(&wl.graph, h, delta2h, EngineConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("bellman_ford", n), &wl, |b, wl| {
+            b.iter(|| bf_apsp(&wl.graph, EngineConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

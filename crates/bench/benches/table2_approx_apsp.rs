@@ -1,0 +1,24 @@
+//! Criterion bench behind Table II (experiment E8): wall-clock of the
+//! (1+ε)-approximate APSP across ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dw_approx::approx_apsp;
+use dw_bench::workloads;
+use dw_congest::EngineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_approx_apsp");
+    group.sample_size(10);
+    let wl = workloads::zero_heavy(16, 6, 416);
+    for (num, den) in [(1u64, 1u64), (1, 2), (1, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("approx_apsp", format!("eps={num}/{den}")),
+            &wl,
+            |b, wl| b.iter(|| approx_apsp(&wl.graph, num, den, EngineConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerate the paper's tables and figures as measured round counts.
+//!
+//! ```text
+//! report [--exp e1,e3] [--full] [--markdown]
+//! ```
+//!
+//! Without `--exp` every experiment runs. `--full` selects the larger
+//! sweeps (slower); `--markdown` emits GitHub tables (used to refresh
+//! EXPERIMENTS.md).
+
+use dw_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let exps: Vec<String> = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect())
+        .unwrap_or_else(|| experiments::ALL.iter().map(|s| s.to_string()).collect());
+
+    println!(
+        "# dwapsp experiment report (mode: {})",
+        if full { "full" } else { "quick" }
+    );
+    for id in &exps {
+        let start = std::time::Instant::now();
+        let tables = experiments::run(id, full);
+        for t in &tables {
+            if markdown {
+                println!("{}", t.render_markdown());
+            } else {
+                println!("{}", t.render());
+            }
+        }
+        eprintln!("[{id} done in {:.1?}]", start.elapsed());
+    }
+}

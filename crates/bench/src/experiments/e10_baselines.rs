@@ -1,0 +1,84 @@
+//! E10 — the starting points: the `< 2n`-round unweighted pipelined APSP
+//! of \[12\], the positive-weight delayed-BFS pipeline, and the paper's
+//! motivating observation that the latter **breaks on zero-weight
+//! edges**.
+
+use crate::experiments::ok;
+use crate::table::Table;
+use crate::trow;
+use crate::workloads;
+use dw_baselines::{delayed_bfs_apsp, unweighted_apsp};
+use dw_congest::EngineConfig;
+use dw_graph::gen;
+use dw_seqref::{apsp_dijkstra, matrices_equal};
+
+pub fn run(full: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "E10a — unweighted pipelined APSP [12]: rounds < 2n",
+        &["n", "rounds", "2n", "within", "messages"],
+    );
+    let sizes: &[usize] = if full { &[16, 32, 64, 128] } else { &[16, 32, 64] };
+    for &n in sizes {
+        let wl = workloads::unweighted(n, 800 + n as u64);
+        let (out, st) = unweighted_apsp(&wl.graph, EngineConfig::default());
+        assert_eq!(out.stranded, 0);
+        t.row(trow![
+            n,
+            st.rounds,
+            2 * n,
+            ok(st.rounds <= 2 * n as u64),
+            st.messages
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "E10b — delayed-BFS (weight-expansion) APSP: exact for positive weights, broken by zeros",
+        &["workload", "zeros", "rounds", "stranded", "wrong entries", "exact"],
+    );
+    for seed in 0..(if full { 6 } else { 4 }) {
+        for &zero_frac in &[0.0f64, 0.5] {
+            let g = gen::gnp_connected(
+                20,
+                0.15,
+                true,
+                dw_graph::gen::WeightDist::ZeroOr {
+                    p_zero: zero_frac,
+                    max: 6,
+                },
+                900 + seed,
+            );
+            let delta = dw_seqref::max_finite_distance(&g).max(1);
+            let (out, st) = delayed_bfs_apsp(&g, delta, EngineConfig::default());
+            let reference = apsp_dijkstra(&g);
+            let wrong = matrices_equal(&reference, &out.matrix, usize::MAX).len();
+            let exact = wrong == 0 && out.stranded == 0;
+            t2.row(trow![
+                format!("gnp(n=20,zero={zero_frac},s={seed})"),
+                g.zero_weight_edges(),
+                st.rounds,
+                out.stranded,
+                wrong,
+                if exact { "yes" } else { "no (expected with zeros)" }
+            ]);
+            if zero_frac == 0.0 {
+                assert!(exact, "positive weights must be exact");
+            }
+        }
+    }
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unweighted_within_2n_and_zero_failure_visible() {
+        let tables = super::run(false);
+        assert!(!tables[0].render().contains("NO"));
+        // at least one zero-weight run must actually break
+        assert!(
+            tables[1].render().contains("no (expected with zeros)"),
+            "{}",
+            tables[1].render()
+        );
+    }
+}

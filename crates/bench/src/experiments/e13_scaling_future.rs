@@ -1,0 +1,101 @@
+//! E13 — the Conclusion's future-work direction, measured: Gabow-scaling
+//! APSP (per-source reduced costs + the zero-weight-capable pipeline)
+//! versus Algorithm 1.
+//!
+//! Algorithm 1's APSP runs in `2n√Δ + 2n` rounds — `√W`-ish growth as
+//! weights grow. The scaling prototype replaces the `√Δ` with `log W`
+//! scales of unit-range reduced-cost SSSPs (which have zero-weight edges
+//! even when the input doesn't — the paper's machinery is what makes them
+//! solvable at all). This experiment sweeps `W` and fits both growth
+//! curves; both algorithms are verified against Dijkstra on every row.
+
+use crate::fit::fit_power_law;
+use crate::table::Table;
+use crate::trow;
+use crate::workloads;
+use dw_congest::EngineConfig;
+use dw_pipeline::{apsp, scaling_apsp};
+use dw_seqref::{apsp_dijkstra, assert_matrices_equal};
+
+pub fn run(full: bool) -> Vec<Table> {
+    let n = if full { 24 } else { 16 };
+    let ws: &[u64] = if full {
+        &[4, 16, 64, 256, 1024, 4096]
+    } else {
+        &[4, 16, 64, 256]
+    };
+    let mut t = Table::new(
+        "E13 — future work (Conclusion): scaling APSP vs Algorithm 1 as W grows",
+        &[
+            "W",
+            "Δ",
+            "alg1 rounds (2n√Δ-ish)",
+            "scaling rounds",
+            "scales",
+            "max scale rounds",
+        ],
+    );
+    let mut alg1_samples = Vec::new();
+    let mut scal_samples = Vec::new();
+    for &w in ws {
+        let wl = workloads::sparse_positive(n, w, 1300 + w);
+        let reference = apsp_dijkstra(&wl.graph);
+
+        let (a1, a1_st, _) = apsp(&wl.graph, wl.delta, EngineConfig::default());
+        assert_matrices_equal(&reference, &a1.to_matrix(), &wl.name);
+
+        let sc = scaling_apsp(&wl.graph, EngineConfig::default());
+        assert_matrices_equal(&reference, &sc.matrix, &wl.name);
+
+        t.row(trow![
+            w,
+            wl.delta,
+            a1_st.rounds,
+            sc.stats.rounds,
+            sc.scales,
+            sc.per_scale_rounds.iter().copied().max().unwrap_or(0)
+        ]);
+        alg1_samples.push((w as f64, a1_st.rounds as f64));
+        scal_samples.push((w as f64, sc.stats.rounds as f64));
+    }
+    let fa = fit_power_law(&alg1_samples);
+    let fs = fit_power_law(&scal_samples);
+    let mut fits = Table::new(
+        "E13b — growth in W (scaling should be ~0: logarithmic, not polynomial)",
+        &["algorithm", "rounds ~ W^a", "r²"],
+    );
+    fits.row(trow![
+        "Alg.1 (2n√Δ)",
+        format!("{:.2}", fa.exponent),
+        format!("{:.3}", fa.r2)
+    ]);
+    fits.row(trow![
+        "scaling prototype",
+        format!("{:.2}", fs.exponent),
+        format!("{:.3}", fs.r2)
+    ]);
+    vec![t, fits]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaling_grows_slower_in_w() {
+        let tables = super::run(false);
+        assert_eq!(tables[1].n_rows(), 2);
+        // parse the two exponents from the rendered fit table
+        let r = tables[1].render();
+        let ex: Vec<f64> = r
+            .lines()
+            .skip(3)
+            .filter_map(|l| l.split_whitespace().rev().nth(1)?.parse().ok())
+            .collect();
+        assert_eq!(ex.len(), 2, "{r}");
+        assert!(
+            ex[1] < ex[0],
+            "scaling exponent {} must undercut Alg.1's {}",
+            ex[1],
+            ex[0]
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! E3 — Invariants 1 & 2 (Lemmas II.11 / II.12): per-source list sizes
+//! vs `√(Δh/k) + 1`, total lists vs `√(Δhk) + k`, and insertion-time
+//! schedule checks.
+//!
+//! **Reproduction finding.** The invariants hold exactly in the regimes
+//! the paper's headline results use (sparse weighted graphs, `h = n`
+//! APSP/k-SSP — asserted by the dw-pipeline unit tests). Two stress
+//! regimes produce measured violations of the *stated* bounds: (a)
+//! tight-hop runs (`h ≪ n`), where the hop filter that discards `l > h`
+//! extensions breaks the ν count-transfer induction behind Lemma II.7;
+//! (b) zero-cycle-dense graphs with degenerate `Δ` (e.g. `Δ = 2` with
+//! `γ = √(hk/Δ) ≫ 1`), where many same-distance different-hop walks are
+//! admitted and the Lemma II.9 distinct-`d` mapping cannot absorb them.
+//! The violation counts are *reported* below as findings; none of the
+//! end-to-end theorems is affected (every run used by E1/E7/E9 is
+//! distance-verified against Dijkstra).
+
+use crate::experiments::ok;
+use crate::table::Table;
+use crate::trow;
+use crate::workloads;
+use dw_congest::EngineConfig;
+use dw_graph::NodeId;
+use dw_pipeline::bound::total_list_bound;
+use dw_pipeline::invariants::run_with_report;
+use dw_pipeline::SspConfig;
+
+pub fn run(full: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "E3 / Invariants 1-2 — list sizes and insertion-time checks",
+        &[
+            "workload",
+            "h",
+            "k",
+            "max/src",
+            "bound √(Δh/k)+1",
+            "max list",
+            "bound √(Δhk)+k",
+            "inv1 viol.",
+            "inv2 viol.",
+            "holds",
+        ],
+    );
+    let n = if full { 40 } else { 24 };
+    let wls = vec![
+        workloads::zero_heavy(n, 6, 5),
+        workloads::staircase(4, 5, 3),
+        workloads::grid(5, n / 5, 4, 2),
+    ];
+    for wl in wls {
+        let nn = wl.n();
+        for (h, k) in [(4u64, nn), (nn as u64 / 2, nn), (nn as u64, nn), (6, 4)] {
+            let full_hop = h >= nn as u64;
+            let sources: Vec<NodeId> = (0..k as NodeId).collect();
+            let delta = wl.delta_h(h as usize);
+            let cfg = SspConfig::new(sources, h, delta);
+            let (_, _, rep) = run_with_report(&wl.graph, &cfg, EngineConfig::default());
+            let ps_bound = ((delta as f64) * h as f64 / k as f64).sqrt() + 1.0;
+            let total_bound = total_list_bound(k as u64, h, delta);
+            let holds = rep.holds()
+                && rep.max_per_source as f64 <= ps_bound
+                && rep.max_list_len as u64 <= total_bound;
+            t.row(trow![
+                format!("{}{}", wl.name, if full_hop { " [h=n]" } else { "" }),
+                h,
+                k,
+                rep.max_per_source,
+                format!("{ps_bound:.1}"),
+                rep.max_list_len,
+                total_bound,
+                rep.inv1_violations,
+                rep.inv2_violations,
+                ok(holds)
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_reports_all_regimes() {
+        // Violations are findings, not failures (see module docs); the
+        // non-degenerate assertions live in dw-pipeline's unit tests.
+        let tables = super::run(false);
+        let r = tables[0].render();
+        assert!(r.contains("[h=n]"));
+        assert!(r.contains("yes"), "at least some regimes must hold: {r}");
+    }
+}

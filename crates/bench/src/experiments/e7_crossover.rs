@@ -1,0 +1,67 @@
+//! E7 — Corollary I.4: with `W = n^{1-ε}` Algorithm 3's round count
+//! scales as `n^{3/2 - ε/4}`, beating the `n^{3/2}` bound of \[3\]; the
+//! larger ε, the bigger the win. We measure Algorithm 3 across `n` for
+//! several ε and fit the exponents.
+
+use crate::fit::fit_power_law;
+use crate::table::Table;
+use crate::trow;
+use crate::workloads;
+use dw_blocker::alg3::{alg3_apsp, suggested_h_weight_regime};
+use dw_congest::EngineConfig;
+use dw_seqref::{apsp_dijkstra, assert_matrices_equal};
+
+pub fn run(full: bool) -> Vec<Table> {
+    let sizes: &[usize] = if full {
+        &[16, 24, 32, 48, 64]
+    } else {
+        &[16, 24, 32]
+    };
+    let eps_grid: &[f64] = &[0.0, 0.5, 1.0];
+    let mut t = Table::new(
+        "E7 / Corollary I.4 — Alg.3 rounds with W = n^(1-ε)",
+        &["ε", "n", "W", "h", "rounds", "n^(3/2) reference"],
+    );
+    let mut fits = Table::new(
+        "E7b — fitted exponents (theory: 3/2 - ε/4 for the bound; measured shapes should fall with ε)",
+        &["ε", "measured exponent", "theory exponent", "r²"],
+    );
+
+    for &eps in eps_grid {
+        let mut samples = Vec::new();
+        for &n in sizes {
+            let w = (n as f64).powf(1.0 - eps).round().max(1.0) as u64;
+            let wl = workloads::sparse_zero_heavy(n, w, 300 + n as u64);
+            let h = suggested_h_weight_regime(n, n, w);
+            let delta2h = wl.delta_h(2 * h as usize);
+            let out = alg3_apsp(&wl.graph, h, delta2h, EngineConfig::default());
+            assert_matrices_equal(&apsp_dijkstra(&wl.graph), &out.matrix, &wl.name);
+            t.row(trow![
+                eps,
+                n,
+                w,
+                h,
+                out.stats.rounds,
+                (n as f64).powf(1.5).round()
+            ]);
+            samples.push((n as f64, out.stats.rounds as f64));
+        }
+        let fit = fit_power_law(&samples);
+        fits.row(trow![
+            eps,
+            format!("{:.2}", fit.exponent),
+            format!("{:.2}", 1.5 - eps / 4.0),
+            format!("{:.3}", fit.r2)
+        ]);
+    }
+    vec![t, fits]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn produces_fits_per_epsilon() {
+        let tables = super::run(false);
+        assert_eq!(tables[1].n_rows(), 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! E8 — Table II / Theorem I.5: (1+ε)-approximate APSP with zero-weight
+//! edges, measured rounds vs the `O((n/ε²)·log n)` shape, and the
+//! approximation ratio verified against Dijkstra.
+
+use crate::experiments::ok;
+use crate::table::Table;
+use crate::trow;
+use crate::workloads;
+use dw_approx::approx_apsp;
+use dw_congest::EngineConfig;
+use dw_graph::INFINITY;
+
+pub fn run(full: bool) -> Vec<Table> {
+    let sizes: &[usize] = if full { &[12, 16, 24, 32] } else { &[12, 16] };
+    // ε = num/den
+    let eps_grid: &[(u64, u64)] = &[(1, 1), (1, 2), (1, 4)];
+    let mut t = Table::new(
+        "E8 / Table II — (1+ε)-approx APSP with zero weights (Theorem I.5)",
+        &[
+            "n",
+            "ε",
+            "rounds",
+            "zero-phase",
+            "positive-phase",
+            "worst ratio",
+            "ratio ok",
+            "(n/ε²)·log₂n",
+        ],
+    );
+    for &n in sizes {
+        let wl = workloads::sparse_zero_heavy(n, 40, 400 + n as u64);
+        let exact = dw_seqref::apsp_dijkstra(&wl.graph);
+        for &(en, ed) in eps_grid {
+            let out = approx_apsp(&wl.graph, en, ed, EngineConfig::default());
+            let eps = en as f64 / ed as f64;
+            let mut worst: f64 = 1.0;
+            let mut ratio_ok = true;
+            for s in wl.graph.nodes() {
+                for v in wl.graph.nodes() {
+                    let d = exact.from_source(s, v).unwrap();
+                    let e = out.matrix.from_source(s, v).unwrap();
+                    match (d, e) {
+                        (INFINITY, e) => ratio_ok &= e == INFINITY,
+                        (0, e) => ratio_ok &= e == 0,
+                        (d, e) => {
+                            ratio_ok &= e >= d;
+                            let r = e as f64 / d as f64;
+                            worst = worst.max(r);
+                            ratio_ok &= r <= 1.0 + eps + 1e-9;
+                        }
+                    }
+                }
+            }
+            let curve = (n as f64 / (eps * eps)) * (n as f64).log2();
+            t.row(trow![
+                n,
+                format!("{en}/{ed}"),
+                out.stats.rounds,
+                out.zero_rounds,
+                out.positive_rounds,
+                format!("{worst:.3}"),
+                ok(ratio_ok),
+                format!("{curve:.0}")
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratios_hold() {
+        let tables = super::run(false);
+        let r = tables[0].render();
+        assert!(!r.contains("NO"), "{r}");
+    }
+}

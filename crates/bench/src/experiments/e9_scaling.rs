@@ -1,0 +1,101 @@
+//! E9 — Theorems I.2 / I.3: how Algorithm 3's rounds scale with the
+//! weight bound `W`, with `n`, and (through `Δ ≈ n·W`-ish workloads) with
+//! the distance bound. Fitted exponents are reported next to the
+//! theoretical `1/4` (in `W`) and `5/4` (in `n`).
+
+use crate::fit::fit_power_law;
+use crate::table::Table;
+use crate::trow;
+use crate::workloads;
+use dw_blocker::alg3::{alg3_apsp, suggested_h_weight_regime};
+use dw_congest::EngineConfig;
+use dw_pipeline::apsp;
+use dw_seqref::{apsp_dijkstra, assert_matrices_equal};
+
+pub fn run(full: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "E9 — Alg.3 scaling sweeps (each run verified against Dijkstra)",
+        &["sweep", "n", "W", "h", "Δ", "rounds"],
+    );
+    let mut fits = Table::new(
+        "E9b — fitted exponents",
+        &["sweep", "measured exponent", "theory", "r²"],
+    );
+
+    // (a) W sweep at fixed n.
+    let n = if full { 32 } else { 24 };
+    let ws: &[u64] = if full { &[1, 4, 16, 64, 256] } else { &[1, 4, 16, 64] };
+    let mut samples = Vec::new();
+    for &w in ws {
+        let wl = workloads::sparse_positive(n, w, 500 + w);
+        let h = suggested_h_weight_regime(n, n, w);
+        let delta2h = wl.delta_h(2 * h as usize);
+        let out = alg3_apsp(&wl.graph, h, delta2h, EngineConfig::default());
+        assert_matrices_equal(&apsp_dijkstra(&wl.graph), &out.matrix, &wl.name);
+        t.row(trow!["W sweep", n, w, h, delta2h, out.stats.rounds]);
+        samples.push((w as f64, out.stats.rounds as f64));
+    }
+    let fw = fit_power_law(&samples);
+    fits.row(trow![
+        "rounds ~ W^a (Thm I.2)",
+        format!("{:.2}", fw.exponent),
+        "0.25",
+        format!("{:.3}", fw.r2)
+    ]);
+
+    // (b) n sweep at fixed W (Alg.3).
+    let sizes: &[usize] = if full { &[16, 24, 32, 48, 64] } else { &[16, 24, 32] };
+    let w = 4u64;
+    let mut samples = Vec::new();
+    for &n in sizes {
+        let wl = workloads::sparse_zero_heavy(n, w, 600 + n as u64);
+        let h = suggested_h_weight_regime(n, n, w);
+        let delta2h = wl.delta_h(2 * h as usize);
+        let out = alg3_apsp(&wl.graph, h, delta2h, EngineConfig::default());
+        assert_matrices_equal(&apsp_dijkstra(&wl.graph), &out.matrix, &wl.name);
+        t.row(trow!["n sweep (Alg.3)", n, w, h, delta2h, out.stats.rounds]);
+        samples.push((n as f64, out.stats.rounds as f64));
+    }
+    let fn_ = fit_power_law(&samples);
+    fits.row(trow![
+        "rounds ~ n^a (Thm I.2)",
+        format!("{:.2}", fn_.exponent),
+        "1.25 (+log)",
+        format!("{:.3}", fn_.r2)
+    ]);
+
+    // (c) Δ sweep for the plain pipelined APSP (Theorem I.1(ii):
+    // 2n√Δ + 2n ⇒ exponent 1/2 in Δ once the 2n term is subtracted).
+    let n = if full { 32 } else { 20 };
+    let mut samples = Vec::new();
+    for &w in ws {
+        let wl = workloads::sparse_positive(n, w, 700 + w);
+        let (res, st, _) = apsp(&wl.graph, wl.delta, EngineConfig::default());
+        assert_matrices_equal(&apsp_dijkstra(&wl.graph), &res.to_matrix(), &wl.name);
+        t.row(trow!["Δ sweep (Alg.1)", n, w, "-", wl.delta, st.rounds]);
+        if wl.delta > 1 && st.rounds > 2 * n as u64 {
+            samples.push((wl.delta as f64, (st.rounds - 2 * n as u64).max(1) as f64));
+        }
+    }
+    if samples.len() >= 2 {
+        let fd = fit_power_law(&samples);
+        fits.row(trow![
+            "(rounds-2n) ~ Δ^a (Thm I.1)",
+            format!("{:.2}", fd.exponent),
+            "0.50",
+            format!("{:.3}", fd.r2)
+        ]);
+    }
+
+    vec![t, fits]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweeps_complete() {
+        let tables = super::run(false);
+        assert!(tables[0].n_rows() >= 10);
+        assert!(tables[1].n_rows() >= 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Log–log least-squares fitting of `y = c·x^alpha` — used to estimate
+//! measured scaling exponents against the paper's theoretical ones
+//! (experiments E7 and E9).
+
+/// The result of a power-law fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFit {
+    /// Fitted exponent `alpha`.
+    pub exponent: f64,
+    /// Fitted constant `c`.
+    pub constant: f64,
+    /// Coefficient of determination in log space.
+    pub r2: f64,
+}
+
+/// Fit `y = c·x^alpha` to positive samples by least squares in log space.
+/// Panics on fewer than two samples or non-positive values.
+pub fn fit_power_law(samples: &[(f64, f64)]) -> PowerFit {
+    assert!(samples.len() >= 2, "need at least two samples");
+    assert!(
+        samples.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "power-law fit needs positive data"
+    );
+    let logs: Vec<(f64, f64)> = samples.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let alpha = if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    };
+    let b = (sy - alpha * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (alpha * p.0 + b)).powi(2))
+        .sum();
+    let r2 = if ss_tot.abs() < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    PowerFit {
+        exponent: alpha,
+        constant: b.exp(),
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_power_law() {
+        let samples: Vec<(f64, f64)> = (1..10)
+            .map(|i| {
+                let x = i as f64;
+                (x, 3.0 * x.powf(1.5))
+            })
+            .collect();
+        let fit = fit_power_law(&samples);
+        assert!((fit.exponent - 1.5).abs() < 1e-9);
+        assert!((fit.constant - 3.0).abs() < 1e-9);
+        assert!(fit.r2 > 0.999999);
+    }
+
+    #[test]
+    fn flat_data_zero_exponent() {
+        let samples = vec![(1.0, 7.0), (2.0, 7.0), (4.0, 7.0)];
+        let fit = fit_power_law(&samples);
+        assert!(fit.exponent.abs() < 1e-9);
+        assert!((fit.constant - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_data_reasonable() {
+        let samples = vec![(2.0, 4.1), (4.0, 15.7), (8.0, 65.0), (16.0, 254.0)];
+        let fit = fit_power_law(&samples);
+        assert!((fit.exponent - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn rejects_non_positive() {
+        let _ = fit_power_law(&[(1.0, 0.0), (2.0, 3.0)]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal aligned table printer (stdout + markdown).
+
+/// A simple column-aligned table accumulated row by row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Shorthand for building a row from display values.
+#[macro_export]
+macro_rules! trow {
+    ($($x:expr),* $(,)?) => {
+        vec![$(format!("{}", $x)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(trow![1, 2]);
+        t.row(trow!["xxx", "y"]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains("a    bbbb"));
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("md", &["x"]);
+        t.row(trow![42]);
+        let md = t.render_markdown();
+        assert!(md.contains("| x |"));
+        assert!(md.contains("| 42 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.row(trow![1]);
+    }
+}

@@ -1,0 +1,634 @@
+//! The synchronous round engine.
+
+use crate::message::{Envelope, MsgSize};
+use crate::metrics::RunStats;
+use crate::outbox::{Outbox, SendOp};
+use crate::protocol::{NodeCtx, Protocol, Round};
+use dw_graph::{NodeId, WGraph};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Per-message word budget (a word = one `O(log n)`-bit quantity).
+    /// Exceeding it is a protocol bug and panics.
+    pub max_words: usize,
+    /// Enforce at most one message per directed link per round (the CONGEST
+    /// bandwidth constraint). Always leave on; exposed for the failure
+    /// injection tests.
+    pub enforce_link_capacity: bool,
+    /// Use the crossbeam-parallel send/receive phases when the node count
+    /// is at least this threshold. `usize::MAX` disables parallelism.
+    pub parallel_threshold: usize,
+    /// Worker threads for the parallel phases.
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_words: 8,
+            enforce_link_capacity: true,
+            parallel_threshold: 4096,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No node will ever send again: the protocol has converged.
+    Quiet,
+    /// The round budget was exhausted before the protocol went quiet.
+    BudgetExhausted,
+}
+
+/// A network of `n` nodes running the same protocol type.
+pub struct Network<'g, P: Protocol> {
+    g: &'g WGraph,
+    cfg: EngineConfig,
+    nodes: Vec<P>,
+    round: Round,
+    inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// Messages carried per directed comm link over the whole run.
+    link_load: Vec<u64>,
+    /// Round stamp of the last use of each directed link (capacity check).
+    link_stamp: Vec<Round>,
+    /// CSR offsets into `link_load` / `link_stamp` per node.
+    link_offset: Vec<usize>,
+    node_sends: Vec<u64>,
+    last_activity: Round,
+    rounds_executed: u64,
+    messages: u64,
+    total_words: u64,
+    max_round_messages: u64,
+}
+
+impl<'g, P: Protocol> Network<'g, P> {
+    /// Build a network over communication graph `g`, with node `v` running
+    /// `make(v)`. Calls [`Protocol::init`] on every node (round 0).
+    pub fn new(g: &'g WGraph, cfg: EngineConfig, mut make: impl FnMut(NodeId) -> P) -> Self {
+        let n = g.n();
+        let mut nodes: Vec<P> = (0..n as NodeId).map(&mut make).collect();
+        for (v, node) in nodes.iter_mut().enumerate() {
+            node.init(&NodeCtx::new(v as NodeId, g));
+        }
+        let mut link_offset = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        link_offset.push(0);
+        for v in 0..n as NodeId {
+            acc += g.comm_neighbors(v).len();
+            link_offset.push(acc);
+        }
+        Network {
+            g,
+            cfg,
+            nodes,
+            round: 0,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            link_load: vec![0; acc],
+            link_stamp: vec![0; acc],
+            link_offset,
+            node_sends: vec![0; n],
+            last_activity: 0,
+            rounds_executed: 0,
+            messages: 0,
+            total_words: 0,
+            max_round_messages: 0,
+        }
+    }
+
+    /// Index of the directed link `u -> v` (panics if not a comm link).
+    fn link_id(&self, u: NodeId, v: NodeId) -> usize {
+        let nbrs = self.g.comm_neighbors(u);
+        let rank = nbrs
+            .binary_search(&v)
+            .unwrap_or_else(|_| panic!("protocol bug: {u} sent to non-neighbor {v}"));
+        self.link_offset[u as usize] + rank
+    }
+
+    /// Last completed round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Immutable access to node `v`'s program (for result extraction and
+    /// test instrumentation; a real deployment would read local state the
+    /// same way).
+    pub fn node(&self, v: NodeId) -> &P {
+        &self.nodes[v as usize]
+    }
+
+    /// All node programs.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &'g WGraph {
+        self.g
+    }
+
+    /// Execute exactly one round; returns the number of messages sent.
+    pub fn step_one(&mut self) -> u64 {
+        self.step_inner(&mut |_, _, _| {})
+    }
+
+    /// As [`Network::step_one`], recording the round into `trace`
+    /// (message counts, senders, and — if the trace keeps payloads — a
+    /// `Debug` rendering of every message).
+    pub fn step_traced(&mut self, trace: &mut crate::trace::RoundTrace) -> u64
+    where
+        P::Msg: std::fmt::Debug,
+    {
+        let mut senders: Vec<NodeId> = Vec::new();
+        let mut payloads = Vec::new();
+        let keep = trace.keep_payloads();
+        let sent = self.step_inner(&mut |from, to, msg: &P::Msg| {
+            senders.push(from);
+            if keep {
+                payloads.push((from, to, format!("{msg:?}")));
+            }
+        });
+        if sent > 0 {
+            senders.sort_unstable();
+            senders.dedup();
+            trace.push(crate::trace::RoundRecord {
+                round: self.round,
+                messages: sent,
+                senders,
+                payloads,
+            });
+        }
+        sent
+    }
+
+    fn step_inner(&mut self, on_msg: &mut dyn FnMut(NodeId, NodeId, &P::Msg)) -> u64 {
+        self.round += 1;
+        self.rounds_executed += 1;
+        let round = self.round;
+        let n = self.g.n();
+
+        // --- send phase ---
+        let parallel = n >= self.cfg.parallel_threshold && self.cfg.threads > 1;
+        let all_ops: Vec<Vec<SendOp<P::Msg>>> = if parallel {
+            self.send_phase_parallel(round)
+        } else {
+            let g = self.g;
+            self.nodes
+                .iter_mut()
+                .enumerate()
+                .map(|(v, node)| {
+                    let mut out = Outbox::new();
+                    node.send(round, &NodeCtx::new(v as NodeId, g), &mut out);
+                    out.drain().collect()
+                })
+                .collect()
+        };
+
+        // --- delivery (sequential: validates constraints, deterministic) ---
+        let mut sent_this_round = 0u64;
+        for (u, ops) in all_ops.into_iter().enumerate() {
+            let u = u as NodeId;
+            if ops.is_empty() {
+                continue;
+            }
+            self.node_sends[u as usize] += 1;
+            for op in ops {
+                match op {
+                    SendOp::Broadcast(m) => {
+                        let words = m.size_words();
+                        self.check_words(u, words);
+                        // borrow dance: collect neighbor list first
+                        for i in 0..self.g.comm_neighbors(u).len() {
+                            let v = self.g.comm_neighbors(u)[i];
+                            on_msg(u, v, &m);
+                            self.transmit(u, v, m.clone(), words, round, &mut sent_this_round);
+                        }
+                    }
+                    SendOp::Unicast(v, m) => {
+                        let words = m.size_words();
+                        self.check_words(u, words);
+                        on_msg(u, v, &m);
+                        self.transmit(u, v, m, words, round, &mut sent_this_round);
+                    }
+                }
+            }
+        }
+        self.messages += sent_this_round;
+        self.max_round_messages = self.max_round_messages.max(sent_this_round);
+        if sent_this_round > 0 {
+            self.last_activity = round;
+        }
+
+        // --- receive phase ---
+        if sent_this_round > 0 {
+            if parallel {
+                self.receive_phase_parallel(round);
+            } else {
+                let g = self.g;
+                for (v, node) in self.nodes.iter_mut().enumerate() {
+                    let inbox = &mut self.inboxes[v];
+                    if !inbox.is_empty() {
+                        node.receive(round, inbox, &NodeCtx::new(v as NodeId, g));
+                        inbox.clear();
+                    }
+                }
+            }
+        }
+        sent_this_round
+    }
+
+    fn check_words(&self, u: NodeId, words: usize) {
+        assert!(
+            words <= self.cfg.max_words,
+            "protocol bug: node {u} sent a {words}-word message (budget {})",
+            self.cfg.max_words
+        );
+    }
+
+    fn transmit(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        m: P::Msg,
+        words: usize,
+        round: Round,
+        sent: &mut u64,
+    ) {
+        let lid = self.link_id(u, v);
+        if self.cfg.enforce_link_capacity {
+            assert!(
+                self.link_stamp[lid] != round,
+                "protocol bug: node {u} sent two messages over link {u}->{v} in round {round}"
+            );
+        }
+        self.link_stamp[lid] = round;
+        self.link_load[lid] += 1;
+        self.total_words += words as u64;
+        *sent += 1;
+        self.inboxes[v as usize].push(Envelope::new(u, m));
+    }
+
+    fn send_phase_parallel(&mut self, round: Round) -> Vec<Vec<SendOp<P::Msg>>>
+    where
+        P::Msg: Send,
+    {
+        let g = self.g;
+        let threads = self.cfg.threads;
+        let n = self.nodes.len();
+        let chunk = n.div_ceil(threads).max(1);
+        let mut results: Vec<Vec<Vec<SendOp<P::Msg>>>> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (ci, nodes_chunk) in self.nodes.chunks_mut(chunk).enumerate() {
+                let base = ci * chunk;
+                handles.push(s.spawn(move |_| {
+                    nodes_chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, node)| {
+                            let v = (base + i) as NodeId;
+                            let mut out = Outbox::new();
+                            node.send(round, &NodeCtx::new(v, g), &mut out);
+                            out.drain().collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("send worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        results.into_iter().flatten().collect()
+    }
+
+    fn receive_phase_parallel(&mut self, round: Round) {
+        let g = self.g;
+        let threads = self.cfg.threads;
+        let n = self.nodes.len();
+        let chunk = n.div_ceil(threads).max(1);
+        crossbeam::thread::scope(|s| {
+            for (ci, (nodes_chunk, inbox_chunk)) in self
+                .nodes
+                .chunks_mut(chunk)
+                .zip(self.inboxes.chunks_mut(chunk))
+                .enumerate()
+            {
+                let base = ci * chunk;
+                s.spawn(move |_| {
+                    for (i, (node, inbox)) in
+                        nodes_chunk.iter_mut().zip(inbox_chunk.iter_mut()).enumerate()
+                    {
+                        if !inbox.is_empty() {
+                            let v = (base + i) as NodeId;
+                            node.receive(round, inbox, &NodeCtx::new(v, g));
+                            inbox.clear();
+                        }
+                    }
+                });
+            }
+        })
+        .expect("crossbeam scope");
+    }
+
+    /// Run until the protocol goes quiet or `max_rounds` have elapsed.
+    ///
+    /// Silent rounds are fast-forwarded using [`Protocol::earliest_send`]:
+    /// they count toward the round complexity but are not simulated.
+    pub fn run(&mut self, max_rounds: Round) -> RunOutcome {
+        loop {
+            if self.round >= max_rounds {
+                return RunOutcome::BudgetExhausted;
+            }
+            let sent = self.step_one();
+            if sent == 0 {
+                // Nothing moved. Ask every node when it might next send.
+                let g = self.g;
+                let mut next: Option<Round> = None;
+                for (v, node) in self.nodes.iter().enumerate() {
+                    if let Some(r) = node.earliest_send(self.round + 1, &NodeCtx::new(v as NodeId, g))
+                    {
+                        debug_assert!(r > self.round, "earliest_send must be in the future");
+                        next = Some(next.map_or(r, |cur| cur.min(r)));
+                    }
+                }
+                match next {
+                    None => return RunOutcome::Quiet,
+                    Some(r) => {
+                        // Jump to just before round r (bounded by budget).
+                        let target = r.min(max_rounds + 1) - 1;
+                        if target > self.round {
+                            self.round = target;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Metrics snapshot.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            rounds: self.last_activity,
+            rounds_executed: self.rounds_executed,
+            messages: self.messages,
+            max_link_load: self.link_load.iter().copied().max().unwrap_or(0),
+            max_node_sends: self.node_sends.iter().copied().max().unwrap_or(0),
+            max_round_messages: self.max_round_messages,
+            total_words: self.total_words,
+        }
+    }
+
+    /// Per-node send-round counts (Algorithm 2's per-node congestion).
+    pub fn node_sends(&self) -> &[u64] {
+        &self.node_sends
+    }
+
+    /// Consume the network, returning the node programs for result
+    /// extraction.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+
+    /// Unweighted BFS flood: each node learns its hop distance from node 0
+    /// and announces it once.
+    struct Flood {
+        dist: Option<u64>,
+        announced: bool,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u64;
+
+        fn init(&mut self, ctx: &NodeCtx) {
+            if ctx.id == 0 {
+                self.dist = Some(0);
+            }
+        }
+
+        fn send(&mut self, _round: Round, _ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if let (Some(d), false) = (self.dist, self.announced) {
+                self.announced = true;
+                out.broadcast(d);
+            }
+        }
+
+        fn receive(&mut self, _round: Round, inbox: &[Envelope<u64>], _ctx: &NodeCtx) {
+            for e in inbox {
+                let cand = e.msg + 1;
+                if self.dist.is_none_or(|d| cand < d) {
+                    self.dist = Some(cand);
+                    self.announced = false;
+                }
+            }
+        }
+
+        fn earliest_send(&self, after: Round, _ctx: &NodeCtx) -> Option<Round> {
+            if self.dist.is_some() && !self.announced {
+                Some(after)
+            } else {
+                None
+            }
+        }
+    }
+
+    fn flood_net(g: &WGraph, cfg: EngineConfig) -> Vec<Option<u64>> {
+        let mut net = Network::new(g, cfg, |_| Flood {
+            dist: None,
+            announced: false,
+        });
+        assert_eq!(net.run(10_000), RunOutcome::Quiet);
+        net.nodes().iter().map(|f| f.dist).collect()
+    }
+
+    #[test]
+    fn bfs_flood_on_path() {
+        let g = gen::path(6, false, WeightDist::Constant(1), 0);
+        let d = flood_net(&g, EngineConfig::default());
+        assert_eq!(d, (0..6).map(|i| Some(i as u64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bfs_flood_round_complexity_is_eccentricity() {
+        let g = gen::path(6, false, WeightDist::Constant(1), 0);
+        let mut net = Network::new(&g, EngineConfig::default(), |_| Flood {
+            dist: None,
+            announced: false,
+        });
+        net.run(100);
+        // node 0 announces in round 1, farthest node (hop 5) hears in round 5
+        // and announces in round 6.
+        assert_eq!(net.stats().rounds, 6);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = gen::gnp_connected(64, 0.08, false, WeightDist::Constant(1), 9);
+        let seq = flood_net(&g, EngineConfig::default());
+        let par = flood_net(
+            &g,
+            EngineConfig {
+                parallel_threshold: 1,
+                threads: 4,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn stats_count_messages_and_congestion() {
+        let g = gen::path(3, false, WeightDist::Constant(1), 0);
+        let mut net = Network::new(&g, EngineConfig::default(), |_| Flood {
+            dist: None,
+            announced: false,
+        });
+        net.run(100);
+        let st = net.stats();
+        // node0 broadcasts 1 msg; node1 broadcasts 2; node2 broadcasts 1.
+        assert_eq!(st.messages, 4);
+        assert_eq!(st.max_link_load, 1);
+        assert_eq!(st.max_node_sends, 1);
+        assert!(st.total_words >= st.messages);
+    }
+
+    /// A protocol that (wrongly) unicasts twice over one link in a round.
+    struct DoubleSend;
+    impl Protocol for DoubleSend {
+        type Msg = u64;
+        fn send(&mut self, round: Round, ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if round == 1 && ctx.id == 0 {
+                out.unicast(1, 1);
+                out.unicast(1, 2);
+            }
+        }
+        fn receive(&mut self, _r: Round, _i: &[Envelope<u64>], _c: &NodeCtx) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages over link")]
+    fn double_send_rejected() {
+        let g = gen::path(2, false, WeightDist::Constant(1), 0);
+        let mut net = Network::new(&g, EngineConfig::default(), |_| DoubleSend);
+        net.step_one();
+    }
+
+    /// A protocol that sends to a node it has no link to.
+    struct BadTarget;
+    impl Protocol for BadTarget {
+        type Msg = u64;
+        fn send(&mut self, round: Round, ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if round == 1 && ctx.id == 0 {
+                out.unicast(2, 1);
+            }
+        }
+        fn receive(&mut self, _r: Round, _i: &[Envelope<u64>], _c: &NodeCtx) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn non_neighbor_rejected() {
+        let g = gen::path(3, false, WeightDist::Constant(1), 0); // 0-1-2
+        let mut net = Network::new(&g, EngineConfig::default(), |_| BadTarget);
+        net.step_one();
+    }
+
+    /// A protocol with an oversized message.
+    struct BigMsg;
+    #[derive(Clone)]
+    struct Huge;
+    impl MsgSize for Huge {
+        fn size_words(&self) -> usize {
+            99
+        }
+    }
+    impl Protocol for BigMsg {
+        type Msg = Huge;
+        fn send(&mut self, round: Round, ctx: &NodeCtx, out: &mut Outbox<Huge>) {
+            if round == 1 && ctx.id == 0 {
+                out.broadcast(Huge);
+            }
+        }
+        fn receive(&mut self, _r: Round, _i: &[Envelope<Huge>], _c: &NodeCtx) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "99-word message")]
+    fn oversized_message_rejected() {
+        let g = gen::path(2, false, WeightDist::Constant(1), 0);
+        let mut net = Network::new(&g, EngineConfig::default(), |_| BigMsg);
+        net.step_one();
+    }
+
+    /// Sparse schedule: node 0 sends only in round 1000. Fast-forward must
+    /// make this cheap while still reporting 1000 rounds.
+    struct LateSender {
+        sent: bool,
+    }
+    impl Protocol for LateSender {
+        type Msg = u64;
+        fn send(&mut self, round: Round, ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if round == 1000 && ctx.id == 0 && !self.sent {
+                self.sent = true;
+                out.broadcast(7);
+            }
+        }
+        fn receive(&mut self, _r: Round, _i: &[Envelope<u64>], _c: &NodeCtx) {}
+        fn earliest_send(&self, after: Round, ctx: &NodeCtx) -> Option<Round> {
+            if ctx.id == 0 && !self.sent {
+                Some(after.max(1000))
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_silent_rounds() {
+        let g = gen::path(2, false, WeightDist::Constant(1), 0);
+        let mut net = Network::new(&g, EngineConfig::default(), |_| LateSender { sent: false });
+        assert_eq!(net.run(5000), RunOutcome::Quiet);
+        let st = net.stats();
+        assert_eq!(st.rounds, 1000);
+        assert!(st.rounds_executed < 10, "executed {}", st.rounds_executed);
+        assert_eq!(st.messages, 1);
+    }
+
+    #[test]
+    fn tracing_records_executed_rounds() {
+        let g = gen::path(4, false, WeightDist::Constant(1), 0);
+        let mut net = Network::new(&g, EngineConfig::default(), |_| Flood {
+            dist: None,
+            announced: false,
+        });
+        let mut trace = crate::trace::RoundTrace::with_payloads();
+        for _ in 0..6 {
+            net.step_traced(&mut trace);
+        }
+        // node0 announces in round 1; farthest announces in round 4
+        assert_eq!(trace.send_rounds_of(0), vec![1]);
+        assert_eq!(trace.send_rounds_of(3), vec![4]);
+        let r1 = trace.round(1).unwrap();
+        assert_eq!(r1.messages, 1);
+        assert!(r1.payloads.iter().any(|(f, t, p)| *f == 0 && *t == 1 && p == "0"));
+        // silent rounds after quiescence produce no records
+        assert!(trace.round(6).is_none());
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let g = gen::path(2, false, WeightDist::Constant(1), 0);
+        let mut net = Network::new(&g, EngineConfig::default(), |_| LateSender { sent: false });
+        assert_eq!(net.run(10), RunOutcome::BudgetExhausted);
+    }
+}

@@ -1,0 +1,42 @@
+//! A deterministic simulator for the **CONGEST model** of distributed
+//! computation (paper Section I-B).
+//!
+//! Model recap: `n` processors (nodes) joined by the links of a graph
+//! `G = (V, E)`; if `G` is directed the links are still bidirectional, so
+//! communication happens on the *underlying undirected* graph `U_G`.
+//! Computation proceeds in synchronous rounds. In each round every node may
+//! send **one message of `O(log n)` bits per incident link** (possibly a
+//! different message per link), and it receives the messages sent to it in
+//! that round. Local computation is free; the complexity measure is the
+//! number of rounds.
+//!
+//! What this crate provides:
+//!
+//! * [`Protocol`] — the per-node program trait (send phase / receive phase);
+//! * [`Network`] — the round engine, sequential or crossbeam-parallel, with
+//!   **hard enforcement** of the one-message-per-link-per-round and
+//!   message-size constraints, schedule fast-forwarding for pipelined
+//!   protocols with sparse send schedules, and full metrics (rounds,
+//!   messages, per-link congestion, per-node send counts);
+//! * [`primitives`] — distributed building blocks used by the blocker-set
+//!   machinery: BFS spanning tree, pipelined tree broadcast, convergecast
+//!   (global max);
+//! * [`scheduler`] — a random-delay composition engine for running many
+//!   protocol instances over shared links (the role Ghaffari's scheduling
+//!   framework plays in the paper).
+
+pub mod engine;
+pub mod message;
+pub mod metrics;
+pub mod outbox;
+pub mod primitives;
+pub mod protocol;
+pub mod scheduler;
+pub mod trace;
+
+pub use engine::{EngineConfig, Network, RunOutcome};
+pub use message::{Envelope, MsgSize};
+pub use metrics::RunStats;
+pub use outbox::Outbox;
+pub use protocol::{NodeCtx, Protocol, Round};
+pub use trace::{RoundRecord, RoundTrace};

@@ -1,0 +1,68 @@
+//! Message plumbing and size accounting.
+
+use dw_graph::NodeId;
+
+/// Size accounting for CONGEST messages.
+///
+/// The model allows `O(log n)` bits per message. We account in *words*,
+/// where one word holds one `O(log n)`-bit quantity (a node id, a distance,
+/// a hop count, a counter). A message's size is the number of such
+/// quantities it carries; the engine enforces a per-message word budget
+/// ([`crate::EngineConfig::max_words`]).
+pub trait MsgSize {
+    /// Number of `O(log n)`-bit words in this message.
+    fn size_words(&self) -> usize;
+}
+
+impl MsgSize for () {
+    fn size_words(&self) -> usize {
+        0
+    }
+}
+
+impl MsgSize for u64 {
+    fn size_words(&self) -> usize {
+        1
+    }
+}
+
+impl MsgSize for u32 {
+    fn size_words(&self) -> usize {
+        1
+    }
+}
+
+impl<A: MsgSize, B: MsgSize> MsgSize for (A, B) {
+    fn size_words(&self) -> usize {
+        self.0.size_words() + self.1.size_words()
+    }
+}
+
+/// A delivered message together with its sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    pub from: NodeId,
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    pub fn new(from: NodeId, msg: M) -> Self {
+        Envelope { from, msg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_sizes_add() {
+        let m = (3u64, (4u32, 5u64));
+        assert_eq!(m.size_words(), 3);
+    }
+
+    #[test]
+    fn unit_is_free() {
+        assert_eq!(().size_words(), 0);
+    }
+}

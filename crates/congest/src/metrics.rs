@@ -1,0 +1,79 @@
+//! Run metrics: everything the paper's bounds talk about.
+
+/// Statistics of one protocol execution.
+///
+/// * `rounds` — the round complexity: the index of the last round in which
+///   any message was in flight (silent trailing rounds don't count).
+/// * `rounds_executed` — rounds actually simulated (fast-forwarded silent
+///   rounds are counted in `rounds` but not here).
+/// * `messages` — total messages transmitted (one per link per send).
+/// * `max_link_load` — the **congestion**: the maximum, over all directed
+///   links `(u, v)`, of the number of messages carried over the whole run.
+/// * `max_node_sends` — maximum number of send rounds of any single node
+///   (Algorithm 2's congestion bound is stated per node: `<= sqrt(h)+1`
+///   messages sent by each node).
+/// * `max_round_messages` — peak messages in a single round.
+/// * `total_words` — sum of message sizes in words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    pub rounds: u64,
+    pub rounds_executed: u64,
+    pub messages: u64,
+    pub max_link_load: u64,
+    pub max_node_sends: u64,
+    pub max_round_messages: u64,
+    pub total_words: u64,
+}
+
+impl RunStats {
+    /// Merge stats of a phase that ran *after* `self` (rounds add,
+    /// congestion takes the max — links are reused across phases so the max
+    /// is a lower bound, which is the conservative direction for verifying
+    /// upper bounds).
+    pub fn then(&self, later: &RunStats) -> RunStats {
+        RunStats {
+            rounds: self.rounds + later.rounds,
+            rounds_executed: self.rounds_executed + later.rounds_executed,
+            messages: self.messages + later.messages,
+            max_link_load: self.max_link_load.max(later.max_link_load),
+            max_node_sends: self.max_node_sends.max(later.max_node_sends),
+            max_round_messages: self.max_round_messages.max(later.max_round_messages),
+            total_words: self.total_words + later.total_words,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn then_composes_phases() {
+        let a = RunStats {
+            rounds: 10,
+            rounds_executed: 4,
+            messages: 100,
+            max_link_load: 5,
+            max_node_sends: 3,
+            max_round_messages: 40,
+            total_words: 300,
+        };
+        let b = RunStats {
+            rounds: 7,
+            rounds_executed: 7,
+            messages: 10,
+            max_link_load: 9,
+            max_node_sends: 1,
+            max_round_messages: 2,
+            total_words: 20,
+        };
+        let c = a.then(&b);
+        assert_eq!(c.rounds, 17);
+        assert_eq!(c.rounds_executed, 11);
+        assert_eq!(c.messages, 110);
+        assert_eq!(c.max_link_load, 9);
+        assert_eq!(c.max_node_sends, 3);
+        assert_eq!(c.max_round_messages, 40);
+        assert_eq!(c.total_words, 320);
+    }
+}

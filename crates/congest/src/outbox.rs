@@ -1,0 +1,92 @@
+//! Per-node send buffer for one round.
+
+use dw_graph::NodeId;
+
+/// One send instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendOp<M> {
+    /// Same message on every incident link (the common case in the paper's
+    /// algorithms: "send M to all neighbors").
+    Broadcast(M),
+    /// Message on the single link to `dst` (used by tree-structured
+    /// protocols: broadcast down children, convergecast to parent).
+    Unicast(NodeId, M),
+}
+
+/// Collects the messages a node emits in one round. The engine validates
+/// the CONGEST constraints (one message per link, word budget) when it
+/// drains the outbox.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    ops: Vec<SendOp<M>>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox { ops: Vec::new() }
+    }
+}
+
+impl<M> Outbox<M> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Send `msg` over every incident link.
+    pub fn broadcast(&mut self, msg: M) {
+        self.ops.push(SendOp::Broadcast(msg));
+    }
+
+    /// Send `msg` over the link to neighbor `dst`.
+    pub fn unicast(&mut self, dst: NodeId, msg: M) {
+        self.ops.push(SendOp::Unicast(dst, msg));
+    }
+
+    /// Send `msg` to each of `dsts` (one link each).
+    pub fn multicast(&mut self, dsts: impl IntoIterator<Item = NodeId>, msg: M)
+    where
+        M: Clone,
+    {
+        for d in dsts {
+            self.ops.push(SendOp::Unicast(d, msg.clone()));
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub(crate) fn drain(&mut self) -> std::vec::Drain<'_, SendOp<M>> {
+        self.ops.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_ops_in_order() {
+        let mut o: Outbox<u64> = Outbox::new();
+        assert!(o.is_empty());
+        o.broadcast(1);
+        o.unicast(3, 2);
+        o.multicast([4, 5], 9);
+        assert_eq!(o.len(), 4);
+        let ops: Vec<_> = o.drain().collect();
+        assert_eq!(
+            ops,
+            vec![
+                SendOp::Broadcast(1),
+                SendOp::Unicast(3, 2),
+                SendOp::Unicast(4, 9),
+                SendOp::Unicast(5, 9)
+            ]
+        );
+        assert!(o.is_empty());
+    }
+}

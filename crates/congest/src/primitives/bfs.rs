@@ -1,0 +1,216 @@
+//! Distributed BFS spanning tree of the communication graph.
+
+use crate::engine::{EngineConfig, Network, RunOutcome};
+use crate::message::{Envelope, MsgSize};
+use crate::metrics::RunStats;
+use crate::outbox::Outbox;
+use crate::protocol::{NodeCtx, Protocol, Round};
+use dw_graph::{NodeId, WGraph};
+
+/// A rooted spanning tree of the communication graph, as computed by
+/// [`build_bfs_tree`]. `parent[root] == None`; nodes unreachable from the
+/// root (disconnected communication graph) also have `parent == None` and
+/// `depth == u64::MAX`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsTree {
+    pub root: NodeId,
+    pub parent: Vec<Option<NodeId>>,
+    pub depth: Vec<u64>,
+    pub children: Vec<Vec<NodeId>>,
+}
+
+impl BfsTree {
+    /// Tree height (max depth over reachable nodes).
+    pub fn height(&self) -> u64 {
+        self.depth
+            .iter()
+            .copied()
+            .filter(|&d| d != u64::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of nodes in the tree (reachable from root).
+    pub fn size(&self) -> usize {
+        self.depth.iter().filter(|&&d| d != u64::MAX).count()
+    }
+}
+
+/// Join announcement: `(depth_of_sender, parent_of_sender)`.
+/// A neighbor that hears `u` announce parent `p == me` learns `u` is its
+/// child; a neighbor without a parent adopts the sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Join {
+    depth: u64,
+    parent: NodeId,
+}
+
+impl MsgSize for Join {
+    fn size_words(&self) -> usize {
+        2
+    }
+}
+
+struct BfsNode {
+    root: NodeId,
+    depth: Option<u64>,
+    parent: Option<NodeId>,
+    announced: bool,
+    children: Vec<NodeId>,
+}
+
+impl Protocol for BfsNode {
+    type Msg = Join;
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        if ctx.id == self.root {
+            self.depth = Some(0);
+        }
+    }
+
+    fn send(&mut self, _round: Round, ctx: &NodeCtx, out: &mut Outbox<Join>) {
+        if let (Some(d), false) = (self.depth, self.announced) {
+            self.announced = true;
+            out.broadcast(Join {
+                depth: d,
+                // the root announces itself as its own parent
+                parent: self.parent.unwrap_or(ctx.id),
+            });
+        }
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Envelope<Join>], ctx: &NodeCtx) {
+        for e in inbox {
+            if e.msg.parent == ctx.id && e.from != ctx.id {
+                self.children.push(e.from);
+            }
+            if self.depth.is_none() {
+                // inbox is sorted by sender id, so ties pick the smallest id
+                self.depth = Some(e.msg.depth + 1);
+                self.parent = Some(e.from);
+            }
+        }
+    }
+
+    fn earliest_send(&self, after: Round, _ctx: &NodeCtx) -> Option<Round> {
+        if self.depth.is_some() && !self.announced {
+            Some(after)
+        } else {
+            None
+        }
+    }
+}
+
+/// Build a BFS spanning tree rooted at `root`. Runs in `height + 2` rounds.
+pub fn build_bfs_tree(g: &WGraph, root: NodeId, cfg: EngineConfig) -> (BfsTree, RunStats) {
+    let mut net = Network::new(g, cfg, |_| BfsNode {
+        root,
+        depth: None,
+        parent: None,
+        announced: false,
+        children: Vec::new(),
+    });
+    let outcome = net.run(2 * g.n() as u64 + 4);
+    debug_assert_eq!(outcome, RunOutcome::Quiet);
+    let stats = net.stats();
+    let nodes = net.into_nodes();
+    let mut parent = Vec::with_capacity(nodes.len());
+    let mut depth = Vec::with_capacity(nodes.len());
+    let mut children = Vec::with_capacity(nodes.len());
+    for nd in nodes {
+        parent.push(nd.parent);
+        depth.push(nd.depth.unwrap_or(u64::MAX));
+        let mut ch = nd.children;
+        ch.sort_unstable();
+        children.push(ch);
+    }
+    (
+        BfsTree {
+            root,
+            parent,
+            depth,
+            children,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+    use dw_graph::GraphBuilder;
+
+    #[test]
+    fn tree_on_path() {
+        let g = gen::path(5, false, WeightDist::Constant(1), 0);
+        let (t, st) = build_bfs_tree(&g, 0, EngineConfig::default());
+        assert_eq!(t.parent, vec![None, Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(t.depth, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.children[0], vec![1]);
+        assert_eq!(t.children[4], Vec::<NodeId>::new());
+        assert_eq!(t.height(), 4);
+        assert!(st.rounds <= 6);
+    }
+
+    #[test]
+    fn tree_respects_comm_graph_of_directed_edges() {
+        // directed edges 1->0, 2->1: communication is still bidirectional
+        let mut b = GraphBuilder::new(3, true);
+        b.add_edge(1, 0, 3).add_edge(2, 1, 3);
+        let g = b.build();
+        let (t, _) = build_bfs_tree(&g, 0, EngineConfig::default());
+        assert_eq!(t.parent, vec![None, Some(0), Some(1)]);
+        assert_eq!(t.size(), 3);
+    }
+
+    #[test]
+    fn smallest_id_parent_on_ties() {
+        // diamond: 0-1, 0-2, 1-3, 2-3; node 3 hears 1 and 2 in same round
+        let mut b = GraphBuilder::new(4, false);
+        b.add_edge(0, 1, 1).add_edge(0, 2, 1).add_edge(1, 3, 1).add_edge(2, 3, 1);
+        let g = b.build();
+        let (t, _) = build_bfs_tree(&g, 0, EngineConfig::default());
+        assert_eq!(t.parent[3], Some(1));
+        assert_eq!(t.children[1], vec![3]);
+        assert!(t.children[2].is_empty());
+    }
+
+    #[test]
+    fn disconnected_nodes_marked() {
+        let mut b = GraphBuilder::new(4, false);
+        b.add_edge(0, 1, 1).add_edge(2, 3, 1);
+        let g = b.build();
+        let (t, _) = build_bfs_tree(&g, 0, EngineConfig::default());
+        assert_eq!(t.size(), 2);
+        assert_eq!(t.parent[2], None);
+        assert_eq!(t.depth[3], u64::MAX);
+    }
+
+    #[test]
+    fn random_graph_tree_is_spanning_and_bfs() {
+        let g = gen::gnp_connected(60, 0.05, false, WeightDist::Constant(1), 3);
+        let (t, _) = build_bfs_tree(&g, 7, EngineConfig::default());
+        assert_eq!(t.size(), 60);
+        // BFS property: child depth = parent depth + 1, and depth equals
+        // hop distance (verified against a local BFS)
+        for v in g.nodes() {
+            if let Some(p) = t.parent[v as usize] {
+                assert_eq!(t.depth[v as usize], t.depth[p as usize] + 1);
+                assert!(g.comm_neighbors(v).contains(&p));
+            }
+        }
+        let mut dist = vec![u64::MAX; 60];
+        dist[7] = 0;
+        let mut q = std::collections::VecDeque::from([7u32]);
+        while let Some(v) = q.pop_front() {
+            for &u in g.comm_neighbors(v) {
+                if dist[u as usize] == u64::MAX {
+                    dist[u as usize] = dist[v as usize] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        assert_eq!(dist, t.depth);
+    }
+}

@@ -1,0 +1,164 @@
+//! Pipelined broadcast of a sequence of values over a rooted tree.
+//!
+//! The root injects item `i` in round `i`; every node forwards an item to
+//! its children one round after receiving it. `q` items over a tree of
+//! height `D` reach every node within `q + D` rounds — the schedule used
+//! by Steps 3–4 of Algorithm 3 (broadcasting blocker distances).
+
+use crate::engine::{EngineConfig, Network, RunOutcome};
+use crate::message::{Envelope, MsgSize};
+use crate::metrics::RunStats;
+use crate::outbox::Outbox;
+use crate::primitives::bfs::BfsTree;
+use crate::protocol::{NodeCtx, Protocol, Round};
+use dw_graph::WGraph;
+use std::collections::VecDeque;
+
+/// An indexed item in flight.
+#[derive(Debug, Clone)]
+struct Item<M> {
+    idx: u64,
+    payload: M,
+}
+
+impl<M: MsgSize> MsgSize for Item<M> {
+    fn size_words(&self) -> usize {
+        1 + self.payload.size_words()
+    }
+}
+
+struct BcastNode<M> {
+    children: Vec<dw_graph::NodeId>,
+    /// Items queued for forwarding to children (root starts with all).
+    queue: VecDeque<Item<M>>,
+    received: Vec<(u64, M)>,
+}
+
+impl<M: Clone + MsgSize + Send> Protocol for BcastNode<M> {
+    type Msg = Item<M>;
+
+    fn send(&mut self, _round: Round, _ctx: &NodeCtx, out: &mut Outbox<Item<M>>) {
+        if let Some(item) = self.queue.pop_front() {
+            if !self.children.is_empty() {
+                out.multicast(self.children.iter().copied(), item);
+            }
+        }
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Envelope<Item<M>>], _ctx: &NodeCtx) {
+        for e in inbox {
+            self.received.push((e.msg.idx, e.msg.payload.clone()));
+            self.queue.push_back(e.msg.clone());
+        }
+    }
+
+    fn earliest_send(&self, after: Round, _ctx: &NodeCtx) -> Option<Round> {
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(after)
+        }
+    }
+}
+
+/// Broadcast `items` from `tree.root` to every tree node. Returns the items
+/// received at each node (in index order) and the run stats.
+///
+/// Every node receives all `q` items within `q + height` rounds.
+pub fn pipeline_broadcast<M: Clone + MsgSize + Send>(
+    g: &WGraph,
+    tree: &BfsTree,
+    items: Vec<M>,
+    cfg: EngineConfig,
+) -> (Vec<Vec<M>>, RunStats) {
+    let q = items.len() as u64;
+    let mut net = Network::new(g, cfg, |v| {
+        let queue: VecDeque<Item<M>> = if v == tree.root {
+            items
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, payload)| Item {
+                    idx: i as u64,
+                    payload,
+                })
+                .collect()
+        } else {
+            VecDeque::new()
+        };
+        BcastNode {
+            children: tree.children[v as usize].clone(),
+            queue,
+            received: Vec::new(),
+        }
+    });
+    let outcome = net.run(q + tree.height() + 2);
+    debug_assert_eq!(outcome, RunOutcome::Quiet);
+    let stats = net.stats();
+    let per_node = net
+        .into_nodes()
+        .into_iter()
+        .map(|mut nd| {
+            nd.received.sort_by_key(|&(i, _)| i);
+            nd.received.into_iter().map(|(_, m)| m).collect()
+        })
+        .collect();
+    (per_node, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::bfs::build_bfs_tree;
+    use dw_graph::gen::{self, WeightDist};
+
+    fn bcast(g: &WGraph, items: Vec<u64>) -> (Vec<Vec<u64>>, RunStats, u64) {
+        let (tree, _) = build_bfs_tree(g, 0, EngineConfig::default());
+        let h = tree.height();
+        let (per_node, st) = pipeline_broadcast(g, &tree, items, EngineConfig::default());
+        (per_node, st, h)
+    }
+
+    #[test]
+    fn all_nodes_receive_all_items_in_order() {
+        let g = gen::gnp_connected(40, 0.07, false, WeightDist::Constant(1), 5);
+        let items: Vec<u64> = (100..120).collect();
+        let (per_node, _, _) = bcast(&g, items.clone());
+        for (v, got) in per_node.iter().enumerate() {
+            if v == 0 {
+                assert!(got.is_empty()); // root already has them
+            } else {
+                assert_eq!(got, &items, "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_bound_q_plus_depth() {
+        let g = gen::path(10, false, WeightDist::Constant(1), 0);
+        let items: Vec<u64> = (0..25).collect();
+        let (_, st, h) = bcast(&g, items);
+        assert_eq!(h, 9);
+        assert!(st.rounds <= 25 + h + 1, "rounds {} height {h}", st.rounds);
+    }
+
+    #[test]
+    fn empty_broadcast_is_noop() {
+        let g = gen::path(3, false, WeightDist::Constant(1), 0);
+        let (per_node, st, _) = bcast(&g, vec![]);
+        assert!(per_node.iter().all(|v| v.is_empty()));
+        assert_eq!(st.messages, 0);
+    }
+
+    #[test]
+    fn leaf_only_receives_once_per_item() {
+        let g = gen::star(6, false, WeightDist::Constant(1), 0);
+        let (per_node, st, _) = bcast(&g, vec![7, 8]);
+        for got in per_node.iter().skip(1) {
+            assert_eq!(got, &vec![7, 8]);
+        }
+        // 2 items * 5 leaves
+        assert_eq!(st.messages, 10);
+        assert_eq!(st.max_link_load, 2);
+    }
+}

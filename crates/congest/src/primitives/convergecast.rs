@@ -1,0 +1,189 @@
+//! Convergecast aggregation (global max / sum) over a rooted tree.
+//!
+//! Used by the greedy blocker-set loop (Section III-B): each iteration must
+//! identify the node with the maximum score. Leaves report immediately;
+//! every internal node reports to its parent once all children have
+//! reported. `height + 1` rounds.
+
+use crate::engine::{EngineConfig, Network, RunOutcome};
+use crate::message::{Envelope, MsgSize};
+use crate::metrics::RunStats;
+use crate::outbox::Outbox;
+use crate::primitives::bfs::BfsTree;
+use crate::protocol::{NodeCtx, Protocol, Round};
+use dw_graph::{NodeId, WGraph};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Maximum value; ties broken toward the smaller node id.
+    Max,
+    /// Sum of values (the carried id is ignored).
+    Sum,
+}
+
+/// `(value, witness node id)` — 2 words.
+#[derive(Debug, Clone, Copy)]
+struct Agg {
+    value: u64,
+    id: NodeId,
+}
+
+impl MsgSize for Agg {
+    fn size_words(&self) -> usize {
+        2
+    }
+}
+
+fn combine(op: Op, a: Agg, b: Agg) -> Agg {
+    match op {
+        Op::Max => {
+            if b.value > a.value || (b.value == a.value && b.id < a.id) {
+                b
+            } else {
+                a
+            }
+        }
+        Op::Sum => Agg {
+            value: a.value + b.value,
+            id: a.id.min(b.id),
+        },
+    }
+}
+
+struct CcNode {
+    op: Op,
+    parent: Option<NodeId>,
+    pending_children: usize,
+    acc: Agg,
+    sent: bool,
+    in_tree: bool,
+}
+
+impl Protocol for CcNode {
+    type Msg = Agg;
+
+    fn send(&mut self, _round: Round, _ctx: &NodeCtx, out: &mut Outbox<Agg>) {
+        if self.in_tree && !self.sent && self.pending_children == 0 {
+            self.sent = true;
+            if let Some(p) = self.parent {
+                out.unicast(p, self.acc);
+            }
+        }
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Envelope<Agg>], _ctx: &NodeCtx) {
+        for e in inbox {
+            self.acc = combine(self.op, self.acc, e.msg);
+            self.pending_children -= 1;
+        }
+    }
+
+    fn earliest_send(&self, after: Round, _ctx: &NodeCtx) -> Option<Round> {
+        if self.in_tree && !self.sent && self.pending_children == 0 {
+            Some(after)
+        } else {
+            None
+        }
+    }
+}
+
+fn converge(
+    g: &WGraph,
+    tree: &BfsTree,
+    values: &[u64],
+    op: Op,
+    cfg: EngineConfig,
+) -> (Agg, RunStats) {
+    assert_eq!(values.len(), g.n());
+    let mut net = Network::new(g, cfg, |v| CcNode {
+        op,
+        parent: tree.parent[v as usize],
+        pending_children: tree.children[v as usize].len(),
+        acc: Agg {
+            value: values[v as usize],
+            id: v,
+        },
+        sent: false,
+        in_tree: tree.depth[v as usize] != u64::MAX,
+    });
+    let outcome = net.run(tree.height() + 2);
+    debug_assert_eq!(outcome, RunOutcome::Quiet);
+    let stats = net.stats();
+    let acc = net.node(tree.root).acc;
+    (acc, stats)
+}
+
+/// Global maximum of `values` (ties to the smaller node id), aggregated at
+/// `tree.root`. Returns `((max_value, argmax_node), stats)`.
+pub fn converge_max(
+    g: &WGraph,
+    tree: &BfsTree,
+    values: &[u64],
+    cfg: EngineConfig,
+) -> ((u64, NodeId), RunStats) {
+    let (agg, st) = converge(g, tree, values, Op::Max, cfg);
+    ((agg.value, agg.id), st)
+}
+
+/// Global sum of `values`, aggregated at `tree.root`.
+pub fn converge_sum(g: &WGraph, tree: &BfsTree, values: &[u64], cfg: EngineConfig) -> (u64, RunStats) {
+    let (agg, st) = converge(g, tree, values, Op::Sum, cfg);
+    (agg.value, st)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::bfs::build_bfs_tree;
+    use dw_graph::gen::{self, WeightDist};
+
+    fn setup(n: usize, seed: u64) -> (WGraph, BfsTree) {
+        let g = gen::gnp_connected(n, 0.1, false, WeightDist::Constant(1), seed);
+        let (t, _) = build_bfs_tree(&g, 0, EngineConfig::default());
+        (g, t)
+    }
+
+    #[test]
+    fn max_finds_argmax() {
+        let (g, t) = setup(30, 1);
+        let mut values: Vec<u64> = (0..30).map(|i| (i * 7 % 23) as u64).collect();
+        values[17] = 1000;
+        let ((v, id), st) = converge_max(&g, &t, &values, EngineConfig::default());
+        assert_eq!((v, id), (1000, 17));
+        assert!(st.rounds <= t.height() + 1);
+    }
+
+    #[test]
+    fn max_tie_breaks_to_smaller_id() {
+        let (g, t) = setup(20, 2);
+        let mut values = vec![5u64; 20];
+        values[4] = 9;
+        values[11] = 9;
+        let ((v, id), _) = converge_max(&g, &t, &values, EngineConfig::default());
+        assert_eq!((v, id), (9, 4));
+    }
+
+    #[test]
+    fn sum_is_total() {
+        let (g, t) = setup(25, 3);
+        let values: Vec<u64> = (0..25).map(|i| i as u64).collect();
+        let (s, _) = converge_sum(&g, &t, &values, EngineConfig::default());
+        assert_eq!(s, (0..25).sum::<u64>());
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = gen::path(1, false, WeightDist::Constant(1), 0);
+        let (t, _) = build_bfs_tree(&g, 0, EngineConfig::default());
+        let ((v, id), st) = converge_max(&g, &t, &[42], EngineConfig::default());
+        assert_eq!((v, id), (42, 0));
+        assert_eq!(st.messages, 0);
+    }
+
+    #[test]
+    fn message_count_is_n_minus_one() {
+        let (g, t) = setup(30, 4);
+        let (_, st) = converge_sum(&g, &t, &vec![1; 30], EngineConfig::default());
+        assert_eq!(st.messages, 29);
+    }
+}

@@ -1,0 +1,19 @@
+//! Distributed building blocks used by the higher-level algorithms.
+//!
+//! The blocker-set machinery (paper Section III-B and \[3\]) repeatedly needs
+//! three classical CONGEST primitives on the communication graph:
+//!
+//! * a **BFS spanning tree** (`O(D)` rounds),
+//! * **pipelined broadcast** of `q` values over that tree (`O(q + D)` rounds),
+//! * **convergecast** aggregation (global max / sum, `O(D)` rounds).
+//!
+//! Each is implemented as a genuine [`crate::Protocol`] and driven on the
+//! engine, so its rounds and messages are accounted like everything else.
+
+mod bfs;
+mod broadcast;
+mod convergecast;
+
+pub use bfs::{build_bfs_tree, BfsTree};
+pub use broadcast::pipeline_broadcast;
+pub use convergecast::{converge_max, converge_sum};

@@ -1,0 +1,438 @@
+//! Random-delay composition of many protocol instances over shared links.
+//!
+//! The paper (Section II-C) runs `n` independent short-range executions
+//! simultaneously using the scheduling framework of Ghaffari \[10\]: a
+//! collection of algorithms with dilation `d` and per-algorithm congestion
+//! `c` can be executed together in `O(c·k + d)`-ish rounds by giving each
+//! instance a random start offset and resolving residual collisions.
+//!
+//! This module implements that mechanism concretely: each instance gets a
+//! seeded random start delay; in every *global* round each due instance
+//! tries to execute its next *local* round; if any link it needs is already
+//! taken this global round by a higher-priority instance, the whole
+//! instance **stalls** (its schedule shifts by one global round, preserving
+//! its internal synchrony exactly). Priorities are a seeded random
+//! permutation, so the highest-priority due instance always makes progress.
+//!
+//! Local rounds in which an instance provably sends nothing (via
+//! [`Protocol::earliest_send`]) are skipped for free, and globally silent
+//! stretches are fast-forwarded — both still count toward the reported
+//! round totals.
+
+use crate::engine::EngineConfig;
+use crate::message::{Envelope, MsgSize};
+use crate::outbox::{Outbox, SendOp};
+use crate::protocol::{NodeCtx, Protocol, Round};
+use dw_graph::{NodeId, WGraph};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Outcome of a scheduled multi-instance run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Global rounds until the last message of the last instance.
+    pub global_rounds: u64,
+    /// Per-instance stall counts (collisions absorbed).
+    pub stalls: Vec<u64>,
+    /// Per-instance start offsets that were drawn.
+    pub offsets: Vec<u64>,
+    /// Total messages across all instances.
+    pub messages: u64,
+    /// Maximum total load on any directed link.
+    pub max_link_load: u64,
+}
+
+struct Instance<P: Protocol> {
+    nodes: Vec<P>,
+    /// Completed local rounds.
+    local_round: Round,
+    start: u64,
+    stall: u64,
+    /// Earliest local round (> local_round) with a potential send, or None
+    /// if the instance is quiet.
+    next_active: Option<Round>,
+}
+
+impl<P: Protocol> Instance<P> {
+    fn due_global(&self) -> Option<u64> {
+        self.next_active.map(|la| self.start + self.stall + la)
+    }
+
+    fn refresh_next_active(&mut self, g: &WGraph) {
+        let after = self.local_round + 1;
+        let mut next: Option<Round> = None;
+        for (v, node) in self.nodes.iter().enumerate() {
+            if let Some(r) = node.earliest_send(after, &NodeCtx::new(v as NodeId, g)) {
+                next = Some(next.map_or(r, |cur| cur.min(r)));
+            }
+        }
+        self.next_active = next;
+    }
+}
+
+/// Run `instances` (each a full per-node program vector) over the shared
+/// communication graph `g`. Returns the final node programs of each
+/// instance plus scheduling statistics.
+///
+/// `max_offset` is the window for the random start delays (Ghaffari's
+/// framework draws delays proportional to the total congestion).
+pub fn schedule_instances<P>(
+    g: &WGraph,
+    instances: Vec<Vec<P>>,
+    cfg: &EngineConfig,
+    seed: u64,
+    max_offset: u64,
+    max_global_rounds: u64,
+) -> (Vec<Vec<P>>, ScheduleStats)
+where
+    P: Protocol + Clone,
+    P::Msg: Clone,
+{
+    let n = g.n();
+    let k = instances.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut priority: Vec<usize> = (0..k).collect();
+    priority.shuffle(&mut rng);
+
+    let mut insts: Vec<Instance<P>> = instances
+        .into_iter()
+        .map(|mut nodes| {
+            assert_eq!(nodes.len(), n, "instance must have one program per node");
+            for (v, node) in nodes.iter_mut().enumerate() {
+                node.init(&NodeCtx::new(v as NodeId, g));
+            }
+            let mut inst = Instance {
+                nodes,
+                local_round: 0,
+                start: if max_offset == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=max_offset)
+                },
+                stall: 0,
+                next_active: None,
+            };
+            inst.refresh_next_active(g);
+            inst
+        })
+        .collect();
+
+    // Per-link bookkeeping shared across instances.
+    let mut link_offset = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    link_offset.push(0);
+    for v in 0..n as NodeId {
+        acc += g.comm_neighbors(v).len();
+        link_offset.push(acc);
+    }
+    let link_id = |u: NodeId, v: NodeId| -> usize {
+        let rank = g
+            .comm_neighbors(u)
+            .binary_search(&v)
+            .unwrap_or_else(|_| panic!("protocol bug: {u} sent to non-neighbor {v}"));
+        link_offset[u as usize] + rank
+    };
+    let mut link_stamp: Vec<u64> = vec![u64::MAX; acc];
+    let mut link_load: Vec<u64> = vec![0; acc];
+
+    let mut global: u64 = 0;
+    let mut last_activity: u64 = 0;
+    let mut messages: u64 = 0;
+    let mut stats_stalls = vec![0u64; k];
+    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+
+    loop {
+        // Fast-forward to the earliest due instance.
+        let next_due = insts.iter().filter_map(|i| i.due_global()).min();
+        let Some(next_due) = next_due else { break };
+        if next_due > max_global_rounds {
+            break;
+        }
+        global = next_due.max(global + 1);
+
+        for &ii in &priority {
+            let due = insts[ii].due_global();
+            if due != Some(global) {
+                // Not this instance's active round. If its next active local
+                // round is still in the future, its local clock simply
+                // advances with global time (silent local rounds are free).
+                continue;
+            }
+            let local = global - insts[ii].start - insts[ii].stall;
+
+            // Tentatively execute local round `local` on a clone.
+            let mut clone = insts[ii].nodes.clone();
+            let mut all_ops: Vec<(NodeId, Vec<SendOp<P::Msg>>)> = Vec::new();
+            for (v, node) in clone.iter_mut().enumerate() {
+                let mut out = Outbox::new();
+                node.send(local, &NodeCtx::new(v as NodeId, g), &mut out);
+                let ops: Vec<_> = out.drain().collect();
+                if !ops.is_empty() {
+                    all_ops.push((v as NodeId, ops));
+                }
+            }
+
+            // Collect required links; detect collisions with this global
+            // round's committed sends.
+            let mut needed: Vec<usize> = Vec::new();
+            let mut conflict = false;
+            'outer: for (u, ops) in &all_ops {
+                for op in ops {
+                    match op {
+                        SendOp::Broadcast(_) => {
+                            for &v in g.comm_neighbors(*u) {
+                                let lid = link_id(*u, v);
+                                assert!(
+                                    !needed.contains(&lid),
+                                    "protocol bug: instance double-sent over {u}->{v}"
+                                );
+                                if link_stamp[lid] == global {
+                                    conflict = true;
+                                    break 'outer;
+                                }
+                                needed.push(lid);
+                            }
+                        }
+                        SendOp::Unicast(v, _) => {
+                            let lid = link_id(*u, *v);
+                            assert!(
+                                !needed.contains(&lid),
+                                "protocol bug: instance double-sent over {u}->{v}"
+                            );
+                            if link_stamp[lid] == global {
+                                conflict = true;
+                                break 'outer;
+                            }
+                            needed.push(lid);
+                        }
+                    }
+                }
+            }
+
+            if conflict {
+                insts[ii].stall += 1;
+                stats_stalls[ii] += 1;
+                continue; // discard the clone; retry next global round
+            }
+
+            // Commit: stamp links, deliver, receive.
+            let mut sent = 0u64;
+            for (u, ops) in all_ops {
+                for op in ops {
+                    match op {
+                        SendOp::Broadcast(m) => {
+                            assert!(
+                                m.size_words() <= cfg.max_words,
+                                "protocol bug: oversized message from {u}"
+                            );
+                            for &v in g.comm_neighbors(u) {
+                                let lid = link_id(u, v);
+                                link_stamp[lid] = global;
+                                link_load[lid] += 1;
+                                sent += 1;
+                                inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                            }
+                        }
+                        SendOp::Unicast(v, m) => {
+                            assert!(
+                                m.size_words() <= cfg.max_words,
+                                "protocol bug: oversized message from {u}"
+                            );
+                            let lid = link_id(u, v);
+                            link_stamp[lid] = global;
+                            link_load[lid] += 1;
+                            sent += 1;
+                            inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                        }
+                    }
+                }
+            }
+            if sent > 0 {
+                last_activity = global;
+                messages += sent;
+            }
+            for (v, inbox) in inboxes.iter_mut().enumerate() {
+                if !inbox.is_empty() {
+                    clone[v].receive(local, inbox, &NodeCtx::new(v as NodeId, g));
+                    inbox.clear();
+                }
+            }
+            insts[ii].nodes = clone;
+            insts[ii].local_round = local;
+            insts[ii].refresh_next_active(g);
+        }
+    }
+
+    let stats = ScheduleStats {
+        global_rounds: last_activity,
+        stalls: stats_stalls,
+        offsets: insts.iter().map(|i| i.start).collect(),
+        messages,
+        max_link_load: link_load.iter().copied().max().unwrap_or(0),
+    };
+    (insts.into_iter().map(|i| i.nodes).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+
+    /// A toy single-source flood that records hop distance from its source.
+    #[derive(Clone)]
+    struct Flood {
+        source: NodeId,
+        dist: Option<u64>,
+        announced: bool,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u64;
+
+        fn init(&mut self, ctx: &NodeCtx) {
+            if ctx.id == self.source {
+                self.dist = Some(0);
+            }
+        }
+
+        fn send(&mut self, _round: Round, _ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if let (Some(d), false) = (self.dist, self.announced) {
+                self.announced = true;
+                out.broadcast(d);
+            }
+        }
+
+        fn receive(&mut self, _round: Round, inbox: &[Envelope<u64>], _ctx: &NodeCtx) {
+            for e in inbox {
+                let cand = e.msg + 1;
+                if self.dist.is_none_or(|d| cand < d) {
+                    self.dist = Some(cand);
+                    self.announced = false;
+                }
+            }
+        }
+
+        fn earliest_send(&self, after: Round, _ctx: &NodeCtx) -> Option<Round> {
+            if self.dist.is_some() && !self.announced {
+                Some(after)
+            } else {
+                None
+            }
+        }
+    }
+
+    fn hop_dists(g: &WGraph, s: NodeId) -> Vec<u64> {
+        let mut dist = vec![u64::MAX; g.n()];
+        dist[s as usize] = 0;
+        let mut q = std::collections::VecDeque::from([s]);
+        while let Some(v) = q.pop_front() {
+            for &u in g.comm_neighbors(v) {
+                if dist[u as usize] == u64::MAX {
+                    dist[u as usize] = dist[v as usize] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn k_floods_all_correct_under_sharing() {
+        let g = gen::gnp_connected(24, 0.1, false, WeightDist::Constant(1), 7);
+        let k = 6;
+        let instances: Vec<Vec<Flood>> = (0..k)
+            .map(|s| {
+                (0..g.n())
+                    .map(|_| Flood {
+                        source: s as NodeId * 3,
+                        dist: None,
+                        announced: false,
+                    })
+                    .collect()
+            })
+            .collect();
+        let (finished, st) =
+            schedule_instances(&g, instances, &EngineConfig::default(), 42, 8, 100_000);
+        for (i, inst) in finished.iter().enumerate() {
+            let s = (i as NodeId) * 3;
+            let expect = hop_dists(&g, s);
+            let got: Vec<u64> = inst.iter().map(|f| f.dist.unwrap()).collect();
+            assert_eq!(got, expect, "instance {i}");
+        }
+        assert!(st.global_rounds > 0);
+        assert_eq!(st.offsets.len(), k);
+    }
+
+    #[test]
+    fn zero_offset_single_instance_matches_engine() {
+        let g = gen::path(8, false, WeightDist::Constant(1), 0);
+        let instances = vec![(0..g.n())
+            .map(|_| Flood {
+                source: 0,
+                dist: None,
+                announced: false,
+            })
+            .collect::<Vec<_>>()];
+        let (finished, st) =
+            schedule_instances(&g, instances, &EngineConfig::default(), 1, 0, 10_000);
+        let got: Vec<u64> = finished[0].iter().map(|f| f.dist.unwrap()).collect();
+        assert_eq!(got, (0..8).map(|i| i as u64).collect::<Vec<_>>());
+        // same as the plain engine: farthest node announces in round 8
+        assert_eq!(st.global_rounds, 8);
+        assert_eq!(st.stalls, vec![0]);
+    }
+
+    #[test]
+    fn collisions_cause_stalls_not_errors() {
+        // Star: every flood's first broadcast leaves the center or enters
+        // it; many instances with offset window 0 must serialize.
+        let g = gen::star(8, false, WeightDist::Constant(1), 0);
+        let k = 5;
+        let instances: Vec<Vec<Flood>> = (0..k)
+            .map(|s| {
+                (0..g.n())
+                    .map(|_| Flood {
+                        source: s as NodeId,
+                        dist: None,
+                        announced: false,
+                    })
+                    .collect()
+            })
+            .collect();
+        let (finished, st) =
+            schedule_instances(&g, instances, &EngineConfig::default(), 3, 0, 100_000);
+        let total_stalls: u64 = st.stalls.iter().sum();
+        assert!(total_stalls > 0, "star with zero offsets must collide");
+        for (i, inst) in finished.iter().enumerate() {
+            let expect = hop_dists(&g, i as NodeId);
+            let got: Vec<u64> = inst.iter().map(|f| f.dist.unwrap()).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn offsets_reduce_stalls() {
+        let g = gen::star(10, false, WeightDist::Constant(1), 0);
+        let build = || -> Vec<Vec<Flood>> {
+            (0..6)
+                .map(|s| {
+                    (0..g.n())
+                        .map(|_| Flood {
+                            source: s as NodeId,
+                            dist: None,
+                            announced: false,
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let (_, tight) = schedule_instances(&g, build(), &EngineConfig::default(), 5, 0, 100_000);
+        let (_, spread) =
+            schedule_instances(&g, build(), &EngineConfig::default(), 5, 64, 100_000);
+        assert!(
+            spread.stalls.iter().sum::<u64>() <= tight.stalls.iter().sum::<u64>(),
+            "random offsets should not increase collisions on a star"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Round-by-round execution tracing.
+//!
+//! Debugging a distributed protocol usually means asking "what was in
+//! flight in round r?". [`RoundTrace`] is a cheap recorder the engine can
+//! feed (via [`crate::engine::Network::step_traced`]): per executed round
+//! it stores the message count, the set of senders, and optionally a
+//! rendered digest of the messages. Used by tests in this workspace and
+//! handy when developing new protocols on the engine.
+
+use crate::protocol::Round;
+use dw_graph::NodeId;
+
+/// One executed round's summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRecord {
+    pub round: Round,
+    pub messages: u64,
+    /// Distinct sender ids this round (sorted).
+    pub senders: Vec<NodeId>,
+    /// Optional rendered messages `(from, to, text)` — only populated
+    /// when the trace was created with [`RoundTrace::with_payloads`].
+    pub payloads: Vec<(NodeId, NodeId, String)>,
+}
+
+/// A bounded trace of executed rounds (silent rounds produce no record).
+#[derive(Debug, Clone, Default)]
+pub struct RoundTrace {
+    records: Vec<RoundRecord>,
+    keep_payloads: bool,
+    /// Hard cap on stored records, oldest dropped first (0 = unbounded).
+    cap: usize,
+}
+
+impl RoundTrace {
+    /// Counts and senders only.
+    pub fn new() -> Self {
+        RoundTrace::default()
+    }
+
+    /// Also render every message with `Debug` (verbose; small runs only).
+    pub fn with_payloads() -> Self {
+        RoundTrace {
+            keep_payloads: true,
+            ..RoundTrace::default()
+        }
+    }
+
+    /// Keep at most `cap` most recent records.
+    pub fn capped(mut self, cap: usize) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    pub(crate) fn keep_payloads(&self) -> bool {
+        self.keep_payloads
+    }
+
+    pub(crate) fn push(&mut self, rec: RoundRecord) {
+        self.records.push(rec);
+        if self.cap > 0 && self.records.len() > self.cap {
+            self.records.remove(0);
+        }
+    }
+
+    /// All stored records, oldest first.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Record for a specific round, if it was executed and retained.
+    pub fn round(&self, r: Round) -> Option<&RoundRecord> {
+        self.records.iter().find(|rec| rec.round == r)
+    }
+
+    /// Rounds in which `v` sent something.
+    pub fn send_rounds_of(&self, v: NodeId) -> Vec<Round> {
+        self.records
+            .iter()
+            .filter(|rec| rec.senders.binary_search(&v).is_ok())
+            .map(|rec| rec.round)
+            .collect()
+    }
+
+    /// Render the trace as an aligned text block (for failure messages).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.records {
+            out.push_str(&format!(
+                "round {:>5}: {:>4} msgs from {:?}\n",
+                rec.round, rec.messages, rec.senders
+            ));
+            for (f, t, p) in &rec.payloads {
+                out.push_str(&format!("    {f} -> {t}: {p}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: Round, senders: Vec<NodeId>) -> RoundRecord {
+        RoundRecord {
+            round,
+            messages: senders.len() as u64,
+            senders,
+            payloads: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn stores_and_queries() {
+        let mut t = RoundTrace::new();
+        t.push(rec(1, vec![0, 2]));
+        t.push(rec(3, vec![2]));
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.round(3).unwrap().messages, 1);
+        assert!(t.round(2).is_none());
+        assert_eq!(t.send_rounds_of(2), vec![1, 3]);
+        assert_eq!(t.send_rounds_of(9), Vec::<Round>::new());
+    }
+
+    #[test]
+    fn cap_drops_oldest() {
+        let mut t = RoundTrace::new().capped(2);
+        t.push(rec(1, vec![0]));
+        t.push(rec(2, vec![0]));
+        t.push(rec(3, vec![0]));
+        assert_eq!(t.records().len(), 2);
+        assert!(t.round(1).is_none());
+        assert!(t.round(3).is_some());
+    }
+
+    #[test]
+    fn renders_readably() {
+        let mut t = RoundTrace::with_payloads();
+        let mut r = rec(7, vec![1]);
+        r.payloads.push((1, 2, "hello".into()));
+        t.push(r);
+        let s = t.render();
+        assert!(s.contains("round     7"));
+        assert!(s.contains("1 -> 2: hello"));
+    }
+}

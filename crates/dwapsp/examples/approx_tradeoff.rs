@@ -1,0 +1,55 @@
+//! The (1+ε)-approximate APSP of Theorem I.5: accuracy/rounds trade-off
+//! across ε, on graphs with zero-weight edges.
+//!
+//! ```text
+//! cargo run -p dwapsp --example approx_tradeoff
+//! ```
+
+use dwapsp::prelude::*;
+
+fn main() {
+    let g = gen::zero_heavy(20, 0.18, 0.5, 8, true, 11);
+    let exact = apsp_dijkstra(&g);
+    let exact_delta = exact.max_finite();
+    println!(
+        "workload: n={}, m={}, zero edges {}, Δ={exact_delta}",
+        g.n(),
+        g.m(),
+        g.zero_weight_edges()
+    );
+    println!();
+    println!("{:<8} {:>8} {:>12} {:>12} {:>12}", "ε", "rounds", "zero-phase", "pos-phase", "worst ratio");
+
+    for (num, den) in [(2u64, 1u64), (1, 1), (1, 2), (1, 4), (1, 8)] {
+        let out = approx_apsp(&g, num, den, EngineConfig::default());
+        let mut worst: f64 = 1.0;
+        for s in g.nodes() {
+            for v in g.nodes() {
+                let d = exact.from_source(s, v).unwrap();
+                let e = out.matrix.from_source(s, v).unwrap();
+                match (d, e) {
+                    (INFINITY, e) => assert_eq!(e, INFINITY),
+                    (0, e) => assert_eq!(e, 0, "zero closure must be exact"),
+                    (d, e) => {
+                        assert!(e >= d, "never underestimates");
+                        worst = worst.max(e as f64 / d as f64);
+                        assert!(
+                            e as f64 <= (1.0 + num as f64 / den as f64) * d as f64 + 1e-9,
+                            "ratio bound"
+                        );
+                    }
+                }
+            }
+        }
+        println!(
+            "{:<8} {:>8} {:>12} {:>12} {:>12.4}",
+            format!("{num}/{den}"),
+            out.stats.rounds,
+            out.zero_rounds,
+            out.positive_rounds,
+            worst
+        );
+    }
+    println!();
+    println!("smaller ε buys accuracy with more rounds — the O((n/ε²)·log n) trade of Theorem I.5 ✓");
+}

@@ -1,0 +1,274 @@
+//! `dwapsp` — command-line front end.
+//!
+//! ```text
+//! dwapsp gen  --family zero-heavy --n 32 --w 6 --seed 7 --out g.json
+//! dwapsp run  --graph g.json --algo alg1|alg3|bf|approx [--sources 0,3,9]
+//!             [--h 4] [--eps 1/2]
+//! dwapsp validate --graph g.json          # run everything, diff vs Dijkstra
+//! dwapsp info --graph g.json              # structural stats
+//! ```
+//!
+//! Graphs are the JSON documents of `dw_graph::io` (n, directed, edge
+//! list), so instances are easy to craft by hand or from other tools.
+
+use dwapsp::approx::approx_apsp;
+use dwapsp::baselines::bf_apsp;
+use dwapsp::blocker::alg3::{alg3_apsp, alg3_k_ssp, suggested_h_weight_regime};
+use dwapsp::graph::{analysis, gen, io as gio};
+use dwapsp::prelude::*;
+use dwapsp::seqref::matrices_equal;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage_and_exit();
+    };
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    match cmd.as_str() {
+        "gen" => cmd_gen(&get),
+        "run" => cmd_run(&get),
+        "validate" => cmd_validate(&get),
+        "info" => cmd_info(&get),
+        _ => usage_and_exit(),
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage:\n  dwapsp gen --family <zero-heavy|positive|grid|staircase|fig1> \
+         [--n N] [--w W] [--seed S] [--out FILE]\n  dwapsp run --graph FILE --algo \
+         <alg1|alg3|bf|approx> [--sources a,b,c] [--h H] [--eps NUM/DEN]\n  dwapsp \
+         validate --graph FILE\n  dwapsp info --graph FILE"
+    );
+    exit(2);
+}
+
+fn load(get: &impl Fn(&str) -> Option<String>) -> WGraph {
+    let path = get("--graph").unwrap_or_else(|| {
+        eprintln!("--graph FILE is required");
+        exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    gio::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+fn cmd_gen(get: &impl Fn(&str) -> Option<String>) {
+    let family = get("--family").unwrap_or_else(|| "zero-heavy".into());
+    let n: usize = get("--n").map_or(32, |s| s.parse().expect("--n"));
+    let w: u64 = get("--w").map_or(6, |s| s.parse().expect("--w"));
+    let seed: u64 = get("--seed").map_or(1, |s| s.parse().expect("--seed"));
+    let g = match family.as_str() {
+        "zero-heavy" => gen::zero_heavy(n, 3.0 / n as f64, 0.4, w, true, seed),
+        "positive" => gen::gnp_connected(
+            n,
+            3.0 / n as f64,
+            true,
+            gen::WeightDist::ZeroOr { p_zero: 0.0, max: w },
+            seed,
+        ),
+        "grid" => {
+            let side = (n as f64).sqrt().round().max(2.0) as usize;
+            gen::grid(side, side, false, gen::WeightDist::ZeroOr { p_zero: 0.3, max: w }, seed)
+        }
+        "staircase" => gen::staircase(n.max(4) / 4, 4, w.max(1), true),
+        "fig1" => gen::fig1_gadget(n.clamp(2, 64), w.max(1), 1, true).0,
+        other => {
+            eprintln!("unknown family {other}");
+            exit(2);
+        }
+    };
+    let json = gio::to_json(&g);
+    match get("--out") {
+        Some(path) => {
+            std::fs::write(&path, json).expect("write graph file");
+            eprintln!("wrote {} (n={}, m={})", path, g.n(), g.m());
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn parse_sources(get: &impl Fn(&str) -> Option<String>, n: usize) -> Option<Vec<NodeId>> {
+    get("--sources").map(|s| {
+        s.split(',')
+            .map(|x| {
+                let v: NodeId = x.trim().parse().expect("--sources must be node ids");
+                assert!((v as usize) < n, "source {v} out of range");
+                v
+            })
+            .collect()
+    })
+}
+
+fn print_stats(prefix: &str, rounds: u64, messages: u64, link: u64) {
+    println!("{prefix}: rounds={rounds} messages={messages} max-link-load={link}");
+}
+
+fn cmd_run(get: &impl Fn(&str) -> Option<String>) {
+    let g = load(get);
+    let algo = get("--algo").unwrap_or_else(|| "alg1".into());
+    let engine = EngineConfig::default();
+    match algo.as_str() {
+        "alg1" => {
+            if let Some(sources) = parse_sources(get, g.n()) {
+                let delta = max_finite_distance(&g).max(1);
+                let (res, st, _) = k_ssp(&g, sources, delta, engine);
+                print_stats("alg1 k-ssp", st.rounds, st.messages, st.max_link_load);
+                print_matrix(&res.to_matrix());
+            } else {
+                let (res, st, delta) = apsp_auto(&g, engine);
+                print_stats(
+                    &format!("alg1 apsp (Δ={delta})"),
+                    st.rounds,
+                    st.messages,
+                    st.max_link_load,
+                );
+                print_matrix(&res.to_matrix());
+            }
+        }
+        "alg3" => {
+            let h = get("--h").map_or_else(
+                || suggested_h_weight_regime(g.n(), g.n(), g.max_weight()),
+                |s| s.parse().expect("--h"),
+            );
+            let delta =
+                dwapsp::seqref::max_finite_h_hop_distance(&g, 2 * h as usize).max(1);
+            let out = if let Some(sources) = parse_sources(get, g.n()) {
+                alg3_k_ssp(&g, &sources, h, delta, engine)
+            } else {
+                alg3_apsp(&g, h, delta, engine)
+            };
+            print_stats(
+                &format!("alg3 (h={h}, |Q|={})", out.blockers.len()),
+                out.stats.rounds,
+                out.stats.messages,
+                out.stats.max_link_load,
+            );
+            print_matrix(&out.matrix);
+        }
+        "bf" => {
+            let (res, st) = bf_apsp(&g, engine);
+            print_stats("bellman-ford apsp", st.rounds, st.messages, st.max_link_load);
+            print_matrix(&res.to_matrix());
+        }
+        "approx" => {
+            let eps = get("--eps").unwrap_or_else(|| "1/2".into());
+            let (num, den) = eps
+                .split_once('/')
+                .map(|(a, b)| (a.parse().expect("--eps"), b.parse().expect("--eps")))
+                .unwrap_or_else(|| (eps.parse().expect("--eps"), 1));
+            let out = approx_apsp(&g, num, den, engine);
+            print_stats(
+                &format!("approx apsp (ε={num}/{den})"),
+                out.stats.rounds,
+                out.stats.messages,
+                out.stats.max_link_load,
+            );
+            print_matrix(&out.matrix);
+        }
+        other => {
+            eprintln!("unknown algo {other}");
+            exit(2);
+        }
+    }
+}
+
+fn print_matrix(m: &DistMatrix) {
+    for (i, &s) in m.sources.iter().enumerate() {
+        let row: Vec<String> = (0..m.n() as NodeId)
+            .map(|v| {
+                let d = m.at(i, v);
+                if d == INFINITY {
+                    "inf".into()
+                } else {
+                    d.to_string()
+                }
+            })
+            .collect();
+        println!("{s}: {}", row.join(" "));
+    }
+}
+
+fn cmd_validate(get: &impl Fn(&str) -> Option<String>) {
+    let g = load(get);
+    let reference = apsp_dijkstra(&g);
+    let engine = EngineConfig::default();
+    let mut failures = 0;
+
+    let (a1, _, _) = apsp_auto(&g, engine.clone());
+    failures += report_diff("alg1", matrices_equal(&reference, &a1.to_matrix(), 5).len());
+
+    let (bf, _) = bf_apsp(&g, engine.clone());
+    failures += report_diff("bf", matrices_equal(&reference, &bf.to_matrix(), 5).len());
+
+    let h = suggested_h_weight_regime(g.n(), g.n(), g.max_weight());
+    let delta = dwapsp::seqref::max_finite_h_hop_distance(&g, 2 * h as usize).max(1);
+    let a3 = alg3_apsp(&g, h, delta, engine.clone());
+    failures += report_diff("alg3", matrices_equal(&reference, &a3.matrix, 5).len());
+
+    let ap = approx_apsp(&g, 1, 2, engine);
+    let mut ratio_bad = 0usize;
+    for s in g.nodes() {
+        for v in g.nodes() {
+            let d = reference.from_source(s, v).unwrap();
+            let e = ap.matrix.from_source(s, v).unwrap();
+            let ok = match (d, e) {
+                (INFINITY, e) => e == INFINITY,
+                (d, e) => e >= d && 2 * e <= 3 * d || (d == 0 && e == 0),
+            };
+            if !ok {
+                ratio_bad += 1;
+            }
+        }
+    }
+    failures += report_diff("approx(ε=1/2 ratio)", ratio_bad);
+
+    if failures == 0 {
+        println!("all algorithms validated against sequential Dijkstra ✓");
+    } else {
+        eprintln!("{failures} validation failure(s)");
+        exit(1);
+    }
+}
+
+fn report_diff(name: &str, diffs: usize) -> usize {
+    if diffs == 0 {
+        println!("{name}: ok");
+        0
+    } else {
+        println!("{name}: {diffs} DISAGREEMENT(S)");
+        1
+    }
+}
+
+fn cmd_info(get: &impl Fn(&str) -> Option<String>) {
+    let g = load(get);
+    let st = analysis::stats(&g);
+    println!("n={} m={} directed={}", st.n, st.m, st.directed);
+    println!(
+        "weights: max={} zero-edges={} ({:.0}%)",
+        st.max_weight,
+        st.zero_edges,
+        100.0 * st.zero_edges as f64 / st.m.max(1) as f64
+    );
+    println!(
+        "comm degree: min={} max={} avg={:.2}",
+        st.min_comm_degree, st.max_comm_degree, st.avg_comm_degree
+    );
+    println!("comm connected: {}", analysis::comm_connected(&g));
+    if let Some(d) = analysis::comm_diameter(&g) {
+        println!("comm diameter: {d}");
+    }
+    println!("Δ (max finite distance): {}", max_finite_distance(&g));
+}

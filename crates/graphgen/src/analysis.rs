@@ -1,0 +1,135 @@
+//! Structural statistics used by the experiment harness.
+
+use crate::graph::{WGraph, Weight};
+
+/// Summary statistics of a graph instance, recorded with every experiment
+/// row so results are self-describing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub n: usize,
+    pub m: usize,
+    pub directed: bool,
+    pub max_weight: Weight,
+    pub zero_edges: usize,
+    pub min_comm_degree: usize,
+    pub max_comm_degree: usize,
+    pub avg_comm_degree: f64,
+}
+
+/// Compute [`GraphStats`].
+pub fn stats(g: &WGraph) -> GraphStats {
+    let degrees: Vec<usize> = g.nodes().map(|v| g.comm_degree(v)).collect();
+    let total: usize = degrees.iter().sum();
+    GraphStats {
+        n: g.n(),
+        m: g.m(),
+        directed: g.is_directed(),
+        max_weight: g.max_weight(),
+        zero_edges: g.zero_weight_edges(),
+        min_comm_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_comm_degree: degrees.iter().copied().max().unwrap_or(0),
+        avg_comm_degree: if g.n() == 0 {
+            0.0
+        } else {
+            total as f64 / g.n() as f64
+        },
+    }
+}
+
+/// Whether the *communication* graph (underlying undirected graph) is
+/// connected. CONGEST algorithms that broadcast/convergecast assume this.
+pub fn comm_connected(g: &WGraph) -> bool {
+    let n = g.n();
+    if n == 0 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0u32];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for &u in g.comm_neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                count += 1;
+                stack.push(u);
+            }
+        }
+    }
+    count == n
+}
+
+/// Hop diameter of the communication graph (`None` if disconnected).
+pub fn comm_diameter(g: &WGraph) -> Option<usize> {
+    let n = g.n();
+    if n == 0 {
+        return Some(0);
+    }
+    let mut diameter = 0usize;
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as u32 {
+        dist.iter_mut().for_each(|d| *d = usize::MAX);
+        dist[s as usize] = 0;
+        queue.clear();
+        queue.push_back(s);
+        let mut reached = 1;
+        while let Some(v) = queue.pop_front() {
+            for &u in g.comm_neighbors(v) {
+                if dist[u as usize] == usize::MAX {
+                    dist[u as usize] = dist[v as usize] + 1;
+                    diameter = diameter.max(dist[u as usize]);
+                    reached += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if reached != n {
+            return None;
+        }
+    }
+    Some(diameter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen::{self, WeightDist};
+
+    #[test]
+    fn stats_on_path() {
+        let g = gen::path(4, false, WeightDist::Constant(2), 0);
+        let s = stats(&g);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.m, 3);
+        assert_eq!(s.max_weight, 2);
+        assert_eq!(s.zero_edges, 0);
+        assert_eq!(s.min_comm_degree, 1);
+        assert_eq!(s.max_comm_degree, 2);
+        assert!((s.avg_comm_degree - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = gen::ring(5, true, WeightDist::Constant(1), 0);
+        assert!(comm_connected(&g));
+        let mut b = GraphBuilder::new(4, false);
+        b.add_edge(0, 1, 1).add_edge(2, 3, 1);
+        assert!(!comm_connected(&b.build()));
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = gen::path(6, true, WeightDist::Constant(9), 0);
+        // directed edges, but communication is undirected
+        assert_eq!(comm_diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn diameter_disconnected_is_none() {
+        let mut b = GraphBuilder::new(3, false);
+        b.add_edge(0, 1, 1);
+        assert_eq!(comm_diameter(&b.build()), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! Graph construction with invariant enforcement.
+
+use crate::graph::{NodeId, WGraph, Weight};
+use std::collections::BTreeMap;
+
+/// Incremental builder for [`WGraph`].
+///
+/// Deduplicates parallel edges by keeping the minimum weight (shortest-path
+/// semantics), rejects self loops, and produces sorted adjacency.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    directed: bool,
+    // (src, dst) -> min weight; for undirected graphs keys are normalized
+    // with src < dst.
+    edges: BTreeMap<(NodeId, NodeId), Weight>,
+}
+
+impl GraphBuilder {
+    /// A builder for an `n`-node graph.
+    pub fn new(n: usize, directed: bool) -> Self {
+        assert!(n <= NodeId::MAX as usize, "node count exceeds NodeId range");
+        GraphBuilder {
+            n,
+            directed,
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// Add edge `src -> dst` with weight `w`. Self loops are ignored (they
+    /// never participate in shortest paths with non-negative weights).
+    /// Parallel edges keep the minimum weight.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, w: Weight) -> &mut Self {
+        assert!((src as usize) < self.n, "src {src} out of range");
+        assert!((dst as usize) < self.n, "dst {dst} out of range");
+        if src == dst {
+            return self;
+        }
+        let key = if self.directed || src < dst {
+            (src, dst)
+        } else {
+            (dst, src)
+        };
+        self.edges
+            .entry(key)
+            .and_modify(|old| *old = (*old).min(w))
+            .or_insert(w);
+        self
+    }
+
+    /// Add every edge in `iter`.
+    pub fn extend(&mut self, iter: impl IntoIterator<Item = (NodeId, NodeId, Weight)>) -> &mut Self {
+        for (s, d, w) in iter {
+            self.add_edge(s, d, w);
+        }
+        self
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the (normalized) edge already exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        let key = if self.directed || src < dst {
+            (src, dst)
+        } else {
+            (dst, src)
+        };
+        self.edges.contains_key(&key)
+    }
+
+    /// Finalize into a [`WGraph`].
+    pub fn build(&self) -> WGraph {
+        let n = self.n;
+        let mut out: Vec<Vec<(NodeId, Weight)>> = vec![Vec::new(); n];
+        let mut inc: Vec<Vec<(NodeId, Weight)>> = vec![Vec::new(); n];
+        for (&(s, d), &w) in &self.edges {
+            out[s as usize].push((d, w));
+            inc[d as usize].push((s, w));
+            if !self.directed {
+                out[d as usize].push((s, w));
+                inc[s as usize].push((d, w));
+            }
+        }
+        for row in out.iter_mut().chain(inc.iter_mut()) {
+            row.sort_unstable_by_key(|&(v, _)| v);
+        }
+        let mut comm: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (v, c) in comm.iter_mut().enumerate() {
+            let mut set: Vec<NodeId> = out[v]
+                .iter()
+                .map(|&(u, _)| u)
+                .chain(inc[v].iter().map(|&(u, _)| u))
+                .collect();
+            set.sort_unstable();
+            set.dedup();
+            *c = set;
+        }
+        WGraph::from_parts(n, self.directed, out, inc, comm, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = GraphBuilder::new(2, true);
+        b.add_edge(0, 0, 5).add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.out_edges(0), &[(1, 1)]);
+    }
+
+    #[test]
+    fn parallel_edges_keep_min_weight() {
+        let mut b = GraphBuilder::new(2, true);
+        b.add_edge(0, 1, 5).add_edge(0, 1, 3).add_edge(0, 1, 9);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn undirected_normalizes_endpoints() {
+        let mut b = GraphBuilder::new(3, false);
+        b.add_edge(2, 1, 4).add_edge(1, 2, 2);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.edge_weight(1, 2), Some(2));
+        assert_eq!(g.edge_weight(2, 1), Some(2));
+    }
+
+    #[test]
+    fn has_edge_respects_normalization() {
+        let mut b = GraphBuilder::new(3, false);
+        b.add_edge(2, 0, 4);
+        assert!(b.has_edge(0, 2));
+        assert!(b.has_edge(2, 0));
+        assert!(!b.has_edge(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut b = GraphBuilder::new(2, true);
+        b.add_edge(0, 2, 1);
+    }
+
+    #[test]
+    fn extend_adds_all() {
+        let mut b = GraphBuilder::new(4, true);
+        b.extend([(0, 1, 1), (1, 2, 2), (2, 3, 0)]);
+        assert_eq!(b.edge_count(), 3);
+    }
+}

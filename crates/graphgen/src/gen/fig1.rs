@@ -1,0 +1,132 @@
+//! The Fig. 1 gadget: h-hop shortest-path parent pointers need not form a
+//! tree of height `<= h`.
+//!
+//! Construction (paper Section III-A, Fig. 1): from source `s` there is a
+//! zero-weight path of exactly `h` hops to a node `a`, plus a direct heavy
+//! edge `s -> a`. A further node `t` hangs off `a`. The h-hop shortest path
+//! to `a` uses the zero path (distance 0, h hops, parent = last zero-path
+//! node), while the h-hop shortest path to `t` must use the heavy shortcut
+//! (the zero route would take `h+1` hops), so `t`'s parent is `a`. Following
+//! parent pointers from `t` to the root therefore takes `h+1 > h` hops.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{NodeId, WGraph, Weight};
+
+/// Named nodes of one gadget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig1Nodes {
+    pub s: NodeId,
+    pub a: NodeId,
+    pub t: NodeId,
+    /// Last node of the zero path (the h-hop parent of `a`).
+    pub last_zero: NodeId,
+}
+
+/// Build one Fig. 1 gadget for hop bound `h >= 2`.
+///
+/// Layout: `s = 0`, zero-path nodes `1..h-1`, `a = h`, `t = h + 1`
+/// (so `n = h + 2`). Edges:
+/// * `s -> 1 -> 2 -> ... -> h-1 -> a`, all weight 0 (h hops total);
+/// * `s -> a` with weight `heavy_w >= 1` (1 hop);
+/// * `a -> t` with weight `tail_w`.
+///
+/// Returns the graph and the named nodes.
+pub fn fig1_gadget(h: usize, heavy_w: Weight, tail_w: Weight, directed: bool) -> (WGraph, Fig1Nodes) {
+    assert!(h >= 2, "gadget needs h >= 2");
+    assert!(heavy_w >= 1, "shortcut must be heavier than the zero path");
+    let n = h + 2;
+    let s: NodeId = 0;
+    let a: NodeId = h as NodeId;
+    let t: NodeId = (h + 1) as NodeId;
+    let mut b = GraphBuilder::new(n, directed);
+    let mut prev = s;
+    for z in 1..h {
+        b.add_edge(prev, z as NodeId, 0);
+        prev = z as NodeId;
+    }
+    b.add_edge(prev, a, 0);
+    b.add_edge(s, a, heavy_w);
+    b.add_edge(a, t, tail_w);
+    (
+        b.build(),
+        Fig1Nodes {
+            s,
+            a,
+            t,
+            last_zero: prev,
+        },
+    )
+}
+
+/// Chain `copies` gadgets: the `t` node of gadget `i` is the `s` node of
+/// gadget `i+1`. Every copy locally reproduces the Fig. 1 pathology
+/// (a parent chain of `h+1 > h` hops from its `t`), giving a whole family
+/// of simultaneous violations in one graph, while CSSSP trees
+/// (Lemma III.4) stay at height `<= h` everywhere.
+pub fn fig1_chain(h: usize, copies: usize, heavy_w: Weight, directed: bool) -> (WGraph, Vec<Fig1Nodes>) {
+    assert!(copies >= 1);
+    let per = h + 1; // nodes added per copy beyond the shared s/t boundary
+    let n = 1 + copies * per;
+    let mut b = GraphBuilder::new(n, directed);
+    let mut nodes = Vec::with_capacity(copies);
+    let mut s: NodeId = 0;
+    for c in 0..copies {
+        let base = 1 + c * per; // first zero-path node of this copy
+        let a = (base + h - 1) as NodeId;
+        let t = (base + h) as NodeId;
+        let mut prev = s;
+        for z in 0..h - 1 {
+            let zn = (base + z) as NodeId;
+            b.add_edge(prev, zn, 0);
+            prev = zn;
+        }
+        b.add_edge(prev, a, 0);
+        b.add_edge(s, a, heavy_w);
+        b.add_edge(a, t, 1);
+        nodes.push(Fig1Nodes {
+            s,
+            a,
+            t,
+            last_zero: prev,
+        });
+        s = t;
+    }
+    (b.build(), nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gadget_shape() {
+        let (g, nd) = fig1_gadget(4, 7, 1, true);
+        assert_eq!(g.n(), 6);
+        assert_eq!(nd.s, 0);
+        assert_eq!(nd.a, 4);
+        assert_eq!(nd.t, 5);
+        assert_eq!(nd.last_zero, 3);
+        // zero path 0->1->2->3->4 has 4 hops
+        assert_eq!(g.edge_weight(0, 1), Some(0));
+        assert_eq!(g.edge_weight(3, 4), Some(0));
+        assert_eq!(g.edge_weight(0, 4), Some(7));
+        assert_eq!(g.edge_weight(4, 5), Some(1));
+    }
+
+    #[test]
+    fn chain_shape() {
+        let (g, nds) = fig1_chain(3, 2, 5, true);
+        assert_eq!(nds.len(), 2);
+        assert_eq!(g.n(), 1 + 2 * 4);
+        assert_eq!(nds[0].s, 0);
+        assert_eq!(nds[1].s, nds[0].t);
+        // each copy: h zero edges + shortcut + tail
+        assert_eq!(g.m(), 2 * (3 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "h >= 2")]
+    fn tiny_h_rejected() {
+        let _ = fig1_gadget(1, 1, 1, true);
+    }
+}

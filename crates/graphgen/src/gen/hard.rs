@@ -1,0 +1,111 @@
+//! Adversarial instances stressing the pipelined algorithm.
+//!
+//! The difficulty the paper addresses (Section II) is that with zero-weight
+//! edges the hop length of a path and its weighted distance are
+//! incomparable: a node can see many incomparable `(d, l)` pairs for the
+//! same source. These generators realize that tension.
+
+use crate::builder::GraphBuilder;
+use crate::gen::weights::WeightDist;
+use crate::graph::{NodeId, WGraph, Weight};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A "staircase": anchors `a_0, ..., a_s` where each consecutive pair is
+/// joined both by a direct edge of weight `heavy_w` (1 hop) and by a path
+/// of `rung_hops` zero-weight edges (`rung_hops` hops, weight 0).
+///
+/// Between `a_0` and `a_s` there are `s+1` Pareto-optimal `(d, l)`
+/// trade-offs: taking `j` heavy shortcuts costs `j * heavy_w` weight and
+/// `j + (s-j) * rung_hops` hops. An h-hop shortest path query must pick the
+/// right mixture, and intermediate nodes legitimately hold multiple entries
+/// per source — exactly the regime Invariant 2 of the paper bounds.
+pub fn staircase(segments: usize, rung_hops: usize, heavy_w: Weight, directed: bool) -> WGraph {
+    assert!(segments >= 1 && rung_hops >= 2, "need >=1 segment, >=2 rung hops");
+    let per_seg = rung_hops - 1; // interior zero-path nodes per segment
+    let n = (segments + 1) + segments * per_seg;
+    let mut b = GraphBuilder::new(n, directed);
+    let anchor = |i: usize| (i * (per_seg + 1)) as NodeId;
+    for i in 0..segments {
+        let a = anchor(i);
+        let next = anchor(i + 1);
+        b.add_edge(a, next, heavy_w);
+        // zero path a -> z1 -> ... -> z_{per_seg} -> next
+        let base = a + 1;
+        let mut prev = a;
+        for j in 0..per_seg {
+            let z = base + j as NodeId;
+            b.add_edge(prev, z, 0);
+            prev = z;
+        }
+        b.add_edge(prev, next, 0);
+    }
+    b.build()
+}
+
+/// Index of anchor `i` in a [`staircase`] with the same parameters.
+pub fn staircase_anchor(i: usize, rung_hops: usize) -> NodeId {
+    (i * rung_hops) as NodeId
+}
+
+/// A layered DAG: `layers` layers of `width` nodes; every node of layer `i`
+/// links to every node of layer `i+1` with weights from `dist`.
+/// High per-edge message pressure for multi-source runs (many sources, many
+/// equal-length routes), used in congestion experiments.
+pub fn layered_conflict(
+    layers: usize,
+    width: usize,
+    dist: WeightDist,
+    directed: bool,
+    seed: u64,
+) -> WGraph {
+    assert!(layers >= 2 && width >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = layers * width;
+    let id = |l: usize, j: usize| (l * width + j) as NodeId;
+    let mut b = GraphBuilder::new(n, directed);
+    for l in 0..layers - 1 {
+        for j in 0..width {
+            for j2 in 0..width {
+                b.add_edge(id(l, j), id(l + 1, j2), dist.sample(&mut rng));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_shape() {
+        let g = staircase(3, 4, 10, true);
+        // anchors: 4, interior: 3*3
+        assert_eq!(g.n(), 4 + 9);
+        // per segment: 1 heavy + 4 zero edges
+        assert_eq!(g.m(), 3 * 5);
+        assert_eq!(g.zero_weight_edges(), 3 * 4);
+        assert_eq!(staircase_anchor(3, 4), 12);
+        assert_eq!(g.edge_weight(0, 4), Some(10));
+    }
+
+    #[test]
+    fn staircase_zero_path_exists() {
+        let g = staircase(1, 3, 5, true);
+        // 0 ->(5) 3 and 0 -> 1 -> 2 -> 3 all zero
+        assert_eq!(g.edge_weight(0, 1), Some(0));
+        assert_eq!(g.edge_weight(1, 2), Some(0));
+        assert_eq!(g.edge_weight(2, 3), Some(0));
+        assert_eq!(g.edge_weight(0, 3), Some(5));
+    }
+
+    #[test]
+    fn layered_shape() {
+        let g = layered_conflict(3, 4, WeightDist::Constant(1), true, 0);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 2 * 16);
+        assert_eq!(g.out_edges(0).len(), 4);
+        assert_eq!(g.in_edges(11).len(), 4);
+    }
+}

@@ -1,0 +1,117 @@
+//! Randomized graph families.
+
+use crate::builder::GraphBuilder;
+use crate::gen::weights::WeightDist;
+use crate::graph::{NodeId, WGraph};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Erdős–Rényi `G(n, p)` with weights drawn from `dist`.
+pub fn gnp(n: usize, p: f64, directed: bool, dist: WeightDist, seed: u64) -> WGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n, directed);
+    for u in 0..n {
+        for v in 0..n {
+            if u == v || (!directed && u > v) {
+                continue;
+            }
+            if rng.gen_bool(p) {
+                b.add_edge(u as NodeId, v as NodeId, dist.sample(&mut rng));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `G(n, p)` plus a random Hamiltonian backbone so the communication graph
+/// is connected (and, for directed graphs, every node is reachable from
+/// every other along the cycle). Useful for experiments where unreachable
+/// pairs would dominate.
+pub fn gnp_connected(n: usize, p: f64, directed: bool, dist: WeightDist, seed: u64) -> WGraph {
+    assert!(n >= 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n, directed);
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(&mut rng);
+    for i in 0..n {
+        let u = order[i];
+        let v = order[(i + 1) % n];
+        if n == 2 && i == 1 {
+            // avoid duplicating the single undirected edge with a different weight
+            if !directed {
+                break;
+            }
+        }
+        b.add_edge(u, v, dist.sample(&mut rng));
+    }
+    for u in 0..n {
+        for v in 0..n {
+            if u == v || (!directed && u > v) {
+                continue;
+            }
+            if rng.gen_bool(p) {
+                b.add_edge(u as NodeId, v as NodeId, dist.sample(&mut rng));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Connected random graph where a fraction `p_zero` of edges have weight
+/// zero and the rest are uniform in `1..=max_w`. This is the paper's
+/// motivating regime: zero-weight edges break the classical
+/// weight-expansion reduction (Section I).
+pub fn zero_heavy(
+    n: usize,
+    p: f64,
+    p_zero: f64,
+    max_w: u64,
+    directed: bool,
+    seed: u64,
+) -> WGraph {
+    gnp_connected(n, p, directed, WeightDist::ZeroOr { p_zero, max: max_w }, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_deterministic() {
+        let d = WeightDist::Uniform { max: 5 };
+        assert_eq!(gnp(20, 0.2, true, d, 7), gnp(20, 0.2, true, d, 7));
+    }
+
+    #[test]
+    fn gnp_edge_density_plausible() {
+        let g = gnp(50, 0.5, false, WeightDist::Constant(1), 1);
+        let max_m = 50 * 49 / 2;
+        assert!(g.m() > max_m / 4 && g.m() < 3 * max_m / 4);
+    }
+
+    #[test]
+    fn gnp_connected_has_backbone() {
+        let g = gnp_connected(30, 0.0, false, WeightDist::Constant(1), 3);
+        // with p=0 only the Hamiltonian cycle remains
+        assert_eq!(g.m(), 30);
+        for v in g.nodes() {
+            assert_eq!(g.comm_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn gnp_connected_two_nodes() {
+        let g = gnp_connected(2, 0.0, false, WeightDist::Constant(4), 9);
+        assert_eq!(g.m(), 1);
+        let gd = gnp_connected(2, 0.0, true, WeightDist::Constant(4), 9);
+        assert_eq!(gd.m(), 2); // both directions of the cycle
+    }
+
+    #[test]
+    fn zero_heavy_has_zero_edges() {
+        let g = zero_heavy(40, 0.2, 0.5, 8, false, 11);
+        assert!(g.zero_weight_edges() > 0);
+        assert!(g.max_weight() <= 8);
+    }
+}

@@ -1,0 +1,137 @@
+//! Additional structured topologies used by the wider experiment sweeps.
+
+use crate::builder::GraphBuilder;
+use crate::gen::weights::WeightDist;
+use crate::graph::{NodeId, WGraph};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Complete binary tree with `n` nodes (node `v`'s children are `2v+1`,
+/// `2v+2`). Deep hierarchies stress the tree primitives (broadcast,
+/// convergecast) and give large hop diameters at tiny `m`.
+pub fn binary_tree(n: usize, directed: bool, dist: WeightDist, seed: u64) -> WGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n, directed);
+    for v in 1..n {
+        let parent = ((v - 1) / 2) as NodeId;
+        b.add_edge(parent, v as NodeId, dist.sample(&mut rng));
+    }
+    b.build()
+}
+
+/// Barbell: two cliques of size `clique` joined by a path of
+/// `bridge_len` edges. The bridge is the congestion bottleneck every
+/// multi-source run has to squeeze through — worst case for pipelining
+/// claims that hide congestion.
+pub fn barbell(clique: usize, bridge_len: usize, dist: WeightDist, seed: u64) -> WGraph {
+    assert!(clique >= 2 && bridge_len >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = 2 * clique + bridge_len.saturating_sub(1);
+    let mut b = GraphBuilder::new(n, false);
+    // left clique: 0..clique, right clique occupies the tail
+    for u in 0..clique {
+        for v in u + 1..clique {
+            b.add_edge(u as NodeId, v as NodeId, dist.sample(&mut rng));
+        }
+    }
+    let right0 = clique + bridge_len - 1;
+    for u in 0..clique {
+        for v in u + 1..clique {
+            b.add_edge((right0 + u) as NodeId, (right0 + v) as NodeId, dist.sample(&mut rng));
+        }
+    }
+    // bridge: clique-1 -> clique -> ... -> right0
+    let mut prev = (clique - 1) as NodeId;
+    for i in 0..bridge_len {
+        let next = if i + 1 == bridge_len {
+            right0 as NodeId
+        } else {
+            (clique + i) as NodeId
+        };
+        b.add_edge(prev, next, dist.sample(&mut rng));
+        prev = next;
+    }
+    b.build()
+}
+
+/// Random `d`-regular-ish expander: union of `d/2` random Hamiltonian
+/// cycles (undirected; every node has degree `d` up to collisions).
+/// Logarithmic diameter with high girth-ish structure — the opposite
+/// stress profile to [`barbell`].
+pub fn expanderish(n: usize, d: usize, dist: WeightDist, seed: u64) -> WGraph {
+    assert!(n >= 3 && d >= 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n, false);
+    for _ in 0..d.div_ceil(2) {
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.shuffle(&mut rng);
+        for i in 0..n {
+            b.add_edge(order[i], order[(i + 1) % n], dist.sample(&mut rng));
+        }
+    }
+    b.build()
+}
+
+/// Weighted torus: `rows x cols` grid with wraparound in both dimensions.
+pub fn torus(rows: usize, cols: usize, dist: WeightDist, seed: u64) -> WGraph {
+    assert!(rows >= 3 && cols >= 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let id = |r: usize, c: usize| ((r % rows) * cols + (c % cols)) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols, false);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, c + 1), dist.sample(&mut rng));
+            b.add_edge(id(r, c), id(r + 1, c), dist.sample(&mut rng));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    const UNIT: WeightDist = WeightDist::Constant(1);
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(15, false, UNIT, 0);
+        assert_eq!(g.m(), 14);
+        assert!(analysis::comm_connected(&g));
+        // root has 2 children; a mid node has parent + 2 children
+        assert_eq!(g.comm_degree(0), 2);
+        assert_eq!(g.comm_degree(1), 3);
+        assert_eq!(g.comm_degree(14), 1);
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 3, UNIT, 0);
+        // 2 cliques of 4 (6 edges each) + 3 bridge edges
+        assert_eq!(g.n(), 2 * 4 + 2);
+        assert_eq!(g.m(), 6 + 6 + 3);
+        assert!(analysis::comm_connected(&g));
+        // the bridge inflates the diameter
+        assert!(analysis::comm_diameter(&g).unwrap() >= 4);
+    }
+
+    #[test]
+    fn expander_small_diameter() {
+        let g = expanderish(64, 4, UNIT, 1);
+        assert!(analysis::comm_connected(&g));
+        let d = analysis::comm_diameter(&g).unwrap();
+        assert!(d <= 8, "expander diameter {d} too large");
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(4, 5, UNIT, 0);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 2 * 20);
+        for v in g.nodes() {
+            assert_eq!(g.comm_degree(v), 4);
+        }
+    }
+}

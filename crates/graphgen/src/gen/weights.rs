@@ -1,0 +1,87 @@
+//! Edge-weight distributions for randomized generators.
+
+use crate::graph::Weight;
+use rand::Rng;
+
+/// How to draw edge weights.
+///
+/// The paper's regimes of interest are parameterized by the maximum edge
+/// weight `W` (Theorem I.2) and by the fraction of zero-weight edges (the
+/// motivating difficulty). `ZeroOr` draws zero with probability `p_zero`
+/// and otherwise uniform in `1..=max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightDist {
+    /// Every edge has the same weight (use `Constant(1)` for unweighted).
+    Constant(Weight),
+    /// Uniform in `0..=max` (zero included with probability `1/(max+1)`).
+    Uniform { max: Weight },
+    /// Zero with probability `p_zero`, otherwise uniform in `1..=max`.
+    ZeroOr { p_zero: f64, max: Weight },
+}
+
+impl WeightDist {
+    /// Draw one weight.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Weight {
+        match *self {
+            WeightDist::Constant(w) => w,
+            WeightDist::Uniform { max } => rng.gen_range(0..=max),
+            WeightDist::ZeroOr { p_zero, max } => {
+                if rng.gen_bool(p_zero.clamp(0.0, 1.0)) {
+                    0
+                } else {
+                    rng.gen_range(1..=max.max(1))
+                }
+            }
+        }
+    }
+
+    /// Largest weight this distribution can produce.
+    pub fn max_weight(&self) -> Weight {
+        match *self {
+            WeightDist::Constant(w) => w,
+            WeightDist::Uniform { max } => max,
+            WeightDist::ZeroOr { max, .. } => max.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(WeightDist::Constant(7).sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn uniform_within_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = WeightDist::Uniform { max: 5 };
+        for _ in 0..200 {
+            assert!(d.sample(&mut rng) <= 5);
+        }
+    }
+
+    #[test]
+    fn zero_or_produces_zeros_and_positives() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let d = WeightDist::ZeroOr { p_zero: 0.5, max: 9 };
+        let samples: Vec<_> = (0..400).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.contains(&0));
+        assert!(samples.iter().any(|&w| w > 0));
+        assert!(samples.iter().all(|&w| w <= 9));
+    }
+
+    #[test]
+    fn max_weight_reported() {
+        assert_eq!(WeightDist::Constant(3).max_weight(), 3);
+        assert_eq!(WeightDist::Uniform { max: 8 }.max_weight(), 8);
+        assert_eq!(WeightDist::ZeroOr { p_zero: 0.1, max: 4 }.max_weight(), 4);
+    }
+}

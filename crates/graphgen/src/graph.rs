@@ -1,0 +1,331 @@
+//! The core weighted graph type.
+
+use serde::{Deserialize, Serialize};
+
+/// Node identifier. The paper assigns IDs in `1..poly(n)`; we use dense
+/// `0..n` which is equivalent up to relabeling and keeps adjacency arrays
+/// compact.
+pub type NodeId = u32;
+
+/// Non-negative integer edge weight (zero allowed). The paper assumes
+/// weights representable in `B = O(log n)` bits; `u64` is ample.
+pub type Weight = u64;
+
+/// Sentinel for "unreachable" distances.
+pub const INFINITY: Weight = Weight::MAX;
+
+/// A single weighted edge `src -> dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub w: Weight,
+}
+
+impl Edge {
+    pub fn new(src: NodeId, dst: NodeId, w: Weight) -> Self {
+        Edge { src, dst, w }
+    }
+}
+
+/// A weighted graph with non-negative integer edge weights.
+///
+/// * For **directed** graphs, `out[v]` are edges leaving `v` and `inc[v]`
+///   edges entering `v`.
+/// * For **undirected** graphs, every edge `{u,v}` appears in `out[u]`,
+///   `out[v]`, `inc[u]` and `inc[v]` so that the directed code paths work
+///   unchanged.
+///
+/// `comm[v]` is the neighborhood of `v` in the *underlying undirected*
+/// communication graph `U_G` — the set of nodes `v` shares a CONGEST link
+/// with, regardless of edge direction (paper Section I-B).
+///
+/// Invariants (enforced by [`crate::builder::GraphBuilder`]):
+/// * no self loops;
+/// * no parallel edges (the minimum weight is kept);
+/// * adjacency lists sorted by neighbor id (determinism).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WGraph {
+    n: usize,
+    directed: bool,
+    out: Vec<Vec<(NodeId, Weight)>>,
+    inc: Vec<Vec<(NodeId, Weight)>>,
+    comm: Vec<Vec<NodeId>>,
+    m: usize,
+}
+
+impl WGraph {
+    /// Construct from parts. Prefer [`crate::builder::GraphBuilder`]; this is
+    /// used by the builder and by deserialization validation.
+    pub(crate) fn from_parts(
+        n: usize,
+        directed: bool,
+        out: Vec<Vec<(NodeId, Weight)>>,
+        inc: Vec<Vec<(NodeId, Weight)>>,
+        comm: Vec<Vec<NodeId>>,
+        m: usize,
+    ) -> Self {
+        WGraph {
+            n,
+            directed,
+            out,
+            inc,
+            comm,
+            m,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (logical) edges `m`: directed edge count for directed
+    /// graphs, undirected edge count for undirected graphs.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-neighbors of `v` with weights, sorted by neighbor id.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        &self.out[v as usize]
+    }
+
+    /// In-neighbors of `v` with weights, sorted by neighbor id.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        &self.inc[v as usize]
+    }
+
+    /// Communication neighbors of `v` in the underlying undirected graph.
+    #[inline]
+    pub fn comm_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.comm[v as usize]
+    }
+
+    /// Degree of `v` in the communication graph.
+    #[inline]
+    pub fn comm_degree(&self, v: NodeId) -> usize {
+        self.comm[v as usize].len()
+    }
+
+    /// The weight of edge `u -> v`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        let row = &self.out[u as usize];
+        row.binary_search_by_key(&v, |&(d, _)| d)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// Iterator over all logical edges. For undirected graphs each edge is
+    /// yielded once with `src < dst`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.out.iter().enumerate().flat_map(move |(u, row)| {
+            let u = u as NodeId;
+            row.iter().filter_map(move |&(v, w)| {
+                if self.directed || u < v {
+                    Some(Edge::new(u, v, w))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Iterator over node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n as NodeId
+    }
+
+    /// Largest edge weight `W` (0 for edgeless graphs).
+    pub fn max_weight(&self) -> Weight {
+        self.out
+            .iter()
+            .flat_map(|row| row.iter().map(|&(_, w)| w))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of zero-weight edges (logical count, like [`WGraph::m`]).
+    pub fn zero_weight_edges(&self) -> usize {
+        self.edges().filter(|e| e.w == 0).count()
+    }
+
+    /// The subgraph containing only zero-weight edges (same node set).
+    /// Used by the approximate-APSP zero-closure step (paper Section IV).
+    pub fn zero_subgraph(&self) -> WGraph {
+        let mut b = crate::builder::GraphBuilder::new(self.n, self.directed);
+        for e in self.edges() {
+            if e.w == 0 {
+                b.add_edge(e.src, e.dst, 0);
+            }
+        }
+        b.build()
+    }
+
+    /// Apply `f` to every edge weight, producing a new graph with the same
+    /// topology. Used by the Section IV weight transform and by the
+    /// approximate-APSP scale rounding.
+    pub fn map_weights(&self, mut f: impl FnMut(Edge) -> Weight) -> WGraph {
+        let out: Vec<Vec<(NodeId, Weight)>> = self
+            .out
+            .iter()
+            .enumerate()
+            .map(|(u, row)| {
+                row.iter()
+                    .map(|&(v, w)| (v, f(Edge::new(u as NodeId, v, w))))
+                    .collect()
+            })
+            .collect();
+        let inc: Vec<Vec<(NodeId, Weight)>> = self
+            .inc
+            .iter()
+            .enumerate()
+            .map(|(v, row)| {
+                row.iter()
+                    .map(|&(u, w)| {
+                        let _ = w;
+                        let nw = out[u as usize]
+                            .iter()
+                            .find(|&&(d, _)| d == v as NodeId)
+                            .map(|&(_, w)| w)
+                            .expect("in-edge must mirror an out-edge");
+                        (u, nw)
+                    })
+                    .collect()
+            })
+            .collect();
+        WGraph {
+            n: self.n,
+            directed: self.directed,
+            out,
+            inc,
+            comm: self.comm.clone(),
+            m: self.m,
+        }
+    }
+
+    /// Reverse all edges (no-op for undirected graphs).
+    pub fn reversed(&self) -> WGraph {
+        if !self.directed {
+            return self.clone();
+        }
+        WGraph {
+            n: self.n,
+            directed: true,
+            out: self.inc.clone(),
+            inc: self.out.clone(),
+            comm: self.comm.clone(),
+            m: self.m,
+        }
+    }
+
+    /// Total number of directed adjacency entries (2m for undirected).
+    pub fn out_entry_count(&self) -> usize {
+        self.out.iter().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond(directed: bool) -> WGraph {
+        let mut b = GraphBuilder::new(4, directed);
+        b.add_edge(0, 1, 2);
+        b.add_edge(0, 2, 0);
+        b.add_edge(1, 3, 1);
+        b.add_edge(2, 3, 5);
+        b.build()
+    }
+
+    #[test]
+    fn directed_adjacency() {
+        let g = diamond(true);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.out_edges(0), &[(1, 2), (2, 0)]);
+        assert_eq!(g.in_edges(3), &[(1, 1), (2, 5)]);
+        assert_eq!(g.out_edges(3), &[]);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn undirected_adjacency_mirrors() {
+        let g = diamond(false);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.out_edges(3), &[(1, 1), (2, 5)]);
+        assert_eq!(g.in_edges(3), &[(1, 1), (2, 5)]);
+        assert_eq!(g.comm_neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn comm_neighbors_union_of_directions() {
+        let mut b = GraphBuilder::new(3, true);
+        b.add_edge(0, 1, 7);
+        b.add_edge(2, 0, 3);
+        let g = b.build();
+        assert_eq!(g.comm_neighbors(0), &[1, 2]);
+        assert_eq!(g.comm_neighbors(1), &[0]);
+        assert_eq!(g.comm_neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = diamond(true);
+        assert_eq!(g.edge_weight(0, 2), Some(0));
+        assert_eq!(g.edge_weight(2, 0), None);
+        assert_eq!(g.edge_weight(1, 3), Some(1));
+    }
+
+    #[test]
+    fn edges_iterator_counts() {
+        let gd = diamond(true);
+        assert_eq!(gd.edges().count(), 4);
+        let gu = diamond(false);
+        assert_eq!(gu.edges().count(), 4);
+        assert!(gu.edges().all(|e| e.src < e.dst));
+    }
+
+    #[test]
+    fn zero_subgraph_keeps_only_zero_edges() {
+        let g = diamond(true);
+        let z = g.zero_subgraph();
+        assert_eq!(z.m(), 1);
+        assert_eq!(z.edge_weight(0, 2), Some(0));
+        assert_eq!(z.n(), 4);
+    }
+
+    #[test]
+    fn map_weights_transform() {
+        let g = diamond(true);
+        let t = g.map_weights(|e| if e.w == 0 { 1 } else { e.w * 10 });
+        assert_eq!(t.edge_weight(0, 2), Some(1));
+        assert_eq!(t.edge_weight(0, 1), Some(20));
+        assert_eq!(t.in_edges(3), &[(1, 10), (2, 50)]);
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = diamond(true).reversed();
+        assert_eq!(g.out_edges(3), &[(1, 1), (2, 5)]);
+        assert_eq!(g.in_edges(0), &[(1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn max_weight_and_zero_count() {
+        let g = diamond(true);
+        assert_eq!(g.max_weight(), 5);
+        assert_eq!(g.zero_weight_edges(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the graph substrate: builder invariants,
+//! serialization round-trips, and generator guarantees.
+
+use dw_graph::gen::{self, WeightDist};
+use dw_graph::{analysis, io, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(NodeId, NodeId, u64)>> {
+    proptest::collection::vec((0..n as NodeId, 0..n as NodeId, 0u64..50), 0..4 * n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn builder_invariants(n in 2usize..20, edges in arb_edges(20), directed: bool) {
+        let mut b = GraphBuilder::new(20, directed);
+        let _ = n;
+        for (s, d, w) in &edges {
+            b.add_edge(*s, *d, *w);
+        }
+        let g = b.build();
+        // adjacency sorted and deduplicated
+        for v in g.nodes() {
+            let out = g.out_edges(v);
+            prop_assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+            let inc = g.in_edges(v);
+            prop_assert!(inc.windows(2).all(|w| w[0].0 < w[1].0));
+            // no self loops survive
+            prop_assert!(out.iter().all(|&(u, _)| u != v));
+            // comm neighborhood symmetric
+            for &u in g.comm_neighbors(v) {
+                prop_assert!(g.comm_neighbors(u).contains(&v), "{u} <-> {v}");
+            }
+        }
+        // every out edge mirrored as an in edge
+        for e in g.edges() {
+            prop_assert_eq!(g.edge_weight(e.src, e.dst), Some(e.w));
+            prop_assert!(g.in_edges(e.dst).iter().any(|&(u, w)| u == e.src && w == e.w));
+        }
+        // parallel edges keep the minimum weight
+        for (s, d, w) in &edges {
+            if s != d {
+                if let Some(kept) = g.edge_weight(*s, *d) {
+                    prop_assert!(kept <= *w || !directed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip(edges in arb_edges(15), directed: bool) {
+        let mut b = GraphBuilder::new(15, directed);
+        for (s, d, w) in edges {
+            b.add_edge(s, d, w);
+        }
+        let g = b.build();
+        let g2 = io::from_json(&io::to_json(&g)).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn gnp_connected_is_connected(n in 2usize..40, seed: u64) {
+        let g = gen::gnp_connected(n, 0.05, false, WeightDist::Constant(1), seed);
+        prop_assert!(analysis::comm_connected(&g));
+    }
+
+    #[test]
+    fn zero_heavy_weight_range(n in 4usize..30, seed: u64, w in 1u64..20) {
+        let g = gen::zero_heavy(n, 0.2, 0.5, w, true, seed);
+        prop_assert!(g.max_weight() <= w);
+        prop_assert!(analysis::comm_connected(&g));
+    }
+
+    #[test]
+    fn map_weights_preserves_topology(edges in arb_edges(12), directed: bool) {
+        let mut b = GraphBuilder::new(12, directed);
+        for (s, d, w) in edges {
+            b.add_edge(s, d, w);
+        }
+        let g = b.build();
+        let t = g.map_weights(|e| e.w * 2 + 1);
+        prop_assert_eq!(g.n(), t.n());
+        prop_assert_eq!(g.m(), t.m());
+        for e in g.edges() {
+            prop_assert_eq!(t.edge_weight(e.src, e.dst), Some(e.w * 2 + 1));
+        }
+        for v in g.nodes() {
+            prop_assert_eq!(g.comm_neighbors(v), t.comm_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn zero_subgraph_subset(edges in arb_edges(12)) {
+        let mut b = GraphBuilder::new(12, true);
+        for (s, d, w) in edges {
+            b.add_edge(s, d, w % 3); // plenty of zeros
+        }
+        let g = b.build();
+        let z = g.zero_subgraph();
+        prop_assert_eq!(z.n(), g.n());
+        for e in z.edges() {
+            prop_assert_eq!(e.w, 0);
+            prop_assert_eq!(g.edge_weight(e.src, e.dst), Some(0));
+        }
+        prop_assert_eq!(z.m(), g.zero_weight_edges());
+    }
+}

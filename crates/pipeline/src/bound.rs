@@ -1,0 +1,70 @@
+//! The paper's round bounds, computed exactly.
+
+use crate::key::ceil_sqrt_u128;
+use dw_graph::Weight;
+
+/// Theorem I.1(i): `(h,k)`-SSP completes within
+/// `⌈2·sqrt(Δ·h·k)⌉ + k + h` rounds.
+pub fn hk_round_bound(h: u64, k: u64, delta: Weight) -> u64 {
+    let prod = 4u128 * (delta.max(1) as u128) * (h as u128) * (k as u128);
+    let two_sqrt = ceil_sqrt_u128(prod); // ⌈2·sqrt(x)⌉ = ⌈sqrt(4x)⌉
+    two_sqrt as u64 + k + h
+}
+
+/// Theorem I.1(ii): APSP within `2n·sqrt(Δ) + 2n` rounds
+/// (the `h = k = n` case of [`hk_round_bound`]).
+pub fn apsp_round_bound(n: usize, delta: Weight) -> u64 {
+    hk_round_bound(n as u64, n as u64, delta)
+}
+
+/// Invariant 2 / Lemma II.11: at most `sqrt(Δ·h/k) + 1` entries per source
+/// on any list. Exact check: `count <= sqrt(Δh/k) + 1`
+/// ⟺ `(count-1)²·k <= Δ·h`.
+pub fn per_source_list_bound_holds(count: usize, k: u64, h: u64, delta: Weight) -> bool {
+    if count <= 1 {
+        return true;
+    }
+    let c1 = (count - 1) as u128;
+    c1 * c1 * (k as u128) <= (delta.max(1) as u128) * (h as u128)
+}
+
+/// Total list bound from Lemma II.14's argument: `γΔ + k` entries
+/// (`γΔ = sqrt(hkΔ)`), i.e. `len <= ⌈sqrt(hkΔ)⌉ + k`.
+pub fn total_list_bound(k: u64, h: u64, delta: Weight) -> u64 {
+    ceil_sqrt_u128((h as u128) * (k as u128) * (delta.max(1) as u128)) as u64 + k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apsp_bound_matches_formula() {
+        // 2n·sqrt(Δ)+2n for perfect squares
+        assert_eq!(apsp_round_bound(10, 4), 2 * 10 * 2 + 2 * 10);
+        assert_eq!(apsp_round_bound(3, 1), 6 + 6);
+    }
+
+    #[test]
+    fn hk_bound_monotone() {
+        let b1 = hk_round_bound(4, 2, 9);
+        assert!(hk_round_bound(4, 2, 16) > b1);
+        assert!(hk_round_bound(8, 2, 9) > b1);
+        assert!(hk_round_bound(4, 4, 9) > b1);
+    }
+
+    #[test]
+    fn per_source_bound_examples() {
+        // sqrt(9*4/1)+1 = 7
+        assert!(per_source_list_bound_holds(7, 1, 4, 9));
+        assert!(!per_source_list_bound_holds(8, 1, 4, 9));
+        assert!(per_source_list_bound_holds(1, 100, 1, 1));
+        assert!(per_source_list_bound_holds(0, 1, 1, 1));
+    }
+
+    #[test]
+    fn total_bound_examples() {
+        // sqrt(4*1*9)=6, +k=1 ⇒ 7
+        assert_eq!(total_list_bound(1, 4, 9), 7);
+    }
+}

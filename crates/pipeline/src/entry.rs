@@ -1,0 +1,62 @@
+//! List entries and the wire message of Algorithm 1.
+
+use dw_congest::MsgSize;
+use dw_graph::{NodeId, Weight};
+
+/// One entry `Z` on a node's list: a specific path from source `src` of
+/// weighted distance `d` and hop length `l`. The key `κ = d·γ + l` is
+/// implicit (recomputed exactly from `(d, l)` via [`crate::key::Gamma`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    pub d: Weight,
+    pub l: u64,
+    pub src: NodeId,
+    /// Predecessor on the path (the sender that delivered it); `src` for
+    /// the source's own initial entry. This realizes "the last edge on
+    /// such a shortest path" the problem statement requires.
+    pub parent: NodeId,
+    /// `flag-d*`: whether this entry is the node's current shortest-path
+    /// entry for `src`.
+    pub flag_sp: bool,
+    /// Whether this entry has been announced already. The schedule
+    /// `⌈κ⌉ + pos = r` can re-trigger for an already-sent entry when `pos`
+    /// grows; the algorithm sends each entry once (re-announcing exact
+    /// duplicates would inflate receiver lists past Invariant 2).
+    pub sent: bool,
+}
+
+/// The message `M = (Z, Z.flag-d*, Z.ν)` of Algorithm 1 Step 2.
+/// `ν` is the number of entries for `Z.src` at or below `Z` on the
+/// sender's list at send time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineMsg {
+    pub d: Weight,
+    pub l: u64,
+    pub src: NodeId,
+    pub flag_sp: bool,
+    pub nu: u32,
+}
+
+impl MsgSize for PipelineMsg {
+    fn size_words(&self) -> usize {
+        // d, l, src, ν (the flag rides in a spare bit)
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_fits_congest_budget() {
+        let m = PipelineMsg {
+            d: u64::MAX - 1,
+            l: 123,
+            src: 9,
+            flag_sp: true,
+            nu: 4,
+        };
+        assert!(m.size_words() <= 8);
+    }
+}

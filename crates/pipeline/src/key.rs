@@ -1,0 +1,255 @@
+//! Exact arithmetic for the pipelining key `κ = d·γ + l`,
+//! `γ = sqrt(kh/Δ)`.
+//!
+//! `γ` is irrational in general, so keys are never materialized as
+//! numbers. Instead [`Gamma`] stores `γ² = kh/Δ` as an exact rational and
+//! provides:
+//!
+//! * a total-order comparison of `κ₁ = d₁γ + l₁` vs `κ₂ = d₂γ + l₂` by
+//!   integer cross-multiplication, and
+//! * the exact ceiling `⌈κ⌉ = l + ⌈sqrt(d²·kh/Δ)⌉` via integer square
+//!   root,
+//!
+//! making every execution bit-deterministic (no floats anywhere).
+//!
+//! Ranges: with `d ≤ n·W ≤ 2^50` and `k·h ≤ 2^40` all intermediates fit
+//! comfortably in `u128` (`d²·kh ≤ 2^140`… not quite — see the debug
+//! assertions: we require `d²·kh < 2^127`, i.e. `d·sqrt(kh) < 2^63`, which
+//! holds for every realistic instance; violations panic rather than give
+//! wrong answers).
+
+use dw_graph::Weight;
+use std::cmp::Ordering;
+
+/// The exact value `γ = sqrt(num/den)` with `num = k·h`, `den = Δ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gamma {
+    num: u128,
+    den: u128,
+}
+
+impl Gamma {
+    /// `γ = sqrt(k·h / Δ)` (paper Section II-A). `Δ = 0` is treated as 1
+    /// (an all-zero-distance instance; any positive γ is valid — the round
+    /// bound degrades gracefully).
+    pub fn new(k: u64, h: u64, delta: Weight) -> Self {
+        assert!(k >= 1 && h >= 1, "need at least one source and one hop");
+        Gamma {
+            num: (k as u128) * (h as u128),
+            den: (delta.max(1)) as u128,
+        }
+    }
+
+    /// `k·h` (numerator of `γ²`).
+    pub fn kh(&self) -> u128 {
+        self.num
+    }
+
+    /// `Δ` (denominator of `γ²`).
+    pub fn delta(&self) -> u128 {
+        self.den
+    }
+
+    /// Compare `κ₁ = d₁·γ + l₁` with `κ₂ = d₂·γ + l₂` exactly.
+    pub fn cmp_kappa(&self, d1: Weight, l1: u64, d2: Weight, l2: u64) -> Ordering {
+        if d1 == d2 {
+            return l1.cmp(&l2);
+        }
+        // wlog κ₁ - κ₂ = (d1-d2)γ + (l1-l2); sign decided by comparing
+        // (d1-d2)γ with (l2-l1).
+        let (dd, ll, flip) = if d1 > d2 {
+            (d1 - d2, l2 as i128 - l1 as i128, false)
+        } else {
+            (d2 - d1, l1 as i128 - l2 as i128, true)
+        };
+        let ord = if ll <= 0 {
+            Ordering::Greater // positive γ·dd beats non-positive ll
+        } else {
+            let dd = dd as u128;
+            debug_assert!(
+                dd.checked_mul(dd)
+                    .and_then(|x| x.checked_mul(self.num))
+                    .is_some(),
+                "key arithmetic overflow: d difference too large"
+            );
+            let lhs = dd * dd * self.num; // (dd·γ)² · den
+            let ll = ll as u128;
+            let rhs = ll * ll * self.den;
+            lhs.cmp(&rhs)
+        };
+        if flip {
+            ord.reverse()
+        } else {
+            ord
+        }
+    }
+
+    /// Exact `⌈κ⌉ = l + ⌈d·γ⌉`.
+    pub fn ceil_kappa(&self, d: Weight, l: u64) -> u64 {
+        l + self.ceil_d_gamma(d)
+    }
+
+    /// Exact `⌈d·γ⌉`: the smallest `m` with `m²·Δ ≥ d²·k·h`.
+    pub fn ceil_d_gamma(&self, d: Weight) -> u64 {
+        if d == 0 {
+            return 0;
+        }
+        let d = d as u128;
+        let a = d
+            .checked_mul(d)
+            .and_then(|x| x.checked_mul(self.num))
+            .expect("key arithmetic overflow: d²·k·h exceeds u128");
+        // smallest m with m² ≥ a/den, i.e. m²·den ≥ a
+        let mut m = isqrt_u128(a / self.den);
+        while m * m * self.den < a {
+            m += 1;
+        }
+        debug_assert!(m <= u64::MAX as u128);
+        m as u64
+    }
+}
+
+/// Integer square root: largest `r` with `r² ≤ x`.
+pub fn isqrt_u128(x: u128) -> u128 {
+    if x < 2 {
+        return x;
+    }
+    // f64 seed, then Newton to exactness.
+    let mut r = (x as f64).sqrt() as u128;
+    // correct the seed (f64 has 53 bits of mantissa)
+    while r != 0 && r.checked_mul(r).is_none_or(|rr| rr > x) {
+        r -= 1;
+    }
+    while (r + 1).checked_mul(r + 1).is_some_and(|rr| rr <= x) {
+        r += 1;
+    }
+    r
+}
+
+/// Integer ceiling square root: smallest `r` with `r² ≥ x`.
+pub fn ceil_sqrt_u128(x: u128) -> u128 {
+    let r = isqrt_u128(x);
+    if r * r == x {
+        r
+    } else {
+        r + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_squares() {
+        for v in [0u128, 1, 2, 3, 4, 15, 16, 17, 1 << 40, (1 << 60) - 1] {
+            let r = isqrt_u128(v);
+            assert!(r * r <= v);
+            assert!((r + 1) * (r + 1) > v);
+        }
+        assert_eq!(isqrt_u128(u128::MAX), (1u128 << 64) - 1);
+    }
+
+    #[test]
+    fn ceil_sqrt_behaviour() {
+        assert_eq!(ceil_sqrt_u128(0), 0);
+        assert_eq!(ceil_sqrt_u128(1), 1);
+        assert_eq!(ceil_sqrt_u128(2), 2);
+        assert_eq!(ceil_sqrt_u128(4), 2);
+        assert_eq!(ceil_sqrt_u128(5), 3);
+    }
+
+    #[test]
+    fn gamma_one_reduces_to_d_plus_l() {
+        // k·h = Δ ⇒ γ = 1 ⇒ κ = d + l exactly
+        let g = Gamma::new(2, 8, 16);
+        assert_eq!(g.ceil_kappa(5, 3), 8);
+        assert_eq!(g.cmp_kappa(5, 3, 4, 4), Ordering::Equal);
+        assert_eq!(g.cmp_kappa(5, 3, 4, 3), Ordering::Greater);
+        assert_eq!(g.cmp_kappa(5, 3, 6, 3), Ordering::Less);
+    }
+
+    #[test]
+    fn comparisons_match_float_reference() {
+        // exhaustive small grid against careful f64 (values small enough
+        // that f64 is exact in the strict cases)
+        for (k, h, delta) in [(1u64, 4u64, 9u64), (3, 5, 7), (2, 10, 100), (7, 7, 1)] {
+            let g = Gamma::new(k, h, delta);
+            let gamma = ((k * h) as f64 / delta as f64).sqrt();
+            for d1 in 0u64..8 {
+                for l1 in 0u64..8 {
+                    for d2 in 0u64..8 {
+                        for l2 in 0u64..8 {
+                            let k1 = d1 as f64 * gamma + l1 as f64;
+                            let k2 = d2 as f64 * gamma + l2 as f64;
+                            let expect = if (k1 - k2).abs() < 1e-9 {
+                                Ordering::Equal
+                            } else if k1 < k2 {
+                                Ordering::Less
+                            } else {
+                                Ordering::Greater
+                            };
+                            assert_eq!(
+                                g.cmp_kappa(d1, l1, d2, l2),
+                                expect,
+                                "k={k} h={h} Δ={delta}: ({d1},{l1}) vs ({d2},{l2})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ceil_matches_float_reference() {
+        for (k, h, delta) in [(1u64, 4u64, 9u64), (3, 5, 7), (2, 10, 100), (5, 5, 2)] {
+            let g = Gamma::new(k, h, delta);
+            let gamma = ((k * h) as f64 / delta as f64).sqrt();
+            for d in 0u64..200 {
+                for l in [0u64, 1, 5, 17] {
+                    let exact = g.ceil_kappa(d, l);
+                    let float = (d as f64 * gamma + l as f64).ceil() as u64;
+                    // float may be off by one only at exact-integer κ
+                    assert!(
+                        exact == float || exact == float + 1 || exact + 1 == float,
+                        "d={d} l={l}: exact {exact} vs float {float}"
+                    );
+                    // exact definition check: smallest m ≥ d·γ
+                    let m = exact - l;
+                    let lhs = (m as u128) * (m as u128) * g.delta();
+                    let rhs = (d as u128) * (d as u128) * g.kh();
+                    assert!(lhs >= rhs);
+                    if m > 0 {
+                        let m1 = m - 1;
+                        assert!((m1 as u128) * (m1 as u128) * g.delta() < rhs);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delta_guard() {
+        let g = Gamma::new(2, 3, 0);
+        assert_eq!(g.delta(), 1);
+        assert_eq!(g.ceil_kappa(0, 5), 5);
+    }
+
+    #[test]
+    fn total_order_transitivity_spot_check() {
+        let g = Gamma::new(3, 7, 11);
+        let pts: Vec<(u64, u64)> = (0..6).flat_map(|d| (0..6).map(move |l| (d, l))).collect();
+        for &a in &pts {
+            for &b in &pts {
+                for &c in &pts {
+                    let ab = g.cmp_kappa(a.0, a.1, b.0, b.1);
+                    let bc = g.cmp_kappa(b.0, b.1, c.0, c.1);
+                    if ab == bc {
+                        assert_eq!(g.cmp_kappa(a.0, a.1, c.0, c.1), ab);
+                    }
+                }
+            }
+        }
+    }
+}

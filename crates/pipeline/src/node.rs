@@ -1,0 +1,288 @@
+//! The per-node program of Algorithm 1.
+
+use crate::bound::per_source_list_bound_holds;
+use crate::config::AdmissionRule;
+use crate::entry::{Entry, PipelineMsg};
+use crate::key::Gamma;
+use crate::list::NodeList;
+use dw_congest::{Envelope, NodeCtx, Outbox, Protocol, Round};
+use dw_graph::{NodeId, Weight};
+use std::collections::HashMap;
+
+/// Current shortest-path record `(d*, l*, parent)` for one source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Best {
+    pub d: Weight,
+    pub l: u64,
+    pub parent: NodeId,
+}
+
+/// Per-node instrumentation (cheap counters; gathered by
+/// [`crate::invariants`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Entries inserted over the run.
+    pub inserts: u64,
+    /// Received entries dropped by the Step-13 admission rule.
+    pub drops: u64,
+    /// Largest list length observed.
+    pub max_list_len: usize,
+    /// Largest per-source entry count observed.
+    pub max_per_source: usize,
+    /// Invariant 1 violations (`r >= ⌈κ⌉ + pos` at insert time) — must
+    /// stay 0 (Lemma II.12).
+    pub inv1_violations: u64,
+    /// Invariant 2 violations (per-source count exceeding
+    /// `sqrt(Δh/k) + 1`) — must stay 0 (Lemma II.11).
+    pub inv2_violations: u64,
+    /// Announcements made after their scheduled round (the re-arm path of
+    /// [`crate::list::NodeList::find_send`]) — 0 whenever Invariant 1
+    /// holds.
+    pub late_sends: u64,
+    /// The last round in which this node's shortest-path record for any
+    /// source changed. The theorem bounds (Lemma II.14) are about this
+    /// *convergence* round, not about when residual non-SP traffic dies
+    /// down.
+    pub last_best_update: u64,
+    /// Debug detail of the last Invariant-1 violation:
+    /// `[round, schedule_value, d, l, src]`.
+    pub last_inv1: Option<[u64; 5]>,
+    /// Debug detail of the last Invariant-2 violation:
+    /// `[round, count, d, src]`.
+    pub last_inv2: Option<[u64; 4]>,
+}
+
+/// Node program: one instance per node; all share the same `(h, k, Δ)`
+/// parameters via `gamma` and `h`.
+#[derive(Clone)]
+pub struct PipelinedNode {
+    gamma: Gamma,
+    /// Hop bound (`h` for plain `(h,k)`-SSP; `2h` inside CSSSP).
+    h: u64,
+    /// `k` (for the Invariant-2 check).
+    k: u64,
+    is_source: bool,
+    admission: AdmissionRule,
+    list: NodeList,
+    best: HashMap<NodeId, Best>,
+    track: bool,
+    pub stats: NodeStats,
+}
+
+impl PipelinedNode {
+    pub fn new(gamma: Gamma, h: u64, k: u64, is_source: bool, track: bool) -> Self {
+        Self::with_admission(gamma, h, k, is_source, track, AdmissionRule::default())
+    }
+
+    /// As [`PipelinedNode::new`] with an explicit Step-13 admission rule
+    /// (the E11 ablation).
+    pub fn with_admission(
+        gamma: Gamma,
+        h: u64,
+        k: u64,
+        is_source: bool,
+        track: bool,
+        admission: AdmissionRule,
+    ) -> Self {
+        PipelinedNode {
+            gamma,
+            h,
+            k,
+            is_source,
+            admission,
+            list: NodeList::new(gamma),
+            best: HashMap::new(),
+            track,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// The node's current shortest-path record for `source`.
+    pub fn best_for(&self, source: NodeId) -> Option<&Best> {
+        self.best.get(&source)
+    }
+
+    /// The node's list (test instrumentation).
+    pub fn list(&self) -> &NodeList {
+        &self.list
+    }
+
+    /// Is `cand` strictly better than the current SP record under the
+    /// paper's Step-9 order: smaller `d`, then smaller `l`, then smaller
+    /// parent id?
+    fn improves(cur: Option<&Best>, d: Weight, l: u64, parent: NodeId) -> bool {
+        match cur {
+            None => true,
+            Some(b) => {
+                (d, l, parent) < (b.d, b.l, b.parent)
+            }
+        }
+    }
+
+    fn after_insert(&mut self, idx: usize, round: Round, src: NodeId) {
+        if !self.track {
+            return;
+        }
+        self.stats.inserts += 1;
+        // Invariant 1: r < ⌈κ⌉ + pos at insertion time.
+        if round >= self.list.schedule_value(idx) {
+            self.stats.inv1_violations += 1;
+            let e = self.list.get(idx);
+            self.stats.last_inv1 = Some([round, self.list.schedule_value(idx), e.d, e.l, e.src as u64]);
+        }
+        // Invariant 2: per-source count within sqrt(Δh/k)+1.
+        let c = self.list.count_for_source(src);
+        self.stats.max_per_source = self.stats.max_per_source.max(c);
+        if !per_source_list_bound_holds(c, self.k, self.h, self.gamma.delta() as Weight) {
+            self.stats.inv2_violations += 1;
+            let e = self.list.get(idx);
+            self.stats.last_inv2 = Some([round, c as u64, e.d, e.src as u64]);
+        }
+        self.stats.max_list_len = self.stats.max_list_len.max(self.list.len());
+    }
+}
+
+impl Protocol for PipelinedNode {
+    type Msg = PipelineMsg;
+
+    /// Initialization (paper round 0): each source places `(0,0,0,x)` on
+    /// its own list, flagged SP.
+    fn init(&mut self, ctx: &NodeCtx) {
+        if self.is_source {
+            let e = Entry {
+                d: 0,
+                l: 0,
+                src: ctx.id,
+                parent: ctx.id,
+                flag_sp: true,
+                sent: false,
+            };
+            self.list.insert(e);
+            self.best.insert(
+                ctx.id,
+                Best {
+                    d: 0,
+                    l: 0,
+                    parent: ctx.id,
+                },
+            );
+        }
+    }
+
+    /// Steps 1–2: if an entry has `⌈κ⌉ + pos = r`, send it (with its ν
+    /// count and SP flag) to all neighbors.
+    fn send(&mut self, round: Round, _ctx: &NodeCtx, out: &mut Outbox<PipelineMsg>) {
+        if let Some(idx) = self.list.find_send(round) {
+            if self.track && self.list.schedule_value(idx) < round {
+                self.stats.late_sends += 1;
+            }
+            let nu = self.list.nu(idx);
+            let e = self.list.get(idx);
+            let msg = PipelineMsg {
+                d: e.d,
+                l: e.l,
+                src: e.src,
+                flag_sp: e.flag_sp,
+                nu,
+            };
+            self.list.mark_sent(idx);
+            out.broadcast(msg);
+        }
+    }
+
+    /// Steps 3–13: extend each incoming entry by the connecting edge,
+    /// insert it as the new SP entry if it improves `(d*, l*, parent)`,
+    /// otherwise admit it only if fewer than `ν` smaller-key entries for
+    /// that source are present.
+    fn receive(&mut self, round: Round, inbox: &[Envelope<PipelineMsg>], ctx: &NodeCtx) {
+        for env in inbox {
+            // Only edges of G extend paths; other comm links carry the
+            // message but it cannot be relaxed here.
+            let Some(w) = ctx.in_weight_from(env.from) else {
+                continue;
+            };
+            let m = &env.msg;
+            let d = m.d + w;
+            let l = m.l + 1;
+            if l > self.h {
+                continue; // hop budget exhausted
+            }
+            let src = m.src;
+            if Self::improves(self.best.get(&src), d, l, env.from) {
+                // Steps 9-11: new shortest-path entry. The old SP entry
+                // stays flagged through the insert (protecting it from the
+                // eviction step) and is demoted afterwards — see
+                // `NodeList::demote_old_sp`.
+                if self.track {
+                    self.stats.last_best_update = round;
+                }
+                self.best.insert(
+                    src,
+                    Best {
+                        d,
+                        l,
+                        parent: env.from,
+                    },
+                );
+                let idx = self.list.insert(Entry {
+                    d,
+                    l,
+                    src,
+                    parent: env.from,
+                    flag_sp: true,
+                    sent: false,
+                });
+                self.list.demote_old_sp(src, idx);
+                self.after_insert(idx, round, src);
+            } else {
+                // Step 13: admission by the sender-side ν count.
+                let cand = Entry {
+                    d,
+                    l,
+                    src,
+                    parent: env.from,
+                    flag_sp: false,
+                    sent: false,
+                };
+                let below = match self.admission {
+                    AdmissionRule::ListOrder => {
+                        self.list.count_below_insertion_for_source(&cand)
+                    }
+                    AdmissionRule::StrictKappa => self.list.count_lt_kappa_for_source(&cand),
+                };
+                if below < m.nu {
+                    let idx = self.list.insert(cand);
+                    self.after_insert(idx, round, src);
+                } else if self.track {
+                    self.stats.drops += 1;
+                }
+            }
+        }
+    }
+
+    fn earliest_send(&self, after: Round, _ctx: &NodeCtx) -> Option<Round> {
+        self.list.earliest_schedule_ge(after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improves_order() {
+        let b = Best {
+            d: 5,
+            l: 3,
+            parent: 4,
+        };
+        assert!(PipelinedNode::improves(None, 100, 100, 100));
+        assert!(PipelinedNode::improves(Some(&b), 4, 9, 9));
+        assert!(PipelinedNode::improves(Some(&b), 5, 2, 9));
+        assert!(PipelinedNode::improves(Some(&b), 5, 3, 3));
+        assert!(!PipelinedNode::improves(Some(&b), 5, 3, 4));
+        assert!(!PipelinedNode::improves(Some(&b), 5, 3, 5));
+        assert!(!PipelinedNode::improves(Some(&b), 5, 4, 1));
+        assert!(!PipelinedNode::improves(Some(&b), 6, 0, 0));
+    }
+}

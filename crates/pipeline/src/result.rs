@@ -1,0 +1,66 @@
+//! Results of an `(h,k)`-SSP run.
+
+use dw_graph::{NodeId, Weight, INFINITY};
+use dw_seqref::{DistMatrix, HopDist};
+
+/// Per-source, per-node output of Algorithm 1: the h-hop shortest-path
+/// distance, the hop length of the recorded path, and the predecessor
+/// ("the last edge on such a shortest path", paper Section I-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HkSspResult {
+    pub sources: Vec<NodeId>,
+    /// `dist[i][v]`: distance from `sources[i]` to `v` (INFINITY if no
+    /// path within the hop bound).
+    pub dist: Vec<Vec<Weight>>,
+    /// `hops[i][v]`: hop length of the recorded path (0 if unreachable).
+    pub hops: Vec<Vec<u64>>,
+    /// `parent[i][v]`: predecessor of `v` on the recorded path.
+    pub parent: Vec<Vec<Option<NodeId>>>,
+}
+
+impl HkSspResult {
+    /// View as a plain distance matrix.
+    pub fn to_matrix(&self) -> DistMatrix {
+        DistMatrix::new(self.sources.clone(), self.dist.clone())
+    }
+
+    /// Distance+hops for `(source row i, node v)`.
+    pub fn hop_dist(&self, i: usize, v: NodeId) -> HopDist {
+        if self.dist[i][v as usize] == INFINITY {
+            HopDist::UNREACHABLE
+        } else {
+            HopDist {
+                dist: self.dist[i][v as usize],
+                hops: self.hops[i][v as usize] as u32,
+            }
+        }
+    }
+
+    pub fn k(&self) -> usize {
+        self.sources.len()
+    }
+
+    pub fn n(&self) -> usize {
+        self.dist.first().map_or(0, |r| r.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_and_hopdist_views() {
+        let r = HkSspResult {
+            sources: vec![3],
+            dist: vec![vec![INFINITY, 0, 4]],
+            hops: vec![vec![0, 0, 2]],
+            parent: vec![vec![None, None, Some(1)]],
+        };
+        assert_eq!(r.k(), 1);
+        assert_eq!(r.n(), 3);
+        assert_eq!(r.to_matrix().at(0, 2), 4);
+        assert_eq!(r.hop_dist(0, 2), HopDist { dist: 4, hops: 2 });
+        assert_eq!(r.hop_dist(0, 0), HopDist::UNREACHABLE);
+    }
+}

@@ -1,0 +1,335 @@
+//! Algorithm 2: the simplified **short-range** algorithm (Section II-C)
+//! and its extension variant.
+//!
+//! For a single source `x` and hop bound `h`, every node keeps only its
+//! current best `(d*, l*)` and announces it in round `⌈d*·sqrt(h) + l*⌉`
+//! (our engine starts communication at round 1, so the schedule is shifted
+//! by one). Since `l* <= h` and `d*` only decreases while the schedule
+//! value increases, a node sends at most `sqrt(h) + 1` times over the whole
+//! run — the congestion bound of Lemma II.15 — and distances converge by
+//! round `⌈Δ·sqrt(h)⌉ + h`.
+//!
+//! **Contract.** Because a node keeps a *single* `(d*, l*)` pair (unlike
+//! Algorithm 1's multi-entry lists), the short-range algorithm computes
+//! the true distance `δ(x, v)` exactly for every `v` whose shortest path
+//! has a minimum-hop realization of at most `h` hops; this is the
+//! "h-hop SSSP" promise under which \[13\] invokes short-range (on scaled
+//! graphs, every shortest path has at most `h` hops by construction).
+//! For other nodes the estimate is the weight of some real `<= h`-hop
+//! walk (never an underestimate of `δ`).
+//!
+//! The **short-range-extension** variant (also Lemma II.15) differs only
+//! in initialization: nodes that already know a distance from `x` start
+//! with it and the algorithm extends those paths by up to `h` further
+//! hops.
+//!
+//! The multi-source variant replaces `sqrt(h)` by `γ = sqrt(hk/Δ)` and is
+//! meant to be run with the random-delay scheduler
+//! ([`dw_congest::scheduler`]) — the paper invokes Ghaffari's framework
+//! for exactly this composition.
+
+use crate::key::Gamma;
+use dw_congest::{
+    EngineConfig, Envelope, MsgSize, Network, NodeCtx, Outbox, Protocol, Round, RunStats,
+};
+use dw_graph::{NodeId, WGraph, Weight, INFINITY};
+
+/// `(d*, l*)` announcement — 2 words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrMsg {
+    pub d: Weight,
+    pub l: u64,
+}
+
+impl MsgSize for SrMsg {
+    fn size_words(&self) -> usize {
+        2
+    }
+}
+
+/// Per-node program of Algorithm 2. `Clone` so instances can be composed
+/// by the scheduler.
+#[derive(Clone)]
+pub struct ShortRangeNode {
+    gamma: Gamma,
+    h: u64,
+    /// Initial distance (0 at the source; pre-known distances in the
+    /// extension variant; None elsewhere).
+    init: Option<Weight>,
+    best: Option<(Weight, u64, Option<NodeId>)>,
+    /// Rounds in which this node sent (the per-node congestion measure).
+    pub sends: u64,
+}
+
+impl ShortRangeNode {
+    pub fn new(gamma: Gamma, h: u64, init: Option<Weight>) -> Self {
+        ShortRangeNode {
+            gamma,
+            h,
+            init,
+            best: None,
+            sends: 0,
+        }
+    }
+
+    fn schedule(&self) -> Option<u64> {
+        // +1: the paper sends the source's (0,0) in its round 0; our
+        // communication rounds start at 1.
+        self.best.map(|(d, l, _)| self.gamma.ceil_kappa(d, l) + 1)
+    }
+
+    pub fn best(&self) -> Option<(Weight, u64, Option<NodeId>)> {
+        self.best
+    }
+}
+
+impl Protocol for ShortRangeNode {
+    type Msg = SrMsg;
+
+    fn init(&mut self, _ctx: &NodeCtx) {
+        if let Some(d0) = self.init {
+            self.best = Some((d0, 0, None));
+        }
+    }
+
+    fn send(&mut self, round: Round, _ctx: &NodeCtx, out: &mut Outbox<SrMsg>) {
+        if let Some((d, l, _)) = self.best {
+            if self.schedule() == Some(round) {
+                self.sends += 1;
+                out.broadcast(SrMsg { d, l });
+            }
+        }
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Envelope<SrMsg>], ctx: &NodeCtx) {
+        for env in inbox {
+            let Some(w) = ctx.in_weight_from(env.from) else {
+                continue;
+            };
+            let d = env.msg.d + w;
+            let l = env.msg.l + 1;
+            if l > self.h {
+                continue;
+            }
+            let better = match self.best {
+                None => true,
+                Some((bd, bl, _)) => d < bd || (d == bd && l < bl),
+            };
+            if better {
+                self.best = Some((d, l, Some(env.from)));
+            }
+        }
+    }
+
+    fn earliest_send(&self, after: Round, _ctx: &NodeCtx) -> Option<Round> {
+        match self.schedule() {
+            Some(r) if r >= after => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Result of a short-range run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortRangeResult {
+    pub source: NodeId,
+    pub dist: Vec<Weight>,
+    pub hops: Vec<u64>,
+    pub parent: Vec<Option<NodeId>>,
+    /// Per-node send counts (Lemma II.15: each `<= sqrt(h) + 1`).
+    pub sends: Vec<u64>,
+}
+
+fn extract(source: NodeId, nodes: &[ShortRangeNode]) -> ShortRangeResult {
+    let mut dist = Vec::with_capacity(nodes.len());
+    let mut hops = Vec::with_capacity(nodes.len());
+    let mut parent = Vec::with_capacity(nodes.len());
+    let mut sends = Vec::with_capacity(nodes.len());
+    for nd in nodes {
+        match nd.best {
+            Some((d, l, p)) => {
+                dist.push(d);
+                hops.push(l);
+                parent.push(p);
+            }
+            None => {
+                dist.push(INFINITY);
+                hops.push(0);
+                parent.push(None);
+            }
+        }
+        sends.push(nd.sends);
+    }
+    ShortRangeResult {
+        source,
+        dist,
+        hops,
+        parent,
+        sends,
+    }
+}
+
+/// The short-range schedule key `γ = sqrt(h)` (i.e. `γ² = h/1`).
+pub fn short_range_gamma(h: u64) -> Gamma {
+    Gamma::new(1, h, 1)
+}
+
+/// h-hop SSSP from `x` by Algorithm 2. `delta` bounds the h-hop distances
+/// of interest (it only sets the round budget `⌈Δ·sqrt(h)⌉ + h + 2`).
+pub fn short_range_sssp(
+    g: &WGraph,
+    x: NodeId,
+    h: u64,
+    delta: Weight,
+    engine: EngineConfig,
+) -> (ShortRangeResult, RunStats) {
+    let init: Vec<Option<Weight>> = (0..g.n())
+        .map(|v| (v as NodeId == x).then_some(0))
+        .collect();
+    short_range_extension(g, x, &init, h, delta, engine)
+}
+
+/// h-hop **extension**: nodes with `init[v] = Some(d0)` start knowing a
+/// distance `d0` from `x`; the run extends these by up to `h` hops.
+pub fn short_range_extension(
+    g: &WGraph,
+    x: NodeId,
+    init: &[Option<Weight>],
+    h: u64,
+    delta: Weight,
+    engine: EngineConfig,
+) -> (ShortRangeResult, RunStats) {
+    assert_eq!(init.len(), g.n());
+    let gamma = short_range_gamma(h);
+    let budget = gamma.ceil_kappa(delta.max(1), h) + 2;
+    let mut net = Network::new(g, engine, |v| {
+        ShortRangeNode::new(gamma, h, init[v as usize])
+    });
+    net.run(budget);
+    let stats = net.stats();
+    (extract(x, net.nodes()), stats)
+}
+
+/// Build `k` independent short-range instances (one per source) with the
+/// multi-source key `γ = sqrt(hk/Δ)`, ready for
+/// [`dw_congest::scheduler::schedule_instances`].
+pub fn short_range_instances(
+    g: &WGraph,
+    sources: &[NodeId],
+    h: u64,
+    delta: Weight,
+) -> Vec<Vec<ShortRangeNode>> {
+    let gamma = Gamma::new(sources.len() as u64, h, delta);
+    sources
+        .iter()
+        .map(|&x| {
+            (0..g.n())
+                .map(|v| ShortRangeNode::new(gamma, h, (v as NodeId == x).then_some(0)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Extract the result of instance `i` after a scheduled run.
+pub fn extract_instance(source: NodeId, nodes: &[ShortRangeNode]) -> ShortRangeResult {
+    extract(source, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+    
+    /// Verify the short-range contract: exact `δ(x,v)` wherever the
+    /// min-hop shortest path fits in `h` hops; never an underestimate of
+    /// `δ` elsewhere.
+    fn check_against_reference(g: &WGraph, x: NodeId, h: u64, delta: Weight) -> ShortRangeResult {
+        let (res, _) = short_range_sssp(g, x, h, delta, EngineConfig::default());
+        let exact = dw_seqref::bellman_ford(g, x); // (δ, min-hops of δ)
+        for v in g.nodes() {
+            let vi = v as usize;
+            if exact[vi].is_reachable() && u64::from(exact[vi].hops) <= h {
+                assert_eq!(
+                    res.dist[vi], exact[vi].dist,
+                    "src {x} -> {v} (h={h}): min-hop shortest fits budget"
+                );
+            } else if res.dist[vi] != dw_graph::INFINITY {
+                assert!(res.dist[vi] >= exact[vi].dist, "no underestimates");
+                assert!(res.hops[vi] <= h, "recorded walk respects h");
+            }
+        }
+        res
+    }
+
+    #[test]
+    fn matches_h_hop_reference_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gen::zero_heavy(20, 0.15, 0.4, 6, true, seed);
+            let delta = dw_seqref::max_finite_distance(&g).max(1);
+            for h in [1u64, 3, 8, 20] {
+                check_against_reference(&g, 0, h, delta);
+            }
+        }
+    }
+
+    #[test]
+    fn per_node_congestion_within_sqrt_h_plus_one() {
+        let g = gen::zero_heavy(30, 0.12, 0.5, 9, false, 9);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let h = 16u64;
+        let res = check_against_reference(&g, 3, h, delta);
+        let bound = (h as f64).sqrt() as u64 + 1;
+        for (v, &s) in res.sends.iter().enumerate() {
+            assert!(s <= bound, "node {v} sent {s} > sqrt(h)+1 = {bound}");
+        }
+    }
+
+    #[test]
+    fn round_bound_delta_sqrt_h() {
+        let g = gen::path(12, false, WeightDist::Uniform { max: 4 }, 2);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let h = 12u64;
+        let (_, stats) = short_range_sssp(&g, 0, h, delta, EngineConfig::default());
+        let gamma = short_range_gamma(h);
+        assert!(stats.rounds <= gamma.ceil_kappa(delta, h) + 2);
+    }
+
+    #[test]
+    fn extension_resumes_from_known_distances() {
+        // path 0-1-2-3-4-5 with weight 2; pretend 0..=2 already know
+        // distances from x=0 and extend by h=3 hops.
+        let g = gen::path(6, false, WeightDist::Constant(2), 0);
+        let init = vec![Some(0), Some(2), Some(4), None, None, None];
+        let (res, _) = short_range_extension(&g, 0, &init, 3, 20, EngineConfig::default());
+        assert_eq!(res.dist, vec![0, 2, 4, 6, 8, 10]);
+        // node 5 reached from node 2 in 3 extension hops
+        assert_eq!(res.hops[5], 3);
+    }
+
+    #[test]
+    fn scheduled_all_sources_match_reference() {
+        let g = gen::zero_heavy(14, 0.2, 0.4, 5, true, 21);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let h = 6u64;
+        let sources: Vec<NodeId> = (0..g.n() as NodeId).collect();
+        let instances = short_range_instances(&g, &sources, h, delta);
+        let (finished, _) = dw_congest::scheduler::schedule_instances(
+            &g,
+            instances,
+            &EngineConfig::default(),
+            99,
+            16,
+            1_000_000,
+        );
+        for (i, nodes) in finished.iter().enumerate() {
+            let res = extract_instance(sources[i], nodes);
+            let exact = dw_seqref::bellman_ford(&g, sources[i]);
+            for v in g.nodes() {
+                let vi = v as usize;
+                if exact[vi].is_reachable() && u64::from(exact[vi].hops) <= h {
+                    assert_eq!(res.dist[vi], exact[vi].dist, "{} -> {v}", sources[i]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Reference APSP / k-SSP and the `Δ` (max shortest-path distance)
+//! parameter used throughout the paper's bounds.
+
+use crate::dijkstra::dijkstra;
+use crate::matrix::DistMatrix;
+use dw_graph::{NodeId, WGraph, Weight};
+
+/// Distances from every node (APSP) via one Dijkstra per source.
+pub fn apsp_dijkstra(g: &WGraph) -> DistMatrix {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    k_source_dijkstra(g, &sources)
+}
+
+/// Distances from the given `k` sources.
+pub fn k_source_dijkstra(g: &WGraph, sources: &[NodeId]) -> DistMatrix {
+    let dist = sources.iter().map(|&s| dijkstra(g, s).dist).collect();
+    DistMatrix::new(sources.to_vec(), dist)
+}
+
+/// `Δ`: the maximum finite shortest-path distance over all pairs. This is
+/// the parameter in Theorem I.1's `2n·sqrt(Δ) + 2n` bound (computed
+/// centrally here; the distributed drivers take it as input, exactly as the
+/// paper assumes "shortest path distances at most Δ").
+pub fn max_finite_distance(g: &WGraph) -> Weight {
+    apsp_dijkstra(g).max_finite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+
+    #[test]
+    fn apsp_matches_floyd_warshall() {
+        let g = gen::gnp(22, 0.2, true, WeightDist::ZeroOr { p_zero: 0.3, max: 6 }, 17);
+        let m = apsp_dijkstra(&g);
+        let fw = crate::floyd_warshall::floyd_warshall(&g);
+        for s in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(m.at(s as usize, v), fw[s as usize][v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_on_path() {
+        let g = gen::path(5, false, WeightDist::Constant(2), 0);
+        assert_eq!(max_finite_distance(&g), 8);
+    }
+
+    #[test]
+    fn k_source_subset_rows() {
+        let g = gen::grid(3, 3, false, WeightDist::Uniform { max: 5 }, 4);
+        let full = apsp_dijkstra(&g);
+        let sub = k_source_dijkstra(&g, &[1, 7]);
+        for v in g.nodes() {
+            assert_eq!(sub.from_source(1, v), full.from_source(1, v));
+            assert_eq!(sub.from_source(7, v), full.from_source(7, v));
+        }
+    }
+}

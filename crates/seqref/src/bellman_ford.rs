@@ -1,0 +1,35 @@
+//! Unrestricted-hop Bellman–Ford (the `h = n-1` special case).
+
+use crate::hop_limited::{h_hop_sssp, HopDist};
+use dw_graph::{NodeId, WGraph};
+
+/// Exact SSSP by Bellman–Ford. With non-negative weights every shortest
+/// path is simple, so `h = n - 1` hops suffice.
+pub fn bellman_ford(g: &WGraph, s: NodeId) -> Vec<HopDist> {
+    h_hop_sssp(g, s, g.n().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+
+    #[test]
+    fn matches_dijkstra() {
+        let g = gen::gnp(30, 0.12, true, WeightDist::ZeroOr { p_zero: 0.25, max: 12 }, 3);
+        for s in [0u32, 7, 29] {
+            let bf = bellman_ford(&g, s);
+            let dj = crate::dijkstra::dijkstra(&g, s);
+            for v in g.nodes() {
+                assert_eq!(bf[v as usize].dist, dj.dist[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let g = gen::path(1, true, WeightDist::Constant(1), 0);
+        let r = bellman_ford(&g, 0);
+        assert_eq!(r[0].dist, 0);
+    }
+}

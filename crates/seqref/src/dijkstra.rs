@@ -1,0 +1,111 @@
+//! Dijkstra's algorithm with non-negative (including zero) weights.
+
+use dw_graph::{NodeId, WGraph, Weight, INFINITY};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source run: `dist[v]` and `parent[v]` (the
+/// predecessor on some shortest path, `None` for the source and for
+/// unreachable nodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsspResult {
+    pub source: NodeId,
+    pub dist: Vec<Weight>,
+    pub parent: Vec<Option<NodeId>>,
+}
+
+/// Single-source shortest paths from `s` (directed semantics; for
+/// undirected graphs the adjacency already mirrors edges).
+///
+/// Zero-weight edges are handled exactly: the lazy-deletion binary heap
+/// pops equal keys in insertion-refined order, which is all Dijkstra needs
+/// for non-negative weights.
+pub fn dijkstra(g: &WGraph, s: NodeId) -> SsspResult {
+    let n = g.n();
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, NodeId)>> = BinaryHeap::new();
+    dist[s as usize] = 0;
+    heap.push(Reverse((0, s)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        for &(u, w) in g.out_edges(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                parent[u as usize] = Some(v);
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    SsspResult {
+        source: s,
+        dist,
+        parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+    use dw_graph::GraphBuilder;
+
+    #[test]
+    fn simple_path() {
+        let g = gen::path(4, true, WeightDist::Constant(3), 0);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 3, 6, 9]);
+        assert_eq!(r.parent, vec![None, Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn zero_weight_cycle_is_fine() {
+        let mut b = GraphBuilder::new(3, true);
+        b.add_edge(0, 1, 0).add_edge(1, 2, 0).add_edge(2, 0, 0);
+        let r = dijkstra(&b.build(), 0);
+        assert_eq!(r.dist, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn chooses_zero_detour_over_direct_heavy_edge() {
+        let mut b = GraphBuilder::new(4, true);
+        b.add_edge(0, 3, 10);
+        b.add_edge(0, 1, 0).add_edge(1, 2, 0).add_edge(2, 3, 0);
+        let r = dijkstra(&b.build(), 0);
+        assert_eq!(r.dist[3], 0);
+        assert_eq!(r.parent[3], Some(2));
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let mut b = GraphBuilder::new(3, true);
+        b.add_edge(1, 0, 1); // 0 cannot reach 1 or 2
+        let r = dijkstra(&b.build(), 0);
+        assert_eq!(r.dist, vec![0, dw_graph::INFINITY, dw_graph::INFINITY]);
+    }
+
+    #[test]
+    fn directed_respects_orientation() {
+        let mut b = GraphBuilder::new(2, true);
+        b.add_edge(1, 0, 5);
+        let r = dijkstra(&b.build(), 0);
+        assert_eq!(r.dist[1], dw_graph::INFINITY);
+        let r1 = dijkstra(&b.build(), 1);
+        assert_eq!(r1.dist[0], 5);
+    }
+
+    #[test]
+    fn matches_floyd_warshall_on_random_graph() {
+        let g = gen::gnp(30, 0.2, true, WeightDist::ZeroOr { p_zero: 0.3, max: 9 }, 11);
+        let fw = crate::floyd_warshall::floyd_warshall(&g);
+        for s in g.nodes() {
+            let r = dijkstra(&g, s);
+            for v in g.nodes() {
+                assert_eq!(r.dist[v as usize], fw[s as usize][v as usize], "{s}->{v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Floyd–Warshall APSP for small instances (independent cross-check).
+
+use dw_graph::{WGraph, Weight, INFINITY};
+
+/// All-pairs distance matrix `d[u][v]` by Floyd–Warshall. `O(n^3)` — only
+/// used for testing against the other references.
+pub fn floyd_warshall(g: &WGraph) -> Vec<Vec<Weight>> {
+    let n = g.n();
+    let mut d = vec![vec![INFINITY; n]; n];
+    for (v, row) in d.iter_mut().enumerate() {
+        row[v] = 0;
+    }
+    for e in g.edges() {
+        let (u, v) = (e.src as usize, e.dst as usize);
+        d[u][v] = d[u][v].min(e.w);
+        if !g.is_directed() {
+            d[v][u] = d[v][u].min(e.w);
+        }
+    }
+    #[allow(clippy::needless_range_loop)]
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i][k];
+            if dik == INFINITY {
+                continue;
+            }
+            for j in 0..n {
+                let dkj = d[k][j];
+                if dkj != INFINITY && dik + dkj < d[i][j] {
+                    d[i][j] = dik + dkj;
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::GraphBuilder;
+
+    #[test]
+    fn triangle_with_shortcut() {
+        let mut b = GraphBuilder::new(3, true);
+        b.add_edge(0, 1, 1).add_edge(1, 2, 1).add_edge(0, 2, 5);
+        let d = floyd_warshall(&b.build());
+        assert_eq!(d[0][2], 2);
+        assert_eq!(d[2][0], INFINITY);
+        assert_eq!(d[1][1], 0);
+    }
+
+    #[test]
+    fn undirected_symmetry() {
+        let mut b = GraphBuilder::new(3, false);
+        b.add_edge(0, 1, 4).add_edge(1, 2, 0);
+        let d = floyd_warshall(&b.build());
+        assert_eq!(d[0][2], 4);
+        assert_eq!(d[2][0], 4);
+        assert_eq!(d[1][2], 0);
+    }
+}

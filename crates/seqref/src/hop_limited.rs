@@ -1,0 +1,153 @@
+//! Hop-limited (h-hop) shortest paths — the objective of the paper's
+//! `(h,k)`-SSP problem.
+//!
+//! An *h-hop shortest path* from `u` to `v` is a path of minimum weight
+//! among all `u -> v` paths with at most `h` edges (paper Section I-A).
+//! Along with the distance we report the minimum hop count among h-hop
+//! shortest paths, which is the secondary objective Algorithm 1's SP
+//! tie-breaking realizes (Lemma II.13 speaks of the shortest path with the
+//! minimum number of hops).
+
+use dw_graph::{NodeId, WGraph, Weight, INFINITY};
+
+/// Distance and minimal hop count of an h-hop shortest path.
+/// `dist == INFINITY` means "not reachable within h hops" (`hops` is 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopDist {
+    pub dist: Weight,
+    pub hops: u32,
+}
+
+impl HopDist {
+    pub const UNREACHABLE: HopDist = HopDist {
+        dist: INFINITY,
+        hops: 0,
+    };
+
+    pub fn is_reachable(&self) -> bool {
+        self.dist != INFINITY
+    }
+}
+
+/// h-hop SSSP from `s` by synchronous Bellman–Ford over `h` rounds.
+pub fn h_hop_sssp(g: &WGraph, s: NodeId, h: usize) -> Vec<HopDist> {
+    let n = g.n();
+    let mut cur = vec![HopDist::UNREACHABLE; n];
+    cur[s as usize] = HopDist { dist: 0, hops: 0 };
+    let mut next = cur.clone();
+    for l in 1..=h {
+        let mut changed = false;
+        for v in 0..n {
+            let mut best = cur[v];
+            for &(u, w) in g.in_edges(v as NodeId) {
+                let du = cur[u as usize];
+                if du.dist == INFINITY {
+                    continue;
+                }
+                let cand = du.dist + w;
+                if cand < best.dist {
+                    best = HopDist {
+                        dist: cand,
+                        hops: l as u32,
+                    };
+                }
+            }
+            if best != cur[v] {
+                changed = true;
+            }
+            next[v] = best;
+        }
+        std::mem::swap(&mut cur, &mut next);
+        if !changed {
+            break; // converged early: larger hop budgets change nothing
+        }
+    }
+    cur
+}
+
+/// h-hop distances from each of `sources` (rows in source order).
+pub fn h_hop_distances(g: &WGraph, sources: &[NodeId], h: usize) -> Vec<Vec<HopDist>> {
+    sources.iter().map(|&s| h_hop_sssp(g, s, h)).collect()
+}
+
+/// The `Δ` parameter of an h-hop run: the maximum finite h-hop distance
+/// over all pairs. This is the quantity Lemma II.14 calls "the maximum
+/// shortest path distance in the h-hop paths" — note it can far exceed the
+/// unrestricted maximum distance (a node may be close via a many-hop zero
+/// path but expensive within the hop budget).
+pub fn max_finite_h_hop_distance(g: &WGraph, h: usize) -> Weight {
+    g.nodes()
+        .flat_map(|s| h_hop_sssp(g, s, h))
+        .filter(|hd| hd.is_reachable())
+        .map(|hd| hd.dist)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+    use dw_graph::GraphBuilder;
+
+    /// The staircase forces a weight/hops trade-off under a hop budget.
+    #[test]
+    fn staircase_tradeoff() {
+        // 1 segment: 0 ->(5) 3 direct, or 0->1->2->3 all zero (3 hops)
+        let g = gen::staircase(1, 3, 5, true);
+        let full = h_hop_sssp(&g, 0, 3);
+        assert_eq!(full[3], HopDist { dist: 0, hops: 3 });
+        let tight = h_hop_sssp(&g, 0, 2);
+        assert_eq!(tight[3], HopDist { dist: 5, hops: 1 });
+        let zero_budget = h_hop_sssp(&g, 0, 0);
+        assert!(!zero_budget[3].is_reachable());
+        assert_eq!(zero_budget[0], HopDist { dist: 0, hops: 0 });
+    }
+
+    #[test]
+    fn hops_are_minimal_among_shortest() {
+        // two shortest paths of weight 2: 0->3 direct and 0->1->2->3
+        let mut b = GraphBuilder::new(4, true);
+        b.add_edge(0, 3, 2);
+        b.add_edge(0, 1, 1).add_edge(1, 2, 1).add_edge(2, 3, 0);
+        let r = h_hop_sssp(&b.build(), 0, 5);
+        assert_eq!(r[3], HopDist { dist: 2, hops: 1 });
+    }
+
+    #[test]
+    fn h_equal_n_matches_dijkstra() {
+        let g = gen::gnp(25, 0.15, true, WeightDist::ZeroOr { p_zero: 0.4, max: 7 }, 5);
+        for s in g.nodes() {
+            let bf = h_hop_sssp(&g, s, g.n());
+            let dj = crate::dijkstra::dijkstra(&g, s);
+            for v in g.nodes() {
+                assert_eq!(bf[v as usize].dist, dj.dist[v as usize], "{s}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn hop_budget_monotone() {
+        let g = gen::gnp(20, 0.15, true, WeightDist::Uniform { max: 6 }, 9);
+        for s in [0u32, 5, 13] {
+            let mut prev = h_hop_sssp(&g, s, 0);
+            for h in 1..8 {
+                let cur = h_hop_sssp(&g, s, h);
+                for v in 0..g.n() {
+                    assert!(cur[v].dist <= prev[v].dist, "distances shrink with h");
+                }
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_rows_match_single_source() {
+        let g = gen::grid(3, 4, false, WeightDist::Uniform { max: 4 }, 2);
+        let srcs = [0u32, 5, 11];
+        let rows = h_hop_distances(&g, &srcs, 4);
+        for (i, &s) in srcs.iter().enumerate() {
+            assert_eq!(rows[i], h_hop_sssp(&g, s, 4));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Validation of distributed results against references.
+
+use crate::matrix::DistMatrix;
+use dw_graph::{NodeId, Weight};
+
+/// A single disagreement between two distance matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixDiff {
+    pub source: NodeId,
+    pub target: NodeId,
+    pub expected: Weight,
+    pub actual: Weight,
+}
+
+/// Compare two matrices with the same source set; returns up to
+/// `max_diffs` disagreements (empty = equal).
+pub fn matrices_equal(expected: &DistMatrix, actual: &DistMatrix, max_diffs: usize) -> Vec<MatrixDiff> {
+    assert_eq!(
+        expected.sources, actual.sources,
+        "matrices cover different source sets"
+    );
+    let mut diffs = Vec::new();
+    for (i, &s) in expected.sources.iter().enumerate() {
+        for v in 0..expected.n() as NodeId {
+            let e = expected.at(i, v);
+            let a = actual.at(i, v);
+            if e != a {
+                diffs.push(MatrixDiff {
+                    source: s,
+                    target: v,
+                    expected: e,
+                    actual: a,
+                });
+                if diffs.len() >= max_diffs {
+                    return diffs;
+                }
+            }
+        }
+    }
+    diffs
+}
+
+/// Panic with a readable report if the matrices differ.
+pub fn assert_matrices_equal(expected: &DistMatrix, actual: &DistMatrix, context: &str) {
+    let diffs = matrices_equal(expected, actual, 8);
+    assert!(
+        diffs.is_empty(),
+        "{context}: {} disagreement(s), first: {:?}",
+        diffs.len(),
+        diffs
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::INFINITY;
+
+    #[test]
+    fn equal_matrices_no_diffs() {
+        let m = DistMatrix::new(vec![0], vec![vec![0, 1, 2]]);
+        assert!(matrices_equal(&m, &m.clone(), 10).is_empty());
+        assert_matrices_equal(&m, &m.clone(), "self");
+    }
+
+    #[test]
+    fn reports_disagreements() {
+        let e = DistMatrix::new(vec![0], vec![vec![0, 1, INFINITY]]);
+        let a = DistMatrix::new(vec![0], vec![vec![0, 2, INFINITY]]);
+        let d = matrices_equal(&e, &a, 10);
+        assert_eq!(
+            d,
+            vec![MatrixDiff {
+                source: 0,
+                target: 1,
+                expected: 1,
+                actual: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn respects_max_diffs() {
+        let e = DistMatrix::new(vec![0], vec![vec![0, 0, 0, 0]]);
+        let a = DistMatrix::new(vec![0], vec![vec![1, 1, 1, 1]]);
+        assert_eq!(matrices_equal(&e, &a, 2).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagreement")]
+    fn assert_panics_on_diff() {
+        let e = DistMatrix::new(vec![0], vec![vec![0]]);
+        let a = DistMatrix::new(vec![0], vec![vec![5]]);
+        assert_matrices_equal(&e, &a, "ctx");
+    }
+}
