@@ -1,0 +1,28 @@
+# Workspace convenience targets. `make ci` is the full gate the tree is
+# expected to keep green.
+
+CARGO ?= cargo
+
+.PHONY: ci build test fmt clippy report golden
+
+ci: build test fmt clippy
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+fmt:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# Regenerate every experiment table (quick mode).
+report:
+	$(CARGO) run -p dw-bench --bin report --release
+
+# Refresh the golden regression snapshots after an intentional change.
+golden:
+	UPDATE_GOLDEN=1 $(CARGO) test -q -p dwapsp --test golden_regression

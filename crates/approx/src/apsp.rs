@@ -23,12 +23,7 @@ pub struct ApproxOutcome {
 /// `(1+ε)`-approximate APSP for non-negative integer weights (zero
 /// allowed), `ε = eps_num/eps_den`. The paper's analysis needs
 /// `ε > 3/n`; the inner substrate runs at `ε/3`.
-pub fn approx_apsp(
-    g: &WGraph,
-    eps_num: u64,
-    eps_den: u64,
-    engine: EngineConfig,
-) -> ApproxOutcome {
+pub fn approx_apsp(g: &WGraph, eps_num: u64, eps_den: u64, engine: EngineConfig) -> ApproxOutcome {
     assert!(eps_num > 0 && eps_den > 0);
     let n = g.n() as u64;
     // Step 1: zero-path reachability.

@@ -168,7 +168,10 @@ mod tests {
                 14,
                 0.15,
                 true,
-                WeightDist::ZeroOr { p_zero: 0.0, max: 50 },
+                WeightDist::ZeroOr {
+                    p_zero: 0.0,
+                    max: 50,
+                },
                 seed,
             );
             check_ratio(&g, 1, 2); // ε = 0.5
@@ -177,7 +180,16 @@ mod tests {
 
     #[test]
     fn tighter_epsilon_still_correct() {
-        let g = gen::gnp_connected(12, 0.2, false, WeightDist::ZeroOr { p_zero: 0.0, max: 30 }, 7);
+        let g = gen::gnp_connected(
+            12,
+            0.2,
+            false,
+            WeightDist::ZeroOr {
+                p_zero: 0.0,
+                max: 30,
+            },
+            7,
+        );
         check_ratio(&g, 1, 8); // ε = 0.125
     }
 
@@ -194,7 +206,16 @@ mod tests {
 
     #[test]
     fn rounds_scale_with_log_and_inverse_eps() {
-        let g = gen::gnp_connected(12, 0.2, true, WeightDist::ZeroOr { p_zero: 0.0, max: 9 }, 3);
+        let g = gen::gnp_connected(
+            12,
+            0.2,
+            true,
+            WeightDist::ZeroOr {
+                p_zero: 0.0,
+                max: 9,
+            },
+            3,
+        );
         let coarse = check_ratio(&g, 1, 2);
         let fine = check_ratio(&g, 1, 8);
         assert!(fine.rounds > coarse.rounds, "smaller ε costs more rounds");

@@ -6,7 +6,9 @@
 //! construction; each source advances one Bellman–Ford layer every `k`
 //! rounds, so `h`-hop convergence takes at most `k · (h + 1)` rounds.
 
-use dw_congest::{EngineConfig, Envelope, MsgSize, Network, NodeCtx, Outbox, Protocol, Round, RunStats};
+use dw_congest::{
+    EngineConfig, Envelope, MsgSize, Network, NodeCtx, Outbox, Protocol, Round, RunStats,
+};
 use dw_graph::{NodeId, WGraph, Weight, INFINITY};
 use dw_seqref::DistMatrix;
 
@@ -196,7 +198,13 @@ mod tests {
     #[test]
     fn round_robin_respects_link_capacity() {
         // engine would panic on violation; also sanity check the phase math
-        let g = gen::gnp_connected(12, 0.3, false, dw_graph::gen::WeightDist::Uniform { max: 4 }, 8);
+        let g = gen::gnp_connected(
+            12,
+            0.3,
+            false,
+            dw_graph::gen::WeightDist::Uniform { max: 4 },
+            8,
+        );
         let (res, _) = bf_k_source(&g, &[1, 5, 9], (g.n() - 1) as u64, EngineConfig::default());
         let reference = dw_seqref::k_source_dijkstra(&g, &[1, 5, 9]);
         assert_matrices_equal(&reference, &res.to_matrix(), "bf 3-source");

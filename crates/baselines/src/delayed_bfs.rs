@@ -70,9 +70,7 @@ impl BestListNode {
             }
             self.list.remove(old);
         }
-        let idx = self
-            .list
-            .partition_point(|e| (e.d, e.src) <= (d, src));
+        let idx = self.list.partition_point(|e| (e.d, e.src) <= (d, src));
         self.list.insert(
             idx,
             BestEntry {
@@ -209,13 +207,7 @@ pub fn delayed_bfs_k_source(
     delta: Weight,
     engine: EngineConfig,
 ) -> (DelayedBfsOutcome, RunStats) {
-    run_best_list(
-        g,
-        sources,
-        false,
-        delta + g.n() as u64 + 2,
-        engine,
-    )
+    run_best_list(g, sources, false, delta + g.n() as u64 + 2, engine)
 }
 
 /// APSP for positive integer weights.
@@ -241,7 +233,10 @@ mod tests {
                 18,
                 0.12,
                 true,
-                WeightDist::ZeroOr { p_zero: 0.0, max: 7 },
+                WeightDist::ZeroOr {
+                    p_zero: 0.0,
+                    max: 7,
+                },
                 seed,
             );
             let delta = max_finite_distance(&g);

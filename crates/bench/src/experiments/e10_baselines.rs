@@ -17,7 +17,11 @@ pub fn run(full: bool) -> Vec<Table> {
         "E10a — unweighted pipelined APSP [12]: rounds < 2n",
         &["n", "rounds", "2n", "within", "messages"],
     );
-    let sizes: &[usize] = if full { &[16, 32, 64, 128] } else { &[16, 32, 64] };
+    let sizes: &[usize] = if full {
+        &[16, 32, 64, 128]
+    } else {
+        &[16, 32, 64]
+    };
     for &n in sizes {
         let wl = workloads::unweighted(n, 800 + n as u64);
         let (out, st) = unweighted_apsp(&wl.graph, EngineConfig::default());
@@ -33,7 +37,14 @@ pub fn run(full: bool) -> Vec<Table> {
 
     let mut t2 = Table::new(
         "E10b — delayed-BFS (weight-expansion) APSP: exact for positive weights, broken by zeros",
-        &["workload", "zeros", "rounds", "stranded", "wrong entries", "exact"],
+        &[
+            "workload",
+            "zeros",
+            "rounds",
+            "stranded",
+            "wrong entries",
+            "exact",
+        ],
     );
     for seed in 0..(if full { 6 } else { 4 }) {
         for &zero_frac in &[0.0f64, 0.5] {
@@ -58,7 +69,11 @@ pub fn run(full: bool) -> Vec<Table> {
                 st.rounds,
                 out.stranded,
                 wrong,
-                if exact { "yes" } else { "no (expected with zeros)" }
+                if exact {
+                    "yes"
+                } else {
+                    "no (expected with zeros)"
+                }
             ]);
             if zero_frac == 0.0 {
                 assert!(exact, "positive weights must be exact");

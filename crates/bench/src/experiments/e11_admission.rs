@@ -89,7 +89,10 @@ mod tests {
     fn both_rules_exact_and_comparable() {
         let tables = super::run(false);
         let r = tables[0].render();
-        assert!(!r.contains("NO"), "both rules must satisfy the contract: {r}");
+        assert!(
+            !r.contains("NO"),
+            "both rules must satisfy the contract: {r}"
+        );
         assert!(r.contains("ListOrder") && r.contains("StrictKappa"));
     }
 }

@@ -43,8 +43,7 @@ pub fn run(full: bool) -> Vec<Table> {
         let sampled = random_blocker_set(&know, 1000 + h);
         let cover = verify_blocker_coverage(&know, &greedy.blockers).is_ok()
             && verify_blocker_coverage(&know, &sampled.blockers).is_ok();
-        let downstream =
-            (sampled.blockers.len() as i64 - greedy.blockers.len() as i64) * n as i64;
+        let downstream = (sampled.blockers.len() as i64 - greedy.blockers.len() as i64) * n as i64;
         t.row(trow![
             h,
             greedy.blockers.len(),

@@ -35,7 +35,13 @@ pub fn run(full: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E1 / Table I — exact weighted APSP (zero-weight edges allowed), measured rounds",
         &[
-            "workload", "algorithm", "rounds", "own bound", "within", "messages", "max link load",
+            "workload",
+            "algorithm",
+            "rounds",
+            "own bound",
+            "within",
+            "messages",
+            "max link load",
         ],
     );
     let mut theory = Table::new(
@@ -61,9 +67,7 @@ pub fn run(full: bool) -> Vec<Table> {
             format!("Alg.1 pipelined APSP (conv. {})", rep.convergence_round),
             st.rounds,
             bound,
-            ok(rep.convergence_round <= bound
-                || rep.late_sends > 0
-                || !rep.holds()),
+            ok(rep.convergence_round <= bound || rep.late_sends > 0 || !rep.holds()),
             st.messages,
             st.max_link_load
         ]);

@@ -12,15 +12,24 @@ use crate::table::Table;
 use crate::trow;
 use crate::workloads;
 use dw_congest::EngineConfig;
-use dw_pipeline::{hk_round_bound, SspConfig};
 use dw_graph::NodeId;
+use dw_pipeline::{hk_round_bound, SspConfig};
 
 pub fn run(full: bool) -> Vec<Table> {
     let n = if full { 48 } else { 28 };
     let wl = workloads::zero_heavy(n, 6, 77);
     let mut t = Table::new(
         "E2 / Theorem I.1 — measured rounds vs ⌈2√(Δhk)⌉+k+h",
-        &["h", "k", "Δ_h", "converged by", "bound", "tightness", "within bound", "correct"],
+        &[
+            "h",
+            "k",
+            "Δ_h",
+            "converged by",
+            "bound",
+            "tightness",
+            "within bound",
+            "correct",
+        ],
     );
     let mut combos: Vec<(u64, usize)> = vec![
         (2, 4),
@@ -80,8 +89,11 @@ pub fn run(full: bool) -> Vec<Table> {
             if within {
                 "yes".into()
             } else {
-                format!("no (late={}, inv viol.={})", rep.late_sends,
-                    rep.inv1_violations + rep.inv2_violations)
+                format!(
+                    "no (late={}, inv viol.={})",
+                    rep.late_sends,
+                    rep.inv1_violations + rep.inv2_violations
+                )
             },
             ok(correct)
         ]);

@@ -68,8 +68,7 @@ pub fn run(full: bool) -> Vec<Table> {
         for seed in 0..seeds {
             let g = gen::zero_heavy(n, 0.18, 0.5, 5, true, seed);
             let h = 4u64;
-            let delta =
-                dw_seqref::max_finite_h_hop_distance(&g, (slack * h) as usize).max(1);
+            let delta = dw_seqref::max_finite_h_hop_distance(&g, (slack * h) as usize).max(1);
             let sources: Vec<u32> = (0..g.n() as u32).collect();
             let (c, st) = dw_pipeline::build_csssp_with_slack(
                 &g,

@@ -30,7 +30,11 @@ pub fn run(full: bool) -> Vec<Table> {
             "within ",
         ],
     );
-    let hs: &[u64] = if full { &[4, 9, 16, 25, 36] } else { &[4, 9, 16] };
+    let hs: &[u64] = if full {
+        &[4, 9, 16, 25, 36]
+    } else {
+        &[4, 9, 16]
+    };
     for &h in hs {
         let (res, st) = short_range_sssp(&wl.graph, 0, h, wl.delta, EngineConfig::default());
         let gamma = short_range_gamma(h);
@@ -52,7 +56,13 @@ pub fn run(full: bool) -> Vec<Table> {
     let mut t2 = Table::new(
         "E5b — random-delay scheduling of k short-range instances (γ = √(hk/Δ))",
         &[
-            "k", "h", "offset window", "global rounds", "total stalls", "messages", "all correct",
+            "k",
+            "h",
+            "offset window",
+            "global rounds",
+            "total stalls",
+            "messages",
+            "all correct",
         ],
     );
     let h = 6u64;

@@ -39,8 +39,7 @@ pub fn run(full: bool) -> Vec<Table> {
             let out = find_blocker_set(&wl.graph, &know, EngineConfig::default());
             let covered = verify_blocker_coverage(&know, &out.blockers).is_ok();
             let k = know.k() as f64;
-            let bound =
-                (wl.n() as f64 / h as f64) * ((wl.n() as f64 * k).ln() + 1.0);
+            let bound = (wl.n() as f64 / h as f64) * ((wl.n() as f64 * k).ln() + 1.0);
             t.row(trow![
                 wl.name,
                 h,

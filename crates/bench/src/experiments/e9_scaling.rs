@@ -24,7 +24,11 @@ pub fn run(full: bool) -> Vec<Table> {
 
     // (a) W sweep at fixed n.
     let n = if full { 32 } else { 24 };
-    let ws: &[u64] = if full { &[1, 4, 16, 64, 256] } else { &[1, 4, 16, 64] };
+    let ws: &[u64] = if full {
+        &[1, 4, 16, 64, 256]
+    } else {
+        &[1, 4, 16, 64]
+    };
     let mut samples = Vec::new();
     for &w in ws {
         let wl = workloads::sparse_positive(n, w, 500 + w);
@@ -44,7 +48,11 @@ pub fn run(full: bool) -> Vec<Table> {
     ]);
 
     // (b) n sweep at fixed W (Alg.3).
-    let sizes: &[usize] = if full { &[16, 24, 32, 48, 64] } else { &[16, 24, 32] };
+    let sizes: &[usize] = if full {
+        &[16, 24, 32, 48, 64]
+    } else {
+        &[16, 24, 32]
+    };
     let w = 4u64;
     let mut samples = Vec::new();
     for &n in sizes {

@@ -1,5 +1,10 @@
 //! One module per experiment (see crate docs for the id ↔ artifact map).
 
+pub mod e10_baselines;
+pub mod e11_admission;
+pub mod e12_blocker_ablation;
+pub mod e13_scaling_future;
+pub mod e14_faults;
 pub mod e1_table1;
 pub mod e2_theorem11;
 pub mod e3_invariants;
@@ -9,10 +14,6 @@ pub mod e6_blocker;
 pub mod e7_crossover;
 pub mod e8_approx;
 pub mod e9_scaling;
-pub mod e10_baselines;
-pub mod e11_admission;
-pub mod e12_blocker_ablation;
-pub mod e13_scaling_future;
 
 use crate::table::Table;
 
@@ -27,7 +28,7 @@ pub fn ok(b: bool) -> &'static str {
 
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// Dispatch one experiment by id. `full` selects the larger sweeps.
@@ -46,6 +47,7 @@ pub fn run(id: &str, full: bool) -> Vec<Table> {
         "e11" => e11_admission::run(full),
         "e12" => e12_blocker_ablation::run(full),
         "e13" => e13_scaling_future::run(full),
+        "e14" => e14_faults::run(full),
         other => panic!("unknown experiment id {other:?} (known: {ALL:?})"),
     }
 }

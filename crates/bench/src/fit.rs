@@ -36,10 +36,7 @@ pub fn fit_power_law(samples: &[(f64, f64)]) -> PowerFit {
     let b = (sy - alpha * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 = logs
-        .iter()
-        .map(|p| (p.1 - (alpha * p.0 + b)).powi(2))
-        .sum();
+    let ss_res: f64 = logs.iter().map(|p| (p.1 - (alpha * p.0 + b)).powi(2)).sum();
     let r2 = if ss_tot.abs() < 1e-12 {
         1.0
     } else {

@@ -92,8 +92,16 @@ pub fn alg3_k_ssp(
         let (per_node, b_st) = pipeline_broadcast(g, &tree, items.clone(), engine.clone());
         step4 = step4.then(&b_st);
         for (v, heard_v) in heard.iter_mut().enumerate() {
-            let got = if v == c as usize { &items } else { &per_node[v] };
-            assert_eq!(got.len(), k, "node {v} missed part of blocker {qi}'s broadcast");
+            let got = if v == c as usize {
+                &items
+            } else {
+                &per_node[v]
+            };
+            assert_eq!(
+                got.len(),
+                k,
+                "node {v} missed part of blocker {qi}'s broadcast"
+            );
             let mut row = vec![INFINITY; k];
             for it in got {
                 row[it.src_idx as usize] = it.d;
@@ -191,11 +199,7 @@ mod tests {
         let sources = vec![2u32, 7, 11];
         let h = 3;
         let out = alg3_k_ssp(&g, &sources, h, delta_for(&g, h), EngineConfig::default());
-        assert_matrices_equal(
-            &k_source_dijkstra(&g, &sources),
-            &out.matrix,
-            "alg3 k-ssp",
-        );
+        assert_matrices_equal(&k_source_dijkstra(&g, &sources), &out.matrix, "alg3 k-ssp");
     }
 
     #[test]
@@ -212,9 +216,7 @@ mod tests {
         assert!(suggested_h_weight_regime(100, 100, 4) <= 100);
         assert!(suggested_h_distance_regime(100, 100, 50) >= 1);
         // larger W/Δ shrink h
-        assert!(
-            suggested_h_weight_regime(200, 200, 64) <= suggested_h_weight_regime(200, 200, 1)
-        );
+        assert!(suggested_h_weight_regime(200, 200, 64) <= suggested_h_weight_regime(200, 200, 1));
         assert!(
             suggested_h_distance_regime(200, 200, 1000)
                 <= suggested_h_distance_regime(200, 200, 10)

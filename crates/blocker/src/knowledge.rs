@@ -6,8 +6,8 @@
 //! `(2h,k)`-SSP run; children by a one-round notification). This module
 //! packages that knowledge for the score/update protocols.
 
-use dw_pipeline::Csssp;
 use dw_graph::NodeId;
+use dw_pipeline::Csssp;
 use std::sync::Arc;
 
 /// Local tree knowledge of one node across all `k` trees.

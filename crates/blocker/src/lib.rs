@@ -20,13 +20,13 @@
 
 pub mod alg3;
 pub mod greedy;
-pub mod random;
 pub mod knowledge;
+pub mod random;
 pub mod scores;
 pub mod update;
 
 pub use alg3::{alg3_apsp, alg3_k_ssp, Alg3Outcome};
 pub use greedy::{find_blocker_set, verify_blocker_coverage, BlockerOutcome};
-pub use random::{random_blocker_set, RandomBlockerOutcome};
 pub use knowledge::TreeKnowledge;
+pub use random::{random_blocker_set, RandomBlockerOutcome};
 pub use scores::compute_initial_scores;

@@ -48,9 +48,7 @@ pub fn random_blocker_set(knowledge: &TreeKnowledge, seed: u64) -> RandomBlocker
     loop {
         attempts += 1;
         let p = (c * (big_n + 1.0).ln() / (h as f64 + 1.0)).min(1.0);
-        let blockers: Vec<NodeId> = (0..n as NodeId)
-            .filter(|_| rng.gen_bool(p))
-            .collect();
+        let blockers: Vec<NodeId> = (0..n as NodeId).filter(|_| rng.gen_bool(p)).collect();
         if verify_blocker_coverage(knowledge, &blockers).is_ok() {
             return RandomBlockerOutcome {
                 blockers,
@@ -90,10 +88,7 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let know = knowledge(14, 2, 7);
-        assert_eq!(
-            random_blocker_set(&know, 3),
-            random_blocker_set(&know, 3)
-        );
+        assert_eq!(random_blocker_set(&know, 3), random_blocker_set(&know, 3));
     }
 
     #[test]

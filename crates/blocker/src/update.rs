@@ -270,11 +270,7 @@ mod tests {
     }
 
     /// Centralized reference of both updates for cross-checking.
-    fn reference_after_pick(
-        know: &TreeKnowledge,
-        scores: &[Vec<u64>],
-        c: NodeId,
-    ) -> Vec<Vec<u64>> {
+    fn reference_after_pick(know: &TreeKnowledge, scores: &[Vec<u64>], c: NodeId) -> Vec<Vec<u64>> {
         let mut out = scores.to_vec();
         for i in 0..know.k() {
             if !know.node(c).in_tree(i) {

@@ -1,10 +1,12 @@
 //! The synchronous round engine.
 
+use crate::fault::{FaultAction, FaultPlan};
 use crate::message::{Envelope, MsgSize};
 use crate::metrics::RunStats;
 use crate::outbox::{Outbox, SendOp};
 use crate::protocol::{NodeCtx, Protocol, Round};
 use dw_graph::{NodeId, WGraph};
+use std::collections::BTreeMap;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -16,11 +18,15 @@ pub struct EngineConfig {
     /// bandwidth constraint). Always leave on; exposed for the failure
     /// injection tests.
     pub enforce_link_capacity: bool,
-    /// Use the crossbeam-parallel send/receive phases when the node count
+    /// Use the thread-parallel send/receive phases when the node count
     /// is at least this threshold. `usize::MAX` disables parallelism.
     pub parallel_threshold: usize,
     /// Worker threads for the parallel phases.
     pub threads: usize,
+    /// Optional deterministic fault injection (see [`crate::fault`]).
+    /// `None` leaves the delivery path byte-identical to the fault-free
+    /// engine.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -32,6 +38,7 @@ impl Default for EngineConfig {
             threads: std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1),
+            faults: None,
         }
     }
 }
@@ -44,6 +51,10 @@ pub enum RunOutcome {
     /// The round budget was exhausted before the protocol went quiet.
     BudgetExhausted,
 }
+
+/// Delay-faulted messages held back by the engine, keyed by due round;
+/// each entry is (recipient, envelope).
+type DelayedQueue<M> = BTreeMap<Round, Vec<(NodeId, Envelope<M>)>>;
 
 /// A network of `n` nodes running the same protocol type.
 pub struct Network<'g, P: Protocol> {
@@ -64,6 +75,13 @@ pub struct Network<'g, P: Protocol> {
     messages: u64,
     total_words: u64,
     max_round_messages: u64,
+    /// Delay-faulted messages awaiting delivery, keyed by due round.
+    pending: DelayedQueue<P::Msg>,
+    fault_dropped: u64,
+    fault_outage_dropped: u64,
+    fault_duplicated: u64,
+    fault_delayed: u64,
+    fault_late_delivered: u64,
 }
 
 impl<'g, P: Protocol> Network<'g, P> {
@@ -97,6 +115,12 @@ impl<'g, P: Protocol> Network<'g, P> {
             messages: 0,
             total_words: 0,
             max_round_messages: 0,
+            pending: BTreeMap::new(),
+            fault_dropped: 0,
+            fault_outage_dropped: 0,
+            fault_duplicated: 0,
+            fault_delayed: 0,
+            fault_late_delivered: 0,
         }
     }
 
@@ -146,13 +170,17 @@ impl<'g, P: Protocol> Network<'g, P> {
         let mut senders: Vec<NodeId> = Vec::new();
         let mut payloads = Vec::new();
         let keep = trace.keep_payloads();
+        let faults_before = self.fault_event_count();
+        let late_before = self.fault_late_delivered;
         let sent = self.step_inner(&mut |from, to, msg: &P::Msg| {
             senders.push(from);
             if keep {
                 payloads.push((from, to, format!("{msg:?}")));
             }
         });
-        if sent > 0 {
+        let fault_events = self.fault_event_count() - faults_before;
+        let late_delivered = self.fault_late_delivered - late_before;
+        if sent > 0 || fault_events > 0 || late_delivered > 0 {
             senders.sort_unstable();
             senders.dedup();
             trace.push(crate::trace::RoundRecord {
@@ -160,9 +188,39 @@ impl<'g, P: Protocol> Network<'g, P> {
                 messages: sent,
                 senders,
                 payloads,
+                fault_events,
+                late_delivered,
             });
         }
         sent
+    }
+
+    /// Total number of fault decisions that tampered with a message so far.
+    fn fault_event_count(&self) -> u64 {
+        self.fault_dropped + self.fault_outage_dropped + self.fault_duplicated + self.fault_delayed
+    }
+
+    /// Delay-faulted messages still in flight.
+    pub fn pending_deliveries(&self) -> usize {
+        self.pending.values().map(|b| b.len()).sum()
+    }
+
+    /// Move every pending delivery due at or before `round` into the
+    /// inboxes. Returns how many messages arrived late this round.
+    fn deliver_pending(&mut self, round: Round) -> u64 {
+        let mut late = 0u64;
+        while let Some((&due, _)) = self.pending.first_key_value() {
+            if due > round {
+                break;
+            }
+            let (_, batch) = self.pending.pop_first().expect("checked non-empty");
+            for (v, env) in batch {
+                self.inboxes[v as usize].push(env);
+                late += 1;
+            }
+        }
+        self.fault_late_delivered += late;
+        late
     }
 
     fn step_inner(&mut self, on_msg: &mut dyn FnMut(NodeId, NodeId, &P::Msg)) -> u64 {
@@ -170,6 +228,13 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.rounds_executed += 1;
         let round = self.round;
         let n = self.g.n();
+
+        // --- late deliveries from delay faults ---
+        let late = if self.cfg.faults.is_some() {
+            self.deliver_pending(round)
+        } else {
+            0
+        };
 
         // --- send phase ---
         let parallel = n >= self.cfg.parallel_threshold && self.cfg.threads > 1;
@@ -219,12 +284,21 @@ impl<'g, P: Protocol> Network<'g, P> {
         }
         self.messages += sent_this_round;
         self.max_round_messages = self.max_round_messages.max(sent_this_round);
-        if sent_this_round > 0 {
+        if sent_this_round > 0 || late > 0 {
             self.last_activity = round;
         }
 
         // --- receive phase ---
-        if sent_this_round > 0 {
+        if sent_this_round > 0 || late > 0 {
+            if late > 0 {
+                // Late arrivals were queued before this round's sends, so an
+                // inbox may be out of sender order; receive expects sorted.
+                for inbox in &mut self.inboxes {
+                    if inbox.len() > 1 {
+                        inbox.sort_by_key(|e| e.from);
+                    }
+                }
+            }
             if parallel {
                 self.receive_phase_parallel(round);
             } else {
@@ -269,7 +343,34 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.link_load[lid] += 1;
         self.total_words += words as u64;
         *sent += 1;
-        self.inboxes[v as usize].push(Envelope::new(u, m));
+        let Some(plan) = &self.cfg.faults else {
+            self.inboxes[v as usize].push(Envelope::new(u, m));
+            return;
+        };
+        // The sender occupied the link either way; only delivery is faulted.
+        match plan.decide(u, v, round) {
+            FaultAction::Deliver => {
+                self.inboxes[v as usize].push(Envelope::new(u, m));
+            }
+            FaultAction::Drop => {
+                self.fault_dropped += 1;
+            }
+            FaultAction::OutageDrop => {
+                self.fault_outage_dropped += 1;
+            }
+            FaultAction::Duplicate => {
+                self.inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                self.inboxes[v as usize].push(Envelope::new(u, m));
+                self.fault_duplicated += 1;
+            }
+            FaultAction::Delay(d) => {
+                self.pending
+                    .entry(round + d)
+                    .or_default()
+                    .push((v, Envelope::new(u, m)));
+                self.fault_delayed += 1;
+            }
+        }
     }
 
     fn send_phase_parallel(&mut self, round: Round) -> Vec<Vec<SendOp<P::Msg>>>
@@ -281,11 +382,11 @@ impl<'g, P: Protocol> Network<'g, P> {
         let n = self.nodes.len();
         let chunk = n.div_ceil(threads).max(1);
         let mut results: Vec<Vec<Vec<SendOp<P::Msg>>>> = Vec::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut handles = Vec::new();
             for (ci, nodes_chunk) in self.nodes.chunks_mut(chunk).enumerate() {
                 let base = ci * chunk;
-                handles.push(s.spawn(move |_| {
+                handles.push(s.spawn(move || {
                     nodes_chunk
                         .iter_mut()
                         .enumerate()
@@ -301,8 +402,7 @@ impl<'g, P: Protocol> Network<'g, P> {
             for h in handles {
                 results.push(h.join().expect("send worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         results.into_iter().flatten().collect()
     }
 
@@ -311,7 +411,7 @@ impl<'g, P: Protocol> Network<'g, P> {
         let threads = self.cfg.threads;
         let n = self.nodes.len();
         let chunk = n.div_ceil(threads).max(1);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (ci, (nodes_chunk, inbox_chunk)) in self
                 .nodes
                 .chunks_mut(chunk)
@@ -319,9 +419,11 @@ impl<'g, P: Protocol> Network<'g, P> {
                 .enumerate()
             {
                 let base = ci * chunk;
-                s.spawn(move |_| {
-                    for (i, (node, inbox)) in
-                        nodes_chunk.iter_mut().zip(inbox_chunk.iter_mut()).enumerate()
+                s.spawn(move || {
+                    for (i, (node, inbox)) in nodes_chunk
+                        .iter_mut()
+                        .zip(inbox_chunk.iter_mut())
+                        .enumerate()
                     {
                         if !inbox.is_empty() {
                             let v = (base + i) as NodeId;
@@ -331,8 +433,7 @@ impl<'g, P: Protocol> Network<'g, P> {
                     }
                 });
             }
-        })
-        .expect("crossbeam scope");
+        });
     }
 
     /// Run until the protocol goes quiet or `max_rounds` have elapsed.
@@ -350,11 +451,18 @@ impl<'g, P: Protocol> Network<'g, P> {
                 let g = self.g;
                 let mut next: Option<Round> = None;
                 for (v, node) in self.nodes.iter().enumerate() {
-                    if let Some(r) = node.earliest_send(self.round + 1, &NodeCtx::new(v as NodeId, g))
+                    if let Some(r) =
+                        node.earliest_send(self.round + 1, &NodeCtx::new(v as NodeId, g))
                     {
                         debug_assert!(r > self.round, "earliest_send must be in the future");
                         next = Some(next.map_or(r, |cur| cur.min(r)));
                     }
+                }
+                // A delay-faulted message still in flight forces its due
+                // round to be simulated (all pending rounds are > round:
+                // deliver_pending drained the rest at the top of the step).
+                if let Some((&due, _)) = self.pending.first_key_value() {
+                    next = Some(next.map_or(due, |cur| cur.min(due)));
                 }
                 match next {
                     None => return RunOutcome::Quiet,
@@ -380,6 +488,11 @@ impl<'g, P: Protocol> Network<'g, P> {
             max_node_sends: self.node_sends.iter().copied().max().unwrap_or(0),
             max_round_messages: self.max_round_messages,
             total_words: self.total_words,
+            dropped: self.fault_dropped,
+            outage_dropped: self.fault_outage_dropped,
+            duplicated: self.fault_duplicated,
+            delayed: self.fault_delayed,
+            late_delivered: self.fault_late_delivered,
         }
     }
 
@@ -620,7 +733,10 @@ mod tests {
         assert_eq!(trace.send_rounds_of(3), vec![4]);
         let r1 = trace.round(1).unwrap();
         assert_eq!(r1.messages, 1);
-        assert!(r1.payloads.iter().any(|(f, t, p)| *f == 0 && *t == 1 && p == "0"));
+        assert!(r1
+            .payloads
+            .iter()
+            .any(|(f, t, p)| *f == 0 && *t == 1 && p == "0"));
         // silent rounds after quiescence produce no records
         assert!(trace.round(6).is_none());
     }
@@ -630,5 +746,210 @@ mod tests {
         let g = gen::path(2, false, WeightDist::Constant(1), 0);
         let mut net = Network::new(&g, EngineConfig::default(), |_| LateSender { sent: false });
         assert_eq!(net.run(10), RunOutcome::BudgetExhausted);
+    }
+
+    // ---- fault injection ----
+
+    use crate::fault::{FaultPlan, Outage};
+
+    fn flood_run(g: &WGraph, cfg: EngineConfig) -> (Vec<Option<u64>>, RunStats) {
+        let mut net = Network::new(g, cfg, |_| Flood {
+            dist: None,
+            announced: false,
+        });
+        net.run(100_000);
+        let dists = net.nodes().iter().map(|f| f.dist).collect();
+        (dists, net.stats())
+    }
+
+    #[test]
+    fn pristine_fault_plan_is_byte_identical() {
+        let g = gen::gnp_connected(40, 0.1, false, WeightDist::Constant(1), 13);
+        let (d_none, s_none) = flood_run(&g, EngineConfig::default());
+        let (d_plan, s_plan) = flood_run(
+            &g,
+            EngineConfig {
+                faults: Some(FaultPlan::new(42)),
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(d_none, d_plan);
+        assert_eq!(s_none, s_plan);
+        assert_eq!(s_plan.fault_events(), 0);
+    }
+
+    #[test]
+    fn outage_drops_are_counted_and_partition() {
+        // Path 0-1-2 with the 1->2 direction permanently dead: node 2
+        // never hears anything, node 1 still converges.
+        let g = gen::path(3, false, WeightDist::Constant(1), 0);
+        let plan = FaultPlan::new(7).with_outage(Outage {
+            from: 1,
+            to: 2,
+            start: 1,
+            end: u64::MAX,
+            symmetric: false,
+        });
+        let (dists, st) = flood_run(
+            &g,
+            EngineConfig {
+                faults: Some(plan),
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(dists[0], Some(0));
+        assert_eq!(dists[1], Some(1));
+        assert_eq!(dists[2], None);
+        assert!(st.outage_dropped > 0);
+        assert_eq!(st.dropped, 0);
+    }
+
+    /// Node 0 broadcasts one message in round 1; node 1 counts envelopes.
+    struct CountRecv {
+        sent: bool,
+        received: u64,
+    }
+    impl Protocol for CountRecv {
+        type Msg = u64;
+        fn send(&mut self, _round: Round, ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if ctx.id == 0 && !self.sent {
+                self.sent = true;
+                out.broadcast(1);
+            }
+        }
+        fn receive(&mut self, _r: Round, inbox: &[Envelope<u64>], _c: &NodeCtx) {
+            self.received += inbox.len() as u64;
+        }
+        fn earliest_send(&self, after: Round, ctx: &NodeCtx) -> Option<Round> {
+            if ctx.id == 0 && !self.sent {
+                Some(after)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_deliver_two_copies() {
+        let g = gen::path(2, false, WeightDist::Constant(1), 0);
+        let plan = FaultPlan::new(3).with_duplicate(1.0);
+        let mut net = Network::new(
+            &g,
+            EngineConfig {
+                faults: Some(plan),
+                ..EngineConfig::default()
+            },
+            |_| CountRecv {
+                sent: false,
+                received: 0,
+            },
+        );
+        assert_eq!(net.run(100), RunOutcome::Quiet);
+        assert_eq!(net.node(1).received, 2);
+        let st = net.stats();
+        assert_eq!(st.duplicated, 1);
+        assert_eq!(st.messages, 1, "the wire carried one message");
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_and_extend_the_run() {
+        let g = gen::path(2, false, WeightDist::Constant(1), 0);
+        let plan = FaultPlan::new(11).with_delay(1.0, 4);
+        let mut net = Network::new(
+            &g,
+            EngineConfig {
+                faults: Some(plan),
+                ..EngineConfig::default()
+            },
+            |_| CountRecv {
+                sent: false,
+                received: 0,
+            },
+        );
+        assert_eq!(net.run(100), RunOutcome::Quiet);
+        assert_eq!(net.node(1).received, 1, "delayed message still arrives");
+        let st = net.stats();
+        assert_eq!(st.delayed, 1);
+        assert_eq!(st.late_delivered, 1);
+        assert!(
+            st.rounds > 1,
+            "delivery round {} must exceed the send round",
+            st.rounds
+        );
+        assert_eq!(net.pending_deliveries(), 0);
+    }
+
+    #[test]
+    fn fast_forward_does_not_skip_pending_deliveries() {
+        // Sender transmits in round 1000; delivery is delayed further. The
+        // fast-forward path must simulate both the send round and the
+        // later delivery round.
+        let g = gen::path(2, false, WeightDist::Constant(1), 0);
+        let plan = FaultPlan::new(2).with_delay(1.0, 3);
+        let mut net = Network::new(
+            &g,
+            EngineConfig {
+                faults: Some(plan),
+                ..EngineConfig::default()
+            },
+            |_| LateSender { sent: false },
+        );
+        assert_eq!(net.run(5000), RunOutcome::Quiet);
+        let st = net.stats();
+        assert_eq!(st.delayed, 1);
+        assert_eq!(st.late_delivered, 1);
+        assert!(st.rounds > 1000, "late delivery after round 1000");
+        assert!(st.rounds_executed < 10, "executed {}", st.rounds_executed);
+    }
+
+    #[test]
+    fn random_drops_lose_announcements() {
+        // With heavy random loss the fragile announce-once flood must both
+        // record drops and (on this seed) leave some node unreached.
+        let g = gen::path(8, false, WeightDist::Constant(1), 0);
+        let plan = FaultPlan::drop_only(19, 0.9);
+        let (dists, st) = flood_run(
+            &g,
+            EngineConfig {
+                faults: Some(plan),
+                ..EngineConfig::default()
+            },
+        );
+        assert!(st.dropped > 0);
+        assert!(
+            dists.iter().any(|d| d.is_none()),
+            "90% loss on a path should strand some node (seeded)"
+        );
+    }
+
+    #[test]
+    fn traced_rounds_record_fault_events() {
+        let g = gen::path(2, false, WeightDist::Constant(1), 0);
+        let plan = FaultPlan::new(11).with_delay(1.0, 4);
+        let mut net = Network::new(
+            &g,
+            EngineConfig {
+                faults: Some(plan),
+                ..EngineConfig::default()
+            },
+            |_| CountRecv {
+                sent: false,
+                received: 0,
+            },
+        );
+        let mut trace = crate::trace::RoundTrace::new();
+        for _ in 0..10 {
+            net.step_traced(&mut trace);
+        }
+        let r1 = trace.round(1).expect("send round recorded");
+        assert_eq!(r1.fault_events, 1);
+        assert_eq!(r1.late_delivered, 0);
+        let late: Vec<_> = trace
+            .records()
+            .iter()
+            .filter(|r| r.late_delivered > 0)
+            .collect();
+        assert_eq!(late.len(), 1, "exactly one late-delivery round");
+        assert_eq!(late[0].messages, 0, "no new wire traffic that round");
     }
 }

@@ -13,7 +13,7 @@
 //! What this crate provides:
 //!
 //! * [`Protocol`] — the per-node program trait (send phase / receive phase);
-//! * [`Network`] — the round engine, sequential or crossbeam-parallel, with
+//! * [`Network`] — the round engine, sequential or thread-parallel, with
 //!   **hard enforcement** of the one-message-per-link-per-round and
 //!   message-size constraints, schedule fast-forwarding for pipelined
 //!   protocols with sparse send schedules, and full metrics (rounds,
@@ -26,17 +26,21 @@
 //!   framework plays in the paper).
 
 pub mod engine;
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod outbox;
 pub mod primitives;
 pub mod protocol;
+pub mod reliable;
 pub mod scheduler;
 pub mod trace;
 
 pub use engine::{EngineConfig, Network, RunOutcome};
+pub use fault::{FaultAction, FaultPlan, Outage};
 pub use message::{Envelope, MsgSize};
 pub use metrics::RunStats;
 pub use outbox::Outbox;
 pub use protocol::{NodeCtx, Protocol, Round};
+pub use reliable::{Reliable, ReliableConfig, ReliableStats};
 pub use trace::{RoundRecord, RoundTrace};

@@ -14,6 +14,12 @@
 ///   messages sent by each node).
 /// * `max_round_messages` — peak messages in a single round.
 /// * `total_words` — sum of message sizes in words.
+///
+/// The `dropped` / `outage_dropped` / `duplicated` / `delayed` /
+/// `late_delivered` fields account for fault injection (see
+/// [`crate::fault`]); they are all zero when the engine runs without a
+/// fault plan. `messages` counts wire transmissions, so a dropped message
+/// still counts as sent but never as received.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     pub rounds: u64,
@@ -23,6 +29,16 @@ pub struct RunStats {
     pub max_node_sends: u64,
     pub max_round_messages: u64,
     pub total_words: u64,
+    /// Messages destroyed by random loss faults.
+    pub dropped: u64,
+    /// Messages destroyed by scheduled link outages.
+    pub outage_dropped: u64,
+    /// Messages delivered twice by duplication faults.
+    pub duplicated: u64,
+    /// Messages postponed by delay faults.
+    pub delayed: u64,
+    /// Delayed messages that eventually arrived (late).
+    pub late_delivered: u64,
 }
 
 impl RunStats {
@@ -39,7 +55,17 @@ impl RunStats {
             max_node_sends: self.max_node_sends.max(later.max_node_sends),
             max_round_messages: self.max_round_messages.max(later.max_round_messages),
             total_words: self.total_words + later.total_words,
+            dropped: self.dropped + later.dropped,
+            outage_dropped: self.outage_dropped + later.outage_dropped,
+            duplicated: self.duplicated + later.duplicated,
+            delayed: self.delayed + later.delayed,
+            late_delivered: self.late_delivered + later.late_delivered,
         }
+    }
+
+    /// Total messages tampered with by fault injection.
+    pub fn fault_events(&self) -> u64 {
+        self.dropped + self.outage_dropped + self.duplicated + self.delayed
     }
 }
 
@@ -57,6 +83,11 @@ mod tests {
             max_node_sends: 3,
             max_round_messages: 40,
             total_words: 300,
+            dropped: 2,
+            outage_dropped: 1,
+            duplicated: 4,
+            delayed: 3,
+            late_delivered: 3,
         };
         let b = RunStats {
             rounds: 7,
@@ -66,6 +97,11 @@ mod tests {
             max_node_sends: 1,
             max_round_messages: 2,
             total_words: 20,
+            dropped: 1,
+            outage_dropped: 0,
+            duplicated: 0,
+            delayed: 2,
+            late_delivered: 1,
         };
         let c = a.then(&b);
         assert_eq!(c.rounds, 17);
@@ -75,5 +111,16 @@ mod tests {
         assert_eq!(c.max_node_sends, 3);
         assert_eq!(c.max_round_messages, 40);
         assert_eq!(c.total_words, 320);
+        assert_eq!(c.dropped, 3);
+        assert_eq!(c.outage_dropped, 1);
+        assert_eq!(c.duplicated, 4);
+        assert_eq!(c.delayed, 5);
+        assert_eq!(c.late_delivered, 4);
+        assert_eq!(c.fault_events(), 13);
+    }
+
+    #[test]
+    fn fault_free_stats_have_zero_fault_events() {
+        assert_eq!(RunStats::default().fault_events(), 0);
     }
 }

@@ -168,7 +168,10 @@ mod tests {
     fn smallest_id_parent_on_ties() {
         // diamond: 0-1, 0-2, 1-3, 2-3; node 3 hears 1 and 2 in same round
         let mut b = GraphBuilder::new(4, false);
-        b.add_edge(0, 1, 1).add_edge(0, 2, 1).add_edge(1, 3, 1).add_edge(2, 3, 1);
+        b.add_edge(0, 1, 1)
+            .add_edge(0, 2, 1)
+            .add_edge(1, 3, 1)
+            .add_edge(2, 3, 1);
         let g = b.build();
         let (t, _) = build_bfs_tree(&g, 0, EngineConfig::default());
         assert_eq!(t.parent[3], Some(1));

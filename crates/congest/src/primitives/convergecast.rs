@@ -126,7 +126,12 @@ pub fn converge_max(
 }
 
 /// Global sum of `values`, aggregated at `tree.root`.
-pub fn converge_sum(g: &WGraph, tree: &BfsTree, values: &[u64], cfg: EngineConfig) -> (u64, RunStats) {
+pub fn converge_sum(
+    g: &WGraph,
+    tree: &BfsTree,
+    values: &[u64],
+    cfg: EngineConfig,
+) -> (u64, RunStats) {
     let (agg, st) = converge(g, tree, values, Op::Sum, cfg);
     (agg.value, st)
 }

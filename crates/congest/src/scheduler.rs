@@ -20,6 +20,7 @@
 //! round totals.
 
 use crate::engine::EngineConfig;
+use crate::fault::FaultAction;
 use crate::message::{Envelope, MsgSize};
 use crate::outbox::{Outbox, SendOp};
 use crate::protocol::{NodeCtx, Protocol, Round};
@@ -41,6 +42,10 @@ pub struct ScheduleStats {
     pub messages: u64,
     /// Maximum total load on any directed link.
     pub max_link_load: u64,
+    /// Messages destroyed by fault injection (random loss + outages).
+    pub dropped: u64,
+    /// Messages duplicated by fault injection.
+    pub duplicated: u64,
 }
 
 struct Instance<P: Protocol> {
@@ -77,6 +82,12 @@ impl<P: Protocol> Instance<P> {
 ///
 /// `max_offset` is the window for the random start delays (Ghaffari's
 /// framework draws delays proportional to the total congestion).
+///
+/// Fault injection: if `cfg.faults` is set, every committed transmission
+/// is subjected to the plan keyed by the **global** round (stalled retries
+/// draw fresh decisions). Drop, outage and duplicate faults are supported;
+/// delay faults are rejected — a delayed delivery would cross instance
+/// stall boundaries, which the schedule abstraction cannot express.
 pub fn schedule_instances<P>(
     g: &WGraph,
     instances: Vec<Vec<P>>,
@@ -91,6 +102,15 @@ where
 {
     let n = g.n();
     let k = instances.len();
+    let fault_plan = cfg.faults.as_ref();
+    if let Some(plan) = fault_plan {
+        assert!(
+            !plan.has_delays(),
+            "the multi-instance scheduler does not support delay faults"
+        );
+    }
+    let mut fault_dropped = 0u64;
+    let mut fault_duplicated = 0u64;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut priority: Vec<usize> = (0..k).collect();
     priority.shuffle(&mut rng);
@@ -231,7 +251,24 @@ where
                                 link_stamp[lid] = global;
                                 link_load[lid] += 1;
                                 sent += 1;
-                                inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                match fault_plan
+                                    .map_or(FaultAction::Deliver, |p| p.decide(u, v, global))
+                                {
+                                    FaultAction::Deliver => {
+                                        inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                    }
+                                    FaultAction::Drop | FaultAction::OutageDrop => {
+                                        fault_dropped += 1;
+                                    }
+                                    FaultAction::Duplicate => {
+                                        inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                        inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                        fault_duplicated += 1;
+                                    }
+                                    FaultAction::Delay(_) => {
+                                        unreachable!("delay faults rejected above")
+                                    }
+                                }
                             }
                         }
                         SendOp::Unicast(v, m) => {
@@ -243,7 +280,24 @@ where
                             link_stamp[lid] = global;
                             link_load[lid] += 1;
                             sent += 1;
-                            inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                            match fault_plan
+                                .map_or(FaultAction::Deliver, |p| p.decide(u, v, global))
+                            {
+                                FaultAction::Deliver => {
+                                    inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                }
+                                FaultAction::Drop | FaultAction::OutageDrop => {
+                                    fault_dropped += 1;
+                                }
+                                FaultAction::Duplicate => {
+                                    inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                    inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                    fault_duplicated += 1;
+                                }
+                                FaultAction::Delay(_) => {
+                                    unreachable!("delay faults rejected above")
+                                }
+                            }
                         }
                     }
                 }
@@ -270,6 +324,8 @@ where
         offsets: insts.iter().map(|i| i.start).collect(),
         messages,
         max_link_load: link_load.iter().copied().max().unwrap_or(0),
+        dropped: fault_dropped,
+        duplicated: fault_duplicated,
     };
     (insts.into_iter().map(|i| i.nodes).collect(), stats)
 }
@@ -428,8 +484,7 @@ mod tests {
                 .collect()
         };
         let (_, tight) = schedule_instances(&g, build(), &EngineConfig::default(), 5, 0, 100_000);
-        let (_, spread) =
-            schedule_instances(&g, build(), &EngineConfig::default(), 5, 64, 100_000);
+        let (_, spread) = schedule_instances(&g, build(), &EngineConfig::default(), 5, 64, 100_000);
         assert!(
             spread.stalls.iter().sum::<u64>() <= tight.stalls.iter().sum::<u64>(),
             "random offsets should not increase collisions on a star"

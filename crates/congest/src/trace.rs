@@ -20,6 +20,11 @@ pub struct RoundRecord {
     /// Optional rendered messages `(from, to, text)` — only populated
     /// when the trace was created with [`RoundTrace::with_payloads`].
     pub payloads: Vec<(NodeId, NodeId, String)>,
+    /// Messages tampered with by fault injection this round
+    /// (drops + outage drops + duplications + delays).
+    pub fault_events: u64,
+    /// Delay-faulted messages that arrived (late) this round.
+    pub late_delivered: u64,
 }
 
 /// A bounded trace of executed rounds (silent rounds produce no record).
@@ -86,9 +91,16 @@ impl RoundTrace {
         let mut out = String::new();
         for rec in &self.records {
             out.push_str(&format!(
-                "round {:>5}: {:>4} msgs from {:?}\n",
+                "round {:>5}: {:>4} msgs from {:?}",
                 rec.round, rec.messages, rec.senders
             ));
+            if rec.fault_events > 0 || rec.late_delivered > 0 {
+                out.push_str(&format!(
+                    "  [faulted {}, late {}]",
+                    rec.fault_events, rec.late_delivered
+                ));
+            }
+            out.push('\n');
             for (f, t, p) in &rec.payloads {
                 out.push_str(&format!("    {f} -> {t}: {p}\n"));
             }
@@ -107,6 +119,8 @@ mod tests {
             messages: senders.len() as u64,
             senders,
             payloads: Vec::new(),
+            fault_events: 0,
+            late_delivered: 0,
         }
     }
 
@@ -142,5 +156,16 @@ mod tests {
         let s = t.render();
         assert!(s.contains("round     7"));
         assert!(s.contains("1 -> 2: hello"));
+        assert!(!s.contains("faulted"), "fault-free rounds render clean");
+    }
+
+    #[test]
+    fn renders_fault_annotations() {
+        let mut t = RoundTrace::new();
+        let mut r = rec(3, vec![0]);
+        r.fault_events = 2;
+        r.late_delivered = 1;
+        t.push(r);
+        assert!(t.render().contains("[faulted 2, late 1]"));
     }
 }

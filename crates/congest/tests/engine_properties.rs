@@ -88,7 +88,10 @@ fn parallel_engine_deterministic_across_thread_counts() {
 #[test]
 fn primitives_compose_on_structured_families() {
     for (name, g) in [
-        ("tree", gen::binary_tree(31, false, WeightDist::Constant(1), 0)),
+        (
+            "tree",
+            gen::binary_tree(31, false, WeightDist::Constant(1), 0),
+        ),
         ("torus", gen::torus(5, 5, WeightDist::Constant(1), 1)),
         ("barbell", gen::barbell(6, 5, WeightDist::Constant(1), 2)),
     ] {

@@ -18,7 +18,10 @@ fn main() {
         g.zero_weight_edges()
     );
     println!();
-    println!("{:<8} {:>8} {:>12} {:>12} {:>12}", "ε", "rounds", "zero-phase", "pos-phase", "worst ratio");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>12}",
+        "ε", "rounds", "zero-phase", "pos-phase", "worst ratio"
+    );
 
     for (num, den) in [(2u64, 1u64), (1, 1), (1, 2), (1, 4), (1, 8)] {
         let out = approx_apsp(&g, num, den, EngineConfig::default());
@@ -51,5 +54,7 @@ fn main() {
         );
     }
     println!();
-    println!("smaller ε buys accuracy with more rounds — the O((n/ε²)·log n) trade of Theorem I.5 ✓");
+    println!(
+        "smaller ε buys accuracy with more rounds — the O((n/ε²)·log n) trade of Theorem I.5 ✓"
+    );
 }

@@ -31,7 +31,11 @@ fn main() {
 
         println!();
         println!("h = {h}:");
-        println!("  blocker set Q ({} nodes): {:?}", out.blockers.len(), out.blockers);
+        println!(
+            "  blocker set Q ({} nodes): {:?}",
+            out.blockers.len(),
+            out.blockers
+        );
         println!(
             "  rounds: step1 CSSSP {}, step2 blocker {}, step3 SSSPs {}, step4 broadcasts {} — total {}",
             out.step1_rounds,

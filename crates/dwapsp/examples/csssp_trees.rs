@@ -14,7 +14,10 @@ fn main() {
     let h = 4usize;
     let (g, nd) = gen::fig1_gadget(h, 7, 1, true);
     println!("the Fig. 1 gadget (h = {h}):");
-    println!("  s={} --0--> ... --0--> a={} (h hops, weight 0)", nd.s, nd.a);
+    println!(
+        "  s={} --0--> ... --0--> a={} (h hops, weight 0)",
+        nd.s, nd.a
+    );
     println!("  s={} --------7-------> a={} (1 hop)", nd.s, nd.a);
     println!("  a={} --1--> t={}", nd.a, nd.t);
     println!();
@@ -28,9 +31,7 @@ fn main() {
         "raw h-hop run: δ⁴(s,t) = {} via parent a; but following parent pointers from t ",
         raw.dist[0][nd.t as usize]
     );
-    println!(
-        "takes {chain} hops (> h = {h}) because a's own recorded path is the zero route."
-    );
+    println!("takes {chain} hops (> h = {h}) because a's own recorded path is the zero route.");
     assert!(chain > h as u64);
 
     // The cure: CSSSP.

@@ -30,7 +30,10 @@ fn main() {
     // guess-and-double; the run is exact on convergence.
     let (result, stats, delta) = apsp_auto(&g, EngineConfig::default());
 
-    println!("pipelined APSP on n={} nodes (Δ discovered = {delta})", g.n());
+    println!(
+        "pipelined APSP on n={} nodes (Δ discovered = {delta})",
+        g.n()
+    );
     println!(
         "rounds: {}   messages: {}   max link load: {}",
         stats.rounds, stats.messages, stats.max_link_load

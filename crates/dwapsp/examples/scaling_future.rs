@@ -23,7 +23,10 @@ fn main() {
             16,
             0.12,
             true,
-            gen::WeightDist::ZeroOr { p_zero: 0.0, max: w },
+            gen::WeightDist::ZeroOr {
+                p_zero: 0.0,
+                max: w,
+            },
             1300 + w,
         );
         let reference = apsp_dijkstra(&g);

@@ -75,12 +75,24 @@ fn cmd_gen(get: &impl Fn(&str) -> Option<String>) {
             n,
             3.0 / n as f64,
             true,
-            gen::WeightDist::ZeroOr { p_zero: 0.0, max: w },
+            gen::WeightDist::ZeroOr {
+                p_zero: 0.0,
+                max: w,
+            },
             seed,
         ),
         "grid" => {
             let side = (n as f64).sqrt().round().max(2.0) as usize;
-            gen::grid(side, side, false, gen::WeightDist::ZeroOr { p_zero: 0.3, max: w }, seed)
+            gen::grid(
+                side,
+                side,
+                false,
+                gen::WeightDist::ZeroOr {
+                    p_zero: 0.3,
+                    max: w,
+                },
+                seed,
+            )
         }
         "staircase" => gen::staircase(n.max(4) / 4, 4, w.max(1), true),
         "fig1" => gen::fig1_gadget(n.clamp(2, 64), w.max(1), 1, true).0,
@@ -142,8 +154,7 @@ fn cmd_run(get: &impl Fn(&str) -> Option<String>) {
                 || suggested_h_weight_regime(g.n(), g.n(), g.max_weight()),
                 |s| s.parse().expect("--h"),
             );
-            let delta =
-                dwapsp::seqref::max_finite_h_hop_distance(&g, 2 * h as usize).max(1);
+            let delta = dwapsp::seqref::max_finite_h_hop_distance(&g, 2 * h as usize).max(1);
             let out = if let Some(sources) = parse_sources(get, g.n()) {
                 alg3_k_ssp(&g, &sources, h, delta, engine)
             } else {
@@ -159,7 +170,12 @@ fn cmd_run(get: &impl Fn(&str) -> Option<String>) {
         }
         "bf" => {
             let (res, st) = bf_apsp(&g, engine);
-            print_stats("bellman-ford apsp", st.rounds, st.messages, st.max_link_load);
+            print_stats(
+                "bellman-ford apsp",
+                st.rounds,
+                st.messages,
+                st.max_link_load,
+            );
             print_matrix(&res.to_matrix());
         }
         "approx" => {

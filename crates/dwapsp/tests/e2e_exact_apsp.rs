@@ -18,7 +18,16 @@ fn families(seed: u64) -> Vec<(String, WGraph)> {
         ),
         (
             format!("grid s{seed}"),
-            gen::grid(3, 5, false, gen::WeightDist::ZeroOr { p_zero: 0.4, max: 4 }, seed),
+            gen::grid(
+                3,
+                5,
+                false,
+                gen::WeightDist::ZeroOr {
+                    p_zero: 0.4,
+                    max: 4,
+                },
+                seed,
+            ),
         ),
         (
             format!("staircase s{seed}"),
@@ -37,11 +46,8 @@ fn alg1_apsp_exact_across_families() {
         for (name, g) in families(seed) {
             let delta = max_finite_distance(&g).max(1);
             let cfg = SspConfig::apsp(g.n(), delta);
-            let (res, stats, rep) = dwapsp::pipeline::invariants::run_with_report(
-                &g,
-                &cfg,
-                EngineConfig::default(),
-            );
+            let (res, stats, rep) =
+                dwapsp::pipeline::invariants::run_with_report(&g, &cfg, EngineConfig::default());
             assert_matrices_equal(&apsp_dijkstra(&g), &res.to_matrix(), &name);
             // The Theorem I.1 bound covers the *convergence* round and is
             // guaranteed for healthy runs (Invariants 1-2 held, no
@@ -75,14 +81,9 @@ fn alg3_apsp_exact_across_families_and_h() {
     for seed in 0..2 {
         for (name, g) in families(seed) {
             for h in [2u64, 4] {
-                let delta =
-                    dwapsp::seqref::max_finite_h_hop_distance(&g, 2 * h as usize).max(1);
+                let delta = dwapsp::seqref::max_finite_h_hop_distance(&g, 2 * h as usize).max(1);
                 let out = alg3_apsp(&g, h, delta, EngineConfig::default());
-                assert_matrices_equal(
-                    &apsp_dijkstra(&g),
-                    &out.matrix,
-                    &format!("{name} h={h}"),
-                );
+                assert_matrices_equal(&apsp_dijkstra(&g), &out.matrix, &format!("{name} h={h}"));
             }
         }
     }

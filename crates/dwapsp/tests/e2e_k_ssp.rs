@@ -11,11 +11,7 @@ fn pipelined_k_ssp_exact() {
         let sources = vec![1u32, 5, 9, 13];
         let delta = max_finite_distance(&g).max(1);
         let (res, stats, _) = k_ssp(&g, sources.clone(), delta, EngineConfig::default());
-        assert_matrices_equal(
-            &k_source_dijkstra(&g, &sources),
-            &res.to_matrix(),
-            "k-ssp",
-        );
+        assert_matrices_equal(&k_source_dijkstra(&g, &sources), &res.to_matrix(), "k-ssp");
         // Theorem I.1(iii): 2√(Δkn) + n + k
         let bound = dwapsp::pipeline::hk_round_bound(g.n() as u64, sources.len() as u64, delta);
         assert!(stats.rounds <= bound);

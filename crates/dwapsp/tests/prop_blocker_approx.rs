@@ -9,10 +9,7 @@ use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = WGraph> {
     (4usize..=12).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0u64..=8),
-            n..3 * n,
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0u64..=8), n..3 * n);
         (Just(n), edges, any::<bool>()).prop_map(|(n, edges, directed)| {
             let mut b = GraphBuilder::new(n, directed);
             for (s, d, w) in edges {

@@ -11,10 +11,7 @@ use proptest::prelude::*;
 /// nodes, weights `0..=6` (zero-weight edges likely).
 fn arb_graph() -> impl Strategy<Value = WGraph> {
     (3usize..=14).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0u64..=6),
-            0..(3 * n),
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0u64..=6), 0..(3 * n));
         (Just(n), edges, any::<bool>()).prop_map(|(n, edges, directed)| {
             let mut b = GraphBuilder::new(n, directed);
             for (s, d, w) in edges {

@@ -49,7 +49,10 @@ impl GraphBuilder {
     }
 
     /// Add every edge in `iter`.
-    pub fn extend(&mut self, iter: impl IntoIterator<Item = (NodeId, NodeId, Weight)>) -> &mut Self {
+    pub fn extend(
+        &mut self,
+        iter: impl IntoIterator<Item = (NodeId, NodeId, Weight)>,
+    ) -> &mut Self {
         for (s, d, w) in iter {
             self.add_edge(s, d, w);
         }

@@ -128,8 +128,14 @@ mod tests {
         let d = WeightDist::Uniform { max: 10 };
         assert_eq!(grid(4, 4, false, d, 42), grid(4, 4, false, d, 42));
         assert_ne!(
-            grid(4, 4, false, d, 42).edges().map(|e| e.w).collect::<Vec<_>>(),
-            grid(4, 4, false, d, 43).edges().map(|e| e.w).collect::<Vec<_>>()
+            grid(4, 4, false, d, 42)
+                .edges()
+                .map(|e| e.w)
+                .collect::<Vec<_>>(),
+            grid(4, 4, false, d, 43)
+                .edges()
+                .map(|e| e.w)
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -31,7 +31,12 @@ pub struct Fig1Nodes {
 /// * `a -> t` with weight `tail_w`.
 ///
 /// Returns the graph and the named nodes.
-pub fn fig1_gadget(h: usize, heavy_w: Weight, tail_w: Weight, directed: bool) -> (WGraph, Fig1Nodes) {
+pub fn fig1_gadget(
+    h: usize,
+    heavy_w: Weight,
+    tail_w: Weight,
+    directed: bool,
+) -> (WGraph, Fig1Nodes) {
     assert!(h >= 2, "gadget needs h >= 2");
     assert!(heavy_w >= 1, "shortcut must be heavier than the zero path");
     let n = h + 2;
@@ -63,7 +68,12 @@ pub fn fig1_gadget(h: usize, heavy_w: Weight, tail_w: Weight, directed: bool) ->
 /// (a parent chain of `h+1 > h` hops from its `t`), giving a whole family
 /// of simultaneous violations in one graph, while CSSSP trees
 /// (Lemma III.4) stay at height `<= h` everywhere.
-pub fn fig1_chain(h: usize, copies: usize, heavy_w: Weight, directed: bool) -> (WGraph, Vec<Fig1Nodes>) {
+pub fn fig1_chain(
+    h: usize,
+    copies: usize,
+    heavy_w: Weight,
+    directed: bool,
+) -> (WGraph, Vec<Fig1Nodes>) {
     assert!(copies >= 1);
     let per = h + 1; // nodes added per copy beyond the shared s/t boundary
     let n = 1 + copies * per;

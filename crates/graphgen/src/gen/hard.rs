@@ -21,7 +21,10 @@ use rand_chacha::ChaCha8Rng;
 /// right mixture, and intermediate nodes legitimately hold multiple entries
 /// per source — exactly the regime Invariant 2 of the paper bounds.
 pub fn staircase(segments: usize, rung_hops: usize, heavy_w: Weight, directed: bool) -> WGraph {
-    assert!(segments >= 1 && rung_hops >= 2, "need >=1 segment, >=2 rung hops");
+    assert!(
+        segments >= 1 && rung_hops >= 2,
+        "need >=1 segment, >=2 rung hops"
+    );
     let per_seg = rung_hops - 1; // interior zero-path nodes per segment
     let n = (segments + 1) + segments * per_seg;
     let mut b = GraphBuilder::new(n, directed);

@@ -13,7 +13,7 @@ mod structured;
 mod weights;
 
 pub use classic::{complete, grid, path, ring, star};
-pub use fig1::{fig1_gadget, fig1_chain};
+pub use fig1::{fig1_chain, fig1_gadget};
 pub use hard::{layered_conflict, staircase, staircase_anchor};
 pub use random::{gnp, gnp_connected, zero_heavy};
 pub use structured::{barbell, binary_tree, expanderish, torus};

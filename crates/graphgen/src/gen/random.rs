@@ -62,15 +62,14 @@ pub fn gnp_connected(n: usize, p: f64, directed: bool, dist: WeightDist, seed: u
 /// zero and the rest are uniform in `1..=max_w`. This is the paper's
 /// motivating regime: zero-weight edges break the classical
 /// weight-expansion reduction (Section I).
-pub fn zero_heavy(
-    n: usize,
-    p: f64,
-    p_zero: f64,
-    max_w: u64,
-    directed: bool,
-    seed: u64,
-) -> WGraph {
-    gnp_connected(n, p, directed, WeightDist::ZeroOr { p_zero, max: max_w }, seed)
+pub fn zero_heavy(n: usize, p: f64, p_zero: f64, max_w: u64, directed: bool, seed: u64) -> WGraph {
+    gnp_connected(
+        n,
+        p,
+        directed,
+        WeightDist::ZeroOr { p_zero, max: max_w },
+        seed,
+    )
 }
 
 #[cfg(test)]

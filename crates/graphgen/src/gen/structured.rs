@@ -38,7 +38,11 @@ pub fn barbell(clique: usize, bridge_len: usize, dist: WeightDist, seed: u64) ->
     let right0 = clique + bridge_len - 1;
     for u in 0..clique {
         for v in u + 1..clique {
-            b.add_edge((right0 + u) as NodeId, (right0 + v) as NodeId, dist.sample(&mut rng));
+            b.add_edge(
+                (right0 + u) as NodeId,
+                (right0 + v) as NodeId,
+                dist.sample(&mut rng),
+            );
         }
     }
     // bridge: clique-1 -> clique -> ... -> right0

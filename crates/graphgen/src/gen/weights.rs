@@ -71,7 +71,10 @@ mod tests {
     #[test]
     fn zero_or_produces_zeros_and_positives() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let d = WeightDist::ZeroOr { p_zero: 0.5, max: 9 };
+        let d = WeightDist::ZeroOr {
+            p_zero: 0.5,
+            max: 9,
+        };
         let samples: Vec<_> = (0..400).map(|_| d.sample(&mut rng)).collect();
         assert!(samples.contains(&0));
         assert!(samples.iter().any(|&w| w > 0));
@@ -82,6 +85,13 @@ mod tests {
     fn max_weight_reported() {
         assert_eq!(WeightDist::Constant(3).max_weight(), 3);
         assert_eq!(WeightDist::Uniform { max: 8 }.max_weight(), 8);
-        assert_eq!(WeightDist::ZeroOr { p_zero: 0.1, max: 4 }.max_weight(), 4);
+        assert_eq!(
+            WeightDist::ZeroOr {
+                p_zero: 0.1,
+                max: 4
+            }
+            .max_weight(),
+            4
+        );
     }
 }

@@ -1,7 +1,5 @@
 //! The core weighted graph type.
 
-use serde::{Deserialize, Serialize};
-
 /// Node identifier. The paper assigns IDs in `1..poly(n)`; we use dense
 /// `0..n` which is equivalent up to relabeling and keeps adjacency arrays
 /// compact.
@@ -15,7 +13,7 @@ pub type Weight = u64;
 pub const INFINITY: Weight = Weight::MAX;
 
 /// A single weighted edge `src -> dst`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Edge {
     pub src: NodeId,
     pub dst: NodeId,
@@ -44,7 +42,7 @@ impl Edge {
 /// * no self loops;
 /// * no parallel edges (the minimum weight is kept);
 /// * adjacency lists sorted by neighbor id (determinism).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WGraph {
     n: usize,
     directed: bool,

@@ -2,14 +2,17 @@
 //!
 //! The on-disk format is a plain JSON document with an explicit edge list,
 //! so instances can be inspected, diffed and regenerated independently of
-//! the in-memory adjacency layout.
+//! the in-memory adjacency layout. The encoder/parser are hand-rolled (no
+//! serde in the offline build); the grammar is the fixed document shape
+//! `{"n":..,"directed":..,"edges":[{"src":..,"dst":..,"w":..},..]}` with
+//! arbitrary whitespace and arbitrary key order accepted on input.
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Edge, WGraph};
-use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Serializable graph document.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphDoc {
     pub n: usize,
     pub directed: bool,
@@ -37,15 +40,226 @@ impl GraphDoc {
     }
 }
 
+/// Error produced when parsing a graph document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph json error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 /// Serialize a graph to a JSON string.
 pub fn to_json(g: &WGraph) -> String {
-    serde_json::to_string(&GraphDoc::from(g)).expect("graph serialization cannot fail")
+    let doc = GraphDoc::from(g);
+    let mut s = String::with_capacity(64 + doc.edges.len() * 24);
+    s.push_str("{\"n\":");
+    s.push_str(&doc.n.to_string());
+    s.push_str(",\"directed\":");
+    s.push_str(if doc.directed { "true" } else { "false" });
+    s.push_str(",\"edges\":[");
+    for (i, e) in doc.edges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"src\":");
+        s.push_str(&e.src.to_string());
+        s.push_str(",\"dst\":");
+        s.push_str(&e.dst.to_string());
+        s.push_str(",\"w\":");
+        s.push_str(&e.w.to_string());
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
 }
 
 /// Parse a graph from JSON produced by [`to_json`].
-pub fn from_json(s: &str) -> Result<WGraph, serde_json::Error> {
-    let doc: GraphDoc = serde_json::from_str(s)?;
+pub fn from_json(s: &str) -> Result<WGraph, JsonError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let doc = p.document()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
     Ok(doc.to_graph())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            msg: msg.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Parse a `"key"` token and return it.
+    fn key(&mut self) -> Result<&'a str, JsonError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let k = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("non-utf8 key"))?;
+                self.pos += 1;
+                return Ok(k);
+            }
+            if b == b'\\' {
+                return Err(self.err("escapes not supported in keys"));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn u64_value(&mut self) -> Result<u64, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ascii")
+            .parse::<u64>()
+            .map_err(|_| self.err("number out of range"))
+    }
+
+    fn bool_value(&mut self) -> Result<bool, JsonError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(self.err("expected boolean"))
+        }
+    }
+
+    fn edge(&mut self) -> Result<Edge, JsonError> {
+        self.expect(b'{')?;
+        let (mut src, mut dst, mut w) = (None, None, None);
+        loop {
+            let k = self.key()?;
+            self.expect(b':')?;
+            let v = self.u64_value()?;
+            match k {
+                "src" => src = Some(u32::try_from(v).map_err(|_| self.err("src out of range"))?),
+                "dst" => dst = Some(u32::try_from(v).map_err(|_| self.err("dst out of range"))?),
+                "w" => w = Some(v),
+                _ => return Err(self.err("unknown edge key")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or '}' in edge")),
+            }
+        }
+        match (src, dst, w) {
+            (Some(src), Some(dst), Some(w)) => Ok(Edge { src, dst, w }),
+            _ => Err(self.err("edge missing src/dst/w")),
+        }
+    }
+
+    fn edges(&mut self) -> Result<Vec<Edge>, JsonError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.edge()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected ',' or ']' in edge list")),
+            }
+        }
+    }
+
+    fn document(&mut self) -> Result<GraphDoc, JsonError> {
+        self.expect(b'{')?;
+        let (mut n, mut directed, mut edges) = (None, None, None);
+        if self.peek() == Some(b'}') {
+            return Err(self.err("document missing n/directed/edges"));
+        }
+        loop {
+            let k = self.key()?;
+            self.expect(b':')?;
+            match k {
+                "n" => {
+                    let v = self.u64_value()?;
+                    n = Some(usize::try_from(v).map_err(|_| self.err("n out of range"))?);
+                }
+                "directed" => directed = Some(self.bool_value()?),
+                "edges" => edges = Some(self.edges()?),
+                _ => return Err(self.err("unknown document key")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or '}' in document")),
+            }
+        }
+        match (n, directed, edges) {
+            (Some(n), Some(directed), Some(edges)) => Ok(GraphDoc { n, directed, edges }),
+            _ => Err(self.err("document missing n/directed/edges")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -63,12 +277,37 @@ mod tests {
 
     #[test]
     fn roundtrip_undirected() {
-        let g = gen::grid(3, 3, false, WeightDist::ZeroOr { p_zero: 0.4, max: 3 }, 2);
+        let g = gen::grid(
+            3,
+            3,
+            false,
+            WeightDist::ZeroOr {
+                p_zero: 0.4,
+                max: 3,
+            },
+            2,
+        );
         assert_eq!(from_json(&to_json(&g)).unwrap(), g);
     }
 
     #[test]
     fn bad_json_is_error() {
         assert!(from_json("{").is_err());
+    }
+
+    #[test]
+    fn whitespace_and_key_order_tolerated() {
+        let j = r#" { "directed" : true , "edges" : [ { "w" : 3 , "src" : 0 , "dst" : 1 } ] , "n" : 2 } "#;
+        let g = from_json(j).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        let g = gen::gnp(4, 0.5, true, WeightDist::Constant(1), 1);
+        let mut j = to_json(&g);
+        j.push('x');
+        assert!(from_json(&j).is_err());
     }
 }

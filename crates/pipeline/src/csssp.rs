@@ -369,11 +369,7 @@ pub fn check_consistency(g: &WGraph, c: &Csssp) -> Result<(), String> {
 /// a raw `(h,k)`-SSP result — used by experiment E4 to exhibit the Fig. 1
 /// pathology (chains longer than `h`). Returns `None` for unreachable
 /// nodes.
-pub fn parent_chain_hops(
-    res: &crate::result::HkSspResult,
-    i: usize,
-    v: NodeId,
-) -> Option<u64> {
+pub fn parent_chain_hops(res: &crate::result::HkSspResult, i: usize, v: NodeId) -> Option<u64> {
     if res.dist[i][v as usize] == INFINITY {
         return None;
     }
@@ -441,9 +437,15 @@ mod tests {
         let cfg = SspConfig::new(vec![nd.s], h, delta_h);
         let (raw, _, _) = crate::driver::run_hk_ssp(&g, &cfg, EngineConfig::default());
         assert_eq!(raw.dist[0][nd.a as usize], 0, "a reached by zero path");
-        assert_eq!(raw.dist[0][nd.t as usize], 8, "t takes heavy shortcut + tail");
+        assert_eq!(
+            raw.dist[0][nd.t as usize], 8,
+            "t takes heavy shortcut + tail"
+        );
         let chain = parent_chain_hops(&raw, 0, nd.t).unwrap();
-        assert!(chain > h, "Fig.1 pathology: chain {chain} must exceed h={h}");
+        assert!(
+            chain > h,
+            "Fig.1 pathology: chain {chain} must exceed h={h}"
+        );
 
         // CSSSP fixes it: every retained tree has height <= h and is
         // consistent.

@@ -72,7 +72,11 @@ pub(crate) fn extract(g: &WGraph, sources: &[NodeId], nodes: &[PipelinedNode]) -
             if let Some(b) = nodes[v].best_for(s) {
                 dist[i][v] = b.d;
                 hops[i][v] = b.l;
-                parent[i][v] = if v as NodeId == s { None } else { Some(b.parent) };
+                parent[i][v] = if v as NodeId == s {
+                    None
+                } else {
+                    Some(b.parent)
+                };
             }
         }
     }
@@ -86,7 +90,11 @@ pub(crate) fn extract(g: &WGraph, sources: &[NodeId], nodes: &[PipelinedNode]) -
 
 /// APSP for shortest-path distances at most `delta`
 /// (Theorem I.1(ii): `2n·sqrt(Δ) + 2n` rounds).
-pub fn apsp(g: &WGraph, delta: Weight, engine: EngineConfig) -> (HkSspResult, RunStats, RunOutcome) {
+pub fn apsp(
+    g: &WGraph,
+    delta: Weight,
+    engine: EngineConfig,
+) -> (HkSspResult, RunStats, RunOutcome) {
     run_hk_ssp(g, &SspConfig::apsp(g.n(), delta), engine)
 }
 
@@ -147,7 +155,16 @@ mod tests {
 
     #[test]
     fn parent_pointers_name_real_edges() {
-        let g = gen::gnp_connected(12, 0.2, true, WeightDist::ZeroOr { p_zero: 0.3, max: 5 }, 7);
+        let g = gen::gnp_connected(
+            12,
+            0.2,
+            true,
+            WeightDist::ZeroOr {
+                p_zero: 0.3,
+                max: 5,
+            },
+            7,
+        );
         let delta = max_finite_distance(&g);
         let (res, _, _) = apsp(&g, delta, EngineConfig::default());
         for (i, &s) in res.sources.iter().enumerate() {

@@ -32,6 +32,7 @@ pub mod invariants;
 pub mod key;
 pub mod list;
 pub mod node;
+pub mod recovery;
 pub mod result;
 pub mod scaling;
 pub mod short_range;
@@ -41,6 +42,9 @@ pub use config::{AdmissionRule, SspConfig};
 pub use csssp::{build_csssp, build_csssp_with_slack, Csssp};
 pub use driver::{apsp, apsp_auto, default_budget, k_ssp, run_hk_ssp, run_with_budget};
 pub use key::Gamma;
+pub use recovery::{
+    run_hk_ssp_reliable, short_range_sssp_reliable, DegradationReport, RecoveryConfig,
+};
 pub use result::HkSspResult;
 pub use scaling::{scaling_apsp, scaling_k_ssp, ScalingOutcome};
 pub use short_range::{short_range_extension, short_range_sssp, ShortRangeResult};

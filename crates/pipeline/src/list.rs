@@ -72,9 +72,7 @@ impl NodeList {
     /// source* above the insertion point, if any. Returns the index where
     /// `e` landed.
     pub fn insert(&mut self, e: Entry) -> usize {
-        let idx = self
-            .entries
-            .partition_point(|x| self.gamma_cmp_le(x, &e));
+        let idx = self.entries.partition_point(|x| self.gamma_cmp_le(x, &e));
         self.entries.insert(idx, e);
         // Step 2-4: evict the closest non-SP entry for e.src above idx.
         if let Some(j) = self.entries[idx + 1..]
@@ -112,8 +110,7 @@ impl NodeList {
         self.entries
             .iter()
             .filter(|x| {
-                x.src == e.src
-                    && self.gamma.cmp_kappa(x.d, x.l, e.d, e.l) == Ordering::Less
+                x.src == e.src && self.gamma.cmp_kappa(x.d, x.l, e.d, e.l) == Ordering::Less
             })
             .count() as u32
     }
@@ -145,8 +142,7 @@ impl NodeList {
     /// and [`crate::node::NodeStats::late_sends`] counts how often it
     /// actually happens.
     pub fn find_send(&self, r: u64) -> Option<usize> {
-        (0..self.entries.len())
-            .find(|&i| !self.entries[i].sent && self.schedule_value(i) <= r)
+        (0..self.entries.len()).find(|&i| !self.entries[i].sent && self.schedule_value(i) <= r)
     }
 
     /// Smallest round `>= after` in which [`NodeList::find_send`] could
@@ -251,7 +247,7 @@ mod tests {
     fn insert_evicts_closest_non_sp_above_same_source() {
         let mut l = list_gamma_one();
         l.insert(e(10, 0, 1, false)); // κ=10 non-SP
-        // inserting below it evicts it (Observation II.3 is unconditional)
+                                      // inserting below it evicts it (Observation II.3 is unconditional)
         l.insert(e(6, 0, 1, false)); // κ=6 non-SP
         assert_eq!(l.len(), 1);
         assert_eq!(l.get(0).d, 6);
@@ -340,8 +336,8 @@ mod tests {
     fn demote_old_sp_protects_during_insert() {
         let mut l = list_gamma_one();
         l.insert(e(6, 0, 1, true)); // current SP, κ=6
-        // better path arrives: insert while old SP is still flagged —
-        // the eviction step must NOT remove it
+                                    // better path arrives: insert while old SP is still flagged —
+                                    // the eviction step must NOT remove it
         let idx = l.insert(e(2, 0, 1, true));
         assert_eq!(l.len(), 2, "old SP survives the insert");
         l.demote_old_sp(1, idx);

@@ -113,9 +113,7 @@ impl PipelinedNode {
     fn improves(cur: Option<&Best>, d: Weight, l: u64, parent: NodeId) -> bool {
         match cur {
             None => true,
-            Some(b) => {
-                (d, l, parent) < (b.d, b.l, b.parent)
-            }
+            Some(b) => (d, l, parent) < (b.d, b.l, b.parent),
         }
     }
 
@@ -128,7 +126,8 @@ impl PipelinedNode {
         if round >= self.list.schedule_value(idx) {
             self.stats.inv1_violations += 1;
             let e = self.list.get(idx);
-            self.stats.last_inv1 = Some([round, self.list.schedule_value(idx), e.d, e.l, e.src as u64]);
+            self.stats.last_inv1 =
+                Some([round, self.list.schedule_value(idx), e.d, e.l, e.src as u64]);
         }
         // Invariant 2: per-source count within sqrt(Δh/k)+1.
         let c = self.list.count_for_source(src);
@@ -245,9 +244,7 @@ impl Protocol for PipelinedNode {
                     sent: false,
                 };
                 let below = match self.admission {
-                    AdmissionRule::ListOrder => {
-                        self.list.count_below_insertion_for_source(&cand)
-                    }
+                    AdmissionRule::ListOrder => self.list.count_below_insertion_for_source(&cand),
                     AdmissionRule::StrictKappa => self.list.count_lt_kappa_for_source(&cand),
                 };
                 if below < m.nu {

@@ -209,11 +209,7 @@ impl Protocol for ScaledSsspNode {
 /// Rounds grow as `O(k·n·log W)` — logarithmic in the weight range, the
 /// property the paper's conclusion is after (experiment E13 compares this
 /// against Algorithm 1's `2n√Δ`).
-pub fn scaling_k_ssp(
-    g: &WGraph,
-    sources: &[NodeId],
-    engine: EngineConfig,
-) -> ScalingOutcome {
+pub fn scaling_k_ssp(g: &WGraph, sources: &[NodeId], engine: EngineConfig) -> ScalingOutcome {
     let n = g.n();
     let k = sources.len();
     let w_max = g.max_weight();
@@ -290,8 +286,7 @@ pub fn scaling_k_ssp(
             let nodes = net.into_nodes();
             for (v, nd) in nodes.into_iter().enumerate() {
                 // regroup per source
-                let mut per_source: Vec<HashMap<NodeId, Weight>> =
-                    vec![HashMap::new(); k];
+                let mut per_source: Vec<HashMap<NodeId, Weight>> = vec![HashMap::new(); k];
                 for (&from, items) in &nd.heard {
                     for &(si, phi) in items {
                         per_source[si as usize].insert(from, phi);
@@ -331,7 +326,10 @@ mod tests {
             14,
             0.15,
             true,
-            WeightDist::ZeroOr { p_zero: 0.0, max: 37 },
+            WeightDist::ZeroOr {
+                p_zero: 0.0,
+                max: 37,
+            },
             5,
         );
         let out = scaling_apsp(&g, EngineConfig::default());

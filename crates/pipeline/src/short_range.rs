@@ -57,8 +57,17 @@ pub struct ShortRangeNode {
     /// extension variant; None elsewhere).
     init: Option<Weight>,
     best: Option<(Weight, u64, Option<NodeId>)>,
+    /// The current `(d*, l*)` has been announced.
+    announced: bool,
     /// Rounds in which this node sent (the per-node congestion measure).
     pub sends: u64,
+    /// Announcements made after their scheduled round. In a fault-free
+    /// synchronous run this stays 0 (Lemma II.15: a new best's schedule is
+    /// always in the future); under message delays or the retransmission
+    /// backlog of [`dw_congest::Reliable`] an improvement can arrive with
+    /// its schedule round already in the past, and this re-arm path is
+    /// what still gets it announced.
+    pub late_sends: u64,
 }
 
 impl ShortRangeNode {
@@ -68,7 +77,9 @@ impl ShortRangeNode {
             h,
             init,
             best: None,
+            announced: false,
             sends: 0,
+            late_sends: 0,
         }
     }
 
@@ -93,9 +104,16 @@ impl Protocol for ShortRangeNode {
     }
 
     fn send(&mut self, round: Round, _ctx: &NodeCtx, out: &mut Outbox<SrMsg>) {
-        if let Some((d, l, _)) = self.best {
-            if self.schedule() == Some(round) {
+        if let (Some((d, l, _)), false) = (self.best, self.announced) {
+            // `<= round` rather than `== round`: the re-arm/retry analogue
+            // of `NodeList::find_send`. Equal in the fault-free case.
+            let s = self.schedule().expect("best is set");
+            if s <= round {
+                if s < round {
+                    self.late_sends += 1;
+                }
                 self.sends += 1;
+                self.announced = true;
                 out.broadcast(SrMsg { d, l });
             }
         }
@@ -117,15 +135,16 @@ impl Protocol for ShortRangeNode {
             };
             if better {
                 self.best = Some((d, l, Some(env.from)));
+                self.announced = false;
             }
         }
     }
 
     fn earliest_send(&self, after: Round, _ctx: &NodeCtx) -> Option<Round> {
-        match self.schedule() {
-            Some(r) if r >= after => Some(r),
-            _ => None,
+        if self.announced {
+            return None;
         }
+        self.schedule().map(|r| r.max(after))
     }
 }
 
@@ -138,6 +157,9 @@ pub struct ShortRangeResult {
     pub parent: Vec<Option<NodeId>>,
     /// Per-node send counts (Lemma II.15: each `<= sqrt(h) + 1`).
     pub sends: Vec<u64>,
+    /// Per-node counts of announcements sent past their scheduled round
+    /// (all zero in fault-free runs).
+    pub late_sends: Vec<u64>,
 }
 
 fn extract(source: NodeId, nodes: &[ShortRangeNode]) -> ShortRangeResult {
@@ -145,6 +167,7 @@ fn extract(source: NodeId, nodes: &[ShortRangeNode]) -> ShortRangeResult {
     let mut hops = Vec::with_capacity(nodes.len());
     let mut parent = Vec::with_capacity(nodes.len());
     let mut sends = Vec::with_capacity(nodes.len());
+    let mut late_sends = Vec::with_capacity(nodes.len());
     for nd in nodes {
         match nd.best {
             Some((d, l, p)) => {
@@ -159,6 +182,7 @@ fn extract(source: NodeId, nodes: &[ShortRangeNode]) -> ShortRangeResult {
             }
         }
         sends.push(nd.sends);
+        late_sends.push(nd.late_sends);
     }
     ShortRangeResult {
         source,
@@ -166,6 +190,7 @@ fn extract(source: NodeId, nodes: &[ShortRangeNode]) -> ShortRangeResult {
         hops,
         parent,
         sends,
+        late_sends,
     }
 }
 
@@ -239,7 +264,7 @@ pub fn extract_instance(source: NodeId, nodes: &[ShortRangeNode]) -> ShortRangeR
 mod tests {
     use super::*;
     use dw_graph::gen::{self, WeightDist};
-    
+
     /// Verify the short-range contract: exact `δ(x,v)` wherever the
     /// min-hop shortest path fits in `h` hops; never an underestimate of
     /// `δ` elsewhere.

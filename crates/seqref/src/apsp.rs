@@ -32,7 +32,16 @@ mod tests {
 
     #[test]
     fn apsp_matches_floyd_warshall() {
-        let g = gen::gnp(22, 0.2, true, WeightDist::ZeroOr { p_zero: 0.3, max: 6 }, 17);
+        let g = gen::gnp(
+            22,
+            0.2,
+            true,
+            WeightDist::ZeroOr {
+                p_zero: 0.3,
+                max: 6,
+            },
+            17,
+        );
         let m = apsp_dijkstra(&g);
         let fw = crate::floyd_warshall::floyd_warshall(&g);
         for s in g.nodes() {

@@ -16,7 +16,16 @@ mod tests {
 
     #[test]
     fn matches_dijkstra() {
-        let g = gen::gnp(30, 0.12, true, WeightDist::ZeroOr { p_zero: 0.25, max: 12 }, 3);
+        let g = gen::gnp(
+            30,
+            0.12,
+            true,
+            WeightDist::ZeroOr {
+                p_zero: 0.25,
+                max: 12,
+            },
+            3,
+        );
         for s in [0u32, 7, 29] {
             let bf = bellman_ford(&g, s);
             let dj = crate::dijkstra::dijkstra(&g, s);

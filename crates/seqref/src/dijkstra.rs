@@ -99,7 +99,16 @@ mod tests {
 
     #[test]
     fn matches_floyd_warshall_on_random_graph() {
-        let g = gen::gnp(30, 0.2, true, WeightDist::ZeroOr { p_zero: 0.3, max: 9 }, 11);
+        let g = gen::gnp(
+            30,
+            0.2,
+            true,
+            WeightDist::ZeroOr {
+                p_zero: 0.3,
+                max: 9,
+            },
+            11,
+        );
         let fw = crate::floyd_warshall::floyd_warshall(&g);
         for s in g.nodes() {
             let r = dijkstra(&g, s);

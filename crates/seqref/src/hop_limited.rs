@@ -116,7 +116,16 @@ mod tests {
 
     #[test]
     fn h_equal_n_matches_dijkstra() {
-        let g = gen::gnp(25, 0.15, true, WeightDist::ZeroOr { p_zero: 0.4, max: 7 }, 5);
+        let g = gen::gnp(
+            25,
+            0.15,
+            true,
+            WeightDist::ZeroOr {
+                p_zero: 0.4,
+                max: 7,
+            },
+            5,
+        );
         for s in g.nodes() {
             let bf = h_hop_sssp(&g, s, g.n());
             let dj = crate::dijkstra::dijkstra(&g, s);

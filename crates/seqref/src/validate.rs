@@ -14,7 +14,11 @@ pub struct MatrixDiff {
 
 /// Compare two matrices with the same source set; returns up to
 /// `max_diffs` disagreements (empty = equal).
-pub fn matrices_equal(expected: &DistMatrix, actual: &DistMatrix, max_diffs: usize) -> Vec<MatrixDiff> {
+pub fn matrices_equal(
+    expected: &DistMatrix,
+    actual: &DistMatrix,
+    max_diffs: usize,
+) -> Vec<MatrixDiff> {
     assert_eq!(
         expected.sources, actual.sources,
         "matrices cover different source sets"

@@ -1,0 +1,417 @@
+//! Offline vendored mini property-testing runner exposing the subset of
+//! the `proptest` surface this workspace uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, integer-range and tuple strategies,
+//! [`collection::vec`], `Just`, `any::<T>()`, the `proptest!` macro with
+//! optional `#![proptest_config(...)]`, and the `prop_assert*` macros.
+//!
+//! Semantics: each test runs `cases` iterations with inputs drawn from a
+//! fixed ChaCha8 seed (per test, derived from the test body's location),
+//! so failures are reproducible by rerunning the test. There is no
+//! shrinking; the failing case index and a `Debug` dump of nothing but the
+//! assert message are reported — enough for a deterministic workspace.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// `prop_flat_map` combinator.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arb_sample(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arb_sample(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arb_sample(rng: &mut TestRng) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arb_sample(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategy for any value of `T` (`any::<T>()`).
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arb_sample(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a count, a range, or an
+    /// inclusive range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    /// Vec of values from `element`, length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max_incl);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything a `proptest!` body needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Skip the current case (vendored `prop_assume!` support).
+#[derive(Debug)]
+pub struct CaseRejected;
+
+/// Drive `cases` iterations of `body`, seeding the RNG from `seed_key` so
+/// every run of the same test binary replays the same inputs.
+pub fn run_cases(config: ProptestConfig, seed_key: &str, body: impl Fn(&mut TestRng)) {
+    // FNV-1a over the test's module path + name: stable per test, distinct
+    // across tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in seed_key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            if payload.downcast_ref::<CaseRejected>().is_some() {
+                continue; // prop_assume! rejection: draw a fresh case
+            }
+            eprintln!(
+                "proptest: failing case {case}/{} of `{seed_key}` (deterministic seed — rerun reproduces it)",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            std::panic::panic_any($crate::CaseRejected);
+        }
+    };
+}
+
+/// The `proptest!` block macro. Supports:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..10, flag: bool) { ... }
+/// }
+/// ```
+///
+/// Parameters are either `pat in strategy` or `name: Type` (the latter
+/// drawing from `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    // entry: explicit config
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    // entry: default config
+    ($(#[test] fn $name:ident($($params:tt)*) $body:block)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default())
+            $(#[test] fn $name($($params)*) $body)*);
+    };
+    // one #[test] fn per iteration
+    (@tests ($cfg:expr) $(#[test] fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                $crate::run_cases(
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $crate::proptest!(@bind __proptest_rng, $($params)*);
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+    // ---- parameter binders (TT muncher) ----
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty = $crate::Strategy::sample(&$crate::any::<$ty>(), $rng);
+        $crate::proptest!(@bind $rng $(, $($rest)*)?);
+    };
+    (@bind $rng:ident, $pat:pat_param in $strat:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::Strategy::sample(&$strat, $rng);
+        $crate::proptest!(@bind $rng $(, $($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn rng(seed: u64) -> crate::TestRng {
+        <crate::TestRng as rand::SeedableRng>::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn ranges_and_tuples_sample() {
+        let mut rng = rng(1);
+        let strat = (1u64..=6, 0usize..3, Just(7u8));
+        for _ in 0..100 {
+            let (a, b, c) = strat.sample(&mut rng);
+            assert!((1..=6).contains(&a));
+            assert!(b < 3);
+            assert_eq!(c, 7);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size() {
+        let mut rng = rng(2);
+        let s = collection::vec(0u32..5, 2..6);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let fixed = collection::vec(0u32..5, 3usize);
+        assert_eq!(fixed.sample(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn flat_map_threads_rng() {
+        let mut rng = rng(3);
+        let s = (2usize..5).prop_flat_map(|n| collection::vec(0usize..n, n..n + 1));
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_both_forms(x in 1u64..=9, flag: bool, v in collection::vec(0u8..4, 0..5)) {
+            prop_assert!((1..=9).contains(&x));
+            let _ = flag;
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build container has no registry access, so the workspace vendors
+//! exactly the surface it uses: [`RngCore`], [`SeedableRng`] (with the
+//! rand_core 0.6 SplitMix64 `seed_from_u64` expansion), the [`Rng`]
+//! extension trait (`gen_range`, `gen_bool`, `gen`), and
+//! [`seq::SliceRandom`] (`shuffle`, `choose`). Algorithms follow the
+//! upstream documented behaviour; streams are deterministic per seed,
+//! which is all the workspace relies on.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with SplitMix64 (the rand_core 0.6
+    /// default), so seeded streams are stable across this workspace.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Vigna), as used by rand_core::SeedableRng.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z = z ^ (z >> 31);
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod uniform {
+    use super::RngCore;
+
+    /// A type that can be drawn uniformly from a range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        fn sample_below<R: RngCore + ?Sized>(rng: &mut R, bound_incl: Self, base: Self) -> Self;
+    }
+
+    /// Widening-multiply rejection-free-ish bounded draw (Lemire-style,
+    /// without the rejection step — bias is < 2^-64 per draw for the
+    /// span sizes this workspace uses, and determinism per seed is what
+    /// the callers actually depend on).
+    fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        if span == 0 {
+            // full-range draw (0..=u64::MAX)
+            return rng.next_u64();
+        }
+        let wide = (rng.next_u64() as u128) * (span as u128);
+        (wide >> 64) as u64
+    }
+
+    macro_rules! impl_sample_uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_below<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    bound_incl: Self,
+                    base: Self,
+                ) -> Self {
+                    let span = (bound_incl as u64).wrapping_sub(base as u64).wrapping_add(1);
+                    base.wrapping_add(bounded_u64(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_below<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    bound_incl: Self,
+                    base: Self,
+                ) -> Self {
+                    let span = (bound_incl as $u).wrapping_sub(base as $u).wrapping_add(1);
+                    base.wrapping_add(bounded_u64(rng, span as u64) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    /// A range argument accepted by [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + Step> SampleRange<T> for core::ops::Range<T> {
+        fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_below(rng, T::pred(self.end), self.start)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "gen_range: empty range");
+            T::sample_below(rng, end, start)
+        }
+    }
+
+    /// Predecessor for exclusive upper bounds.
+    pub trait Step {
+        fn pred(self) -> Self;
+    }
+
+    macro_rules! impl_step {
+        ($($t:ty),*) => {$(
+            impl Step for $t {
+                fn pred(self) -> Self {
+                    self - 1
+                }
+            }
+        )*};
+    }
+
+    impl_step!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} not in [0, 1]");
+        // Compare against a 53-bit uniform in [0, 1), like upstream's
+        // Bernoulli via scaled integer comparison.
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::gen_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The subset of distributions::Standard the workspace draws via `gen()`.
+pub trait Standard: Sized {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn gen_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling and sampling.
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // xorshift so high bits move too (gen_range uses high bits)
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(0..=6);
+            assert!(v <= 6);
+            let w: usize = rng.gen_range(3..14);
+            assert!((3..14).contains(&w));
+            let x: u64 = rng.gen_range(1..=1);
+            assert_eq!(x, 1);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(7);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Counter(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = Counter(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([5u8].choose(&mut rng).is_some());
+    }
+}

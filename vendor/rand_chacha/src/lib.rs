@@ -1,0 +1,189 @@
+//! Offline vendored `ChaCha8Rng`: the real ChaCha stream cipher with 8
+//! rounds, exposed through the workspace's vendored [`rand`] traits.
+//!
+//! Layout follows RFC 8439: a 16-word state of constants, 256-bit key,
+//! 64-bit block counter and 64-bit nonce (the original DJB variant, which
+//! is what `rand_chacha` uses: counter words 12–13, nonce words 14–15).
+//! Output is the keystream read word-by-word, little-endian, which gives a
+//! deterministic stream per seed — the only property the workspace relies
+//! on.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha8 block: 8 rounds = 4 column passes + 4 diagonal passes.
+fn chacha8_block(input: &[u32; 16]) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..4 {
+        // column round
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // diagonal round
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, i) in x.iter_mut().zip(input.iter()) {
+        *o = o.wrapping_add(*i);
+    }
+    x
+}
+
+/// Deterministic seeded RNG over the ChaCha8 keystream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        self.block = chacha8_block(&self.state);
+        // 64-bit block counter in words 12-13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // counter (12-13) and nonce (14-15) start at zero
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_word().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// RFC 8439 §2.3.2 test vector, adapted to 8 rounds is not published;
+    /// instead check the 20-round core against the RFC by running the
+    /// quarter-round pipeline 10x — guards the block function wiring.
+    #[test]
+    fn rfc8439_block_wiring() {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CONSTANTS);
+        let key: [u8; 32] = (0..32).collect::<Vec<u8>>().try_into().unwrap();
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            input[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        input[12] = 1;
+        input[13] = 0x0900_0000;
+        input[14] = 0x4a00_0000;
+        input[15] = 0;
+        // 20-round variant of the same core
+        let mut x = input;
+        for _ in 0..10 {
+            quarter_round(&mut x, 0, 4, 8, 12);
+            quarter_round(&mut x, 1, 5, 9, 13);
+            quarter_round(&mut x, 2, 6, 10, 14);
+            quarter_round(&mut x, 3, 7, 11, 15);
+            quarter_round(&mut x, 0, 5, 10, 15);
+            quarter_round(&mut x, 1, 6, 11, 12);
+            quarter_round(&mut x, 2, 7, 8, 13);
+            quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (o, i) in x.iter_mut().zip(input.iter()) {
+            *o = o.wrapping_add(*i);
+        }
+        // first words of the RFC 8439 §2.3.2 expected state
+        assert_eq!(x[0], 0xe4e7f110);
+        assert_eq!(x[1], 0x15593bd1);
+        assert_eq!(x[2], 0x1fdd0f50);
+        assert_eq!(x[15], 0x4e3c50a2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(va, (0..64).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_spans_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // 40 u64 draws = 80 words > one 16-word block
+        let draws: Vec<u64> = (0..40).map(|_| rng.next_u64()).collect();
+        let unique: std::collections::HashSet<_> = draws.iter().collect();
+        assert_eq!(unique.len(), draws.len(), "keystream must not repeat");
+    }
+
+    #[test]
+    fn range_draws_usable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut seen = [false; 7];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+}
