@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy report golden
+.PHONY: ci build test fmt clippy report golden bench-smoke bench-check bench-baseline
 
-ci: build test fmt clippy
+ci: build test fmt clippy bench-check
 
 build:
 	$(CARGO) build --release
@@ -26,3 +26,18 @@ report:
 # Refresh the golden regression snapshots after an intentional change.
 golden:
 	UPDATE_GOLDEN=1 $(CARGO) test -q -p dwapsp --test golden_regression
+
+# Engine micro-benchmarks (criterion shim): scheduling modes x seq/par on
+# idle-heavy, dense and fast-forward workloads. For eyeballing, not CI.
+bench-smoke:
+	$(CARGO) bench -p dw-bench --bench engine_microbench
+
+# Throughput regression gate: re-measures the BENCH_2.json workload set
+# and fails on a >20% rounds/sec regression. Soft-passes with a warning
+# until a baseline exists.
+bench-check:
+	$(CARGO) run --release -p dw-bench --bin bench_check
+
+# Re-record the BENCH_2.json baseline (keeps the frozen pre_pr entries).
+bench-baseline:
+	$(CARGO) run --release -p dw-bench --bin engine_bench -- --out BENCH_2.json --keep-pre BENCH_2.json

@@ -69,9 +69,9 @@ impl Protocol for BfNode {
             let Some(w) = ctx.in_weight_from(env.from) else {
                 continue;
             };
-            let i = env.msg.src_idx as usize;
-            let d = env.msg.d + w;
-            let l = env.msg.l + 1;
+            let i = env.msg().src_idx as usize;
+            let d = env.msg().d + w;
+            let l = env.msg().l + 1;
             if l > self.h {
                 continue;
             }

@@ -131,8 +131,8 @@ impl Protocol for BestListNode {
                 continue;
             };
             let step = if self.unit_weights { 1 } else { w };
-            let d = env.msg.d + step;
-            self.upsert(env.msg.src, d, Some(env.from), round);
+            let d = env.msg().d + step;
+            self.upsert(env.msg().src, d, Some(env.from), round);
         }
     }
 

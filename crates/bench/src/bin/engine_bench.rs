@@ -1,0 +1,61 @@
+//! Measure engine wall-clock throughput and emit `BENCH_2.json`.
+//!
+//! ```text
+//! engine_bench [--out BENCH_2.json] [--keep-pre EXISTING.json]
+//! ```
+//!
+//! Runs the fixed workload set of [`dw_bench::engine_bench`] under every
+//! available engine mode and writes the flat JSON entry list consumed by
+//! the `bench_check` regression gate. `--keep-pre` copies any
+//! `"mode":"pre_pr"` entries (the frozen measurements of the engine
+//! before the active-set rework) from an existing file into the new one,
+//! so regenerating the benchmark never loses the historical baseline.
+
+use dw_bench::engine_bench::{run_all, standard_modes, to_json_entries};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
+    let keep_pre = args
+        .iter()
+        .position(|a| a == "--keep-pre")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let ms = run_all(&standard_modes());
+    for m in &ms {
+        eprintln!(
+            "{:24} {:20} n={:5} rounds={:7} executed={:7} wall={:9.2}ms  {:>12.0} rounds/s",
+            m.workload, m.mode, m.n, m.rounds, m.rounds_executed, m.wall_ms, m.rounds_per_sec
+        );
+    }
+
+    let mut pre_entries = String::new();
+    if let Some(p) = keep_pre {
+        if let Ok(s) = std::fs::read_to_string(&p) {
+            for line in s.lines() {
+                if line.contains("\"mode\":\"pre_pr\"") {
+                    if !pre_entries.is_empty() {
+                        pre_entries.push_str(",\n");
+                    }
+                    pre_entries.push_str(line.trim_end_matches(','));
+                }
+            }
+        }
+    }
+
+    let mut doc = String::from("{\n  \"schema\": \"dwapsp-engine-bench-v1\",\n  \"entries\": [\n");
+    if !pre_entries.is_empty() {
+        doc.push_str(&pre_entries);
+        doc.push_str(",\n");
+    }
+    doc.push_str(&to_json_entries(&ms));
+    doc.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &doc).expect("write bench json");
+    eprintln!("wrote {out_path}");
+}

@@ -96,8 +96,8 @@ impl Protocol for ScoreNode {
 
     fn receive(&mut self, _round: Round, inbox: &[Envelope<ScoreMsg>], ctx: &NodeCtx) {
         for env in inbox {
-            let i = env.msg.tree as usize;
-            self.score[i] += env.msg.count;
+            let i = env.msg().tree as usize;
+            self.score[i] += env.msg().count;
             self.pending[i] -= 1;
             self.try_report(ctx.id, i);
         }

@@ -80,11 +80,11 @@ impl Protocol for AncestorNode {
 
     fn receive(&mut self, _round: Round, inbox: &[Envelope<AncMsg>], ctx: &NodeCtx) {
         for env in inbox {
-            let i = env.msg.tree as usize;
+            let i = env.msg().tree as usize;
             self.scores[i] = self.scores[i]
-                .checked_sub(env.msg.delta)
+                .checked_sub(env.msg().delta)
                 .expect("ancestor update underflow: score bookkeeping bug");
-            self.forward(ctx.id, env.msg.tree, env.msg.delta);
+            self.forward(ctx.id, env.msg().tree, env.msg().delta);
         }
     }
 
@@ -201,10 +201,10 @@ impl Protocol for DescendantNode {
     fn receive(&mut self, _round: Round, inbox: &[Envelope<DescMsg>], ctx: &NodeCtx) {
         self.max_inbox = self.max_inbox.max(inbox.len());
         for env in inbox {
-            let i = env.msg.tree as usize;
+            let i = env.msg().tree as usize;
             // lines 5-6: zero the score; forward next round
             self.scores[i] = 0;
-            self.enqueue_children(ctx.id, env.msg.tree);
+            self.enqueue_children(ctx.id, env.msg().tree);
         }
     }
 

@@ -1,12 +1,49 @@
 //! The synchronous round engine.
+//!
+//! Two scheduling modes drive the same round semantics:
+//!
+//! * [`SchedulingMode::ActiveSet`] (default) — the engine keeps a cached
+//!   next-send round per node (fed by [`Protocol::earliest_send`]) in a
+//!   lazy min-heap and, each executed round, polls only nodes that are due
+//!   plus nodes woken by a receive. Quiet-round fast-forward is a heap
+//!   peek instead of an O(n) scan.
+//! * [`SchedulingMode::ExhaustivePoll`] — the original engine: every node
+//!   is polled every executed round. Kept as the behavioral reference; the
+//!   conformance suite proves both modes bit-identical (`RunStats`,
+//!   traces, distances), which is what the `earliest_send` soundness +
+//!   stability contract guarantees.
+//!
+//! Hot paths are allocation-free in steady state: per-node [`Outbox`]
+//! buffers and inbox `Vec`s are reused round to round, delivery marks a
+//! dirty-inbox list so the receive phase and the late-delivery sort touch
+//! only mailboxes that actually got mail, and a broadcast allocates its
+//! payload once (shared via `Arc`) instead of cloning per neighbor. The
+//! parallel phases run on a persistent [`WorkerPool`] with chunk-ordered
+//! writes into disjoint slots, replacing per-round thread spawns.
 
 use crate::fault::{FaultAction, FaultPlan};
 use crate::message::{Envelope, MsgSize};
 use crate::metrics::RunStats;
 use crate::outbox::{Outbox, SendOp};
+use crate::pool::{Ptr, WorkerPool};
 use crate::protocol::{NodeCtx, Protocol, Round};
 use dw_graph::{NodeId, WGraph};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
+
+/// How the engine decides which nodes to poll in an executed round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingMode {
+    /// Poll only nodes whose cached `earliest_send` is due, plus nodes
+    /// woken by a receive. Requires the soundness/stability contract on
+    /// [`Protocol::earliest_send`] (which the default conservative
+    /// implementation satisfies trivially).
+    ActiveSet,
+    /// Poll every node every executed round (the original engine).
+    /// Reference implementation for conformance testing.
+    ExhaustivePoll,
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -18,11 +55,18 @@ pub struct EngineConfig {
     /// bandwidth constraint). Always leave on; exposed for the failure
     /// injection tests.
     pub enforce_link_capacity: bool,
-    /// Use the thread-parallel send/receive phases when the node count
+    /// Use the thread-parallel send/receive phases when the number of
+    /// nodes scheduled in a round (active senders, resp. dirty inboxes)
     /// is at least this threshold. `usize::MAX` disables parallelism.
+    /// Under [`SchedulingMode::ActiveSet`] this counts *active* nodes,
+    /// not `n` — idle-heavy workloads stay on the cheap sequential path
+    /// even on huge graphs.
     pub parallel_threshold: usize,
-    /// Worker threads for the parallel phases.
+    /// Worker threads for the parallel phases (the calling thread counts
+    /// toward this number; the persistent pool holds `threads - 1`).
     pub threads: usize,
+    /// Node polling strategy; see [`SchedulingMode`].
+    pub scheduling: SchedulingMode,
     /// Optional deterministic fault injection (see [`crate::fault`]).
     /// `None` leaves the delivery path byte-identical to the fault-free
     /// engine.
@@ -34,10 +78,11 @@ impl Default for EngineConfig {
         EngineConfig {
             max_words: 8,
             enforce_link_capacity: true,
-            parallel_threshold: 4096,
+            parallel_threshold: 1024,
             threads: std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1),
+            scheduling: SchedulingMode::ActiveSet,
             faults: None,
         }
     }
@@ -63,6 +108,26 @@ pub struct Network<'g, P: Protocol> {
     nodes: Vec<P>,
     round: Round,
     inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// Reusable per-node send buffers (allocation-free steady state).
+    outboxes: Vec<Outbox<P::Msg>>,
+    /// Authoritative cached next-send round per node; `Round::MAX` means
+    /// dormant (will not send until woken by a receive).
+    next_send: Vec<Round>,
+    /// Lazy min-heap over `(next_send[v], v)`. An entry is valid iff its
+    /// round still equals `next_send[v]`; stale entries are discarded at
+    /// pop time.
+    heap: BinaryHeap<Reverse<(Round, NodeId)>>,
+    /// Scratch: nodes polled this round (sorted, deduped).
+    active_scratch: Vec<NodeId>,
+    /// Scratch: nodes whose inbox got mail this round.
+    dirty: Vec<NodeId>,
+    /// Round stamp deduplicating `dirty` pushes.
+    inbox_mark: Vec<Round>,
+    /// Per-node "sent something this round" flag, consumed by the
+    /// schedule refresh (sender-stays-hot fast path).
+    sent_flag: Vec<bool>,
+    /// Persistent workers for the parallel phases (created on first use).
+    pool: Option<WorkerPool>,
     /// Messages carried per directed comm link over the whole run.
     link_load: Vec<u64>,
     /// Round stamp of the last use of each directed link (capacity check).
@@ -100,12 +165,32 @@ impl<'g, P: Protocol> Network<'g, P> {
             acc += g.comm_neighbors(v).len();
             link_offset.push(acc);
         }
+        // Seed the active-set schedule from the post-init node states.
+        let mut next_send = vec![Round::MAX; n];
+        let mut heap = BinaryHeap::new();
+        if cfg.scheduling == SchedulingMode::ActiveSet {
+            for (v, node) in nodes.iter().enumerate() {
+                if let Some(r) = node.earliest_send(1, &NodeCtx::new(v as NodeId, g)) {
+                    debug_assert!(r >= 1, "earliest_send must be >= after");
+                    next_send[v] = r;
+                    heap.push(Reverse((r, v as NodeId)));
+                }
+            }
+        }
         Network {
             g,
             cfg,
             nodes,
             round: 0,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
+            outboxes: (0..n).map(|_| Outbox::new()).collect(),
+            next_send,
+            heap,
+            active_scratch: Vec::new(),
+            dirty: Vec::new(),
+            inbox_mark: vec![0; n],
+            sent_flag: vec![false; n],
+            pool: None,
             link_load: vec![0; acc],
             link_stamp: vec![0; acc],
             link_offset,
@@ -205,6 +290,17 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.pending.values().map(|b| b.len()).sum()
     }
 
+    /// Record that `v`'s inbox got mail this round (at most one `dirty`
+    /// entry per node per round).
+    #[inline]
+    fn mark_dirty(&mut self, v: NodeId, round: Round) {
+        let i = v as usize;
+        if self.inbox_mark[i] != round {
+            self.inbox_mark[i] = round;
+            self.dirty.push(v);
+        }
+    }
+
     /// Move every pending delivery due at or before `round` into the
     /// inboxes. Returns how many messages arrived late this round.
     fn deliver_pending(&mut self, round: Round) -> u64 {
@@ -216,6 +312,7 @@ impl<'g, P: Protocol> Network<'g, P> {
             let (_, batch) = self.pending.pop_first().expect("checked non-empty");
             for (v, env) in batch {
                 self.inboxes[v as usize].push(env);
+                self.mark_dirty(v, round);
                 late += 1;
             }
         }
@@ -235,52 +332,111 @@ impl<'g, P: Protocol> Network<'g, P> {
         } else {
             0
         };
+        // The dirty list starts each round empty, so right now it holds
+        // exactly the late-touched inboxes — the only ones that can be out
+        // of sender order after the send phase appends to them.
+        let late_prefix = self.dirty.len();
 
-        // --- send phase ---
-        let parallel = n >= self.cfg.parallel_threshold && self.cfg.threads > 1;
-        let all_ops: Vec<Vec<SendOp<P::Msg>>> = if parallel {
-            self.send_phase_parallel(round)
+        // --- build the poll set ---
+        let mut active = std::mem::take(&mut self.active_scratch);
+        match self.cfg.scheduling {
+            SchedulingMode::ExhaustivePoll => active.extend(0..n as NodeId),
+            SchedulingMode::ActiveSet => {
+                while let Some(&Reverse((r, v))) = self.heap.peek() {
+                    if r > round {
+                        break;
+                    }
+                    self.heap.pop();
+                    // Stale entries (superseded schedule) are discarded.
+                    if self.next_send[v as usize] == r {
+                        active.push(v);
+                    }
+                }
+                active.sort_unstable();
+                active.dedup();
+            }
+        }
+
+        // --- send phase (into the persistent outboxes) ---
+        let parallel = active.len() >= self.cfg.parallel_threshold && self.cfg.threads > 1;
+        if parallel {
+            self.send_phase_parallel(round, &active);
         } else {
             let g = self.g;
-            self.nodes
-                .iter_mut()
-                .enumerate()
-                .map(|(v, node)| {
-                    let mut out = Outbox::new();
-                    node.send(round, &NodeCtx::new(v as NodeId, g), &mut out);
-                    out.drain().collect()
-                })
-                .collect()
-        };
+            for &v in &active {
+                let i = v as usize;
+                self.nodes[i].send(round, &NodeCtx::new(v, g), &mut self.outboxes[i]);
+            }
+        }
 
         // --- delivery (sequential: validates constraints, deterministic) ---
         let mut sent_this_round = 0u64;
-        for (u, ops) in all_ops.into_iter().enumerate() {
-            let u = u as NodeId;
+        for &u in &active {
+            let mut ops = self.outboxes[u as usize].take_ops();
             if ops.is_empty() {
+                self.outboxes[u as usize].restore(ops);
                 continue;
             }
             self.node_sends[u as usize] += 1;
-            for op in ops {
+            let sent_before = sent_this_round;
+            for op in ops.drain(..) {
                 match op {
                     SendOp::Broadcast(m) => {
                         let words = m.size_words();
                         self.check_words(u, words);
-                        // borrow dance: collect neighbor list first
-                        for i in 0..self.g.comm_neighbors(u).len() {
-                            let v = self.g.comm_neighbors(u)[i];
-                            on_msg(u, v, &m);
-                            self.transmit(u, v, m.clone(), words, round, &mut sent_this_round);
+                        // One slice borrow (self.g is a plain &'g reference,
+                        // so `nbrs` is not tied to &self).
+                        let nbrs = self.g.comm_neighbors(u);
+                        let base = self.link_offset[u as usize];
+                        if std::mem::size_of::<P::Msg>() <= 32 {
+                            // Small payloads are copied inline: Arc sharing
+                            // costs an allocation up front and a pointer
+                            // chase per read, which for word-sized messages
+                            // is slower than the copy itself.
+                            for (rank, &v) in nbrs.iter().enumerate() {
+                                on_msg(u, v, &m);
+                                self.transmit(
+                                    base + rank,
+                                    u,
+                                    v,
+                                    Envelope::new(u, m.clone()),
+                                    words,
+                                    &mut sent_this_round,
+                                );
+                            }
+                        } else {
+                            // One payload allocation shared by all recipients.
+                            let payload = Arc::new(m);
+                            for (rank, &v) in nbrs.iter().enumerate() {
+                                on_msg(u, v, &payload);
+                                self.transmit(
+                                    base + rank,
+                                    u,
+                                    v,
+                                    Envelope::shared(u, Arc::clone(&payload)),
+                                    words,
+                                    &mut sent_this_round,
+                                );
+                            }
                         }
                     }
                     SendOp::Unicast(v, m) => {
                         let words = m.size_words();
                         self.check_words(u, words);
                         on_msg(u, v, &m);
-                        self.transmit(u, v, m, words, round, &mut sent_this_round);
+                        let lid = self.link_id(u, v);
+                        self.transmit(lid, u, v, Envelope::new(u, m), words, &mut sent_this_round);
                     }
                 }
             }
+            // Flag only when a message actually hit a link (a broadcast
+            // from a neighborless node transmits nothing): the hot-path
+            // reschedule below must imply the round is busy, or it would
+            // distort `run`'s quiet-round jumps.
+            if sent_this_round > sent_before && self.cfg.scheduling == SchedulingMode::ActiveSet {
+                self.sent_flag[u as usize] = true;
+            }
+            self.outboxes[u as usize].restore(ops);
         }
         self.messages += sent_this_round;
         self.max_round_messages = self.max_round_messages.max(sent_this_round);
@@ -288,30 +444,93 @@ impl<'g, P: Protocol> Network<'g, P> {
             self.last_activity = round;
         }
 
-        // --- receive phase ---
-        if sent_this_round > 0 || late > 0 {
-            if late > 0 {
-                // Late arrivals were queued before this round's sends, so an
-                // inbox may be out of sender order; receive expects sorted.
-                for inbox in &mut self.inboxes {
-                    if inbox.len() > 1 {
-                        inbox.sort_by_key(|e| e.from);
-                    }
-                }
-            }
-            if parallel {
-                self.receive_phase_parallel(round);
-            } else {
-                let g = self.g;
-                for (v, node) in self.nodes.iter_mut().enumerate() {
-                    let inbox = &mut self.inboxes[v];
-                    if !inbox.is_empty() {
-                        node.receive(round, inbox, &NodeCtx::new(v as NodeId, g));
-                        inbox.clear();
-                    }
+        // --- receive phase (dirty inboxes only) ---
+        let mut dirty = std::mem::take(&mut self.dirty);
+        if late > 0 {
+            // Late arrivals were queued before this round's sends, so only
+            // the late-touched inboxes can be out of sender order. The
+            // stable sort is the identity on every other inbox, so sorting
+            // just these is bit-identical to sorting all of them.
+            for &v in &dirty[..late_prefix] {
+                let inbox = &mut self.inboxes[v as usize];
+                if inbox.len() > 1 {
+                    inbox.sort_by_key(|e| e.from);
                 }
             }
         }
+        dirty.sort_unstable();
+        if !dirty.is_empty() {
+            let par_recv = dirty.len() >= self.cfg.parallel_threshold && self.cfg.threads > 1;
+            if par_recv {
+                self.receive_phase_parallel(round, &dirty);
+            } else {
+                let g = self.g;
+                for &v in &dirty {
+                    let i = v as usize;
+                    self.nodes[i].receive(round, &self.inboxes[i], &NodeCtx::new(v, g));
+                    self.inboxes[i].clear();
+                }
+            }
+        }
+
+        // --- schedule refresh: polled nodes and woken (dirty) nodes ---
+        if self.cfg.scheduling == SchedulingMode::ActiveSet {
+            let g = self.g;
+            for &v in &active {
+                // Popped nodes lost their heap entry; always reinstall.
+                let i = v as usize;
+                if self.sent_flag[i] {
+                    // Sender-stays-hot: a node that sent this round is
+                    // simply re-polled next round instead of paying an
+                    // `earliest_send` query (which may scan protocol
+                    // state). This is unobservable: `run` always executes
+                    // the round after a busy one before considering a
+                    // jump, and polling a node before its true send round
+                    // is a no-op, after which the exact query runs. At
+                    // jump time every surviving heap entry is exact,
+                    // because a conservative entry is consumed in the
+                    // very next executed round and is only ever pushed in
+                    // a busy (non-jumping) round.
+                    self.sent_flag[i] = false;
+                    self.next_send[i] = round + 1;
+                    self.heap.push(Reverse((round + 1, v)));
+                    continue;
+                }
+                match self.nodes[i].earliest_send(round + 1, &NodeCtx::new(v, g)) {
+                    Some(r) => {
+                        debug_assert!(r > round, "earliest_send must be in the future");
+                        self.next_send[i] = r;
+                        self.heap.push(Reverse((r, v)));
+                    }
+                    None => self.next_send[i] = Round::MAX,
+                }
+            }
+            for &v in &dirty {
+                if active.binary_search(&v).is_ok() {
+                    continue; // already refreshed above
+                }
+                let i = v as usize;
+                let r_new = self.nodes[i]
+                    .earliest_send(round + 1, &NodeCtx::new(v, g))
+                    .unwrap_or(Round::MAX);
+                if r_new != self.next_send[i] {
+                    self.next_send[i] = r_new;
+                    if r_new != Round::MAX {
+                        debug_assert!(r_new > round, "earliest_send must be in the future");
+                        self.heap.push(Reverse((r_new, v)));
+                    }
+                    // The superseded heap entry (if any) is now stale and
+                    // will be discarded at pop time.
+                }
+            }
+        }
+
+        // Hand the scratch allocations back for the next round.
+        active.clear();
+        self.active_scratch = active;
+        dirty.clear();
+        self.dirty = dirty;
+
         sent_this_round
     }
 
@@ -325,14 +544,14 @@ impl<'g, P: Protocol> Network<'g, P> {
 
     fn transmit(
         &mut self,
+        lid: usize,
         u: NodeId,
         v: NodeId,
-        m: P::Msg,
+        env: Envelope<P::Msg>,
         words: usize,
-        round: Round,
         sent: &mut u64,
     ) {
-        let lid = self.link_id(u, v);
+        let round = self.round;
         if self.cfg.enforce_link_capacity {
             assert!(
                 self.link_stamp[lid] != round,
@@ -344,13 +563,15 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.total_words += words as u64;
         *sent += 1;
         let Some(plan) = &self.cfg.faults else {
-            self.inboxes[v as usize].push(Envelope::new(u, m));
+            self.inboxes[v as usize].push(env);
+            self.mark_dirty(v, round);
             return;
         };
         // The sender occupied the link either way; only delivery is faulted.
         match plan.decide(u, v, round) {
             FaultAction::Deliver => {
-                self.inboxes[v as usize].push(Envelope::new(u, m));
+                self.inboxes[v as usize].push(env);
+                self.mark_dirty(v, round);
             }
             FaultAction::Drop => {
                 self.fault_dropped += 1;
@@ -359,81 +580,104 @@ impl<'g, P: Protocol> Network<'g, P> {
                 self.fault_outage_dropped += 1;
             }
             FaultAction::Duplicate => {
-                self.inboxes[v as usize].push(Envelope::new(u, m.clone()));
-                self.inboxes[v as usize].push(Envelope::new(u, m));
+                self.inboxes[v as usize].push(env.clone());
+                self.inboxes[v as usize].push(env);
+                self.mark_dirty(v, round);
                 self.fault_duplicated += 1;
             }
             FaultAction::Delay(d) => {
-                self.pending
-                    .entry(round + d)
-                    .or_default()
-                    .push((v, Envelope::new(u, m)));
+                self.pending.entry(round + d).or_default().push((v, env));
                 self.fault_delayed += 1;
             }
         }
     }
 
-    fn send_phase_parallel(&mut self, round: Round) -> Vec<Vec<SendOp<P::Msg>>>
-    where
-        P::Msg: Send,
-    {
-        let g = self.g;
-        let threads = self.cfg.threads;
-        let n = self.nodes.len();
-        let chunk = n.div_ceil(threads).max(1);
-        let mut results: Vec<Vec<Vec<SendOp<P::Msg>>>> = Vec::new();
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for (ci, nodes_chunk) in self.nodes.chunks_mut(chunk).enumerate() {
-                let base = ci * chunk;
-                handles.push(s.spawn(move || {
-                    nodes_chunk
-                        .iter_mut()
-                        .enumerate()
-                        .map(|(i, node)| {
-                            let v = (base + i) as NodeId;
-                            let mut out = Outbox::new();
-                            node.send(round, &NodeCtx::new(v, g), &mut out);
-                            out.drain().collect::<Vec<_>>()
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("send worker panicked"));
-            }
-        });
-        results.into_iter().flatten().collect()
+    /// Create the persistent worker pool on first parallel phase.
+    fn ensure_pool(&mut self) {
+        if self.pool.is_none() {
+            // The calling thread executes jobs too, so the pool holds one
+            // worker fewer than the configured parallelism.
+            self.pool = Some(WorkerPool::new(self.cfg.threads.saturating_sub(1)));
+        }
     }
 
-    fn receive_phase_parallel(&mut self, round: Round) {
+    fn send_phase_parallel(&mut self, round: Round, active: &[NodeId]) {
+        self.ensure_pool();
         let g = self.g;
-        let threads = self.cfg.threads;
-        let n = self.nodes.len();
-        let chunk = n.div_ceil(threads).max(1);
-        std::thread::scope(|s| {
-            for (ci, (nodes_chunk, inbox_chunk)) in self
-                .nodes
-                .chunks_mut(chunk)
-                .zip(self.inboxes.chunks_mut(chunk))
-                .enumerate()
-            {
-                let base = ci * chunk;
-                s.spawn(move || {
-                    for (i, (node, inbox)) in nodes_chunk
-                        .iter_mut()
-                        .zip(inbox_chunk.iter_mut())
-                        .enumerate()
-                    {
-                        if !inbox.is_empty() {
-                            let v = (base + i) as NodeId;
-                            node.receive(round, inbox, &NodeCtx::new(v, g));
-                            inbox.clear();
-                        }
+        let chunk = active.len().div_ceil(self.cfg.threads).max(1);
+        let nodes = Ptr(self.nodes.as_mut_ptr());
+        let outs = Ptr(self.outboxes.as_mut_ptr());
+        let pool = self.pool.as_ref().expect("pool just created");
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = active
+            .chunks(chunk)
+            .map(|ch| {
+                Box::new(move || {
+                    for &v in ch {
+                        // SAFETY: active ids are sorted+deduped and chunks
+                        // are disjoint, so each index is touched by exactly
+                        // one job; pool.run blocks until all jobs finish.
+                        let node = unsafe { nodes.at(v as usize) };
+                        let out = unsafe { outs.at(v as usize) };
+                        node.send(round, &NodeCtx::new(v, g), out);
                     }
-                });
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+    }
+
+    fn receive_phase_parallel(&mut self, round: Round, dirty: &[NodeId]) {
+        self.ensure_pool();
+        let g = self.g;
+        let chunk = dirty.len().div_ceil(self.cfg.threads).max(1);
+        let nodes = Ptr(self.nodes.as_mut_ptr());
+        let inboxes = Ptr(self.inboxes.as_mut_ptr());
+        let pool = self.pool.as_ref().expect("pool just created");
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = dirty
+            .chunks(chunk)
+            .map(|ch| {
+                Box::new(move || {
+                    for &v in ch {
+                        // SAFETY: dirty ids are sorted and unique (stamp
+                        // dedup); chunks are disjoint; pool.run blocks
+                        // until all jobs finish.
+                        let node = unsafe { nodes.at(v as usize) };
+                        let inbox = unsafe { inboxes.at(v as usize) };
+                        node.receive(round, inbox, &NodeCtx::new(v, g));
+                        inbox.clear();
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+    }
+
+    /// Earliest future send round across all nodes, by scanning every
+    /// node ([`SchedulingMode::ExhaustivePoll`]'s quiet path).
+    fn scan_earliest(&self) -> Option<Round> {
+        let g = self.g;
+        let mut next: Option<Round> = None;
+        for (v, node) in self.nodes.iter().enumerate() {
+            if let Some(r) = node.earliest_send(self.round + 1, &NodeCtx::new(v as NodeId, g)) {
+                debug_assert!(r > self.round, "earliest_send must be in the future");
+                next = Some(next.map_or(r, |cur| cur.min(r)));
             }
-        });
+        }
+        next
+    }
+
+    /// Earliest future send round across all nodes, from the schedule
+    /// heap ([`SchedulingMode::ActiveSet`]'s quiet path): discard stale
+    /// tops, then peek. O(stale log n) amortized instead of O(n).
+    fn next_scheduled(&mut self) -> Option<Round> {
+        while let Some(&Reverse((r, v))) = self.heap.peek() {
+            if self.next_send[v as usize] == r {
+                debug_assert!(r > self.round, "schedule must be in the future");
+                return Some(r);
+            }
+            self.heap.pop();
+        }
+        None
     }
 
     /// Run until the protocol goes quiet or `max_rounds` have elapsed.
@@ -447,17 +691,11 @@ impl<'g, P: Protocol> Network<'g, P> {
             }
             let sent = self.step_one();
             if sent == 0 {
-                // Nothing moved. Ask every node when it might next send.
-                let g = self.g;
-                let mut next: Option<Round> = None;
-                for (v, node) in self.nodes.iter().enumerate() {
-                    if let Some(r) =
-                        node.earliest_send(self.round + 1, &NodeCtx::new(v as NodeId, g))
-                    {
-                        debug_assert!(r > self.round, "earliest_send must be in the future");
-                        next = Some(next.map_or(r, |cur| cur.min(r)));
-                    }
-                }
+                // Nothing moved. When might any node next send?
+                let mut next = match self.cfg.scheduling {
+                    SchedulingMode::ExhaustivePoll => self.scan_earliest(),
+                    SchedulingMode::ActiveSet => self.next_scheduled(),
+                };
                 // A delay-faulted message still in flight forces its due
                 // round to be simulated (all pending rounds are > round:
                 // deliver_pending drained the rest at the top of the step).
@@ -538,7 +776,7 @@ mod tests {
 
         fn receive(&mut self, _round: Round, inbox: &[Envelope<u64>], _ctx: &NodeCtx) {
             for e in inbox {
-                let cand = e.msg + 1;
+                let cand = *e.msg() + 1;
                 if self.dist.is_none_or(|d| cand < d) {
                     self.dist = Some(cand);
                     self.announced = false;
@@ -600,6 +838,31 @@ mod tests {
     }
 
     #[test]
+    fn exhaustive_poll_matches_active_set() {
+        let g = gen::gnp_connected(48, 0.1, false, WeightDist::Constant(1), 21);
+        let run = |mode| {
+            let mut net = Network::new(
+                &g,
+                EngineConfig {
+                    scheduling: mode,
+                    ..EngineConfig::default()
+                },
+                |_| Flood {
+                    dist: None,
+                    announced: false,
+                },
+            );
+            assert_eq!(net.run(10_000), RunOutcome::Quiet);
+            let d: Vec<_> = net.nodes().iter().map(|f| f.dist).collect();
+            (d, net.stats())
+        };
+        let (d_ex, s_ex) = run(SchedulingMode::ExhaustivePoll);
+        let (d_as, s_as) = run(SchedulingMode::ActiveSet);
+        assert_eq!(d_ex, d_as);
+        assert_eq!(s_ex, s_as, "bit-identical RunStats across modes");
+    }
+
+    #[test]
     fn stats_count_messages_and_congestion() {
         let g = gen::path(3, false, WeightDist::Constant(1), 0);
         let mut net = Network::new(&g, EngineConfig::default(), |_| Flood {
@@ -633,6 +896,28 @@ mod tests {
     fn double_send_rejected() {
         let g = gen::path(2, false, WeightDist::Constant(1), 0);
         let mut net = Network::new(&g, EngineConfig::default(), |_| DoubleSend);
+        net.step_one();
+    }
+
+    /// A protocol that (wrongly) broadcasts and unicasts to the same
+    /// neighbor in one round (exercises the hoisted broadcast link path).
+    struct BroadcastPlusUnicast;
+    impl Protocol for BroadcastPlusUnicast {
+        type Msg = u64;
+        fn send(&mut self, round: Round, ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if round == 1 && ctx.id == 0 {
+                out.broadcast(1);
+                out.unicast(1, 2);
+            }
+        }
+        fn receive(&mut self, _r: Round, _i: &[Envelope<u64>], _c: &NodeCtx) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages over link")]
+    fn broadcast_then_unicast_rejected() {
+        let g = gen::path(2, false, WeightDist::Constant(1), 0);
+        let mut net = Network::new(&g, EngineConfig::default(), |_| BroadcastPlusUnicast);
         net.step_one();
     }
 

@@ -30,13 +30,14 @@ pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod outbox;
+pub mod pool;
 pub mod primitives;
 pub mod protocol;
 pub mod reliable;
 pub mod scheduler;
 pub mod trace;
 
-pub use engine::{EngineConfig, Network, RunOutcome};
+pub use engine::{EngineConfig, Network, RunOutcome, SchedulingMode};
 pub use fault::{FaultAction, FaultPlan, Outage};
 pub use message::{Envelope, MsgSize};
 pub use metrics::RunStats;

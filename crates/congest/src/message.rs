@@ -1,6 +1,7 @@
 //! Message plumbing and size accounting.
 
 use dw_graph::NodeId;
+use std::sync::Arc;
 
 /// Size accounting for CONGEST messages.
 ///
@@ -38,18 +39,78 @@ impl<A: MsgSize, B: MsgSize> MsgSize for (A, B) {
     }
 }
 
+/// How an envelope holds its message.
+///
+/// Unicasts own their payload. Broadcast deliveries share one allocation
+/// across all recipient inboxes (`Arc`), so a degree-`d` broadcast costs
+/// one clone instead of `d` — the receiver-facing API is unchanged because
+/// payloads are read-only by contract ([`crate::Protocol::receive`] takes
+/// the inbox by shared reference).
+#[derive(Debug)]
+enum Payload<M> {
+    Own(M),
+    Shared(Arc<M>),
+}
+
+impl<M> Payload<M> {
+    #[inline]
+    fn get(&self) -> &M {
+        match self {
+            Payload::Own(m) => m,
+            Payload::Shared(a) => a,
+        }
+    }
+}
+
+impl<M: Clone> Clone for Payload<M> {
+    fn clone(&self) -> Self {
+        match self {
+            // Cloning a shared payload bumps the refcount; the message
+            // itself is cloned at most once per broadcast.
+            Payload::Own(m) => Payload::Own(m.clone()),
+            Payload::Shared(a) => Payload::Shared(Arc::clone(a)),
+        }
+    }
+}
+
 /// A delivered message together with its sender.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Envelope<M> {
     pub from: NodeId,
-    pub msg: M,
+    payload: Payload<M>,
 }
 
 impl<M> Envelope<M> {
+    /// An envelope owning its payload (unicast delivery, tests, adapters).
     pub fn new(from: NodeId, msg: M) -> Self {
-        Envelope { from, msg }
+        Envelope {
+            from,
+            payload: Payload::Own(msg),
+        }
+    }
+
+    /// An envelope sharing a broadcast payload (engine delivery path).
+    pub(crate) fn shared(from: NodeId, msg: Arc<M>) -> Self {
+        Envelope {
+            from,
+            payload: Payload::Shared(msg),
+        }
+    }
+
+    /// The message carried by this envelope.
+    #[inline]
+    pub fn msg(&self) -> &M {
+        self.payload.get()
     }
 }
+
+impl<M: PartialEq> PartialEq for Envelope<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.from == other.from && self.msg() == other.msg()
+    }
+}
+
+impl<M: Eq> Eq for Envelope<M> {}
 
 #[cfg(test)]
 mod tests {
@@ -64,5 +125,17 @@ mod tests {
     #[test]
     fn unit_is_free() {
         assert_eq!(().size_words(), 0);
+    }
+
+    #[test]
+    fn shared_and_owned_envelopes_compare_by_content() {
+        let a = Envelope::new(3, 42u64);
+        let b = Envelope::shared(3, Arc::new(42u64));
+        assert_eq!(a, b);
+        assert_eq!(*b.msg(), 42);
+        let c = b.clone();
+        assert_eq!(c, b);
+        assert_ne!(Envelope::new(3, 7u64), a);
+        assert_ne!(Envelope::new(4, 42u64), a);
     }
 }

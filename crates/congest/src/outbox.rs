@@ -63,6 +63,20 @@ impl<M> Outbox<M> {
     pub(crate) fn drain(&mut self) -> std::vec::Drain<'_, SendOp<M>> {
         self.ops.drain(..)
     }
+
+    /// Move the buffered ops out (engine delivery path). Pair with
+    /// [`Outbox::restore`] to hand the allocation back so the per-node
+    /// outboxes reach a steady state with no per-round allocation.
+    pub(crate) fn take_ops(&mut self) -> Vec<SendOp<M>> {
+        std::mem::take(&mut self.ops)
+    }
+
+    /// Return a drained ops buffer, keeping its capacity for the next
+    /// round.
+    pub(crate) fn restore(&mut self, mut ops: Vec<SendOp<M>>) {
+        ops.clear();
+        self.ops = ops;
+    }
 }
 
 #[cfg(test)]

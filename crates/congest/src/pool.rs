@@ -1,0 +1,264 @@
+//! Persistent worker pool for the engine's parallel phases.
+//!
+//! The previous engine spawned a fresh `std::thread::scope` (and fresh OS
+//! threads) every round, which dominates the cost of cheap rounds. This
+//! pool keeps the workers alive for the lifetime of the [`crate::Network`]
+//! and hands them borrowed closures per phase, scoped-threadpool style:
+//! [`WorkerPool::run`] blocks until every submitted job has completed, so
+//! borrows captured by the jobs cannot dangle even though the worker
+//! threads themselves are `'static`.
+//!
+//! Determinism: the pool executes jobs in an arbitrary order on arbitrary
+//! threads, so callers must make jobs write to disjoint, pre-assigned
+//! slots (chunk-ordered result merging). The engine's parallel phases do
+//! exactly that — each job owns a contiguous index range of nodes.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A job as stored in the queue. Jobs are type-erased and lifetime-erased;
+/// `WorkerPool::run` guarantees they finish before the borrowed data they
+/// capture goes away.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion signal: `None` for success, `Some(payload)` for a panic.
+type Done = Option<Box<dyn Any + Send + 'static>>;
+
+pub struct WorkerPool {
+    job_tx: Option<Sender<Job>>,
+    job_rx: Arc<Mutex<Receiver<Job>>>,
+    done_tx: Sender<Done>,
+    done_rx: Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+fn worker_loop(job_rx: Arc<Mutex<Receiver<Job>>>, done_tx: Sender<Done>) {
+    loop {
+        // Hold the lock only while dequeuing, not while running the job.
+        let job = match job_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return, // poisoned: a peer panicked while dequeuing
+        };
+        match job {
+            Ok(job) => {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                // The pool owner may only be mid-teardown; a closed done
+                // channel just means nobody is waiting anymore.
+                let _ = done_tx.send(result.err());
+            }
+            Err(_) => return, // queue closed: pool is being dropped
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (job_tx, job_rx) = channel::<Job>();
+        let (done_tx, done_rx) = channel::<Done>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let handles = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&job_rx);
+                let tx = done_tx.clone();
+                std::thread::spawn(move || worker_loop(rx, tx))
+            })
+            .collect();
+        WorkerPool {
+            job_tx: Some(job_tx),
+            job_rx,
+            done_tx,
+            done_rx,
+            handles,
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `jobs` to completion across the workers (the calling thread
+    /// also executes jobs while it waits). Blocks until **all** jobs have
+    /// finished — only then, if any job panicked, resumes the first panic
+    /// on the caller. That all-complete barrier is what makes the
+    /// lifetime erasure below sound: no job can outlive this call, hence
+    /// none can outlive the `'env` borrows it captured.
+    pub fn run<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let total = jobs.len();
+        if total == 0 {
+            return;
+        }
+        let job_tx = self.job_tx.as_ref().expect("pool not torn down");
+        for job in jobs {
+            // SAFETY: lifetime erasure only. The job is executed either by
+            // a worker (completion counted below) or inline by this
+            // thread; we do not return until `total` completions are
+            // accounted for, so the `'env` data outlives every job.
+            let job: Job = unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + 'env>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(job)
+            };
+            job_tx.send(job).expect("worker pool queue closed");
+        }
+
+        let mut completed = 0usize;
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+
+        // Help out: drain jobs on the calling thread while workers churn.
+        loop {
+            let job = match self.job_rx.try_lock() {
+                Ok(rx) => rx.try_recv().ok(),
+                Err(_) => None,
+            };
+            match job {
+                Some(job) => {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    if let Err(p) = result {
+                        if first_panic.is_none() {
+                            first_panic = Some(p);
+                        }
+                    }
+                    completed += 1;
+                }
+                None => break,
+            }
+        }
+
+        // Wait for the workers' completions. Even if a job panicked we
+        // keep waiting for the rest — returning early would let in-flight
+        // jobs race the caller's unwinding (and its borrows).
+        while completed < total {
+            match self.done_rx.recv() {
+                Ok(done) => {
+                    if let Some(p) = done {
+                        if first_panic.is_none() {
+                            first_panic = Some(p);
+                        }
+                    }
+                    completed += 1;
+                }
+                Err(_) => unreachable!("pool owns done_tx, channel cannot close"),
+            }
+        }
+
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channel makes every worker's recv fail -> exit.
+        self.job_tx.take();
+        let _ = &self.done_tx; // kept alive so done_rx.recv can't spuriously fail mid-run
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A raw-pointer wrapper that lets jobs write to *disjoint* indices of a
+/// shared buffer from multiple threads. `Copy` so closures can capture it
+/// by value.
+///
+/// Safety contract (caller's obligation): every index is written by at
+/// most one job per [`WorkerPool::run`] call, and the underlying buffer
+/// outlives the call (guaranteed by `run`'s completion barrier).
+pub(crate) struct Ptr<T>(pub *mut T);
+
+impl<T> Clone for Ptr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Ptr<T> {}
+
+// SAFETY: see the disjointness contract above; Ptr is only constructed by
+// the engine's parallel phases, which partition indices across jobs.
+unsafe impl<T> Send for Ptr<T> {}
+unsafe impl<T> Sync for Ptr<T> {}
+
+impl<T> Ptr<T> {
+    /// # Safety
+    /// `idx` must be in bounds and not concurrently accessed by any other
+    /// job in the same `run` call.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn at(&self, idx: usize) -> &mut T {
+        &mut *self.0.add(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs_with_borrowed_state() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+                .map(|_| {
+                    let c = &counter;
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 192);
+    }
+
+    #[test]
+    fn disjoint_writes_land_in_order() {
+        let pool = WorkerPool::new(3);
+        let mut out = vec![0usize; 100];
+        let ptr = Ptr(out.as_mut_ptr());
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..100)
+            .map(|i| {
+                Box::new(move || unsafe {
+                    *ptr.at(i) = i * i;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_after_all_jobs_finish() {
+        let pool = WorkerPool::new(2);
+        let done = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..10)
+                .map(|i| {
+                    let d = &done;
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("job 3 exploded");
+                        }
+                        d.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(jobs);
+        }));
+        assert!(result.is_err());
+        // Every non-panicking job still ran to completion.
+        assert_eq!(done.load(Ordering::Relaxed), 9);
+        // The pool survives a panicking batch.
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {})];
+        pool.run(jobs);
+    }
+}

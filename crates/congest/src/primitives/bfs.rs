@@ -81,12 +81,12 @@ impl Protocol for BfsNode {
 
     fn receive(&mut self, _round: Round, inbox: &[Envelope<Join>], ctx: &NodeCtx) {
         for e in inbox {
-            if e.msg.parent == ctx.id && e.from != ctx.id {
+            if e.msg().parent == ctx.id && e.from != ctx.id {
                 self.children.push(e.from);
             }
             if self.depth.is_none() {
                 // inbox is sorted by sender id, so ties pick the smallest id
-                self.depth = Some(e.msg.depth + 1);
+                self.depth = Some(e.msg().depth + 1);
                 self.parent = Some(e.from);
             }
         }

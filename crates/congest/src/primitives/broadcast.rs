@@ -34,7 +34,7 @@ struct BcastNode<M> {
     received: Vec<(u64, M)>,
 }
 
-impl<M: Clone + MsgSize + Send> Protocol for BcastNode<M> {
+impl<M: Clone + MsgSize + Send + Sync> Protocol for BcastNode<M> {
     type Msg = Item<M>;
 
     fn send(&mut self, _round: Round, _ctx: &NodeCtx, out: &mut Outbox<Item<M>>) {
@@ -47,8 +47,8 @@ impl<M: Clone + MsgSize + Send> Protocol for BcastNode<M> {
 
     fn receive(&mut self, _round: Round, inbox: &[Envelope<Item<M>>], _ctx: &NodeCtx) {
         for e in inbox {
-            self.received.push((e.msg.idx, e.msg.payload.clone()));
-            self.queue.push_back(e.msg.clone());
+            self.received.push((e.msg().idx, e.msg().payload.clone()));
+            self.queue.push_back(e.msg().clone());
         }
     }
 
@@ -65,7 +65,7 @@ impl<M: Clone + MsgSize + Send> Protocol for BcastNode<M> {
 /// received at each node (in index order) and the run stats.
 ///
 /// Every node receives all `q` items within `q + height` rounds.
-pub fn pipeline_broadcast<M: Clone + MsgSize + Send>(
+pub fn pipeline_broadcast<M: Clone + MsgSize + Send + Sync>(
     g: &WGraph,
     tree: &BfsTree,
     items: Vec<M>,

@@ -73,7 +73,7 @@ impl Protocol for CcNode {
 
     fn receive(&mut self, _round: Round, inbox: &[Envelope<Agg>], _ctx: &NodeCtx) {
         for e in inbox {
-            self.acc = combine(self.op, self.acc, e.msg);
+            self.acc = combine(self.op, self.acc, *e.msg());
             self.pending_children -= 1;
         }
     }

@@ -77,7 +77,12 @@ impl<'g> NodeCtx<'g> {
 /// in round `r`.
 pub trait Protocol: Send {
     /// Message type carried by this protocol.
-    type Msg: Clone + MsgSize + Send;
+    ///
+    /// `Sync` is required because a broadcast delivery shares one payload
+    /// allocation across all recipient inboxes, and the parallel receive
+    /// phase reads those inboxes from worker threads. Message types are
+    /// plain data, so this costs nothing in practice.
+    type Msg: Clone + MsgSize + Send + Sync;
 
     /// Local initialization (round 0, no communication).
     fn init(&mut self, ctx: &NodeCtx) {
@@ -99,6 +104,27 @@ pub trait Protocol: Send {
     /// engine fast-forward through silent rounds (they are still counted in
     /// the round complexity, just not simulated one by one). The default is
     /// conservative: "might send every round".
+    ///
+    /// # Contract (required by active-set scheduling)
+    ///
+    /// The answer may be *conservative* — earlier than the node actually
+    /// sends, or `Some(after)` always, as the default is — but it must be
+    /// **sound** and **stable**:
+    ///
+    /// * **Sound**: the node never sends in a round `r >= after` strictly
+    ///   before the returned round, and never sends at all (until its state
+    ///   changes) after returning `None`. State changes only in `init`,
+    ///   `send` and `receive`.
+    /// * **Stable**: between state changes, answers are consistent with one
+    ///   earlier answer. If `earliest_send(a)` returned `Some(r)`, then for
+    ///   any `a <= a' <= r`, `earliest_send(a')` returns `Some(r)`; if it
+    ///   returned `None`, every later query returns `None` until the state
+    ///   changes.
+    ///
+    /// Under this contract the active-set scheduler, which caches one
+    /// pending send round per node and only re-queries nodes whose state
+    /// changed, polls exactly the same nodes the exhaustive engine would
+    /// observe sending — which is what makes the two modes bit-identical.
     fn earliest_send(&self, after: Round, ctx: &NodeCtx) -> Option<Round> {
         let _ = ctx;
         Some(after)

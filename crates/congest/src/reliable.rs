@@ -173,6 +173,11 @@ pub struct Reliable<P: Protocol> {
     out: Vec<OutLink<P::Msg>>,
     inl: Vec<InLink<P::Msg>>,
     stats: ReliableStats,
+    /// Reused scratch for the inner protocol's sends (per-round
+    /// allocation-free once warm).
+    inner_out: Outbox<P::Msg>,
+    /// Reused scratch for in-order deliveries to the inner protocol.
+    staged: Vec<Envelope<P::Msg>>,
 }
 
 impl<P: Protocol> Reliable<P> {
@@ -184,6 +189,8 @@ impl<P: Protocol> Reliable<P> {
             out: Vec::new(),
             inl: Vec::new(),
             stats: ReliableStats::default(),
+            inner_out: Outbox::new(),
+            staged: Vec::new(),
         }
     }
 
@@ -248,9 +255,9 @@ impl<P: Protocol> Protocol for Reliable<P> {
     fn send(&mut self, round: Round, ctx: &NodeCtx, out: &mut Outbox<Self::Msg>) {
         // 1. Collect the inner protocol's sends for this round and queue
         //    them on their links.
-        let mut inner_out = Outbox::new();
-        self.inner.send(round, ctx, &mut inner_out);
-        for op in inner_out.drain() {
+        self.inner.send(round, ctx, &mut self.inner_out);
+        let mut ops = self.inner_out.take_ops();
+        for op in ops.drain(..) {
             match op {
                 SendOp::Broadcast(m) => {
                     for rank in 0..self.out.len() {
@@ -263,6 +270,7 @@ impl<P: Protocol> Protocol for Reliable<P> {
                 }
             }
         }
+        self.inner_out.restore(ops);
 
         // 2. One frame per link: the oldest *due* data frame if any,
         //    otherwise a standalone ack if one is owed. The window is the
@@ -313,10 +321,10 @@ impl<P: Protocol> Protocol for Reliable<P> {
     }
 
     fn receive(&mut self, round: Round, inbox: &[Envelope<Self::Msg>], ctx: &NodeCtx) {
-        let mut staged: Vec<Envelope<P::Msg>> = Vec::new();
+        let mut staged = std::mem::take(&mut self.staged);
         for env in inbox {
             let rank = self.rank_of(ctx, env.from);
-            match &env.msg {
+            match env.msg() {
                 RMsg::Ack { ack } => self.absorb_ack(rank, *ack),
                 RMsg::Data { seq, ack, payload } => {
                     self.absorb_ack(rank, *ack);
@@ -350,6 +358,8 @@ impl<P: Protocol> Protocol for Reliable<P> {
             self.stats.delivered += staged.len() as u64;
             self.inner.receive(round, &staged, ctx);
         }
+        staged.clear();
+        self.staged = staged;
     }
 
     fn earliest_send(&self, after: Round, ctx: &NodeCtx) -> Option<Round> {
@@ -410,7 +420,7 @@ mod tests {
         }
         fn receive(&mut self, _round: Round, inbox: &[Envelope<u64>], _ctx: &NodeCtx) {
             for e in inbox {
-                let cand = e.msg + 1;
+                let cand = *e.msg() + 1;
                 if self.dist.is_none_or(|d| cand < d) {
                     self.dist = Some(cand);
                     self.announced = false;

@@ -28,6 +28,9 @@ use dw_graph::{NodeId, WGraph};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Outcome of a scheduled multi-instance run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,25 +57,64 @@ struct Instance<P: Protocol> {
     local_round: Round,
     start: u64,
     stall: u64,
-    /// Earliest local round (> local_round) with a potential send, or None
-    /// if the instance is quiet.
-    next_active: Option<Round>,
+    /// Cached earliest local send round per node (`Round::MAX` = dormant).
+    /// Same active-set machinery as the engine: refreshed only for nodes
+    /// that were polled or received, valid under the `earliest_send`
+    /// soundness + stability contract.
+    node_next: Vec<Round>,
+    /// Lazy min-heap over `(node_next[v], v)`; entries whose round no
+    /// longer matches `node_next` are discarded at pop time.
+    heap: BinaryHeap<Reverse<(Round, NodeId)>>,
 }
 
 impl<P: Protocol> Instance<P> {
-    fn due_global(&self) -> Option<u64> {
-        self.next_active.map(|la| self.start + self.stall + la)
+    /// Earliest local round (> local_round) with a potential send, or None
+    /// if the instance is quiet. `&mut` because stale heap tops are
+    /// discarded on the way.
+    fn next_active(&mut self) -> Option<Round> {
+        while let Some(&Reverse((r, v))) = self.heap.peek() {
+            if self.node_next[v as usize] == r {
+                return Some(r);
+            }
+            self.heap.pop();
+        }
+        None
     }
 
-    fn refresh_next_active(&mut self, g: &WGraph) {
-        let after = self.local_round + 1;
-        let mut next: Option<Round> = None;
-        for (v, node) in self.nodes.iter().enumerate() {
-            if let Some(r) = node.earliest_send(after, &NodeCtx::new(v as NodeId, g)) {
-                next = Some(next.map_or(r, |cur| cur.min(r)));
+    fn due_global(&mut self) -> Option<u64> {
+        let (start, stall) = (self.start, self.stall);
+        self.next_active().map(|la| start + stall + la)
+    }
+
+    /// Pop the nodes due at local round `local` into `due` (sorted,
+    /// deduped).
+    fn pop_due(&mut self, local: Round, due: &mut Vec<NodeId>) {
+        due.clear();
+        while let Some(&Reverse((r, v))) = self.heap.peek() {
+            if r > local {
+                break;
+            }
+            self.heap.pop();
+            if self.node_next[v as usize] == r {
+                due.push(v);
             }
         }
-        self.next_active = next;
+        due.sort_unstable();
+        due.dedup();
+    }
+
+    /// Re-query `earliest_send` for node `v` after local round `local`
+    /// and reinstall its schedule entry.
+    fn refresh_node(&mut self, g: &WGraph, v: NodeId, local: Round) {
+        let i = v as usize;
+        match self.nodes[i].earliest_send(local + 1, &NodeCtx::new(v, g)) {
+            Some(r) => {
+                debug_assert!(r > local, "earliest_send must be in the future");
+                self.node_next[i] = r;
+                self.heap.push(Reverse((r, v)));
+            }
+            None => self.node_next[i] = Round::MAX,
+        }
     }
 }
 
@@ -122,7 +164,16 @@ where
             for (v, node) in nodes.iter_mut().enumerate() {
                 node.init(&NodeCtx::new(v as NodeId, g));
             }
-            let mut inst = Instance {
+            let mut node_next = vec![Round::MAX; n];
+            let mut heap = BinaryHeap::new();
+            for (v, node) in nodes.iter().enumerate() {
+                if let Some(r) = node.earliest_send(1, &NodeCtx::new(v as NodeId, g)) {
+                    debug_assert!(r >= 1, "earliest_send must be >= after");
+                    node_next[v] = r;
+                    heap.push(Reverse((r, v as NodeId)));
+                }
+            }
+            Instance {
                 nodes,
                 local_round: 0,
                 start: if max_offset == 0 {
@@ -131,10 +182,9 @@ where
                     rng.gen_range(0..=max_offset)
                 },
                 stall: 0,
-                next_active: None,
-            };
-            inst.refresh_next_active(g);
-            inst
+                node_next,
+                heap,
+            }
         })
         .collect();
 
@@ -162,9 +212,12 @@ where
     let mut stats_stalls = vec![0u64; k];
     let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
 
+    let mut due_nodes: Vec<NodeId> = Vec::new();
+    let mut receivers: Vec<NodeId> = Vec::new();
+
     loop {
         // Fast-forward to the earliest due instance.
-        let next_due = insts.iter().filter_map(|i| i.due_global()).min();
+        let next_due = insts.iter_mut().filter_map(|i| i.due_global()).min();
         let Some(next_due) = next_due else { break };
         if next_due > max_global_rounds {
             break;
@@ -181,15 +234,21 @@ where
             }
             let local = global - insts[ii].start - insts[ii].stall;
 
-            // Tentatively execute local round `local` on a clone.
-            let mut clone = insts[ii].nodes.clone();
+            // Tentatively execute local round `local` on clones of the due
+            // nodes only (any other node's `earliest_send` proves it
+            // silent this round, so cloning it would be wasted work).
+            insts[ii].pop_due(local, &mut due_nodes);
+            let mut clones: Vec<(NodeId, P)> = due_nodes
+                .iter()
+                .map(|&v| (v, insts[ii].nodes[v as usize].clone()))
+                .collect();
             let mut all_ops: Vec<(NodeId, Vec<SendOp<P::Msg>>)> = Vec::new();
-            for (v, node) in clone.iter_mut().enumerate() {
+            for (v, node) in clones.iter_mut() {
                 let mut out = Outbox::new();
-                node.send(local, &NodeCtx::new(v as NodeId, g), &mut out);
+                node.send(local, &NodeCtx::new(*v, g), &mut out);
                 let ops: Vec<_> = out.drain().collect();
                 if !ops.is_empty() {
-                    all_ops.push((v as NodeId, ops));
+                    all_ops.push((*v, ops));
                 }
             }
 
@@ -231,13 +290,22 @@ where
             }
 
             if conflict {
+                // Discard the clones and retry next global round. The
+                // popped schedule entries are still accurate (the real
+                // nodes were not touched), so reinstall them.
                 insts[ii].stall += 1;
                 stats_stalls[ii] += 1;
-                continue; // discard the clone; retry next global round
+                for &v in &due_nodes {
+                    let r = insts[ii].node_next[v as usize];
+                    debug_assert!(r != Round::MAX);
+                    insts[ii].heap.push(Reverse((r, v)));
+                }
+                continue;
             }
 
             // Commit: stamp links, deliver, receive.
             let mut sent = 0u64;
+            receivers.clear();
             for (u, ops) in all_ops {
                 for op in ops {
                     match op {
@@ -246,6 +314,9 @@ where
                                 m.size_words() <= cfg.max_words,
                                 "protocol bug: oversized message from {u}"
                             );
+                            // One payload allocation shared across all
+                            // recipients, as in the engine's delivery path.
+                            let payload = Arc::new(m);
                             for &v in g.comm_neighbors(u) {
                                 let lid = link_id(u, v);
                                 link_stamp[lid] = global;
@@ -255,14 +326,19 @@ where
                                     .map_or(FaultAction::Deliver, |p| p.decide(u, v, global))
                                 {
                                     FaultAction::Deliver => {
-                                        inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                        inboxes[v as usize]
+                                            .push(Envelope::shared(u, Arc::clone(&payload)));
+                                        receivers.push(v);
                                     }
                                     FaultAction::Drop | FaultAction::OutageDrop => {
                                         fault_dropped += 1;
                                     }
                                     FaultAction::Duplicate => {
-                                        inboxes[v as usize].push(Envelope::new(u, m.clone()));
-                                        inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                        inboxes[v as usize]
+                                            .push(Envelope::shared(u, Arc::clone(&payload)));
+                                        inboxes[v as usize]
+                                            .push(Envelope::shared(u, Arc::clone(&payload)));
+                                        receivers.push(v);
                                         fault_duplicated += 1;
                                     }
                                     FaultAction::Delay(_) => {
@@ -284,14 +360,16 @@ where
                                 .map_or(FaultAction::Deliver, |p| p.decide(u, v, global))
                             {
                                 FaultAction::Deliver => {
-                                    inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                    inboxes[v as usize].push(Envelope::new(u, m));
+                                    receivers.push(v);
                                 }
                                 FaultAction::Drop | FaultAction::OutageDrop => {
                                     fault_dropped += 1;
                                 }
                                 FaultAction::Duplicate => {
                                     inboxes[v as usize].push(Envelope::new(u, m.clone()));
-                                    inboxes[v as usize].push(Envelope::new(u, m.clone()));
+                                    inboxes[v as usize].push(Envelope::new(u, m));
+                                    receivers.push(v);
                                     fault_duplicated += 1;
                                 }
                                 FaultAction::Delay(_) => {
@@ -306,15 +384,26 @@ where
                 last_activity = global;
                 messages += sent;
             }
-            for (v, inbox) in inboxes.iter_mut().enumerate() {
-                if !inbox.is_empty() {
-                    clone[v].receive(local, inbox, &NodeCtx::new(v as NodeId, g));
-                    inbox.clear();
-                }
+            // Install the polled clones, then run receive on the real
+            // nodes and refresh the schedule for polled ∪ received.
+            for (v, node) in clones {
+                insts[ii].nodes[v as usize] = node;
             }
-            insts[ii].nodes = clone;
             insts[ii].local_round = local;
-            insts[ii].refresh_next_active(g);
+            let inst = &mut insts[ii];
+            receivers.sort_unstable();
+            receivers.dedup();
+            for &v in &receivers {
+                let inbox = &mut inboxes[v as usize];
+                inst.nodes[v as usize].receive(local, inbox, &NodeCtx::new(v, g));
+                inbox.clear();
+                inst.refresh_node(g, v, local);
+            }
+            for &v in &due_nodes {
+                // A polled node that also received was refreshed above;
+                // refreshing again with the same arguments is idempotent.
+                inst.refresh_node(g, v, local);
+            }
         }
     }
 
@@ -361,7 +450,7 @@ mod tests {
 
         fn receive(&mut self, _round: Round, inbox: &[Envelope<u64>], _ctx: &NodeCtx) {
             for e in inbox {
-                let cand = e.msg + 1;
+                let cand = *e.msg() + 1;
                 if self.dist.is_none_or(|d| cand < d) {
                     self.dist = Some(cand);
                     self.announced = false;

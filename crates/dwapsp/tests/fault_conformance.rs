@@ -3,7 +3,9 @@
 //! and end-to-end correctness of the recovery stack under drops, delays
 //! and duplicates.
 
-use dwapsp::congest::{trace::RoundTrace, EngineConfig, FaultPlan, Network, RunStats};
+use dwapsp::congest::{
+    trace::RoundTrace, EngineConfig, FaultPlan, Network, RunStats, SchedulingMode,
+};
 use dwapsp::pipeline::node::PipelinedNode;
 use dwapsp::pipeline::recovery::{run_hk_ssp_reliable, short_range_sssp_reliable, RecoveryConfig};
 use dwapsp::pipeline::{default_budget, Gamma};
@@ -44,6 +46,15 @@ fn traced_apsp(
     plan: &FaultPlan,
     parallel: bool,
 ) -> (Vec<Vec<Weight>>, RunStats, RoundTrace) {
+    traced_apsp_mode(g, plan, parallel, SchedulingMode::ActiveSet)
+}
+
+fn traced_apsp_mode(
+    g: &WGraph,
+    plan: &FaultPlan,
+    parallel: bool,
+    scheduling: SchedulingMode,
+) -> (Vec<Vec<Weight>>, RunStats, RoundTrace) {
     let delta = max_finite_distance(g).max(1);
     let cfg = SspConfig::apsp(g.n(), delta);
     let gamma = Gamma::new(cfg.k(), cfg.h, cfg.delta);
@@ -51,6 +62,7 @@ fn traced_apsp(
         faults: Some(plan.clone()),
         parallel_threshold: if parallel { 1 } else { usize::MAX },
         threads: 4,
+        scheduling,
         ..EngineConfig::default()
     };
     let mut net = Network::new(g, engine, |_| {
@@ -103,6 +115,29 @@ proptest! {
         prop_assert_eq!(r0, r1, "pristine plan changed the results");
         prop_assert_eq!(s0.clone(), s1, "pristine plan changed the metrics");
         prop_assert_eq!(s0.fault_events(), 0);
+    }
+
+    // Active-set scheduling is an optimization, not a semantics change:
+    // on the real Algorithm-1 pipeline under arbitrary fault plans it
+    // must produce bit-identical distances, metrics and traces compared
+    // to exhaustively polling every node each round — in both the
+    // sequential and thread-parallel engines.
+    #[test]
+    fn active_set_matches_exhaustive_poll_on_pipeline(
+        g in arb_graph(), plan in arb_plan()
+    ) {
+        let (d_ex, s_ex, t_ex) =
+            traced_apsp_mode(&g, &plan, false, SchedulingMode::ExhaustivePoll);
+        let (d_as, s_as, t_as) =
+            traced_apsp_mode(&g, &plan, false, SchedulingMode::ActiveSet);
+        prop_assert_eq!(&d_ex, &d_as, "distances diverged across scheduling modes");
+        prop_assert_eq!(&s_ex, &s_as, "metrics diverged across scheduling modes");
+        prop_assert_eq!(t_ex.records(), t_as.records(), "traces diverged");
+        let (d_p, s_p, t_p) =
+            traced_apsp_mode(&g, &plan, true, SchedulingMode::ActiveSet);
+        prop_assert_eq!(&d_as, &d_p, "parallel active-set distances diverged");
+        prop_assert_eq!(&s_as, &s_p, "parallel active-set metrics diverged");
+        prop_assert_eq!(t_as.records(), t_p.records(), "parallel traces diverged");
     }
 
     // Replaying the identical faulty run twice is deterministic.

@@ -218,7 +218,7 @@ mod validation {
 
         fn receive(&mut self, _round: Round, inbox: &[Envelope<ValMsg>], ctx: &NodeCtx) {
             for env in inbox {
-                let i = env.msg.tree as usize;
+                let i = env.msg().tree as usize;
                 if self.validated[i] {
                     continue;
                 }
@@ -228,7 +228,7 @@ mod validation {
                 let Some(w) = ctx.in_weight_from(env.from) else {
                     continue;
                 };
-                if p == env.from && l == env.msg.l + 1 && l <= self.h && d == env.msg.d + w {
+                if p == env.from && l == env.msg().l + 1 && l <= self.h && d == env.msg().d + w {
                     self.validated[i] = true;
                     if l < self.h {
                         self.queue.push_back(ValMsg {

@@ -200,7 +200,7 @@ impl Protocol for PipelinedNode {
             let Some(w) = ctx.in_weight_from(env.from) else {
                 continue;
             };
-            let m = &env.msg;
+            let m = env.msg();
             let d = m.d + w;
             let l = m.l + 1;
             if l > self.h {

@@ -100,7 +100,7 @@ impl Protocol for PhiExchangeNode {
             self.heard
                 .entry(env.from)
                 .or_default()
-                .push((env.msg.src_idx, env.msg.phi));
+                .push((env.msg().src_idx, env.msg().phi));
         }
     }
 
@@ -188,8 +188,8 @@ impl Protocol for ScaledSsspNode {
             let c_uv = (w_i + 2 * phi_u)
                 .checked_sub(2 * self.own_phi)
                 .expect("scaling invariant violated: negative reduced cost");
-            let c = env.msg.d + c_uv;
-            let l = env.msg.l + 1;
+            let c = env.msg().d + c_uv;
+            let l = env.msg().l + 1;
             let better = match self.best {
                 None => true,
                 Some((bc, bl, _)) => c < bc || (c == bc && l < bl),

@@ -124,8 +124,8 @@ impl Protocol for ShortRangeNode {
             let Some(w) = ctx.in_weight_from(env.from) else {
                 continue;
             };
-            let d = env.msg.d + w;
-            let l = env.msg.l + 1;
+            let d = env.msg().d + w;
+            let l = env.msg().l + 1;
             if l > self.h {
                 continue;
             }
