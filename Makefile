@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy report golden bench-smoke bench-check bench-baseline
+.PHONY: ci build test fmt clippy report golden bench-smoke bench-check bench-baseline transport-conformance
 
-ci: build test fmt clippy bench-check
+ci: build test fmt clippy bench-check transport-conformance
 
 build:
 	$(CARGO) build --release
@@ -27,17 +27,28 @@ report:
 golden:
 	UPDATE_GOLDEN=1 $(CARGO) test -q -p dwapsp --test golden_regression
 
+# The transport backends must reproduce the simulator bit for bit
+# (distances, RunStats, outcomes) — threads + loopback TCP + stdio, with
+# and without fault plans, for Algorithm 1 / short-range / Reliable.
+transport-conformance:
+	$(CARGO) test --release -q -p dw-transport --test conformance
+	$(CARGO) test --release -q -p dwapsp --test transport_conformance
+
 # Engine micro-benchmarks (criterion shim): scheduling modes x seq/par on
-# idle-heavy, dense and fast-forward workloads. For eyeballing, not CI.
+# idle-heavy, dense and fast-forward workloads, plus a small e15_transport
+# runtime-throughput pass. For eyeballing, not CI.
 bench-smoke:
 	$(CARGO) bench -p dw-bench --bench engine_microbench
+	$(CARGO) run --release -p dw-bench --bin transport_bench -- --smoke
 
-# Throughput regression gate: re-measures the BENCH_2.json workload set
+# Throughput regression gate: re-measures the workload set of the
+# highest-numbered BENCH_*.json (engine modes + e15 transport runtimes)
 # and fails on a >20% rounds/sec regression. Soft-passes with a warning
 # until a baseline exists.
 bench-check:
 	$(CARGO) run --release -p dw-bench --bin bench_check
 
-# Re-record the BENCH_2.json baseline (keeps the frozen pre_pr entries).
+# Re-record the BENCH_3.json baseline (carries the frozen pre_pr history
+# forward from BENCH_2.json).
 bench-baseline:
-	$(CARGO) run --release -p dw-bench --bin engine_bench -- --out BENCH_2.json --keep-pre BENCH_2.json
+	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_3.json --keep-pre BENCH_2.json

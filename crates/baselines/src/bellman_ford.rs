@@ -145,7 +145,7 @@ pub fn bf_k_source(
     let mut dist = vec![vec![INFINITY; n]; k];
     let mut hops = vec![vec![0u64; n]; k];
     let mut parent = vec![vec![None; n]; k];
-    for (v, node) in net.nodes().iter().enumerate() {
+    for (v, node) in net.nodes().enumerate() {
         for i in 0..k {
             if let Some((d, l, p)) = node.best[i] {
                 dist[i][v] = d;

@@ -180,7 +180,7 @@ pub fn run_best_list(
     let mut dist = vec![vec![INFINITY; n]; k];
     let mut parent = vec![vec![None; n]; k];
     let mut stranded = 0;
-    for (v, node) in net.nodes().iter().enumerate() {
+    for (v, node) in net.nodes().enumerate() {
         stranded += node.stranded;
         for (i, &s) in sources.iter().enumerate() {
             if let Some(e) = node.best(s) {

@@ -1,15 +1,20 @@
-//! CI regression gate for engine throughput (`make bench-check`).
+//! CI regression gate for engine and transport throughput
+//! (`make bench-check`).
 //!
 //! ```text
-//! bench_check [--baseline BENCH_2.json] [--tolerance 0.8]
+//! bench_check [--baseline BENCH_N.json] [--tolerance 0.8]
 //! ```
 //!
-//! Re-runs the `BENCH_2.json` workload set under the standard engine
-//! modes and fails (exit 1) when any entry's executed-rounds-per-second
-//! falls below `tolerance` × the checked-in baseline. Soft-fails with a
-//! warning (exit 0) when the baseline file does not exist yet, so the
-//! gate can land before its first baseline. Frozen `pre_pr` entries are
-//! historical context and are never gated.
+//! Re-runs the baseline workload set — the engine modes of
+//! [`dw_bench::engine_bench`] plus the `e15_transport` runtimes of
+//! [`dw_bench::transport_bench`] — and fails (exit 1) when any entry's
+//! executed-rounds-per-second falls below `tolerance` × the checked-in
+//! baseline. Without `--baseline`, the highest-numbered `BENCH_*.json`
+//! in the working directory is used, so recording a new baseline file
+//! never requires editing this tool. Soft-fails with a warning (exit 0)
+//! when no baseline file exists yet, so the gate can land before its
+//! first baseline. Frozen `pre_pr` entries are historical context and
+//! are never gated.
 //!
 //! Wall-clock noise is handled three ways: every measurement is already
 //! best-of-three inside [`dw_bench::engine_bench`], the default tolerance
@@ -19,7 +24,30 @@
 //! should not fail CI, a real regression reproduces in every pass.
 
 use dw_bench::engine_bench::{run_all, standard_modes, Measurement};
+use dw_bench::transport_bench::run_all_transport;
 use std::process::ExitCode;
+
+/// The highest-numbered `BENCH_*.json` in the working directory, falling
+/// back to `BENCH_2.json` (whose absence soft-passes) when none exists.
+fn default_baseline() -> String {
+    std::fs::read_dir(".")
+        .ok()
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let num: u64 = name
+                .strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()?;
+            Some((num, name))
+        })
+        .max_by_key(|&(num, _)| num)
+        .map(|(_, name)| name)
+        .unwrap_or_else(|| "BENCH_2.json".to_string())
+}
 
 struct BaselineEntry {
     workload: String,
@@ -99,7 +127,7 @@ fn main() -> ExitCode {
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_2.json".to_string());
+        .unwrap_or_else(default_baseline);
     let tolerance: f64 = args
         .iter()
         .position(|a| a == "--tolerance")
@@ -124,7 +152,17 @@ fn main() -> ExitCode {
     }
 
     let modes = standard_modes();
-    let mut current = run_all(&modes);
+    // Only measure what the baseline can gate: pre-e15 baselines skip
+    // the transport pass entirely.
+    let want_transport = baseline.iter().any(|b| b.workload.starts_with("e15_"));
+    let measure_pass = || {
+        let mut v = run_all(&modes);
+        if want_transport {
+            v.extend(run_all_transport(false));
+        }
+        v
+    };
+    let mut current = measure_pass();
     for attempt in 0..2 {
         let still_failing = failing(&baseline, &current, tolerance);
         if still_failing.is_empty() {
@@ -136,7 +174,7 @@ fn main() -> ExitCode {
             if still_failing.len() == 1 { "y" } else { "ies" },
             attempt + 1
         );
-        merge_best(&mut current, run_all(&modes));
+        merge_best(&mut current, measure_pass());
     }
 
     let mut failures = 0usize;

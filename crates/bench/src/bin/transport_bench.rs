@@ -1,0 +1,71 @@
+//! Measure runtime throughput and emit `BENCH_3.json`.
+//!
+//! ```text
+//! transport_bench [--out BENCH_3.json] [--keep-pre EXISTING.json] [--smoke]
+//! ```
+//!
+//! `BENCH_3.json` supersedes `BENCH_2.json` as the `bench_check`
+//! baseline (the gate picks the highest-numbered `BENCH_*.json`): it
+//! contains the engine workload set of [`dw_bench::engine_bench`] *plus*
+//! the `e15_transport` set — threads-vs-simulator rounds/sec and TCP
+//! loopback throughput for Algorithm 1 APSP and short-range. `--keep-pre`
+//! carries the frozen `"mode":"pre_pr"` history forward from an existing
+//! file. `--smoke` runs the reduced `e15` instances and writes nothing —
+//! the `make bench-smoke` sanity pass.
+
+use dw_bench::engine_bench::{run_all, standard_modes, to_json_entries};
+use dw_bench::transport_bench::{print_entry, run_all_transport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
+    let keep_pre = args
+        .iter()
+        .position(|a| a == "--keep-pre")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    if smoke {
+        for m in run_all_transport(true) {
+            print_entry(&m);
+        }
+        eprintln!("transport_bench: smoke pass done (nothing written)");
+        return;
+    }
+
+    let mut ms = run_all(&standard_modes());
+    ms.extend(run_all_transport(false));
+    for m in &ms {
+        print_entry(m);
+    }
+
+    let mut pre_entries = String::new();
+    if let Some(p) = keep_pre {
+        if let Ok(s) = std::fs::read_to_string(&p) {
+            for line in s.lines() {
+                if line.contains("\"mode\":\"pre_pr\"") {
+                    if !pre_entries.is_empty() {
+                        pre_entries.push_str(",\n");
+                    }
+                    pre_entries.push_str(line.trim_end_matches(','));
+                }
+            }
+        }
+    }
+
+    let mut doc = String::from("{\n  \"schema\": \"dwapsp-engine-bench-v1\",\n  \"entries\": [\n");
+    if !pre_entries.is_empty() {
+        doc.push_str(&pre_entries);
+        doc.push_str(",\n");
+    }
+    doc.push_str(&to_json_entries(&ms));
+    doc.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &doc).expect("write bench json");
+    eprintln!("wrote {out_path}");
+}

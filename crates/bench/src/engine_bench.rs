@@ -36,7 +36,7 @@ pub struct Measurement {
     pub rounds_per_sec: f64,
 }
 
-fn measure(
+pub(crate) fn measure(
     workload: &'static str,
     mode: &'static str,
     n: usize,

@@ -23,6 +23,7 @@ pub mod engine_bench;
 pub mod experiments;
 pub mod fit;
 pub mod table;
+pub mod transport_bench;
 pub mod workloads;
 
 pub use fit::{fit_power_law, PowerFit};

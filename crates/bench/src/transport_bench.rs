@@ -1,0 +1,108 @@
+//! `e15_transport`: runtime throughput of the real message-passing
+//! backends versus the lockstep simulator, on identical workloads.
+//!
+//! Two fixed workloads (Algorithm 1 APSP and Algorithm 2 short-range)
+//! run under three execution environments: the simulator, the
+//! `dw-transport` thread backend, and the TCP loopback backend (real
+//! sockets, serialized frames, one reader thread per link end). Because
+//! every backend is conformant, the round structure and message counts
+//! are identical across modes — only the wall clock differs, so
+//! `rounds_per_sec` is a clean apples-to-apples throughput comparison
+//! and messages-per-second a clean wire-throughput measure for TCP.
+//!
+//! The entries land in `BENCH_3.json` (via the `transport_bench`
+//! binary) and are gated by `bench_check` exactly like the engine
+//! workloads.
+
+use crate::engine_bench::{measure, Measurement};
+use crate::workloads;
+use dw_congest::EngineConfig;
+use dw_pipeline::{run_hk_ssp_on, short_range_sssp_on, Runtime, SspConfig};
+
+const RUNTIMES: [Runtime; 3] = [Runtime::Sim, Runtime::Threads, Runtime::Tcp];
+
+fn mode_label(rt: Runtime) -> &'static str {
+    match rt {
+        Runtime::Sim => "sim",
+        Runtime::Threads => "threads",
+        Runtime::Tcp => "tcp_loopback",
+    }
+}
+
+/// The fixed `e15_transport` measurement set, in stable order (the
+/// `bench_check` retry loop merges passes by position). `smoke` shrinks
+/// the instances for a quick `make bench-smoke` sanity run.
+pub fn run_all_transport(smoke: bool) -> Vec<Measurement> {
+    let mut out = Vec::new();
+
+    // Algorithm 1 APSP on the motivating zero-heavy regime. Broadcast
+    // traffic, every node a source: the dense case for the barrier.
+    let apsp = workloads::zero_heavy(if smoke { 16 } else { 40 }, 5, 15);
+    let cfg = SspConfig::apsp(apsp.n(), apsp.delta);
+    for rt in RUNTIMES {
+        let (apsp, cfg) = (&apsp, &cfg);
+        out.push(measure("e15_alg1_apsp", mode_label(rt), apsp.n(), || {
+            let (_, stats, _) =
+                run_hk_ssp_on(rt, &apsp.graph, cfg, EngineConfig::default()).expect("runtime run");
+            stats
+        }));
+    }
+
+    // Algorithm 2 short-range on a sparse graph: a moving frontier where
+    // most nodes idle most rounds — the barrier's fast-forward case.
+    let sr = workloads::sparse_positive(if smoke { 32 } else { 96 }, 16, 21);
+    let h = sr.n() as u64;
+    for rt in RUNTIMES {
+        let sr = &sr;
+        out.push(measure("e15_short_range", mode_label(rt), sr.n(), || {
+            let (_, stats) =
+                short_range_sssp_on(rt, &sr.graph, 0, h, sr.delta, EngineConfig::default())
+                    .expect("runtime run");
+            stats
+        }));
+    }
+
+    out
+}
+
+/// Pretty-print one measurement with the derived wire throughput (the
+/// TCP rows are the "loopback message throughput" number of `e15`).
+pub fn print_entry(m: &Measurement) {
+    eprintln!(
+        "{:20} {:14} n={:4} rounds={:6} executed={:6} wall={:9.2}ms  {:>11.0} rounds/s  {:>12.0} msgs/s",
+        m.workload,
+        m.mode,
+        m.n,
+        m.rounds,
+        m.rounds_executed,
+        m.wall_ms,
+        m.rounds_per_sec,
+        m.messages as f64 / (m.wall_ms / 1e3).max(1e-9),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The measurement set itself re-asserts conformance: identical
+    /// round structure and message counts across all three modes.
+    #[test]
+    fn transport_bench_modes_agree_on_structure() {
+        let ms = run_all_transport(true);
+        assert_eq!(ms.len(), 6);
+        for chunk in ms.chunks(3) {
+            for m in &chunk[1..] {
+                assert_eq!(m.workload, chunk[0].workload);
+                assert_eq!(
+                    (m.rounds, m.rounds_executed, m.messages),
+                    (chunk[0].rounds, chunk[0].rounds_executed, chunk[0].messages),
+                    "{}/{} disagrees with {}",
+                    m.workload,
+                    m.mode,
+                    chunk[0].mode
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Binary wire codec for protocol messages.
+//!
+//! The simulator moves messages as in-memory values; the `dw-transport`
+//! runtime moves them over OS channels (TCP frames, stdio lines), which
+//! needs a byte encoding. [`WireCodec`] is that encoding: hand-rolled,
+//! little-endian, fixed layout per type — the repo builds offline, so no
+//! serde. The contract is the obvious round trip: `decode` over the
+//! bytes produced by `encode` yields an equal value and consumes exactly
+//! the bytes `encode` wrote (so codecs compose by concatenation, which
+//! is how the tuple and [`RMsg`] impls work).
+//!
+//! The codec is deliberately *not* asked to be compact: conformance with
+//! the simulator is byte-identity of results, and CONGEST accounting is
+//! in words ([`crate::MsgSize`]), not wire bytes.
+
+use crate::reliable::RMsg;
+
+/// Encode/decode a message as bytes for a real transport.
+pub trait WireCodec: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the front of `buf`, advancing it past the
+    /// consumed bytes. `None` means the bytes are malformed or truncated.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+}
+
+/// Pull `N` bytes off the front of `buf`.
+pub fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Some(head)
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl WireCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> Option<Self> {
+                let raw = take_bytes(buf, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(raw.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64);
+
+impl WireCodec for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_buf: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl WireCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl<A: WireCodec, B: WireCodec> WireCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: WireCodec, B: WireCodec, C: WireCodec> WireCodec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+impl<M: WireCodec> WireCodec for Option<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(None),
+            1 => Some(Some(M::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<M: WireCodec> WireCodec for RMsg<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RMsg::Data { seq, ack, payload } => {
+                out.push(0);
+                seq.encode(out);
+                ack.encode(out);
+                payload.encode(out);
+            }
+            RMsg::Ack { ack } => {
+                out.push(1);
+                ack.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(RMsg::Data {
+                seq: u32::decode(buf)?,
+                ack: u32::decode(buf)?,
+                payload: M::decode(buf)?,
+            }),
+            1 => Some(RMsg::Ack {
+                ack: u32::decode(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Round-trip helper for tests: encode then decode, checking the whole
+/// buffer is consumed.
+pub fn roundtrip<M: WireCodec>(m: &M) -> Option<M> {
+    let mut bytes = Vec::new();
+    m.encode(&mut bytes);
+    let mut view = bytes.as_slice();
+    let back = M::decode(&mut view)?;
+    view.is_empty().then_some(back)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(roundtrip(&0xdead_beef_u32), Some(0xdead_beef));
+        assert_eq!(roundtrip(&u64::MAX), Some(u64::MAX));
+        assert_eq!(roundtrip(&true), Some(true));
+        assert_eq!(roundtrip(&()), Some(()));
+        assert_eq!(
+            roundtrip(&(7u64, (3u32, false))),
+            Some((7u64, (3u32, false)))
+        );
+        assert_eq!(roundtrip(&Some(9u32)), Some(Some(9u32)));
+        assert_eq!(roundtrip(&None::<u64>), Some(None));
+    }
+
+    #[test]
+    fn rmsg_roundtrip() {
+        let data = RMsg::Data {
+            seq: 12,
+            ack: 9,
+            payload: 42u64,
+        };
+        assert_eq!(roundtrip(&data), Some(data.clone()));
+        let ack: RMsg<u64> = RMsg::Ack { ack: 3 };
+        assert_eq!(roundtrip(&ack), Some(ack.clone()));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut bytes = Vec::new();
+        77u64.encode(&mut bytes);
+        let mut short = &bytes[..5];
+        assert_eq!(u64::decode(&mut short), None);
+        let mut bad_bool = &[7u8][..];
+        assert_eq!(bool::decode(&mut bad_bool), None);
+    }
+
+    #[test]
+    fn decode_consumes_exactly_the_encoding() {
+        let mut bytes = Vec::new();
+        (1u32, 2u64).encode(&mut bytes);
+        9u8.encode(&mut bytes);
+        let mut view = bytes.as_slice();
+        assert_eq!(<(u32, u64)>::decode(&mut view), Some((1, 2)));
+        assert_eq!(u8::decode(&mut view), Some(9));
+        assert!(view.is_empty());
+    }
+}

@@ -13,6 +13,12 @@
 //!   traces, distances), which is what the `earliest_send` soundness +
 //!   stability contract guarantees.
 //!
+//! Per-node execution (send validation, CONGEST accounting) lives in
+//! [`crate::runner::NodeRunner`], shared with the `dw-transport`
+//! message-passing runtime; this module owns only what is global to a
+//! lockstep simulation: the poll set, delivery into in-memory inboxes
+//! (where fault decisions are applied), and quiet-round fast-forward.
+//!
 //! Hot paths are allocation-free in steady state: per-node [`Outbox`]
 //! buffers and inbox `Vec`s are reused round to round, delivery marks a
 //! dirty-inbox list so the receive phase and the late-delivery sort touch
@@ -22,11 +28,11 @@
 //! writes into disjoint slots, replacing per-round thread spawns.
 
 use crate::fault::{FaultAction, FaultPlan};
-use crate::message::{Envelope, MsgSize};
+use crate::message::Envelope;
 use crate::metrics::RunStats;
-use crate::outbox::{Outbox, SendOp};
 use crate::pool::{Ptr, WorkerPool};
-use crate::protocol::{NodeCtx, Protocol, Round};
+use crate::protocol::{Protocol, Round};
+use crate::runner::{NodeRunner, SendSink};
 use dw_graph::{NodeId, WGraph};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -101,15 +107,117 @@ pub enum RunOutcome {
 /// each entry is (recipient, envelope).
 type DelayedQueue<M> = BTreeMap<Round, Vec<(NodeId, Envelope<M>)>>;
 
+/// Tally of fault decisions that tampered with a message.
+#[derive(Debug, Clone, Default)]
+struct FaultTally {
+    dropped: u64,
+    outage_dropped: u64,
+    duplicated: u64,
+    delayed: u64,
+    late_delivered: u64,
+}
+
+impl FaultTally {
+    /// Tampering events excluding late deliveries (those are the delayed
+    /// messages arriving, not new decisions).
+    fn events(&self) -> u64 {
+        self.dropped + self.outage_dropped + self.duplicated + self.delayed
+    }
+}
+
+/// The simulator's [`SendSink`]: applies fault decisions and pushes
+/// envelopes straight into the recipients' in-memory inboxes.
+struct EngineSink<'a, M> {
+    inboxes: &'a mut [Vec<Envelope<M>>],
+    dirty: &'a mut Vec<NodeId>,
+    inbox_mark: &'a mut [Round],
+    pending: &'a mut DelayedQueue<M>,
+    faults: Option<&'a FaultPlan>,
+    tally: &'a mut FaultTally,
+    round: Round,
+    on_msg: &'a mut dyn FnMut(NodeId, NodeId, &M),
+}
+
+impl<M: Clone> EngineSink<'_, M> {
+    /// Record that `v`'s inbox got mail this round (at most one `dirty`
+    /// entry per node per round).
+    #[inline]
+    fn mark_dirty(&mut self, v: NodeId) {
+        let i = v as usize;
+        if self.inbox_mark[i] != self.round {
+            self.inbox_mark[i] = self.round;
+            self.dirty.push(v);
+        }
+    }
+
+    /// The sender occupied the link either way; only delivery is faulted.
+    fn deliver(&mut self, u: NodeId, v: NodeId, env: Envelope<M>) {
+        let Some(plan) = self.faults else {
+            self.inboxes[v as usize].push(env);
+            self.mark_dirty(v);
+            return;
+        };
+        match plan.decide(u, v, self.round) {
+            FaultAction::Deliver => {
+                self.inboxes[v as usize].push(env);
+                self.mark_dirty(v);
+            }
+            FaultAction::Drop => {
+                self.tally.dropped += 1;
+            }
+            FaultAction::OutageDrop => {
+                self.tally.outage_dropped += 1;
+            }
+            FaultAction::Duplicate => {
+                self.inboxes[v as usize].push(env.clone());
+                self.inboxes[v as usize].push(env);
+                self.mark_dirty(v);
+                self.tally.duplicated += 1;
+            }
+            FaultAction::Delay(d) => {
+                self.pending
+                    .entry(self.round + d)
+                    .or_default()
+                    .push((v, env));
+                self.tally.delayed += 1;
+            }
+        }
+    }
+}
+
+impl<M: Clone> SendSink<M> for EngineSink<'_, M> {
+    fn unicast(&mut self, from: NodeId, _rank: usize, to: NodeId, msg: M, _words: usize) {
+        (self.on_msg)(from, to, &msg);
+        self.deliver(from, to, Envelope::new(from, msg));
+    }
+
+    fn broadcast(&mut self, from: NodeId, nbrs: &[NodeId], msg: M, _words: usize) {
+        if std::mem::size_of::<M>() <= 32 {
+            // Small payloads are copied inline: Arc sharing costs an
+            // allocation up front and a pointer chase per read, which for
+            // word-sized messages is slower than the copy itself.
+            for &v in nbrs {
+                (self.on_msg)(from, v, &msg);
+                self.deliver(from, v, Envelope::new(from, msg.clone()));
+            }
+        } else {
+            // One payload allocation shared by all recipients.
+            let payload = Arc::new(msg);
+            for &v in nbrs {
+                (self.on_msg)(from, v, &payload);
+                self.deliver(from, v, Envelope::shared(from, Arc::clone(&payload)));
+            }
+        }
+    }
+}
+
 /// A network of `n` nodes running the same protocol type.
 pub struct Network<'g, P: Protocol> {
     g: &'g WGraph,
     cfg: EngineConfig,
-    nodes: Vec<P>,
+    runners: Vec<NodeRunner<P>>,
     round: Round,
     inboxes: Vec<Vec<Envelope<P::Msg>>>,
-    /// Reusable per-node send buffers (allocation-free steady state).
-    outboxes: Vec<Outbox<P::Msg>>,
     /// Authoritative cached next-send round per node; `Round::MAX` means
     /// dormant (will not send until woken by a receive).
     next_send: Vec<Round>,
@@ -128,25 +236,12 @@ pub struct Network<'g, P: Protocol> {
     sent_flag: Vec<bool>,
     /// Persistent workers for the parallel phases (created on first use).
     pool: Option<WorkerPool>,
-    /// Messages carried per directed comm link over the whole run.
-    link_load: Vec<u64>,
-    /// Round stamp of the last use of each directed link (capacity check).
-    link_stamp: Vec<Round>,
-    /// CSR offsets into `link_load` / `link_stamp` per node.
-    link_offset: Vec<usize>,
-    node_sends: Vec<u64>,
     last_activity: Round,
     rounds_executed: u64,
-    messages: u64,
-    total_words: u64,
     max_round_messages: u64,
     /// Delay-faulted messages awaiting delivery, keyed by due round.
     pending: DelayedQueue<P::Msg>,
-    fault_dropped: u64,
-    fault_outage_dropped: u64,
-    fault_duplicated: u64,
-    fault_delayed: u64,
-    fault_late_delivered: u64,
+    tally: FaultTally,
 }
 
 impl<'g, P: Protocol> Network<'g, P> {
@@ -154,23 +249,18 @@ impl<'g, P: Protocol> Network<'g, P> {
     /// `make(v)`. Calls [`Protocol::init`] on every node (round 0).
     pub fn new(g: &'g WGraph, cfg: EngineConfig, mut make: impl FnMut(NodeId) -> P) -> Self {
         let n = g.n();
-        let mut nodes: Vec<P> = (0..n as NodeId).map(&mut make).collect();
-        for (v, node) in nodes.iter_mut().enumerate() {
-            node.init(&NodeCtx::new(v as NodeId, g));
-        }
-        let mut link_offset = Vec::with_capacity(n + 1);
-        let mut acc = 0usize;
-        link_offset.push(0);
-        for v in 0..n as NodeId {
-            acc += g.comm_neighbors(v).len();
-            link_offset.push(acc);
+        let mut runners: Vec<NodeRunner<P>> = (0..n as NodeId)
+            .map(|v| NodeRunner::new(v, g, make(v)))
+            .collect();
+        for r in runners.iter_mut() {
+            r.init(g);
         }
         // Seed the active-set schedule from the post-init node states.
         let mut next_send = vec![Round::MAX; n];
         let mut heap = BinaryHeap::new();
         if cfg.scheduling == SchedulingMode::ActiveSet {
-            for (v, node) in nodes.iter().enumerate() {
-                if let Some(r) = node.earliest_send(1, &NodeCtx::new(v as NodeId, g)) {
+            for (v, runner) in runners.iter().enumerate() {
+                if let Some(r) = runner.earliest_send(1, g) {
                     debug_assert!(r >= 1, "earliest_send must be >= after");
                     next_send[v] = r;
                     heap.push(Reverse((r, v as NodeId)));
@@ -180,10 +270,9 @@ impl<'g, P: Protocol> Network<'g, P> {
         Network {
             g,
             cfg,
-            nodes,
+            runners,
             round: 0,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
-            outboxes: (0..n).map(|_| Outbox::new()).collect(),
             next_send,
             heap,
             active_scratch: Vec::new(),
@@ -191,31 +280,12 @@ impl<'g, P: Protocol> Network<'g, P> {
             inbox_mark: vec![0; n],
             sent_flag: vec![false; n],
             pool: None,
-            link_load: vec![0; acc],
-            link_stamp: vec![0; acc],
-            link_offset,
-            node_sends: vec![0; n],
             last_activity: 0,
             rounds_executed: 0,
-            messages: 0,
-            total_words: 0,
             max_round_messages: 0,
             pending: BTreeMap::new(),
-            fault_dropped: 0,
-            fault_outage_dropped: 0,
-            fault_duplicated: 0,
-            fault_delayed: 0,
-            fault_late_delivered: 0,
+            tally: FaultTally::default(),
         }
-    }
-
-    /// Index of the directed link `u -> v` (panics if not a comm link).
-    fn link_id(&self, u: NodeId, v: NodeId) -> usize {
-        let nbrs = self.g.comm_neighbors(u);
-        let rank = nbrs
-            .binary_search(&v)
-            .unwrap_or_else(|_| panic!("protocol bug: {u} sent to non-neighbor {v}"));
-        self.link_offset[u as usize] + rank
     }
 
     /// Last completed round.
@@ -227,12 +297,12 @@ impl<'g, P: Protocol> Network<'g, P> {
     /// test instrumentation; a real deployment would read local state the
     /// same way).
     pub fn node(&self, v: NodeId) -> &P {
-        &self.nodes[v as usize]
+        self.runners[v as usize].node()
     }
 
-    /// All node programs.
-    pub fn nodes(&self) -> &[P] {
-        &self.nodes
+    /// Iterate over all node programs in id order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = &P> + '_ {
+        self.runners.iter().map(NodeRunner::node)
     }
 
     /// The communication graph.
@@ -255,16 +325,16 @@ impl<'g, P: Protocol> Network<'g, P> {
         let mut senders: Vec<NodeId> = Vec::new();
         let mut payloads = Vec::new();
         let keep = trace.keep_payloads();
-        let faults_before = self.fault_event_count();
-        let late_before = self.fault_late_delivered;
+        let faults_before = self.tally.events();
+        let late_before = self.tally.late_delivered;
         let sent = self.step_inner(&mut |from, to, msg: &P::Msg| {
             senders.push(from);
             if keep {
                 payloads.push((from, to, format!("{msg:?}")));
             }
         });
-        let fault_events = self.fault_event_count() - faults_before;
-        let late_delivered = self.fault_late_delivered - late_before;
+        let fault_events = self.tally.events() - faults_before;
+        let late_delivered = self.tally.late_delivered - late_before;
         if sent > 0 || fault_events > 0 || late_delivered > 0 {
             senders.sort_unstable();
             senders.dedup();
@@ -280,25 +350,9 @@ impl<'g, P: Protocol> Network<'g, P> {
         sent
     }
 
-    /// Total number of fault decisions that tampered with a message so far.
-    fn fault_event_count(&self) -> u64 {
-        self.fault_dropped + self.fault_outage_dropped + self.fault_duplicated + self.fault_delayed
-    }
-
     /// Delay-faulted messages still in flight.
     pub fn pending_deliveries(&self) -> usize {
         self.pending.values().map(|b| b.len()).sum()
-    }
-
-    /// Record that `v`'s inbox got mail this round (at most one `dirty`
-    /// entry per node per round).
-    #[inline]
-    fn mark_dirty(&mut self, v: NodeId, round: Round) {
-        let i = v as usize;
-        if self.inbox_mark[i] != round {
-            self.inbox_mark[i] = round;
-            self.dirty.push(v);
-        }
     }
 
     /// Move every pending delivery due at or before `round` into the
@@ -311,12 +365,16 @@ impl<'g, P: Protocol> Network<'g, P> {
             }
             let (_, batch) = self.pending.pop_first().expect("checked non-empty");
             for (v, env) in batch {
-                self.inboxes[v as usize].push(env);
-                self.mark_dirty(v, round);
+                let i = v as usize;
+                self.inboxes[i].push(env);
+                if self.inbox_mark[i] != round {
+                    self.inbox_mark[i] = round;
+                    self.dirty.push(v);
+                }
                 late += 1;
             }
         }
-        self.fault_late_delivered += late;
+        self.tally.late_delivered += late;
         late
     }
 
@@ -364,81 +422,42 @@ impl<'g, P: Protocol> Network<'g, P> {
         } else {
             let g = self.g;
             for &v in &active {
-                let i = v as usize;
-                self.nodes[i].send(round, &NodeCtx::new(v, g), &mut self.outboxes[i]);
+                self.runners[v as usize].poll_send(round, g);
             }
         }
 
         // --- delivery (sequential: validates constraints, deterministic) ---
         let mut sent_this_round = 0u64;
-        for &u in &active {
-            let mut ops = self.outboxes[u as usize].take_ops();
-            if ops.is_empty() {
-                self.outboxes[u as usize].restore(ops);
-                continue;
-            }
-            self.node_sends[u as usize] += 1;
-            let sent_before = sent_this_round;
-            for op in ops.drain(..) {
-                match op {
-                    SendOp::Broadcast(m) => {
-                        let words = m.size_words();
-                        self.check_words(u, words);
-                        // One slice borrow (self.g is a plain &'g reference,
-                        // so `nbrs` is not tied to &self).
-                        let nbrs = self.g.comm_neighbors(u);
-                        let base = self.link_offset[u as usize];
-                        if std::mem::size_of::<P::Msg>() <= 32 {
-                            // Small payloads are copied inline: Arc sharing
-                            // costs an allocation up front and a pointer
-                            // chase per read, which for word-sized messages
-                            // is slower than the copy itself.
-                            for (rank, &v) in nbrs.iter().enumerate() {
-                                on_msg(u, v, &m);
-                                self.transmit(
-                                    base + rank,
-                                    u,
-                                    v,
-                                    Envelope::new(u, m.clone()),
-                                    words,
-                                    &mut sent_this_round,
-                                );
-                            }
-                        } else {
-                            // One payload allocation shared by all recipients.
-                            let payload = Arc::new(m);
-                            for (rank, &v) in nbrs.iter().enumerate() {
-                                on_msg(u, v, &payload);
-                                self.transmit(
-                                    base + rank,
-                                    u,
-                                    v,
-                                    Envelope::shared(u, Arc::clone(&payload)),
-                                    words,
-                                    &mut sent_this_round,
-                                );
-                            }
-                        }
-                    }
-                    SendOp::Unicast(v, m) => {
-                        let words = m.size_words();
-                        self.check_words(u, words);
-                        on_msg(u, v, &m);
-                        let lid = self.link_id(u, v);
-                        self.transmit(lid, u, v, Envelope::new(u, m), words, &mut sent_this_round);
-                    }
+        {
+            let g = self.g;
+            let mut sink = EngineSink {
+                inboxes: &mut self.inboxes,
+                dirty: &mut self.dirty,
+                inbox_mark: &mut self.inbox_mark,
+                pending: &mut self.pending,
+                faults: self.cfg.faults.as_ref(),
+                tally: &mut self.tally,
+                round,
+                on_msg,
+            };
+            for &u in &active {
+                let sent = self.runners[u as usize].drain_sends(
+                    round,
+                    g,
+                    self.cfg.max_words,
+                    self.cfg.enforce_link_capacity,
+                    &mut sink,
+                );
+                // Flag only when a message actually hit a link (a broadcast
+                // from a neighborless node transmits nothing): the hot-path
+                // reschedule below must imply the round is busy, or it would
+                // distort `run`'s quiet-round jumps.
+                if sent > 0 && self.cfg.scheduling == SchedulingMode::ActiveSet {
+                    self.sent_flag[u as usize] = true;
                 }
+                sent_this_round += sent;
             }
-            // Flag only when a message actually hit a link (a broadcast
-            // from a neighborless node transmits nothing): the hot-path
-            // reschedule below must imply the round is busy, or it would
-            // distort `run`'s quiet-round jumps.
-            if sent_this_round > sent_before && self.cfg.scheduling == SchedulingMode::ActiveSet {
-                self.sent_flag[u as usize] = true;
-            }
-            self.outboxes[u as usize].restore(ops);
         }
-        self.messages += sent_this_round;
         self.max_round_messages = self.max_round_messages.max(sent_this_round);
         if sent_this_round > 0 || late > 0 {
             self.last_activity = round;
@@ -467,7 +486,7 @@ impl<'g, P: Protocol> Network<'g, P> {
                 let g = self.g;
                 for &v in &dirty {
                     let i = v as usize;
-                    self.nodes[i].receive(round, &self.inboxes[i], &NodeCtx::new(v, g));
+                    self.runners[i].receive(round, &self.inboxes[i], g);
                     self.inboxes[i].clear();
                 }
             }
@@ -496,7 +515,7 @@ impl<'g, P: Protocol> Network<'g, P> {
                     self.heap.push(Reverse((round + 1, v)));
                     continue;
                 }
-                match self.nodes[i].earliest_send(round + 1, &NodeCtx::new(v, g)) {
+                match self.runners[i].earliest_send(round + 1, g) {
                     Some(r) => {
                         debug_assert!(r > round, "earliest_send must be in the future");
                         self.next_send[i] = r;
@@ -510,8 +529,8 @@ impl<'g, P: Protocol> Network<'g, P> {
                     continue; // already refreshed above
                 }
                 let i = v as usize;
-                let r_new = self.nodes[i]
-                    .earliest_send(round + 1, &NodeCtx::new(v, g))
+                let r_new = self.runners[i]
+                    .earliest_send(round + 1, g)
                     .unwrap_or(Round::MAX);
                 if r_new != self.next_send[i] {
                     self.next_send[i] = r_new;
@@ -534,64 +553,6 @@ impl<'g, P: Protocol> Network<'g, P> {
         sent_this_round
     }
 
-    fn check_words(&self, u: NodeId, words: usize) {
-        assert!(
-            words <= self.cfg.max_words,
-            "protocol bug: node {u} sent a {words}-word message (budget {})",
-            self.cfg.max_words
-        );
-    }
-
-    fn transmit(
-        &mut self,
-        lid: usize,
-        u: NodeId,
-        v: NodeId,
-        env: Envelope<P::Msg>,
-        words: usize,
-        sent: &mut u64,
-    ) {
-        let round = self.round;
-        if self.cfg.enforce_link_capacity {
-            assert!(
-                self.link_stamp[lid] != round,
-                "protocol bug: node {u} sent two messages over link {u}->{v} in round {round}"
-            );
-        }
-        self.link_stamp[lid] = round;
-        self.link_load[lid] += 1;
-        self.total_words += words as u64;
-        *sent += 1;
-        let Some(plan) = &self.cfg.faults else {
-            self.inboxes[v as usize].push(env);
-            self.mark_dirty(v, round);
-            return;
-        };
-        // The sender occupied the link either way; only delivery is faulted.
-        match plan.decide(u, v, round) {
-            FaultAction::Deliver => {
-                self.inboxes[v as usize].push(env);
-                self.mark_dirty(v, round);
-            }
-            FaultAction::Drop => {
-                self.fault_dropped += 1;
-            }
-            FaultAction::OutageDrop => {
-                self.fault_outage_dropped += 1;
-            }
-            FaultAction::Duplicate => {
-                self.inboxes[v as usize].push(env.clone());
-                self.inboxes[v as usize].push(env);
-                self.mark_dirty(v, round);
-                self.fault_duplicated += 1;
-            }
-            FaultAction::Delay(d) => {
-                self.pending.entry(round + d).or_default().push((v, env));
-                self.fault_delayed += 1;
-            }
-        }
-    }
-
     /// Create the persistent worker pool on first parallel phase.
     fn ensure_pool(&mut self) {
         if self.pool.is_none() {
@@ -605,8 +566,7 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.ensure_pool();
         let g = self.g;
         let chunk = active.len().div_ceil(self.cfg.threads).max(1);
-        let nodes = Ptr(self.nodes.as_mut_ptr());
-        let outs = Ptr(self.outboxes.as_mut_ptr());
+        let runners = Ptr(self.runners.as_mut_ptr());
         let pool = self.pool.as_ref().expect("pool just created");
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = active
             .chunks(chunk)
@@ -616,9 +576,8 @@ impl<'g, P: Protocol> Network<'g, P> {
                         // SAFETY: active ids are sorted+deduped and chunks
                         // are disjoint, so each index is touched by exactly
                         // one job; pool.run blocks until all jobs finish.
-                        let node = unsafe { nodes.at(v as usize) };
-                        let out = unsafe { outs.at(v as usize) };
-                        node.send(round, &NodeCtx::new(v, g), out);
+                        let runner = unsafe { runners.at(v as usize) };
+                        runner.poll_send(round, g);
                     }
                 }) as Box<dyn FnOnce() + Send + '_>
             })
@@ -630,7 +589,7 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.ensure_pool();
         let g = self.g;
         let chunk = dirty.len().div_ceil(self.cfg.threads).max(1);
-        let nodes = Ptr(self.nodes.as_mut_ptr());
+        let runners = Ptr(self.runners.as_mut_ptr());
         let inboxes = Ptr(self.inboxes.as_mut_ptr());
         let pool = self.pool.as_ref().expect("pool just created");
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = dirty
@@ -641,9 +600,9 @@ impl<'g, P: Protocol> Network<'g, P> {
                         // SAFETY: dirty ids are sorted and unique (stamp
                         // dedup); chunks are disjoint; pool.run blocks
                         // until all jobs finish.
-                        let node = unsafe { nodes.at(v as usize) };
+                        let runner = unsafe { runners.at(v as usize) };
                         let inbox = unsafe { inboxes.at(v as usize) };
-                        node.receive(round, inbox, &NodeCtx::new(v, g));
+                        runner.receive(round, inbox, g);
                         inbox.clear();
                     }
                 }) as Box<dyn FnOnce() + Send + '_>
@@ -657,8 +616,8 @@ impl<'g, P: Protocol> Network<'g, P> {
     fn scan_earliest(&self) -> Option<Round> {
         let g = self.g;
         let mut next: Option<Round> = None;
-        for (v, node) in self.nodes.iter().enumerate() {
-            if let Some(r) = node.earliest_send(self.round + 1, &NodeCtx::new(v as NodeId, g)) {
+        for runner in &self.runners {
+            if let Some(r) = runner.earliest_send(self.round + 1, g) {
                 debug_assert!(r > self.round, "earliest_send must be in the future");
                 next = Some(next.map_or(r, |cur| cur.min(r)));
             }
@@ -721,34 +680,50 @@ impl<'g, P: Protocol> Network<'g, P> {
         RunStats {
             rounds: self.last_activity,
             rounds_executed: self.rounds_executed,
-            messages: self.messages,
-            max_link_load: self.link_load.iter().copied().max().unwrap_or(0),
-            max_node_sends: self.node_sends.iter().copied().max().unwrap_or(0),
+            messages: self.runners.iter().map(NodeRunner::messages).sum(),
+            max_link_load: self
+                .runners
+                .iter()
+                .map(NodeRunner::max_link_load)
+                .max()
+                .unwrap_or(0),
+            max_node_sends: self
+                .runners
+                .iter()
+                .map(NodeRunner::node_sends)
+                .max()
+                .unwrap_or(0),
             max_round_messages: self.max_round_messages,
-            total_words: self.total_words,
-            dropped: self.fault_dropped,
-            outage_dropped: self.fault_outage_dropped,
-            duplicated: self.fault_duplicated,
-            delayed: self.fault_delayed,
-            late_delivered: self.fault_late_delivered,
+            total_words: self.runners.iter().map(NodeRunner::total_words).sum(),
+            dropped: self.tally.dropped,
+            outage_dropped: self.tally.outage_dropped,
+            duplicated: self.tally.duplicated,
+            delayed: self.tally.delayed,
+            late_delivered: self.tally.late_delivered,
         }
     }
 
     /// Per-node send-round counts (Algorithm 2's per-node congestion).
-    pub fn node_sends(&self) -> &[u64] {
-        &self.node_sends
+    pub fn node_sends(&self) -> Vec<u64> {
+        self.runners.iter().map(NodeRunner::node_sends).collect()
     }
 
     /// Consume the network, returning the node programs for result
     /// extraction.
     pub fn into_nodes(self) -> Vec<P> {
-        self.nodes
+        self.runners
+            .into_iter()
+            .map(NodeRunner::into_node)
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::MsgSize;
+    use crate::outbox::Outbox;
+    use crate::protocol::NodeCtx;
     use dw_graph::gen::{self, WeightDist};
 
     /// Unweighted BFS flood: each node learns its hop distance from node 0
@@ -799,7 +774,7 @@ mod tests {
             announced: false,
         });
         assert_eq!(net.run(10_000), RunOutcome::Quiet);
-        net.nodes().iter().map(|f| f.dist).collect()
+        net.nodes().map(|f| f.dist).collect()
     }
 
     #[test]
@@ -853,7 +828,7 @@ mod tests {
                 },
             );
             assert_eq!(net.run(10_000), RunOutcome::Quiet);
-            let d: Vec<_> = net.nodes().iter().map(|f| f.dist).collect();
+            let d: Vec<_> = net.nodes().map(|f| f.dist).collect();
             (d, net.stats())
         };
         let (d_ex, s_ex) = run(SchedulingMode::ExhaustivePoll);
@@ -1043,7 +1018,7 @@ mod tests {
             announced: false,
         });
         net.run(100_000);
-        let dists = net.nodes().iter().map(|f| f.dist).collect();
+        let dists = net.nodes().map(|f| f.dist).collect();
         (dists, net.stats())
     }
 

@@ -58,6 +58,27 @@ impl Outage {
     }
 }
 
+/// A per-directed-link delay profile: messages on `from -> to` are
+/// delayed with probability `p`, by a uniform number of rounds in
+/// `1..=max_delay`, *instead of* the plan-wide fault mix. Distinct links
+/// with distinct profiles make deliveries genuinely reorder (a message
+/// sent in round `r` and delayed by 4 arrives after the round-`r+1`
+/// message that was delayed by 1), which is the adversary the reliable
+/// channel's sequence numbers exist for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDelay {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub p: f64,
+    pub max_delay: Round,
+}
+
+impl LinkDelay {
+    fn covers(&self, u: NodeId, v: NodeId) -> bool {
+        u == self.from && v == self.to
+    }
+}
+
 /// A deterministic, seeded description of link faults.
 ///
 /// Build with the `with_*` combinators:
@@ -81,6 +102,7 @@ pub struct FaultPlan {
     delay_p: f64,
     max_delay: Round,
     outages: Vec<Outage>,
+    link_delays: Vec<LinkDelay>,
 }
 
 impl FaultPlan {
@@ -93,6 +115,7 @@ impl FaultPlan {
             delay_p: 0.0,
             max_delay: 0,
             outages: Vec::new(),
+            link_delays: Vec::new(),
         }
     }
 
@@ -128,6 +151,24 @@ impl FaultPlan {
         self
     }
 
+    /// Give one directed link its own delay profile, overriding the
+    /// plan-wide fault mix on that link. Heterogeneous profiles across
+    /// the links of one node are what reorder deliveries relative to
+    /// send order (see [`LinkDelay`]).
+    pub fn with_link_delay(mut self, rule: LinkDelay) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rule.p),
+            "link delay probability {} not in [0, 1]",
+            rule.p
+        );
+        assert!(
+            rule.p == 0.0 || rule.max_delay >= 1,
+            "link delay faults need max_delay >= 1"
+        );
+        self.link_delays.push(rule);
+        self
+    }
+
     /// Schedule a link outage.
     pub fn with_outage(mut self, outage: Outage) -> Self {
         assert!(outage.start <= outage.end, "outage interval is empty");
@@ -157,13 +198,17 @@ impl FaultPlan {
 
     /// True iff this plan can never tamper with any message.
     pub fn is_pristine(&self) -> bool {
-        self.drop_p == 0.0 && self.dup_p == 0.0 && self.delay_p == 0.0 && self.outages.is_empty()
+        self.drop_p == 0.0
+            && self.dup_p == 0.0
+            && self.delay_p == 0.0
+            && self.outages.is_empty()
+            && self.link_delays.iter().all(|r| r.p == 0.0)
     }
 
     /// True iff the plan schedules delay faults (the multi-instance
     /// scheduler cannot absorb those; see [`crate::scheduler`]).
     pub fn has_delays(&self) -> bool {
-        self.delay_p > 0.0
+        self.delay_p > 0.0 || self.link_delays.iter().any(|r| r.p > 0.0)
     }
 
     /// The deterministic per-message seed: a SplitMix64 chain over the plan
@@ -188,6 +233,15 @@ impl FaultPlan {
             if o.covers(u, v, round) {
                 return FaultAction::OutageDrop;
             }
+        }
+        if let Some(rule) = self.link_delays.iter().find(|r| r.covers(u, v)) {
+            let mut rng = ChaCha8Rng::seed_from_u64(self.event_seed(u, v, round));
+            let x = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            return if x < rule.p {
+                FaultAction::Delay(rng.gen_range(1..=rule.max_delay))
+            } else {
+                FaultAction::Deliver
+            };
         }
         let total = self.drop_p + self.dup_p + self.delay_p;
         if total == 0.0 {
@@ -219,6 +273,29 @@ mod tests {
         for r in 1..100 {
             assert_eq!(plan.decide(0, 1, r), FaultAction::Deliver);
         }
+    }
+
+    #[test]
+    fn link_delay_rule_overrides_plan_mix_on_its_link_only() {
+        let plan = FaultPlan::new(3).with_drop(1.0).with_link_delay(LinkDelay {
+            from: 0,
+            to: 1,
+            p: 1.0,
+            max_delay: 4,
+        });
+        assert!(plan.has_delays());
+        for r in 1..50 {
+            // The ruled link only ever delays (never the plan-wide drop)…
+            match plan.decide(0, 1, r) {
+                FaultAction::Delay(d) => assert!((1..=4).contains(&d)),
+                other => panic!("round {r}: expected a delay, got {other:?}"),
+            }
+            // …while every other link still sees the plan-wide mix.
+            assert_eq!(plan.decide(1, 0, r), FaultAction::Drop);
+            assert_eq!(plan.decide(0, 2, r), FaultAction::Drop);
+        }
+        // Same coordinates, same decision — the rule is deterministic.
+        assert_eq!(plan.decide(0, 1, 7), plan.decide(0, 1, 7));
     }
 
     #[test]

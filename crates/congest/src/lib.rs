@@ -25,6 +25,7 @@
 //!   protocol instances over shared links (the role Ghaffari's scheduling
 //!   framework plays in the paper).
 
+pub mod codec;
 pub mod engine;
 pub mod fault;
 pub mod message;
@@ -34,14 +35,17 @@ pub mod pool;
 pub mod primitives;
 pub mod protocol;
 pub mod reliable;
+pub mod runner;
 pub mod scheduler;
 pub mod trace;
 
+pub use codec::WireCodec;
 pub use engine::{EngineConfig, Network, RunOutcome, SchedulingMode};
-pub use fault::{FaultAction, FaultPlan, Outage};
+pub use fault::{FaultAction, FaultPlan, LinkDelay, Outage};
 pub use message::{Envelope, MsgSize};
 pub use metrics::RunStats;
 pub use outbox::Outbox;
 pub use protocol::{NodeCtx, Protocol, Round};
 pub use reliable::{Reliable, ReliableConfig, ReliableStats};
+pub use runner::{NodeRunner, SendSink};
 pub use trace::{RoundRecord, RoundTrace};

@@ -70,6 +70,9 @@ pub struct ReliableStats {
     pub acks_sent: u64,
     /// Duplicate frames received and suppressed.
     pub dups_suppressed: u64,
+    /// Frames that arrived ahead of sequence (a gap before them) and had
+    /// to be buffered — direct evidence the link reordered deliveries.
+    pub reordered: u64,
     /// Frames delivered to the inner protocol (exactly-once, in order).
     pub delivered: u64,
     /// Frames (and their queued successors) discarded on dead links.
@@ -84,6 +87,7 @@ impl ReliableStats {
             retries: self.retries + other.retries,
             acks_sent: self.acks_sent + other.acks_sent,
             dups_suppressed: self.dups_suppressed + other.dups_suppressed,
+            reordered: self.reordered + other.reordered,
             delivered: self.delivered + other.delivered,
             abandoned: self.abandoned + other.abandoned,
         }
@@ -346,6 +350,8 @@ impl<P: Protocol> Protocol for Reliable<P> {
                         // Future frame: buffer once.
                         if link.ooo.insert(*seq, payload.clone()).is_some() {
                             self.stats.dups_suppressed += 1;
+                        } else {
+                            self.stats.reordered += 1;
                         }
                         link.ack_dirty = true;
                     }
@@ -471,10 +477,9 @@ mod tests {
             )
         });
         let outcome = net.run(budget);
-        let dists = net.nodes().iter().map(|r| r.inner().dist).collect();
+        let dists = net.nodes().map(|r| r.inner().dist).collect();
         let stats = net
             .nodes()
-            .iter()
             .fold(ReliableStats::default(), |acc, r| acc.merge(r.stats()));
         (dists, stats, outcome)
     }
@@ -563,6 +568,101 @@ mod tests {
         assert_eq!(dists[0], Some(0));
         assert_eq!(dists[1], Some(1));
         assert_eq!(dists[2], None);
+    }
+
+    /// Node 0 streams the values `1..=total` (one broadcast per round);
+    /// receivers record what the wrapper hands their inner protocol.
+    struct Streamer {
+        total: u64,
+        sent: u64,
+        got: Vec<u64>,
+    }
+
+    impl Protocol for Streamer {
+        type Msg = u64;
+        fn send(&mut self, _round: Round, ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if ctx.id == 0 && self.sent < self.total {
+                self.sent += 1;
+                out.broadcast(self.sent);
+            }
+        }
+        fn receive(&mut self, _round: Round, inbox: &[Envelope<u64>], _ctx: &NodeCtx) {
+            for e in inbox {
+                self.got.push(*e.msg());
+            }
+        }
+        fn earliest_send(&self, after: Round, ctx: &NodeCtx) -> Option<Round> {
+            (ctx.id == 0 && self.sent < self.total).then_some(after)
+        }
+    }
+
+    /// Heterogeneous per-link delays genuinely reorder deliveries (a
+    /// round-`r` frame delayed by 6 arrives after the round-`r+1` frame
+    /// delayed by 1); the sequence numbers must buffer the early frames
+    /// and the retransmit machinery must fill the gaps, so every inner
+    /// protocol still sees the stream exactly once, in order.
+    #[test]
+    fn link_delay_reordering_is_restored_to_order() {
+        use crate::fault::LinkDelay;
+        let mut b = dw_graph::GraphBuilder::new(3, false);
+        b.add_edge(0, 1, 1).add_edge(0, 2, 1);
+        let g = b.build();
+        let total = 40;
+        let plan = FaultPlan::new(2024)
+            .with_link_delay(LinkDelay {
+                from: 0,
+                to: 1,
+                p: 0.6,
+                max_delay: 6,
+            })
+            .with_link_delay(LinkDelay {
+                from: 0,
+                to: 2,
+                p: 0.25,
+                max_delay: 2,
+            });
+        let cfg = EngineConfig {
+            faults: Some(plan),
+            ..EngineConfig::default()
+        };
+        let mut net = Network::new(&g, cfg, |_| {
+            Reliable::new(
+                Streamer {
+                    total,
+                    sent: 0,
+                    got: Vec::new(),
+                },
+                ReliableConfig::default(),
+            )
+        });
+        let outcome = net.run(10_000);
+        assert_eq!(outcome, RunOutcome::Quiet);
+        let stats = net
+            .nodes()
+            .fold(ReliableStats::default(), |acc, r| acc.merge(r.stats()));
+        assert!(
+            stats.reordered > 0,
+            "the plan must actually reorder deliveries: {stats:?}"
+        );
+        assert!(
+            stats.retries > 0,
+            "delays past retry_after must force retransmits: {stats:?}"
+        );
+        assert!(
+            stats.dups_suppressed > 0,
+            "a delayed original arriving after its retransmit is a dup: {stats:?}"
+        );
+        let expect: Vec<u64> = (1..=total).collect();
+        for (v, node) in net.nodes().enumerate() {
+            if v > 0 {
+                assert_eq!(
+                    node.inner().got,
+                    expect,
+                    "node {v} must see the stream in order"
+                );
+            }
+        }
+        assert!(net.stats().delayed > 0, "engine must tally the delays");
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn parallel_engine_deterministic_across_thread_counts() {
         net.run(1000);
         (
             net.stats().clone(),
-            net.nodes().iter().map(|e| e.heard).collect::<Vec<_>>(),
+            net.nodes().map(|e| e.heard).collect::<Vec<_>>(),
         )
     };
     let (s1, h1) = run(1);

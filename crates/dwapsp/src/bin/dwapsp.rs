@@ -15,9 +15,14 @@ use dwapsp::approx::approx_apsp;
 use dwapsp::baselines::bf_apsp;
 use dwapsp::blocker::alg3::{alg3_apsp, alg3_k_ssp, suggested_h_weight_regime};
 use dwapsp::graph::{analysis, gen, io as gio};
+use dwapsp::pipeline::{default_budget, hk_ssp_node};
 use dwapsp::prelude::*;
 use dwapsp::seqref::matrices_equal;
+use dwapsp::transport::tcp::{run_coordinator_tcp, run_node_tcp};
+use dwapsp::transport::worker::TransportConfig;
+use std::net::{SocketAddr, TcpListener};
 use std::process::exit;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +38,8 @@ fn main() {
     match cmd.as_str() {
         "gen" => cmd_gen(&get),
         "run" => cmd_run(&get),
+        "run-node" => cmd_run_node(&get),
+        "coordinator" => cmd_coordinator(&get),
         "validate" => cmd_validate(&get),
         "info" => cmd_info(&get),
         _ => usage_and_exit(),
@@ -43,8 +50,12 @@ fn usage_and_exit() -> ! {
     eprintln!(
         "usage:\n  dwapsp gen --family <zero-heavy|positive|grid|staircase|fig1> \
          [--n N] [--w W] [--seed S] [--out FILE]\n  dwapsp run --graph FILE --algo \
-         <alg1|alg3|bf|approx> [--sources a,b,c] [--h H] [--eps NUM/DEN]\n  dwapsp \
-         validate --graph FILE\n  dwapsp info --graph FILE"
+         <alg1|alg3|bf|approx> [--sources a,b,c] [--h H] [--eps NUM/DEN] \
+         [--runtime <sim|threads|tcp>]\n  dwapsp run-node --graph FILE --node-id V \
+         --listen ADDR --peers u=ADDR,w=ADDR --coordinator ADDR [--sources a,b,c] \
+         [--delta D] [--timeout-secs T]\n  dwapsp coordinator --graph FILE --listen ADDR \
+         [--sources a,b,c] [--budget B]\n  dwapsp validate --graph FILE\n  dwapsp info \
+         --graph FILE"
     );
     exit(2);
 }
@@ -127,21 +138,58 @@ fn print_stats(prefix: &str, rounds: u64, messages: u64, link: u64) {
     println!("{prefix}: rounds={rounds} messages={messages} max-link-load={link}");
 }
 
+fn parse_runtime(get: &impl Fn(&str) -> Option<String>) -> Runtime {
+    get("--runtime").map_or(Runtime::Sim, |s| {
+        Runtime::parse(&s).unwrap_or_else(|| {
+            eprintln!("unknown runtime {s} (expected sim, threads or tcp)");
+            exit(2);
+        })
+    })
+}
+
 fn cmd_run(get: &impl Fn(&str) -> Option<String>) {
     let g = load(get);
     let algo = get("--algo").unwrap_or_else(|| "alg1".into());
+    let rt = parse_runtime(get);
+    if rt != Runtime::Sim && algo != "alg1" {
+        eprintln!("--runtime {} only supports --algo alg1", rt.as_str());
+        exit(2);
+    }
     let engine = EngineConfig::default();
     match algo.as_str() {
         "alg1" => {
             if let Some(sources) = parse_sources(get, g.n()) {
                 let delta = max_finite_distance(&g).max(1);
-                let (res, st, _) = k_ssp(&g, sources, delta, engine);
-                print_stats("alg1 k-ssp", st.rounds, st.messages, st.max_link_load);
+                let cfg = SspConfig::k_ssp(g.n(), sources, delta);
+                let (res, st, _) = run_hk_ssp_on(rt, &g, &cfg, engine).unwrap_or_else(|e| {
+                    eprintln!("{} runtime failed: {e}", rt.as_str());
+                    exit(1);
+                });
+                print_stats(
+                    &format!("alg1 k-ssp [{}]", rt.as_str()),
+                    st.rounds,
+                    st.messages,
+                    st.max_link_load,
+                );
                 print_matrix(&res.to_matrix());
-            } else {
+            } else if rt == Runtime::Sim {
                 let (res, st, delta) = apsp_auto(&g, engine);
                 print_stats(
                     &format!("alg1 apsp (Δ={delta})"),
+                    st.rounds,
+                    st.messages,
+                    st.max_link_load,
+                );
+                print_matrix(&res.to_matrix());
+            } else {
+                let delta = max_finite_distance(&g).max(1);
+                let cfg = SspConfig::apsp(g.n(), delta);
+                let (res, st, _) = run_hk_ssp_on(rt, &g, &cfg, engine).unwrap_or_else(|e| {
+                    eprintln!("{} runtime failed: {e}", rt.as_str());
+                    exit(1);
+                });
+                print_stats(
+                    &format!("alg1 apsp (Δ={delta}) [{}]", rt.as_str()),
                     st.rounds,
                     st.messages,
                     st.max_link_load,
@@ -198,6 +246,111 @@ fn cmd_run(get: &impl Fn(&str) -> Option<String>) {
             exit(2);
         }
     }
+}
+
+/// The Algorithm 1 instance a distributed deployment solves. Every
+/// participant derives it from the shared graph file (plus identical
+/// `--sources` / `--delta` flags), so all processes agree without any
+/// extra configuration channel.
+fn deployment_config(get: &impl Fn(&str) -> Option<String>, g: &WGraph) -> SspConfig {
+    let delta = get("--delta").map_or_else(
+        || max_finite_distance(g).max(1),
+        |s| s.parse().expect("--delta"),
+    );
+    match parse_sources(get, g.n()) {
+        Some(sources) => SspConfig::k_ssp(g.n(), sources, delta),
+        None => SspConfig::apsp(g.n(), delta),
+    }
+}
+
+fn parse_addr(get: &impl Fn(&str) -> Option<String>, flag: &str) -> SocketAddr {
+    let s = get(flag).unwrap_or_else(|| {
+        eprintln!("{flag} ADDR is required");
+        exit(2);
+    });
+    s.parse().unwrap_or_else(|e| {
+        eprintln!("{flag} {s}: {e}");
+        exit(2);
+    })
+}
+
+fn cmd_run_node(get: &impl Fn(&str) -> Option<String>) {
+    let g = load(get);
+    let id: NodeId = get("--node-id")
+        .unwrap_or_else(|| {
+            eprintln!("--node-id V is required");
+            exit(2);
+        })
+        .parse()
+        .expect("--node-id");
+    assert!((id as usize) < g.n(), "node id {id} out of range");
+    let peers: Vec<(NodeId, SocketAddr)> = get("--peers")
+        .map(|s| {
+            s.split(',')
+                .map(|pair| {
+                    let (u, addr) = pair
+                        .trim()
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("--peers entry {pair} is not id=addr"));
+                    (
+                        u.parse().expect("--peers node id"),
+                        addr.parse().expect("--peers address"),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let coord = parse_addr(get, "--coordinator");
+    let timeout = Duration::from_secs(
+        get("--timeout-secs").map_or(30, |s| s.parse().expect("--timeout-secs")),
+    );
+    let cfg = deployment_config(get, &g);
+    let listener = TcpListener::bind(parse_addr(get, "--listen")).unwrap_or_else(|e| {
+        eprintln!("cannot listen: {e}");
+        exit(1);
+    });
+    let node = hk_ssp_node(&cfg, id);
+    let (node, outcome) = run_node_tcp(
+        &g,
+        &TransportConfig::default(),
+        id,
+        node,
+        listener,
+        &peers,
+        coord,
+        timeout,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("node {id} failed: {e}");
+        exit(1);
+    });
+    println!("node {id}: outcome={outcome:?}");
+    for &s in &cfg.sources {
+        match node.best_for(s) {
+            Some(b) => println!("dist {s} -> {id}: {} (hops {})", b.d, b.l),
+            None => println!("dist {s} -> {id}: inf"),
+        }
+    }
+}
+
+fn cmd_coordinator(get: &impl Fn(&str) -> Option<String>) {
+    let g = load(get);
+    let cfg = deployment_config(get, &g);
+    let budget = get("--budget").map_or_else(
+        || default_budget(&cfg, g.n()),
+        |s| s.parse().expect("--budget"),
+    );
+    let listener = TcpListener::bind(parse_addr(get, "--listen")).unwrap_or_else(|e| {
+        eprintln!("cannot listen: {e}");
+        exit(1);
+    });
+    eprintln!("coordinator: waiting for {} nodes (budget {budget})", g.n());
+    let (outcome, st) = run_coordinator_tcp(g.n(), budget, listener).unwrap_or_else(|e| {
+        eprintln!("coordinator failed: {e}");
+        exit(1);
+    });
+    println!("coordinator: outcome={outcome:?}");
+    print_stats("alg1 [tcp]", st.rounds, st.messages, st.max_link_load);
 }
 
 fn print_matrix(m: &DistMatrix) {

@@ -35,6 +35,7 @@
 //! | [`pipeline`] | `dw-pipeline` | Algorithm 1, Algorithm 2, CSSSP |
 //! | [`blocker`] | `dw-blocker` | blocker sets, Algorithm 4, Algorithm 3 |
 //! | [`approx`] | `dw-approx` | Section IV (1+ε)-approximate APSP |
+//! | [`transport`] | `dw-transport` | message-passing runtime: threads, TCP, stdio |
 //! | [`baselines`] | `dw-baselines` | Bellman–Ford, unweighted pipeline, delayed BFS |
 
 pub use dw_approx as approx;
@@ -44,6 +45,7 @@ pub use dw_congest as congest;
 pub use dw_graph as graph;
 pub use dw_pipeline as pipeline;
 pub use dw_seqref as seqref;
+pub use dw_transport as transport;
 
 /// The items most programs need.
 pub mod prelude {
@@ -53,7 +55,8 @@ pub mod prelude {
     pub use dw_congest::{EngineConfig, Network, Protocol, RunStats};
     pub use dw_graph::{gen, GraphBuilder, NodeId, WGraph, Weight, INFINITY};
     pub use dw_pipeline::{
-        apsp, apsp_auto, build_csssp, k_ssp, run_hk_ssp, short_range_sssp, SspConfig,
+        apsp, apsp_auto, build_csssp, k_ssp, run_hk_ssp, run_hk_ssp_on, short_range_sssp,
+        short_range_sssp_on, Runtime, SspConfig,
     };
     pub use dw_seqref::{apsp_dijkstra, dijkstra, max_finite_distance, DistMatrix};
 }

@@ -1,0 +1,148 @@
+//! End-to-end conformance of the paper's algorithms on the real
+//! message-passing runtimes: Algorithm 1 (pipelined (h,k)-SSP),
+//! Algorithm 2 (short-range), and the `Reliable`-wrapped short-range
+//! protocol must produce bit-identical results, `RunStats` and
+//! outcomes on the thread and loopback-TCP backends versus the
+//! lockstep simulator — on multiple seeded graphs, with and without
+//! an injected `FaultPlan`.
+
+use dwapsp::congest::{
+    EngineConfig, FaultPlan, Network, Reliable, ReliableConfig, RunOutcome, RunStats,
+};
+use dwapsp::graph::gen;
+use dwapsp::graph::WGraph;
+use dwapsp::pipeline::short_range::{extract_instance, short_range_gamma, ShortRangeNode};
+use dwapsp::prelude::*;
+use dwapsp::transport::channels::run_threads;
+use dwapsp::transport::tcp::run_tcp_loopback;
+use dwapsp::transport::worker::TransportConfig;
+
+fn graphs() -> Vec<(u64, WGraph)> {
+    [71, 72, 73]
+        .into_iter()
+        .map(|seed| (seed, gen::zero_heavy(10, 0.3, 0.35, 5, true, seed)))
+        .collect()
+}
+
+fn fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed ^ 0x5eed)
+        .with_drop(0.08)
+        .with_duplicate(0.04)
+        .with_delay(0.1, 3)
+}
+
+fn engine(faults: Option<FaultPlan>) -> EngineConfig {
+    EngineConfig {
+        faults,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn alg1_conforms_across_seeds_and_runtimes() {
+    for (seed, g) in graphs() {
+        let delta = max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let sim = run_hk_ssp_on(Runtime::Sim, &g, &cfg, engine(None)).unwrap();
+        for rt in [Runtime::Threads, Runtime::Tcp] {
+            let got = run_hk_ssp_on(rt, &g, &cfg, engine(None)).unwrap();
+            assert_eq!(got, sim, "seed {seed} runtime {}", rt.as_str());
+        }
+    }
+}
+
+#[test]
+fn alg1_conforms_under_faults() {
+    for (seed, g) in graphs() {
+        let delta = max_finite_distance(&g).max(1);
+        let cfg = SspConfig::k_ssp(g.n(), vec![0, (g.n() / 2) as NodeId], delta);
+        let sim = run_hk_ssp_on(Runtime::Sim, &g, &cfg, engine(Some(fault_plan(seed)))).unwrap();
+        for rt in [Runtime::Threads, Runtime::Tcp] {
+            let got = run_hk_ssp_on(rt, &g, &cfg, engine(Some(fault_plan(seed)))).unwrap();
+            assert_eq!(got, sim, "seed {seed} runtime {}", rt.as_str());
+        }
+    }
+}
+
+#[test]
+fn short_range_conforms_across_seeds() {
+    for (seed, g) in graphs() {
+        let delta = max_finite_distance(&g).max(1);
+        let h = g.n() as u64;
+        let sim = short_range_sssp_on(Runtime::Sim, &g, 0, h, delta, engine(None)).unwrap();
+        for rt in [Runtime::Threads, Runtime::Tcp] {
+            let got = short_range_sssp_on(rt, &g, 0, h, delta, engine(None)).unwrap();
+            assert_eq!(got, sim, "seed {seed} runtime {}", rt.as_str());
+        }
+    }
+}
+
+#[test]
+fn short_range_conforms_under_faults() {
+    for (seed, g) in graphs() {
+        let delta = max_finite_distance(&g).max(1);
+        let h = g.n() as u64;
+        let plan = fault_plan(seed ^ 1);
+        let sim =
+            short_range_sssp_on(Runtime::Sim, &g, 0, h, delta, engine(Some(plan.clone()))).unwrap();
+        for rt in [Runtime::Threads, Runtime::Tcp] {
+            let got = short_range_sssp_on(rt, &g, 0, h, delta, engine(Some(plan.clone()))).unwrap();
+            assert_eq!(got, sim, "seed {seed} runtime {}", rt.as_str());
+        }
+    }
+}
+
+/// The reliability layer (seq/ack retransmission) composes with the
+/// transports exactly as with the simulator: same retransmit schedule,
+/// same recovered distances, same fault tally.
+#[test]
+fn reliable_short_range_conforms_under_drops() {
+    for (seed, g) in graphs() {
+        let delta = max_finite_distance(&g).max(1);
+        let h = g.n() as u64;
+        let gamma = short_range_gamma(h);
+        let budget = 4 * (gamma.ceil_kappa(delta.max(1), h) + 2) + 64;
+        let plan = FaultPlan::new(seed ^ 0xd00d).with_drop(0.15);
+        let make = |v: NodeId| {
+            Reliable::new(
+                ShortRangeNode::new(gamma, h, (v == 0).then_some(0)),
+                ReliableConfig::default(),
+            )
+        };
+
+        let mut net = Network::new(&g, engine(Some(plan.clone())), make);
+        let sim_outcome = net.run(budget);
+        let sim_stats = net.stats();
+        let sim_inner: Vec<ShortRangeNode> = net
+            .into_nodes()
+            .into_iter()
+            .map(|r| r.into_inner())
+            .collect();
+        let sim_res = extract_instance(0, &sim_inner);
+        assert!(
+            sim_stats.dropped > 0,
+            "seed {seed}: plan must drop messages"
+        );
+
+        let tcfg = TransportConfig {
+            faults: Some(plan.clone()),
+            ..TransportConfig::default()
+        };
+        let runs: Vec<(&str, _, RunStats, RunOutcome)> = vec![
+            {
+                let r = run_threads(&g, &tcfg, budget, make);
+                ("threads", r.nodes, r.stats, r.outcome)
+            },
+            {
+                let r = run_tcp_loopback(&g, &tcfg, budget, make).unwrap();
+                ("tcp", r.nodes, r.stats, r.outcome)
+            },
+        ];
+        for (name, nodes, stats, outcome) in runs {
+            assert_eq!(outcome, sim_outcome, "seed {seed} {name}");
+            assert_eq!(stats, sim_stats, "seed {seed} {name}");
+            let inner: Vec<ShortRangeNode> = nodes.into_iter().map(|r| r.into_inner()).collect();
+            assert_eq!(extract_instance(0, &inner), sim_res, "seed {seed} {name}");
+        }
+    }
+}

@@ -59,6 +59,48 @@ proptest! {
         prop_assert_eq!(g, g2);
     }
 
+    // The TCP runtime distributes instances as `io` JSON files, so the
+    // codec must preserve structure exactly on the paper's awkward
+    // cases: zero-weight edges (which must not collapse or renumber)
+    // and fully disconnected trailing nodes (which a sloppy codec that
+    // infers `n` from the edge list would silently drop).
+    #[test]
+    fn json_roundtrip_zero_weights_and_disconnected_nodes(
+        used in 2usize..12,
+        isolated in 1usize..6,
+        edges in arb_edges(12),
+        directed: bool,
+    ) {
+        let n = used + isolated;
+        let mut b = GraphBuilder::new(n, directed);
+        for (s, d, w) in edges {
+            if (s as usize) < used && (d as usize) < used {
+                b.add_edge(s, d, w % 2); // at least half the edges weigh zero
+            }
+        }
+        let g = b.build();
+        let text = io::to_json(&g);
+        let g2 = io::from_json(&text).unwrap();
+        prop_assert_eq!(&g, &g2);
+        // Structural equality spelled out (not just PartialEq): size,
+        // orientation, adjacency with weights, and the isolated tail.
+        prop_assert_eq!(g.n(), g2.n());
+        prop_assert_eq!(g.m(), g2.m());
+        prop_assert_eq!(g.is_directed(), g2.is_directed());
+        for v in g.nodes() {
+            prop_assert_eq!(g.out_edges(v), g2.out_edges(v));
+            prop_assert_eq!(g.in_edges(v), g2.in_edges(v));
+        }
+        prop_assert_eq!(g.zero_weight_edges(), g2.zero_weight_edges());
+        for v in used..n {
+            prop_assert!(g2.out_edges(v as NodeId).is_empty());
+            prop_assert!(g2.in_edges(v as NodeId).is_empty());
+        }
+        // The serialized form is a fixed point: parse(print(g)) prints
+        // the same bytes, so files survive rewrite cycles untouched.
+        prop_assert_eq!(text, io::to_json(&g2));
+    }
+
     #[test]
     fn gnp_connected_is_connected(n in 2usize..40, seed: u64) {
         let g = gen::gnp_connected(n, 0.05, false, WeightDist::Constant(1), seed);

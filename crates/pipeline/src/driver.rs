@@ -61,15 +61,22 @@ pub fn run_with_budget(
     (result, stats, outcome)
 }
 
-/// Pull per-source records out of the final node states.
-pub(crate) fn extract(g: &WGraph, sources: &[NodeId], nodes: &[PipelinedNode]) -> HkSspResult {
+/// Pull per-source records out of the final node states. Takes the
+/// nodes as an iterator so both execution environments feed it: the
+/// simulator yields borrows out of [`Network::nodes`], the transport
+/// runtime out of its joined worker results.
+pub(crate) fn extract<'a>(
+    g: &WGraph,
+    sources: &[NodeId],
+    nodes: impl Iterator<Item = &'a PipelinedNode>,
+) -> HkSspResult {
     let n = g.n();
     let mut dist = vec![vec![INFINITY; n]; sources.len()];
     let mut hops = vec![vec![0u64; n]; sources.len()];
     let mut parent = vec![vec![None; n]; sources.len()];
-    for (i, &s) in sources.iter().enumerate() {
-        for v in 0..n {
-            if let Some(b) = nodes[v].best_for(s) {
+    for (v, node) in nodes.enumerate() {
+        for (i, &s) in sources.iter().enumerate() {
+            if let Some(b) = node.best_for(s) {
                 dist[i][v] = b.d;
                 hops[i][v] = b.l;
                 parent[i][v] = if v as NodeId == s {

@@ -1,6 +1,6 @@
 //! List entries and the wire message of Algorithm 1.
 
-use dw_congest::MsgSize;
+use dw_congest::{MsgSize, WireCodec};
 use dw_graph::{NodeId, Weight};
 
 /// One entry `Z` on a node's list: a specific path from source `src` of
@@ -41,6 +41,25 @@ impl MsgSize for PipelineMsg {
     fn size_words(&self) -> usize {
         // d, l, src, ν (the flag rides in a spare bit)
         4
+    }
+}
+
+impl WireCodec for PipelineMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.d.encode(out);
+        self.l.encode(out);
+        self.src.encode(out);
+        self.flag_sp.encode(out);
+        self.nu.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(PipelineMsg {
+            d: Weight::decode(buf)?,
+            l: u64::decode(buf)?,
+            src: NodeId::decode(buf)?,
+            flag_sp: bool::decode(buf)?,
+            nu: u32::decode(buf)?,
+        })
     }
 }
 

@@ -40,7 +40,7 @@ impl InvariantReport {
 }
 
 /// Gather the report from final node states.
-pub fn gather(nodes: &[PipelinedNode]) -> InvariantReport {
+pub fn gather<'a>(nodes: impl Iterator<Item = &'a PipelinedNode>) -> InvariantReport {
     let mut r = InvariantReport::default();
     for nd in nodes {
         let s = &nd.stats;

@@ -34,6 +34,7 @@ pub mod list;
 pub mod node;
 pub mod recovery;
 pub mod result;
+pub mod runtime;
 pub mod scaling;
 pub mod short_range;
 
@@ -46,5 +47,6 @@ pub use recovery::{
     run_hk_ssp_reliable, short_range_sssp_reliable, DegradationReport, RecoveryConfig,
 };
 pub use result::HkSspResult;
+pub use runtime::{hk_ssp_node, run_hk_ssp_on, short_range_sssp_on, Runtime};
 pub use scaling::{scaling_apsp, scaling_k_ssp, ScalingOutcome};
 pub use short_range::{short_range_extension, short_range_sssp, ShortRangeResult};

@@ -143,7 +143,7 @@ fn reliable_hk_run(
         })
         .collect();
     let late = nodes.iter().map(|nd| nd.stats.late_sends).sum();
-    let result = extract(g, &cfg.sources, &nodes);
+    let result = extract(g, &cfg.sources, nodes.iter());
     (result, stats, outcome, rstats, late)
 }
 

@@ -1,0 +1,169 @@
+//! Execution-environment selection: run the paper's algorithms on the
+//! lockstep simulator or on a real message-passing runtime
+//! (`dw-transport`), with identical results.
+//!
+//! The conformance guarantee (see `dw-transport`) makes the choice a
+//! pure deployment decision: `Runtime::Sim` is the fast in-process
+//! simulator, `Runtime::Threads` runs every node as an OS thread over
+//! channels, `Runtime::Tcp` runs every node behind a loopback TCP
+//! socket with the serialized wire protocol. All three return
+//! bit-identical distances, statistics and outcomes on the same seeds.
+
+use crate::config::SspConfig;
+use crate::driver::default_budget;
+use crate::key::Gamma;
+use crate::node::PipelinedNode;
+use crate::result::HkSspResult;
+use crate::short_range::{short_range_gamma, ShortRangeNode, ShortRangeResult};
+use dw_congest::{EngineConfig, RunOutcome, RunStats};
+use dw_graph::{NodeId, WGraph, Weight};
+use dw_transport::channels::run_threads;
+use dw_transport::tcp::run_tcp_loopback;
+use dw_transport::worker::TransportConfig;
+use dw_transport::TransportRun;
+use std::io;
+
+/// Which engine executes the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Runtime {
+    /// The lockstep simulator (`dw_congest::Network`).
+    #[default]
+    Sim,
+    /// `dw-transport` thread backend: one OS thread per node, typed
+    /// channels as links.
+    Threads,
+    /// `dw-transport` TCP backend on loopback: one socket per link,
+    /// serialized frames.
+    Tcp,
+}
+
+impl Runtime {
+    /// Parse a CLI spelling (`sim`, `threads`, `tcp`).
+    pub fn parse(s: &str) -> Option<Runtime> {
+        match s {
+            "sim" => Some(Runtime::Sim),
+            "threads" => Some(Runtime::Threads),
+            "tcp" => Some(Runtime::Tcp),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Runtime::Sim => "sim",
+            Runtime::Threads => "threads",
+            Runtime::Tcp => "tcp",
+        }
+    }
+}
+
+fn transport_run<P: dw_congest::Protocol>(
+    rt: Runtime,
+    g: &WGraph,
+    engine: &EngineConfig,
+    budget: u64,
+    make: impl FnMut(NodeId) -> P,
+) -> io::Result<TransportRun<P>>
+where
+    P::Msg: dw_congest::WireCodec,
+{
+    let cfg = TransportConfig::from(engine);
+    match rt {
+        Runtime::Sim => unreachable!("simulator runs don't go through the transport"),
+        Runtime::Threads => Ok(run_threads(g, &cfg, budget, make)),
+        Runtime::Tcp => run_tcp_loopback(g, &cfg, budget, make),
+    }
+}
+
+/// The Algorithm 1 node instance the transport backends execute for
+/// `cfg`. Exposed so a multi-process deployment (`dwapsp run-node`)
+/// constructs exactly the node that [`run_hk_ssp_on`] would, which is
+/// what makes its wire traffic conformant.
+pub fn hk_ssp_node(cfg: &SspConfig, v: NodeId) -> PipelinedNode {
+    let k = cfg.k();
+    PipelinedNode::with_admission(
+        Gamma::new(k, cfg.h, cfg.delta),
+        cfg.h,
+        k,
+        cfg.sources.contains(&v),
+        cfg.track_invariants,
+        cfg.admission,
+    )
+}
+
+/// [`crate::run_hk_ssp`] on the chosen runtime.
+pub fn run_hk_ssp_on(
+    rt: Runtime,
+    g: &WGraph,
+    cfg: &SspConfig,
+    engine: EngineConfig,
+) -> io::Result<(HkSspResult, RunStats, RunOutcome)> {
+    if rt == Runtime::Sim {
+        return Ok(crate::driver::run_hk_ssp(g, cfg, engine));
+    }
+    let budget = default_budget(cfg, g.n());
+    let run = transport_run(rt, g, &engine, budget, |v| hk_ssp_node(cfg, v))?;
+    let result = crate::driver::extract(g, &cfg.sources, run.nodes.iter());
+    Ok((result, run.stats, run.outcome))
+}
+
+/// [`crate::short_range_sssp`] on the chosen runtime.
+pub fn short_range_sssp_on(
+    rt: Runtime,
+    g: &WGraph,
+    x: NodeId,
+    h: u64,
+    delta: Weight,
+    engine: EngineConfig,
+) -> io::Result<(ShortRangeResult, RunStats)> {
+    if rt == Runtime::Sim {
+        return Ok(crate::short_range::short_range_sssp(g, x, h, delta, engine));
+    }
+    let gamma = short_range_gamma(h);
+    let budget = gamma.ceil_kappa(delta.max(1), h) + 2;
+    let run = transport_run(rt, g, &engine, budget, |v| {
+        ShortRangeNode::new(gamma, h, (v == x).then_some(0))
+    })?;
+    let result = crate::short_range::extract_instance(x, &run.nodes);
+    Ok((result, run.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+
+    #[test]
+    fn runtime_parse_roundtrip() {
+        for rt in [Runtime::Sim, Runtime::Threads, Runtime::Tcp] {
+            assert_eq!(Runtime::parse(rt.as_str()), Some(rt));
+        }
+        assert_eq!(Runtime::parse("mpi"), None);
+    }
+
+    #[test]
+    fn hk_ssp_threads_matches_sim() {
+        let g = gen::zero_heavy(18, 0.15, 0.4, 5, true, 2);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let (sim_res, sim_stats, sim_outcome) =
+            run_hk_ssp_on(Runtime::Sim, &g, &cfg, EngineConfig::default()).unwrap();
+        let (res, stats, outcome) =
+            run_hk_ssp_on(Runtime::Threads, &g, &cfg, EngineConfig::default()).unwrap();
+        assert_eq!(res, sim_res);
+        assert_eq!(stats, sim_stats);
+        assert_eq!(outcome, sim_outcome);
+    }
+
+    #[test]
+    fn short_range_tcp_matches_sim() {
+        let g = gen::path(8, false, WeightDist::Uniform { max: 4 }, 5);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let (sim_res, sim_stats) =
+            short_range_sssp_on(Runtime::Sim, &g, 0, 8, delta, EngineConfig::default()).unwrap();
+        let (res, stats) =
+            short_range_sssp_on(Runtime::Tcp, &g, 0, 8, delta, EngineConfig::default()).unwrap();
+        assert_eq!(res, sim_res);
+        assert_eq!(stats, sim_stats);
+    }
+}

@@ -30,7 +30,7 @@
 
 use crate::key::Gamma;
 use dw_congest::{
-    EngineConfig, Envelope, MsgSize, Network, NodeCtx, Outbox, Protocol, Round, RunStats,
+    EngineConfig, Envelope, MsgSize, Network, NodeCtx, Outbox, Protocol, Round, RunStats, WireCodec,
 };
 use dw_graph::{NodeId, WGraph, Weight, INFINITY};
 
@@ -44,6 +44,19 @@ pub struct SrMsg {
 impl MsgSize for SrMsg {
     fn size_words(&self) -> usize {
         2
+    }
+}
+
+impl WireCodec for SrMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.d.encode(out);
+        self.l.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(SrMsg {
+            d: Weight::decode(buf)?,
+            l: u64::decode(buf)?,
+        })
     }
 }
 
@@ -162,7 +175,10 @@ pub struct ShortRangeResult {
     pub late_sends: Vec<u64>,
 }
 
-fn extract(source: NodeId, nodes: &[ShortRangeNode]) -> ShortRangeResult {
+fn extract<'a>(
+    source: NodeId,
+    nodes: impl ExactSizeIterator<Item = &'a ShortRangeNode>,
+) -> ShortRangeResult {
     let mut dist = Vec::with_capacity(nodes.len());
     let mut hops = Vec::with_capacity(nodes.len());
     let mut parent = Vec::with_capacity(nodes.len());
@@ -257,7 +273,7 @@ pub fn short_range_instances(
 
 /// Extract the result of instance `i` after a scheduled run.
 pub fn extract_instance(source: NodeId, nodes: &[ShortRangeNode]) -> ShortRangeResult {
-    extract(source, nodes)
+    extract(source, nodes.iter())
 }
 
 #[cfg(test)]

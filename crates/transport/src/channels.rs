@@ -1,0 +1,235 @@
+//! In-process thread backend: one OS thread per node, mpsc channels as
+//! links.
+//!
+//! The cheapest real transport — messages move as typed values (no
+//! serialization), but the execution structure is the full distributed
+//! one: n independent workers, a coordinator thread, and nothing shared
+//! but channels. This is the reference backend for conformance testing
+//! because any divergence from the simulator here is a logic bug in the
+//! worker/coordinator protocol, not an I/O artifact.
+
+use crate::coordinator::{coordinate, CoordEndpoint};
+use crate::wire::{CtlMsg, Event, Frame};
+use crate::worker::{node_main, NodeEndpoint, TransportConfig};
+use dw_congest::{Protocol, Round, RunOutcome, RunStats};
+use dw_graph::{NodeId, WGraph};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Result of a transport run: final node programs (id order), the
+/// aggregated statistics and the outcome — the same data a simulator
+/// run exposes via `Network::{into_nodes, stats}` and `run`.
+pub struct TransportRun<P> {
+    pub nodes: Vec<P>,
+    pub stats: RunStats,
+    pub outcome: RunOutcome,
+}
+
+struct ChannelNode<M> {
+    id: NodeId,
+    /// Senders into each comm-neighbor's event channel, rank order.
+    peers: Vec<(NodeId, Sender<Event<M>>)>,
+    ctl: Sender<(NodeId, CtlMsg)>,
+    rx: Receiver<Event<M>>,
+}
+
+impl<M> NodeEndpoint<M> for ChannelNode<M> {
+    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) {
+        let i = self
+            .peers
+            .binary_search_by_key(&to, |&(v, _)| v)
+            .unwrap_or_else(|_| panic!("node {}: send to non-neighbor {to}", self.id));
+        self.peers[i]
+            .1
+            .send(Event::Peer {
+                from: self.id,
+                frame,
+            })
+            .expect("peer hung up mid-run");
+    }
+    fn send_ctl(&mut self, msg: CtlMsg) {
+        self.ctl
+            .send((self.id, msg))
+            .expect("coordinator hung up mid-run");
+    }
+    fn recv(&mut self) -> Event<M> {
+        self.rx.recv().expect("all senders hung up mid-run")
+    }
+}
+
+struct ChannelCoord<M> {
+    txs: Vec<Sender<Event<M>>>,
+    rx: Receiver<(NodeId, CtlMsg)>,
+}
+
+impl<M> CoordEndpoint for ChannelCoord<M> {
+    fn broadcast(&mut self, msg: CtlMsg) {
+        for tx in &self.txs {
+            tx.send(Event::Ctl(msg.clone()))
+                .expect("node hung up mid-run");
+        }
+    }
+    fn recv(&mut self) -> (NodeId, CtlMsg) {
+        self.rx.recv().expect("all nodes hung up mid-run")
+    }
+}
+
+/// Run a protocol over the thread backend: node `v` of `g` runs
+/// `make(v)` on its own thread, the calling thread coordinates.
+pub fn run_threads<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    mut make: impl FnMut(NodeId) -> P,
+) -> TransportRun<P> {
+    let n = g.n();
+    let (ctl_tx, ctl_rx) = channel();
+    let mut event_txs: Vec<Sender<Event<P::Msg>>> = Vec::with_capacity(n);
+    let mut event_rxs: Vec<Receiver<Event<P::Msg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel();
+        event_txs.push(tx);
+        event_rxs.push(rx);
+    }
+    let mut endpoints: Vec<ChannelNode<P::Msg>> = event_rxs
+        .into_iter()
+        .enumerate()
+        .map(|(v, rx)| ChannelNode {
+            id: v as NodeId,
+            peers: g
+                .comm_neighbors(v as NodeId)
+                .iter()
+                .map(|&u| (u, event_txs[u as usize].clone()))
+                .collect(),
+            ctl: ctl_tx.clone(),
+            rx,
+        })
+        .collect();
+    drop(ctl_tx);
+    let mut coord = ChannelCoord {
+        txs: event_txs,
+        rx: ctl_rx,
+    };
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = endpoints
+            .drain(..)
+            .enumerate()
+            .map(|(v, mut ep)| {
+                let node = make(v as NodeId);
+                s.spawn(move || node_main(v as NodeId, g, cfg, node, &mut ep))
+            })
+            .collect();
+        let (outcome, stats) = coordinate(n, budget, &mut coord);
+        let nodes = handles
+            .into_iter()
+            .map(|h| {
+                let (node, _report, node_outcome) = h.join().expect("node thread panicked");
+                debug_assert_eq!(node_outcome, outcome);
+                node
+            })
+            .collect();
+        TransportRun {
+            nodes,
+            stats,
+            outcome,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_congest::{EngineConfig, Network, NodeCtx, Outbox};
+    use dw_graph::gen::{self, WeightDist};
+
+    /// Hop-count flood from node 0; each node announces its distance
+    /// once.
+    struct Flood {
+        dist: Option<u64>,
+        announced: bool,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u64;
+        fn init(&mut self, ctx: &NodeCtx) {
+            if ctx.id == 0 {
+                self.dist = Some(0);
+            }
+        }
+        fn send(&mut self, _round: Round, _ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if let (Some(d), false) = (self.dist, self.announced) {
+                out.broadcast(d);
+                self.announced = true;
+            }
+        }
+        fn receive(&mut self, _round: Round, inbox: &[dw_congest::Envelope<u64>], _ctx: &NodeCtx) {
+            for env in inbox {
+                let cand = env.msg() + 1;
+                if self.dist.is_none_or(|d| cand < d) {
+                    self.dist = Some(cand);
+                    self.announced = false;
+                }
+            }
+        }
+    }
+
+    fn new_flood(_v: NodeId) -> Flood {
+        Flood {
+            dist: None,
+            announced: false,
+        }
+    }
+
+    #[test]
+    fn threads_match_simulator_on_flood() {
+        let g = gen::gnp_connected(24, 0.15, false, WeightDist::Constant(1), 11);
+        let mut net = Network::new(&g, EngineConfig::default(), new_flood);
+        let sim_outcome = net.run(200);
+        let sim_stats = net.stats();
+        let sim_dists: Vec<_> = net.nodes().map(|f| f.dist).collect();
+
+        let run = run_threads(&g, &TransportConfig::default(), 200, new_flood);
+        let dists: Vec<_> = run.nodes.iter().map(|f| f.dist).collect();
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(dists, sim_dists);
+        assert_eq!(run.stats, sim_stats);
+    }
+
+    #[test]
+    fn threads_match_simulator_under_faults() {
+        let g = gen::gnp_connected(16, 0.2, false, WeightDist::Constant(1), 7);
+        let faults = dw_congest::FaultPlan::new(42)
+            .with_drop(0.1)
+            .with_duplicate(0.05)
+            .with_delay(0.1, 4);
+        let engine = EngineConfig {
+            faults: Some(faults.clone()),
+            ..EngineConfig::default()
+        };
+        let mut net = Network::new(&g, engine, new_flood);
+        let sim_outcome = net.run(300);
+        let sim_stats = net.stats();
+        let sim_dists: Vec<_> = net.nodes().map(|f| f.dist).collect();
+
+        let cfg = TransportConfig {
+            faults: Some(faults),
+            ..TransportConfig::default()
+        };
+        let run = run_threads(&g, &cfg, 300, new_flood);
+        let dists: Vec<_> = run.nodes.iter().map(|f| f.dist).collect();
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(dists, sim_dists);
+        assert_eq!(run.stats, sim_stats, "fault tallies must agree too");
+    }
+
+    #[test]
+    fn budget_exhaustion_matches() {
+        let g = gen::path(6, false, WeightDist::Constant(1), 0);
+        let mut net = Network::new(&g, EngineConfig::default(), new_flood);
+        let sim_outcome = net.run(2);
+        let run = run_threads(&g, &TransportConfig::default(), 2, new_flood);
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(run.outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(run.stats, net.stats());
+    }
+}

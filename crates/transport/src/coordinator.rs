@@ -1,0 +1,136 @@
+//! The bulk-synchronous round coordinator.
+//!
+//! [`coordinate`] replicates the simulator's `Network::run` loop over a
+//! [`CoordEndpoint`]: it issues `Go(round)` tokens, waits for every
+//! node's `Done(round)`, and applies the same budget check and
+//! quiet-round fast-forward arithmetic — `Done` carries each node's
+//! `earliest_send` hint and earliest parked due round, whose minima are
+//! exactly the quantities `run` computes globally. After the loop it
+//! broadcasts `Stop` and merges the nodes' `Final` reports into a
+//! [`RunStats`] with the same aggregation the simulator uses (sums for
+//! messages/words/fault counters, maxima for link load and per-node
+//! send rounds).
+
+use crate::wire::{CtlMsg, NodeReport};
+use dw_congest::{Round, RunOutcome, RunStats};
+use dw_graph::NodeId;
+
+/// The coordinator's view of the transport: a broadcast to all nodes
+/// and a single blocking stream of node control messages.
+pub trait CoordEndpoint {
+    /// Send `msg` to every node.
+    fn broadcast(&mut self, msg: CtlMsg);
+    /// Block until the next control message from any node.
+    fn recv(&mut self) -> (NodeId, CtlMsg);
+}
+
+fn min_opt(a: Option<Round>, b: Option<Round>) -> Option<Round> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Drive `n` nodes until the protocol goes quiet or `budget` rounds
+/// have elapsed; silent stretches are fast-forwarded, not executed.
+/// Returns the outcome and the run's aggregated statistics.
+pub fn coordinate<E: CoordEndpoint>(
+    n: usize,
+    budget: Round,
+    endpoint: &mut E,
+) -> (RunOutcome, RunStats) {
+    let mut round: Round = 0;
+    let mut last_activity: Round = 0;
+    let mut rounds_executed = 0u64;
+    let mut messages_total = 0u64;
+    let mut max_round_messages = 0u64;
+
+    let outcome = loop {
+        if round >= budget {
+            break RunOutcome::BudgetExhausted;
+        }
+        round += 1;
+        rounds_executed += 1;
+        endpoint.broadcast(CtlMsg::Go { round });
+
+        let mut sent = 0u64;
+        let mut late = 0u64;
+        let mut hint: Option<Round> = None;
+        let mut pending_due: Option<Round> = None;
+        for _ in 0..n {
+            let (from, msg) = endpoint.recv();
+            match msg {
+                CtlMsg::Done {
+                    round: r,
+                    sent: s,
+                    late: l,
+                    hint: h,
+                    pending_due: p,
+                } => {
+                    assert_eq!(
+                        r, round,
+                        "node {from} reported round {r} during round {round}"
+                    );
+                    sent += s;
+                    late += l;
+                    hint = min_opt(hint, h);
+                    pending_due = min_opt(pending_due, p);
+                }
+                other => panic!("unexpected control message {other:?} from node {from}"),
+            }
+        }
+        messages_total += sent;
+        max_round_messages = max_round_messages.max(sent);
+        if sent > 0 || late > 0 {
+            last_activity = round;
+        }
+        if sent == 0 {
+            // Nothing moved; jump to just before the next scheduled send
+            // or pending delivery (bounded by the budget), as `run` does.
+            match min_opt(hint, pending_due) {
+                None => break RunOutcome::Quiet,
+                Some(r) => {
+                    let target = r.min(budget + 1) - 1;
+                    if target > round {
+                        round = target;
+                    }
+                }
+            }
+        }
+    };
+
+    endpoint.broadcast(CtlMsg::Stop { outcome });
+    let mut stats = RunStats {
+        rounds: last_activity,
+        rounds_executed,
+        max_round_messages,
+        ..RunStats::default()
+    };
+    for _ in 0..n {
+        let (from, msg) = endpoint.recv();
+        match msg {
+            CtlMsg::Final { report } => merge_report(&mut stats, &report),
+            other => panic!("unexpected control message {other:?} from node {from}"),
+        }
+    }
+    debug_assert_eq!(
+        stats.messages, messages_total,
+        "per-round send counts disagree with final node counters"
+    );
+    (outcome, stats)
+}
+
+/// Fold one node's counters into the run stats (the simulator's
+/// `Network::stats` aggregation).
+pub fn merge_report(stats: &mut RunStats, r: &NodeReport) {
+    stats.messages += r.messages;
+    stats.total_words += r.total_words;
+    stats.max_link_load = stats.max_link_load.max(r.max_link_load);
+    stats.max_node_sends = stats.max_node_sends.max(r.node_sends);
+    stats.dropped += r.dropped;
+    stats.outage_dropped += r.outage_dropped;
+    stats.duplicated += r.duplicated;
+    stats.delayed += r.delayed;
+    stats.late_delivered += r.late_delivered;
+}

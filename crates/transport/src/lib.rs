@@ -1,0 +1,46 @@
+//! A real message-passing runtime for CONGEST protocols.
+//!
+//! The `dw-congest` simulator plays all nodes of a [`Protocol`] inside
+//! one lockstep loop. This crate executes the *same unmodified node
+//! programs* as independent workers that only communicate — over one of
+//! three pluggable backends:
+//!
+//! * [`channels`] — one OS thread per node, mpsc channels as links;
+//! * [`tcp`] — one worker per TCP endpoint, length-prefixed binary
+//!   frames ([`WireCodec`]); works in-process on loopback and across OS
+//!   processes via the `dwapsp run-node` / `dwapsp coordinator` CLI;
+//! * [`stdio`] — a Maelstrom-style adapter: each node is a process
+//!   speaking JSON lines (`{"src":..,"dest":..,"body":{..}}`) on
+//!   stdin/stdout, routable by an external harness.
+//!
+//! Round synchronization is a bulk-synchronous barrier (see
+//! [`coordinator`]): a coordinator issues round tokens, nodes flush
+//! end-of-round markers to every neighbor so per-link FIFO order makes
+//! message collection complete, and `Done` reports carry the schedule
+//! hints that let the coordinator fast-forward quiet stretches exactly
+//! like the simulator's `run` loop.
+//!
+//! The headline property is **conformance**: a transport run produces
+//! bit-identical results — final node states, `RunStats` (including
+//! congestion counters), outcome — to the simulator on the same seeds,
+//! with or without a [`dw_congest::FaultPlan`], whose pure per-link
+//! decisions are evaluated sender-side at the transport layer. The
+//! CONGEST constraint checks themselves live in the shared
+//! [`dw_congest::NodeRunner`], so both environments validate sends with
+//! the same code.
+
+pub mod channels;
+pub mod coordinator;
+pub mod stdio;
+pub mod tcp;
+pub mod wire;
+pub mod worker;
+
+pub use channels::{run_threads, TransportRun};
+pub use coordinator::{coordinate, CoordEndpoint};
+pub use wire::{CtlMsg, Event, Frame, NodeReport};
+pub use worker::{node_main, NodeEndpoint, TransportConfig};
+
+// Re-exported so backend users don't need a direct dw-congest dep for
+// the common types that appear in this crate's signatures.
+pub use dw_congest::{Protocol, Round, RunOutcome, RunStats, WireCodec};

@@ -1,0 +1,552 @@
+//! Maelstrom-style stdio backend: each node is a process speaking JSON
+//! lines on stdin/stdout, routed by an external harness.
+//!
+//! One message per line, shaped like a Maelstrom network message:
+//!
+//! ```json
+//! {"src":"n0","dest":"n1","body":{"type":"payload","round":3,"due":3,"data":[42,0,0,0,0,0,0,0]}}
+//! ```
+//!
+//! Node `v` is named `n<v>`; the coordinator is [`COORD`] (`c0`). Body
+//! types mirror the binary wire protocol one-to-one: `payload` /
+//! `end_round` for [`Frame`], `go` / `stop` / `done` / `final` for
+//! [`CtlMsg`]; protocol payloads ride as their [`WireCodec`] bytes in a
+//! JSON integer array, so any `Protocol` the binary backends can run,
+//! this one can too.
+//!
+//! The JSON emitted here is compact and single-line; parsing is a
+//! small field scanner (the repo builds offline — no serde), tolerant
+//! of whitespace after `:` but not of exotic re-orderings inside
+//! `body`, which is fine for harnesses that echo messages verbatim.
+//! [`pipe`] provides in-memory stdin/stdout pairs so a whole network
+//! plus router can run inside one process (see the conformance tests).
+
+use crate::wire::{CtlMsg, Event, Frame, NodeReport};
+use crate::worker::{node_main, NodeEndpoint, TransportConfig};
+use dw_congest::{Protocol, RunOutcome, WireCodec};
+use dw_graph::{NodeId, WGraph};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Read, Write};
+use std::sync::mpsc::{Receiver, Sender};
+
+/// The coordinator's node name.
+pub const COORD: &str = "c0";
+
+/// Name of node `v` on the wire.
+pub fn node_name(v: NodeId) -> String {
+    format!("n{v}")
+}
+
+/// Inverse of [`node_name`]; `None` for the coordinator or garbage.
+pub fn parse_node_name(name: &str) -> Option<NodeId> {
+    name.strip_prefix('n')?.parse().ok()
+}
+
+// --- JSON scanning helpers -------------------------------------------------
+
+/// Position just after `"key":` (plus whitespace) in `line`.
+fn value_start<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    Some(line[at..].trim_start())
+}
+
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = value_start(line, key)?.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = value_start(line, key)?;
+    let digits: &str = &rest[..rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len())];
+    digits.parse().ok()
+}
+
+/// `"key":null` (or absent key) is `None`; a number is `Some`.
+fn json_opt_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = value_start(line, key)?;
+    if rest.starts_with("null") {
+        return None;
+    }
+    json_u64(line, key)
+}
+
+fn json_bytes(line: &str, key: &str) -> Option<Vec<u8>> {
+    let rest = value_start(line, key)?.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = &rest[..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',')
+        .map(|tok| tok.trim().parse::<u8>().ok())
+        .collect()
+}
+
+// --- rendering -------------------------------------------------------------
+
+fn push_opt(out: &mut String, key: &str, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            let _ = write!(out, "\"{key}\":{x}");
+        }
+        None => {
+            let _ = write!(out, "\"{key}\":null");
+        }
+    }
+}
+
+/// Render a frame as a JSON body object.
+pub fn frame_body<M: WireCodec>(frame: &Frame<M>) -> String {
+    match frame {
+        Frame::Payload { round, due, msg } => {
+            let mut bytes = Vec::new();
+            msg.encode(&mut bytes);
+            let mut s =
+                format!("{{\"type\":\"payload\",\"round\":{round},\"due\":{due},\"data\":[");
+            for (i, b) in bytes.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{b}");
+            }
+            s.push_str("]}");
+            s
+        }
+        Frame::EndRound { round } => {
+            format!("{{\"type\":\"end_round\",\"round\":{round}}}")
+        }
+    }
+}
+
+/// Render a control message as a JSON body object.
+pub fn ctl_body(msg: &CtlMsg) -> String {
+    match msg {
+        CtlMsg::Go { round } => format!("{{\"type\":\"go\",\"round\":{round}}}"),
+        CtlMsg::Stop { outcome } => {
+            let word = match outcome {
+                RunOutcome::Quiet => "quiet",
+                RunOutcome::BudgetExhausted => "budget",
+            };
+            format!("{{\"type\":\"stop\",\"outcome\":\"{word}\"}}")
+        }
+        CtlMsg::Done {
+            round,
+            sent,
+            late,
+            hint,
+            pending_due,
+        } => {
+            let mut s =
+                format!("{{\"type\":\"done\",\"round\":{round},\"sent\":{sent},\"late\":{late},");
+            push_opt(&mut s, "hint", *hint);
+            s.push(',');
+            push_opt(&mut s, "pending_due", *pending_due);
+            s.push('}');
+            s
+        }
+        CtlMsg::Final { report } => format!(
+            "{{\"type\":\"final\",\"node_sends\":{},\"messages\":{},\"total_words\":{},\
+             \"max_link_load\":{},\"dropped\":{},\"outage_dropped\":{},\"duplicated\":{},\
+             \"delayed\":{},\"late_delivered\":{}}}",
+            report.node_sends,
+            report.messages,
+            report.total_words,
+            report.max_link_load,
+            report.dropped,
+            report.outage_dropped,
+            report.duplicated,
+            report.delayed,
+            report.late_delivered,
+        ),
+    }
+}
+
+/// Write one complete message line (`write_all` of a single buffer, so
+/// in-memory pipes see one chunk per line) and flush.
+pub fn write_line<W: Write>(w: &mut W, src: &str, dest: &str, body: &str) -> io::Result<()> {
+    let line = format!("{{\"src\":\"{src}\",\"dest\":\"{dest}\",\"body\":{body}}}\n");
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// The `dest` field of a message line — the only thing a router needs,
+/// so it can forward lines without decoding bodies.
+pub fn line_dest(line: &str) -> Option<&str> {
+    json_str(line, "dest")
+}
+
+/// A parsed message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineBody<M> {
+    Frame(Frame<M>),
+    Ctl(CtlMsg),
+}
+
+/// Parse one message line into `(src, dest, body)`.
+pub fn parse_line<M: WireCodec>(line: &str) -> Option<(String, String, LineBody<M>)> {
+    let src = json_str(line, "src")?.to_string();
+    let dest = json_str(line, "dest")?.to_string();
+    let body = match json_str(line, "type")? {
+        "payload" => {
+            let bytes = json_bytes(line, "data")?;
+            let mut view = bytes.as_slice();
+            let msg = M::decode(&mut view)?;
+            if !view.is_empty() {
+                return None;
+            }
+            LineBody::Frame(Frame::Payload {
+                round: json_u64(line, "round")?,
+                due: json_u64(line, "due")?,
+                msg,
+            })
+        }
+        "end_round" => LineBody::Frame(Frame::EndRound {
+            round: json_u64(line, "round")?,
+        }),
+        "go" => LineBody::Ctl(CtlMsg::Go {
+            round: json_u64(line, "round")?,
+        }),
+        "stop" => LineBody::Ctl(CtlMsg::Stop {
+            outcome: match json_str(line, "outcome")? {
+                "quiet" => RunOutcome::Quiet,
+                "budget" => RunOutcome::BudgetExhausted,
+                _ => return None,
+            },
+        }),
+        "done" => LineBody::Ctl(CtlMsg::Done {
+            round: json_u64(line, "round")?,
+            sent: json_u64(line, "sent")?,
+            late: json_u64(line, "late")?,
+            hint: json_opt_u64(line, "hint"),
+            pending_due: json_opt_u64(line, "pending_due"),
+        }),
+        "final" => LineBody::Ctl(CtlMsg::Final {
+            report: NodeReport {
+                node_sends: json_u64(line, "node_sends")?,
+                messages: json_u64(line, "messages")?,
+                total_words: json_u64(line, "total_words")?,
+                max_link_load: json_u64(line, "max_link_load")?,
+                dropped: json_u64(line, "dropped")?,
+                outage_dropped: json_u64(line, "outage_dropped")?,
+                duplicated: json_u64(line, "duplicated")?,
+                delayed: json_u64(line, "delayed")?,
+                late_delivered: json_u64(line, "late_delivered")?,
+            },
+        }),
+        _ => return None,
+    };
+    Some((src, dest, body))
+}
+
+// --- endpoints -------------------------------------------------------------
+
+/// A node endpoint over a line stream (stdin/stdout or [`pipe`]s).
+pub struct StdioNode<M, R: BufRead, W: Write> {
+    name: String,
+    reader: R,
+    writer: W,
+    line: String,
+    _msg: std::marker::PhantomData<M>,
+}
+
+impl<M, R: BufRead, W: Write> StdioNode<M, R, W> {
+    pub fn new(id: NodeId, reader: R, writer: W) -> Self {
+        StdioNode {
+            name: node_name(id),
+            reader,
+            writer,
+            line: String::new(),
+            _msg: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M: WireCodec, R: BufRead, W: Write> NodeEndpoint<M> for StdioNode<M, R, W> {
+    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) {
+        let body = frame_body(&frame);
+        write_line(&mut self.writer, &self.name, &node_name(to), &body)
+            .unwrap_or_else(|e| panic!("{}: stdout write failed: {e}", self.name));
+    }
+    fn send_ctl(&mut self, msg: CtlMsg) {
+        let body = ctl_body(&msg);
+        write_line(&mut self.writer, &self.name, COORD, &body)
+            .unwrap_or_else(|e| panic!("{}: stdout write failed: {e}", self.name));
+    }
+    fn recv(&mut self) -> Event<M> {
+        loop {
+            self.line.clear();
+            let k = self
+                .reader
+                .read_line(&mut self.line)
+                .unwrap_or_else(|e| panic!("{}: stdin read failed: {e}", self.name));
+            if k == 0 {
+                panic!("{}: stdin closed mid-run", self.name);
+            }
+            let line = self.line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (src, dest, body) = parse_line::<M>(line)
+                .unwrap_or_else(|| panic!("{}: malformed message line: {line}", self.name));
+            assert_eq!(dest, self.name, "{}: misrouted line from {src}", self.name);
+            return match body {
+                LineBody::Ctl(msg) => {
+                    assert_eq!(src, COORD, "{}: control message from {src}", self.name);
+                    Event::Ctl(msg)
+                }
+                LineBody::Frame(frame) => Event::Peer {
+                    from: parse_node_name(&src)
+                        .unwrap_or_else(|| panic!("{}: frame from non-node {src}", self.name)),
+                    frame,
+                },
+            };
+        }
+    }
+}
+
+/// Run one node as a stdio process: reads its harness-routed lines
+/// from `reader`, writes its own messages to `writer`, returns when
+/// the coordinator stops the run. With `io::stdin().lock()` and
+/// `io::stdout()` this is the whole body of a Maelstrom-style binary.
+pub fn run_node_stdio<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    id: NodeId,
+    node: P,
+    reader: impl BufRead,
+    writer: impl Write,
+) -> (P, RunOutcome)
+where
+    P::Msg: WireCodec,
+{
+    let mut ep = StdioNode::new(id, reader, writer);
+    let (node, _report, outcome) = node_main(id, g, cfg, node, &mut ep);
+    (node, outcome)
+}
+
+/// The coordinator as a stdio participant: broadcasts `go`/`stop`
+/// lines to `n0..n{n-1}`, reads `done`/`final` lines routed to `c0`.
+pub struct StdioCoord<R: BufRead, W: Write> {
+    n: usize,
+    reader: R,
+    writer: W,
+    line: String,
+}
+
+impl<R: BufRead, W: Write> StdioCoord<R, W> {
+    pub fn new(n: usize, reader: R, writer: W) -> Self {
+        StdioCoord {
+            n,
+            reader,
+            writer,
+            line: String::new(),
+        }
+    }
+}
+
+impl<R: BufRead, W: Write> crate::coordinator::CoordEndpoint for StdioCoord<R, W> {
+    fn broadcast(&mut self, msg: CtlMsg) {
+        let body = ctl_body(&msg);
+        for v in 0..self.n {
+            write_line(&mut self.writer, COORD, &node_name(v as NodeId), &body)
+                .unwrap_or_else(|e| panic!("coordinator write failed: {e}"));
+        }
+    }
+    fn recv(&mut self) -> (NodeId, CtlMsg) {
+        loop {
+            self.line.clear();
+            let k = self
+                .reader
+                .read_line(&mut self.line)
+                .unwrap_or_else(|e| panic!("coordinator read failed: {e}"));
+            if k == 0 {
+                panic!("coordinator stdin closed mid-run");
+            }
+            let line = self.line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            // Control lines carry no payload bytes, so the unit codec
+            // suffices for parsing.
+            let (src, dest, body) = parse_line::<()>(line)
+                .unwrap_or_else(|| panic!("coordinator: malformed line: {line}"));
+            assert_eq!(dest, COORD, "coordinator: misrouted line from {src}");
+            match body {
+                LineBody::Ctl(msg) => {
+                    let id = parse_node_name(&src)
+                        .unwrap_or_else(|| panic!("coordinator: line from non-node {src}"));
+                    return (id, msg);
+                }
+                LineBody::Frame(_) => panic!("coordinator: got a node-to-node frame from {src}"),
+            }
+        }
+    }
+}
+
+// --- in-memory pipes for single-process harnesses --------------------------
+
+/// Write half of an in-memory pipe; each `write` call forwards one
+/// chunk, so a [`write_line`] arrives as exactly one message.
+pub struct PipeWriter {
+    tx: Sender<Vec<u8>>,
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "pipe reader dropped"))?;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Read half of an in-memory pipe; EOF once every writer is dropped.
+pub struct PipeReader {
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        while self.pos == self.buf.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0),
+            }
+        }
+        let k = (self.buf.len() - self.pos).min(out.len());
+        out[..k].copy_from_slice(&self.buf[self.pos..self.pos + k]);
+        self.pos += k;
+        Ok(k)
+    }
+}
+
+/// An in-memory pipe pair. `PipeWriter` is cheap to construct from the
+/// returned sender's clones via [`pipe_writer`] when several
+/// participants share one sink (e.g. a router collecting all stdout).
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    (
+        PipeWriter { tx },
+        PipeReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        },
+    )
+}
+
+/// A writer into an existing pipe sink.
+pub fn pipe_writer(tx: Sender<Vec<u8>>) -> PipeWriter {
+    PipeWriter { tx }
+}
+
+/// The sender side of a fresh pipe, exposed for router fan-in wiring.
+pub fn pipe_with_sender() -> (Sender<Vec<u8>>, PipeReader) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    (
+        tx,
+        PipeReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_roundtrip_through_json() {
+        let frames: Vec<Frame<u64>> = vec![
+            Frame::Payload {
+                round: 3,
+                due: 7,
+                msg: 0xfeed,
+            },
+            Frame::EndRound { round: 12 },
+        ];
+        for f in frames {
+            let line = format!(
+                "{{\"src\":\"n1\",\"dest\":\"n2\",\"body\":{}}}",
+                frame_body(&f)
+            );
+            let (src, dest, body) = parse_line::<u64>(&line).unwrap();
+            assert_eq!((src.as_str(), dest.as_str()), ("n1", "n2"));
+            assert_eq!(body, LineBody::Frame(f));
+        }
+        let ctls = vec![
+            CtlMsg::Go { round: 9 },
+            CtlMsg::Stop {
+                outcome: RunOutcome::Quiet,
+            },
+            CtlMsg::Done {
+                round: 4,
+                sent: 2,
+                late: 0,
+                hint: None,
+                pending_due: Some(8),
+            },
+            CtlMsg::Final {
+                report: NodeReport {
+                    node_sends: 1,
+                    messages: 2,
+                    total_words: 3,
+                    max_link_load: 4,
+                    dropped: 5,
+                    outage_dropped: 6,
+                    duplicated: 7,
+                    delayed: 8,
+                    late_delivered: 9,
+                },
+            },
+        ];
+        for c in ctls {
+            let line = format!(
+                "{{\"src\":\"c0\",\"dest\":\"n0\",\"body\":{}}}",
+                ctl_body(&c)
+            );
+            let (src, _, body) = parse_line::<u64>(&line).unwrap();
+            assert_eq!(src, "c0");
+            assert_eq!(body, LineBody::Ctl(c));
+        }
+    }
+
+    #[test]
+    fn whitespace_after_colons_is_tolerated() {
+        let line = "{\"src\": \"n0\", \"dest\": \"c0\", \"body\": {\"type\": \"done\", \
+                    \"round\": 2, \"sent\": 1, \"late\": 0, \"hint\": null, \"pending_due\": 5}}";
+        let (src, dest, body) = parse_line::<u64>(line).unwrap();
+        assert_eq!((src.as_str(), dest.as_str()), ("n0", "c0"));
+        assert_eq!(
+            body,
+            LineBody::Ctl(CtlMsg::Done {
+                round: 2,
+                sent: 1,
+                late: 0,
+                hint: None,
+                pending_due: Some(5),
+            })
+        );
+    }
+
+    #[test]
+    fn node_names_roundtrip() {
+        assert_eq!(parse_node_name(&node_name(17)), Some(17));
+        assert_eq!(parse_node_name(COORD), None);
+        assert_eq!(parse_node_name("x3"), None);
+    }
+}

@@ -1,0 +1,421 @@
+//! TCP backend: length-prefixed [`WireCodec`] frames between OS
+//! endpoints.
+//!
+//! Topology: one socket per graph link plus one socket per node to the
+//! coordinator. Connections are established deterministically — of two
+//! neighbors the lower id listens and the higher id dials — and every
+//! stream starts with a 4-byte little-endian handshake carrying the
+//! dialer's node id. Each worker multiplexes its sockets into one event
+//! queue with a reader thread per connection; TCP's per-stream ordering
+//! gives the per-link FIFO guarantee the round protocol relies on.
+//!
+//! [`run_tcp_loopback`] wires a whole network inside one process (the
+//! conformance and bench configuration); [`run_node_tcp`] and
+//! [`run_coordinator_tcp`] are the building blocks the `dwapsp
+//! run-node` / `dwapsp coordinator` CLI uses to run each node as its
+//! own OS process.
+
+use crate::channels::TransportRun;
+use crate::coordinator::{coordinate, CoordEndpoint};
+use crate::wire::{read_frame, write_frame, CtlMsg, Event, Frame};
+use crate::worker::{node_main, NodeEndpoint, TransportConfig};
+use dw_congest::{Protocol, Round, RunOutcome, WireCodec};
+use dw_graph::{NodeId, WGraph};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+/// Dial `addr`, retrying while the peer is still binding/accepting
+/// (processes in a multi-process run start in arbitrary order).
+pub fn retry_connect(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn handshake_out(stream: &mut TcpStream, id: NodeId) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.write_all(&id.to_le_bytes())
+}
+
+fn handshake_in(stream: &mut TcpStream) -> io::Result<NodeId> {
+    stream.set_nodelay(true)?;
+    let mut raw = [0u8; 4];
+    stream.read_exact(&mut raw)?;
+    Ok(NodeId::from_le_bytes(raw))
+}
+
+/// A node's socket bundle, multiplexed by reader threads into `rx`.
+struct TcpNode<M> {
+    id: NodeId,
+    /// Write halves to each comm neighbor, rank order.
+    peers: Vec<(NodeId, TcpStream)>,
+    ctl: TcpStream,
+    rx: Receiver<Event<M>>,
+    scratch: Vec<u8>,
+}
+
+impl<M: WireCodec> NodeEndpoint<M> for TcpNode<M> {
+    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) {
+        let i = self
+            .peers
+            .binary_search_by_key(&to, |&(v, _)| v)
+            .unwrap_or_else(|_| panic!("node {}: send to non-neighbor {to}", self.id));
+        write_frame(&mut self.peers[i].1, &frame, &mut self.scratch)
+            .unwrap_or_else(|e| panic!("node {}: write to {to} failed: {e}", self.id));
+    }
+    fn send_ctl(&mut self, msg: CtlMsg) {
+        write_frame(&mut self.ctl, &msg, &mut self.scratch)
+            .unwrap_or_else(|e| panic!("node {}: write to coordinator failed: {e}", self.id));
+    }
+    fn recv(&mut self) -> Event<M> {
+        self.rx.recv().expect("all reader threads hung up mid-run")
+    }
+}
+
+fn peer_reader<M: WireCodec>(from: NodeId, stream: TcpStream, tx: Sender<Event<M>>) {
+    let mut r = BufReader::new(stream);
+    loop {
+        match read_frame::<_, Frame<M>>(&mut r) {
+            Ok(Some(frame)) => {
+                if tx.send(Event::Peer { from, frame }).is_err() {
+                    break; // receiver done; drain to EOF is pointless
+                }
+            }
+            Ok(None) => break,
+            Err(e) => panic!("transport read from node {from} failed: {e}"),
+        }
+    }
+}
+
+fn ctl_reader<M: WireCodec>(stream: TcpStream, tx: Sender<Event<M>>) {
+    let mut r = BufReader::new(stream);
+    loop {
+        match read_frame::<_, CtlMsg>(&mut r) {
+            Ok(Some(msg)) => {
+                if tx.send(Event::Ctl(msg)).is_err() {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => panic!("transport read from coordinator failed: {e}"),
+        }
+    }
+}
+
+/// Establish node `id`'s link sockets: accept from lower-id neighbors
+/// on `listener`, dial higher-id neighbors from `peer_addrs`. Returns
+/// the streams in rank (neighbor id) order.
+fn connect_links(
+    id: NodeId,
+    nbrs: &[NodeId],
+    listener: &TcpListener,
+    peer_addrs: &[(NodeId, SocketAddr)],
+    timeout: Duration,
+) -> io::Result<Vec<(NodeId, TcpStream)>> {
+    let dial: Vec<(NodeId, SocketAddr)> = peer_addrs
+        .iter()
+        .copied()
+        .filter(|&(u, _)| u > id)
+        .collect();
+    let accept_n = nbrs.iter().filter(|&&u| u < id).count();
+    let mut links: Vec<(NodeId, TcpStream)> = Vec::with_capacity(nbrs.len());
+    std::thread::scope(|s| -> io::Result<()> {
+        // Dial concurrently with accepting, or two mutually-listening
+        // neighbors could deadlock.
+        let dialer = s.spawn(|| -> io::Result<Vec<(NodeId, TcpStream)>> {
+            dial.iter()
+                .map(|&(u, addr)| {
+                    let mut stream = retry_connect(addr, timeout)?;
+                    handshake_out(&mut stream, id)?;
+                    Ok((u, stream))
+                })
+                .collect()
+        });
+        for _ in 0..accept_n {
+            let (mut stream, _) = listener.accept()?;
+            let from = handshake_in(&mut stream)?;
+            links.push((from, stream));
+        }
+        links.extend(dialer.join().expect("dialer thread panicked")?);
+        Ok(())
+    })?;
+    links.sort_by_key(|&(u, _)| u);
+    debug_assert_eq!(
+        links.iter().map(|&(u, _)| u).collect::<Vec<_>>(),
+        nbrs,
+        "link sockets must cover exactly the comm neighbors"
+    );
+    Ok(links)
+}
+
+/// Run node `id` of `g` over TCP: accept/dial link sockets, connect to
+/// the coordinator, then drive [`node_main`]. Blocks until the
+/// coordinator stops the run.
+#[allow(clippy::too_many_arguments)] // deployment entry point: each arg is one wire-level endpoint
+pub fn run_node_tcp<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    id: NodeId,
+    node: P,
+    listener: TcpListener,
+    peer_addrs: &[(NodeId, SocketAddr)],
+    coord_addr: SocketAddr,
+    timeout: Duration,
+) -> io::Result<(P, RunOutcome)>
+where
+    P::Msg: WireCodec,
+{
+    let nbrs = g.comm_neighbors(id);
+    let links = connect_links(id, nbrs, &listener, peer_addrs, timeout)?;
+    let mut ctl = retry_connect(coord_addr, timeout)?;
+    handshake_out(&mut ctl, id)?;
+
+    let (tx, rx) = channel();
+    std::thread::scope(|s| -> io::Result<(P, RunOutcome)> {
+        for (u, stream) in &links {
+            let read_half = stream.try_clone()?;
+            let tx = tx.clone();
+            let u = *u;
+            s.spawn(move || peer_reader::<P::Msg>(u, read_half, tx));
+        }
+        {
+            let read_half = ctl.try_clone()?;
+            let tx = tx.clone();
+            s.spawn(move || ctl_reader::<P::Msg>(read_half, tx));
+        }
+        drop(tx);
+        let mut ep = TcpNode {
+            id,
+            peers: links,
+            ctl,
+            rx,
+            scratch: Vec::new(),
+        };
+        let (node, _report, outcome) = node_main(id, g, cfg, node, &mut ep);
+        // Send FIN on every socket so peers' (and our) reader threads
+        // unblock with a clean EOF; without this the read halves keep
+        // the connections open and the scope never joins.
+        for (_, stream) in &ep.peers {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+        let _ = ep.ctl.shutdown(Shutdown::Write);
+        Ok((node, outcome))
+    })
+}
+
+struct TcpCoord {
+    streams: Vec<TcpStream>,
+    rx: Receiver<(NodeId, CtlMsg)>,
+    scratch: Vec<u8>,
+}
+
+impl CoordEndpoint for TcpCoord {
+    fn broadcast(&mut self, msg: CtlMsg) {
+        for stream in &mut self.streams {
+            write_frame(stream, &msg, &mut self.scratch)
+                .unwrap_or_else(|e| panic!("coordinator write failed: {e}"));
+        }
+    }
+    fn recv(&mut self) -> (NodeId, CtlMsg) {
+        self.rx
+            .recv()
+            .expect("all node connections hung up mid-run")
+    }
+}
+
+/// Accept `n` node connections on `listener`, coordinate the run, and
+/// return the outcome with aggregated [`dw_congest::RunStats`].
+pub fn run_coordinator_tcp(
+    n: usize,
+    budget: Round,
+    listener: TcpListener,
+) -> io::Result<(RunOutcome, dw_congest::RunStats)> {
+    let mut conns: Vec<(NodeId, TcpStream)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (mut stream, _) = listener.accept()?;
+        let id = handshake_in(&mut stream)?;
+        conns.push((id, stream));
+    }
+    conns.sort_by_key(|&(id, _)| id);
+    let (tx, rx) = channel();
+    std::thread::scope(|s| -> io::Result<(RunOutcome, dw_congest::RunStats)> {
+        let mut streams = Vec::with_capacity(n);
+        for (id, stream) in conns {
+            let read_half = stream.try_clone()?;
+            let tx = tx.clone();
+            s.spawn(move || {
+                let mut r = BufReader::new(read_half);
+                loop {
+                    match read_frame::<_, CtlMsg>(&mut r) {
+                        Ok(Some(msg)) => {
+                            if tx.send((id, msg)).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => panic!("coordinator read from node {id} failed: {e}"),
+                    }
+                }
+            });
+            streams.push(stream);
+        }
+        drop(tx);
+        let mut ep = TcpCoord {
+            streams,
+            rx,
+            scratch: Vec::new(),
+        };
+        let result = coordinate(n, budget, &mut ep);
+        for stream in &ep.streams {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+        // Drain until every node reader saw EOF so the scope joins.
+        loop {
+            match ep.rx.try_recv() {
+                Ok(_) => panic!("control message after the final barrier"),
+                Err(TryRecvError::Empty) => std::thread::sleep(Duration::from_millis(1)),
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        Ok(result)
+    })
+}
+
+/// Run a whole network over TCP loopback inside one process: `n` node
+/// workers plus a coordinator, every link a real socket pair. The
+/// conformance configuration for the TCP backend (the multi-process
+/// deployment uses [`run_node_tcp`] / [`run_coordinator_tcp`] via the
+/// CLI with identical wire traffic).
+pub fn run_tcp_loopback<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    mut make: impl FnMut(NodeId) -> P,
+) -> io::Result<TransportRun<P>>
+where
+    P::Msg: WireCodec,
+{
+    let n = g.n();
+    let timeout = Duration::from_secs(10);
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr())
+        .collect::<io::Result<_>>()?;
+    let coord_listener = TcpListener::bind("127.0.0.1:0")?;
+    let coord_addr = coord_listener.local_addr()?;
+
+    std::thread::scope(|s| -> io::Result<TransportRun<P>> {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(v, listener)| {
+                let v = v as NodeId;
+                let node = make(v);
+                let peer_addrs: Vec<(NodeId, SocketAddr)> = g
+                    .comm_neighbors(v)
+                    .iter()
+                    .map(|&u| (u, addrs[u as usize]))
+                    .collect();
+                s.spawn(move || {
+                    run_node_tcp(g, cfg, v, node, listener, &peer_addrs, coord_addr, timeout)
+                })
+            })
+            .collect();
+        let (outcome, stats) = run_coordinator_tcp(n, budget, coord_listener)?;
+        let mut nodes = Vec::with_capacity(n);
+        for h in handles {
+            let (node, node_outcome) = h.join().expect("node thread panicked")?;
+            debug_assert_eq!(node_outcome, outcome);
+            nodes.push(node);
+        }
+        Ok(TransportRun {
+            nodes,
+            stats,
+            outcome,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_congest::{EngineConfig, Envelope, Network, NodeCtx, Outbox};
+    use dw_graph::gen::{self, WeightDist};
+
+    /// Weighted SSSP relaxation from node 0 (each improvement is
+    /// re-announced), exercising unicast sends over real sockets.
+    struct Relax {
+        dist: Option<u64>,
+        fresh: bool,
+    }
+
+    impl Protocol for Relax {
+        type Msg = u64;
+        fn init(&mut self, ctx: &NodeCtx) {
+            if ctx.id == 0 {
+                self.dist = Some(0);
+                self.fresh = true;
+            }
+        }
+        fn send(&mut self, _round: Round, ctx: &NodeCtx, out: &mut Outbox<u64>) {
+            if let (Some(d), true) = (self.dist, self.fresh) {
+                for &(v, _) in ctx.out_edges() {
+                    if ctx.is_comm_neighbor(v) {
+                        out.unicast(v, d);
+                    }
+                }
+                self.fresh = false;
+            }
+        }
+        fn receive(&mut self, _round: Round, inbox: &[Envelope<u64>], ctx: &NodeCtx) {
+            for env in inbox {
+                let Some(w) = ctx.in_weight_from(env.from) else {
+                    continue;
+                };
+                let cand = env.msg() + w;
+                if self.dist.is_none_or(|d| cand < d) {
+                    self.dist = Some(cand);
+                    self.fresh = true;
+                }
+            }
+        }
+    }
+
+    fn new_relax(_v: NodeId) -> Relax {
+        Relax {
+            dist: None,
+            fresh: false,
+        }
+    }
+
+    #[test]
+    fn tcp_loopback_matches_simulator() {
+        let g = gen::gnp_connected(10, 0.3, false, WeightDist::Uniform { max: 9 }, 3);
+        let mut net = Network::new(&g, EngineConfig::default(), new_relax);
+        let sim_outcome = net.run(400);
+        let sim_stats = net.stats();
+        let sim_dists: Vec<_> = net.nodes().map(|x| x.dist).collect();
+
+        let run = run_tcp_loopback(&g, &TransportConfig::default(), 400, new_relax).unwrap();
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(
+            run.nodes.iter().map(|x| x.dist).collect::<Vec<_>>(),
+            sim_dists
+        );
+        assert_eq!(run.stats, sim_stats);
+    }
+}

@@ -1,0 +1,361 @@
+//! The dw-transport wire protocol.
+//!
+//! Two message families cross the wire:
+//!
+//! * [`Frame`] — node-to-node traffic on graph links: protocol payloads
+//!   plus the per-link end-of-round marker that makes round collection
+//!   possible without global knowledge (FIFO links mean "marker for
+//!   round `r` arrived" implies "every round-`r` payload on this link
+//!   arrived").
+//! * [`CtlMsg`] — node-to-coordinator traffic implementing the
+//!   bulk-synchronous barrier: `Go`/`Stop` downstream, `Done`/`Final`
+//!   upstream. `Done` carries exactly the per-node quantities the
+//!   simulator's `run` loop aggregates globally (messages sent, late
+//!   deliveries, the `earliest_send` fast-forward hint, the earliest
+//!   due round of delay-faulted traffic), so the coordinator can
+//!   replicate its quiet-round jumps bit for bit.
+//!
+//! Everything implements [`WireCodec`]; the byte backends (TCP) move
+//! messages as length-prefixed frames via [`write_frame`] /
+//! [`read_frame`], while the in-process channel backend moves the typed
+//! values directly and the stdio backend re-encodes them as JSON lines.
+
+use dw_congest::{Round, RunOutcome, WireCodec};
+use dw_graph::NodeId;
+use std::io::{self, Read, Write};
+
+/// Node-to-node traffic over one graph link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame<M> {
+    /// A protocol message sent in `round`. `due > round` marks a
+    /// delay-faulted message: the recipient holds it back and delivers
+    /// it at the start of round `due` (or its first executed round
+    /// after, under fast-forward), exactly like the simulator's delayed
+    /// queue.
+    Payload { round: Round, due: Round, msg: M },
+    /// "I have sent everything I will send on this link for `round`."
+    EndRound { round: Round },
+}
+
+/// Coordinator barrier traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtlMsg {
+    /// Coordinator -> node: execute round `round` (not necessarily the
+    /// successor of the previous one — quiet stretches are jumped).
+    Go { round: Round },
+    /// Coordinator -> node: the run is over; reply with `Final`.
+    Stop { outcome: RunOutcome },
+    /// Node -> coordinator: round `round` finished locally.
+    Done {
+        round: Round,
+        /// Wire transmissions by this node this round.
+        sent: u64,
+        /// Delay-faulted messages this node delivered late this round.
+        late: u64,
+        /// This node's `earliest_send(round + 1)` hint.
+        hint: Option<Round>,
+        /// Earliest due round among delayed messages parked here.
+        pending_due: Option<Round>,
+    },
+    /// Node -> coordinator: final local counters, after `Stop`.
+    Final { report: NodeReport },
+}
+
+/// A node's lifetime counters, merged by the coordinator into the run's
+/// [`dw_congest::RunStats`]. Senders account drop/duplicate/delay
+/// decisions (they evaluate the pure fault plan); receivers account
+/// late deliveries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeReport {
+    pub node_sends: u64,
+    pub messages: u64,
+    pub total_words: u64,
+    pub max_link_load: u64,
+    pub dropped: u64,
+    pub outage_dropped: u64,
+    pub duplicated: u64,
+    pub delayed: u64,
+    pub late_delivered: u64,
+}
+
+impl<M: WireCodec> WireCodec for Frame<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Payload { round, due, msg } => {
+                out.push(0);
+                round.encode(out);
+                due.encode(out);
+                msg.encode(out);
+            }
+            Frame::EndRound { round } => {
+                out.push(1);
+                round.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(Frame::Payload {
+                round: Round::decode(buf)?,
+                due: Round::decode(buf)?,
+                msg: M::decode(buf)?,
+            }),
+            1 => Some(Frame::EndRound {
+                round: Round::decode(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl WireCodec for NodeReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node_sends.encode(out);
+        self.messages.encode(out);
+        self.total_words.encode(out);
+        self.max_link_load.encode(out);
+        self.dropped.encode(out);
+        self.outage_dropped.encode(out);
+        self.duplicated.encode(out);
+        self.delayed.encode(out);
+        self.late_delivered.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(NodeReport {
+            node_sends: u64::decode(buf)?,
+            messages: u64::decode(buf)?,
+            total_words: u64::decode(buf)?,
+            max_link_load: u64::decode(buf)?,
+            dropped: u64::decode(buf)?,
+            outage_dropped: u64::decode(buf)?,
+            duplicated: u64::decode(buf)?,
+            delayed: u64::decode(buf)?,
+            late_delivered: u64::decode(buf)?,
+        })
+    }
+}
+
+/// `RunOutcome` as a wire byte.
+pub fn outcome_code(o: RunOutcome) -> u8 {
+    match o {
+        RunOutcome::Quiet => 0,
+        RunOutcome::BudgetExhausted => 1,
+    }
+}
+
+/// Inverse of [`outcome_code`].
+pub fn outcome_from_code(c: u8) -> Option<RunOutcome> {
+    match c {
+        0 => Some(RunOutcome::Quiet),
+        1 => Some(RunOutcome::BudgetExhausted),
+        _ => None,
+    }
+}
+
+impl WireCodec for CtlMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CtlMsg::Go { round } => {
+                out.push(0);
+                round.encode(out);
+            }
+            CtlMsg::Stop { outcome } => {
+                out.push(1);
+                out.push(outcome_code(*outcome));
+            }
+            CtlMsg::Done {
+                round,
+                sent,
+                late,
+                hint,
+                pending_due,
+            } => {
+                out.push(2);
+                round.encode(out);
+                sent.encode(out);
+                late.encode(out);
+                hint.encode(out);
+                pending_due.encode(out);
+            }
+            CtlMsg::Final { report } => {
+                out.push(3);
+                report.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(CtlMsg::Go {
+                round: Round::decode(buf)?,
+            }),
+            1 => Some(CtlMsg::Stop {
+                outcome: outcome_from_code(u8::decode(buf)?)?,
+            }),
+            2 => Some(CtlMsg::Done {
+                round: Round::decode(buf)?,
+                sent: u64::decode(buf)?,
+                late: u64::decode(buf)?,
+                hint: Option::<Round>::decode(buf)?,
+                pending_due: Option::<Round>::decode(buf)?,
+            }),
+            3 => Some(CtlMsg::Final {
+                report: NodeReport::decode(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Write one length-prefixed frame: a `u32` little-endian byte count
+/// followed by the value's [`WireCodec`] encoding, in a single
+/// `write_all` (one syscall on an OS stream). `scratch` is reused
+/// across calls to stay allocation-free in steady state.
+pub fn write_frame<W: Write, T: WireCodec>(
+    w: &mut W,
+    value: &T,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    scratch.clear();
+    scratch.extend_from_slice(&[0u8; 4]);
+    value.encode(scratch);
+    let body = (scratch.len() - 4) as u32;
+    scratch[..4].copy_from_slice(&body.to_le_bytes());
+    w.write_all(scratch)
+}
+
+/// Read one length-prefixed frame. `Ok(None)` is a clean end of stream
+/// (the peer closed between frames); a close mid-frame or an encoding
+/// the codec rejects is an error.
+pub fn read_frame<R: Read, T: WireCodec>(r: &mut R) -> io::Result<Option<T>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let k = r.read(&mut len[filled..])?;
+        if k == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream closed inside a frame header",
+            ));
+        }
+        filled += k;
+    }
+    let body = u32::from_le_bytes(len) as usize;
+    let mut buf = vec![0u8; body];
+    r.read_exact(&mut buf)?;
+    let mut view = buf.as_slice();
+    let value = T::decode(&mut view)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed frame body"))?;
+    if !view.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes in frame body",
+        ));
+    }
+    Ok(Some(value))
+}
+
+/// An event a node worker pulls off its transport: a frame from a
+/// neighbor, or a control message from the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<M> {
+    Peer { from: NodeId, frame: Frame<M> },
+    Ctl(CtlMsg),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_congest::codec::roundtrip;
+
+    #[test]
+    fn frames_roundtrip() {
+        let p: Frame<u64> = Frame::Payload {
+            round: 3,
+            due: 7,
+            msg: 42,
+        };
+        assert_eq!(roundtrip(&p), Some(p.clone()));
+        let e: Frame<u64> = Frame::EndRound { round: 9 };
+        assert_eq!(roundtrip(&e), Some(e.clone()));
+    }
+
+    #[test]
+    fn ctl_roundtrip() {
+        for msg in [
+            CtlMsg::Go { round: 5 },
+            CtlMsg::Stop {
+                outcome: RunOutcome::Quiet,
+            },
+            CtlMsg::Stop {
+                outcome: RunOutcome::BudgetExhausted,
+            },
+            CtlMsg::Done {
+                round: 4,
+                sent: 10,
+                late: 2,
+                hint: Some(9),
+                pending_due: None,
+            },
+            CtlMsg::Final {
+                report: NodeReport {
+                    node_sends: 1,
+                    messages: 2,
+                    total_words: 3,
+                    max_link_load: 4,
+                    dropped: 5,
+                    outage_dropped: 6,
+                    duplicated: 7,
+                    delayed: 8,
+                    late_delivered: 9,
+                },
+            },
+        ] {
+            assert_eq!(roundtrip(&msg), Some(msg.clone()));
+        }
+    }
+
+    #[test]
+    fn framed_io_roundtrip() {
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut buf, &CtlMsg::Go { round: 2 }, &mut scratch).unwrap();
+        write_frame(
+            &mut buf,
+            &Frame::Payload {
+                round: 2,
+                due: 2,
+                msg: 77u64,
+            },
+            &mut scratch,
+        )
+        .unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_frame::<_, CtlMsg>(&mut r).unwrap(),
+            Some(CtlMsg::Go { round: 2 })
+        );
+        assert_eq!(
+            read_frame::<_, Frame<u64>>(&mut r).unwrap(),
+            Some(Frame::Payload {
+                round: 2,
+                due: 2,
+                msg: 77
+            })
+        );
+        assert_eq!(read_frame::<_, Frame<u64>>(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut buf, &CtlMsg::Go { round: 2 }, &mut scratch).unwrap();
+        let mut r = &buf[..buf.len() - 1];
+        assert!(read_frame::<_, CtlMsg>(&mut r).is_err());
+        let mut r = &buf[..2];
+        assert!(read_frame::<_, CtlMsg>(&mut r).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! The per-node worker loop.
+//!
+//! [`node_main`] runs one node of a CONGEST protocol against any
+//! [`NodeEndpoint`] — an in-process channel pair, a bundle of TCP
+//! sockets, or a stdio line stream. Rounds are driven by the
+//! coordinator's `Go`/`Stop` control messages (see
+//! [`crate::coordinator`]); within a round the worker replicates the
+//! simulator's phase order and delivery order *exactly*, which is what
+//! the conformance suite checks:
+//!
+//! 1. deliver delay-faulted messages parked locally whose due round has
+//!    arrived (in due-round then arrival order — the simulator's
+//!    `BTreeMap` pop order);
+//! 2. send phase: poll the protocol, validate CONGEST constraints in
+//!    the shared [`NodeRunner`], evaluate the pure fault plan
+//!    sender-side, and emit payload frames;
+//! 3. flush an [`Frame::EndRound`] marker on every incident link;
+//! 4. collect this round's frames until every neighbor's marker is in
+//!    (per-link FIFO makes the marker a completeness proof), building
+//!    the fresh inbox in neighbor-rank (= sender id) order;
+//! 5. if late deliveries happened, stable-sort the inbox by sender (the
+//!    simulator sorts late-touched inboxes only — for every other inbox
+//!    the sort is the identity, so this is bit-identical);
+//! 6. receive phase iff the inbox is non-empty (the simulator only
+//!    touches dirty inboxes);
+//! 7. report `Done` with the send count, late count, `earliest_send`
+//!    hint and earliest parked due round, which is everything the
+//!    coordinator needs to replicate the simulator's `run` loop.
+
+use crate::wire::{CtlMsg, Event, Frame, NodeReport};
+use dw_congest::{
+    Envelope, FaultAction, FaultPlan, NodeRunner, Protocol, Round, RunOutcome, SendSink,
+};
+use dw_graph::{NodeId, WGraph};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One node's view of the transport: typed sends to neighbors and the
+/// coordinator, and a single blocking event stream multiplexing both.
+///
+/// Implementations must preserve per-link FIFO order (frames from one
+/// peer arrive in send order) — every real transport here does: an mpsc
+/// channel, a TCP connection, an ordered stdio pipe.
+pub trait NodeEndpoint<M> {
+    /// Send a frame to comm-neighbor `to`.
+    fn send_peer(&mut self, to: NodeId, frame: Frame<M>);
+    /// Send a control message to the coordinator.
+    fn send_ctl(&mut self, msg: CtlMsg);
+    /// Block until the next event (peer frame or control message).
+    fn recv(&mut self) -> Event<M>;
+}
+
+/// How the runtime constrains and perturbs message passing; the
+/// transport-relevant subset of [`dw_congest::EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Per-message word budget (exceeding it is a protocol bug and
+    /// panics, as in the simulator).
+    pub max_words: usize,
+    /// Enforce one message per directed link per round.
+    pub enforce_link_capacity: bool,
+    /// Deterministic fault injection, evaluated sender-side at the
+    /// transport layer. The plan is a pure function of
+    /// `(sender, receiver, round, seed)`, so a transport run makes
+    /// exactly the decisions the simulator makes.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            max_words: 8,
+            enforce_link_capacity: true,
+            faults: None,
+        }
+    }
+}
+
+impl From<&dw_congest::EngineConfig> for TransportConfig {
+    fn from(cfg: &dw_congest::EngineConfig) -> Self {
+        TransportConfig {
+            max_words: cfg.max_words,
+            enforce_link_capacity: cfg.enforce_link_capacity,
+            faults: cfg.faults.clone(),
+        }
+    }
+}
+
+/// Receiver-side counters a worker accumulates outside the
+/// [`NodeRunner`] (which owns the send-side counters).
+#[derive(Default)]
+struct LocalTally {
+    dropped: u64,
+    outage_dropped: u64,
+    duplicated: u64,
+    delayed: u64,
+    late_delivered: u64,
+}
+
+/// The transport [`SendSink`]: evaluates the fault plan at the sender
+/// and turns surviving transmissions into payload frames. A dropped
+/// message occupies the link (the runner already charged it) but emits
+/// no frame; a delayed message travels immediately, stamped with its
+/// due round, and is parked at the *receiver* — keeping the wire
+/// round-synchronous so end-of-round markers stay a completeness proof.
+struct FaultSink<'a, M, E: NodeEndpoint<M>> {
+    endpoint: &'a mut E,
+    faults: Option<&'a FaultPlan>,
+    tally: &'a mut LocalTally,
+    round: Round,
+    _msg: std::marker::PhantomData<M>,
+}
+
+impl<M: Clone, E: NodeEndpoint<M>> FaultSink<'_, M, E> {
+    fn dispatch(&mut self, u: NodeId, v: NodeId, msg: M) {
+        let round = self.round;
+        let Some(plan) = self.faults else {
+            self.endpoint.send_peer(
+                v,
+                Frame::Payload {
+                    round,
+                    due: round,
+                    msg,
+                },
+            );
+            return;
+        };
+        match plan.decide(u, v, round) {
+            FaultAction::Deliver => self.endpoint.send_peer(
+                v,
+                Frame::Payload {
+                    round,
+                    due: round,
+                    msg,
+                },
+            ),
+            FaultAction::Drop => self.tally.dropped += 1,
+            FaultAction::OutageDrop => self.tally.outage_dropped += 1,
+            FaultAction::Duplicate => {
+                self.endpoint.send_peer(
+                    v,
+                    Frame::Payload {
+                        round,
+                        due: round,
+                        msg: msg.clone(),
+                    },
+                );
+                self.endpoint.send_peer(
+                    v,
+                    Frame::Payload {
+                        round,
+                        due: round,
+                        msg,
+                    },
+                );
+                self.tally.duplicated += 1;
+            }
+            FaultAction::Delay(d) => {
+                self.endpoint.send_peer(
+                    v,
+                    Frame::Payload {
+                        round,
+                        due: round + d,
+                        msg,
+                    },
+                );
+                self.tally.delayed += 1;
+            }
+        }
+    }
+}
+
+impl<M: Clone, E: NodeEndpoint<M>> SendSink<M> for FaultSink<'_, M, E> {
+    fn unicast(&mut self, from: NodeId, _rank: usize, to: NodeId, msg: M, _words: usize) {
+        self.dispatch(from, to, msg);
+    }
+    fn broadcast(&mut self, from: NodeId, nbrs: &[NodeId], msg: M, _words: usize) {
+        for &v in nbrs {
+            self.dispatch(from, v, msg.clone());
+        }
+    }
+}
+
+/// Run node `id` of `g` to completion over `endpoint`. Returns the
+/// final protocol state, the node's counters (also sent to the
+/// coordinator as [`CtlMsg::Final`]) and the coordinator's outcome.
+pub fn node_main<P, E>(
+    id: NodeId,
+    g: &WGraph,
+    cfg: &TransportConfig,
+    node: P,
+    endpoint: &mut E,
+) -> (P, NodeReport, RunOutcome)
+where
+    P: Protocol,
+    E: NodeEndpoint<P::Msg>,
+{
+    let mut runner = NodeRunner::new(id, g, node);
+    runner.init(g);
+    let nbrs = g.comm_neighbors(id);
+    let deg = nbrs.len();
+
+    // Frames that raced ahead of the control plane: a peer may start
+    // (and finish) sending for round r while we are still waiting for
+    // our own Go(r). Nothing can run further ahead than that — the
+    // coordinator only issues Go(r + 1) after *our* Done(r) — so every
+    // stashed frame belongs to the round we are about to execute.
+    let mut stash: VecDeque<(NodeId, Frame<P::Msg>)> = VecDeque::new();
+    // Delay-faulted messages parked until their due round, mirroring
+    // the simulator's delayed queue (due round -> arrival-ordered batch).
+    let mut pending: BTreeMap<Round, Vec<(NodeId, P::Msg)>> = BTreeMap::new();
+    let mut tally = LocalTally::default();
+    let mut inbox: Vec<Envelope<P::Msg>> = Vec::new();
+    // Per-neighbor-rank buffers for the collection phase; rank order is
+    // sender-id order, which is the simulator's delivery order.
+    let mut fresh: Vec<Vec<P::Msg>> = (0..deg).map(|_| Vec::new()).collect();
+    let mut parked: Vec<Vec<(Round, P::Msg)>> = (0..deg).map(|_| Vec::new()).collect();
+
+    let outcome = loop {
+        let ctl = loop {
+            match endpoint.recv() {
+                Event::Ctl(c) => break c,
+                Event::Peer { from, frame } => stash.push_back((from, frame)),
+            }
+        };
+        let round = match ctl {
+            CtlMsg::Go { round } => round,
+            CtlMsg::Stop { outcome } => {
+                debug_assert!(stash.is_empty(), "frames in flight past the final barrier");
+                break outcome;
+            }
+            CtlMsg::Done { .. } | CtlMsg::Final { .. } => {
+                panic!("node {id}: coordinator sent a node-to-coordinator message")
+            }
+        };
+
+        // --- 1. late deliveries from delay faults ---
+        let mut late = 0u64;
+        while let Some((&due, _)) = pending.first_key_value() {
+            if due > round {
+                break;
+            }
+            let (_, batch) = pending.pop_first().expect("checked non-empty");
+            for (from, msg) in batch {
+                inbox.push(Envelope::new(from, msg));
+                late += 1;
+            }
+        }
+        tally.late_delivered += late;
+
+        // --- 2. send phase ---
+        runner.poll_send(round, g);
+        let sent = {
+            let mut sink = FaultSink {
+                endpoint: &mut *endpoint,
+                faults: cfg.faults.as_ref(),
+                tally: &mut tally,
+                round,
+                _msg: std::marker::PhantomData,
+            };
+            runner.drain_sends(
+                round,
+                g,
+                cfg.max_words,
+                cfg.enforce_link_capacity,
+                &mut sink,
+            )
+        };
+
+        // --- 3. end-of-round markers ---
+        for &v in nbrs {
+            endpoint.send_peer(v, Frame::EndRound { round });
+        }
+
+        // --- 4. collect this round's frames ---
+        let mut markers = 0usize;
+        while markers < deg {
+            let (from, frame) = match stash.pop_front() {
+                Some(e) => e,
+                None => match endpoint.recv() {
+                    Event::Peer { from, frame } => (from, frame),
+                    Event::Ctl(_) => {
+                        panic!("node {id}: control message while collecting round {round}")
+                    }
+                },
+            };
+            let rank = nbrs
+                .binary_search(&from)
+                .unwrap_or_else(|_| panic!("node {id}: frame from non-neighbor {from}"));
+            match frame {
+                Frame::EndRound { round: r } => {
+                    assert_eq!(r, round, "node {id}: round marker from a different round");
+                    markers += 1;
+                }
+                Frame::Payload { round: r, due, msg } => {
+                    assert_eq!(r, round, "node {id}: payload from a different round");
+                    if due == round {
+                        fresh[rank].push(msg);
+                    } else {
+                        parked[rank].push((due, msg));
+                    }
+                }
+            }
+        }
+        for rank in 0..deg {
+            for msg in fresh[rank].drain(..) {
+                inbox.push(Envelope::new(nbrs[rank], msg));
+            }
+            for (due, msg) in parked[rank].drain(..) {
+                pending.entry(due).or_default().push((nbrs[rank], msg));
+            }
+        }
+
+        // --- 5. late-touched inboxes are sorted back into sender order ---
+        if late > 0 && inbox.len() > 1 {
+            inbox.sort_by_key(|e| e.from);
+        }
+
+        // --- 6. receive phase (dirty inboxes only) ---
+        if !inbox.is_empty() {
+            runner.receive(round, &inbox, g);
+            inbox.clear();
+        }
+
+        // --- 7. barrier report ---
+        let hint = runner.earliest_send(round + 1, g);
+        let pending_due = pending.keys().next().copied();
+        endpoint.send_ctl(CtlMsg::Done {
+            round,
+            sent,
+            late,
+            hint,
+            pending_due,
+        });
+    };
+
+    let report = NodeReport {
+        node_sends: runner.node_sends(),
+        messages: runner.messages(),
+        total_words: runner.total_words(),
+        max_link_load: runner.max_link_load(),
+        dropped: tally.dropped,
+        outage_dropped: tally.outage_dropped,
+        duplicated: tally.duplicated,
+        delayed: tally.delayed,
+        late_delivered: tally.late_delivered,
+    };
+    endpoint.send_ctl(CtlMsg::Final { report });
+    (runner.into_node(), report, outcome)
+}

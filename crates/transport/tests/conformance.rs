@@ -1,0 +1,336 @@
+//! Cross-backend conformance: every transport backend must reproduce
+//! the simulator's results bit for bit — final node states, outcome,
+//! and the full `RunStats` including congestion and fault counters —
+//! on the same graphs, seeds and fault plans.
+
+use dw_congest::{
+    EngineConfig, Envelope, FaultPlan, LinkDelay, Network, NodeCtx, Outage, Outbox, Protocol,
+    Round, RunOutcome, RunStats,
+};
+use dw_graph::gen::{self, WeightDist};
+use dw_graph::{NodeId, WGraph};
+use dw_transport::channels::run_threads;
+use dw_transport::coordinator::coordinate;
+use dw_transport::stdio::{
+    line_dest, parse_node_name, pipe_with_sender, pipe_writer, run_node_stdio, StdioCoord, COORD,
+};
+use dw_transport::tcp::run_tcp_loopback;
+use dw_transport::worker::TransportConfig;
+use dw_transport::TransportRun;
+use std::io::BufReader;
+use std::sync::mpsc::channel;
+
+/// Hop-count flood from node 0: broadcast-heavy, converges quietly.
+struct Flood {
+    dist: Option<u64>,
+    announced: bool,
+}
+
+impl Protocol for Flood {
+    type Msg = u64;
+    fn init(&mut self, ctx: &NodeCtx) {
+        if ctx.id == 0 {
+            self.dist = Some(0);
+        }
+    }
+    fn send(&mut self, _round: Round, _ctx: &NodeCtx, out: &mut Outbox<u64>) {
+        if let (Some(d), false) = (self.dist, self.announced) {
+            out.broadcast(d);
+            self.announced = true;
+        }
+    }
+    fn receive(&mut self, _round: Round, inbox: &[Envelope<u64>], _ctx: &NodeCtx) {
+        for env in inbox {
+            let cand = env.msg() + 1;
+            if self.dist.is_none_or(|d| cand < d) {
+                self.dist = Some(cand);
+                self.announced = false;
+            }
+        }
+    }
+}
+
+fn new_flood(_v: NodeId) -> Flood {
+    Flood {
+        dist: None,
+        announced: false,
+    }
+}
+
+/// A sparse-schedule protocol: node `v` broadcasts its id once, in
+/// round `(v + 1) * 40`, and advertises that via `earliest_send`. Long
+/// quiet stretches exercise the coordinator's fast-forward jumps.
+struct Sparse {
+    fired: bool,
+    heard: Vec<u64>,
+}
+
+impl Protocol for Sparse {
+    type Msg = u64;
+    fn send(&mut self, round: Round, ctx: &NodeCtx, out: &mut Outbox<u64>) {
+        if !self.fired && round == (ctx.id as Round + 1) * 40 {
+            out.broadcast(ctx.id as u64);
+            self.fired = true;
+        }
+    }
+    fn receive(&mut self, _round: Round, inbox: &[Envelope<u64>], _ctx: &NodeCtx) {
+        for env in inbox {
+            self.heard.push(*env.msg());
+        }
+    }
+    fn earliest_send(&self, after: Round, ctx: &NodeCtx) -> Option<Round> {
+        let mine = (ctx.id as Round + 1) * 40;
+        (!self.fired && mine >= after).then_some(mine)
+    }
+}
+
+fn new_sparse(_v: NodeId) -> Sparse {
+    Sparse {
+        fired: false,
+        heard: Vec::new(),
+    }
+}
+
+fn simulate<P: Protocol>(
+    g: &WGraph,
+    faults: Option<FaultPlan>,
+    budget: Round,
+    make: impl FnMut(NodeId) -> P,
+) -> (Vec<P>, RunStats, RunOutcome) {
+    let cfg = EngineConfig {
+        faults,
+        ..EngineConfig::default()
+    };
+    let mut net = Network::new(g, cfg, make);
+    let outcome = net.run(budget);
+    let stats = net.stats();
+    (net.into_nodes(), stats, outcome)
+}
+
+fn transport_cfg(faults: Option<FaultPlan>) -> TransportConfig {
+    TransportConfig {
+        faults,
+        ..TransportConfig::default()
+    }
+}
+
+/// Run a whole network over the stdio backend inside one process: each
+/// node and the coordinator writes JSON lines into a shared sink; a
+/// router thread forwards every line to its `dest` stdin, exactly like
+/// an external Maelstrom-style harness would.
+fn run_stdio_network<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    mut make: impl FnMut(NodeId) -> P,
+) -> TransportRun<P>
+where
+    P::Msg: dw_congest::WireCodec,
+{
+    let n = g.n();
+    let (net_tx, net_rx) = channel::<Vec<u8>>();
+    let mut stdin_txs = Vec::with_capacity(n);
+    let mut stdin_rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = pipe_with_sender();
+        stdin_txs.push(tx);
+        stdin_rxs.push(rx);
+    }
+    let (coord_tx, coord_rx) = pipe_with_sender();
+
+    let router = std::thread::spawn(move || {
+        for chunk in net_rx {
+            let line = String::from_utf8(chunk.clone()).expect("lines are utf-8");
+            let dest = line_dest(&line).expect("line has a dest");
+            let forwarded = if dest == COORD {
+                coord_tx.send(chunk).is_ok()
+            } else {
+                let v = parse_node_name(dest).expect("dest is a node") as usize;
+                stdin_txs[v].send(chunk).is_ok()
+            };
+            // A closed stdin means that participant already finished;
+            // any further traffic to it would be a protocol bug, which
+            // the participants themselves assert on.
+            let _ = forwarded;
+        }
+    });
+
+    let run = std::thread::scope(|s| {
+        let handles: Vec<_> = stdin_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(v, rx)| {
+                let node = make(v as NodeId);
+                let out = pipe_writer(net_tx.clone());
+                s.spawn(move || run_node_stdio(g, cfg, v as NodeId, node, BufReader::new(rx), out))
+            })
+            .collect();
+        let mut coord = StdioCoord::new(n, BufReader::new(coord_rx), pipe_writer(net_tx.clone()));
+        drop(net_tx);
+        let (outcome, stats) = coordinate(n, budget, &mut coord);
+        let nodes = handles
+            .into_iter()
+            .map(|h| {
+                let (node, node_outcome) = h.join().expect("node thread panicked");
+                assert_eq!(node_outcome, outcome);
+                node
+            })
+            .collect();
+        TransportRun {
+            nodes,
+            stats,
+            outcome,
+        }
+    });
+    router.join().expect("router panicked");
+    run
+}
+
+#[test]
+fn threads_conform_across_seeds() {
+    for seed in [5, 6, 7] {
+        let g = gen::gnp_connected(20, 0.18, false, WeightDist::Constant(1), seed);
+        let (nodes, stats, outcome) = simulate(&g, None, 300, new_flood);
+        let run = run_threads(&g, &transport_cfg(None), 300, new_flood);
+        assert_eq!(run.outcome, outcome, "seed {seed}");
+        assert_eq!(run.stats, stats, "seed {seed}");
+        assert_eq!(
+            run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+            nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn threads_conform_under_faults_across_seeds() {
+    for seed in [11, 12, 13] {
+        let g = gen::gnp_connected(16, 0.2, false, WeightDist::Constant(1), seed);
+        let faults = FaultPlan::new(seed ^ 0xabc)
+            .with_drop(0.12)
+            .with_duplicate(0.06)
+            .with_delay(0.12, 5)
+            .with_outage(Outage {
+                from: 0,
+                to: 1,
+                start: 2,
+                end: 6,
+                symmetric: true,
+            });
+        let (nodes, stats, outcome) = simulate(&g, Some(faults.clone()), 400, new_flood);
+        let run = run_threads(&g, &transport_cfg(Some(faults)), 400, new_flood);
+        assert_eq!(run.outcome, outcome, "seed {seed}");
+        assert_eq!(run.stats, stats, "seed {seed}");
+        assert_eq!(
+            run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+            nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn threads_conform_under_heterogeneous_link_delays() {
+    let g = gen::gnp_connected(10, 0.3, false, WeightDist::Constant(1), 17);
+    let faults = FaultPlan::new(55)
+        .with_link_delay(LinkDelay {
+            from: 0,
+            to: 1,
+            p: 0.7,
+            max_delay: 6,
+        })
+        .with_link_delay(LinkDelay {
+            from: 1,
+            to: 0,
+            p: 0.2,
+            max_delay: 2,
+        });
+    let (nodes, stats, outcome) = simulate(&g, Some(faults.clone()), 400, new_flood);
+    let run = run_threads(&g, &transport_cfg(Some(faults)), 400, new_flood);
+    assert_eq!(run.outcome, outcome);
+    assert_eq!(run.stats, stats);
+    assert!(stats.delayed > 0, "rules must fire: {stats:?}");
+    assert_eq!(
+        run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+        nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn threads_fast_forward_matches_simulator() {
+    let g = gen::ring(5, false, WeightDist::Constant(1), 0);
+    let (nodes, stats, outcome) = simulate(&g, None, 1000, new_sparse);
+    let run = run_threads(&g, &transport_cfg(None), 1000, new_sparse);
+    assert_eq!(run.outcome, outcome);
+    assert_eq!(outcome, RunOutcome::Quiet);
+    assert_eq!(run.stats, stats);
+    assert!(
+        stats.rounds_executed < stats.rounds,
+        "sparse schedule must fast-forward: {stats:?}"
+    );
+    assert_eq!(
+        run.nodes
+            .iter()
+            .map(|x| x.heard.clone())
+            .collect::<Vec<_>>(),
+        nodes.iter().map(|x| x.heard.clone()).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn tcp_loopback_conforms_across_seeds() {
+    for seed in [21, 22, 23] {
+        let g = gen::gnp_connected(8, 0.35, false, WeightDist::Constant(1), seed);
+        let (nodes, stats, outcome) = simulate(&g, None, 200, new_flood);
+        let run = run_tcp_loopback(&g, &transport_cfg(None), 200, new_flood).unwrap();
+        assert_eq!(run.outcome, outcome, "seed {seed}");
+        assert_eq!(run.stats, stats, "seed {seed}");
+        assert_eq!(
+            run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+            nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn tcp_loopback_conforms_under_delay_faults() {
+    let g = gen::gnp_connected(8, 0.3, false, WeightDist::Constant(1), 31);
+    let faults = FaultPlan::new(99).with_delay(0.3, 6);
+    let (nodes, stats, outcome) = simulate(&g, Some(faults.clone()), 300, new_flood);
+    let run = run_tcp_loopback(&g, &transport_cfg(Some(faults)), 300, new_flood).unwrap();
+    assert_eq!(run.outcome, outcome);
+    assert_eq!(run.stats, stats);
+    assert!(stats.delayed > 0, "plan must actually delay: {stats:?}");
+    assert_eq!(
+        run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+        nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn stdio_network_conforms() {
+    let g = gen::gnp_connected(6, 0.4, false, WeightDist::Constant(1), 41);
+    let (nodes, stats, outcome) = simulate(&g, None, 100, new_flood);
+    let run = run_stdio_network(&g, &transport_cfg(None), 100, new_flood);
+    assert_eq!(run.outcome, outcome);
+    assert_eq!(run.stats, stats);
+    assert_eq!(
+        run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+        nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn stdio_network_conforms_under_faults() {
+    let g = gen::gnp_connected(6, 0.4, false, WeightDist::Constant(1), 43);
+    let faults = FaultPlan::new(7).with_drop(0.1).with_delay(0.15, 4);
+    let (nodes, stats, outcome) = simulate(&g, Some(faults.clone()), 200, new_flood);
+    let run = run_stdio_network(&g, &transport_cfg(Some(faults)), 200, new_flood);
+    assert_eq!(run.outcome, outcome);
+    assert_eq!(run.stats, stats);
+    assert_eq!(
+        run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+        nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+    );
+}
