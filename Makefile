@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy report golden bench-smoke bench-check bench-baseline transport-conformance
+.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance
 
-ci: build test fmt clippy bench-check transport-conformance
+ci: build test fmt clippy obs-schema bench-check transport-conformance
 
 build:
 	$(CARGO) build --release
@@ -26,6 +26,14 @@ report:
 # Refresh the golden regression snapshots after an intentional change.
 golden:
 	UPDATE_GOLDEN=1 $(CARGO) test -q -p dwapsp --test golden_regression
+	UPDATE_GOLDEN=1 $(CARGO) test -q -p dwapsp --test obs_schema
+
+# The dwapsp-obs-v1 wire formats, pinned: golden JSONL + Chrome-trace
+# fixtures of a recorded Algorithm 3 run, and the parse -> re-export
+# byte-identity round trip. Refresh intentional changes with
+# `UPDATE_GOLDEN=1` (the `golden` target does both suites).
+obs-schema:
+	$(CARGO) test -q -p dwapsp --test obs_schema
 
 # The transport backends must reproduce the simulator bit for bit
 # (distances, RunStats, outcomes) — threads + loopback TCP + stdio, with
@@ -35,20 +43,20 @@ transport-conformance:
 	$(CARGO) test --release -q -p dwapsp --test transport_conformance
 
 # Engine micro-benchmarks (criterion shim): scheduling modes x seq/par on
-# idle-heavy, dense and fast-forward workloads, plus a small e15_transport
-# runtime-throughput pass. For eyeballing, not CI.
+# idle-heavy, dense and fast-forward workloads, plus small e15_transport /
+# e16_alg3_phases passes. For eyeballing, not CI.
 bench-smoke:
 	$(CARGO) bench -p dw-bench --bench engine_microbench
 	$(CARGO) run --release -p dw-bench --bin transport_bench -- --smoke
 
 # Throughput regression gate: re-measures the workload set of the
-# highest-numbered BENCH_*.json (engine modes + e15 transport runtimes)
-# and fails on a >20% rounds/sec regression. Soft-passes with a warning
-# until a baseline exists.
+# highest-numbered BENCH_*.json (engine modes + e15 transport runtimes +
+# e16 recorded phases) and fails on a >20% rounds/sec regression.
+# Soft-passes with a warning until a baseline exists.
 bench-check:
 	$(CARGO) run --release -p dw-bench --bin bench_check
 
-# Re-record the BENCH_3.json baseline (carries the frozen pre_pr history
-# forward from BENCH_2.json).
+# Re-record the BENCH_4.json baseline (carries the frozen pre_pr history
+# forward from BENCH_3.json).
 bench-baseline:
-	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_3.json --keep-pre BENCH_2.json
+	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_4.json --keep-pre BENCH_3.json

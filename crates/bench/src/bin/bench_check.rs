@@ -24,6 +24,7 @@
 //! should not fail CI, a real regression reproduces in every pass.
 
 use dw_bench::engine_bench::{run_all, standard_modes, Measurement};
+use dw_bench::obs_bench::run_alg3_phases;
 use dw_bench::transport_bench::run_all_transport;
 use std::process::ExitCode;
 
@@ -153,12 +154,16 @@ fn main() -> ExitCode {
 
     let modes = standard_modes();
     // Only measure what the baseline can gate: pre-e15 baselines skip
-    // the transport pass entirely.
+    // the transport pass, pre-e16 baselines the recorded-phase pass.
     let want_transport = baseline.iter().any(|b| b.workload.starts_with("e15_"));
+    let want_phases = baseline.iter().any(|b| b.workload.starts_with("e16_"));
     let measure_pass = || {
         let mut v = run_all(&modes);
         if want_transport {
             v.extend(run_all_transport(false));
+        }
+        if want_phases {
+            v.extend(run_alg3_phases(false));
         }
         v
     };

@@ -1,19 +1,22 @@
-//! Measure runtime throughput and emit `BENCH_3.json`.
+//! Measure runtime throughput and emit `BENCH_4.json`.
 //!
 //! ```text
-//! transport_bench [--out BENCH_3.json] [--keep-pre EXISTING.json] [--smoke]
+//! transport_bench [--out BENCH_4.json] [--keep-pre EXISTING.json] [--smoke]
 //! ```
 //!
-//! `BENCH_3.json` supersedes `BENCH_2.json` as the `bench_check`
+//! `BENCH_4.json` supersedes `BENCH_3.json` as the `bench_check`
 //! baseline (the gate picks the highest-numbered `BENCH_*.json`): it
-//! contains the engine workload set of [`dw_bench::engine_bench`] *plus*
-//! the `e15_transport` set — threads-vs-simulator rounds/sec and TCP
-//! loopback throughput for Algorithm 1 APSP and short-range. `--keep-pre`
-//! carries the frozen `"mode":"pre_pr"` history forward from an existing
-//! file. `--smoke` runs the reduced `e15` instances and writes nothing —
-//! the `make bench-smoke` sanity pass.
+//! contains the engine workload set of [`dw_bench::engine_bench`], the
+//! `e15_transport` set — threads-vs-simulator rounds/sec and TCP
+//! loopback throughput for Algorithm 1 APSP and short-range — *plus*
+//! the `e16_alg3_phases` set: per-phase throughput of the recorded
+//! Algorithm 3 decomposition, so phase-level regressions are gated too.
+//! `--keep-pre` carries the frozen `"mode":"pre_pr"` history forward
+//! from an existing file. `--smoke` runs the reduced `e15`/`e16`
+//! instances and writes nothing — the `make bench-smoke` sanity pass.
 
 use dw_bench::engine_bench::{run_all, standard_modes, to_json_entries};
+use dw_bench::obs_bench::run_alg3_phases;
 use dw_bench::transport_bench::{print_entry, run_all_transport};
 
 fn main() {
@@ -24,7 +27,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
     let keep_pre = args
         .iter()
         .position(|a| a == "--keep-pre")
@@ -35,12 +38,16 @@ fn main() {
         for m in run_all_transport(true) {
             print_entry(&m);
         }
+        for m in run_alg3_phases(true) {
+            print_entry(&m);
+        }
         eprintln!("transport_bench: smoke pass done (nothing written)");
         return;
     }
 
     let mut ms = run_all(&standard_modes());
     ms.extend(run_all_transport(false));
+    ms.extend(run_alg3_phases(false));
     for m in &ms {
         print_entry(m);
     }

@@ -1,0 +1,105 @@
+//! `e16_alg3_phases`: per-phase throughput of the recorded Algorithm 3
+//! decomposition.
+//!
+//! One fixed zero-heavy APSP instance runs under an `ObsRecorder`; the
+//! phase aggregation (`dw_obs::report::aggregate_phases`) then yields
+//! one measurement per top-level phase — `csssp`, `blocker_scores`,
+//! `blocker_select`, `alg4_update`, `per_blocker_sssp`, `broadcast` —
+//! with the phase name in the `mode` column. This puts the *shape* of
+//! Algorithm 3 under the regression gate: a change that silently shifts
+//! rounds from the pipelined CSSSP into the per-blocker Bellman–Ford
+//! fallback (or slows one phase's executed-rounds throughput) fails
+//! `bench_check` even when the end-to-end totals still look fine.
+//!
+//! Purely local phases (`combine`: zero rounds by construction) are not
+//! emitted — a rounds-per-second gate on a zero-round phase would be
+//! vacuous or divide by zero.
+//!
+//! The entries land in `BENCH_4.json` (via the `transport_bench`
+//! binary) and are gated by `bench_check` exactly like the engine and
+//! `e15` workloads.
+
+use crate::engine_bench::Measurement;
+use crate::workloads;
+use dw_blocker::alg3::alg3_apsp_recorded;
+use dw_congest::EngineConfig;
+use dw_obs::report::{aggregate_phases, PhaseAgg};
+use dw_obs::ObsRecorder;
+
+/// Hop parameter of the fixed instance: small enough relative to `n`
+/// that blocker selection, the per-blocker SSSPs and the broadcasts all
+/// do real work.
+const H: u64 = 3;
+
+fn record_phases(n: usize) -> Vec<PhaseAgg> {
+    let wl = workloads::zero_heavy(n, 5, 64);
+    let delta = wl.delta_h(2 * H as usize);
+    let mut rec = ObsRecorder::new();
+    let out = alg3_apsp_recorded(&wl.graph, H, delta, EngineConfig::default(), &mut rec);
+    assert!(
+        !out.blockers.is_empty(),
+        "e16 workload must select blockers"
+    );
+    aggregate_phases(rec.recording())
+}
+
+/// The fixed `e16_alg3_phases` measurement set, in stable phase order
+/// (first-seen execution order, which is deterministic). Each phase is
+/// measured warmup + best-of-three like every other workload: the phase
+/// stats are identical across runs, so keeping the minimum wall time
+/// per phase strips scheduler noise.
+pub fn run_alg3_phases(smoke: bool) -> Vec<Measurement> {
+    let n = if smoke { 14 } else { 28 };
+    let _ = record_phases(n); // warmup
+    let mut best = record_phases(n);
+    for _ in 0..2 {
+        for (b, fresh) in best.iter_mut().zip(record_phases(n)) {
+            assert_eq!(b.name, fresh.name, "phase order must be deterministic");
+            assert_eq!(b.stats, fresh.stats, "phase stats must be deterministic");
+            b.wall_ns = b.wall_ns.min(fresh.wall_ns);
+        }
+    }
+    best.iter()
+        .filter(|p| p.stats.rounds_executed > 0)
+        .map(|p| {
+            let wall_s = (p.wall_ns as f64 / 1e9).max(1e-9);
+            Measurement {
+                workload: "e16_alg3_phases",
+                mode: p.name,
+                n,
+                rounds: p.stats.rounds,
+                rounds_executed: p.stats.rounds_executed,
+                messages: p.stats.messages,
+                wall_ms: p.wall_ns as f64 / 1e6,
+                rounds_per_sec: p.stats.rounds_executed as f64 / wall_s,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_set_is_stable_and_nonempty() {
+        let ms = run_alg3_phases(true);
+        let names: Vec<&str> = ms.iter().map(|m| m.mode).collect();
+        assert_eq!(
+            names,
+            [
+                "csssp",
+                "blocker_scores",
+                "blocker_select",
+                "alg4_update",
+                "per_blocker_sssp",
+                "broadcast"
+            ],
+            "e16 phase rows changed — regenerate the bench baseline"
+        );
+        for m in &ms {
+            assert!(m.rounds_executed > 0, "{} must execute rounds", m.mode);
+            assert!(m.rounds_per_sec > 0.0);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! `rounds_per_sec` is a clean apples-to-apples throughput comparison
 //! and messages-per-second a clean wire-throughput measure for TCP.
 //!
-//! The entries land in `BENCH_3.json` (via the `transport_bench`
+//! The entries land in `BENCH_4.json` (via the `transport_bench`
 //! binary) and are gated by `bench_check` exactly like the engine
 //! workloads.
 

@@ -1,13 +1,13 @@
 //! Algorithm 3: the overall k-SSP / APSP algorithm
 //! (CSSSP → blocker set → per-blocker SSSP → broadcast → local combine).
 
-use crate::greedy::{find_blocker_set, BlockerOutcome};
+use crate::greedy::{find_blocker_set_recorded, BlockerOutcome};
 use crate::knowledge::TreeKnowledge;
 use dw_baselines::bf_k_source;
 use dw_congest::primitives::{build_bfs_tree, pipeline_broadcast};
-use dw_congest::{EngineConfig, MsgSize, RunStats};
+use dw_congest::{EngineConfig, MsgSize, NullRecorder, Recorder, RunStats};
 use dw_graph::{NodeId, WGraph, Weight, INFINITY};
-use dw_pipeline::build_csssp;
+use dw_pipeline::build_csssp_recorded;
 use dw_seqref::DistMatrix;
 
 /// `(source index, δ_h(source, c))` broadcast payload — 2 words.
@@ -50,16 +50,34 @@ pub fn alg3_k_ssp(
     delta: Weight,
     engine: EngineConfig,
 ) -> Alg3Outcome {
+    alg3_k_ssp_recorded(g, sources, h, delta, engine, &mut NullRecorder)
+}
+
+/// As [`alg3_k_ssp`], recording the full phase decomposition on `rec`:
+/// `csssp` (with `hk_2h`/`validate` children), the blocker-selection
+/// spans (see `find_blocker_set_recorded`), one `per_blocker_sssp` per
+/// blocker, one `broadcast` per blocker, and a final zero-round
+/// `combine` for the local Step 5. Top-level span stats compose (via
+/// `RunStats::then`) exactly to [`Alg3Outcome::stats`] — the property
+/// the `prop_obs` suite in `dwapsp` checks.
+pub fn alg3_k_ssp_recorded(
+    g: &WGraph,
+    sources: &[NodeId],
+    h: u64,
+    delta: Weight,
+    engine: EngineConfig,
+    rec: &mut dyn Recorder,
+) -> Alg3Outcome {
     let n = g.n();
     let k = sources.len();
 
     // Step 1: h-hop CSSSP collection.
-    let (csssp, step1) = build_csssp(g, sources, h, delta, engine.clone());
+    let (csssp, step1) = build_csssp_recorded(g, sources, h, delta, engine.clone(), rec);
     let knowledge = TreeKnowledge::from_csssp(&csssp);
     let mut stats = step1.clone();
 
     // Step 2: blocker set.
-    let blocker = find_blocker_set(g, &knowledge, engine.clone());
+    let blocker = find_blocker_set_recorded(g, &knowledge, engine.clone(), rec);
     stats = stats.then(&blocker.stats);
     let blockers = blocker.blockers.clone();
 
@@ -68,7 +86,9 @@ pub fn alg3_k_ssp(
     let mut step3 = RunStats::default();
     let mut from_blocker: Vec<Vec<Weight>> = Vec::with_capacity(blockers.len());
     for &c in &blockers {
+        let span = rec.begin("per_blocker_sssp");
         let (res, st) = bf_k_source(g, &[c], n as u64 - 1, engine.clone());
+        rec.end(span, &st);
         step3 = step3.then(&st);
         from_blocker.push(res.dist.into_iter().next().unwrap());
     }
@@ -87,9 +107,11 @@ pub fn alg3_k_ssp(
                 d: csssp.dist[i][c as usize],
             })
             .collect();
+        let span = rec.begin("broadcast");
         let (tree, t_st) = build_bfs_tree(g, c, engine.clone());
-        step4 = step4.then(&t_st);
         let (per_node, b_st) = pipeline_broadcast(g, &tree, items.clone(), engine.clone());
+        rec.end(span, &t_st.then(&b_st));
+        step4 = step4.then(&t_st);
         step4 = step4.then(&b_st);
         for (v, heard_v) in heard.iter_mut().enumerate() {
             let got = if v == c as usize {
@@ -113,6 +135,7 @@ pub fn alg3_k_ssp(
 
     // Step 5: local combine at every node —
     // δ(x,v) = min(δ_h(x,v), min_c δ_h(x,c) + δ(c,v)). No communication.
+    let span = rec.begin("combine");
     let mut dist = vec![vec![INFINITY; n]; k];
     for i in 0..k {
         for v in 0..n {
@@ -127,6 +150,9 @@ pub fn alg3_k_ssp(
             dist[i][v] = best;
         }
     }
+    // purely local: a zero-round span, present so the report accounts
+    // for every step of Algorithm 3
+    rec.end(span, &RunStats::default());
 
     Alg3Outcome {
         matrix: DistMatrix::new(sources.to_vec(), dist),
@@ -144,6 +170,18 @@ pub fn alg3_k_ssp(
 pub fn alg3_apsp(g: &WGraph, h: u64, delta: Weight, engine: EngineConfig) -> Alg3Outcome {
     let sources: Vec<NodeId> = g.nodes().collect();
     alg3_k_ssp(g, &sources, h, delta, engine)
+}
+
+/// As [`alg3_apsp`], recording the phase decomposition on `rec`.
+pub fn alg3_apsp_recorded(
+    g: &WGraph,
+    h: u64,
+    delta: Weight,
+    engine: EngineConfig,
+    rec: &mut dyn Recorder,
+) -> Alg3Outcome {
+    let sources: Vec<NodeId> = g.nodes().collect();
+    alg3_k_ssp_recorded(g, &sources, h, delta, engine, rec)
 }
 
 /// The hop parameter suggested by Theorem I.2's proof for the

@@ -11,7 +11,7 @@ use crate::knowledge::TreeKnowledge;
 use crate::scores::compute_initial_scores;
 use crate::update::{ancestor_updates, descendant_updates};
 use dw_congest::primitives::{build_bfs_tree, converge_max, pipeline_broadcast};
-use dw_congest::{EngineConfig, RunStats};
+use dw_congest::{EngineConfig, NullRecorder, Recorder, RunStats};
 use dw_graph::{NodeId, WGraph};
 
 /// Result of the blocker-set computation.
@@ -39,32 +39,57 @@ pub fn find_blocker_set(
     knowledge: &TreeKnowledge,
     engine: EngineConfig,
 ) -> BlockerOutcome {
+    find_blocker_set_recorded(g, knowledge, engine, &mut NullRecorder)
+}
+
+/// As [`find_blocker_set`], recording phase spans: `blocker_scores`
+/// (initial score aggregation + BFS spanning tree), one
+/// `blocker_select` per greedy iteration (the converge-max plus the
+/// announcement broadcast — including the final probe that finds no
+/// positive score), one `alg4_update` per selection (ancestor +
+/// descendant score updates), and a `blocker.selected` counter.
+pub fn find_blocker_set_recorded(
+    g: &WGraph,
+    knowledge: &TreeKnowledge,
+    engine: EngineConfig,
+    rec: &mut dyn Recorder,
+) -> BlockerOutcome {
+    let span = rec.begin("blocker_scores");
     let (mut scores, score_stats) = compute_initial_scores(g, knowledge, engine.clone());
     let mut stats = score_stats.clone();
     let (bfs, bfs_stats) = build_bfs_tree(g, 0, engine.clone());
     stats = stats.then(&bfs_stats);
+    rec.end(span, &stats);
 
     let mut blockers = Vec::new();
     let mut alg4_max_inbox = 0;
     let mut alg4_max_rounds = 0;
     loop {
         let totals: Vec<u64> = scores.iter().map(|row| row.iter().sum()).collect();
+        let span = rec.begin("blocker_select");
         let ((best, c), cc_stats) = converge_max(g, &bfs, &totals, engine.clone());
-        stats = stats.then(&cc_stats);
+        let mut select_stats = cc_stats;
         if best == 0 {
+            rec.end(span, &select_stats);
+            stats = stats.then(&select_stats);
             break;
         }
         // announce the chosen blocker to every node
         let (_, bc_stats) = pipeline_broadcast(g, &bfs, vec![c as u64], engine.clone());
-        stats = stats.then(&bc_stats);
+        select_stats = select_stats.then(&bc_stats);
+        rec.end(span, &select_stats);
+        stats = stats.then(&select_stats);
         blockers.push(c);
+        rec.counter("blocker.selected", 1);
 
+        let span = rec.begin("alg4_update");
         let anc_stats = ancestor_updates(g, knowledge, c, &mut scores, engine.clone());
-        stats = stats.then(&anc_stats);
         let desc = descendant_updates(g, knowledge, c, &mut scores, engine.clone());
         alg4_max_inbox = alg4_max_inbox.max(desc.max_inbox);
         alg4_max_rounds = alg4_max_rounds.max(desc.stats.rounds);
-        stats = stats.then(&desc.stats);
+        let update_stats = anc_stats.then(&desc.stats);
+        rec.end(span, &update_stats);
+        stats = stats.then(&update_stats);
     }
 
     BlockerOutcome {

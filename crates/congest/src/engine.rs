@@ -34,6 +34,7 @@ use crate::pool::{Ptr, WorkerPool};
 use crate::protocol::{Protocol, Round};
 use crate::runner::{NodeRunner, SendSink};
 use dw_graph::{NodeId, WGraph};
+use dw_obs::Recorder;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
@@ -675,6 +676,42 @@ impl<'g, P: Protocol> Network<'g, P> {
         }
     }
 
+    /// As [`Network::run`], emitting one [`Recorder::round`] event per
+    /// *executed* round (fast-forwarded silent rounds produce no event).
+    ///
+    /// Deliberately a separate loop rather than an `Option<&mut dyn
+    /// Recorder>` parameter on [`Network::run`]: the unrecorded path —
+    /// every default entry point — keeps exactly the instruction stream
+    /// it had before observability existed.
+    pub fn run_recorded(&mut self, max_rounds: Round, rec: &mut dyn Recorder) -> RunOutcome {
+        loop {
+            if self.round >= max_rounds {
+                return RunOutcome::BudgetExhausted;
+            }
+            let sent = self.step_one();
+            if sent > 0 {
+                rec.round(self.round, sent);
+            } else {
+                let mut next = match self.cfg.scheduling {
+                    SchedulingMode::ExhaustivePoll => self.scan_earliest(),
+                    SchedulingMode::ActiveSet => self.next_scheduled(),
+                };
+                if let Some((&due, _)) = self.pending.first_key_value() {
+                    next = Some(next.map_or(due, |cur| cur.min(due)));
+                }
+                match next {
+                    None => return RunOutcome::Quiet,
+                    Some(r) => {
+                        let target = r.min(max_rounds + 1) - 1;
+                        if target > self.round {
+                            self.round = target;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Metrics snapshot.
     pub fn stats(&self) -> RunStats {
         RunStats {
@@ -795,6 +832,39 @@ mod tests {
         // node 0 announces in round 1, farthest node (hop 5) hears in round 5
         // and announces in round 6.
         assert_eq!(net.stats().rounds, 6);
+    }
+
+    #[test]
+    fn run_recorded_matches_run_and_emits_executed_rounds() {
+        let g = gen::gnp_connected(32, 0.12, false, WeightDist::Constant(1), 5);
+        let mk = |_| Flood {
+            dist: None,
+            announced: false,
+        };
+        let mut plain = Network::new(&g, EngineConfig::default(), mk);
+        assert_eq!(plain.run(10_000), RunOutcome::Quiet);
+
+        let mut rec = dw_obs::ObsRecorder::new();
+        let mut recorded = Network::new(&g, EngineConfig::default(), mk);
+        use dw_obs::Recorder as _;
+        let span = rec.begin("flood");
+        assert_eq!(recorded.run_recorded(10_000, &mut rec), RunOutcome::Quiet);
+        rec.end(span, &recorded.stats());
+
+        // identical execution...
+        assert_eq!(plain.stats(), recorded.stats());
+        let r = rec.into_recording();
+        // ...and one round event per round that carried messages, whose
+        // message counts sum to the stats total
+        assert_eq!(r.rounds.len() as u64, {
+            let mut t = crate::trace::RoundTrace::new();
+            let mut net = Network::new(&g, EngineConfig::default(), mk);
+            while net.step_traced(&mut t) > 0 || net.pending_deliveries() > 0 {}
+            t.records().len() as u64
+        });
+        let event_msgs: u64 = r.rounds.iter().map(|&(_, m)| m).sum();
+        assert_eq!(event_msgs, recorded.stats().messages);
+        assert_eq!(r.spans[0].stats, recorded.stats());
     }
 
     #[test]

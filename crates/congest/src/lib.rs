@@ -44,6 +44,9 @@ pub use engine::{EngineConfig, Network, RunOutcome, SchedulingMode};
 pub use fault::{FaultAction, FaultPlan, LinkDelay, Outage};
 pub use message::{Envelope, MsgSize};
 pub use metrics::RunStats;
+// Observability: re-export the recording surface so engine users don't
+// need a direct dw-obs dependency for the common cases.
+pub use dw_obs::{NullRecorder, ObsRecorder, Recorder, Recording, Span, SpanId};
 pub use outbox::Outbox;
 pub use protocol::{NodeCtx, Protocol, Round};
 pub use reliable::{Reliable, ReliableConfig, ReliableStats};

@@ -1,126 +1,9 @@
 //! Run metrics: everything the paper's bounds talk about.
+//!
+//! [`RunStats`] itself lives in `dw-obs` (the observability foundation
+//! crate, below this one in the dependency order) so that recorded
+//! spans can carry stat deltas without a dependency cycle. This module
+//! re-exports it; all existing `dw_congest::metrics::RunStats` /
+//! `dw_congest::RunStats` paths keep working unchanged.
 
-/// Statistics of one protocol execution.
-///
-/// * `rounds` — the round complexity: the index of the last round in which
-///   any message was in flight (silent trailing rounds don't count).
-/// * `rounds_executed` — rounds actually simulated (fast-forwarded silent
-///   rounds are counted in `rounds` but not here).
-/// * `messages` — total messages transmitted (one per link per send).
-/// * `max_link_load` — the **congestion**: the maximum, over all directed
-///   links `(u, v)`, of the number of messages carried over the whole run.
-/// * `max_node_sends` — maximum number of send rounds of any single node
-///   (Algorithm 2's congestion bound is stated per node: `<= sqrt(h)+1`
-///   messages sent by each node).
-/// * `max_round_messages` — peak messages in a single round.
-/// * `total_words` — sum of message sizes in words.
-///
-/// The `dropped` / `outage_dropped` / `duplicated` / `delayed` /
-/// `late_delivered` fields account for fault injection (see
-/// [`crate::fault`]); they are all zero when the engine runs without a
-/// fault plan. `messages` counts wire transmissions, so a dropped message
-/// still counts as sent but never as received.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct RunStats {
-    pub rounds: u64,
-    pub rounds_executed: u64,
-    pub messages: u64,
-    pub max_link_load: u64,
-    pub max_node_sends: u64,
-    pub max_round_messages: u64,
-    pub total_words: u64,
-    /// Messages destroyed by random loss faults.
-    pub dropped: u64,
-    /// Messages destroyed by scheduled link outages.
-    pub outage_dropped: u64,
-    /// Messages delivered twice by duplication faults.
-    pub duplicated: u64,
-    /// Messages postponed by delay faults.
-    pub delayed: u64,
-    /// Delayed messages that eventually arrived (late).
-    pub late_delivered: u64,
-}
-
-impl RunStats {
-    /// Merge stats of a phase that ran *after* `self` (rounds add,
-    /// congestion takes the max — links are reused across phases so the max
-    /// is a lower bound, which is the conservative direction for verifying
-    /// upper bounds).
-    pub fn then(&self, later: &RunStats) -> RunStats {
-        RunStats {
-            rounds: self.rounds + later.rounds,
-            rounds_executed: self.rounds_executed + later.rounds_executed,
-            messages: self.messages + later.messages,
-            max_link_load: self.max_link_load.max(later.max_link_load),
-            max_node_sends: self.max_node_sends.max(later.max_node_sends),
-            max_round_messages: self.max_round_messages.max(later.max_round_messages),
-            total_words: self.total_words + later.total_words,
-            dropped: self.dropped + later.dropped,
-            outage_dropped: self.outage_dropped + later.outage_dropped,
-            duplicated: self.duplicated + later.duplicated,
-            delayed: self.delayed + later.delayed,
-            late_delivered: self.late_delivered + later.late_delivered,
-        }
-    }
-
-    /// Total messages tampered with by fault injection.
-    pub fn fault_events(&self) -> u64 {
-        self.dropped + self.outage_dropped + self.duplicated + self.delayed
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn then_composes_phases() {
-        let a = RunStats {
-            rounds: 10,
-            rounds_executed: 4,
-            messages: 100,
-            max_link_load: 5,
-            max_node_sends: 3,
-            max_round_messages: 40,
-            total_words: 300,
-            dropped: 2,
-            outage_dropped: 1,
-            duplicated: 4,
-            delayed: 3,
-            late_delivered: 3,
-        };
-        let b = RunStats {
-            rounds: 7,
-            rounds_executed: 7,
-            messages: 10,
-            max_link_load: 9,
-            max_node_sends: 1,
-            max_round_messages: 2,
-            total_words: 20,
-            dropped: 1,
-            outage_dropped: 0,
-            duplicated: 0,
-            delayed: 2,
-            late_delivered: 1,
-        };
-        let c = a.then(&b);
-        assert_eq!(c.rounds, 17);
-        assert_eq!(c.rounds_executed, 11);
-        assert_eq!(c.messages, 110);
-        assert_eq!(c.max_link_load, 9);
-        assert_eq!(c.max_node_sends, 3);
-        assert_eq!(c.max_round_messages, 40);
-        assert_eq!(c.total_words, 320);
-        assert_eq!(c.dropped, 3);
-        assert_eq!(c.outage_dropped, 1);
-        assert_eq!(c.duplicated, 4);
-        assert_eq!(c.delayed, 5);
-        assert_eq!(c.late_delivered, 4);
-        assert_eq!(c.fault_events(), 13);
-    }
-
-    #[test]
-    fn fault_free_stats_have_zero_fault_events() {
-        assert_eq!(RunStats::default().fault_events(), 0);
-    }
-}
+pub use dw_obs::RunStats;

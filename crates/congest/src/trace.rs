@@ -61,25 +61,36 @@ impl RoundTrace {
     }
 
     pub(crate) fn push(&mut self, rec: RoundRecord) {
+        // Amortized O(1) eviction: let the buffer grow to 2×cap, then
+        // drain the stale half in one memmove. (A `VecDeque` would evict
+        // O(1) too, but `records()` hands out a contiguous `&[_]` from
+        // `&self`, which a ring buffer can't do without copying.) Live
+        // records are always the most recent `cap` — `records()` slices
+        // them out — so the extra storage is bounded at one cap's worth.
         self.records.push(rec);
-        if self.cap > 0 && self.records.len() > self.cap {
-            self.records.remove(0);
+        if self.cap > 0 && self.records.len() >= self.cap * 2 {
+            let excess = self.records.len() - self.cap;
+            self.records.drain(..excess);
         }
     }
 
-    /// All stored records, oldest first.
+    /// All stored records, oldest first (at most `cap` when capped).
     pub fn records(&self) -> &[RoundRecord] {
-        &self.records
+        if self.cap > 0 && self.records.len() > self.cap {
+            &self.records[self.records.len() - self.cap..]
+        } else {
+            &self.records
+        }
     }
 
     /// Record for a specific round, if it was executed and retained.
     pub fn round(&self, r: Round) -> Option<&RoundRecord> {
-        self.records.iter().find(|rec| rec.round == r)
+        self.records().iter().find(|rec| rec.round == r)
     }
 
     /// Rounds in which `v` sent something.
     pub fn send_rounds_of(&self, v: NodeId) -> Vec<Round> {
-        self.records
+        self.records()
             .iter()
             .filter(|rec| rec.senders.binary_search(&v).is_ok())
             .map(|rec| rec.round)
@@ -89,7 +100,7 @@ impl RoundTrace {
     /// Render the trace as an aligned text block (for failure messages).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for rec in &self.records {
+        for rec in self.records() {
             out.push_str(&format!(
                 "round {:>5}: {:>4} msgs from {:?}",
                 rec.round, rec.messages, rec.senders
@@ -145,6 +156,40 @@ mod tests {
         assert_eq!(t.records().len(), 2);
         assert!(t.round(1).is_none());
         assert!(t.round(3).is_some());
+    }
+
+    #[test]
+    fn cap_always_yields_most_recent_window() {
+        // Drive far past several drain cycles and check the visible
+        // window plus the storage bound at every step.
+        let cap = 7;
+        let mut t = RoundTrace::new().capped(cap);
+        for i in 1..=1000u64 {
+            t.push(rec(i, vec![0]));
+            let recs = t.records();
+            let want = cap.min(i as usize);
+            assert_eq!(recs.len(), want, "after {i} pushes");
+            let first = i + 1 - want as u64;
+            for (j, r) in recs.iter().enumerate() {
+                assert_eq!(r.round, first + j as u64);
+            }
+            assert!(t.round(i).is_some());
+            if i > cap as u64 {
+                assert!(t.round(i - cap as u64).is_none());
+                assert_eq!(t.send_rounds_of(0).len(), cap);
+            }
+            assert!(t.records.len() < cap * 2, "storage stays bounded");
+        }
+    }
+
+    #[test]
+    fn uncapped_trace_keeps_everything() {
+        let mut t = RoundTrace::new();
+        for i in 1..=100 {
+            t.push(rec(i, vec![0]));
+        }
+        assert_eq!(t.records().len(), 100);
+        assert_eq!(t.records()[0].round, 1);
     }
 
     #[test]

@@ -13,8 +13,15 @@
 
 use dwapsp::approx::approx_apsp;
 use dwapsp::baselines::bf_apsp;
-use dwapsp::blocker::alg3::{alg3_apsp, alg3_k_ssp, suggested_h_weight_regime};
+use dwapsp::blocker::alg3::{
+    alg3_apsp, alg3_apsp_recorded, alg3_k_ssp, alg3_k_ssp_recorded, suggested_h_weight_regime,
+};
 use dwapsp::graph::{analysis, gen, io as gio};
+use dwapsp::obs::export::{parse_jsonl, to_chrome_trace, to_jsonl};
+use dwapsp::obs::report::{aggregate_phases, render_report, PhaseBound};
+use dwapsp::obs::{ObsRecorder, Recorder, Recording};
+use dwapsp::pipeline::bound::hk_round_bound;
+use dwapsp::pipeline::runtime::run_hk_ssp_on_recorded;
 use dwapsp::pipeline::{default_budget, hk_ssp_node};
 use dwapsp::prelude::*;
 use dwapsp::seqref::matrices_equal;
@@ -38,6 +45,8 @@ fn main() {
     match cmd.as_str() {
         "gen" => cmd_gen(&get),
         "run" => cmd_run(&get),
+        "solve" => cmd_solve(&get),
+        "report" => cmd_report(&get),
         "run-node" => cmd_run_node(&get),
         "coordinator" => cmd_coordinator(&get),
         "validate" => cmd_validate(&get),
@@ -54,8 +63,10 @@ fn usage_and_exit() -> ! {
          [--runtime <sim|threads|tcp>]\n  dwapsp run-node --graph FILE --node-id V \
          --listen ADDR --peers u=ADDR,w=ADDR --coordinator ADDR [--sources a,b,c] \
          [--delta D] [--timeout-secs T]\n  dwapsp coordinator --graph FILE --listen ADDR \
-         [--sources a,b,c] [--budget B]\n  dwapsp validate --graph FILE\n  dwapsp info \
-         --graph FILE"
+         [--sources a,b,c] [--budget B]\n  dwapsp solve --graph FILE [--algo <alg1|alg3>] \
+         [--sources a,b,c] [--h H] [--runtime <sim|threads|tcp>] [--trace-out FILE] \
+         [--metrics-out FILE] [--print-matrix]\n  dwapsp report --metrics FILE\n  \
+         dwapsp validate --graph FILE\n  dwapsp info --graph FILE"
     );
     exit(2);
 }
@@ -246,6 +257,133 @@ fn cmd_run(get: &impl Fn(&str) -> Option<String>) {
             exit(2);
         }
     }
+}
+
+/// `solve`: run an algorithm under a phase recorder and emit the
+/// observability artifacts — a text report on stdout, optionally a
+/// JSONL event log (`--metrics-out`, readable by `dwapsp report`) and a
+/// Chrome-trace file (`--trace-out`, loadable in `chrome://tracing` /
+/// Perfetto).
+fn cmd_solve(get: &impl Fn(&str) -> Option<String>) {
+    let g = load(get);
+    let algo = get("--algo").unwrap_or_else(|| "alg3".into());
+    let rt = parse_runtime(get);
+    let sources = parse_sources(get, g.n());
+    let mut rec = ObsRecorder::new();
+    rec.meta("algo", algo.clone());
+    rec.meta("runtime", rt.as_str().to_string());
+    rec.meta("n", g.n().to_string());
+
+    let matrix = match algo.as_str() {
+        "alg1" => {
+            let delta = max_finite_distance(&g).max(1);
+            let cfg = match sources {
+                Some(s) => SspConfig::k_ssp(g.n(), s, delta),
+                None => SspConfig::apsp(g.n(), delta),
+            };
+            rec.meta("k", cfg.k().to_string());
+            rec.meta("h", cfg.h.to_string());
+            rec.meta("delta", delta.to_string());
+            let (res, _, _) =
+                run_hk_ssp_on_recorded(rt, &g, &cfg, EngineConfig::default(), &mut rec)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{} runtime failed: {e}", rt.as_str());
+                        exit(1);
+                    });
+            res.to_matrix()
+        }
+        "alg3" => {
+            if rt != Runtime::Sim {
+                eprintln!("--algo alg3 records phases on the simulator only (use --runtime sim)");
+                exit(2);
+            }
+            let h = get("--h").map_or_else(
+                || suggested_h_weight_regime(g.n(), g.n(), g.max_weight()),
+                |s| s.parse().expect("--h"),
+            );
+            let delta = dwapsp::seqref::max_finite_h_hop_distance(&g, 2 * h as usize).max(1);
+            rec.meta("k", sources.as_ref().map_or(g.n(), Vec::len).to_string());
+            rec.meta("h", h.to_string());
+            rec.meta("delta", delta.to_string());
+            let out = match sources {
+                Some(s) => alg3_k_ssp_recorded(&g, &s, h, delta, EngineConfig::default(), &mut rec),
+                None => alg3_apsp_recorded(&g, h, delta, EngineConfig::default(), &mut rec),
+            };
+            rec.meta("blockers", out.blockers.len().to_string());
+            out.matrix
+        }
+        other => {
+            eprintln!("solve supports --algo alg1 or alg3, not {other}");
+            exit(2);
+        }
+    };
+
+    let recording = rec.into_recording();
+    if let Some(path) = get("--metrics-out") {
+        std::fs::write(&path, to_jsonl(&recording)).expect("write metrics file");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = get("--trace-out") {
+        std::fs::write(&path, to_chrome_trace(&recording)).expect("write trace file");
+        eprintln!("wrote {path} (load in chrome://tracing or Perfetto)");
+    }
+    print!("{}", render_report(&recording, &phase_bounds(&recording)));
+    if get("--print-matrix").is_some() {
+        print_matrix(&matrix);
+    }
+}
+
+/// `report`: re-render the text report from a `--metrics-out` JSONL log.
+fn cmd_report(get: &impl Fn(&str) -> Option<String>) {
+    let path = get("--metrics").unwrap_or_else(|| {
+        eprintln!("--metrics FILE (a `dwapsp solve --metrics-out` log) is required");
+        exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let recording = parse_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    });
+    print!("{}", render_report(&recording, &phase_bounds(&recording)));
+}
+
+/// The paper bounds the report checks phases against, derived from the
+/// run meta (`k`, `h`, `delta`, `n`) the recorder stored.
+fn phase_bounds(rec: &Recording) -> Vec<PhaseBound> {
+    let meta_u64 = |key: &str| rec.meta_value(key).and_then(|v| v.parse::<u64>().ok());
+    let (Some(k), Some(h), Some(delta)) = (meta_u64("k"), meta_u64("h"), meta_u64("delta")) else {
+        return Vec::new();
+    };
+    let n = meta_u64("n").unwrap_or(0);
+    let mut bounds: Vec<PhaseBound> = vec![
+        (
+            "hk_ssp",
+            hk_round_bound(h, k, delta),
+            "Thm I.1: 2sqrt(dhk)+k+h",
+        ),
+        (
+            "csssp",
+            hk_round_bound(2 * h, k, delta) + 2 * (k + h + 2) + n,
+            "Thm I.1 at 2h + validation wave",
+        ),
+    ];
+    // Lemma III.8 bounds one Algorithm 4 invocation; the phase occurs
+    // once per selected blocker.
+    let q = aggregate_phases(rec)
+        .iter()
+        .find(|p| p.name == "alg4_update")
+        .map_or(0, |p| p.count as u64);
+    if q > 0 && k + h >= 1 {
+        bounds.push((
+            "alg4_update",
+            q * 2 * (k + h - 1),
+            "Lemma III.8: |Q| x 2(k+h-1)",
+        ));
+    }
+    bounds
 }
 
 /// The Algorithm 1 instance a distributed deployment solves. Every

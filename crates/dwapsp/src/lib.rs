@@ -30,6 +30,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`graph`] | `dw-graph` | graph type, generators, analysis |
+//! | [`obs`] | `dw-obs` | observability: run stats, phase spans, exporters |
 //! | [`congest`] | `dw-congest` | CONGEST round engine, primitives, scheduler |
 //! | [`seqref`] | `dw-seqref` | sequential references & validation |
 //! | [`pipeline`] | `dw-pipeline` | Algorithm 1, Algorithm 2, CSSSP |
@@ -43,6 +44,7 @@ pub use dw_baselines as baselines;
 pub use dw_blocker as blocker;
 pub use dw_congest as congest;
 pub use dw_graph as graph;
+pub use dw_obs as obs;
 pub use dw_pipeline as pipeline;
 pub use dw_seqref as seqref;
 pub use dw_transport as transport;
@@ -51,9 +53,10 @@ pub use dw_transport as transport;
 pub mod prelude {
     pub use dw_approx::approx_apsp;
     pub use dw_baselines::{bf_apsp, bf_k_source, unweighted_apsp};
-    pub use dw_blocker::alg3::{alg3_apsp, alg3_k_ssp};
+    pub use dw_blocker::alg3::{alg3_apsp, alg3_apsp_recorded, alg3_k_ssp, alg3_k_ssp_recorded};
     pub use dw_congest::{EngineConfig, Network, Protocol, RunStats};
     pub use dw_graph::{gen, GraphBuilder, NodeId, WGraph, Weight, INFINITY};
+    pub use dw_obs::{NullRecorder, ObsRecorder, Recorder, Recording};
     pub use dw_pipeline::{
         apsp, apsp_auto, build_csssp, k_ssp, run_hk_ssp, run_hk_ssp_on, short_range_sssp,
         short_range_sssp_on, Runtime, SspConfig,

@@ -92,6 +92,49 @@ fn short_range_conforms_under_faults() {
     }
 }
 
+/// The fault machinery itself is conformant, counter by counter: under
+/// the same seeded `FaultPlan`, the simulator and both transports must
+/// report bit-identical `dropped` / `duplicated` / `delayed` /
+/// `late_delivered` tallies (not just equal totals — each fault decision
+/// is driven by the same per-message hash, so the ledgers must agree
+/// entry for entry), and the plan must actually exercise every fault
+/// type so the equality is not vacuous.
+#[test]
+fn fault_counters_match_bit_for_bit_across_runtimes() {
+    let mut late_total = 0u64;
+    for (seed, g) in graphs() {
+        let delta = max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let plan = fault_plan(seed);
+        let (_, sim, _) =
+            run_hk_ssp_on(Runtime::Sim, &g, &cfg, engine(Some(plan.clone()))).unwrap();
+        assert!(
+            sim.dropped > 0 && sim.duplicated > 0 && sim.delayed > 0,
+            "seed {seed}: plan must exercise every fault type \
+             (dropped={} duplicated={} delayed={})",
+            sim.dropped,
+            sim.duplicated,
+            sim.delayed
+        );
+        late_total += sim.late_delivered;
+        for rt in [Runtime::Threads, Runtime::Tcp] {
+            let (_, st, _) = run_hk_ssp_on(rt, &g, &cfg, engine(Some(plan.clone()))).unwrap();
+            for ((name, want), (_, got)) in sim.fields().iter().zip(st.fields().iter()) {
+                assert_eq!(
+                    got,
+                    want,
+                    "seed {seed} runtime {}: {name} diverges from sim",
+                    rt.as_str()
+                );
+            }
+        }
+    }
+    assert!(
+        late_total > 0,
+        "across all seeds some delayed message must have arrived late"
+    );
+}
+
 /// The reliability layer (seq/ack retransmission) composes with the
 /// transports exactly as with the simulator: same retransmit schedule,
 /// same recovered distances, same fault tally.

@@ -1,0 +1,409 @@
+//! Wire formats for a [`Recording`]: JSONL event log (with a parser,
+//! so the CLI `report` subcommand and the golden schema test can
+//! round-trip it) and Chrome-trace JSON for `chrome://tracing` /
+//! Perfetto.
+//!
+//! Everything is hand-rolled (the workspace builds offline, without
+//! serde) against one schema, `dwapsp-obs-v1`; the field list comes
+//! from [`RunStats::fields`] so the formats can never drift from the
+//! stat record.
+
+use crate::recorder::{Recording, Span, SpanId};
+use crate::stats::RunStats;
+use std::fmt::Write as _;
+
+/// Schema tag of the JSONL log; bump on breaking changes.
+pub const JSONL_SCHEMA: &str = "dwapsp-obs-v1";
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a recording as one JSONL document: a schema line, `meta`
+/// lines, one `span` line per span (open order, so parents precede
+/// children), `counter` lines, and — when round samples were captured —
+/// a final `rounds` line.
+pub fn to_jsonl(rec: &Recording) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{\"type\":\"schema\",\"schema\":\"{JSONL_SCHEMA}\"}}");
+    for (k, v) in &rec.meta {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"key\":\"{}\",\"value\":\"{}\"}}",
+            escape_json(k),
+            escape_json(v)
+        );
+    }
+    for (i, s) in rec.spans.iter().enumerate() {
+        let parent = match s.parent {
+            Some(p) => p.index().to_string(),
+            None => "null".to_string(),
+        };
+        let mut line = format!(
+            "{{\"type\":\"span\",\"id\":{i},\"parent\":{parent},\"name\":\"{}\",\
+             \"start_round\":{},\"end_round\":{},\"wall_ns\":{}",
+            escape_json(s.name),
+            s.start_round,
+            s.end_round,
+            s.wall_ns
+        );
+        for (name, value) in s.stats.fields() {
+            let _ = write!(line, ",\"{name}\":{value}");
+        }
+        line.push('}');
+        let _ = writeln!(out, "{line}");
+    }
+    for (name, value) in &rec.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            escape_json(name)
+        );
+    }
+    if !rec.rounds.is_empty() || rec.rounds_dropped > 0 {
+        let samples: Vec<String> = rec
+            .rounds
+            .iter()
+            .map(|&(r, m)| format!("[{r},{m}]"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"rounds\",\"dropped\":{},\"samples\":[{}]}}",
+            rec.rounds_dropped,
+            samples.join(",")
+        );
+    }
+    out
+}
+
+// --- minimal JSON field extraction (one object per line) -------------------
+
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // first unescaped quote ends the string
+        let mut escaped = false;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '\\' if !escaped => escaped = true,
+                '"' if !escaped => return Some(&stripped[..i]),
+                _ => escaped = false,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+}
+
+fn unescape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    Some(unescape_json(field_raw(line, key)?))
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field_raw(line, key)?.trim().parse().ok()
+}
+
+/// Parse a [`to_jsonl`] document back into a [`Recording`].
+///
+/// Strict on schema, lenient on unknown line types (skipped), so a
+/// newer writer degrades gracefully in an older reader.
+pub fn parse_jsonl(doc: &str) -> Result<Recording, String> {
+    let mut rec = Recording::default();
+    let mut saw_schema = false;
+    // SpanId is constructed through begin(); here we rebuild the span
+    // table directly, so parent links are raw indices re-wrapped below.
+    for (lineno, line) in doc.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+        match field_raw(line, "type") {
+            Some("schema") => {
+                let schema = field_str(line, "schema").ok_or_else(|| err("missing schema"))?;
+                if schema != JSONL_SCHEMA {
+                    return Err(err(&format!(
+                        "unsupported schema {schema:?} (want {JSONL_SCHEMA:?})"
+                    )));
+                }
+                saw_schema = true;
+            }
+            Some("meta") => {
+                let k = field_str(line, "key").ok_or_else(|| err("missing key"))?;
+                let v = field_str(line, "value").ok_or_else(|| err("missing value"))?;
+                rec.meta.push((k, v));
+            }
+            Some("span") => {
+                let id = field_u64(line, "id").ok_or_else(|| err("missing id"))? as usize;
+                if id != rec.spans.len() {
+                    return Err(err("span ids must be dense and in order"));
+                }
+                let parent = match field_raw(line, "parent") {
+                    Some("null") | None => None,
+                    Some(p) => {
+                        let p: usize = p.trim().parse().map_err(|_| err("bad parent"))?;
+                        if p >= rec.spans.len() {
+                            return Err(err("parent references a later span"));
+                        }
+                        Some(SpanId::from_index(p))
+                    }
+                };
+                let name = field_str(line, "name").ok_or_else(|| err("missing name"))?;
+                let mut stats = RunStats::default();
+                for (field, _) in RunStats::default().fields() {
+                    let v = field_u64(line, field)
+                        .ok_or_else(|| err(&format!("missing stat {field}")))?;
+                    stats.set_field(field, v);
+                }
+                rec.spans.push(Span {
+                    name: leak_name(&name),
+                    parent,
+                    start_round: field_u64(line, "start_round")
+                        .ok_or_else(|| err("missing start_round"))?,
+                    end_round: field_u64(line, "end_round")
+                        .ok_or_else(|| err("missing end_round"))?,
+                    stats,
+                    wall_ns: field_u64(line, "wall_ns").unwrap_or(0),
+                });
+            }
+            Some("counter") => {
+                let name = field_str(line, "name").ok_or_else(|| err("missing name"))?;
+                let value = field_u64(line, "value").ok_or_else(|| err("missing value"))?;
+                *rec.counters.entry(name).or_insert(0) += value;
+            }
+            Some("rounds") => {
+                rec.rounds_dropped = field_u64(line, "dropped").unwrap_or(0);
+                // samples":[[r,m],[r,m]] — field_raw stops at the first
+                // ',' so extract the bracketed list manually.
+                let tag = "\"samples\":[";
+                if let Some(start) = line.find(tag) {
+                    let rest = &line[start + tag.len()..];
+                    let end = rest.rfind(']').unwrap_or(0);
+                    for pair in rest[..end].split("],") {
+                        let pair = pair.trim_matches(|c| c == '[' || c == ']');
+                        if pair.is_empty() {
+                            continue;
+                        }
+                        let (r, m) = pair.split_once(',').ok_or_else(|| err("bad sample"))?;
+                        rec.rounds.push((
+                            r.trim().parse().map_err(|_| err("bad sample round"))?,
+                            m.trim().parse().map_err(|_| err("bad sample count"))?,
+                        ));
+                    }
+                }
+            }
+            _ => {} // unknown line types are forward-compatible
+        }
+    }
+    if !saw_schema {
+        return Err("no schema line (not a dwapsp-obs JSONL log?)".to_string());
+    }
+    Ok(rec)
+}
+
+/// Span names parsed from a file are dynamic, but [`Span::name`] is
+/// `&'static str` (every in-process producer uses literals). Parsed
+/// names are interned here; a report/export pass reads a bounded number
+/// of distinct phase names, so the leak is a few bytes per process.
+fn leak_name(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .unwrap();
+    if let Some(&existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+// --- Chrome trace ----------------------------------------------------------
+
+/// Render a recording as a Chrome-trace document (`trace.json`): spans
+/// become complete (`"ph":"X"`) events on one track with `ts`/`dur` in
+/// rounds (1 round = 1 µs in the viewer), per-round message samples
+/// become a counter (`"ph":"C"`) track, and run meta lands on the
+/// process name. Loads in `chrome://tracing` and Perfetto.
+pub fn to_chrome_trace(rec: &Recording) -> String {
+    let mut events: Vec<String> = Vec::new();
+    let label = rec
+        .meta_value("algo")
+        .map(|a| format!("dwapsp {a}"))
+        .unwrap_or_else(|| "dwapsp".to_string());
+    events.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(&label)
+    ));
+    events.push(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"phases (1 round = 1us)\"}}"
+            .to_string(),
+    );
+    for s in &rec.spans {
+        let mut args = String::new();
+        for (name, value) in s.stats.fields() {
+            let _ = write!(args, ",\"{name}\":{value}");
+        }
+        let _ = write!(args, ",\"wall_ns\":{}", s.wall_ns);
+        // Chrome's viewer drops zero-duration X events; give local
+        // phases (e.g. `combine`) a visible 1-round sliver, flagged so
+        // the args stay truthful.
+        let dur = s.stats.rounds.max(1);
+        let zero = if s.stats.rounds == 0 {
+            ",\"zero_rounds\":true"
+        } else {
+            ""
+        };
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\"pid\":0,\"tid\":0,\
+             \"args\":{{\"span\":true{args}{zero}}}}}",
+            escape_json(s.name),
+            s.start_round,
+        ));
+    }
+    for &(round, messages) in &rec.rounds {
+        events.push(format!(
+            "{{\"name\":\"messages\",\"ph\":\"C\",\"ts\":{round},\"pid\":0,\
+             \"args\":{{\"messages\":{messages}}}}}"
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\",\
+         \"otherData\":{{\"schema\":\"{JSONL_SCHEMA}\"}}}}\n",
+        events.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{ObsRecorder, Recorder};
+
+    fn sample_recording() -> Recording {
+        let mut rec = ObsRecorder::new();
+        rec.meta("algo", "alg3".to_string());
+        rec.meta("n", "16".to_string());
+        let p = rec.begin("csssp");
+        let c = rec.begin("hk_2h");
+        rec.round(1, 9);
+        rec.round(2, 4);
+        rec.end(
+            c,
+            &RunStats {
+                rounds: 7,
+                rounds_executed: 5,
+                messages: 13,
+                max_link_load: 2,
+                ..RunStats::default()
+            },
+        );
+        rec.end(
+            p,
+            &RunStats {
+                rounds: 9,
+                rounds_executed: 7,
+                messages: 15,
+                max_link_load: 2,
+                ..RunStats::default()
+            },
+        );
+        let q = rec.begin("combine");
+        rec.end(q, &RunStats::default());
+        rec.counter("blocker.selected", 2);
+        let mut r = rec.into_recording();
+        r.normalize_wall();
+        r
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let rec = sample_recording();
+        let doc = to_jsonl(&rec);
+        let parsed = parse_jsonl(&doc).unwrap();
+        assert_eq!(parsed, rec);
+        // and the re-export is byte-identical (what the golden schema
+        // test in dwapsp relies on)
+        assert_eq!(to_jsonl(&parsed), doc);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage_and_wrong_schema() {
+        assert!(parse_jsonl("not json at all").is_err());
+        assert!(parse_jsonl("{\"type\":\"schema\",\"schema\":\"other-v9\"}").is_err());
+        assert!(parse_jsonl("").is_err());
+    }
+
+    #[test]
+    fn jsonl_escapes_meta_values() {
+        let mut rec = ObsRecorder::new();
+        rec.meta("note", "a \"quoted\"\nline\\path".to_string());
+        let r = rec.into_recording();
+        let parsed = parse_jsonl(&to_jsonl(&r)).unwrap();
+        assert_eq!(parsed.meta, r.meta);
+    }
+
+    #[test]
+    fn chrome_trace_contains_all_spans_and_counters() {
+        let rec = sample_recording();
+        let doc = to_chrome_trace(&rec);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.trim_end().ends_with('}'));
+        for name in ["csssp", "hk_2h", "combine"] {
+            assert!(doc.contains(&format!("\"name\":\"{name}\"")), "{name}");
+        }
+        assert!(doc.contains("\"ph\":\"C\""), "round samples as counters");
+        assert!(doc.contains("\"zero_rounds\":true"), "combine is local");
+        // crude but effective structural check: braces balance
+        let open = doc.matches('{').count();
+        let close = doc.matches('}').count();
+        assert_eq!(open, close);
+    }
+}

@@ -1,0 +1,42 @@
+//! Unified observability for the dwapsp stack.
+//!
+//! The paper's headline claims are *per-phase* round and congestion
+//! budgets — Theorem I.1's `2·sqrt(Δhk) + k + h` for the pipelined
+//! `(h,k)`-SSP, Lemma III.8's `k + h - 1` for the Algorithm 4
+//! descendant-score update, and the Algorithm 3 composition bounds of
+//! Theorems I.2/I.3. Verifying them requires more than one flat
+//! [`RunStats`] per run: every round and message must be *attributed* to
+//! a named phase, identically on every execution environment (lockstep
+//! simulator, thread transport, TCP transport).
+//!
+//! This crate is the foundation layer that makes that possible:
+//!
+//! * [`RunStats`] — the metric record everything else composes (moved
+//!   here from `dw-congest` so that observability sits *below* the
+//!   engine in the dependency order; `dw-congest` re-exports it, so
+//!   existing code is unaffected);
+//! * [`Recorder`] — the recording trait threaded through the engine,
+//!   the transport coordinator and every driver. [`NullRecorder`] is the
+//!   free default; [`ObsRecorder`] collects a [`Recording`];
+//! * [`Span`] — one named phase: parent link, round range within the
+//!   composed run, its own [`RunStats`] delta, wall time;
+//! * exporters — [`export::to_jsonl`] (machine-readable event log),
+//!   [`export::to_chrome_trace`] (`chrome://tracing` / Perfetto), and
+//!   [`report::render_report`] (human text with observed-vs-bound
+//!   ratios);
+//! * [`export::parse_jsonl`] — the inverse of `to_jsonl`, used by the
+//!   CLI `report` subcommand and the golden schema round-trip test.
+//!
+//! Phase attribution is by construction exact: drivers wrap each
+//! sequential sub-run in a span carrying that sub-run's `RunStats`, and
+//! the composition rule is the same [`RunStats::then`] used for the run
+//! totals — so top-level span rounds/messages *provably sum* to the
+//! totals (property-tested in `dwapsp`'s `prop_obs`).
+
+pub mod export;
+pub mod recorder;
+pub mod report;
+pub mod stats;
+
+pub use recorder::{NullRecorder, ObsRecorder, Recorder, Recording, Span, SpanId};
+pub use stats::RunStats;

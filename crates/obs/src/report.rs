@@ -1,0 +1,257 @@
+//! Human-readable phase report with observed-vs-bound ratios.
+//!
+//! Aggregates a [`Recording`]'s top-level spans by phase name (a phase
+//! like `blocker_select` opens once per greedy iteration; the report
+//! shows the sum plus the occurrence count) and renders a fixed-width
+//! table whose Σ row reproduces the run totals exactly — the same
+//! [`RunStats::then`] composition the drivers use. Callers may attach
+//! round *bounds* per phase (the `dw-pipeline::bound` helpers; this
+//! crate sits below the pipeline so the numbers are passed in), and the
+//! report prints `observed/bound` utilisation for each.
+
+use crate::recorder::Recording;
+use crate::stats::RunStats;
+use std::fmt::Write as _;
+
+/// One phase's aggregate across all its top-level spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseAgg {
+    pub name: &'static str,
+    /// How many spans of this name occurred.
+    pub count: usize,
+    /// Their composed stats (rounds add, congestion maxes).
+    pub stats: RunStats,
+    /// Total wall time of the phase's spans.
+    pub wall_ns: u64,
+}
+
+/// Aggregate top-level spans by name, preserving first-seen order.
+pub fn aggregate_phases(rec: &Recording) -> Vec<PhaseAgg> {
+    let mut out: Vec<PhaseAgg> = Vec::new();
+    for s in rec.top_level() {
+        match out.iter_mut().find(|p| p.name == s.name) {
+            Some(p) => {
+                p.count += 1;
+                p.stats = p.stats.then(&s.stats);
+                p.wall_ns += s.wall_ns;
+            }
+            None => out.push(PhaseAgg {
+                name: s.name,
+                count: 1,
+                stats: s.stats.clone(),
+                wall_ns: s.wall_ns,
+            }),
+        }
+    }
+    out
+}
+
+/// A round bound to check a phase against: `(phase name, bound rounds,
+/// label of the bound's origin)`.
+pub type PhaseBound = (&'static str, u64, &'static str);
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        if part == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Render the report: run meta, the per-phase table (rounds, messages,
+/// congestion, faults, share of totals), the Σ totals row, counters,
+/// and — when `bounds` names phases present in the recording — an
+/// observed-vs-bound section.
+pub fn render_report(rec: &Recording, bounds: &[PhaseBound]) -> String {
+    let mut out = String::new();
+    let total = rec.total();
+
+    if !rec.meta.is_empty() {
+        let _ = writeln!(out, "run:");
+        for (k, v) in &rec.meta {
+            let _ = writeln!(out, "  {k} = {v}");
+        }
+        let _ = writeln!(out);
+    }
+
+    let phases = aggregate_phases(rec);
+    let name_w = phases
+        .iter()
+        .map(|p| p.name.len())
+        .chain(["phase".len(), "TOTAL".len()])
+        .max()
+        .unwrap();
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>5}  {:>8} {:>7}  {:>10} {:>7}  {:>6}  {:>6}  {:>9}",
+        "phase", "spans", "rounds", "%rnds", "messages", "%msgs", "cgst", "faults", "wall"
+    );
+    for p in &phases {
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>5}  {:>8} {:>6.1}%  {:>10} {:>6.1}%  {:>6}  {:>6}  {:>9}",
+            p.name,
+            p.count,
+            p.stats.rounds,
+            pct(p.stats.rounds, total.rounds),
+            p.stats.messages,
+            pct(p.stats.messages, total.messages),
+            p.stats.max_link_load,
+            p.stats.fault_events(),
+            fmt_wall(p.wall_ns),
+        );
+    }
+    let wall_total: u64 = phases.iter().map(|p| p.wall_ns).sum();
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>5}  {:>8} {:>6.1}%  {:>10} {:>6.1}%  {:>6}  {:>6}  {:>9}",
+        "TOTAL",
+        phases.iter().map(|p| p.count).sum::<usize>(),
+        total.rounds,
+        pct(total.rounds, total.rounds),
+        total.messages,
+        pct(total.messages, total.messages),
+        total.max_link_load,
+        total.fault_events(),
+        fmt_wall(wall_total),
+    );
+
+    if !rec.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, value) in &rec.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+
+    let checked: Vec<&PhaseBound> = bounds
+        .iter()
+        .filter(|(name, _, _)| phases.iter().any(|p| p.name == *name))
+        .collect();
+    if !checked.is_empty() {
+        let _ = writeln!(out, "\nobserved vs bound (rounds):");
+        for (name, bound, origin) in checked {
+            let p = phases.iter().find(|p| p.name == *name).unwrap();
+            let ratio = if *bound == 0 {
+                f64::NAN
+            } else {
+                p.stats.rounds as f64 / *bound as f64
+            };
+            let verdict = if p.stats.rounds <= *bound {
+                "ok"
+            } else {
+                "OVER"
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<name_w$}  {:>8} / {:<8} = {ratio:>5.2}  {verdict}  [{origin}]",
+                p.stats.rounds, bound,
+            );
+        }
+    }
+
+    if rec.rounds_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "\nnote: {} round samples dropped past the event cap",
+            rec.rounds_dropped
+        );
+    }
+    out
+}
+
+fn fmt_wall(ns: u64) -> String {
+    if ns == 0 {
+        "-".to_string()
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{ObsRecorder, Recorder};
+
+    fn stats(rounds: u64, messages: u64) -> RunStats {
+        RunStats {
+            rounds,
+            rounds_executed: rounds,
+            messages,
+            max_link_load: rounds.max(1),
+            ..RunStats::default()
+        }
+    }
+
+    fn recording() -> Recording {
+        let mut rec = ObsRecorder::new();
+        rec.meta("algo", "alg3".to_string());
+        let a = rec.begin("csssp");
+        rec.end(a, &stats(10, 100));
+        let b = rec.begin("blocker_select");
+        rec.end(b, &stats(4, 8));
+        let c = rec.begin("blocker_select");
+        rec.end(c, &stats(6, 12));
+        let d = rec.begin("combine");
+        rec.end(d, &stats(0, 0));
+        rec.counter("blocker.selected", 2);
+        rec.into_recording()
+    }
+
+    #[test]
+    fn aggregates_merge_repeated_phases() {
+        let rec = recording();
+        let phases = aggregate_phases(&rec);
+        assert_eq!(phases.len(), 3);
+        let sel = phases.iter().find(|p| p.name == "blocker_select").unwrap();
+        assert_eq!(sel.count, 2);
+        assert_eq!(sel.stats.rounds, 10);
+        assert_eq!(sel.stats.messages, 20);
+    }
+
+    #[test]
+    fn phase_percentages_sum_to_totals() {
+        let rec = recording();
+        let phases = aggregate_phases(&rec);
+        let total = rec.total();
+        let rounds: u64 = phases.iter().map(|p| p.stats.rounds).sum();
+        let messages: u64 = phases.iter().map(|p| p.stats.messages).sum();
+        assert_eq!(rounds, total.rounds);
+        assert_eq!(messages, total.messages);
+    }
+
+    #[test]
+    fn report_renders_bounds_and_totals() {
+        let rec = recording();
+        let text = render_report(&rec, &[("csssp", 12, "hk_round_bound(2h)")]);
+        assert!(text.contains("algo = alg3"));
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("blocker.selected = 2"));
+        assert!(text.contains("observed vs bound"));
+        assert!(text.contains("ok"));
+        assert!(text.contains("hk_round_bound(2h)"));
+        // 100.0% shows up for the totals row
+        assert!(text.contains("100.0%"));
+    }
+
+    #[test]
+    fn report_flags_bound_violation() {
+        let rec = recording();
+        let text = render_report(&rec, &[("csssp", 5, "too tight")]);
+        assert!(text.contains("OVER"));
+    }
+
+    #[test]
+    fn report_skips_bounds_for_absent_phases() {
+        let rec = recording();
+        let text = render_report(&rec, &[("no_such_phase", 5, "x")]);
+        assert!(!text.contains("observed vs bound"));
+    }
+}

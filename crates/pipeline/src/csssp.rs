@@ -10,8 +10,7 @@
 //! chains agree everywhere they matter.
 
 use crate::config::SspConfig;
-use crate::driver::run_hk_ssp;
-use dw_congest::{EngineConfig, RunStats};
+use dw_congest::{EngineConfig, NullRecorder, Recorder, RunStats};
 use dw_graph::{NodeId, WGraph, Weight, INFINITY};
 
 /// An h-hop CSSSP collection: one truncated tree per source.
@@ -98,6 +97,20 @@ pub fn build_csssp(
     build_csssp_with_slack(g, sources, h, 2, delta, engine)
 }
 
+/// As [`build_csssp`], recording a `csssp` span with `hk_2h` (the
+/// Algorithm 1 run at hop bound `2h`) and `validate` (the membership
+/// wave) children.
+pub fn build_csssp_recorded(
+    g: &WGraph,
+    sources: &[NodeId],
+    h: u64,
+    delta: Weight,
+    engine: EngineConfig,
+    rec: &mut dyn Recorder,
+) -> (Csssp, RunStats) {
+    build_csssp_with_slack_recorded(g, sources, h, 2, delta, engine, rec)
+}
+
 /// [`build_csssp`] with an explicit hop-slack multiplier: the underlying
 /// Algorithm 1 run uses hop bound `slack·h` before truncating to `h`.
 ///
@@ -118,11 +131,33 @@ pub fn build_csssp_with_slack(
     delta: Weight,
     engine: EngineConfig,
 ) -> (Csssp, RunStats) {
+    build_csssp_with_slack_recorded(g, sources, h, slack, delta, engine, &mut NullRecorder)
+}
+
+/// [`build_csssp_recorded`] with an explicit hop-slack multiplier (the
+/// recorded `hk_2h` child keeps its name for any slack — the phase is
+/// "the Algorithm 1 run at the stretched hop bound").
+pub fn build_csssp_with_slack_recorded(
+    g: &WGraph,
+    sources: &[NodeId],
+    h: u64,
+    slack: u64,
+    delta: Weight,
+    engine: EngineConfig,
+    rec: &mut dyn Recorder,
+) -> (Csssp, RunStats) {
     assert!(slack >= 1);
     let cfg = SspConfig::new(sources.to_vec(), slack * h, delta);
-    let (res, stats, _) = run_hk_ssp(g, &cfg, engine.clone());
-    let (member, val_stats) = validation::validate_membership(g, sources, h, &res, engine);
+    let gamma = crate::key::Gamma::new(cfg.k(), cfg.h, cfg.delta);
+    let budget = crate::driver::default_budget(&cfg, g.n());
+    let span = rec.begin("csssp");
+    let (res, stats, _) =
+        crate::driver::run_with_budget_named(g, &cfg, gamma, budget, engine.clone(), rec, "hk_2h");
+    let val_span = rec.begin("validate");
+    let (member, val_stats) = validation::validate_membership(g, sources, h, &res, engine, rec);
+    rec.end(val_span, &val_stats);
     let stats = stats.then(&val_stats);
+    rec.end(span, &stats);
     let n = g.n();
     let k = sources.len();
     let mut dist = vec![vec![INFINITY; n]; k];
@@ -257,6 +292,7 @@ mod validation {
         h: u64,
         res: &HkSspResult,
         engine: EngineConfig,
+        rec: &mut dyn Recorder,
     ) -> (Vec<Vec<bool>>, RunStats) {
         let shared = Arc::new(sources.to_vec());
         let k = sources.len();
@@ -276,7 +312,12 @@ mod validation {
             validated: vec![false; k],
             queue: VecDeque::new(),
         });
-        net.run(2 * (k as u64 + h + 2) + g.n() as u64);
+        let wave_budget = 2 * (k as u64 + h + 2) + g.n() as u64;
+        if rec.enabled() {
+            net.run_recorded(wave_budget, rec);
+        } else {
+            net.run(wave_budget);
+        }
         let stats = net.stats();
         let member = net
             .into_nodes()

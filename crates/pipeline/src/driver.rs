@@ -6,7 +6,7 @@ use crate::config::SspConfig;
 use crate::key::Gamma;
 use crate::node::PipelinedNode;
 use crate::result::HkSspResult;
-use dw_congest::{EngineConfig, Network, RunOutcome, RunStats};
+use dw_congest::{EngineConfig, Network, NullRecorder, Recorder, RunOutcome, RunStats};
 use dw_graph::{NodeId, WGraph, Weight, INFINITY};
 
 /// Run Algorithm 1 with the given configuration. The round budget is the
@@ -17,9 +17,19 @@ pub fn run_hk_ssp(
     cfg: &SspConfig,
     engine: EngineConfig,
 ) -> (HkSspResult, RunStats, RunOutcome) {
+    run_hk_ssp_recorded(g, cfg, engine, &mut NullRecorder)
+}
+
+/// As [`run_hk_ssp`], wrapping the run in an `hk_ssp` span on `rec`.
+pub fn run_hk_ssp_recorded(
+    g: &WGraph,
+    cfg: &SspConfig,
+    engine: EngineConfig,
+    rec: &mut dyn Recorder,
+) -> (HkSspResult, RunStats, RunOutcome) {
     let k = cfg.k();
     let gamma = Gamma::new(k, cfg.h, cfg.delta);
-    run_with_budget(g, cfg, gamma, default_budget(cfg, g.n()), engine)
+    run_with_budget_recorded(g, cfg, gamma, default_budget(cfg, g.n()), engine, rec)
 }
 
 /// The default round cap: twice the Theorem I.1 bound plus slack.
@@ -41,6 +51,33 @@ pub fn run_with_budget(
     budget: u64,
     engine: EngineConfig,
 ) -> (HkSspResult, RunStats, RunOutcome) {
+    run_with_budget_recorded(g, cfg, gamma, budget, engine, &mut NullRecorder)
+}
+
+/// As [`run_with_budget`], wrapping the engine run in an `hk_ssp` span
+/// (with per-round events) on `rec`.
+pub fn run_with_budget_recorded(
+    g: &WGraph,
+    cfg: &SspConfig,
+    gamma: Gamma,
+    budget: u64,
+    engine: EngineConfig,
+    rec: &mut dyn Recorder,
+) -> (HkSspResult, RunStats, RunOutcome) {
+    run_with_budget_named(g, cfg, gamma, budget, engine, rec, "hk_ssp")
+}
+
+/// The span name is a call-site concern: the same Algorithm 1 run is
+/// `hk_ssp` standalone but `hk_2h` inside a CSSSP construction.
+pub(crate) fn run_with_budget_named(
+    g: &WGraph,
+    cfg: &SspConfig,
+    gamma: Gamma,
+    budget: u64,
+    engine: EngineConfig,
+    rec: &mut dyn Recorder,
+    span_name: &'static str,
+) -> (HkSspResult, RunStats, RunOutcome) {
     let mut is_source = vec![false; g.n()];
     for &s in &cfg.sources {
         is_source[s as usize] = true;
@@ -55,8 +92,18 @@ pub fn run_with_budget(
             cfg.admission,
         )
     });
-    let outcome = net.run(budget);
-    let stats = net.stats();
+    // A disabled recorder stays on the engine's plain loop — the
+    // default entry points keep their pre-observability hot path.
+    let (outcome, stats) = if rec.enabled() {
+        let span = rec.begin(span_name);
+        let outcome = net.run_recorded(budget, rec);
+        let stats = net.stats();
+        rec.end(span, &stats);
+        (outcome, stats)
+    } else {
+        let outcome = net.run(budget);
+        (outcome, net.stats())
+    };
     let result = extract(g, &cfg.sources, net.nodes());
     (result, stats, outcome)
 }

@@ -40,13 +40,21 @@ pub mod short_range;
 
 pub use bound::{apsp_round_bound, hk_round_bound, per_source_list_bound_holds, total_list_bound};
 pub use config::{AdmissionRule, SspConfig};
-pub use csssp::{build_csssp, build_csssp_with_slack, Csssp};
-pub use driver::{apsp, apsp_auto, default_budget, k_ssp, run_hk_ssp, run_with_budget};
+pub use csssp::{
+    build_csssp, build_csssp_recorded, build_csssp_with_slack, build_csssp_with_slack_recorded,
+    Csssp,
+};
+pub use driver::{
+    apsp, apsp_auto, default_budget, k_ssp, run_hk_ssp, run_hk_ssp_recorded, run_with_budget,
+    run_with_budget_recorded,
+};
 pub use key::Gamma;
 pub use recovery::{
     run_hk_ssp_reliable, short_range_sssp_reliable, DegradationReport, RecoveryConfig,
 };
 pub use result::HkSspResult;
-pub use runtime::{hk_ssp_node, run_hk_ssp_on, short_range_sssp_on, Runtime};
+pub use runtime::{
+    hk_ssp_node, run_hk_ssp_on, run_hk_ssp_on_recorded, short_range_sssp_on, Runtime,
+};
 pub use scaling::{scaling_apsp, scaling_k_ssp, ScalingOutcome};
 pub use short_range::{short_range_extension, short_range_sssp, ShortRangeResult};

@@ -15,10 +15,10 @@ use crate::key::Gamma;
 use crate::node::PipelinedNode;
 use crate::result::HkSspResult;
 use crate::short_range::{short_range_gamma, ShortRangeNode, ShortRangeResult};
-use dw_congest::{EngineConfig, RunOutcome, RunStats};
+use dw_congest::{EngineConfig, NullRecorder, Recorder, RunOutcome, RunStats};
 use dw_graph::{NodeId, WGraph, Weight};
-use dw_transport::channels::run_threads;
-use dw_transport::tcp::run_tcp_loopback;
+use dw_transport::channels::run_threads_recorded;
+use dw_transport::tcp::run_tcp_loopback_recorded;
 use dw_transport::worker::TransportConfig;
 use dw_transport::TransportRun;
 use std::io;
@@ -63,6 +63,7 @@ fn transport_run<P: dw_congest::Protocol>(
     engine: &EngineConfig,
     budget: u64,
     make: impl FnMut(NodeId) -> P,
+    rec: &mut dyn Recorder,
 ) -> io::Result<TransportRun<P>>
 where
     P::Msg: dw_congest::WireCodec,
@@ -70,8 +71,8 @@ where
     let cfg = TransportConfig::from(engine);
     match rt {
         Runtime::Sim => unreachable!("simulator runs don't go through the transport"),
-        Runtime::Threads => Ok(run_threads(g, &cfg, budget, make)),
-        Runtime::Tcp => run_tcp_loopback(g, &cfg, budget, make),
+        Runtime::Threads => Ok(run_threads_recorded(g, &cfg, budget, make, rec)),
+        Runtime::Tcp => run_tcp_loopback_recorded(g, &cfg, budget, make, rec),
     }
 }
 
@@ -98,11 +99,27 @@ pub fn run_hk_ssp_on(
     cfg: &SspConfig,
     engine: EngineConfig,
 ) -> io::Result<(HkSspResult, RunStats, RunOutcome)> {
+    run_hk_ssp_on_recorded(rt, g, cfg, engine, &mut NullRecorder)
+}
+
+/// As [`run_hk_ssp_on`], wrapping the run in an `hk_ssp` span on `rec` —
+/// identical phase attribution on every runtime, which is what lets the
+/// conformance tests compare recordings bit-for-bit across sim/threads/
+/// TCP.
+pub fn run_hk_ssp_on_recorded(
+    rt: Runtime,
+    g: &WGraph,
+    cfg: &SspConfig,
+    engine: EngineConfig,
+    rec: &mut dyn Recorder,
+) -> io::Result<(HkSspResult, RunStats, RunOutcome)> {
     if rt == Runtime::Sim {
-        return Ok(crate::driver::run_hk_ssp(g, cfg, engine));
+        return Ok(crate::driver::run_hk_ssp_recorded(g, cfg, engine, rec));
     }
     let budget = default_budget(cfg, g.n());
-    let run = transport_run(rt, g, &engine, budget, |v| hk_ssp_node(cfg, v))?;
+    let span = rec.begin("hk_ssp");
+    let run = transport_run(rt, g, &engine, budget, |v| hk_ssp_node(cfg, v), rec)?;
+    rec.end(span, &run.stats);
     let result = crate::driver::extract(g, &cfg.sources, run.nodes.iter());
     Ok((result, run.stats, run.outcome))
 }
@@ -121,9 +138,14 @@ pub fn short_range_sssp_on(
     }
     let gamma = short_range_gamma(h);
     let budget = gamma.ceil_kappa(delta.max(1), h) + 2;
-    let run = transport_run(rt, g, &engine, budget, |v| {
-        ShortRangeNode::new(gamma, h, (v == x).then_some(0))
-    })?;
+    let run = transport_run(
+        rt,
+        g,
+        &engine,
+        budget,
+        |v| ShortRangeNode::new(gamma, h, (v == x).then_some(0)),
+        &mut NullRecorder,
+    )?;
     let result = crate::short_range::extract_instance(x, &run.nodes);
     Ok((result, run.stats))
 }

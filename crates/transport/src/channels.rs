@@ -8,10 +8,10 @@
 //! because any divergence from the simulator here is a logic bug in the
 //! worker/coordinator protocol, not an I/O artifact.
 
-use crate::coordinator::{coordinate, CoordEndpoint};
+use crate::coordinator::{coordinate_recorded, CoordEndpoint};
 use crate::wire::{CtlMsg, Event, Frame};
 use crate::worker::{node_main, NodeEndpoint, TransportConfig};
-use dw_congest::{Protocol, Round, RunOutcome, RunStats};
+use dw_congest::{NullRecorder, Protocol, Recorder, Round, RunOutcome, RunStats};
 use dw_graph::{NodeId, WGraph};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
@@ -79,7 +79,20 @@ pub fn run_threads<P: Protocol>(
     g: &WGraph,
     cfg: &TransportConfig,
     budget: Round,
+    make: impl FnMut(NodeId) -> P,
+) -> TransportRun<P> {
+    run_threads_recorded(g, cfg, budget, make, &mut NullRecorder)
+}
+
+/// As [`run_threads`], emitting per-round [`Recorder`] events from the
+/// coordinator (the nodes stay uninstrumented — observability is a
+/// coordinator-side concern, matching the simulator's engine hook).
+pub fn run_threads_recorded<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
     mut make: impl FnMut(NodeId) -> P,
+    rec: &mut dyn Recorder,
 ) -> TransportRun<P> {
     let n = g.n();
     let (ctl_tx, ctl_rx) = channel();
@@ -119,7 +132,7 @@ pub fn run_threads<P: Protocol>(
                 s.spawn(move || node_main(v as NodeId, g, cfg, node, &mut ep))
             })
             .collect();
-        let (outcome, stats) = coordinate(n, budget, &mut coord);
+        let (outcome, stats) = coordinate_recorded(n, budget, &mut coord, rec);
         let nodes = handles
             .into_iter()
             .map(|h| {

@@ -14,6 +14,7 @@
 use crate::wire::{CtlMsg, NodeReport};
 use dw_congest::{Round, RunOutcome, RunStats};
 use dw_graph::NodeId;
+use dw_obs::{NullRecorder, Recorder};
 
 /// The coordinator's view of the transport: a broadcast to all nodes
 /// and a single blocking stream of node control messages.
@@ -39,6 +40,19 @@ pub fn coordinate<E: CoordEndpoint>(
     n: usize,
     budget: Round,
     endpoint: &mut E,
+) -> (RunOutcome, RunStats) {
+    coordinate_recorded(n, budget, endpoint, &mut NullRecorder)
+}
+
+/// As [`coordinate`], emitting one [`Recorder::round`] event per
+/// executed round — the transport-side mirror of
+/// `Network::run_recorded`, so a recorded run decomposes into the same
+/// per-phase round timeline on every runtime.
+pub fn coordinate_recorded<E: CoordEndpoint>(
+    n: usize,
+    budget: Round,
+    endpoint: &mut E,
+    rec: &mut dyn Recorder,
 ) -> (RunOutcome, RunStats) {
     let mut round: Round = 0;
     let mut last_activity: Round = 0;
@@ -84,6 +98,9 @@ pub fn coordinate<E: CoordEndpoint>(
         max_round_messages = max_round_messages.max(sent);
         if sent > 0 || late > 0 {
             last_activity = round;
+        }
+        if sent > 0 {
+            rec.round(round, sent);
         }
         if sent == 0 {
             // Nothing moved; jump to just before the next scheduled send

@@ -36,11 +36,12 @@ pub mod tcp;
 pub mod wire;
 pub mod worker;
 
-pub use channels::{run_threads, TransportRun};
-pub use coordinator::{coordinate, CoordEndpoint};
+pub use channels::{run_threads, run_threads_recorded, TransportRun};
+pub use coordinator::{coordinate, coordinate_recorded, CoordEndpoint};
 pub use wire::{CtlMsg, Event, Frame, NodeReport};
 pub use worker::{node_main, NodeEndpoint, TransportConfig};
 
 // Re-exported so backend users don't need a direct dw-congest dep for
 // the common types that appear in this crate's signatures.
 pub use dw_congest::{Protocol, Round, RunOutcome, RunStats, WireCodec};
+pub use dw_obs::{NullRecorder, ObsRecorder, Recorder, Recording};

@@ -16,10 +16,10 @@
 //! own OS process.
 
 use crate::channels::TransportRun;
-use crate::coordinator::{coordinate, CoordEndpoint};
+use crate::coordinator::{coordinate_recorded, CoordEndpoint};
 use crate::wire::{read_frame, write_frame, CtlMsg, Event, Frame};
 use crate::worker::{node_main, NodeEndpoint, TransportConfig};
-use dw_congest::{Protocol, Round, RunOutcome, WireCodec};
+use dw_congest::{NullRecorder, Protocol, Recorder, Round, RunOutcome, WireCodec};
 use dw_graph::{NodeId, WGraph};
 use std::io::{self, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -241,6 +241,16 @@ pub fn run_coordinator_tcp(
     budget: Round,
     listener: TcpListener,
 ) -> io::Result<(RunOutcome, dw_congest::RunStats)> {
+    run_coordinator_tcp_recorded(n, budget, listener, &mut NullRecorder)
+}
+
+/// As [`run_coordinator_tcp`], emitting per-round [`Recorder`] events.
+pub fn run_coordinator_tcp_recorded(
+    n: usize,
+    budget: Round,
+    listener: TcpListener,
+    rec: &mut dyn Recorder,
+) -> io::Result<(RunOutcome, dw_congest::RunStats)> {
     let mut conns: Vec<(NodeId, TcpStream)> = Vec::with_capacity(n);
     for _ in 0..n {
         let (mut stream, _) = listener.accept()?;
@@ -276,7 +286,7 @@ pub fn run_coordinator_tcp(
             rx,
             scratch: Vec::new(),
         };
-        let result = coordinate(n, budget, &mut ep);
+        let result = coordinate_recorded(n, budget, &mut ep, rec);
         for stream in &ep.streams {
             let _ = stream.shutdown(Shutdown::Write);
         }
@@ -301,7 +311,22 @@ pub fn run_tcp_loopback<P: Protocol>(
     g: &WGraph,
     cfg: &TransportConfig,
     budget: Round,
+    make: impl FnMut(NodeId) -> P,
+) -> io::Result<TransportRun<P>>
+where
+    P::Msg: WireCodec,
+{
+    run_tcp_loopback_recorded(g, cfg, budget, make, &mut NullRecorder)
+}
+
+/// As [`run_tcp_loopback`], emitting per-round [`Recorder`] events from
+/// the coordinator.
+pub fn run_tcp_loopback_recorded<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
     mut make: impl FnMut(NodeId) -> P,
+    rec: &mut dyn Recorder,
 ) -> io::Result<TransportRun<P>>
 where
     P::Msg: WireCodec,
@@ -335,7 +360,7 @@ where
                 })
             })
             .collect();
-        let (outcome, stats) = run_coordinator_tcp(n, budget, coord_listener)?;
+        let (outcome, stats) = run_coordinator_tcp_recorded(n, budget, coord_listener, rec)?;
         let mut nodes = Vec::with_capacity(n);
         for h in handles {
             let (node, node_outcome) = h.join().expect("node thread panicked")?;
