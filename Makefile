@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance
+.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance chaos-smoke
 
-ci: build test fmt clippy obs-schema bench-check transport-conformance
+ci: build test fmt clippy obs-schema bench-check transport-conformance chaos-smoke
 
 build:
 	$(CARGO) build --release
@@ -41,6 +41,15 @@ obs-schema:
 transport-conformance:
 	$(CARGO) test --release -q -p dw-transport --test conformance
 	$(CARGO) test --release -q -p dwapsp --test transport_conformance
+
+# Crash-fault smoke test (DESIGN.md §10): kill one node mid-run on the
+# thread backend, recover from checkpoint + neighbor replay, and require
+# distances bit-identical to the fault-free simulator (exit 0).
+chaos-smoke:
+	$(CARGO) run --release -q -p dwapsp --bin dwapsp -- gen --family zero-heavy \
+		--n 14 --w 5 --seed 9 --out target/chaos-smoke.json
+	$(CARGO) run --release -q -p dwapsp --bin dwapsp -- chaos \
+		--graph target/chaos-smoke.json --runtime threads --kill 5@4 --cadence 3
 
 # Engine micro-benchmarks (criterion shim): scheduling modes x seq/par on
 # idle-heavy, dense and fast-forward workloads, plus small e15_transport /

@@ -111,6 +111,26 @@ impl<M: WireCodec> WireCodec for Option<M> {
     }
 }
 
+impl<M: WireCodec> WireCodec for Vec<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for m in self {
+            m.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(buf)? as usize;
+        // A length prefix can claim more items than the buffer can hold;
+        // cap the pre-allocation so a malformed frame cannot force a
+        // huge allocation before the per-item decode fails.
+        let mut out = Vec::with_capacity(len.min(buf.len()));
+        for _ in 0..len {
+            out.push(M::decode(buf)?);
+        }
+        Some(out)
+    }
+}
+
 impl<M: WireCodec> WireCodec for RMsg<M> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -167,6 +187,25 @@ mod tests {
         );
         assert_eq!(roundtrip(&Some(9u32)), Some(Some(9u32)));
         assert_eq!(roundtrip(&None::<u64>), Some(None));
+    }
+
+    #[test]
+    fn vecs_roundtrip() {
+        assert_eq!(roundtrip(&Vec::<u64>::new()), Some(Vec::new()));
+        let v = vec![(1u64, 2u32), (3, 4)];
+        assert_eq!(roundtrip(&v), Some(v.clone()));
+        let nested = vec![vec![1u8, 2], vec![], vec![9]];
+        assert_eq!(roundtrip(&nested), Some(nested.clone()));
+    }
+
+    #[test]
+    fn vec_with_lying_length_prefix_is_rejected() {
+        let mut bytes = Vec::new();
+        vec![7u64, 8].encode(&mut bytes);
+        // claim 3 items but provide 2
+        bytes[0] = 3;
+        let mut view = bytes.as_slice();
+        assert_eq!(Vec::<u64>::decode(&mut view), None);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use metrics::RunStats;
 // need a direct dw-obs dependency for the common cases.
 pub use dw_obs::{NullRecorder, ObsRecorder, Recorder, Recording, Span, SpanId};
 pub use outbox::Outbox;
-pub use protocol::{NodeCtx, Protocol, Round};
+pub use protocol::{Checkpointable, NodeCtx, Protocol, Round};
 pub use reliable::{Reliable, ReliableConfig, ReliableStats};
 pub use runner::{NodeRunner, SendSink};
 pub use trace::{RoundRecord, RoundTrace};

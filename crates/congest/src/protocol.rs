@@ -131,6 +131,34 @@ pub trait Protocol: Send {
     }
 }
 
+/// A protocol whose dynamic state can be serialized for crash recovery.
+///
+/// The transport runtime checkpoints workers at a round cadence and, after
+/// a crash, rebuilds the node as "pristine clone + `init` + `restore`"
+/// before replaying the frames received since the checkpoint round. That
+/// split fixes the contract:
+///
+/// * `Clone` must reproduce the node *as constructed* — configuration
+///   parameters (`k`, `h`, Δ, source flags…) travel by cloning, never
+///   over the wire;
+/// * [`Checkpointable::snapshot`] serializes only the *dynamic* state
+///   accumulated since `init` (distance lists, best maps, counters),
+///   using the [`crate::WireCodec`] building blocks;
+/// * [`Checkpointable::restore`] overwrites that dynamic state on a
+///   freshly constructed and `init`-ed instance.
+///
+/// Because the round schedule is deterministic and barrier-synchronous,
+/// a restored node that replays its post-checkpoint inbox re-derives
+/// exactly the state it lost (DESIGN.md §10).
+pub trait Checkpointable: Protocol + Clone {
+    /// Append the node's dynamic state to `out`.
+    fn snapshot(&self, out: &mut Vec<u8>);
+
+    /// Overwrite the dynamic state from the front of `buf`, advancing it
+    /// past the consumed bytes. `None` means the bytes are malformed.
+    fn restore(&mut self, buf: &mut &[u8]) -> Option<()>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

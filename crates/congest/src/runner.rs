@@ -206,6 +206,40 @@ impl<P: Protocol> NodeRunner<P> {
     pub fn total_words(&self) -> u64 {
         self.total_words
     }
+
+    /// Serialize the runner's own accounting (send/word counters, link
+    /// loads, capacity stamps) for a crash-recovery checkpoint. The
+    /// protocol state is serialized separately via
+    /// [`crate::Checkpointable`].
+    pub fn encode_accounting(&self, out: &mut Vec<u8>) {
+        use crate::codec::WireCodec;
+        self.node_sends.encode(out);
+        self.messages.encode(out);
+        self.total_words.encode(out);
+        self.link_load.encode(out);
+        self.link_stamp.encode(out);
+    }
+
+    /// Restore accounting previously written by
+    /// [`NodeRunner::encode_accounting`]. `None` means the bytes are
+    /// malformed or the link vectors do not match this node's degree.
+    pub fn restore_accounting(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use crate::codec::WireCodec;
+        let node_sends = u64::decode(buf)?;
+        let messages = u64::decode(buf)?;
+        let total_words = u64::decode(buf)?;
+        let link_load = Vec::<u64>::decode(buf)?;
+        let link_stamp = Vec::<Round>::decode(buf)?;
+        if link_load.len() != self.link_load.len() || link_stamp.len() != self.link_stamp.len() {
+            return None;
+        }
+        self.node_sends = node_sends;
+        self.messages = messages;
+        self.total_words = total_words;
+        self.link_load = link_load;
+        self.link_stamp = link_stamp;
+        Some(())
+    }
 }
 
 #[inline]

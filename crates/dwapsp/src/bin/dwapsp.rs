@@ -22,11 +22,12 @@ use dwapsp::obs::report::{aggregate_phases, render_report, PhaseBound};
 use dwapsp::obs::{ObsRecorder, Recorder, Recording};
 use dwapsp::pipeline::bound::hk_round_bound;
 use dwapsp::pipeline::runtime::run_hk_ssp_on_recorded;
-use dwapsp::pipeline::{default_budget, hk_ssp_node};
+use dwapsp::pipeline::{default_budget, hk_ssp_node, run_hk_ssp_chaos, ChaosConfig};
 use dwapsp::prelude::*;
 use dwapsp::seqref::matrices_equal;
 use dwapsp::transport::tcp::{run_coordinator_tcp, run_node_tcp};
 use dwapsp::transport::worker::TransportConfig;
+use dwapsp::transport::ChaosPlan;
 use std::net::{SocketAddr, TcpListener};
 use std::process::exit;
 use std::time::Duration;
@@ -46,6 +47,7 @@ fn main() {
         "gen" => cmd_gen(&get),
         "run" => cmd_run(&get),
         "solve" => cmd_solve(&get),
+        "chaos" => cmd_chaos(&get),
         "report" => cmd_report(&get),
         "run-node" => cmd_run_node(&get),
         "coordinator" => cmd_coordinator(&get),
@@ -65,7 +67,10 @@ fn usage_and_exit() -> ! {
          [--delta D] [--timeout-secs T]\n  dwapsp coordinator --graph FILE --listen ADDR \
          [--sources a,b,c] [--budget B]\n  dwapsp solve --graph FILE [--algo <alg1|alg3>] \
          [--sources a,b,c] [--h H] [--runtime <sim|threads|tcp>] [--trace-out FILE] \
-         [--metrics-out FILE] [--print-matrix]\n  dwapsp report --metrics FILE\n  \
+         [--metrics-out FILE] [--print-matrix]\n  dwapsp chaos --graph FILE \
+         [--runtime <threads|tcp>] [--sources a,b,c] [--kill V@R,..] [--sever A-B@R,..] \
+         [--stall R@MS,..] [--seed S] [--cadence <K|off>] [--deadline-ms MS] \
+         [--metrics-out FILE]\n  dwapsp report --metrics FILE\n  \
          dwapsp validate --graph FILE\n  dwapsp info --graph FILE"
     );
     exit(2);
@@ -330,6 +335,125 @@ fn cmd_solve(get: &impl Fn(&str) -> Option<String>) {
     print!("{}", render_report(&recording, &phase_bounds(&recording)));
     if get("--print-matrix").is_some() {
         print_matrix(&matrix);
+    }
+}
+
+/// Parse a comma-separated fault list, e.g. `--kill 3@5,7@9`. Each item
+/// is split on the given separators and handed to `build` as numbers.
+fn parse_faults(spec: &str, flag: &str, seps: &[char], arity: usize) -> Vec<Vec<u64>> {
+    spec.split(',')
+        .map(|item| {
+            let parts: Vec<u64> = item
+                .trim()
+                .split(seps)
+                .map(|x| {
+                    x.parse().unwrap_or_else(|_| {
+                        eprintln!("{flag} entry {item:?} has a non-numeric field {x:?}");
+                        exit(2);
+                    })
+                })
+                .collect();
+            if parts.len() != arity {
+                eprintln!("{flag} entry {item:?}: expected {arity} fields");
+                exit(2);
+            }
+            parts
+        })
+        .collect()
+}
+
+/// `chaos`: run Algorithm 1 on a real transport backend under a
+/// scripted fault plan, then verify recovery by diffing the distances
+/// against the fault-free simulator on the same instance. Exits 0 when
+/// the chaos run recovers bit-identically, 1 on a distance mismatch,
+/// and 3 when the faults were unrecoverable (printing the structured
+/// partial outcome instead of hanging).
+fn cmd_chaos(get: &impl Fn(&str) -> Option<String>) {
+    let g = load(get);
+    let rt = get("--runtime").map_or(Runtime::Threads, |s| {
+        Runtime::parse(&s).unwrap_or_else(|| {
+            eprintln!("unknown runtime {s}");
+            exit(2);
+        })
+    });
+    if rt == Runtime::Sim {
+        eprintln!("chaos needs a real transport backend (--runtime threads or tcp)");
+        exit(2);
+    }
+    let seed: u64 = get("--seed").map_or(0, |s| s.parse().expect("--seed"));
+    let mut plan = ChaosPlan::new(seed);
+    if let Some(spec) = get("--kill") {
+        for f in parse_faults(&spec, "--kill", &['@'], 2) {
+            plan = plan.with_kill(f[0] as NodeId, f[1]);
+        }
+    }
+    if let Some(spec) = get("--sever") {
+        for f in parse_faults(&spec, "--sever", &['-', '@'], 3) {
+            plan = plan.with_sever(f[0] as NodeId, f[1] as NodeId, f[2]);
+        }
+    }
+    if let Some(spec) = get("--stall") {
+        for f in parse_faults(&spec, "--stall", &['@'], 2) {
+            plan = plan.with_stall(f[0], f[1]);
+        }
+    }
+    let chaos = ChaosConfig {
+        plan,
+        cadence: match get("--cadence").as_deref() {
+            Some("off") => None,
+            Some(s) => Some(s.parse().expect("--cadence")),
+            None => ChaosConfig::default().cadence,
+        },
+        deadline: Duration::from_millis(
+            get("--deadline-ms").map_or(500, |s| s.parse().expect("--deadline-ms")),
+        ),
+    };
+
+    let delta = max_finite_distance(&g).max(1);
+    let cfg = match parse_sources(get, g.n()) {
+        Some(s) => SspConfig::k_ssp(g.n(), s, delta),
+        None => SspConfig::apsp(g.n(), delta),
+    };
+    let engine = EngineConfig::default();
+    let (reference, _, _) = run_hk_ssp_on(Runtime::Sim, &g, &cfg, engine.clone())
+        .expect("fault-free simulator cannot fail");
+
+    let mut rec = ObsRecorder::new();
+    rec.meta("algo", "alg1-chaos".to_string());
+    rec.meta("runtime", rt.as_str().to_string());
+    rec.meta("n", g.n().to_string());
+    rec.meta("chaos_seed", seed.to_string());
+    let res = run_hk_ssp_chaos(rt, &g, &cfg, engine, &chaos, &mut rec);
+    let recording = rec.into_recording();
+    if let Some(path) = get("--metrics-out") {
+        std::fs::write(&path, to_jsonl(&recording)).expect("write metrics file");
+        eprintln!("wrote {path} (render the recovery timeline with `dwapsp report`)");
+    }
+    match res {
+        Ok((res, st, outcome)) => {
+            print_stats(
+                &format!("alg1 chaos [{}] outcome={outcome:?}", rt.as_str()),
+                st.rounds,
+                st.messages,
+                st.max_link_load,
+            );
+            let diffs = matrices_equal(&reference.to_matrix(), &res.to_matrix(), 5).len();
+            if diffs == 0 {
+                println!("recovered: distances bit-identical to the fault-free simulator ✓");
+            } else {
+                eprintln!("RECOVERY DIVERGED: {diffs} distance disagreement(s) vs simulator");
+                exit(1);
+            }
+        }
+        Err(partial) => {
+            eprintln!(
+                "unrecoverable: {} (round {}, failed nodes {:?}, incomplete sources {:?})",
+                partial.reason, partial.round, partial.failed, partial.incomplete_sources
+            );
+            println!("salvaged distance upper bounds (failed columns are inf):");
+            print_matrix(&partial.result.to_matrix());
+            exit(3);
+        }
     }
 }
 

@@ -11,11 +11,15 @@ use dwapsp::congest::{
 };
 use dwapsp::graph::gen;
 use dwapsp::graph::WGraph;
+use dwapsp::obs::NullRecorder;
 use dwapsp::pipeline::short_range::{extract_instance, short_range_gamma, ShortRangeNode};
+use dwapsp::pipeline::{run_hk_ssp_chaos, ChaosConfig};
 use dwapsp::prelude::*;
 use dwapsp::transport::channels::run_threads;
 use dwapsp::transport::tcp::run_tcp_loopback;
 use dwapsp::transport::worker::TransportConfig;
+use dwapsp::transport::ChaosPlan;
+use std::time::Duration;
 
 fn graphs() -> Vec<(u64, WGraph)> {
     [71, 72, 73]
@@ -135,6 +139,31 @@ fn fault_counters_match_bit_for_bit_across_runtimes() {
     );
 }
 
+/// Crash-fault tolerance end to end: kill one node mid-run on each
+/// real backend, let checkpoint/restore and neighbor replay bring it
+/// back, and require the recovered run's distances, stats and outcome
+/// to be bit-identical to the fault-free simulator's.
+#[test]
+fn chaos_kill_recovers_bit_identical_across_runtimes() {
+    for (seed, g) in graphs() {
+        let delta = max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let sim = run_hk_ssp_on(Runtime::Sim, &g, &cfg, engine(None)).unwrap();
+        let chaos = ChaosConfig {
+            plan: ChaosPlan::new(seed).with_kill((g.n() / 2) as NodeId, 4),
+            cadence: Some(3),
+            deadline: Duration::from_millis(500),
+        };
+        for rt in [Runtime::Threads, Runtime::Tcp] {
+            let got = run_hk_ssp_chaos(rt, &g, &cfg, engine(None), &chaos, &mut NullRecorder)
+                .unwrap_or_else(|p| {
+                    panic!("seed {seed} {}: unrecoverable: {}", rt.as_str(), p.reason)
+                });
+            assert_eq!(got, sim, "seed {seed} runtime {}", rt.as_str());
+        }
+    }
+}
+
 /// The reliability layer (seq/ack retransmission) composes with the
 /// transports exactly as with the simulator: same retransmit schedule,
 /// same recovered distances, same fault tally.
@@ -173,7 +202,7 @@ fn reliable_short_range_conforms_under_drops() {
         };
         let runs: Vec<(&str, _, RunStats, RunOutcome)> = vec![
             {
-                let r = run_threads(&g, &tcfg, budget, make);
+                let r = run_threads(&g, &tcfg, budget, make).unwrap();
                 ("threads", r.nodes, r.stats, r.outcome)
             },
             {

@@ -8,7 +8,7 @@
 //! from [`RunStats::fields`] so the formats can never drift from the
 //! stat record.
 
-use crate::recorder::{Recording, Span, SpanId};
+use crate::recorder::{ObsEvent, Recording, Span, SpanId};
 use crate::stats::RunStats;
 use std::fmt::Write as _;
 
@@ -35,8 +35,9 @@ fn escape_json(s: &str) -> String {
 
 /// Render a recording as one JSONL document: a schema line, `meta`
 /// lines, one `span` line per span (open order, so parents precede
-/// children), `counter` lines, and — when round samples were captured —
-/// a final `rounds` line.
+/// children), `counter` lines, one `event` line per recovery-timeline
+/// event (fault-free runs emit none, so their documents are unchanged),
+/// and — when round samples were captured — a final `rounds` line.
 pub fn to_jsonl(rec: &Recording) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{\"type\":\"schema\",\"schema\":\"{JSONL_SCHEMA}\"}}");
@@ -72,6 +73,15 @@ pub fn to_jsonl(rec: &Recording) -> String {
             out,
             "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
             escape_json(name)
+        );
+    }
+    for e in &rec.events {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"event\",\"round\":{},\"name\":\"{}\",\"value\":{}}}",
+            e.round,
+            escape_json(e.name),
+            e.value
         );
     }
     if !rec.rounds.is_empty() || rec.rounds_dropped > 0 {
@@ -213,6 +223,13 @@ pub fn parse_jsonl(doc: &str) -> Result<Recording, String> {
                 let name = field_str(line, "name").ok_or_else(|| err("missing name"))?;
                 let value = field_u64(line, "value").ok_or_else(|| err("missing value"))?;
                 *rec.counters.entry(name).or_insert(0) += value;
+            }
+            Some("event") => {
+                rec.events.push(ObsEvent {
+                    round: field_u64(line, "round").ok_or_else(|| err("missing round"))?,
+                    name: leak_name(&field_str(line, "name").ok_or_else(|| err("missing name"))?),
+                    value: field_u64(line, "value").ok_or_else(|| err("missing value"))?,
+                });
             }
             Some("rounds") => {
                 rec.rounds_dropped = field_u64(line, "dropped").unwrap_or(0);
@@ -372,6 +389,29 @@ mod tests {
         // and the re-export is byte-identical (what the golden schema
         // test in dwapsp relies on)
         assert_eq!(to_jsonl(&parsed), doc);
+    }
+
+    #[test]
+    fn jsonl_round_trips_recovery_events() {
+        let mut rec = ObsRecorder::new();
+        let s = rec.begin("hk_ssp");
+        rec.event(4, "failure.crash", 2);
+        rec.event(4, "checkpoint.stored", 128);
+        rec.event(5, "recovery.rejoin", 2);
+        rec.end(s, &RunStats::default());
+        let mut r = rec.into_recording();
+        r.normalize_wall();
+        let doc = to_jsonl(&r);
+        assert!(doc.contains("\"type\":\"event\""));
+        let parsed = parse_jsonl(&doc).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(to_jsonl(&parsed), doc);
+    }
+
+    #[test]
+    fn jsonl_without_events_has_no_event_lines() {
+        let doc = to_jsonl(&sample_recording());
+        assert!(!doc.contains("\"type\":\"event\""));
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub mod recorder;
 pub mod report;
 pub mod stats;
 
-pub use recorder::{NullRecorder, ObsRecorder, Recorder, Recording, Span, SpanId};
+pub use recorder::{NullRecorder, ObsEvent, ObsRecorder, Recorder, Recording, Span, SpanId};
 pub use stats::RunStats;

@@ -65,6 +65,23 @@ impl Span {
     }
 }
 
+/// One discrete occurrence on the round timeline — crash detected,
+/// checkpoint taken, node rejoined. Unlike counters (run totals) and
+/// round samples (per-round load), events keep *when* and *what*
+/// together, which is what a recovery timeline needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Composed-timeline round the event is attributed to.
+    pub round: u64,
+    /// Event name (see DESIGN.md §10 for the recovery taxonomy:
+    /// `checkpoint.stored`, `failure.suspect`, `failure.crash`,
+    /// `recovery.rejoin`, `recovery.done`, `run.aborted`).
+    pub name: &'static str,
+    /// Event payload (checkpoint bytes, node id, suspect count…; the
+    /// name fixes the interpretation).
+    pub value: u64,
+}
+
 /// The sink every instrumented layer writes into.
 ///
 /// All methods default to no-ops so implementors override only what
@@ -90,6 +107,11 @@ pub trait Recorder {
     fn round(&mut self, _round: u64, _messages: u64) {}
     /// Record a run-level key/value (algorithm, n, k, h, Δ, runtime…).
     fn meta(&mut self, _key: &'static str, _value: String) {}
+    /// One discrete occurrence at `round` (in the innermost open span's
+    /// clock, rebased like [`Recorder::round`]). Used for the crash
+    /// recovery timeline; fault-free runs emit none, so recordings of
+    /// such runs are unchanged by this channel existing.
+    fn event(&mut self, _round: u64, _name: &'static str, _value: u64) {}
 }
 
 /// The always-off recorder: what every non-`_recorded` entry point uses.
@@ -112,6 +134,9 @@ pub struct Recording {
     pub rounds: Vec<(u64, u64)>,
     /// Round events discarded once the cap was hit.
     pub rounds_dropped: u64,
+    /// Discrete timeline events ([`ObsEvent`]), in emission order.
+    /// Empty for fault-free runs.
+    pub events: Vec<ObsEvent>,
 }
 
 impl Recording {
@@ -254,6 +279,15 @@ impl Recorder for ObsRecorder {
     fn meta(&mut self, key: &'static str, value: String) {
         self.recording.meta.push((key.to_string(), value));
     }
+
+    fn event(&mut self, round: u64, name: &'static str, value: u64) {
+        let base = self.round_base();
+        self.recording.events.push(ObsEvent {
+            round: base + round,
+            name,
+            value,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +360,33 @@ mod tests {
         rec.end(b, &stats(1, 3));
         let r = rec.into_recording();
         assert_eq!(r.rounds, vec![(1, 4), (2, 6), (3, 3)]);
+    }
+
+    #[test]
+    fn events_rebase_onto_open_span() {
+        let mut rec = ObsRecorder::new();
+        let a = rec.begin("a");
+        rec.event(3, "failure.crash", 2);
+        rec.end(a, &stats(5, 10));
+        let b = rec.begin("b");
+        rec.event(1, "recovery.rejoin", 2);
+        rec.end(b, &stats(2, 2));
+        let r = rec.into_recording();
+        assert_eq!(
+            r.events,
+            vec![
+                ObsEvent {
+                    round: 3,
+                    name: "failure.crash",
+                    value: 2
+                },
+                ObsEvent {
+                    round: 6,
+                    name: "recovery.rejoin",
+                    value: 2
+                },
+            ]
+        );
     }
 
     #[test]

@@ -153,6 +153,13 @@ pub fn render_report(rec: &Recording, bounds: &[PhaseBound]) -> String {
         }
     }
 
+    if !rec.events.is_empty() {
+        let _ = writeln!(out, "\nrecovery timeline:");
+        for e in &rec.events {
+            let _ = writeln!(out, "  round {:>6}  {:<20} {}", e.round, e.name, e.value);
+        }
+    }
+
     if rec.rounds_dropped > 0 {
         let _ = writeln!(
             out,
@@ -239,6 +246,21 @@ mod tests {
         assert!(text.contains("hk_round_bound(2h)"));
         // 100.0% shows up for the totals row
         assert!(text.contains("100.0%"));
+    }
+
+    #[test]
+    fn report_shows_recovery_timeline_only_when_events_exist() {
+        let rec = recording();
+        assert!(!render_report(&rec, &[]).contains("recovery timeline"));
+        let mut obs = ObsRecorder::new();
+        let a = obs.begin("hk_ssp");
+        obs.event(7, "failure.crash", 3);
+        obs.event(9, "recovery.rejoin", 3);
+        obs.end(a, &stats(12, 5));
+        let text = render_report(&obs.into_recording(), &[]);
+        assert!(text.contains("recovery timeline:"));
+        assert!(text.contains("failure.crash"));
+        assert!(text.contains("round      9"));
     }
 
     #[test]

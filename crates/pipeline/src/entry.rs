@@ -25,6 +25,27 @@ pub struct Entry {
     pub sent: bool,
 }
 
+impl WireCodec for Entry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.d.encode(out);
+        self.l.encode(out);
+        self.src.encode(out);
+        self.parent.encode(out);
+        self.flag_sp.encode(out);
+        self.sent.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(Entry {
+            d: Weight::decode(buf)?,
+            l: u64::decode(buf)?,
+            src: NodeId::decode(buf)?,
+            parent: NodeId::decode(buf)?,
+            flag_sp: bool::decode(buf)?,
+            sent: bool::decode(buf)?,
+        })
+    }
+}
+
 /// The message `M = (Z, Z.flag-d*, Z.ν)` of Algorithm 1 Step 2.
 /// `ν` is the number of entries for `Z.src` at or below `Z` on the
 /// sender's list at send time.

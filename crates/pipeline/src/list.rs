@@ -161,6 +161,20 @@ impl NodeList {
         self.entries[idx].sent = true;
     }
 
+    /// Replace the whole list from a checkpoint snapshot. Entries are
+    /// snapshotted in list order, so no re-sort is needed; a malformed
+    /// snapshot (out of order) is rejected rather than silently
+    /// corrupting the schedule.
+    pub fn restore_entries(&mut self, entries: Vec<Entry>) -> Option<()> {
+        self.entries = entries;
+        if self.is_sorted() {
+            Some(())
+        } else {
+            self.entries.clear();
+            None
+        }
+    }
+
     /// Is an exact duplicate (same source, distance, hops, parent) already
     /// on the list?
     pub fn contains_exact(&self, src: u32, d: u64, l: u64, parent: u32) -> bool {

@@ -5,7 +5,7 @@ use crate::config::AdmissionRule;
 use crate::entry::{Entry, PipelineMsg};
 use crate::key::Gamma;
 use crate::list::NodeList;
-use dw_congest::{Envelope, NodeCtx, Outbox, Protocol, Round};
+use dw_congest::{Checkpointable, Envelope, NodeCtx, Outbox, Protocol, Round, WireCodec};
 use dw_graph::{NodeId, Weight};
 use std::collections::HashMap;
 
@@ -262,9 +262,134 @@ impl Protocol for PipelinedNode {
     }
 }
 
+/// Crash-recovery snapshots: the dynamic state is the list, the
+/// per-source SP records, and the instrumentation counters; the
+/// configuration (`gamma`, `h`, `k`, source flag, admission rule) lives
+/// in the pristine clone the restoring worker starts from. The `best`
+/// map is serialized in source order so snapshots of equal states are
+/// byte-identical — checkpoint bytes feed the observability export.
+impl Checkpointable for PipelinedNode {
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        self.list.entries().to_vec().encode(out);
+        let mut best: Vec<(NodeId, (Weight, u64, NodeId))> = self
+            .best
+            .iter()
+            .map(|(&s, b)| (s, (b.d, b.l, b.parent)))
+            .collect();
+        best.sort_unstable_by_key(|&(s, _)| s);
+        best.encode(out);
+        let st = &self.stats;
+        st.inserts.encode(out);
+        st.drops.encode(out);
+        (st.max_list_len as u64).encode(out);
+        (st.max_per_source as u64).encode(out);
+        st.inv1_violations.encode(out);
+        st.inv2_violations.encode(out);
+        st.late_sends.encode(out);
+        st.last_best_update.encode(out);
+        st.last_inv1.map(|a| a.to_vec()).encode(out);
+        st.last_inv2.map(|a| a.to_vec()).encode(out);
+    }
+
+    fn restore(&mut self, buf: &mut &[u8]) -> Option<()> {
+        let entries = Vec::<Entry>::decode(buf)?;
+        self.list.restore_entries(entries)?;
+        let best = Vec::<(NodeId, (Weight, u64, NodeId))>::decode(buf)?;
+        self.best = best
+            .into_iter()
+            .map(|(s, (d, l, parent))| (s, Best { d, l, parent }))
+            .collect();
+        self.stats = NodeStats {
+            inserts: u64::decode(buf)?,
+            drops: u64::decode(buf)?,
+            max_list_len: u64::decode(buf)? as usize,
+            max_per_source: u64::decode(buf)? as usize,
+            inv1_violations: u64::decode(buf)?,
+            inv2_violations: u64::decode(buf)?,
+            late_sends: u64::decode(buf)?,
+            last_best_update: u64::decode(buf)?,
+            last_inv1: match Option::<Vec<u64>>::decode(buf)? {
+                None => None,
+                Some(v) => Some(v.try_into().ok()?),
+            },
+            last_inv2: match Option::<Vec<u64>>::decode(buf)? {
+                None => None,
+                Some(v) => Some(v.try_into().ok()?),
+            },
+        };
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_restore_roundtrips_dynamic_state() {
+        let gamma = Gamma::new(2, 8, 16);
+        let mut a = PipelinedNode::new(gamma, 8, 2, true, true);
+        a.list.insert(Entry {
+            d: 3,
+            l: 1,
+            src: 1,
+            parent: 1,
+            flag_sp: true,
+            sent: true,
+        });
+        a.list.insert(Entry {
+            d: 7,
+            l: 2,
+            src: 2,
+            parent: 0,
+            flag_sp: false,
+            sent: false,
+        });
+        a.best.insert(
+            1,
+            Best {
+                d: 3,
+                l: 1,
+                parent: 1,
+            },
+        );
+        a.best.insert(
+            2,
+            Best {
+                d: 7,
+                l: 2,
+                parent: 0,
+            },
+        );
+        a.stats.inserts = 2;
+        a.stats.max_list_len = 2;
+        a.stats.last_inv1 = Some([1, 2, 3, 4, 5]);
+
+        let mut bytes = Vec::new();
+        a.snapshot(&mut bytes);
+        let mut b = PipelinedNode::new(gamma, 8, 2, true, true);
+        let mut view = bytes.as_slice();
+        b.restore(&mut view).expect("restore");
+        assert!(view.is_empty(), "snapshot fully consumed");
+        assert_eq!(b.list.entries(), a.list.entries());
+        assert_eq!(b.best_for(1), a.best_for(1));
+        assert_eq!(b.best_for(2), a.best_for(2));
+        assert_eq!(b.stats, a.stats);
+
+        // Equal states snapshot to identical bytes (best map ordering
+        // is canonicalized).
+        let mut again = Vec::new();
+        b.snapshot(&mut again);
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let gamma = Gamma::new(2, 8, 16);
+        let mut node = PipelinedNode::new(gamma, 8, 2, false, false);
+        let mut view: &[u8] = &[0xff, 0x02, 0x03];
+        assert!(node.restore(&mut view).is_none());
+    }
 
     #[test]
     fn improves_order() {

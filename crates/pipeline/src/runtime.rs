@@ -8,6 +8,15 @@
 //! channels, `Runtime::Tcp` runs every node behind a loopback TCP
 //! socket with the serialized wire protocol. All three return
 //! bit-identical distances, statistics and outcomes on the same seeds.
+//!
+//! Transport runs can fail — a peer process dies, a socket breaks, a
+//! scripted [`ChaosPlan`] kills a node — so their entry points return
+//! [`dw_transport::TransportError`]. The chaos entry point
+//! [`run_hk_ssp_chaos`] adds checkpoint-based crash recovery: when the
+//! failure is recoverable the run completes with distances
+//! bit-identical to the fault-free simulator; when it is not, the
+//! salvaged state comes back as a structured [`PartialOutcome`] instead
+//! of a hang or a panic.
 
 use crate::config::SspConfig;
 use crate::driver::default_budget;
@@ -15,13 +24,13 @@ use crate::key::Gamma;
 use crate::node::PipelinedNode;
 use crate::result::HkSspResult;
 use crate::short_range::{short_range_gamma, ShortRangeNode, ShortRangeResult};
-use dw_congest::{EngineConfig, NullRecorder, Recorder, RunOutcome, RunStats};
-use dw_graph::{NodeId, WGraph, Weight};
-use dw_transport::channels::run_threads_recorded;
-use dw_transport::tcp::run_tcp_loopback_recorded;
+use dw_congest::{EngineConfig, NullRecorder, Recorder, Round, RunOutcome, RunStats};
+use dw_graph::{NodeId, WGraph, Weight, INFINITY};
+use dw_transport::channels::{run_threads_chaos, run_threads_recorded};
+use dw_transport::tcp::{run_tcp_loopback_chaos, run_tcp_loopback_recorded};
 use dw_transport::worker::TransportConfig;
-use dw_transport::TransportRun;
-use std::io;
+use dw_transport::{ChaosPlan, PartialRun, TransportError, TransportRun};
+use std::time::Duration;
 
 /// Which engine executes the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,14 +73,14 @@ fn transport_run<P: dw_congest::Protocol>(
     budget: u64,
     make: impl FnMut(NodeId) -> P,
     rec: &mut dyn Recorder,
-) -> io::Result<TransportRun<P>>
+) -> Result<TransportRun<P>, TransportError>
 where
     P::Msg: dw_congest::WireCodec,
 {
     let cfg = TransportConfig::from(engine);
     match rt {
         Runtime::Sim => unreachable!("simulator runs don't go through the transport"),
-        Runtime::Threads => Ok(run_threads_recorded(g, &cfg, budget, make, rec)),
+        Runtime::Threads => run_threads_recorded(g, &cfg, budget, make, rec),
         Runtime::Tcp => run_tcp_loopback_recorded(g, &cfg, budget, make, rec),
     }
 }
@@ -98,7 +107,7 @@ pub fn run_hk_ssp_on(
     g: &WGraph,
     cfg: &SspConfig,
     engine: EngineConfig,
-) -> io::Result<(HkSspResult, RunStats, RunOutcome)> {
+) -> Result<(HkSspResult, RunStats, RunOutcome), TransportError> {
     run_hk_ssp_on_recorded(rt, g, cfg, engine, &mut NullRecorder)
 }
 
@@ -112,7 +121,7 @@ pub fn run_hk_ssp_on_recorded(
     cfg: &SspConfig,
     engine: EngineConfig,
     rec: &mut dyn Recorder,
-) -> io::Result<(HkSspResult, RunStats, RunOutcome)> {
+) -> Result<(HkSspResult, RunStats, RunOutcome), TransportError> {
     if rt == Runtime::Sim {
         return Ok(crate::driver::run_hk_ssp_recorded(g, cfg, engine, rec));
     }
@@ -132,7 +141,7 @@ pub fn short_range_sssp_on(
     h: u64,
     delta: Weight,
     engine: EngineConfig,
-) -> io::Result<(ShortRangeResult, RunStats)> {
+) -> Result<(ShortRangeResult, RunStats), TransportError> {
     if rt == Runtime::Sim {
         return Ok(crate::short_range::short_range_sssp(g, x, h, delta, engine));
     }
@@ -148,6 +157,136 @@ pub fn short_range_sssp_on(
     )?;
     let result = crate::short_range::extract_instance(x, &run.nodes);
     Ok((result, run.stats))
+}
+
+/// Crash-fault knobs for [`run_hk_ssp_chaos`].
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Scripted faults (node kills, link severs, coordinator stalls).
+    pub plan: ChaosPlan,
+    /// Checkpoint every `k` executed rounds (`None` disables
+    /// checkpointing — any kill is then unrecoverable by design).
+    pub cadence: Option<u64>,
+    /// Per-round barrier deadline; a node silent past it is suspected,
+    /// probed and — if still silent — declared crashed.
+    pub deadline: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            plan: ChaosPlan::new(0),
+            cadence: Some(8),
+            deadline: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What survives an unrecoverable crash: upper-bound distances from the
+/// salvaged nodes plus a precise account of what is missing. The run
+/// terminates with this instead of hanging — the coordinator's deadline
+/// budget bounds the wait for every barrier.
+#[derive(Debug, Clone)]
+pub struct PartialOutcome {
+    /// Distances extracted from the surviving nodes. Every finite value
+    /// is the weight of a real `<= h`-hop path (distances only improve
+    /// over a run, so these are valid upper bounds as of `round`);
+    /// columns of failed nodes are `INFINITY`/unreported.
+    pub result: HkSspResult,
+    /// Nodes the coordinator declared crashed or unrecoverable.
+    pub failed: Vec<NodeId>,
+    /// Sources whose own node failed: their instance state is lost, so
+    /// their rows are incomplete beyond the salvaged upper bounds.
+    pub incomplete_sources: Vec<NodeId>,
+    /// The barrier round the run died in.
+    pub round: Round,
+    /// Human-readable failure cause (the rendered `TransportError`).
+    pub reason: String,
+}
+
+fn partial_outcome(
+    g: &WGraph,
+    sources: &[NodeId],
+    run: PartialRun<PipelinedNode>,
+) -> PartialOutcome {
+    let n = g.n();
+    let mut dist = vec![vec![INFINITY; n]; sources.len()];
+    let mut hops = vec![vec![0u64; n]; sources.len()];
+    let mut parent = vec![vec![None; n]; sources.len()];
+    for (v, node) in run.nodes.iter().enumerate() {
+        let Some(node) = node else { continue };
+        for (i, &s) in sources.iter().enumerate() {
+            if let Some(b) = node.best_for(s) {
+                dist[i][v] = b.d;
+                hops[i][v] = b.l;
+                parent[i][v] = (v as NodeId != s).then_some(b.parent);
+            }
+        }
+    }
+    let incomplete_sources: Vec<NodeId> = sources
+        .iter()
+        .copied()
+        .filter(|s| run.failed.contains(s))
+        .collect();
+    PartialOutcome {
+        result: HkSspResult {
+            sources: sources.to_vec(),
+            dist,
+            hops,
+            parent,
+        },
+        failed: run.failed,
+        incomplete_sources,
+        round: run.round,
+        reason: run.error.to_string(),
+    }
+}
+
+/// Algorithm 1 under scripted crash faults, with checkpoint/restore
+/// recovery.
+///
+/// On a real transport (`Threads`, `Tcp`) the run executes `chaos.plan`:
+/// killed nodes discard their dynamic state, get detected by the
+/// coordinator's deadline + ping probe, and rejoin from their latest
+/// checkpoint plus the neighbors' replayed frames. A recovered run
+/// returns `Ok` with distances **bit-identical** to the fault-free
+/// simulator on the same seeds — determinism makes replay exact, not
+/// approximate. An unrecoverable failure (no checkpoint, several
+/// simultaneous crashes, a severed link) terminates within the deadline
+/// budget and returns the salvaged [`PartialOutcome`].
+///
+/// `Runtime::Sim` ignores the plan (the lockstep simulator has no
+/// processes to kill) and serves as the recovery tests' ground truth.
+pub fn run_hk_ssp_chaos(
+    rt: Runtime,
+    g: &WGraph,
+    cfg: &SspConfig,
+    engine: EngineConfig,
+    chaos: &ChaosConfig,
+    rec: &mut dyn Recorder,
+) -> Result<(HkSspResult, RunStats, RunOutcome), Box<PartialOutcome>> {
+    if rt == Runtime::Sim {
+        return Ok(crate::driver::run_hk_ssp_recorded(g, cfg, engine, rec));
+    }
+    let budget = default_budget(cfg, g.n());
+    let tcfg = TransportConfig {
+        checkpoint_cadence: chaos.cadence,
+        chaos: Some(chaos.plan.clone()),
+        ..TransportConfig::from(&engine)
+    };
+    let make = |v| hk_ssp_node(cfg, v);
+    let run = match rt {
+        Runtime::Sim => unreachable!("handled above"),
+        Runtime::Threads => run_threads_chaos(g, &tcfg, budget, chaos.deadline, make, rec),
+        Runtime::Tcp => run_tcp_loopback_chaos(g, &tcfg, budget, chaos.deadline, make, rec),
+    };
+    match run {
+        Ok(run) => {
+            let result = crate::driver::extract(g, &cfg.sources, run.nodes.iter());
+            Ok((result, run.stats, run.outcome))
+        }
+        Err(partial) => Err(Box::new(partial_outcome(g, &cfg.sources, *partial))),
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +326,75 @@ mod tests {
             short_range_sssp_on(Runtime::Tcp, &g, 0, 8, delta, EngineConfig::default()).unwrap();
         assert_eq!(res, sim_res);
         assert_eq!(stats, sim_stats);
+    }
+
+    #[test]
+    fn chaos_kill_recovers_to_sim_identical_distances() {
+        let g = gen::zero_heavy(14, 0.2, 0.4, 4, true, 9);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let (sim_res, sim_stats, sim_outcome) =
+            run_hk_ssp_on(Runtime::Sim, &g, &cfg, EngineConfig::default()).unwrap();
+        let chaos = ChaosConfig {
+            plan: ChaosPlan::new(3).with_kill(5, 4),
+            cadence: Some(3),
+            deadline: Duration::from_millis(200),
+        };
+        let (res, stats, outcome) = run_hk_ssp_chaos(
+            Runtime::Threads,
+            &g,
+            &cfg,
+            EngineConfig::default(),
+            &chaos,
+            &mut NullRecorder,
+        )
+        .expect("kill at round 4 with cadence 3 must recover");
+        assert_eq!(res, sim_res, "recovered distances must be bit-identical");
+        assert_eq!(stats, sim_stats);
+        assert_eq!(outcome, sim_outcome);
+    }
+
+    #[test]
+    fn unrecoverable_kill_terminates_with_partial_outcome() {
+        let g = gen::gnp_connected(10, 0.3, false, WeightDist::Uniform { max: 5 }, 21);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let chaos = ChaosConfig {
+            plan: ChaosPlan::new(1).with_kill(4, 3),
+            cadence: None, // no checkpoints: the kill cannot be recovered
+            deadline: Duration::from_millis(100),
+        };
+        let partial = run_hk_ssp_chaos(
+            Runtime::Threads,
+            &g,
+            &cfg,
+            EngineConfig::default(),
+            &chaos,
+            &mut NullRecorder,
+        )
+        .expect_err("an uncheckpointed kill must not complete");
+        assert_eq!(partial.failed, vec![4]);
+        assert!(partial.round >= 3);
+        assert!(
+            partial.incomplete_sources.contains(&4),
+            "the failed source's instance is lost: {:?}",
+            partial.incomplete_sources
+        );
+        assert!(!partial.reason.is_empty());
+        // Salvaged distances are upper bounds of the true h-hop
+        // distances (they come from real paths).
+        let (sim_res, _, _) =
+            run_hk_ssp_on(Runtime::Sim, &g, &cfg, EngineConfig::default()).unwrap();
+        for (i, row) in partial.result.dist.iter().enumerate() {
+            for (v, &d) in row.iter().enumerate() {
+                if d != INFINITY {
+                    assert!(d >= sim_res.dist[i][v], "source row {i}, node {v}");
+                }
+            }
+        }
+        // The failed node reports nothing.
+        for row in &partial.result.dist {
+            assert_eq!(row[4], INFINITY);
+        }
     }
 }

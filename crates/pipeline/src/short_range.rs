@@ -161,6 +161,26 @@ impl Protocol for ShortRangeNode {
     }
 }
 
+/// Crash-recovery snapshots: only `best`, the announced flag and the
+/// send counters are dynamic; `gamma`/`h`/`init` come from the pristine
+/// node the restoring worker is constructed with.
+impl dw_congest::Checkpointable for ShortRangeNode {
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        self.best.encode(out);
+        self.announced.encode(out);
+        self.sends.encode(out);
+        self.late_sends.encode(out);
+    }
+
+    fn restore(&mut self, buf: &mut &[u8]) -> Option<()> {
+        self.best = Option::<(Weight, u64, Option<NodeId>)>::decode(buf)?;
+        self.announced = bool::decode(buf)?;
+        self.sends = u64::decode(buf)?;
+        self.late_sends = u64::decode(buf)?;
+        Some(())
+    }
+}
+
 /// Result of a short-range run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShortRangeResult {

@@ -7,13 +7,26 @@
 //! but channels. This is the reference backend for conformance testing
 //! because any divergence from the simulator here is a logic bug in the
 //! worker/coordinator protocol, not an I/O artifact.
+//!
+//! [`run_threads_chaos`] is the crash-fault entry point: workers run
+//! [`node_main_recoverable`], the coordinator runs with a round
+//! deadline, and the fail-recover model of DESIGN.md §10 applies — a
+//! killed node loses its state but keeps its channels (the "process"
+//! restarts on the same links), so the coordinator can rejoin it from a
+//! checkpoint. Unrecoverable runs terminate with a [`PartialRun`]
+//! carrying whatever node states survived.
 
-use crate::coordinator::{coordinate_recorded, CoordEndpoint};
-use crate::wire::{CtlMsg, Event, Frame};
-use crate::worker::{node_main, NodeEndpoint, TransportConfig};
-use dw_congest::{NullRecorder, Protocol, Recorder, Round, RunOutcome, RunStats};
+use crate::chaos::ChaosPlan;
+use crate::coordinator::{coordinate_with, CoordConfig, CoordEndpoint};
+use crate::error::TransportError;
+use crate::wire::{abort_reason, CtlMsg, Event, Frame};
+use crate::worker::{node_main, node_main_recoverable, NodeEndpoint, TransportConfig, WorkerError};
+use dw_congest::{
+    Checkpointable, NullRecorder, Protocol, Recorder, Round, RunOutcome, RunStats, WireCodec,
+};
 use dw_graph::{NodeId, WGraph};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
 
 /// Result of a transport run: final node programs (id order), the
 /// aggregated statistics and the outcome — the same data a simulator
@@ -22,6 +35,22 @@ pub struct TransportRun<P> {
     pub nodes: Vec<P>,
     pub stats: RunStats,
     pub outcome: RunOutcome,
+}
+
+/// What is left of a run the coordinator had to give up on: the typed
+/// error, the nodes it blames, and every salvageable node state — a
+/// crashed or aborted worker's distances are still sound upper bounds,
+/// which is what dw-pipeline degrades into a `PartialOutcome`.
+#[derive(Debug)]
+pub struct PartialRun<P> {
+    /// Final protocol state per node where salvageable, id order.
+    pub nodes: Vec<Option<P>>,
+    /// Nodes the coordinator declared failed (empty when the fault was
+    /// not node-scoped).
+    pub failed: Vec<NodeId>,
+    /// The round the run died in (0 if it never started).
+    pub round: Round,
+    pub error: TransportError,
 }
 
 struct ChannelNode<M> {
@@ -33,26 +62,32 @@ struct ChannelNode<M> {
 }
 
 impl<M> NodeEndpoint<M> for ChannelNode<M> {
-    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) {
+    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) -> Result<(), TransportError> {
         let i = self
             .peers
             .binary_search_by_key(&to, |&(v, _)| v)
-            .unwrap_or_else(|_| panic!("node {}: send to non-neighbor {to}", self.id));
+            .map_err(|_| {
+                TransportError::protocol(format!("node {}: send to non-neighbor {to}", self.id))
+            })?;
         self.peers[i]
             .1
             .send(Event::Peer {
                 from: self.id,
                 frame,
             })
-            .expect("peer hung up mid-run");
+            .map_err(|_| {
+                TransportError::peer_lost(format!("node {}: channel to {to} hung up", self.id))
+            })
     }
-    fn send_ctl(&mut self, msg: CtlMsg) {
-        self.ctl
-            .send((self.id, msg))
-            .expect("coordinator hung up mid-run");
+    fn send_ctl(&mut self, msg: CtlMsg) -> Result<(), TransportError> {
+        self.ctl.send((self.id, msg)).map_err(|_| {
+            TransportError::peer_lost(format!("node {}: coordinator channel hung up", self.id))
+        })
     }
-    fn recv(&mut self) -> Event<M> {
-        self.rx.recv().expect("all senders hung up mid-run")
+    fn recv(&mut self) -> Result<Event<M>, TransportError> {
+        self.rx.recv().map_err(|_| {
+            TransportError::peer_lost(format!("node {}: all inbound channels hung up", self.id))
+        })
     }
 }
 
@@ -62,48 +97,65 @@ struct ChannelCoord<M> {
 }
 
 impl<M> CoordEndpoint for ChannelCoord<M> {
-    fn broadcast(&mut self, msg: CtlMsg) {
-        for tx in &self.txs {
-            tx.send(Event::Ctl(msg.clone()))
-                .expect("node hung up mid-run");
+    fn broadcast(&mut self, msg: CtlMsg) -> Result<(), TransportError> {
+        // Attempt every node even if some channels are dead — an abort
+        // must reach the survivors.
+        let mut first_err = None;
+        for (v, tx) in self.txs.iter().enumerate() {
+            if tx.send(Event::Ctl(msg.clone())).is_err() && first_err.is_none() {
+                first_err = Some(TransportError::peer_lost(format!(
+                    "coordinator: channel to node {v} hung up"
+                )));
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
-    fn recv(&mut self) -> (NodeId, CtlMsg) {
-        self.rx.recv().expect("all nodes hung up mid-run")
+    fn send_to(&mut self, node: NodeId, msg: CtlMsg) -> Result<(), TransportError> {
+        let Some(tx) = self.txs.get(node as usize) else {
+            return Err(TransportError::protocol(format!(
+                "coordinator: no channel for node {node}"
+            )));
+        };
+        tx.send(Event::Ctl(msg)).map_err(|_| {
+            TransportError::peer_lost(format!("coordinator: channel to node {node} hung up"))
+        })
+    }
+    fn recv(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<(NodeId, CtlMsg)>, TransportError> {
+        match timeout {
+            None => self
+                .rx
+                .recv()
+                .map(Some)
+                .map_err(|_| TransportError::peer_lost("coordinator: all nodes hung up")),
+            Some(d) => match self.rx.recv_timeout(d) {
+                Ok(m) => Ok(Some(m)),
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => {
+                    Err(TransportError::peer_lost("coordinator: all nodes hung up"))
+                }
+            },
+        }
     }
 }
 
-/// Run a protocol over the thread backend: node `v` of `g` runs
-/// `make(v)` on its own thread, the calling thread coordinates.
-pub fn run_threads<P: Protocol>(
-    g: &WGraph,
-    cfg: &TransportConfig,
-    budget: Round,
-    make: impl FnMut(NodeId) -> P,
-) -> TransportRun<P> {
-    run_threads_recorded(g, cfg, budget, make, &mut NullRecorder)
-}
-
-/// As [`run_threads`], emitting per-round [`Recorder`] events from the
-/// coordinator (the nodes stay uninstrumented — observability is a
-/// coordinator-side concern, matching the simulator's engine hook).
-pub fn run_threads_recorded<P: Protocol>(
-    g: &WGraph,
-    cfg: &TransportConfig,
-    budget: Round,
-    mut make: impl FnMut(NodeId) -> P,
-    rec: &mut dyn Recorder,
-) -> TransportRun<P> {
+/// Wire up the channel fabric for `n` nodes of `g`.
+fn make_fabric<M>(g: &WGraph) -> (Vec<ChannelNode<M>>, ChannelCoord<M>) {
     let n = g.n();
     let (ctl_tx, ctl_rx) = channel();
-    let mut event_txs: Vec<Sender<Event<P::Msg>>> = Vec::with_capacity(n);
-    let mut event_rxs: Vec<Receiver<Event<P::Msg>>> = Vec::with_capacity(n);
+    let mut event_txs: Vec<Sender<Event<M>>> = Vec::with_capacity(n);
+    let mut event_rxs: Vec<Receiver<Event<M>>> = Vec::with_capacity(n);
     for _ in 0..n {
         let (tx, rx) = channel();
         event_txs.push(tx);
         event_rxs.push(rx);
     }
-    let mut endpoints: Vec<ChannelNode<P::Msg>> = event_rxs
+    let endpoints: Vec<ChannelNode<M>> = event_rxs
         .into_iter()
         .enumerate()
         .map(|(v, rx)| ChannelNode {
@@ -118,11 +170,36 @@ pub fn run_threads_recorded<P: Protocol>(
         })
         .collect();
     drop(ctl_tx);
-    let mut coord = ChannelCoord {
+    let coord = ChannelCoord {
         txs: event_txs,
         rx: ctl_rx,
     };
+    (endpoints, coord)
+}
 
+/// Run a protocol over the thread backend: node `v` of `g` runs
+/// `make(v)` on its own thread, the calling thread coordinates.
+pub fn run_threads<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    make: impl FnMut(NodeId) -> P,
+) -> Result<TransportRun<P>, TransportError> {
+    run_threads_recorded(g, cfg, budget, make, &mut NullRecorder)
+}
+
+/// As [`run_threads`], emitting per-round [`Recorder`] events from the
+/// coordinator (the nodes stay uninstrumented — observability is a
+/// coordinator-side concern, matching the simulator's engine hook).
+pub fn run_threads_recorded<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    mut make: impl FnMut(NodeId) -> P,
+    rec: &mut dyn Recorder,
+) -> Result<TransportRun<P>, TransportError> {
+    let (mut endpoints, mut coord) = make_fabric::<P::Msg>(g);
+    let n = g.n();
     std::thread::scope(|s| {
         let handles: Vec<_> = endpoints
             .drain(..)
@@ -132,19 +209,146 @@ pub fn run_threads_recorded<P: Protocol>(
                 s.spawn(move || node_main(v as NodeId, g, cfg, node, &mut ep))
             })
             .collect();
-        let (outcome, stats) = coordinate_recorded(n, budget, &mut coord, rec);
-        let nodes = handles
-            .into_iter()
-            .map(|h| {
-                let (node, _report, node_outcome) = h.join().expect("node thread panicked");
-                debug_assert_eq!(node_outcome, outcome);
-                node
-            })
-            .collect();
-        TransportRun {
+        let coord_result = coordinate_with(n, budget, &CoordConfig::default(), &mut coord, rec);
+        if coord_result.is_err() {
+            // Make sure nobody is left blocked on a barrier that will
+            // never complete before we join the threads.
+            let _ = coord.broadcast(CtlMsg::Abort {
+                reason: abort_reason::PEER_ERROR,
+            });
+        }
+        let mut nodes = Vec::with_capacity(n);
+        let mut worker_err: Option<TransportError> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok((node, _report, node_outcome))) => {
+                    if let Ok((outcome, _)) = &coord_result {
+                        debug_assert_eq!(node_outcome, *outcome);
+                    }
+                    nodes.push(node);
+                }
+                Ok(Err(we)) => worker_err = Some(we.error),
+                Err(_) => worker_err = Some(TransportError::protocol("a node thread panicked")),
+            }
+        }
+        let (outcome, stats) = coord_result?;
+        if let Some(e) = worker_err {
+            return Err(e);
+        }
+        Ok(TransportRun {
             nodes,
             stats,
             outcome,
+        })
+    })
+}
+
+/// Run a protocol over the thread backend with the full crash-fault
+/// control plane: checkpointing at `cfg.checkpoint_cadence`, failure
+/// detection on a `deadline` per barrier, scripted chaos from
+/// `cfg.chaos`, and coordinator-mediated recovery. A recoverable run
+/// returns the same [`TransportRun`] a fault-free one does — with
+/// distances and statistics bit-identical to the simulator's. An
+/// unrecoverable one terminates (no hangs: every wait in the system is
+/// bounded by `deadline`-derived budgets) with a [`PartialRun`].
+pub fn run_threads_chaos<P>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    deadline: Duration,
+    mut make: impl FnMut(NodeId) -> P,
+    rec: &mut dyn Recorder,
+) -> Result<TransportRun<P>, Box<PartialRun<P>>>
+where
+    P: Checkpointable,
+    P::Msg: WireCodec,
+{
+    let (mut endpoints, mut coord) = make_fabric::<P::Msg>(g);
+    let n = g.n();
+    let coord_cfg = CoordConfig {
+        round_deadline: Some(deadline),
+        probe_grace: deadline,
+        recovery_grace: deadline * 10,
+        max_probe_cycles: 0, // default
+        neighbors: Some(
+            (0..n)
+                .map(|v| g.comm_neighbors(v as NodeId).to_vec())
+                .collect(),
+        ),
+        stalls: cfg
+            .chaos
+            .as_ref()
+            .map(ChaosPlan::stalls)
+            .unwrap_or_default(),
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = endpoints
+            .drain(..)
+            .enumerate()
+            .map(|(v, mut ep)| {
+                let node = make(v as NodeId);
+                s.spawn(move || node_main_recoverable(v as NodeId, g, cfg, node, &mut ep))
+            })
+            .collect();
+        let coord_result = coordinate_with(n, budget, &coord_cfg, &mut coord, rec);
+        if coord_result.is_err() {
+            let _ = coord.broadcast(CtlMsg::Abort {
+                reason: abort_reason::PEER_ERROR,
+            });
+        }
+        let mut nodes: Vec<Option<P>> = Vec::with_capacity(n);
+        let mut worker_err: Option<TransportError> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok((node, _report, _outcome))) => nodes.push(Some(node)),
+                Ok(Err(we)) => {
+                    let WorkerError { error, node } = *we;
+                    // Aborted workers are collateral, not the fault.
+                    if worker_err.is_none() && !matches!(error, TransportError::Aborted { .. }) {
+                        worker_err = Some(error);
+                    }
+                    nodes.push(node);
+                }
+                Err(_) => {
+                    worker_err = Some(TransportError::protocol("a node thread panicked"));
+                    nodes.push(None);
+                }
+            }
+        }
+        match coord_result {
+            Ok((outcome, stats)) => {
+                if nodes.iter().all(Option::is_some) {
+                    Ok(TransportRun {
+                        nodes: nodes.into_iter().flatten().collect(),
+                        stats,
+                        outcome,
+                    })
+                } else {
+                    let error = worker_err.unwrap_or_else(|| {
+                        TransportError::protocol("a worker died in a run the coordinator finished")
+                    });
+                    Err(Box::new(PartialRun {
+                        failed: error.failed_nodes().to_vec(),
+                        round: 0,
+                        nodes,
+                        error,
+                    }))
+                }
+            }
+            Err(coord_err) => {
+                // The coordinator's diagnosis outranks the workers'
+                // secondary errors.
+                let round = match &coord_err {
+                    TransportError::Unrecoverable { round, .. } => *round,
+                    _ => 0,
+                };
+                Err(Box::new(PartialRun {
+                    failed: coord_err.failed_nodes().to_vec(),
+                    round,
+                    nodes,
+                    error: coord_err,
+                }))
+            }
         }
     })
 }
@@ -152,11 +356,14 @@ pub fn run_threads_recorded<P: Protocol>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coordinator::merge_report;
+    use crate::wire::NodeReport;
     use dw_congest::{EngineConfig, Network, NodeCtx, Outbox};
     use dw_graph::gen::{self, WeightDist};
 
     /// Hop-count flood from node 0; each node announces its distance
     /// once.
+    #[derive(Clone)]
     struct Flood {
         dist: Option<u64>,
         announced: bool,
@@ -186,10 +393,29 @@ mod tests {
         }
     }
 
+    impl Checkpointable for Flood {
+        fn snapshot(&self, out: &mut Vec<u8>) {
+            self.dist.encode(out);
+            self.announced.encode(out);
+        }
+        fn restore(&mut self, buf: &mut &[u8]) -> Option<()> {
+            self.dist = Option::<u64>::decode(buf)?;
+            self.announced = bool::decode(buf)?;
+            Some(())
+        }
+    }
+
     fn new_flood(_v: NodeId) -> Flood {
         Flood {
             dist: None,
             announced: false,
+        }
+    }
+
+    fn unwrap_run<P>(r: Result<TransportRun<P>, TransportError>) -> TransportRun<P> {
+        match r {
+            Ok(run) => run,
+            Err(e) => panic!("transport run failed: {e}"),
         }
     }
 
@@ -201,7 +427,7 @@ mod tests {
         let sim_stats = net.stats();
         let sim_dists: Vec<_> = net.nodes().map(|f| f.dist).collect();
 
-        let run = run_threads(&g, &TransportConfig::default(), 200, new_flood);
+        let run = unwrap_run(run_threads(&g, &TransportConfig::default(), 200, new_flood));
         let dists: Vec<_> = run.nodes.iter().map(|f| f.dist).collect();
         assert_eq!(run.outcome, sim_outcome);
         assert_eq!(dists, sim_dists);
@@ -228,7 +454,7 @@ mod tests {
             faults: Some(faults),
             ..TransportConfig::default()
         };
-        let run = run_threads(&g, &cfg, 300, new_flood);
+        let run = unwrap_run(run_threads(&g, &cfg, 300, new_flood));
         let dists: Vec<_> = run.nodes.iter().map(|f| f.dist).collect();
         assert_eq!(run.outcome, sim_outcome);
         assert_eq!(dists, sim_dists);
@@ -240,9 +466,280 @@ mod tests {
         let g = gen::path(6, false, WeightDist::Constant(1), 0);
         let mut net = Network::new(&g, EngineConfig::default(), new_flood);
         let sim_outcome = net.run(2);
-        let run = run_threads(&g, &TransportConfig::default(), 2, new_flood);
+        let run = unwrap_run(run_threads(&g, &TransportConfig::default(), 2, new_flood));
         assert_eq!(run.outcome, sim_outcome);
         assert_eq!(run.outcome, RunOutcome::BudgetExhausted);
         assert_eq!(run.stats, net.stats());
+    }
+
+    fn sim_reference(g: &WGraph, budget: Round) -> (RunOutcome, RunStats, Vec<Option<u64>>) {
+        let mut net = Network::new(g, EngineConfig::default(), new_flood);
+        let outcome = net.run(budget);
+        let stats = net.stats();
+        let dists = net.nodes().map(|f| f.dist).collect();
+        (outcome, stats, dists)
+    }
+
+    #[test]
+    fn chaos_kill_with_recovery_is_bit_identical_to_simulator() {
+        let g = gen::gnp_connected(16, 0.2, false, WeightDist::Constant(1), 7);
+        let (sim_outcome, sim_stats, sim_dists) = sim_reference(&g, 300);
+
+        let cfg = TransportConfig {
+            checkpoint_cadence: Some(2),
+            chaos: Some(ChaosPlan::new(1).with_kill(3, 2)),
+            ..TransportConfig::default()
+        };
+        let run = run_threads_chaos(
+            &g,
+            &cfg,
+            300,
+            Duration::from_millis(150),
+            new_flood,
+            &mut NullRecorder,
+        );
+        let run = match run {
+            Ok(run) => run,
+            Err(p) => panic!("chaos run did not recover: {}", p.error),
+        };
+        let dists: Vec<_> = run.nodes.iter().map(|f| f.dist).collect();
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(
+            dists, sim_dists,
+            "recovered distances must be bit-identical"
+        );
+        assert_eq!(
+            run.stats, sim_stats,
+            "replayed rounds must not double-count any counter"
+        );
+    }
+
+    #[test]
+    fn chaos_kill_under_message_faults_recovers_bit_identically() {
+        let g = gen::gnp_connected(12, 0.25, false, WeightDist::Constant(1), 5);
+        let faults = dw_congest::FaultPlan::new(42)
+            .with_drop(0.1)
+            .with_duplicate(0.05)
+            .with_delay(0.1, 4);
+        let engine = EngineConfig {
+            faults: Some(faults.clone()),
+            ..EngineConfig::default()
+        };
+        let mut net = Network::new(&g, engine, new_flood);
+        let sim_outcome = net.run(300);
+        let sim_stats = net.stats();
+        let sim_dists: Vec<_> = net.nodes().map(|f| f.dist).collect();
+
+        let cfg = TransportConfig {
+            faults: Some(faults),
+            checkpoint_cadence: Some(3),
+            chaos: Some(ChaosPlan::new(9).with_kill(5, 4)),
+            ..TransportConfig::default()
+        };
+        let run = run_threads_chaos(
+            &g,
+            &cfg,
+            300,
+            Duration::from_millis(150),
+            new_flood,
+            &mut NullRecorder,
+        );
+        let run = match run {
+            Ok(run) => run,
+            Err(p) => panic!("chaos run did not recover: {}", p.error),
+        };
+        let dists: Vec<_> = run.nodes.iter().map(|f| f.dist).collect();
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(dists, sim_dists);
+        assert_eq!(
+            run.stats, sim_stats,
+            "fault tallies must survive a crash-replay cycle"
+        );
+    }
+
+    #[test]
+    fn chaos_kill_without_checkpointing_terminates_with_partial_run() {
+        let g = gen::gnp_connected(10, 0.3, false, WeightDist::Constant(1), 3);
+        let cfg = TransportConfig {
+            checkpoint_cadence: None, // no checkpoints -> unrecoverable
+            chaos: Some(ChaosPlan::new(2).with_kill(4, 2)),
+            ..TransportConfig::default()
+        };
+        let partial = match run_threads_chaos(
+            &g,
+            &cfg,
+            200,
+            Duration::from_millis(60),
+            new_flood,
+            &mut NullRecorder,
+        ) {
+            Ok(_) => panic!("an uncheckpointed kill must not produce a full run"),
+            Err(p) => p,
+        };
+        assert_eq!(partial.failed, vec![4]);
+        assert!(matches!(
+            partial.error,
+            TransportError::Unrecoverable { .. }
+        ));
+        assert!(partial.round >= 2);
+        let salvaged = partial.nodes.iter().filter(|n| n.is_some()).count();
+        assert!(
+            salvaged >= g.n() - 1,
+            "survivors' states must be salvaged, got {salvaged}"
+        );
+    }
+
+    #[test]
+    fn chaos_sever_terminates_with_partial_run() {
+        let g = gen::gnp_connected(10, 0.3, false, WeightDist::Constant(1), 3);
+        let Some(&peer) = g.comm_neighbors(1).first() else {
+            panic!("node 1 has no neighbors in this fixture");
+        };
+        let cfg = TransportConfig {
+            checkpoint_cadence: Some(2),
+            chaos: Some(ChaosPlan::new(2).with_sever(1, peer, 3)),
+            ..TransportConfig::default()
+        };
+        let partial = match run_threads_chaos(
+            &g,
+            &cfg,
+            200,
+            Duration::from_millis(60),
+            new_flood,
+            &mut NullRecorder,
+        ) {
+            Ok(_) => panic!("a severed link must not produce a full run"),
+            Err(p) => p,
+        };
+        assert_eq!(partial.failed, vec![1], "the reporting endpoint is blamed");
+        assert!(matches!(
+            partial.error,
+            TransportError::Unrecoverable { .. }
+        ));
+    }
+
+    #[test]
+    fn chaos_coordinator_stall_is_bit_identical_to_simulator() {
+        let g = gen::gnp_connected(12, 0.25, false, WeightDist::Constant(1), 5);
+        let (sim_outcome, sim_stats, sim_dists) = sim_reference(&g, 200);
+        let cfg = TransportConfig {
+            checkpoint_cadence: Some(4),
+            chaos: Some(ChaosPlan::new(3).with_stall(2, 40)),
+            ..TransportConfig::default()
+        };
+        let run = run_threads_chaos(
+            &g,
+            &cfg,
+            200,
+            Duration::from_millis(300),
+            new_flood,
+            &mut NullRecorder,
+        );
+        let run = match run {
+            Ok(run) => run,
+            Err(p) => panic!("a stalled coordinator must not fail the run: {}", p.error),
+        };
+        let dists: Vec<_> = run.nodes.iter().map(|f| f.dist).collect();
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(dists, sim_dists);
+        assert_eq!(run.stats, sim_stats);
+    }
+
+    #[test]
+    fn chaos_recovery_emits_obs_events() {
+        let g = gen::gnp_connected(16, 0.2, false, WeightDist::Constant(1), 7);
+        let cfg = TransportConfig {
+            checkpoint_cadence: Some(2),
+            chaos: Some(ChaosPlan::new(1).with_kill(3, 2)),
+            ..TransportConfig::default()
+        };
+        let mut rec = dw_congest::ObsRecorder::new();
+        let run = run_threads_chaos(
+            &g,
+            &cfg,
+            300,
+            Duration::from_millis(150),
+            new_flood,
+            &mut rec,
+        );
+        assert!(run.is_ok(), "recovery expected");
+        let recording = rec.into_recording();
+        let names: Vec<&str> = recording.events.iter().map(|e| e.name).collect();
+        for expected in [
+            "checkpoint.stored",
+            "failure.suspect",
+            "failure.crash",
+            "recovery.rejoin",
+            "recovery.done",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "missing obs event {expected}, got {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_chaos_path_is_bit_identical_with_checkpoints_on() {
+        // Checkpointing alone (no chaos) must not perturb the run.
+        let g = gen::gnp_connected(14, 0.2, false, WeightDist::Constant(1), 13);
+        let (sim_outcome, sim_stats, sim_dists) = sim_reference(&g, 200);
+        let cfg = TransportConfig {
+            checkpoint_cadence: Some(3),
+            ..TransportConfig::default()
+        };
+        let run = run_threads_chaos(
+            &g,
+            &cfg,
+            200,
+            Duration::from_millis(200),
+            new_flood,
+            &mut NullRecorder,
+        );
+        let run = match run {
+            Ok(run) => run,
+            Err(p) => panic!("fault-free chaos run failed: {}", p.error),
+        };
+        let dists: Vec<_> = run.nodes.iter().map(|f| f.dist).collect();
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(dists, sim_dists);
+        assert_eq!(run.stats, sim_stats);
+    }
+
+    #[test]
+    fn merge_report_is_single_count_per_node() {
+        // The coordinator folds exactly one Final per node; a rejoined
+        // node's report reflects re-derived (not double) counters, so
+        // merging the same report once vs a run with recovery must
+        // agree. This pins the merge arithmetic itself.
+        let mut stats = RunStats::default();
+        let r = NodeReport {
+            node_sends: 2,
+            messages: 5,
+            total_words: 7,
+            max_link_load: 3,
+            dropped: 1,
+            outage_dropped: 0,
+            duplicated: 2,
+            delayed: 1,
+            late_delivered: 1,
+        };
+        merge_report(&mut stats, &r);
+        assert_eq!(stats.messages, 5);
+        assert_eq!(stats.total_words, 7);
+        assert_eq!(stats.max_link_load, 3);
+        assert_eq!(stats.max_node_sends, 2);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.duplicated, 2);
+        assert_eq!(stats.delayed, 1);
+        assert_eq!(stats.late_delivered, 1);
+        let mut twice = RunStats::default();
+        merge_report(&mut twice, &r);
+        merge_report(&mut twice, &r);
+        assert_eq!(
+            twice.messages, 10,
+            "merging twice doubles sums — which is why the coordinator \
+             accepts exactly one Final per node"
+        );
     }
 }

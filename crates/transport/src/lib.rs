@@ -30,18 +30,24 @@
 //! the same code.
 
 pub mod channels;
+pub mod chaos;
 pub mod coordinator;
+pub mod error;
 pub mod stdio;
 pub mod tcp;
 pub mod wire;
 pub mod worker;
 
-pub use channels::{run_threads, run_threads_recorded, TransportRun};
-pub use coordinator::{coordinate, coordinate_recorded, CoordEndpoint};
-pub use wire::{CtlMsg, Event, Frame, NodeReport};
-pub use worker::{node_main, NodeEndpoint, TransportConfig};
+pub use channels::{
+    run_threads, run_threads_chaos, run_threads_recorded, PartialRun, TransportRun,
+};
+pub use chaos::{ChaosEvent, ChaosPlan};
+pub use coordinator::{coordinate, coordinate_recorded, CoordConfig, CoordEndpoint};
+pub use error::TransportError;
+pub use wire::{abort_reason, errkind, CtlMsg, Event, Frame, NodeReport};
+pub use worker::{node_main, node_main_recoverable, NodeEndpoint, TransportConfig, WorkerError};
 
 // Re-exported so backend users don't need a direct dw-congest dep for
 // the common types that appear in this crate's signatures.
-pub use dw_congest::{Protocol, Round, RunOutcome, RunStats, WireCodec};
+pub use dw_congest::{Checkpointable, Protocol, Round, RunOutcome, RunStats, WireCodec};
 pub use dw_obs::{NullRecorder, ObsRecorder, Recorder, Recording};

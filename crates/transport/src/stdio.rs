@@ -9,10 +9,12 @@
 //!
 //! Node `v` is named `n<v>`; the coordinator is [`COORD`] (`c0`). Body
 //! types mirror the binary wire protocol one-to-one: `payload` /
-//! `end_round` for [`Frame`], `go` / `stop` / `done` / `final` for
-//! [`CtlMsg`]; protocol payloads ride as their [`WireCodec`] bytes in a
-//! JSON integer array, so any `Protocol` the binary backends can run,
-//! this one can too.
+//! `end_round` / `replay_batch` for [`Frame`], `go` / `stop` / `done` /
+//! `final` plus the recovery family (`checkpoint`, `ping`, `pong`,
+//! `rejoin`, `replay_request`, `error`, `abort`) for [`CtlMsg`];
+//! protocol payloads ride as their [`WireCodec`] bytes in a JSON
+//! integer array, so any `Protocol` the binary backends can run, this
+//! one can too.
 //!
 //! The JSON emitted here is compact and single-line; parsing is a
 //! small field scanner (the repo builds offline — no serde), tolerant
@@ -20,14 +22,21 @@
 //! `body`, which is fine for harnesses that echo messages verbatim.
 //! [`pipe`] provides in-memory stdin/stdout pairs so a whole network
 //! plus router can run inside one process (see the conformance tests).
+//!
+//! Error semantics: every runtime fault — stdin closing mid-run, a
+//! write to a dead pipe, a malformed or misrouted line — surfaces as a
+//! typed [`TransportError`], never a panic, so a harness-driven node
+//! process exits nonzero with a diagnostic instead of aborting.
 
+use crate::error::TransportError;
 use crate::wire::{CtlMsg, Event, Frame, NodeReport};
-use crate::worker::{node_main, NodeEndpoint, TransportConfig};
-use dw_congest::{Protocol, RunOutcome, WireCodec};
+use crate::worker::{node_main, NodeEndpoint, TransportConfig, WorkerError};
+use dw_congest::{Protocol, Round, RunOutcome, WireCodec};
 use dw_graph::{NodeId, WGraph};
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Read, Write};
 use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
 
 /// The coordinator's node name.
 pub const COORD: &str = "c0";
@@ -86,6 +95,18 @@ fn json_bytes(line: &str, key: &str) -> Option<Vec<u8>> {
         .collect()
 }
 
+fn json_u64s(line: &str, key: &str) -> Option<Vec<u64>> {
+    let rest = value_start(line, key)?.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = &rest[..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',')
+        .map(|tok| tok.trim().parse::<u64>().ok())
+        .collect()
+}
+
 // --- rendering -------------------------------------------------------------
 
 fn push_opt(out: &mut String, key: &str, v: Option<u64>) {
@@ -99,25 +120,40 @@ fn push_opt(out: &mut String, key: &str, v: Option<u64>) {
     }
 }
 
+fn push_byte_array(out: &mut String, bytes: &[u8]) {
+    out.push('[');
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{b}");
+    }
+    out.push(']');
+}
+
 /// Render a frame as a JSON body object.
 pub fn frame_body<M: WireCodec>(frame: &Frame<M>) -> String {
     match frame {
         Frame::Payload { round, due, msg } => {
             let mut bytes = Vec::new();
             msg.encode(&mut bytes);
-            let mut s =
-                format!("{{\"type\":\"payload\",\"round\":{round},\"due\":{due},\"data\":[");
-            for (i, b) in bytes.iter().enumerate() {
-                if i > 0 {
-                    s.push(',');
-                }
-                let _ = write!(s, "{b}");
-            }
-            s.push_str("]}");
+            let mut s = format!("{{\"type\":\"payload\",\"round\":{round},\"due\":{due},\"data\":");
+            push_byte_array(&mut s, &bytes);
+            s.push('}');
             s
         }
         Frame::EndRound { round } => {
             format!("{{\"type\":\"end_round\",\"round\":{round}}}")
+        }
+        Frame::ReplayBatch { frames } => {
+            // The whole batch rides as its binary encoding; the harness
+            // routes it opaquely like any payload.
+            let mut bytes = Vec::new();
+            frames.encode(&mut bytes);
+            let mut s = String::from("{\"type\":\"replay_batch\",\"data\":");
+            push_byte_array(&mut s, &bytes);
+            s.push('}');
+            s
         }
     }
 }
@@ -162,6 +198,45 @@ pub fn ctl_body(msg: &CtlMsg) -> String {
             report.delayed,
             report.late_delivered,
         ),
+        CtlMsg::Checkpoint { round, data } => {
+            let mut s = format!("{{\"type\":\"checkpoint\",\"round\":{round},\"data\":");
+            push_byte_array(&mut s, data);
+            s.push('}');
+            s
+        }
+        CtlMsg::Ping => String::from("{\"type\":\"ping\"}"),
+        CtlMsg::Pong { round } => format!("{{\"type\":\"pong\",\"round\":{round}}}"),
+        CtlMsg::Rejoin {
+            round,
+            checkpoint_round,
+            snapshot,
+            executed,
+        } => {
+            let mut s = format!(
+                "{{\"type\":\"rejoin\",\"round\":{round},\
+                 \"checkpoint_round\":{checkpoint_round},\"snapshot\":"
+            );
+            push_byte_array(&mut s, snapshot);
+            s.push_str(",\"executed\":[");
+            for (i, r) in executed.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{r}");
+            }
+            s.push_str("]}");
+            s
+        }
+        CtlMsg::ReplayRequest { target, from_round } => format!(
+            "{{\"type\":\"replay_request\",\"target\":{target},\"from_round\":{from_round}}}"
+        ),
+        CtlMsg::Error { kind, peer, round } => {
+            let mut s = format!("{{\"type\":\"error\",\"kind\":{kind},");
+            push_opt(&mut s, "peer", peer.map(u64::from));
+            let _ = write!(s, ",\"round\":{round}}}");
+            s
+        }
+        CtlMsg::Abort { reason } => format!("{{\"type\":\"abort\",\"reason\":{reason}}}"),
     }
 }
 
@@ -207,6 +282,15 @@ pub fn parse_line<M: WireCodec>(line: &str) -> Option<(String, String, LineBody<
         "end_round" => LineBody::Frame(Frame::EndRound {
             round: json_u64(line, "round")?,
         }),
+        "replay_batch" => {
+            let bytes = json_bytes(line, "data")?;
+            let mut view = bytes.as_slice();
+            let frames = Vec::<(Round, Round, M)>::decode(&mut view)?;
+            if !view.is_empty() {
+                return None;
+            }
+            LineBody::Frame(Frame::ReplayBatch { frames })
+        }
         "go" => LineBody::Ctl(CtlMsg::Go {
             round: json_u64(line, "round")?,
         }),
@@ -237,6 +321,32 @@ pub fn parse_line<M: WireCodec>(line: &str) -> Option<(String, String, LineBody<
                 late_delivered: json_u64(line, "late_delivered")?,
             },
         }),
+        "checkpoint" => LineBody::Ctl(CtlMsg::Checkpoint {
+            round: json_u64(line, "round")?,
+            data: json_bytes(line, "data")?,
+        }),
+        "ping" => LineBody::Ctl(CtlMsg::Ping),
+        "pong" => LineBody::Ctl(CtlMsg::Pong {
+            round: json_u64(line, "round")?,
+        }),
+        "rejoin" => LineBody::Ctl(CtlMsg::Rejoin {
+            round: json_u64(line, "round")?,
+            checkpoint_round: json_u64(line, "checkpoint_round")?,
+            snapshot: json_bytes(line, "snapshot")?,
+            executed: json_u64s(line, "executed")?,
+        }),
+        "replay_request" => LineBody::Ctl(CtlMsg::ReplayRequest {
+            target: json_u64(line, "target")? as NodeId,
+            from_round: json_u64(line, "from_round")?,
+        }),
+        "error" => LineBody::Ctl(CtlMsg::Error {
+            kind: json_u64(line, "kind")? as u8,
+            peer: json_opt_u64(line, "peer").map(|p| p as NodeId),
+            round: json_u64(line, "round")?,
+        }),
+        "abort" => LineBody::Ctl(CtlMsg::Abort {
+            reason: json_u64(line, "reason")? as u8,
+        }),
         _ => return None,
     };
     Some((src, dest, body))
@@ -266,43 +376,65 @@ impl<M, R: BufRead, W: Write> StdioNode<M, R, W> {
 }
 
 impl<M: WireCodec, R: BufRead, W: Write> NodeEndpoint<M> for StdioNode<M, R, W> {
-    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) {
+    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) -> Result<(), TransportError> {
         let body = frame_body(&frame);
         write_line(&mut self.writer, &self.name, &node_name(to), &body)
-            .unwrap_or_else(|e| panic!("{}: stdout write failed: {e}", self.name));
+            .map_err(|e| TransportError::io(format!("{}: stdout write", self.name), &e))
     }
-    fn send_ctl(&mut self, msg: CtlMsg) {
+    fn send_ctl(&mut self, msg: CtlMsg) -> Result<(), TransportError> {
         let body = ctl_body(&msg);
         write_line(&mut self.writer, &self.name, COORD, &body)
-            .unwrap_or_else(|e| panic!("{}: stdout write failed: {e}", self.name));
+            .map_err(|e| TransportError::io(format!("{}: stdout write", self.name), &e))
     }
-    fn recv(&mut self) -> Event<M> {
+    fn recv(&mut self) -> Result<Event<M>, TransportError> {
         loop {
             self.line.clear();
             let k = self
                 .reader
                 .read_line(&mut self.line)
-                .unwrap_or_else(|e| panic!("{}: stdin read failed: {e}", self.name));
+                .map_err(|e| TransportError::io(format!("{}: stdin read", self.name), &e))?;
             if k == 0 {
-                panic!("{}: stdin closed mid-run", self.name);
+                // The harness hung up: a clean typed fault, so the node
+                // process exits nonzero instead of hanging or aborting.
+                return Err(TransportError::peer_lost(format!(
+                    "{}: stdin closed mid-run",
+                    self.name
+                )));
             }
             let line = self.line.trim_end();
             if line.is_empty() {
                 continue;
             }
-            let (src, dest, body) = parse_line::<M>(line)
-                .unwrap_or_else(|| panic!("{}: malformed message line: {line}", self.name));
-            assert_eq!(dest, self.name, "{}: misrouted line from {src}", self.name);
+            let Some((src, dest, body)) = parse_line::<M>(line) else {
+                return Err(TransportError::MalformedFrame {
+                    context: format!("{}: malformed message line: {line}", self.name),
+                });
+            };
+            if dest != self.name {
+                return Err(TransportError::protocol(format!(
+                    "{}: misrouted line from {src} (dest {dest})",
+                    self.name
+                )));
+            }
             return match body {
                 LineBody::Ctl(msg) => {
-                    assert_eq!(src, COORD, "{}: control message from {src}", self.name);
-                    Event::Ctl(msg)
+                    if src != COORD {
+                        return Err(TransportError::protocol(format!(
+                            "{}: control message from {src}",
+                            self.name
+                        )));
+                    }
+                    Ok(Event::Ctl(msg))
                 }
-                LineBody::Frame(frame) => Event::Peer {
-                    from: parse_node_name(&src)
-                        .unwrap_or_else(|| panic!("{}: frame from non-node {src}", self.name)),
-                    frame,
-                },
+                LineBody::Frame(frame) => {
+                    let Some(from) = parse_node_name(&src) else {
+                        return Err(TransportError::protocol(format!(
+                            "{}: frame from non-node {src}",
+                            self.name
+                        )));
+                    };
+                    Ok(Event::Peer { from, frame })
+                }
             };
         }
     }
@@ -312,6 +444,8 @@ impl<M: WireCodec, R: BufRead, W: Write> NodeEndpoint<M> for StdioNode<M, R, W> 
 /// from `reader`, writes its own messages to `writer`, returns when
 /// the coordinator stops the run. With `io::stdin().lock()` and
 /// `io::stdout()` this is the whole body of a Maelstrom-style binary.
+/// A transport fault (stdin closing mid-run, a malformed line) comes
+/// back as the typed error for the caller to exit nonzero on.
 pub fn run_node_stdio<P: Protocol>(
     g: &WGraph,
     cfg: &TransportConfig,
@@ -319,17 +453,21 @@ pub fn run_node_stdio<P: Protocol>(
     node: P,
     reader: impl BufRead,
     writer: impl Write,
-) -> (P, RunOutcome)
+) -> Result<(P, RunOutcome), Box<WorkerError<P>>>
 where
     P::Msg: WireCodec,
 {
     let mut ep = StdioNode::new(id, reader, writer);
-    let (node, _report, outcome) = node_main(id, g, cfg, node, &mut ep);
-    (node, outcome)
+    let (node, _report, outcome) = node_main(id, g, cfg, node, &mut ep)?;
+    Ok((node, outcome))
 }
 
 /// The coordinator as a stdio participant: broadcasts `go`/`stop`
 /// lines to `n0..n{n-1}`, reads `done`/`final` lines routed to `c0`.
+///
+/// Line streams have no timeout machinery, so a configured
+/// `round_deadline` degrades to a blocking read — the stdio backend is
+/// a conformance/harness transport, not a failure-detecting one.
 pub struct StdioCoord<R: BufRead, W: Write> {
     n: usize,
     reader: R,
@@ -349,22 +487,40 @@ impl<R: BufRead, W: Write> StdioCoord<R, W> {
 }
 
 impl<R: BufRead, W: Write> crate::coordinator::CoordEndpoint for StdioCoord<R, W> {
-    fn broadcast(&mut self, msg: CtlMsg) {
+    fn broadcast(&mut self, msg: CtlMsg) -> Result<(), TransportError> {
         let body = ctl_body(&msg);
+        let mut first_err = None;
         for v in 0..self.n {
-            write_line(&mut self.writer, COORD, &node_name(v as NodeId), &body)
-                .unwrap_or_else(|e| panic!("coordinator write failed: {e}"));
+            if let Err(e) = write_line(&mut self.writer, COORD, &node_name(v as NodeId), &body) {
+                if first_err.is_none() {
+                    first_err = Some(TransportError::io("coordinator: stdout write", &e));
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
-    fn recv(&mut self) -> (NodeId, CtlMsg) {
+    fn send_to(&mut self, node: NodeId, msg: CtlMsg) -> Result<(), TransportError> {
+        let body = ctl_body(&msg);
+        write_line(&mut self.writer, COORD, &node_name(node), &body)
+            .map_err(|e| TransportError::io("coordinator: stdout write", &e))
+    }
+    fn recv(
+        &mut self,
+        _timeout: Option<Duration>,
+    ) -> Result<Option<(NodeId, CtlMsg)>, TransportError> {
         loop {
             self.line.clear();
             let k = self
                 .reader
                 .read_line(&mut self.line)
-                .unwrap_or_else(|e| panic!("coordinator read failed: {e}"));
+                .map_err(|e| TransportError::io("coordinator: stdin read", &e))?;
             if k == 0 {
-                panic!("coordinator stdin closed mid-run");
+                return Err(TransportError::peer_lost(
+                    "coordinator: stdin closed mid-run",
+                ));
             }
             let line = self.line.trim_end();
             if line.is_empty() {
@@ -372,16 +528,30 @@ impl<R: BufRead, W: Write> crate::coordinator::CoordEndpoint for StdioCoord<R, W
             }
             // Control lines carry no payload bytes, so the unit codec
             // suffices for parsing.
-            let (src, dest, body) = parse_line::<()>(line)
-                .unwrap_or_else(|| panic!("coordinator: malformed line: {line}"));
-            assert_eq!(dest, COORD, "coordinator: misrouted line from {src}");
+            let Some((src, dest, body)) = parse_line::<()>(line) else {
+                return Err(TransportError::MalformedFrame {
+                    context: format!("coordinator: malformed line: {line}"),
+                });
+            };
+            if dest != COORD {
+                return Err(TransportError::protocol(format!(
+                    "coordinator: misrouted line from {src} (dest {dest})"
+                )));
+            }
             match body {
                 LineBody::Ctl(msg) => {
-                    let id = parse_node_name(&src)
-                        .unwrap_or_else(|| panic!("coordinator: line from non-node {src}"));
-                    return (id, msg);
+                    let Some(id) = parse_node_name(&src) else {
+                        return Err(TransportError::protocol(format!(
+                            "coordinator: line from non-node {src}"
+                        )));
+                    };
+                    return Ok(Some((id, msg)));
                 }
-                LineBody::Frame(_) => panic!("coordinator: got a node-to-node frame from {src}"),
+                LineBody::Frame(_) => {
+                    return Err(TransportError::protocol(format!(
+                        "coordinator: got a node-to-node frame from {src}"
+                    )))
+                }
             }
         }
     }
@@ -468,6 +638,8 @@ pub fn pipe_with_sender() -> (Sender<Vec<u8>>, PipeReader) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::{abort_reason, errkind};
+    use std::io::BufReader;
 
     #[test]
     fn bodies_roundtrip_through_json() {
@@ -478,6 +650,10 @@ mod tests {
                 msg: 0xfeed,
             },
             Frame::EndRound { round: 12 },
+            Frame::ReplayBatch {
+                frames: vec![(4, 4, 11), (5, 9, 12)],
+            },
+            Frame::ReplayBatch { frames: vec![] },
         ];
         for f in frames {
             let line = format!(
@@ -512,6 +688,39 @@ mod tests {
                     delayed: 8,
                     late_delivered: 9,
                 },
+            },
+            CtlMsg::Checkpoint {
+                round: 6,
+                data: vec![1, 2, 250],
+            },
+            CtlMsg::Checkpoint {
+                round: 0,
+                data: vec![],
+            },
+            CtlMsg::Ping,
+            CtlMsg::Pong { round: 11 },
+            CtlMsg::Rejoin {
+                round: 9,
+                checkpoint_round: 6,
+                snapshot: vec![7, 8],
+                executed: vec![7, 8],
+            },
+            CtlMsg::ReplayRequest {
+                target: 3,
+                from_round: 6,
+            },
+            CtlMsg::Error {
+                kind: errkind::PEER_LOST,
+                peer: Some(2),
+                round: 4,
+            },
+            CtlMsg::Error {
+                kind: errkind::IO,
+                peer: None,
+                round: 0,
+            },
+            CtlMsg::Abort {
+                reason: abort_reason::UNRECOVERABLE,
             },
         ];
         for c in ctls {
@@ -548,5 +757,54 @@ mod tests {
         assert_eq!(parse_node_name(&node_name(17)), Some(17));
         assert_eq!(parse_node_name(COORD), None);
         assert_eq!(parse_node_name("x3"), None);
+    }
+
+    #[test]
+    fn stdin_eof_mid_run_is_a_typed_peer_lost_error() {
+        // The harness dies (empty stdin). The node must surface a
+        // typed PeerLost, not panic or hang.
+        let reader = BufReader::new(io::empty());
+        let mut sink = Vec::new();
+        let mut ep: StdioNode<u64, _, _> = StdioNode::new(3, reader, &mut sink);
+        match ep.recv() {
+            Err(TransportError::PeerLost { context }) => {
+                assert!(context.contains("n3"), "names the node: {context}");
+                assert!(context.contains("closed mid-run"));
+            }
+            other => panic!("expected PeerLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coordinator_stdin_eof_is_a_typed_peer_lost_error() {
+        use crate::coordinator::CoordEndpoint as _;
+        let reader = BufReader::new(io::empty());
+        let mut sink = Vec::new();
+        let mut coord = StdioCoord::new(2, reader, &mut sink);
+        match coord.recv(None) {
+            Err(TransportError::PeerLost { context }) => {
+                assert!(context.contains("coordinator"));
+            }
+            other => panic!("expected PeerLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_not_panics() {
+        let reader = BufReader::new("this is not json\n".as_bytes());
+        let mut sink = Vec::new();
+        let mut ep: StdioNode<u64, _, _> = StdioNode::new(0, reader, &mut sink);
+        assert!(matches!(
+            ep.recv(),
+            Err(TransportError::MalformedFrame { .. })
+        ));
+
+        let reader = BufReader::new(
+            "{\"src\":\"n1\",\"dest\":\"n9\",\"body\":{\"type\":\"end_round\",\"round\":1}}\n"
+                .as_bytes(),
+        );
+        let mut sink = Vec::new();
+        let mut ep: StdioNode<u64, _, _> = StdioNode::new(0, reader, &mut sink);
+        assert!(matches!(ep.recv(), Err(TransportError::Protocol { .. })));
     }
 }

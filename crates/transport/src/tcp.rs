@@ -9,38 +9,79 @@
 //! queue with a reader thread per connection; TCP's per-stream ordering
 //! gives the per-link FIFO guarantee the round protocol relies on.
 //!
+//! Failure semantics: reader threads never panic. A clean EOF mid-run
+//! (the peer process died and the kernel sent FIN) silently ends the
+//! reader — the *coordinator's* deadline-and-ping failure detector is
+//! what notices the silence, exactly as with any other crash. A read
+//! *error* (reset, malformed frame, oversized header) is pushed into
+//! the worker's event queue as [`Event::Lost`] and surfaces as a typed
+//! [`TransportError`].
+//!
 //! [`run_tcp_loopback`] wires a whole network inside one process (the
 //! conformance and bench configuration); [`run_node_tcp`] and
 //! [`run_coordinator_tcp`] are the building blocks the `dwapsp
 //! run-node` / `dwapsp coordinator` CLI uses to run each node as its
-//! own OS process.
+//! own OS process. [`run_tcp_loopback_chaos`] is the crash-fault
+//! configuration: recoverable workers, a deadline-driven coordinator,
+//! and scripted [`crate::chaos::ChaosPlan`] faults over real sockets.
 
-use crate::channels::TransportRun;
-use crate::coordinator::{coordinate_recorded, CoordEndpoint};
-use crate::wire::{read_frame, write_frame, CtlMsg, Event, Frame};
-use crate::worker::{node_main, NodeEndpoint, TransportConfig};
-use dw_congest::{NullRecorder, Protocol, Recorder, Round, RunOutcome, WireCodec};
+use crate::channels::{PartialRun, TransportRun};
+use crate::chaos::{splitmix64, ChaosPlan};
+use crate::coordinator::{coordinate_with, CoordConfig, CoordEndpoint};
+use crate::error::TransportError;
+use crate::wire::{
+    abort_reason, errkind, read_frame, write_frame, CtlMsg, Event, Frame, NodeReport,
+};
+use crate::worker::{node_main, node_main_recoverable, NodeEndpoint, TransportConfig, WorkerError};
+use dw_congest::{
+    Checkpointable, NullRecorder, Protocol, Recorder, Round, RunOutcome, RunStats, WireCodec,
+};
 use dw_graph::{NodeId, WGraph};
 use std::io::{self, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::{Duration, Instant};
 
-/// Dial `addr`, retrying while the peer is still binding/accepting
-/// (processes in a multi-process run start in arbitrary order).
-pub fn retry_connect(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+/// The dial backoff schedule: exponential from 2ms, capped at 250ms,
+/// with deterministic seeded jitter (so a thundering herd of workers
+/// dialing one listener de-synchronizes, reproducibly). Pure function
+/// of `(seed, attempt)`.
+pub fn connect_backoff(seed: u64, attempt: u32) -> Duration {
+    let base_ms: u64 = (2u64 << attempt.min(7)).min(250);
+    let jitter_ms = splitmix64(seed ^ u64::from(attempt)) % (base_ms / 2 + 1);
+    Duration::from_millis(base_ms + jitter_ms)
+}
+
+/// Dial `addr`, retrying with [`connect_backoff`] while the peer is
+/// still binding/accepting (processes in a multi-process run start in
+/// arbitrary order). Returns the stream and the number of connect
+/// attempts made.
+pub fn retry_connect_seeded(
+    addr: SocketAddr,
+    timeout: Duration,
+    seed: u64,
+) -> io::Result<(TcpStream, u32)> {
     let deadline = Instant::now() + timeout;
+    let mut attempt = 0u32;
     loop {
         match TcpStream::connect(addr) {
-            Ok(s) => return Ok(s),
+            Ok(s) => return Ok((s, attempt + 1)),
             Err(e) => {
-                if Instant::now() >= deadline {
+                let now = Instant::now();
+                if now >= deadline {
                     return Err(e);
                 }
-                std::thread::sleep(Duration::from_millis(20));
+                std::thread::sleep(connect_backoff(seed, attempt).min(deadline - now));
+                attempt += 1;
             }
         }
     }
+}
+
+/// [`retry_connect_seeded`] with a zero seed, discarding the attempt
+/// count.
+pub fn retry_connect(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    retry_connect_seeded(addr, timeout, 0).map(|(s, _)| s)
 }
 
 fn handshake_out(stream: &mut TcpStream, id: NodeId) -> io::Result<()> {
@@ -66,20 +107,24 @@ struct TcpNode<M> {
 }
 
 impl<M: WireCodec> NodeEndpoint<M> for TcpNode<M> {
-    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) {
+    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) -> Result<(), TransportError> {
         let i = self
             .peers
             .binary_search_by_key(&to, |&(v, _)| v)
-            .unwrap_or_else(|_| panic!("node {}: send to non-neighbor {to}", self.id));
+            .map_err(|_| {
+                TransportError::protocol(format!("node {}: send to non-neighbor {to}", self.id))
+            })?;
         write_frame(&mut self.peers[i].1, &frame, &mut self.scratch)
-            .unwrap_or_else(|e| panic!("node {}: write to {to} failed: {e}", self.id));
+            .map_err(|e| TransportError::io(format!("node {}: write to {to}", self.id), &e))
     }
-    fn send_ctl(&mut self, msg: CtlMsg) {
+    fn send_ctl(&mut self, msg: CtlMsg) -> Result<(), TransportError> {
         write_frame(&mut self.ctl, &msg, &mut self.scratch)
-            .unwrap_or_else(|e| panic!("node {}: write to coordinator failed: {e}", self.id));
+            .map_err(|e| TransportError::io(format!("node {}: write to coordinator", self.id), &e))
     }
-    fn recv(&mut self) -> Event<M> {
-        self.rx.recv().expect("all reader threads hung up mid-run")
+    fn recv(&mut self) -> Result<Event<M>, TransportError> {
+        self.rx.recv().map_err(|_| {
+            TransportError::peer_lost(format!("node {}: all reader threads hung up", self.id))
+        })
     }
 }
 
@@ -92,8 +137,16 @@ fn peer_reader<M: WireCodec>(from: NodeId, stream: TcpStream, tx: Sender<Event<M
                     break; // receiver done; drain to EOF is pointless
                 }
             }
+            // Clean EOF: normal at end of run; mid-run it means the
+            // peer died, which the coordinator's failure detector owns.
             Ok(None) => break,
-            Err(e) => panic!("transport read from node {from} failed: {e}"),
+            Err(e) => {
+                let _ = tx.send(Event::Lost {
+                    from: Some(from),
+                    detail: e.to_string(),
+                });
+                break;
+            }
         }
     }
 }
@@ -108,7 +161,13 @@ fn ctl_reader<M: WireCodec>(stream: TcpStream, tx: Sender<Event<M>>) {
                 }
             }
             Ok(None) => break,
-            Err(e) => panic!("transport read from coordinator failed: {e}"),
+            Err(e) => {
+                let _ = tx.send(Event::Lost {
+                    from: None,
+                    detail: e.to_string(),
+                });
+                break;
+            }
         }
     }
 }
@@ -136,7 +195,7 @@ fn connect_links(
         let dialer = s.spawn(|| -> io::Result<Vec<(NodeId, TcpStream)>> {
             dial.iter()
                 .map(|&(u, addr)| {
-                    let mut stream = retry_connect(addr, timeout)?;
+                    let (mut stream, _) = retry_connect_seeded(addr, timeout, u64::from(id))?;
                     handshake_out(&mut stream, id)?;
                     Ok((u, stream))
                 })
@@ -147,7 +206,10 @@ fn connect_links(
             let from = handshake_in(&mut stream)?;
             links.push((from, stream));
         }
-        links.extend(dialer.join().expect("dialer thread panicked")?);
+        let dialed = dialer
+            .join()
+            .map_err(|_| io::Error::other("dialer thread panicked"))??;
+        links.extend(dialed);
         Ok(())
     })?;
     links.sort_by_key(|&(u, _)| u);
@@ -157,6 +219,87 @@ fn connect_links(
         "link sockets must cover exactly the comm neighbors"
     );
     Ok(links)
+}
+
+/// Socket setup plus reader-thread lifecycle around one worker drive
+/// function ([`node_main`] or [`node_main_recoverable`] — everything
+/// else is identical between the plain and the recoverable entry
+/// points).
+#[allow(clippy::too_many_arguments)] // deployment entry point: each arg is one wire-level endpoint
+fn tcp_worker_session<P, F>(
+    g: &WGraph,
+    id: NodeId,
+    node: P,
+    listener: TcpListener,
+    peer_addrs: &[(NodeId, SocketAddr)],
+    coord_addr: SocketAddr,
+    timeout: Duration,
+    drive: F,
+) -> Result<(P, NodeReport, RunOutcome), Box<WorkerError<P>>>
+where
+    P: Protocol,
+    P::Msg: WireCodec,
+    F: FnOnce(P, &mut TcpNode<P::Msg>) -> Result<(P, NodeReport, RunOutcome), Box<WorkerError<P>>>,
+{
+    let setup_err = |e: io::Error| {
+        Box::new(WorkerError {
+            error: TransportError::io(format!("node {id}: transport setup"), &e),
+            node: None,
+        })
+    };
+    let nbrs = g.comm_neighbors(id);
+    let links = connect_links(id, nbrs, &listener, peer_addrs, timeout).map_err(setup_err)?;
+    let (mut ctl, _) =
+        retry_connect_seeded(coord_addr, timeout, u64::from(id)).map_err(setup_err)?;
+    handshake_out(&mut ctl, id).map_err(setup_err)?;
+
+    let (tx, rx) = channel();
+    std::thread::scope(|s| {
+        for (u, stream) in &links {
+            let Ok(read_half) = stream.try_clone() else {
+                return Err(Box::new(WorkerError {
+                    error: TransportError::peer_lost(format!(
+                        "node {id}: could not clone the link socket to {u}"
+                    )),
+                    node: None,
+                }));
+            };
+            let tx = tx.clone();
+            let u = *u;
+            s.spawn(move || peer_reader::<P::Msg>(u, read_half, tx));
+        }
+        {
+            let Ok(read_half) = ctl.try_clone() else {
+                return Err(Box::new(WorkerError {
+                    error: TransportError::peer_lost(format!(
+                        "node {id}: could not clone the coordinator socket"
+                    )),
+                    node: None,
+                }));
+            };
+            let tx = tx.clone();
+            s.spawn(move || ctl_reader::<P::Msg>(read_half, tx));
+        }
+        drop(tx);
+        let mut ep = TcpNode {
+            id,
+            peers: links,
+            ctl,
+            rx,
+            scratch: Vec::new(),
+        };
+        let result = drive(node, &mut ep);
+        // Send FIN on every socket so peers' (and our) reader threads
+        // unblock with a clean EOF; without this the read halves keep
+        // the connections open and the scope never joins. This runs on
+        // the error path too — an aborted worker must not wedge its
+        // neighbors' readers.
+        for (_, stream) in &ep.peers {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+        let _ = ep.ctl.shutdown(Shutdown::Write);
+        result
+    })
 }
 
 /// Run node `id` of `g` over TCP: accept/dial link sockets, connect to
@@ -172,46 +315,53 @@ pub fn run_node_tcp<P: Protocol>(
     peer_addrs: &[(NodeId, SocketAddr)],
     coord_addr: SocketAddr,
     timeout: Duration,
-) -> io::Result<(P, RunOutcome)>
+) -> Result<(P, RunOutcome), TransportError>
 where
     P::Msg: WireCodec,
 {
-    let nbrs = g.comm_neighbors(id);
-    let links = connect_links(id, nbrs, &listener, peer_addrs, timeout)?;
-    let mut ctl = retry_connect(coord_addr, timeout)?;
-    handshake_out(&mut ctl, id)?;
+    tcp_worker_session(
+        g,
+        id,
+        node,
+        listener,
+        peer_addrs,
+        coord_addr,
+        timeout,
+        |node, ep| node_main(id, g, cfg, node, ep),
+    )
+    .map(|(node, _report, outcome)| (node, outcome))
+    .map_err(|we| we.error)
+}
 
-    let (tx, rx) = channel();
-    std::thread::scope(|s| -> io::Result<(P, RunOutcome)> {
-        for (u, stream) in &links {
-            let read_half = stream.try_clone()?;
-            let tx = tx.clone();
-            let u = *u;
-            s.spawn(move || peer_reader::<P::Msg>(u, read_half, tx));
-        }
-        {
-            let read_half = ctl.try_clone()?;
-            let tx = tx.clone();
-            s.spawn(move || ctl_reader::<P::Msg>(read_half, tx));
-        }
-        drop(tx);
-        let mut ep = TcpNode {
-            id,
-            peers: links,
-            ctl,
-            rx,
-            scratch: Vec::new(),
-        };
-        let (node, _report, outcome) = node_main(id, g, cfg, node, &mut ep);
-        // Send FIN on every socket so peers' (and our) reader threads
-        // unblock with a clean EOF; without this the read halves keep
-        // the connections open and the scope never joins.
-        for (_, stream) in &ep.peers {
-            let _ = stream.shutdown(Shutdown::Write);
-        }
-        let _ = ep.ctl.shutdown(Shutdown::Write);
-        Ok((node, outcome))
-    })
+/// As [`run_node_tcp`], driving [`node_main_recoverable`]: the node
+/// checkpoints, serves replay, and honors `cfg.chaos` — the
+/// multi-process deployment of the crash-fault runtime.
+#[allow(clippy::too_many_arguments)] // deployment entry point: each arg is one wire-level endpoint
+pub fn run_node_tcp_recoverable<P: Checkpointable>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    id: NodeId,
+    node: P,
+    listener: TcpListener,
+    peer_addrs: &[(NodeId, SocketAddr)],
+    coord_addr: SocketAddr,
+    timeout: Duration,
+) -> Result<(P, RunOutcome), TransportError>
+where
+    P::Msg: WireCodec,
+{
+    tcp_worker_session(
+        g,
+        id,
+        node,
+        listener,
+        peer_addrs,
+        coord_addr,
+        timeout,
+        |node, ep| node_main_recoverable(id, g, cfg, node, ep),
+    )
+    .map(|(node, _report, outcome)| (node, outcome))
+    .map_err(|we| we.error)
 }
 
 struct TcpCoord {
@@ -221,16 +371,50 @@ struct TcpCoord {
 }
 
 impl CoordEndpoint for TcpCoord {
-    fn broadcast(&mut self, msg: CtlMsg) {
-        for stream in &mut self.streams {
-            write_frame(stream, &msg, &mut self.scratch)
-                .unwrap_or_else(|e| panic!("coordinator write failed: {e}"));
+    fn broadcast(&mut self, msg: CtlMsg) -> Result<(), TransportError> {
+        // Attempt every node even if some writes fail — an abort must
+        // reach the survivors.
+        let mut first_err = None;
+        for (v, stream) in self.streams.iter_mut().enumerate() {
+            if let Err(e) = write_frame(stream, &msg, &mut self.scratch) {
+                if first_err.is_none() {
+                    first_err = Some(TransportError::io(
+                        format!("coordinator: write to node {v}"),
+                        &e,
+                    ));
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
-    fn recv(&mut self) -> (NodeId, CtlMsg) {
-        self.rx
-            .recv()
-            .expect("all node connections hung up mid-run")
+    fn send_to(&mut self, node: NodeId, msg: CtlMsg) -> Result<(), TransportError> {
+        let Some(stream) = self.streams.get_mut(node as usize) else {
+            return Err(TransportError::protocol(format!(
+                "coordinator: no connection for node {node}"
+            )));
+        };
+        write_frame(stream, &msg, &mut self.scratch)
+            .map_err(|e| TransportError::io(format!("coordinator: write to node {node}"), &e))
+    }
+    fn recv(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<(NodeId, CtlMsg)>, TransportError> {
+        match timeout {
+            None => self.rx.recv().map(Some).map_err(|_| {
+                TransportError::peer_lost("coordinator: all node connections hung up")
+            }),
+            Some(d) => match self.rx.recv_timeout(d) {
+                Ok(m) => Ok(Some(m)),
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => Err(TransportError::peer_lost(
+                    "coordinator: all node connections hung up",
+                )),
+            },
+        }
     }
 }
 
@@ -240,8 +424,14 @@ pub fn run_coordinator_tcp(
     n: usize,
     budget: Round,
     listener: TcpListener,
-) -> io::Result<(RunOutcome, dw_congest::RunStats)> {
-    run_coordinator_tcp_recorded(n, budget, listener, &mut NullRecorder)
+) -> Result<(RunOutcome, RunStats), TransportError> {
+    run_coordinator_tcp_with(
+        n,
+        budget,
+        &CoordConfig::default(),
+        listener,
+        &mut NullRecorder,
+    )
 }
 
 /// As [`run_coordinator_tcp`], emitting per-round [`Recorder`] events.
@@ -250,19 +440,39 @@ pub fn run_coordinator_tcp_recorded(
     budget: Round,
     listener: TcpListener,
     rec: &mut dyn Recorder,
-) -> io::Result<(RunOutcome, dw_congest::RunStats)> {
+) -> Result<(RunOutcome, RunStats), TransportError> {
+    run_coordinator_tcp_with(n, budget, &CoordConfig::default(), listener, rec)
+}
+
+/// The full TCP coordinator: accept `n` connections, then run
+/// [`coordinate_with`] under `cfg` (deadlines, probes, recovery).
+/// Reader threads report per-connection faults as synthesized
+/// [`CtlMsg::Error`] messages; a clean mid-run EOF is silence the
+/// deadline machinery attributes.
+pub fn run_coordinator_tcp_with(
+    n: usize,
+    budget: Round,
+    cfg: &CoordConfig,
+    listener: TcpListener,
+    rec: &mut dyn Recorder,
+) -> Result<(RunOutcome, RunStats), TransportError> {
+    let io_err = |context: &str, e: &io::Error| TransportError::io(context, e);
     let mut conns: Vec<(NodeId, TcpStream)> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (mut stream, _) = listener.accept()?;
-        let id = handshake_in(&mut stream)?;
+        let (mut stream, _) = listener
+            .accept()
+            .map_err(|e| io_err("coordinator: accept", &e))?;
+        let id = handshake_in(&mut stream).map_err(|e| io_err("coordinator: handshake", &e))?;
         conns.push((id, stream));
     }
     conns.sort_by_key(|&(id, _)| id);
     let (tx, rx) = channel();
-    std::thread::scope(|s| -> io::Result<(RunOutcome, dw_congest::RunStats)> {
+    std::thread::scope(|s| -> Result<(RunOutcome, RunStats), TransportError> {
         let mut streams = Vec::with_capacity(n);
         for (id, stream) in conns {
-            let read_half = stream.try_clone()?;
+            let read_half = stream
+                .try_clone()
+                .map_err(|e| io_err("coordinator: clone node socket", &e))?;
             let tx = tx.clone();
             s.spawn(move || {
                 let mut r = BufReader::new(read_half);
@@ -273,8 +483,24 @@ pub fn run_coordinator_tcp_recorded(
                                 break;
                             }
                         }
+                        // Clean EOF: either the run is over, or the
+                        // node died — the latter shows up as barrier
+                        // silence, which the deadline machinery owns.
                         Ok(None) => break,
-                        Err(e) => panic!("coordinator read from node {id} failed: {e}"),
+                        Err(e) => {
+                            // Surface a broken connection as a fatal
+                            // node-scoped fault.
+                            let _ = tx.send((
+                                id,
+                                CtlMsg::Error {
+                                    kind: errkind::IO,
+                                    peer: None,
+                                    round: 0,
+                                },
+                            ));
+                            let _ = e;
+                            break;
+                        }
                     }
                 }
             });
@@ -286,19 +512,29 @@ pub fn run_coordinator_tcp_recorded(
             rx,
             scratch: Vec::new(),
         };
-        let result = coordinate_recorded(n, budget, &mut ep, rec);
+        let result = coordinate_with(n, budget, cfg, &mut ep, rec);
+        if result.is_err() {
+            // Belt and braces: `coordinate_with` already broadcast an
+            // abort on its own failure paths, but a `?` on a broadcast
+            // error may not have — make sure nobody waits forever.
+            let _ = ep.broadcast(CtlMsg::Abort {
+                reason: abort_reason::PEER_ERROR,
+            });
+        }
         for stream in &ep.streams {
             let _ = stream.shutdown(Shutdown::Write);
         }
-        // Drain until every node reader saw EOF so the scope joins.
+        // Drain until every node reader saw EOF so the scope joins;
+        // stray post-run traffic (late pongs, checkpoints, the odd
+        // error from a torn-down socket) is discarded.
         loop {
             match ep.rx.try_recv() {
-                Ok(_) => panic!("control message after the final barrier"),
+                Ok(_) => {}
                 Err(TryRecvError::Empty) => std::thread::sleep(Duration::from_millis(1)),
                 Err(TryRecvError::Disconnected) => break,
             }
         }
-        Ok(result)
+        result
     })
 }
 
@@ -312,11 +548,27 @@ pub fn run_tcp_loopback<P: Protocol>(
     cfg: &TransportConfig,
     budget: Round,
     make: impl FnMut(NodeId) -> P,
-) -> io::Result<TransportRun<P>>
+) -> Result<TransportRun<P>, TransportError>
 where
     P::Msg: WireCodec,
 {
     run_tcp_loopback_recorded(g, cfg, budget, make, &mut NullRecorder)
+}
+
+/// Bind one listener per node plus the coordinator's.
+fn bind_fabric(
+    n: usize,
+) -> io::Result<(Vec<TcpListener>, Vec<SocketAddr>, TcpListener, SocketAddr)> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr())
+        .collect::<io::Result<_>>()?;
+    let coord_listener = TcpListener::bind("127.0.0.1:0")?;
+    let coord_addr = coord_listener.local_addr()?;
+    Ok((listeners, addrs, coord_listener, coord_addr))
 }
 
 /// As [`run_tcp_loopback`], emitting per-round [`Recorder`] events from
@@ -327,23 +579,16 @@ pub fn run_tcp_loopback_recorded<P: Protocol>(
     budget: Round,
     mut make: impl FnMut(NodeId) -> P,
     rec: &mut dyn Recorder,
-) -> io::Result<TransportRun<P>>
+) -> Result<TransportRun<P>, TransportError>
 where
     P::Msg: WireCodec,
 {
     let n = g.n();
     let timeout = Duration::from_secs(10);
-    let listeners: Vec<TcpListener> = (0..n)
-        .map(|_| TcpListener::bind("127.0.0.1:0"))
-        .collect::<io::Result<_>>()?;
-    let addrs: Vec<SocketAddr> = listeners
-        .iter()
-        .map(|l| l.local_addr())
-        .collect::<io::Result<_>>()?;
-    let coord_listener = TcpListener::bind("127.0.0.1:0")?;
-    let coord_addr = coord_listener.local_addr()?;
+    let (listeners, addrs, coord_listener, coord_addr) =
+        bind_fabric(n).map_err(|e| TransportError::io("tcp loopback setup", &e))?;
 
-    std::thread::scope(|s| -> io::Result<TransportRun<P>> {
+    std::thread::scope(|s| -> Result<TransportRun<P>, TransportError> {
         let handles: Vec<_> = listeners
             .into_iter()
             .enumerate()
@@ -360,18 +605,158 @@ where
                 })
             })
             .collect();
-        let (outcome, stats) = run_coordinator_tcp_recorded(n, budget, coord_listener, rec)?;
+        let coord_result =
+            run_coordinator_tcp_with(n, budget, &CoordConfig::default(), coord_listener, rec);
         let mut nodes = Vec::with_capacity(n);
+        let mut worker_err: Option<TransportError> = None;
         for h in handles {
-            let (node, node_outcome) = h.join().expect("node thread panicked")?;
-            debug_assert_eq!(node_outcome, outcome);
-            nodes.push(node);
+            match h.join() {
+                Ok(Ok((node, node_outcome))) => {
+                    if let Ok((outcome, _)) = &coord_result {
+                        debug_assert_eq!(node_outcome, *outcome);
+                    }
+                    nodes.push(node);
+                }
+                Ok(Err(e)) => worker_err = Some(e),
+                Err(_) => worker_err = Some(TransportError::protocol("a node thread panicked")),
+            }
+        }
+        let (outcome, stats) = coord_result?;
+        if let Some(e) = worker_err {
+            return Err(e);
         }
         Ok(TransportRun {
             nodes,
             stats,
             outcome,
         })
+    })
+}
+
+/// Run a network over TCP loopback with the full crash-fault control
+/// plane: recoverable workers, checkpointing per `cfg`, failure
+/// detection on `deadline`, scripted chaos. The socket-level twin of
+/// [`crate::channels::run_threads_chaos`].
+pub fn run_tcp_loopback_chaos<P>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    deadline: Duration,
+    mut make: impl FnMut(NodeId) -> P,
+    rec: &mut dyn Recorder,
+) -> Result<TransportRun<P>, Box<PartialRun<P>>>
+where
+    P: Checkpointable,
+    P::Msg: WireCodec,
+{
+    let n = g.n();
+    let timeout = Duration::from_secs(10);
+    let (listeners, addrs, coord_listener, coord_addr) = match bind_fabric(n) {
+        Ok(f) => f,
+        Err(e) => {
+            return Err(Box::new(PartialRun {
+                nodes: (0..n).map(|_| None).collect(),
+                failed: Vec::new(),
+                round: 0,
+                error: TransportError::io("tcp loopback setup", &e),
+            }))
+        }
+    };
+    let coord_cfg = CoordConfig {
+        round_deadline: Some(deadline),
+        probe_grace: deadline,
+        recovery_grace: deadline * 10,
+        max_probe_cycles: 0, // default
+        neighbors: Some(
+            (0..n)
+                .map(|v| g.comm_neighbors(v as NodeId).to_vec())
+                .collect(),
+        ),
+        stalls: cfg
+            .chaos
+            .as_ref()
+            .map(ChaosPlan::stalls)
+            .unwrap_or_default(),
+    };
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(v, listener)| {
+                let v = v as NodeId;
+                let node = make(v);
+                let peer_addrs: Vec<(NodeId, SocketAddr)> = g
+                    .comm_neighbors(v)
+                    .iter()
+                    .map(|&u| (u, addrs[u as usize]))
+                    .collect();
+                s.spawn(move || {
+                    tcp_worker_session(
+                        g,
+                        v,
+                        node,
+                        listener,
+                        &peer_addrs,
+                        coord_addr,
+                        timeout,
+                        |node, ep| node_main_recoverable(v, g, cfg, node, ep),
+                    )
+                })
+            })
+            .collect();
+        let coord_result = run_coordinator_tcp_with(n, budget, &coord_cfg, coord_listener, rec);
+        let mut nodes: Vec<Option<P>> = Vec::with_capacity(n);
+        let mut worker_err: Option<TransportError> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok((node, _report, _outcome))) => nodes.push(Some(node)),
+                Ok(Err(we)) => {
+                    let WorkerError { error, node } = *we;
+                    if worker_err.is_none() && !matches!(error, TransportError::Aborted { .. }) {
+                        worker_err = Some(error);
+                    }
+                    nodes.push(node);
+                }
+                Err(_) => {
+                    worker_err = Some(TransportError::protocol("a node thread panicked"));
+                    nodes.push(None);
+                }
+            }
+        }
+        match coord_result {
+            Ok((outcome, stats)) => {
+                if nodes.iter().all(Option::is_some) {
+                    Ok(TransportRun {
+                        nodes: nodes.into_iter().flatten().collect(),
+                        stats,
+                        outcome,
+                    })
+                } else {
+                    let error = worker_err.unwrap_or_else(|| {
+                        TransportError::protocol("a worker died in a run the coordinator finished")
+                    });
+                    Err(Box::new(PartialRun {
+                        failed: error.failed_nodes().to_vec(),
+                        round: 0,
+                        nodes,
+                        error,
+                    }))
+                }
+            }
+            Err(coord_err) => {
+                let round = match &coord_err {
+                    TransportError::Unrecoverable { round, .. } => *round,
+                    _ => 0,
+                };
+                Err(Box::new(PartialRun {
+                    failed: coord_err.failed_nodes().to_vec(),
+                    round,
+                    nodes,
+                    error: coord_err,
+                }))
+            }
+        }
     })
 }
 
@@ -383,6 +768,7 @@ mod tests {
 
     /// Weighted SSSP relaxation from node 0 (each improvement is
     /// re-announced), exercising unicast sends over real sockets.
+    #[derive(Clone)]
     struct Relax {
         dist: Option<u64>,
         fresh: bool,
@@ -420,6 +806,18 @@ mod tests {
         }
     }
 
+    impl Checkpointable for Relax {
+        fn snapshot(&self, out: &mut Vec<u8>) {
+            self.dist.encode(out);
+            self.fresh.encode(out);
+        }
+        fn restore(&mut self, buf: &mut &[u8]) -> Option<()> {
+            self.dist = Option::<u64>::decode(buf)?;
+            self.fresh = bool::decode(buf)?;
+            Some(())
+        }
+    }
+
     fn new_relax(_v: NodeId) -> Relax {
         Relax {
             dist: None,
@@ -435,12 +833,96 @@ mod tests {
         let sim_stats = net.stats();
         let sim_dists: Vec<_> = net.nodes().map(|x| x.dist).collect();
 
-        let run = run_tcp_loopback(&g, &TransportConfig::default(), 400, new_relax).unwrap();
+        let run = match run_tcp_loopback(&g, &TransportConfig::default(), 400, new_relax) {
+            Ok(run) => run,
+            Err(e) => panic!("tcp loopback failed: {e}"),
+        };
         assert_eq!(run.outcome, sim_outcome);
         assert_eq!(
             run.nodes.iter().map(|x| x.dist).collect::<Vec<_>>(),
             sim_dists
         );
         assert_eq!(run.stats, sim_stats);
+    }
+
+    #[test]
+    fn tcp_chaos_kill_with_recovery_is_bit_identical_to_simulator() {
+        let g = gen::gnp_connected(10, 0.3, false, WeightDist::Uniform { max: 9 }, 3);
+        let mut net = Network::new(&g, EngineConfig::default(), new_relax);
+        let sim_outcome = net.run(400);
+        let sim_stats = net.stats();
+        let sim_dists: Vec<_> = net.nodes().map(|x| x.dist).collect();
+
+        let cfg = TransportConfig {
+            checkpoint_cadence: Some(2),
+            chaos: Some(ChaosPlan::new(4).with_kill(2, 3)),
+            ..TransportConfig::default()
+        };
+        let run = match run_tcp_loopback_chaos(
+            &g,
+            &cfg,
+            400,
+            Duration::from_millis(400),
+            new_relax,
+            &mut NullRecorder,
+        ) {
+            Ok(run) => run,
+            Err(p) => panic!("tcp chaos run did not recover: {}", p.error),
+        };
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(
+            run.nodes.iter().map(|x| x.dist).collect::<Vec<_>>(),
+            sim_dists,
+            "recovered distances over sockets must be bit-identical"
+        );
+        assert_eq!(run.stats, sim_stats);
+    }
+
+    #[test]
+    fn retry_connect_backs_off_and_counts_attempts() {
+        // Grab a port that nothing listens on by binding and dropping.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let start = Instant::now();
+        let result = retry_connect_seeded(addr, Duration::from_millis(80), 7);
+        let (Err(_), elapsed) = (result.as_ref().map(|_| ()), start.elapsed()) else {
+            // Extremely unlikely: something claimed the port between
+            // drop and dial. Nothing to assert in that case.
+            return;
+        };
+        assert!(
+            elapsed >= Duration::from_millis(80),
+            "must keep retrying until the timeout, gave up after {elapsed:?}"
+        );
+        // Exponential backoff bounds the attempt count: 2+3+... ms of
+        // sleeps cover 80ms in far fewer than the ~40 tries a fixed
+        // 2ms spin would make. (Attempt count is returned on success
+        // only, so bound it via the schedule instead.)
+        let total: Duration = (0..6).map(|a| connect_backoff(7, a)).sum();
+        assert!(
+            total >= Duration::from_millis(80),
+            "six backoff steps must cover the timeout window, got {total:?}"
+        );
+    }
+
+    #[test]
+    fn connect_backoff_is_deterministic_capped_and_growing() {
+        for a in 0..20 {
+            assert_eq!(
+                connect_backoff(9, a),
+                connect_backoff(9, a),
+                "deterministic"
+            );
+        }
+        // Cap: base saturates at 250ms, jitter adds at most half.
+        for a in 10..20 {
+            let d = connect_backoff(1, a);
+            assert!(d >= Duration::from_millis(250) && d <= Duration::from_millis(375));
+        }
+        // Growth: the base doubles, so attempt 6 strictly dominates
+        // attempt 0 even with maximal jitter on attempt 0.
+        assert!(connect_backoff(3, 6) > connect_backoff(3, 0));
     }
 }

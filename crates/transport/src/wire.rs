@@ -35,6 +35,14 @@ pub enum Frame<M> {
     Payload { round: Round, due: Round, msg: M },
     /// "I have sent everything I will send on this link for `round`."
     EndRound { round: Round },
+    /// Crash recovery: every frame this sender emitted on the link
+    /// since the target's checkpoint round, as `(round, due, msg)`
+    /// records in emission order (duplicates included, fault-dropped
+    /// messages excluded). Sent in response to a
+    /// [`CtlMsg::ReplayRequest`]; the batch is complete per round, so
+    /// it substitutes for the per-round `EndRound` markers the rejoiner
+    /// missed.
+    ReplayBatch { frames: Vec<(Round, Round, M)> },
 }
 
 /// Coordinator barrier traffic.
@@ -59,6 +67,78 @@ pub enum CtlMsg {
     },
     /// Node -> coordinator: final local counters, after `Stop`.
     Final { report: NodeReport },
+    /// Node -> coordinator: a state snapshot taken after executing
+    /// `round` (round 0 = right after `init`). The coordinator stores
+    /// the latest one per node for crash recovery.
+    Checkpoint { round: Round, data: Vec<u8> },
+    /// Coordinator -> node: liveness probe. Live nodes answer
+    /// [`CtlMsg::Pong`] from wherever they are blocked; crashed nodes
+    /// stay silent — that asymmetry is the failure detector.
+    Ping,
+    /// Node -> coordinator: answer to a `Ping`; `round` is the node's
+    /// current round, for diagnostics only.
+    Pong { round: Round },
+    /// Coordinator -> node: rejoin handshake after a detected crash.
+    /// Restore `snapshot` (taken at `checkpoint_round`), collect one
+    /// [`Frame::ReplayBatch`] per neighbor, re-execute the rounds in
+    /// `executed` (the executed rounds strictly between checkpoint and
+    /// crash — sparse under fast-forward), then execute `round` live.
+    Rejoin {
+        round: Round,
+        checkpoint_round: Round,
+        snapshot: Vec<u8>,
+        executed: Vec<Round>,
+    },
+    /// Coordinator -> node: resend every frame you emitted to `target`
+    /// in rounds after `from_round`, as one [`Frame::ReplayBatch`].
+    ReplayRequest { target: NodeId, from_round: Round },
+    /// Node -> coordinator: a local transport fault this node cannot
+    /// continue past (kind is an [`errkind`] code; `peer` names the
+    /// link's other end when the fault is link-scoped).
+    Error {
+        kind: u8,
+        peer: Option<NodeId>,
+        round: Round,
+    },
+    /// Coordinator -> nodes: the run is being torn down without a
+    /// result; stand down and report the abort upward.
+    Abort { reason: u8 },
+}
+
+/// Wire codes for [`CtlMsg::Error::kind`].
+pub mod errkind {
+    pub const PEER_LOST: u8 = 0;
+    pub const IO: u8 = 1;
+    pub const MALFORMED: u8 = 2;
+    pub const PROTOCOL: u8 = 3;
+
+    pub fn name(kind: u8) -> &'static str {
+        match kind {
+            PEER_LOST => "peer-lost",
+            IO => "io",
+            MALFORMED => "malformed-frame",
+            _ => "protocol",
+        }
+    }
+}
+
+/// Wire codes for [`CtlMsg::Abort::reason`].
+pub mod abort_reason {
+    pub const UNRECOVERABLE: u8 = 0;
+    pub const PROBES_EXHAUSTED: u8 = 1;
+    pub const PEER_ERROR: u8 = 2;
+    pub const RECOVERY_TIMEOUT: u8 = 3;
+    pub const PROTOCOL: u8 = 4;
+
+    pub fn name(reason: u8) -> &'static str {
+        match reason {
+            UNRECOVERABLE => "unrecoverable node failure",
+            PROBES_EXHAUSTED => "liveness probes exhausted",
+            PEER_ERROR => "a node reported a fatal transport error",
+            RECOVERY_TIMEOUT => "recovery did not complete in time",
+            _ => "barrier protocol violation",
+        }
+    }
 }
 
 /// A node's lifetime counters, merged by the coordinator into the run's
@@ -91,6 +171,10 @@ impl<M: WireCodec> WireCodec for Frame<M> {
                 out.push(1);
                 round.encode(out);
             }
+            Frame::ReplayBatch { frames } => {
+                out.push(2);
+                frames.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
@@ -102,6 +186,9 @@ impl<M: WireCodec> WireCodec for Frame<M> {
             }),
             1 => Some(Frame::EndRound {
                 round: Round::decode(buf)?,
+            }),
+            2 => Some(Frame::ReplayBatch {
+                frames: Vec::<(Round, Round, M)>::decode(buf)?,
             }),
             _ => None,
         }
@@ -181,6 +268,43 @@ impl WireCodec for CtlMsg {
                 out.push(3);
                 report.encode(out);
             }
+            CtlMsg::Checkpoint { round, data } => {
+                out.push(4);
+                round.encode(out);
+                data.encode(out);
+            }
+            CtlMsg::Ping => out.push(5),
+            CtlMsg::Pong { round } => {
+                out.push(6);
+                round.encode(out);
+            }
+            CtlMsg::Rejoin {
+                round,
+                checkpoint_round,
+                snapshot,
+                executed,
+            } => {
+                out.push(7);
+                round.encode(out);
+                checkpoint_round.encode(out);
+                snapshot.encode(out);
+                executed.encode(out);
+            }
+            CtlMsg::ReplayRequest { target, from_round } => {
+                out.push(8);
+                target.encode(out);
+                from_round.encode(out);
+            }
+            CtlMsg::Error { kind, peer, round } => {
+                out.push(9);
+                kind.encode(out);
+                peer.encode(out);
+                round.encode(out);
+            }
+            CtlMsg::Abort { reason } => {
+                out.push(10);
+                reason.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
@@ -200,6 +324,32 @@ impl WireCodec for CtlMsg {
             }),
             3 => Some(CtlMsg::Final {
                 report: NodeReport::decode(buf)?,
+            }),
+            4 => Some(CtlMsg::Checkpoint {
+                round: Round::decode(buf)?,
+                data: Vec::<u8>::decode(buf)?,
+            }),
+            5 => Some(CtlMsg::Ping),
+            6 => Some(CtlMsg::Pong {
+                round: Round::decode(buf)?,
+            }),
+            7 => Some(CtlMsg::Rejoin {
+                round: Round::decode(buf)?,
+                checkpoint_round: Round::decode(buf)?,
+                snapshot: Vec::<u8>::decode(buf)?,
+                executed: Vec::<Round>::decode(buf)?,
+            }),
+            8 => Some(CtlMsg::ReplayRequest {
+                target: NodeId::decode(buf)?,
+                from_round: Round::decode(buf)?,
+            }),
+            9 => Some(CtlMsg::Error {
+                kind: u8::decode(buf)?,
+                peer: Option::<NodeId>::decode(buf)?,
+                round: Round::decode(buf)?,
+            }),
+            10 => Some(CtlMsg::Abort {
+                reason: u8::decode(buf)?,
             }),
             _ => None,
         }
@@ -223,6 +373,13 @@ pub fn write_frame<W: Write, T: WireCodec>(
     w.write_all(scratch)
 }
 
+/// Upper bound on a frame body, enforced before allocating: a
+/// corrupted or hostile length prefix must not be able to demand a
+/// multi-gigabyte buffer. Generous for real traffic — the largest
+/// legitimate frames are rejoin snapshots and replay batches, which
+/// scale with one node's state, not the graph.
+pub const MAX_FRAME_BYTES: usize = 1 << 26;
+
 /// Read one length-prefixed frame. `Ok(None)` is a clean end of stream
 /// (the peer closed between frames); a close mid-frame or an encoding
 /// the codec rejects is an error.
@@ -243,6 +400,12 @@ pub fn read_frame<R: Read, T: WireCodec>(r: &mut R) -> io::Result<Option<T>> {
         filled += k;
     }
     let body = u32::from_le_bytes(len) as usize;
+    if body > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {body} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
     let mut buf = vec![0u8; body];
     r.read_exact(&mut buf)?;
     let mut view = buf.as_slice();
@@ -258,11 +421,22 @@ pub fn read_frame<R: Read, T: WireCodec>(r: &mut R) -> io::Result<Option<T>> {
 }
 
 /// An event a node worker pulls off its transport: a frame from a
-/// neighbor, or a control message from the coordinator.
+/// neighbor, a control message from the coordinator, or a transport
+/// fault reported by a reader thread (a connection that died mid-run).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event<M> {
-    Peer { from: NodeId, frame: Frame<M> },
+    Peer {
+        from: NodeId,
+        frame: Frame<M>,
+    },
     Ctl(CtlMsg),
+    /// A connection was lost: `from` names the peer when the dead
+    /// stream was a graph link, `None` when it was the coordinator
+    /// channel.
+    Lost {
+        from: Option<NodeId>,
+        detail: String,
+    },
 }
 
 #[cfg(test)]
@@ -280,6 +454,52 @@ mod tests {
         assert_eq!(roundtrip(&p), Some(p.clone()));
         let e: Frame<u64> = Frame::EndRound { round: 9 };
         assert_eq!(roundtrip(&e), Some(e.clone()));
+        let b: Frame<u64> = Frame::ReplayBatch {
+            frames: vec![(4, 4, 11), (4, 6, 12), (5, 5, 13)],
+        };
+        assert_eq!(roundtrip(&b), Some(b.clone()));
+    }
+
+    #[test]
+    fn recovery_ctl_roundtrip() {
+        for msg in [
+            CtlMsg::Checkpoint {
+                round: 8,
+                data: vec![1, 2, 3],
+            },
+            CtlMsg::Ping,
+            CtlMsg::Pong { round: 12 },
+            CtlMsg::Rejoin {
+                round: 9,
+                checkpoint_round: 4,
+                snapshot: vec![9, 9],
+                executed: vec![5, 7],
+            },
+            CtlMsg::ReplayRequest {
+                target: 3,
+                from_round: 4,
+            },
+            CtlMsg::Error {
+                kind: errkind::PEER_LOST,
+                peer: Some(2),
+                round: 6,
+            },
+            CtlMsg::Abort {
+                reason: abort_reason::UNRECOVERABLE,
+            },
+        ] {
+            assert_eq!(roundtrip(&msg), Some(msg.clone()));
+        }
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = buf.as_slice();
+        let err = read_frame::<_, CtlMsg>(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cap"));
     }
 
     #[test]

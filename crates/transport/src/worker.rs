@@ -26,10 +26,22 @@
 //! 7. report `Done` with the send count, late count, `earliest_send`
 //!    hint and earliest parked due round, which is everything the
 //!    coordinator needs to replicate the simulator's `run` loop.
+//!
+//! Every runtime fault propagates as a [`TransportError`] value — no
+//! panic on any error path. [`node_main_recoverable`] additionally
+//! implements the crash-fault side of DESIGN.md §10: checkpoint at a
+//! round cadence, keep per-link replay buffers of emitted frames,
+//! serve [`CtlMsg::ReplayRequest`]s for crashed neighbors, answer
+//! liveness pings, and — when scripted by a [`ChaosPlan`] — crash and
+//! rejoin via the coordinator's [`CtlMsg::Rejoin`] handshake,
+//! re-deriving the lost state deterministically.
 
-use crate::wire::{CtlMsg, Event, Frame, NodeReport};
+use crate::chaos::ChaosPlan;
+use crate::error::TransportError;
+use crate::wire::{abort_reason, errkind, CtlMsg, Event, Frame, NodeReport};
 use dw_congest::{
-    Envelope, FaultAction, FaultPlan, NodeRunner, Protocol, Round, RunOutcome, SendSink,
+    Checkpointable, Envelope, FaultAction, FaultPlan, NodeRunner, Protocol, Round, RunOutcome,
+    SendSink, WireCodec,
 };
 use dw_graph::{NodeId, WGraph};
 use std::collections::{BTreeMap, VecDeque};
@@ -39,18 +51,20 @@ use std::collections::{BTreeMap, VecDeque};
 ///
 /// Implementations must preserve per-link FIFO order (frames from one
 /// peer arrive in send order) — every real transport here does: an mpsc
-/// channel, a TCP connection, an ordered stdio pipe.
+/// channel, a TCP connection, an ordered stdio pipe. Every method is
+/// fallible: a dead channel or socket is a runtime fault, not a panic.
 pub trait NodeEndpoint<M> {
     /// Send a frame to comm-neighbor `to`.
-    fn send_peer(&mut self, to: NodeId, frame: Frame<M>);
+    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) -> Result<(), TransportError>;
     /// Send a control message to the coordinator.
-    fn send_ctl(&mut self, msg: CtlMsg);
+    fn send_ctl(&mut self, msg: CtlMsg) -> Result<(), TransportError>;
     /// Block until the next event (peer frame or control message).
-    fn recv(&mut self) -> Event<M>;
+    fn recv(&mut self) -> Result<Event<M>, TransportError>;
 }
 
 /// How the runtime constrains and perturbs message passing; the
-/// transport-relevant subset of [`dw_congest::EngineConfig`].
+/// transport-relevant subset of [`dw_congest::EngineConfig`] plus the
+/// crash-fault knobs.
 #[derive(Debug, Clone)]
 pub struct TransportConfig {
     /// Per-message word budget (exceeding it is a protocol bug and
@@ -63,6 +77,14 @@ pub struct TransportConfig {
     /// `(sender, receiver, round, seed)`, so a transport run makes
     /// exactly the decisions the simulator makes.
     pub faults: Option<FaultPlan>,
+    /// Checkpoint every this-many *executed* rounds (the schedule is
+    /// global — all nodes execute the same rounds — so cadence windows
+    /// align across nodes). `None` disables checkpointing and replay
+    /// buffering, making crashes unrecoverable.
+    pub checkpoint_cadence: Option<u64>,
+    /// Scripted process-level faults (see [`ChaosPlan`]). Only honored
+    /// by [`node_main_recoverable`].
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for TransportConfig {
@@ -71,6 +93,8 @@ impl Default for TransportConfig {
             max_words: 8,
             enforce_link_capacity: true,
             faults: None,
+            checkpoint_cadence: None,
+            chaos: None,
         }
     }
 }
@@ -81,13 +105,29 @@ impl From<&dw_congest::EngineConfig> for TransportConfig {
             max_words: cfg.max_words,
             enforce_link_capacity: cfg.enforce_link_capacity,
             faults: cfg.faults.clone(),
+            checkpoint_cadence: None,
+            chaos: None,
         }
     }
 }
 
+/// A worker failure, carrying the last protocol state when it could be
+/// salvaged — the degraded-mode material a [`PartialOutcome`] reports.
+///
+/// [`PartialOutcome`]: https://docs.rs (see dw-pipeline)
+#[derive(Debug)]
+pub struct WorkerError<P> {
+    pub error: TransportError,
+    /// The node's protocol state at the time of the failure, when
+    /// recoverable from the wreckage (an aborted worker still holds a
+    /// valid prefix of the computation — its distances are sound upper
+    /// bounds).
+    pub node: Option<P>,
+}
+
 /// Receiver-side counters a worker accumulates outside the
 /// [`NodeRunner`] (which owns the send-side counters).
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct LocalTally {
     dropped: u64,
     outage_dropped: u64,
@@ -96,73 +136,89 @@ struct LocalTally {
     late_delivered: u64,
 }
 
+impl LocalTally {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.dropped.encode(out);
+        self.outage_dropped.encode(out);
+        self.duplicated.encode(out);
+        self.delayed.encode(out);
+        self.late_delivered.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(LocalTally {
+            dropped: u64::decode(buf)?,
+            outage_dropped: u64::decode(buf)?,
+            duplicated: u64::decode(buf)?,
+            delayed: u64::decode(buf)?,
+            late_delivered: u64::decode(buf)?,
+        })
+    }
+}
+
+/// A frame record in a per-link replay buffer: `(round, due, msg)` of
+/// an actually-emitted payload (post fault decision).
+type ReplayRecord<M> = (Round, Round, M);
+
+/// One due round's parked delayed messages in snapshot wire form.
+type PendingBatch<M> = (Round, Vec<(NodeId, M)>);
+
 /// The transport [`SendSink`]: evaluates the fault plan at the sender
 /// and turns surviving transmissions into payload frames. A dropped
 /// message occupies the link (the runner already charged it) but emits
 /// no frame; a delayed message travels immediately, stamped with its
 /// due round, and is parked at the *receiver* — keeping the wire
 /// round-synchronous so end-of-round markers stay a completeness proof.
+///
+/// With `emit` false the sink performs every fault decision and all
+/// accounting but puts nothing on the wire — the mode used when
+/// re-executing rounds after a crash, where the original deliveries
+/// already happened. Emission errors are parked in `error` (the
+/// [`SendSink`] trait is infallible) and surfaced after the drain.
 struct FaultSink<'a, M, E: NodeEndpoint<M>> {
     endpoint: &'a mut E,
     faults: Option<&'a FaultPlan>,
     tally: &'a mut LocalTally,
+    /// Per-rank emitted-frame log for crash recovery; `None` when
+    /// checkpointing is off.
+    replay: Option<&'a mut Vec<Vec<ReplayRecord<M>>>>,
     round: Round,
-    _msg: std::marker::PhantomData<M>,
+    emit: bool,
+    error: Option<TransportError>,
 }
 
 impl<M: Clone, E: NodeEndpoint<M>> FaultSink<'_, M, E> {
-    fn dispatch(&mut self, u: NodeId, v: NodeId, msg: M) {
+    fn put(&mut self, v: NodeId, rank: usize, due: Round, msg: M) {
+        let round = self.round;
+        if let Some(replay) = self.replay.as_deref_mut() {
+            replay[rank].push((round, due, msg.clone()));
+        }
+        if self.emit && self.error.is_none() {
+            if let Err(e) = self
+                .endpoint
+                .send_peer(v, Frame::Payload { round, due, msg })
+            {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, u: NodeId, v: NodeId, rank: usize, msg: M) {
         let round = self.round;
         let Some(plan) = self.faults else {
-            self.endpoint.send_peer(
-                v,
-                Frame::Payload {
-                    round,
-                    due: round,
-                    msg,
-                },
-            );
+            self.put(v, rank, round, msg);
             return;
         };
         match plan.decide(u, v, round) {
-            FaultAction::Deliver => self.endpoint.send_peer(
-                v,
-                Frame::Payload {
-                    round,
-                    due: round,
-                    msg,
-                },
-            ),
+            FaultAction::Deliver => self.put(v, rank, round, msg),
             FaultAction::Drop => self.tally.dropped += 1,
             FaultAction::OutageDrop => self.tally.outage_dropped += 1,
             FaultAction::Duplicate => {
-                self.endpoint.send_peer(
-                    v,
-                    Frame::Payload {
-                        round,
-                        due: round,
-                        msg: msg.clone(),
-                    },
-                );
-                self.endpoint.send_peer(
-                    v,
-                    Frame::Payload {
-                        round,
-                        due: round,
-                        msg,
-                    },
-                );
+                self.put(v, rank, round, msg.clone());
+                self.put(v, rank, round, msg);
                 self.tally.duplicated += 1;
             }
             FaultAction::Delay(d) => {
-                self.endpoint.send_peer(
-                    v,
-                    Frame::Payload {
-                        round,
-                        due: round + d,
-                        msg,
-                    },
-                );
+                self.put(v, rank, round + d, msg);
                 self.tally.delayed += 1;
             }
         }
@@ -170,180 +226,749 @@ impl<M: Clone, E: NodeEndpoint<M>> FaultSink<'_, M, E> {
 }
 
 impl<M: Clone, E: NodeEndpoint<M>> SendSink<M> for FaultSink<'_, M, E> {
-    fn unicast(&mut self, from: NodeId, _rank: usize, to: NodeId, msg: M, _words: usize) {
-        self.dispatch(from, to, msg);
+    fn unicast(&mut self, from: NodeId, rank: usize, to: NodeId, msg: M, _words: usize) {
+        self.dispatch(from, to, rank, msg);
     }
     fn broadcast(&mut self, from: NodeId, nbrs: &[NodeId], msg: M, _words: usize) {
-        for &v in nbrs {
-            self.dispatch(from, v, msg.clone());
+        for (rank, &v) in nbrs.iter().enumerate() {
+            self.dispatch(from, v, rank, msg.clone());
         }
+    }
+}
+
+/// All of one worker's mutable state, shared by the plain and the
+/// recoverable drive loops.
+struct Worker<'g, P: Protocol> {
+    id: NodeId,
+    g: &'g WGraph,
+    cfg: &'g TransportConfig,
+    runner: NodeRunner<P>,
+    nbrs: &'g [NodeId],
+    deg: usize,
+    /// Frames that raced ahead of the control plane: a peer may start
+    /// (and finish) sending for round r while we are still waiting for
+    /// our own Go(r). Nothing can run further ahead than that — the
+    /// coordinator only issues Go(r + 1) after *our* Done(r) — so every
+    /// stashed frame belongs to the round we are about to execute.
+    stash: VecDeque<(NodeId, Frame<P::Msg>)>,
+    /// Delay-faulted messages parked until their due round, mirroring
+    /// the simulator's delayed queue (due round -> arrival-ordered
+    /// batch).
+    pending: BTreeMap<Round, Vec<(NodeId, P::Msg)>>,
+    tally: LocalTally,
+    inbox: Vec<Envelope<P::Msg>>,
+    /// Per-neighbor-rank buffers for the collection phase; rank order
+    /// is sender-id order, which is the simulator's delivery order.
+    fresh: Vec<Vec<P::Msg>>,
+    parked: Vec<Vec<(Round, P::Msg)>>,
+    /// Per-rank log of emitted frames since the previous checkpoint
+    /// window, for replaying to crashed neighbors. `None` when
+    /// checkpointing is off.
+    replay: Option<Vec<Vec<ReplayRecord<P::Msg>>>>,
+    /// Executed-round count — the checkpoint cadence clock. Identical
+    /// on every node because the round schedule is global.
+    executed: u64,
+    /// Round of the most recent checkpoint.
+    last_checkpoint: Round,
+    /// The checkpoint before that: the replay-buffer prune floor. Kept
+    /// one window back so a rejoin against the previous checkpoint
+    /// (should the latest one still be in flight) stays serviceable.
+    prev_checkpoint: Round,
+    /// Last `Go` round seen; reported in `Pong`s for diagnostics.
+    current_round: Round,
+    /// True from the moment a scripted crash discards the node's state
+    /// until the rejoin fully restores it. Fail-stop: a worker that
+    /// errors out in this window has no node state worth salvaging.
+    state_lost: bool,
+}
+
+impl<'g, P: Protocol> Worker<'g, P> {
+    fn new(id: NodeId, g: &'g WGraph, cfg: &'g TransportConfig, node: P, buffered: bool) -> Self {
+        let nbrs = g.comm_neighbors(id);
+        let deg = nbrs.len();
+        Worker {
+            id,
+            g,
+            cfg,
+            runner: NodeRunner::new(id, g, node),
+            nbrs,
+            deg,
+            stash: VecDeque::new(),
+            pending: BTreeMap::new(),
+            tally: LocalTally::default(),
+            inbox: Vec::new(),
+            fresh: (0..deg).map(|_| Vec::new()).collect(),
+            parked: (0..deg).map(|_| Vec::new()).collect(),
+            replay: buffered.then(|| (0..deg).map(|_| Vec::new()).collect()),
+            executed: 0,
+            last_checkpoint: 0,
+            prev_checkpoint: 0,
+            current_round: 0,
+            state_lost: false,
+        }
+    }
+
+    fn rank_of(&self, from: NodeId) -> Result<usize, TransportError> {
+        self.nbrs.binary_search(&from).map_err(|_| {
+            TransportError::protocol(format!("node {}: frame from non-neighbor {from}", self.id))
+        })
+    }
+
+    /// Resend everything we emitted to `target` in rounds after
+    /// `from_round`, as one batch (the crashed neighbor's rejoin
+    /// input).
+    fn serve_replay<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        target: NodeId,
+        from_round: Round,
+        endpoint: &mut E,
+    ) -> Result<(), TransportError>
+    where
+        P::Msg: Clone,
+    {
+        let rank = self.rank_of(target)?;
+        let frames: Vec<ReplayRecord<P::Msg>> = match &self.replay {
+            Some(buf) => buf[rank]
+                .iter()
+                .filter(|&&(r, _, _)| r > from_round)
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        };
+        endpoint.send_peer(target, Frame::ReplayBatch { frames })
+    }
+
+    /// Wait for the next control message addressed to the drive loop,
+    /// transparently stashing racing peer frames, answering liveness
+    /// pings and serving replay requests.
+    fn wait_ctl<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        endpoint: &mut E,
+    ) -> Result<CtlMsg, TransportError> {
+        loop {
+            match endpoint.recv()? {
+                Event::Peer { from, frame } => self.stash.push_back((from, frame)),
+                Event::Ctl(CtlMsg::Ping) => endpoint.send_ctl(CtlMsg::Pong {
+                    round: self.current_round,
+                })?,
+                Event::Ctl(CtlMsg::ReplayRequest { target, from_round }) => {
+                    self.serve_replay(target, from_round, endpoint)?
+                }
+                Event::Ctl(c) => return Ok(c),
+                Event::Lost { from, detail } => {
+                    return Err(TransportError::peer_lost(match from {
+                        Some(p) => format!("node {}: link to {p} died: {detail}", self.id),
+                        None => format!("node {}: coordinator link died: {detail}", self.id),
+                    }))
+                }
+            }
+        }
+    }
+
+    /// Execute one round. `live` controls whether anything reaches the
+    /// wire (payloads, markers, `Done`); replayed rounds after a crash
+    /// run with `live = false`, repeating all fault decisions and
+    /// accounting without re-delivering. `prefilled` means the round's
+    /// input is already staged in `fresh`/`parked` (from replay
+    /// batches) and the collection loop is skipped.
+    fn run_round<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        round: Round,
+        endpoint: &mut E,
+        live: bool,
+        prefilled: bool,
+    ) -> Result<(), TransportError> {
+        self.current_round = round;
+
+        // --- 1. late deliveries from delay faults ---
+        let mut late = 0u64;
+        while let Some((&due, _)) = self.pending.first_key_value() {
+            if due > round {
+                break;
+            }
+            if let Some((_, batch)) = self.pending.pop_first() {
+                for (from, msg) in batch {
+                    self.inbox.push(Envelope::new(from, msg));
+                    late += 1;
+                }
+            }
+        }
+        self.tally.late_delivered += late;
+
+        // --- 2. send phase ---
+        self.runner.poll_send(round, self.g);
+        let sent = {
+            let mut sink = FaultSink {
+                endpoint: &mut *endpoint,
+                faults: self.cfg.faults.as_ref(),
+                tally: &mut self.tally,
+                replay: self.replay.as_mut(),
+                round,
+                emit: live,
+                error: None,
+            };
+            let sent = self.runner.drain_sends(
+                round,
+                self.g,
+                self.cfg.max_words,
+                self.cfg.enforce_link_capacity,
+                &mut sink,
+            );
+            if let Some(e) = sink.error {
+                return Err(e);
+            }
+            sent
+        };
+
+        // --- 3. end-of-round markers ---
+        if live {
+            for &v in self.nbrs {
+                endpoint.send_peer(v, Frame::EndRound { round })?;
+            }
+        }
+
+        // --- 4. collect this round's frames ---
+        if live && !prefilled {
+            self.collect_round(round, endpoint)?;
+        }
+        for rank in 0..self.deg {
+            for msg in self.fresh[rank].drain(..) {
+                self.inbox.push(Envelope::new(self.nbrs[rank], msg));
+            }
+            for (due, msg) in self.parked[rank].drain(..) {
+                self.pending
+                    .entry(due)
+                    .or_default()
+                    .push((self.nbrs[rank], msg));
+            }
+        }
+
+        // --- 5. late-touched inboxes are sorted back into sender order ---
+        if late > 0 && self.inbox.len() > 1 {
+            self.inbox.sort_by_key(|e| e.from);
+        }
+
+        // --- 6. receive phase (dirty inboxes only) ---
+        if !self.inbox.is_empty() {
+            self.runner.receive(round, &self.inbox, self.g);
+            self.inbox.clear();
+        }
+        self.executed += 1;
+
+        // --- 7. barrier report ---
+        if live {
+            let hint = self.runner.earliest_send(round + 1, self.g);
+            let pending_due = self.pending.keys().next().copied();
+            endpoint.send_ctl(CtlMsg::Done {
+                round,
+                sent,
+                late,
+                hint,
+                pending_due,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The collection loop of a live round: pull frames until every
+    /// neighbor's end-of-round marker is in, staging payloads into
+    /// `fresh`/`parked`. Control traffic that can legitimately arrive
+    /// here — pings while a sibling is being recovered, replay requests
+    /// for a crashed neighbor, an abort — is handled in place.
+    fn collect_round<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        round: Round,
+        endpoint: &mut E,
+    ) -> Result<(), TransportError> {
+        let mut markers = 0usize;
+        while markers < self.deg {
+            let (from, frame) = match self.stash.pop_front() {
+                Some(e) => e,
+                None => match endpoint.recv()? {
+                    Event::Peer { from, frame } => (from, frame),
+                    Event::Ctl(CtlMsg::Ping) => {
+                        endpoint.send_ctl(CtlMsg::Pong { round })?;
+                        continue;
+                    }
+                    Event::Ctl(CtlMsg::ReplayRequest { target, from_round }) => {
+                        self.serve_replay(target, from_round, endpoint)?;
+                        continue;
+                    }
+                    Event::Ctl(CtlMsg::Abort { reason }) => {
+                        return Err(TransportError::Aborted {
+                            reason: abort_reason::name(reason).to_string(),
+                        })
+                    }
+                    Event::Ctl(other) => {
+                        return Err(TransportError::protocol(format!(
+                            "node {}: unexpected control message {other:?} while collecting round {round}",
+                            self.id
+                        )))
+                    }
+                    Event::Lost { from, detail } => {
+                        return Err(TransportError::peer_lost(match from {
+                            Some(p) => {
+                                format!("node {}: link to {p} died collecting round {round}: {detail}", self.id)
+                            }
+                            None => format!(
+                                "node {}: coordinator link died collecting round {round}: {detail}",
+                                self.id
+                            ),
+                        }))
+                    }
+                },
+            };
+            let rank = self.rank_of(from)?;
+            match frame {
+                Frame::EndRound { round: r } => {
+                    if r != round {
+                        return Err(TransportError::protocol(format!(
+                            "node {}: round-{r} marker from {from} during round {round}",
+                            self.id
+                        )));
+                    }
+                    markers += 1;
+                }
+                Frame::Payload { round: r, due, msg } => {
+                    if r != round {
+                        return Err(TransportError::protocol(format!(
+                            "node {}: round-{r} payload from {from} during round {round}",
+                            self.id
+                        )));
+                    }
+                    if due == round {
+                        self.fresh[rank].push(msg);
+                    } else {
+                        self.parked[rank].push((due, msg));
+                    }
+                }
+                Frame::ReplayBatch { .. } => {
+                    return Err(TransportError::protocol(format!(
+                        "node {}: unsolicited replay batch from {from}",
+                        self.id
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn report(&self) -> NodeReport {
+        NodeReport {
+            node_sends: self.runner.node_sends(),
+            messages: self.runner.messages(),
+            total_words: self.runner.total_words(),
+            max_link_load: self.runner.max_link_load(),
+            dropped: self.tally.dropped,
+            outage_dropped: self.tally.outage_dropped,
+            duplicated: self.tally.duplicated,
+            delayed: self.tally.delayed,
+            late_delivered: self.tally.late_delivered,
+        }
+    }
+
+    fn into_node(self) -> P {
+        self.runner.into_node()
+    }
+
+    /// The plain drive loop: no checkpoints, no chaos, crashes are
+    /// somebody else's problem (the coordinator's deadline will catch
+    /// a wedge and abort us).
+    fn drive_plain<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        endpoint: &mut E,
+    ) -> Result<RunOutcome, TransportError> {
+        loop {
+            match self.wait_ctl(endpoint)? {
+                CtlMsg::Go { round } => self.run_round(round, endpoint, true, false)?,
+                CtlMsg::Stop { outcome } => {
+                    debug_assert!(
+                        self.stash.is_empty(),
+                        "frames in flight past the final barrier"
+                    );
+                    return Ok(outcome);
+                }
+                CtlMsg::Abort { reason } => {
+                    return Err(TransportError::Aborted {
+                        reason: abort_reason::name(reason).to_string(),
+                    })
+                }
+                other => {
+                    return Err(TransportError::protocol(format!(
+                        "node {}: coordinator sent {other:?} at a round boundary",
+                        self.id
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl<P: Checkpointable> Worker<'_, P>
+where
+    P::Msg: WireCodec,
+{
+    /// Serialize everything a rejoined node cannot re-derive from the
+    /// replay batches: protocol state, runner accounting, fault tally,
+    /// the cadence clock and the parked delayed-message queue.
+    fn encode_snapshot(&self, out: &mut Vec<u8>) {
+        let mut proto = Vec::new();
+        self.runner.node().snapshot(&mut proto);
+        proto.encode(out);
+        self.runner.encode_accounting(out);
+        self.tally.encode(out);
+        self.executed.encode(out);
+        let pending: Vec<PendingBatch<P::Msg>> = self
+            .pending
+            .iter()
+            .map(|(&due, batch)| (due, batch.clone()))
+            .collect();
+        pending.encode(out);
+    }
+
+    fn restore_snapshot(&mut self, buf: &mut &[u8]) -> Option<()> {
+        let proto = Vec::<u8>::decode(buf)?;
+        let mut view = proto.as_slice();
+        self.runner.node_mut().restore(&mut view)?;
+        if !view.is_empty() {
+            return None;
+        }
+        self.runner.restore_accounting(buf)?;
+        self.tally = LocalTally::decode(buf)?;
+        self.executed = u64::decode(buf)?;
+        let pending = Vec::<PendingBatch<P::Msg>>::decode(buf)?;
+        self.pending = pending.into_iter().collect();
+        Some(())
+    }
+
+    /// Snapshot, ship to the coordinator, and prune replay buffers one
+    /// cadence window back (buffers therefore hold at most two windows
+    /// of traffic — the memory side of the cadence trade-off).
+    fn take_checkpoint<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        round: Round,
+        endpoint: &mut E,
+    ) -> Result<(), TransportError> {
+        let mut data = Vec::new();
+        self.encode_snapshot(&mut data);
+        endpoint.send_ctl(CtlMsg::Checkpoint { round, data })?;
+        let floor = self.last_checkpoint;
+        if let Some(buf) = &mut self.replay {
+            for link in buf.iter_mut() {
+                link.retain(|&(r, _, _)| r > floor);
+            }
+        }
+        self.prev_checkpoint = self.last_checkpoint;
+        self.last_checkpoint = round;
+        Ok(())
+    }
+
+    /// Stage one round's worth of replay-batch frames into
+    /// `fresh`/`parked`. Batch frames per link arrive in emission
+    /// order, so rounds are non-decreasing and a front-drain suffices.
+    fn prefill_round(&mut self, batches: &mut [VecDeque<ReplayRecord<P::Msg>>], round: Round) {
+        for (rank, batch) in batches.iter_mut().enumerate() {
+            while batch.front().is_some_and(|&(r, _, _)| r == round) {
+                let Some((_, due, msg)) = batch.pop_front() else {
+                    break;
+                };
+                if due == round {
+                    self.fresh[rank].push(msg);
+                } else {
+                    self.parked[rank].push((due, msg));
+                }
+            }
+        }
+    }
+
+    /// The crash: discard all dynamic state and go silent, then run the
+    /// coordinator-mediated rejoin — restore the checkpoint, collect
+    /// one replay batch per neighbor, re-execute the executed rounds
+    /// since the checkpoint without emitting, and execute the crash
+    /// round live (unblocking the neighbors waiting on our marker).
+    fn crash_and_rejoin<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        endpoint: &mut E,
+        pristine: &P,
+    ) -> Result<(), TransportError> {
+        // Fail-stop: everything volatile is gone.
+        self.state_lost = true;
+        self.stash.clear();
+        self.pending.clear();
+        self.inbox.clear();
+        for f in &mut self.fresh {
+            f.clear();
+        }
+        for p in &mut self.parked {
+            p.clear();
+        }
+        if let Some(buf) = &mut self.replay {
+            for link in buf.iter_mut() {
+                link.clear();
+            }
+        }
+        self.tally = LocalTally::default();
+
+        // Silent wait for the rejoin handshake. Everything else is
+        // discarded: in-flight frames at the crash round are stale
+        // duplicates of what the replay batches will carry, and a dead
+        // node answers no pings — silence is what the failure detector
+        // keys on.
+        let mut batches: Vec<VecDeque<ReplayRecord<P::Msg>>> =
+            (0..self.deg).map(|_| VecDeque::new()).collect();
+        let mut got = vec![false; self.deg];
+        let mut got_count = 0usize;
+        let (round, checkpoint_round, snapshot, executed_rounds) = loop {
+            match endpoint.recv()? {
+                Event::Peer {
+                    from,
+                    frame: Frame::ReplayBatch { frames },
+                } => {
+                    let rank = self.rank_of(from)?;
+                    if !got[rank] {
+                        got[rank] = true;
+                        got_count += 1;
+                    }
+                    batches[rank] = frames.into();
+                }
+                Event::Peer { .. } => {}
+                Event::Ctl(CtlMsg::Rejoin {
+                    round,
+                    checkpoint_round,
+                    snapshot,
+                    executed,
+                }) => break (round, checkpoint_round, snapshot, executed),
+                Event::Ctl(CtlMsg::Abort { reason }) => {
+                    return Err(TransportError::Aborted {
+                        reason: abort_reason::name(reason).to_string(),
+                    })
+                }
+                Event::Ctl(_) => {}
+                Event::Lost { from: Some(_), .. } => {}
+                Event::Lost { from: None, detail } => {
+                    return Err(TransportError::peer_lost(format!(
+                        "node {}: coordinator link died while crashed: {detail}",
+                        self.id
+                    )))
+                }
+            }
+        };
+
+        // Restore: pristine clone + init + snapshot overlay.
+        *self.runner.node_mut() = pristine.clone();
+        self.runner.init(self.g);
+        let mut view = snapshot.as_slice();
+        if self.restore_snapshot(&mut view).is_none() || !view.is_empty() {
+            return Err(TransportError::MalformedFrame {
+                context: format!("node {}: undecodable rejoin snapshot", self.id),
+            });
+        }
+        self.last_checkpoint = checkpoint_round;
+        self.prev_checkpoint = checkpoint_round;
+
+        // Collect the remaining replay batches; we are alive again, so
+        // pings get answered from here on.
+        while got_count < self.deg {
+            match endpoint.recv()? {
+                Event::Peer {
+                    from,
+                    frame: Frame::ReplayBatch { frames },
+                } => {
+                    let rank = self.rank_of(from)?;
+                    if !got[rank] {
+                        got[rank] = true;
+                        got_count += 1;
+                    }
+                    batches[rank] = frames.into();
+                }
+                Event::Peer { .. } => {}
+                Event::Ctl(CtlMsg::Ping) => endpoint.send_ctl(CtlMsg::Pong { round })?,
+                Event::Ctl(CtlMsg::Abort { reason }) => {
+                    return Err(TransportError::Aborted {
+                        reason: abort_reason::name(reason).to_string(),
+                    })
+                }
+                Event::Ctl(other) => {
+                    return Err(TransportError::protocol(format!(
+                        "node {}: unexpected {other:?} while collecting replay batches",
+                        self.id
+                    )))
+                }
+                Event::Lost { from, detail } => {
+                    return Err(TransportError::peer_lost(format!(
+                        "node {}: link to {from:?} died during rejoin: {detail}",
+                        self.id
+                    )))
+                }
+            }
+        }
+
+        // Re-execute the lost rounds. Determinism does the heavy
+        // lifting: same inputs in the same order produce the same
+        // state, counters and fault decisions, without emitting a byte.
+        for &rho in &executed_rounds {
+            self.prefill_round(&mut batches, rho);
+            self.run_round(rho, endpoint, false, true)?;
+        }
+
+        // The crash round runs live: our sends and markers unblock the
+        // neighbors parked in its collection loop, and our `Done`
+        // completes the coordinator's barrier. Its input was already
+        // delivered — it is the round-`round` slice of the batches.
+        self.prefill_round(&mut batches, round);
+        debug_assert!(
+            batches.iter().all(|b| b.is_empty()),
+            "replay batches contained rounds outside (checkpoint, crash]"
+        );
+        self.run_round(round, endpoint, true, true)?;
+        self.state_lost = false;
+        Ok(())
+    }
+
+    /// The recoverable drive loop: checkpoints at the cadence, serves
+    /// replay, and honors the chaos script.
+    fn drive_recoverable<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        endpoint: &mut E,
+        pristine: &P,
+    ) -> Result<RunOutcome, TransportError> {
+        let kill_round = self.cfg.chaos.as_ref().and_then(|c| c.kill_round(self.id));
+        let sever = self.cfg.chaos.as_ref().and_then(|c| c.sever_for(self.id));
+        let mut died = false;
+
+        if self.cfg.checkpoint_cadence.is_some() {
+            // Checkpoint 0 (post-init state): guarantees the
+            // coordinator always holds a restore point for us.
+            self.take_checkpoint(0, endpoint)?;
+        }
+
+        loop {
+            match self.wait_ctl(endpoint)? {
+                CtlMsg::Go { round } => {
+                    if let Some((peer, sr)) = sever {
+                        if round >= sr {
+                            // An unrecoverable network partition:
+                            // report the dead link and stand down.
+                            endpoint.send_ctl(CtlMsg::Error {
+                                kind: errkind::PEER_LOST,
+                                peer: Some(peer),
+                                round,
+                            })?;
+                            return Err(TransportError::peer_lost(format!(
+                                "node {}: link to {peer} severed at round {round} (chaos)",
+                                self.id
+                            )));
+                        }
+                    }
+                    if !died && kill_round.is_some_and(|kr| round >= kr) {
+                        died = true;
+                        self.crash_and_rejoin(endpoint, pristine)?;
+                    } else {
+                        self.run_round(round, endpoint, true, false)?;
+                    }
+                    if let Some(k) = self.cfg.checkpoint_cadence {
+                        if k > 0 && self.executed.is_multiple_of(k) {
+                            self.take_checkpoint(round, endpoint)?;
+                        }
+                    }
+                }
+                CtlMsg::Stop { outcome } => {
+                    debug_assert!(
+                        self.stash.is_empty(),
+                        "frames in flight past the final barrier"
+                    );
+                    return Ok(outcome);
+                }
+                CtlMsg::Abort { reason } => {
+                    return Err(TransportError::Aborted {
+                        reason: abort_reason::name(reason).to_string(),
+                    })
+                }
+                other => {
+                    return Err(TransportError::protocol(format!(
+                        "node {}: coordinator sent {other:?} at a round boundary",
+                        self.id
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Finish a successful run: ship the `Final` report and hand back the
+/// protocol state.
+fn finish<P: Protocol, E: NodeEndpoint<P::Msg>>(
+    w: Worker<'_, P>,
+    outcome: RunOutcome,
+    endpoint: &mut E,
+) -> Result<(P, NodeReport, RunOutcome), Box<WorkerError<P>>> {
+    let report = w.report();
+    match endpoint.send_ctl(CtlMsg::Final { report }) {
+        Ok(()) => Ok((w.into_node(), report, outcome)),
+        Err(error) => Err(Box::new(WorkerError {
+            error,
+            node: Some(w.into_node()),
+        })),
     }
 }
 
 /// Run node `id` of `g` to completion over `endpoint`. Returns the
 /// final protocol state, the node's counters (also sent to the
-/// coordinator as [`CtlMsg::Final`]) and the coordinator's outcome.
+/// coordinator as [`CtlMsg::Final`]) and the coordinator's outcome; on
+/// failure, a [`WorkerError`] carrying the typed fault and the
+/// salvageable protocol state.
 pub fn node_main<P, E>(
     id: NodeId,
     g: &WGraph,
     cfg: &TransportConfig,
     node: P,
     endpoint: &mut E,
-) -> (P, NodeReport, RunOutcome)
+) -> Result<(P, NodeReport, RunOutcome), Box<WorkerError<P>>>
 where
     P: Protocol,
     E: NodeEndpoint<P::Msg>,
 {
-    let mut runner = NodeRunner::new(id, g, node);
-    runner.init(g);
-    let nbrs = g.comm_neighbors(id);
-    let deg = nbrs.len();
+    let mut w = Worker::new(id, g, cfg, node, false);
+    w.runner.init(g);
+    match w.drive_plain(endpoint) {
+        Ok(outcome) => finish(w, outcome, endpoint),
+        Err(error) => Err(Box::new(WorkerError {
+            error,
+            node: Some(w.into_node()),
+        })),
+    }
+}
 
-    // Frames that raced ahead of the control plane: a peer may start
-    // (and finish) sending for round r while we are still waiting for
-    // our own Go(r). Nothing can run further ahead than that — the
-    // coordinator only issues Go(r + 1) after *our* Done(r) — so every
-    // stashed frame belongs to the round we are about to execute.
-    let mut stash: VecDeque<(NodeId, Frame<P::Msg>)> = VecDeque::new();
-    // Delay-faulted messages parked until their due round, mirroring
-    // the simulator's delayed queue (due round -> arrival-ordered batch).
-    let mut pending: BTreeMap<Round, Vec<(NodeId, P::Msg)>> = BTreeMap::new();
-    let mut tally = LocalTally::default();
-    let mut inbox: Vec<Envelope<P::Msg>> = Vec::new();
-    // Per-neighbor-rank buffers for the collection phase; rank order is
-    // sender-id order, which is the simulator's delivery order.
-    let mut fresh: Vec<Vec<P::Msg>> = (0..deg).map(|_| Vec::new()).collect();
-    let mut parked: Vec<Vec<(Round, P::Msg)>> = (0..deg).map(|_| Vec::new()).collect();
-
-    let outcome = loop {
-        let ctl = loop {
-            match endpoint.recv() {
-                Event::Ctl(c) => break c,
-                Event::Peer { from, frame } => stash.push_back((from, frame)),
-            }
-        };
-        let round = match ctl {
-            CtlMsg::Go { round } => round,
-            CtlMsg::Stop { outcome } => {
-                debug_assert!(stash.is_empty(), "frames in flight past the final barrier");
-                break outcome;
-            }
-            CtlMsg::Done { .. } | CtlMsg::Final { .. } => {
-                panic!("node {id}: coordinator sent a node-to-coordinator message")
-            }
-        };
-
-        // --- 1. late deliveries from delay faults ---
-        let mut late = 0u64;
-        while let Some((&due, _)) = pending.first_key_value() {
-            if due > round {
-                break;
-            }
-            let (_, batch) = pending.pop_first().expect("checked non-empty");
-            for (from, msg) in batch {
-                inbox.push(Envelope::new(from, msg));
-                late += 1;
-            }
+/// As [`node_main`], with crash-fault tolerance: checkpoint at
+/// `cfg.checkpoint_cadence`, buffer emitted frames for neighbor
+/// replay, answer liveness probes, and execute the [`ChaosPlan`]
+/// scripted in `cfg.chaos` (crashing and rejoining when scripted to).
+pub fn node_main_recoverable<P, E>(
+    id: NodeId,
+    g: &WGraph,
+    cfg: &TransportConfig,
+    node: P,
+    endpoint: &mut E,
+) -> Result<(P, NodeReport, RunOutcome), Box<WorkerError<P>>>
+where
+    P: Checkpointable,
+    P::Msg: WireCodec,
+    E: NodeEndpoint<P::Msg>,
+{
+    let pristine = node.clone();
+    let buffered = cfg.checkpoint_cadence.is_some();
+    let mut w = Worker::new(id, g, cfg, node, buffered);
+    w.runner.init(g);
+    match w.drive_recoverable(endpoint, &pristine) {
+        Ok(outcome) => finish(w, outcome, endpoint),
+        Err(error) => {
+            // A worker that died mid-rejoin never got its state back —
+            // fail-stop means there is nothing to salvage.
+            let salvage = !w.state_lost;
+            Err(Box::new(WorkerError {
+                error,
+                node: salvage.then(|| w.into_node()),
+            }))
         }
-        tally.late_delivered += late;
-
-        // --- 2. send phase ---
-        runner.poll_send(round, g);
-        let sent = {
-            let mut sink = FaultSink {
-                endpoint: &mut *endpoint,
-                faults: cfg.faults.as_ref(),
-                tally: &mut tally,
-                round,
-                _msg: std::marker::PhantomData,
-            };
-            runner.drain_sends(
-                round,
-                g,
-                cfg.max_words,
-                cfg.enforce_link_capacity,
-                &mut sink,
-            )
-        };
-
-        // --- 3. end-of-round markers ---
-        for &v in nbrs {
-            endpoint.send_peer(v, Frame::EndRound { round });
-        }
-
-        // --- 4. collect this round's frames ---
-        let mut markers = 0usize;
-        while markers < deg {
-            let (from, frame) = match stash.pop_front() {
-                Some(e) => e,
-                None => match endpoint.recv() {
-                    Event::Peer { from, frame } => (from, frame),
-                    Event::Ctl(_) => {
-                        panic!("node {id}: control message while collecting round {round}")
-                    }
-                },
-            };
-            let rank = nbrs
-                .binary_search(&from)
-                .unwrap_or_else(|_| panic!("node {id}: frame from non-neighbor {from}"));
-            match frame {
-                Frame::EndRound { round: r } => {
-                    assert_eq!(r, round, "node {id}: round marker from a different round");
-                    markers += 1;
-                }
-                Frame::Payload { round: r, due, msg } => {
-                    assert_eq!(r, round, "node {id}: payload from a different round");
-                    if due == round {
-                        fresh[rank].push(msg);
-                    } else {
-                        parked[rank].push((due, msg));
-                    }
-                }
-            }
-        }
-        for rank in 0..deg {
-            for msg in fresh[rank].drain(..) {
-                inbox.push(Envelope::new(nbrs[rank], msg));
-            }
-            for (due, msg) in parked[rank].drain(..) {
-                pending.entry(due).or_default().push((nbrs[rank], msg));
-            }
-        }
-
-        // --- 5. late-touched inboxes are sorted back into sender order ---
-        if late > 0 && inbox.len() > 1 {
-            inbox.sort_by_key(|e| e.from);
-        }
-
-        // --- 6. receive phase (dirty inboxes only) ---
-        if !inbox.is_empty() {
-            runner.receive(round, &inbox, g);
-            inbox.clear();
-        }
-
-        // --- 7. barrier report ---
-        let hint = runner.earliest_send(round + 1, g);
-        let pending_due = pending.keys().next().copied();
-        endpoint.send_ctl(CtlMsg::Done {
-            round,
-            sent,
-            late,
-            hint,
-            pending_due,
-        });
-    };
-
-    let report = NodeReport {
-        node_sends: runner.node_sends(),
-        messages: runner.messages(),
-        total_words: runner.total_words(),
-        max_link_load: runner.max_link_load(),
-        dropped: tally.dropped,
-        outage_dropped: tally.outage_dropped,
-        duplicated: tally.duplicated,
-        delayed: tally.delayed,
-        late_delivered: tally.late_delivered,
-    };
-    endpoint.send_ctl(CtlMsg::Final { report });
-    (runner.into_node(), report, outcome)
+    }
 }

@@ -167,11 +167,14 @@ where
             .collect();
         let mut coord = StdioCoord::new(n, BufReader::new(coord_rx), pipe_writer(net_tx.clone()));
         drop(net_tx);
-        let (outcome, stats) = coordinate(n, budget, &mut coord);
+        let (outcome, stats) = coordinate(n, budget, &mut coord).expect("coordinator failed");
         let nodes = handles
             .into_iter()
             .map(|h| {
-                let (node, node_outcome) = h.join().expect("node thread panicked");
+                let (node, node_outcome) = h
+                    .join()
+                    .expect("node thread panicked")
+                    .unwrap_or_else(|e| panic!("node failed: {}", e.error));
                 assert_eq!(node_outcome, outcome);
                 node
             })
@@ -191,7 +194,7 @@ fn threads_conform_across_seeds() {
     for seed in [5, 6, 7] {
         let g = gen::gnp_connected(20, 0.18, false, WeightDist::Constant(1), seed);
         let (nodes, stats, outcome) = simulate(&g, None, 300, new_flood);
-        let run = run_threads(&g, &transport_cfg(None), 300, new_flood);
+        let run = run_threads(&g, &transport_cfg(None), 300, new_flood).unwrap();
         assert_eq!(run.outcome, outcome, "seed {seed}");
         assert_eq!(run.stats, stats, "seed {seed}");
         assert_eq!(
@@ -218,7 +221,7 @@ fn threads_conform_under_faults_across_seeds() {
                 symmetric: true,
             });
         let (nodes, stats, outcome) = simulate(&g, Some(faults.clone()), 400, new_flood);
-        let run = run_threads(&g, &transport_cfg(Some(faults)), 400, new_flood);
+        let run = run_threads(&g, &transport_cfg(Some(faults)), 400, new_flood).unwrap();
         assert_eq!(run.outcome, outcome, "seed {seed}");
         assert_eq!(run.stats, stats, "seed {seed}");
         assert_eq!(
@@ -246,7 +249,7 @@ fn threads_conform_under_heterogeneous_link_delays() {
             max_delay: 2,
         });
     let (nodes, stats, outcome) = simulate(&g, Some(faults.clone()), 400, new_flood);
-    let run = run_threads(&g, &transport_cfg(Some(faults)), 400, new_flood);
+    let run = run_threads(&g, &transport_cfg(Some(faults)), 400, new_flood).unwrap();
     assert_eq!(run.outcome, outcome);
     assert_eq!(run.stats, stats);
     assert!(stats.delayed > 0, "rules must fire: {stats:?}");
@@ -260,7 +263,7 @@ fn threads_conform_under_heterogeneous_link_delays() {
 fn threads_fast_forward_matches_simulator() {
     let g = gen::ring(5, false, WeightDist::Constant(1), 0);
     let (nodes, stats, outcome) = simulate(&g, None, 1000, new_sparse);
-    let run = run_threads(&g, &transport_cfg(None), 1000, new_sparse);
+    let run = run_threads(&g, &transport_cfg(None), 1000, new_sparse).unwrap();
     assert_eq!(run.outcome, outcome);
     assert_eq!(outcome, RunOutcome::Quiet);
     assert_eq!(run.stats, stats);
