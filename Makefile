@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance chaos-smoke
+.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance shard-conformance chaos-smoke
 
-ci: build test fmt clippy obs-schema bench-check transport-conformance chaos-smoke
+ci: build test fmt clippy obs-schema bench-check transport-conformance shard-conformance chaos-smoke
 
 build:
 	$(CARGO) build --release
@@ -42,6 +42,15 @@ transport-conformance:
 	$(CARGO) test --release -q -p dw-transport --test conformance
 	$(CARGO) test --release -q -p dwapsp --test transport_conformance
 
+# The sharded workers (DESIGN.md §11) specifically: property-based
+# differential tests over shard counts P in {1, 2, ceil(n/3), n} on
+# random graphs and fault plans, plus the whole-shard chaos recovery
+# and sharded-runtime selection tests.
+shard-conformance:
+	$(CARGO) test --release -q -p dw-transport --test conformance sharded_
+	$(CARGO) test --release -q -p dw-transport --lib sharded_
+	$(CARGO) test --release -q -p dw-pipeline --lib sharded
+
 # Crash-fault smoke test (DESIGN.md §10): kill one node mid-run on the
 # thread backend, recover from checkpoint + neighbor replay, and require
 # distances bit-identical to the fault-free simulator (exit 0).
@@ -60,12 +69,14 @@ bench-smoke:
 
 # Throughput regression gate: re-measures the workload set of the
 # highest-numbered BENCH_*.json (engine modes + e15 transport runtimes +
-# e16 recorded phases) and fails on a >20% rounds/sec regression.
-# Soft-passes with a warning until a baseline exists.
+# e15 sharded workers + e16 recorded phases) and fails on a >20%
+# rounds/sec regression, or on any e15_sharded_* mode falling more than
+# 10x behind the simulator. Soft-passes with a warning until a baseline
+# exists.
 bench-check:
 	$(CARGO) run --release -p dw-bench --bin bench_check
 
-# Re-record the BENCH_4.json baseline (carries the frozen pre_pr history
-# forward from BENCH_3.json).
+# Re-record the BENCH_5.json baseline (carries the frozen pre_pr history
+# forward from BENCH_4.json).
 bench-baseline:
-	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_4.json --keep-pre BENCH_3.json
+	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_5.json --keep-pre BENCH_4.json

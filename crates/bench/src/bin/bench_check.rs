@@ -22,11 +22,22 @@
 //! re-measured (keeping the per-entry maximum) up to two more times
 //! before the gate declares failure — a transient system-load spike
 //! should not fail CI, a real regression reproduces in every pass.
+//!
+//! Baselines containing `e15_sharded_*` entries additionally arm an
+//! absolute gate: every sharded transport mode must stay within
+//! [`MAX_SIM_GAP`]x of the simulator's rounds/sec *in the current run*
+//! (EXPERIMENTS.md E18). Round batching is the point of the sharded
+//! backends; a blowout here means coalescing regressed even if absolute
+//! throughput kept pace with a stale baseline.
 
 use dw_bench::engine_bench::{run_all, standard_modes, Measurement};
 use dw_bench::obs_bench::run_alg3_phases;
 use dw_bench::transport_bench::run_all_transport;
 use std::process::ExitCode;
+
+/// Largest tolerated simulator-to-sharded-transport rounds/sec ratio on
+/// the `e15_sharded_*` workloads.
+const MAX_SIM_GAP: f64 = 10.0;
 
 /// The highest-numbered `BENCH_*.json` in the working directory, falling
 /// back to `BENCH_2.json` (whose absence soft-passes) when none exists.
@@ -228,6 +239,37 @@ fn main() -> ExitCode {
             c.rounds_per_sec,
             (ratio - 1.0) * 100.0
         );
+    }
+
+    // Absolute sim-gap gate for the sharded backends, armed once the
+    // baseline records e15_sharded_* entries (soft-armed: a pre-shard
+    // baseline never runs — or fails — this check).
+    if baseline
+        .iter()
+        .any(|b| b.workload.starts_with("e15_sharded_"))
+    {
+        for c in current
+            .iter()
+            .filter(|c| c.workload.starts_with("e15_sharded_") && c.mode != "sim")
+        {
+            let Some(sim) = current
+                .iter()
+                .find(|s| s.workload == c.workload && s.mode == "sim")
+            else {
+                continue;
+            };
+            let gap = sim.rounds_per_sec / c.rounds_per_sec.max(1e-9);
+            let verdict = if gap > MAX_SIM_GAP {
+                failures += 1;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "bench_check: {verdict:4} {:24} {:16} sim-gap {gap:.2}x (limit {MAX_SIM_GAP:.0}x)",
+                c.workload, c.mode
+            );
+        }
     }
 
     if failures > 0 {

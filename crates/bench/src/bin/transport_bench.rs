@@ -1,18 +1,21 @@
-//! Measure runtime throughput and emit `BENCH_4.json`.
+//! Measure runtime throughput and emit `BENCH_5.json`.
 //!
 //! ```text
-//! transport_bench [--out BENCH_4.json] [--keep-pre EXISTING.json] [--smoke]
+//! transport_bench [--out BENCH_5.json] [--keep-pre EXISTING.json] [--smoke]
 //! ```
 //!
-//! `BENCH_4.json` supersedes `BENCH_3.json` as the `bench_check`
+//! `BENCH_5.json` supersedes `BENCH_4.json` as the `bench_check`
 //! baseline (the gate picks the highest-numbered `BENCH_*.json`): it
 //! contains the engine workload set of [`dw_bench::engine_bench`], the
 //! `e15_transport` set — threads-vs-simulator rounds/sec and TCP
-//! loopback throughput for Algorithm 1 APSP and short-range — *plus*
-//! the `e16_alg3_phases` set: per-phase throughput of the recorded
-//! Algorithm 3 decomposition, so phase-level regressions are gated too.
-//! `--keep-pre` carries the frozen `"mode":"pre_pr"` history forward
-//! from an existing file. `--smoke` runs the reduced `e15`/`e16`
+//! loopback throughput for Algorithm 1 APSP and short-range — the
+//! `e15_sharded_kssp` set — the sharded thread/TCP workers of
+//! `dw_transport::shard` on the n=256 k-SSP workload, whose TCP entry
+//! `bench_check` additionally holds to within 10x of the simulator —
+//! *plus* the `e16_alg3_phases` set: per-phase throughput of the
+//! recorded Algorithm 3 decomposition, so phase-level regressions are
+//! gated too. `--keep-pre` carries the frozen `"mode":"pre_pr"` history
+//! forward from an existing file. `--smoke` runs the reduced `e15`/`e16`
 //! instances and writes nothing — the `make bench-smoke` sanity pass.
 
 use dw_bench::engine_bench::{run_all, standard_modes, to_json_entries};
@@ -27,7 +30,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
     let keep_pre = args
         .iter()
         .position(|a| a == "--keep-pre")

@@ -26,7 +26,28 @@ fn mode_label(rt: Runtime) -> &'static str {
         Runtime::Sim => "sim",
         Runtime::Threads => "threads",
         Runtime::Tcp => "tcp_loopback",
+        Runtime::ThreadsSharded(_) => "threads_sharded",
+        Runtime::TcpSharded(_) => "tcp_sharded",
     }
+}
+
+/// Shard count for the `e15_sharded_*` rows: enough workers that the
+/// batched cross-shard plane dominates, small enough that an 8-core
+/// runner isn't oversubscribed.
+pub const SHARDED_WORKERS: usize = 8;
+
+/// The `e15_sharded_kssp` instance (also the E18 sweep's): k-SSP with
+/// 64 spread sources on an avg-degree-12 positive-weight graph, n=256
+/// full size. Heavy per-round traffic on purpose — the sharded backends
+/// amortize their per-round barrier over batched cross-shard frames, so
+/// a workload with near-empty rounds would measure barrier latency, not
+/// the batching this plane exists for.
+pub fn sharded_workload(smoke: bool) -> (workloads::Workload, SspConfig) {
+    let sh = workloads::positive_random(if smoke { 64 } else { 256 }, 16, 35);
+    let stride = sh.n() / 64;
+    let sources: Vec<_> = (0..64).map(|i| (i * stride) as dw_graph::NodeId).collect();
+    let cfg = SspConfig::k_ssp(sh.n(), sources, sh.delta);
+    (sh, cfg)
 }
 
 /// The fixed `e15_transport` measurement set, in stable order (the
@@ -62,6 +83,26 @@ pub fn run_all_transport(smoke: bool) -> Vec<Measurement> {
         }));
     }
 
+    // The sharded plane at deployment scale: n=256 with 8 worker shards,
+    // so each worker hosts 32 nodes, intra-shard traffic never touches a
+    // socket, and cross-shard traffic is one RoundBatch per shard pair
+    // per round. That per-round weight (see `sharded_workload`) is what
+    // the 10x sim-gap gate on the TCP row (`bench_check`) actually
+    // measures.
+    let (sh, cfg) = sharded_workload(smoke);
+    for rt in [
+        Runtime::Sim,
+        Runtime::ThreadsSharded(SHARDED_WORKERS),
+        Runtime::TcpSharded(SHARDED_WORKERS),
+    ] {
+        let (sh, cfg) = (&sh, &cfg);
+        out.push(measure("e15_sharded_kssp", mode_label(rt), sh.n(), || {
+            let (_, stats, _) =
+                run_hk_ssp_on(rt, &sh.graph, cfg, EngineConfig::default()).expect("runtime run");
+            stats
+        }));
+    }
+
     out
 }
 
@@ -90,7 +131,7 @@ mod tests {
     #[test]
     fn transport_bench_modes_agree_on_structure() {
         let ms = run_all_transport(true);
-        assert_eq!(ms.len(), 6);
+        assert_eq!(ms.len(), 9);
         for chunk in ms.chunks(3) {
             for m in &chunk[1..] {
                 assert_eq!(m.workload, chunk[0].workload);
@@ -103,6 +144,68 @@ mod tests {
                     chunk[0].mode
                 );
             }
+        }
+    }
+
+    /// Full-size sim-gap probe for the `e15_sharded_kssp` workload —
+    /// `cargo test --release -p dw-bench -- --ignored sharded_sim_gap`
+    /// prints the ratio `bench_check` will gate without re-running the
+    /// whole baseline. Ignored by default: it is a measurement, not an
+    /// assertion.
+    #[test]
+    #[ignore]
+    fn sharded_sim_gap_probe() {
+        let ms = run_all_transport(false);
+        let shard: Vec<_> = ms
+            .iter()
+            .filter(|m| m.workload == "e15_sharded_kssp")
+            .collect();
+        let sim = shard.iter().find(|m| m.mode == "sim").unwrap();
+        for m in &shard {
+            eprintln!(
+                "{:16} {:>10.0} rounds/s  sim-gap {:.2}x",
+                m.mode,
+                m.rounds_per_sec,
+                sim.rounds_per_sec / m.rounds_per_sec
+            );
+        }
+    }
+
+    /// The E18 sweep: TCP-loopback rounds/sec vs shard count on the
+    /// full-size `e15_sharded_kssp` instance, with the sim-gap ratio
+    /// per P. `cargo test --release -p dw-bench -- --ignored --nocapture
+    /// shard_count_sweep` regenerates the EXPERIMENTS.md E18 table.
+    #[test]
+    #[ignore]
+    fn shard_count_sweep() {
+        let (sh, cfg) = sharded_workload(false);
+        let sim = measure("e18_sweep", "sim", sh.n(), || {
+            let (_, stats, _) =
+                run_hk_ssp_on(Runtime::Sim, &sh.graph, &cfg, EngineConfig::default()).unwrap();
+            stats
+        });
+        eprintln!(
+            "sim       {:>8.0} rounds/s  {:>10.0} msgs/s",
+            sim.rounds_per_sec,
+            sim.messages as f64 / (sim.wall_ms / 1e3)
+        );
+        for p in [1usize, 2, 4, 8, 16] {
+            let m = measure("e18_sweep", "tcp_sharded", sh.n(), || {
+                let (_, stats, _) = run_hk_ssp_on(
+                    Runtime::TcpSharded(p),
+                    &sh.graph,
+                    &cfg,
+                    EngineConfig::default(),
+                )
+                .unwrap();
+                stats
+            });
+            eprintln!(
+                "tcp P={p:<3} {:>8.0} rounds/s  {:>10.0} msgs/s  sim-gap {:.2}x",
+                m.rounds_per_sec,
+                m.messages as f64 / (m.wall_ms / 1e3),
+                sim.rounds_per_sec / m.rounds_per_sec
+            );
         }
     }
 }

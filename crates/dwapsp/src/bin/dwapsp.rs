@@ -25,9 +25,11 @@ use dwapsp::pipeline::runtime::run_hk_ssp_on_recorded;
 use dwapsp::pipeline::{default_budget, hk_ssp_node, run_hk_ssp_chaos, ChaosConfig};
 use dwapsp::prelude::*;
 use dwapsp::seqref::matrices_equal;
-use dwapsp::transport::tcp::{run_coordinator_tcp, run_node_tcp};
+use dwapsp::transport::tcp::{
+    run_coordinator_tcp, run_coordinator_tcp_mux, run_node_tcp, run_shard_tcp,
+};
 use dwapsp::transport::worker::TransportConfig;
-use dwapsp::transport::ChaosPlan;
+use dwapsp::transport::{ChaosPlan, ShardMap};
 use std::net::{SocketAddr, TcpListener};
 use std::process::exit;
 use std::time::Duration;
@@ -62,13 +64,15 @@ fn usage_and_exit() -> ! {
         "usage:\n  dwapsp gen --family <zero-heavy|positive|grid|staircase|fig1> \
          [--n N] [--w W] [--seed S] [--out FILE]\n  dwapsp run --graph FILE --algo \
          <alg1|alg3|bf|approx> [--sources a,b,c] [--h H] [--eps NUM/DEN] \
-         [--runtime <sim|threads|tcp>]\n  dwapsp run-node --graph FILE --node-id V \
+         [--runtime <sim|threads[:P]|tcp[:P]>]\n  dwapsp run-node --graph FILE --node-id V \
          --listen ADDR --peers u=ADDR,w=ADDR --coordinator ADDR [--sources a,b,c] \
-         [--delta D] [--timeout-secs T]\n  dwapsp coordinator --graph FILE --listen ADDR \
-         [--sources a,b,c] [--budget B]\n  dwapsp solve --graph FILE [--algo <alg1|alg3>] \
-         [--sources a,b,c] [--h H] [--runtime <sim|threads|tcp>] [--trace-out FILE] \
+         [--delta D] [--timeout-secs T] [--shards P | --nodes-per-worker K]\n  \
+         dwapsp coordinator --graph FILE --listen ADDR \
+         [--sources a,b,c] [--budget B] [--shards P | --nodes-per-worker K]\n  \
+         dwapsp solve --graph FILE [--algo <alg1|alg3>] \
+         [--sources a,b,c] [--h H] [--runtime <sim|threads[:P]|tcp[:P]>] [--trace-out FILE] \
          [--metrics-out FILE] [--print-matrix]\n  dwapsp chaos --graph FILE \
-         [--runtime <threads|tcp>] [--sources a,b,c] [--kill V@R,..] [--sever A-B@R,..] \
+         [--runtime <threads[:P]|tcp[:P]>] [--sources a,b,c] [--kill V@R,..] [--sever A-B@R,..] \
          [--stall R@MS,..] [--seed S] [--cadence <K|off>] [--deadline-ms MS] \
          [--metrics-out FILE]\n  dwapsp report --metrics FILE\n  \
          dwapsp validate --graph FILE\n  dwapsp info --graph FILE"
@@ -157,7 +161,7 @@ fn print_stats(prefix: &str, rounds: u64, messages: u64, link: u64) {
 fn parse_runtime(get: &impl Fn(&str) -> Option<String>) -> Runtime {
     get("--runtime").map_or(Runtime::Sim, |s| {
         Runtime::parse(&s).unwrap_or_else(|| {
-            eprintln!("unknown runtime {s} (expected sim, threads or tcp)");
+            eprintln!("unknown runtime {s} (expected sim, threads, tcp, threads:P or tcp:P)");
             exit(2);
         })
     })
@@ -536,8 +540,32 @@ fn parse_addr(get: &impl Fn(&str) -> Option<String>, flag: &str) -> SocketAddr {
     })
 }
 
+/// The sharded-deployment worker count: `--shards P` directly, or
+/// `--nodes-per-worker K` as `ceil(n / K)`. `None` means the classic
+/// one-process-per-node layout.
+fn shard_count(get: &impl Fn(&str) -> Option<String>, n: usize) -> Option<usize> {
+    match (get("--shards"), get("--nodes-per-worker")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--shards and --nodes-per-worker are mutually exclusive");
+            exit(2);
+        }
+        (Some(p), None) => {
+            let p: usize = p.parse().expect("--shards");
+            assert!(p >= 1, "--shards must be >= 1");
+            Some(p)
+        }
+        (None, Some(k)) => {
+            let k: usize = k.parse().expect("--nodes-per-worker");
+            assert!(k >= 1, "--nodes-per-worker must be >= 1");
+            Some(n.div_ceil(k))
+        }
+        (None, None) => None,
+    }
+}
+
 fn cmd_run_node(get: &impl Fn(&str) -> Option<String>) {
     let g = load(get);
+    let shards = shard_count(get, g.n());
     let id: NodeId = get("--node-id")
         .unwrap_or_else(|| {
             eprintln!("--node-id V is required");
@@ -545,7 +573,9 @@ fn cmd_run_node(get: &impl Fn(&str) -> Option<String>) {
         })
         .parse()
         .expect("--node-id");
-    assert!((id as usize) < g.n(), "node id {id} out of range");
+    if shards.is_none() {
+        assert!((id as usize) < g.n(), "node id {id} out of range");
+    }
     let peers: Vec<(NodeId, SocketAddr)> = get("--peers")
         .map(|s| {
             s.split(',')
@@ -571,6 +601,47 @@ fn cmd_run_node(get: &impl Fn(&str) -> Option<String>) {
         eprintln!("cannot listen: {e}");
         exit(1);
     });
+    if let Some(p) = shards {
+        // Sharded deployment: --node-id names a *shard*; this process
+        // hosts every node in its contiguous block, and --peers lists
+        // the adjacent shards' addresses.
+        let map = ShardMap::new(g.n(), p);
+        assert!(
+            (id as usize) < map.shards(),
+            "shard id {id} out of range (effective shards: {})",
+            map.shards()
+        );
+        let nodes: Vec<_> = map.nodes(id).map(|v| hk_ssp_node(&cfg, v)).collect();
+        let (nodes, outcome) = run_shard_tcp(
+            &map,
+            id,
+            &g,
+            &TransportConfig::default(),
+            nodes,
+            listener,
+            &peers,
+            coord,
+            timeout,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("shard {id} failed: {e}");
+            exit(1);
+        });
+        println!(
+            "shard {id}: outcome={outcome:?} nodes={}..{}",
+            map.nodes(id).start,
+            map.nodes(id).end
+        );
+        for (v, node) in map.nodes(id).zip(&nodes) {
+            for &s in &cfg.sources {
+                match node.best_for(s) {
+                    Some(b) => println!("dist {s} -> {v}: {} (hops {})", b.d, b.l),
+                    None => println!("dist {s} -> {v}: inf"),
+                }
+            }
+        }
+        return;
+    }
     let node = hk_ssp_node(&cfg, id);
     let (node, outcome) = run_node_tcp(
         &g,
@@ -606,8 +677,18 @@ fn cmd_coordinator(get: &impl Fn(&str) -> Option<String>) {
         eprintln!("cannot listen: {e}");
         exit(1);
     });
-    eprintln!("coordinator: waiting for {} nodes (budget {budget})", g.n());
-    let (outcome, st) = run_coordinator_tcp(g.n(), budget, listener).unwrap_or_else(|e| {
+    let (outcome, st) = match shard_count(get, g.n()) {
+        Some(p) => {
+            let participants = ShardMap::new(g.n(), p).shards();
+            eprintln!("coordinator: waiting for {participants} shard workers (budget {budget})");
+            run_coordinator_tcp_mux(participants, budget, listener)
+        }
+        None => {
+            eprintln!("coordinator: waiting for {} nodes (budget {budget})", g.n());
+            run_coordinator_tcp(g.n(), budget, listener)
+        }
+    }
+    .unwrap_or_else(|e| {
         eprintln!("coordinator failed: {e}");
         exit(1);
     });

@@ -26,8 +26,14 @@ use crate::result::HkSspResult;
 use crate::short_range::{short_range_gamma, ShortRangeNode, ShortRangeResult};
 use dw_congest::{EngineConfig, NullRecorder, Recorder, Round, RunOutcome, RunStats};
 use dw_graph::{NodeId, WGraph, Weight, INFINITY};
-use dw_transport::channels::{run_threads_chaos, run_threads_recorded};
-use dw_transport::tcp::{run_tcp_loopback_chaos, run_tcp_loopback_recorded};
+use dw_transport::channels::{
+    run_threads_chaos, run_threads_recorded, run_threads_sharded_chaos,
+    run_threads_sharded_recorded,
+};
+use dw_transport::tcp::{
+    run_tcp_loopback_chaos, run_tcp_loopback_recorded, run_tcp_loopback_sharded_chaos,
+    run_tcp_loopback_sharded_recorded,
+};
 use dw_transport::worker::TransportConfig;
 use dw_transport::{ChaosPlan, PartialRun, TransportError, TransportRun};
 use std::time::Duration;
@@ -44,24 +50,55 @@ pub enum Runtime {
     /// `dw-transport` TCP backend on loopback: one socket per link,
     /// serialized frames.
     Tcp,
+    /// Sharded thread backend: the given number of workers, each
+    /// hosting a contiguous block of nodes with in-memory intra-shard
+    /// links (see `dw_transport::shard`).
+    ThreadsSharded(usize),
+    /// Sharded TCP backend on loopback: one worker process slot per
+    /// shard, cross-shard traffic batched per round into `RoundBatch`
+    /// frames.
+    TcpSharded(usize),
 }
 
 impl Runtime {
-    /// Parse a CLI spelling (`sim`, `threads`, `tcp`).
+    /// Parse a CLI spelling: `sim`, `threads`, `tcp`, or the sharded
+    /// forms `threads:P` / `tcp:P` with `P >= 1` worker shards.
     pub fn parse(s: &str) -> Option<Runtime> {
         match s {
             "sim" => Some(Runtime::Sim),
             "threads" => Some(Runtime::Threads),
             "tcp" => Some(Runtime::Tcp),
-            _ => None,
+            _ => {
+                let (base, p) = s.split_once(':')?;
+                let p: usize = p.parse().ok().filter(|&p| p >= 1)?;
+                match base {
+                    "threads" => Some(Runtime::ThreadsSharded(p)),
+                    "tcp" => Some(Runtime::TcpSharded(p)),
+                    _ => None,
+                }
+            }
         }
     }
 
+    /// The backend family name (shard counts elided); see [`Runtime::label`]
+    /// for the round-trippable spelling.
     pub fn as_str(self) -> &'static str {
         match self {
             Runtime::Sim => "sim",
             Runtime::Threads => "threads",
             Runtime::Tcp => "tcp",
+            Runtime::ThreadsSharded(_) => "threads-sharded",
+            Runtime::TcpSharded(_) => "tcp-sharded",
+        }
+    }
+
+    /// The full CLI spelling, such that `Runtime::parse(rt.label())`
+    /// round-trips.
+    pub fn label(self) -> String {
+        match self {
+            Runtime::ThreadsSharded(p) => format!("threads:{p}"),
+            Runtime::TcpSharded(p) => format!("tcp:{p}"),
+            other => other.as_str().to_string(),
         }
     }
 }
@@ -82,6 +119,8 @@ where
         Runtime::Sim => unreachable!("simulator runs don't go through the transport"),
         Runtime::Threads => run_threads_recorded(g, &cfg, budget, make, rec),
         Runtime::Tcp => run_tcp_loopback_recorded(g, &cfg, budget, make, rec),
+        Runtime::ThreadsSharded(p) => run_threads_sharded_recorded(g, &cfg, budget, p, make, rec),
+        Runtime::TcpSharded(p) => run_tcp_loopback_sharded_recorded(g, &cfg, budget, p, make, rec),
     }
 }
 
@@ -279,6 +318,12 @@ pub fn run_hk_ssp_chaos(
         Runtime::Sim => unreachable!("handled above"),
         Runtime::Threads => run_threads_chaos(g, &tcfg, budget, chaos.deadline, make, rec),
         Runtime::Tcp => run_tcp_loopback_chaos(g, &tcfg, budget, chaos.deadline, make, rec),
+        Runtime::ThreadsSharded(p) => {
+            run_threads_sharded_chaos(g, &tcfg, budget, p, chaos.deadline, make, rec)
+        }
+        Runtime::TcpSharded(p) => {
+            run_tcp_loopback_sharded_chaos(g, &tcfg, budget, p, chaos.deadline, make, rec)
+        }
     };
     match run {
         Ok(run) => {
@@ -296,10 +341,37 @@ mod tests {
 
     #[test]
     fn runtime_parse_roundtrip() {
-        for rt in [Runtime::Sim, Runtime::Threads, Runtime::Tcp] {
-            assert_eq!(Runtime::parse(rt.as_str()), Some(rt));
+        for rt in [
+            Runtime::Sim,
+            Runtime::Threads,
+            Runtime::Tcp,
+            Runtime::ThreadsSharded(1),
+            Runtime::ThreadsSharded(8),
+            Runtime::TcpSharded(4),
+        ] {
+            assert_eq!(Runtime::parse(&rt.label()), Some(rt));
         }
         assert_eq!(Runtime::parse("mpi"), None);
+        assert_eq!(Runtime::parse("threads:0"), None);
+        assert_eq!(Runtime::parse("threads:"), None);
+        assert_eq!(Runtime::parse("sim:2"), None);
+        assert_eq!(Runtime::parse("tcp:-1"), None);
+    }
+
+    #[test]
+    fn hk_ssp_sharded_runtimes_match_sim() {
+        let g = gen::zero_heavy(18, 0.15, 0.4, 5, true, 2);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let (sim_res, sim_stats, sim_outcome) =
+            run_hk_ssp_on(Runtime::Sim, &g, &cfg, EngineConfig::default()).unwrap();
+        for rt in [Runtime::ThreadsSharded(4), Runtime::TcpSharded(3)] {
+            let (res, stats, outcome) =
+                run_hk_ssp_on(rt, &g, &cfg, EngineConfig::default()).unwrap();
+            assert_eq!(res, sim_res, "{}", rt.label());
+            assert_eq!(stats, sim_stats, "{}", rt.label());
+            assert_eq!(outcome, sim_outcome, "{}", rt.label());
+        }
     }
 
     #[test]
@@ -352,6 +424,64 @@ mod tests {
         assert_eq!(res, sim_res, "recovered distances must be bit-identical");
         assert_eq!(stats, sim_stats);
         assert_eq!(outcome, sim_outcome);
+    }
+
+    #[test]
+    fn sharded_chaos_kill_recovers_to_sim_identical_distances() {
+        let g = gen::zero_heavy(14, 0.2, 0.4, 4, true, 9);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let (sim_res, sim_stats, sim_outcome) =
+            run_hk_ssp_on(Runtime::Sim, &g, &cfg, EngineConfig::default()).unwrap();
+        let chaos = ChaosConfig {
+            plan: ChaosPlan::new(3).with_kill(5, 4),
+            cadence: Some(3),
+            deadline: Duration::from_millis(200),
+        };
+        let (res, stats, outcome) = run_hk_ssp_chaos(
+            Runtime::ThreadsSharded(4),
+            &g,
+            &cfg,
+            EngineConfig::default(),
+            &chaos,
+            &mut NullRecorder,
+        )
+        .expect("a killed multi-node shard with cadence 3 must recover");
+        assert_eq!(res, sim_res, "recovered distances must be bit-identical");
+        assert_eq!(stats, sim_stats);
+        assert_eq!(outcome, sim_outcome);
+    }
+
+    #[test]
+    fn sharded_unrecoverable_kill_accounts_for_the_whole_shard() {
+        let g = gen::gnp_connected(12, 0.3, false, WeightDist::Uniform { max: 5 }, 21);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let chaos = ChaosConfig {
+            plan: ChaosPlan::new(1).with_kill(4, 3),
+            cadence: None, // no checkpoints: the kill cannot be recovered
+            deadline: Duration::from_millis(100),
+        };
+        let partial = run_hk_ssp_chaos(
+            Runtime::ThreadsSharded(4),
+            &g,
+            &cfg,
+            EngineConfig::default(),
+            &chaos,
+            &mut NullRecorder,
+        )
+        .expect_err("an uncheckpointed shard kill must not complete");
+        // Node 4 lives on the shard hosting nodes 3..6 (12 nodes over 4
+        // workers); the PartialOutcome must blame that whole block, and
+        // every source on it loses its instance.
+        assert_eq!(partial.failed, vec![3, 4, 5]);
+        assert_eq!(partial.incomplete_sources, vec![3, 4, 5]);
+        assert!(partial.round >= 3);
+        for row in &partial.result.dist {
+            for v in [3usize, 4, 5] {
+                assert_eq!(row[v], INFINITY, "lost node {v} must report nothing");
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::chaos::ChaosPlan;
 use crate::coordinator::{coordinate_with, CoordConfig, CoordEndpoint};
 use crate::error::TransportError;
+use crate::shard::{shard_main, shard_main_recoverable, ShardError, ShardMap};
 use crate::wire::{abort_reason, CtlMsg, Event, Frame};
 use crate::worker::{node_main, node_main_recoverable, NodeEndpoint, TransportConfig, WorkerError};
 use dw_congest::{
@@ -144,9 +145,12 @@ impl<M> CoordEndpoint for ChannelCoord<M> {
     }
 }
 
-/// Wire up the channel fabric for `n` nodes of `g`.
-fn make_fabric<M>(g: &WGraph) -> (Vec<ChannelNode<M>>, ChannelCoord<M>) {
-    let n = g.n();
+/// Wire up a channel fabric for any participant topology: participant
+/// `i` gets senders into each of `adj[i]`'s event channels. The node
+/// plane passes per-node comm adjacency; the shard plane passes the
+/// shard adjacency of a [`ShardMap`].
+fn make_fabric_adj<M>(adj: &[Vec<NodeId>]) -> (Vec<ChannelNode<M>>, ChannelCoord<M>) {
+    let n = adj.len();
     let (ctl_tx, ctl_rx) = channel();
     let mut event_txs: Vec<Sender<Event<M>>> = Vec::with_capacity(n);
     let mut event_rxs: Vec<Receiver<Event<M>>> = Vec::with_capacity(n);
@@ -160,8 +164,7 @@ fn make_fabric<M>(g: &WGraph) -> (Vec<ChannelNode<M>>, ChannelCoord<M>) {
         .enumerate()
         .map(|(v, rx)| ChannelNode {
             id: v as NodeId,
-            peers: g
-                .comm_neighbors(v as NodeId)
+            peers: adj[v]
                 .iter()
                 .map(|&u| (u, event_txs[u as usize].clone()))
                 .collect(),
@@ -175,6 +178,14 @@ fn make_fabric<M>(g: &WGraph) -> (Vec<ChannelNode<M>>, ChannelCoord<M>) {
         rx: ctl_rx,
     };
     (endpoints, coord)
+}
+
+/// Wire up the channel fabric for `n` nodes of `g`.
+fn make_fabric<M>(g: &WGraph) -> (Vec<ChannelNode<M>>, ChannelCoord<M>) {
+    let adj: Vec<Vec<NodeId>> = (0..g.n())
+        .map(|v| g.comm_neighbors(v as NodeId).to_vec())
+        .collect();
+    make_fabric_adj(&adj)
 }
 
 /// Run a protocol over the thread backend: node `v` of `g` runs
@@ -344,6 +355,205 @@ where
                 };
                 Err(Box::new(PartialRun {
                     failed: coord_err.failed_nodes().to_vec(),
+                    round,
+                    nodes,
+                    error: coord_err,
+                }))
+            }
+        }
+    })
+}
+
+/// Run a protocol over the thread backend with `shards` worker threads,
+/// each hosting a contiguous block of nodes (see [`crate::shard`]).
+/// `shards = g.n()` degenerates to the per-node layout; `shards = 1`
+/// runs the whole network in one worker with a one-participant barrier.
+/// Results are bit-identical to [`run_threads`] and the simulator for
+/// every shard count.
+pub fn run_threads_sharded<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    shards: usize,
+    make: impl FnMut(NodeId) -> P,
+) -> Result<TransportRun<P>, TransportError> {
+    run_threads_sharded_recorded(g, cfg, budget, shards, make, &mut NullRecorder)
+}
+
+/// As [`run_threads_sharded`], with coordinator-side [`Recorder`]
+/// events plus a `shard.workers` event recording the effective layout.
+pub fn run_threads_sharded_recorded<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    shards: usize,
+    mut make: impl FnMut(NodeId) -> P,
+    rec: &mut dyn Recorder,
+) -> Result<TransportRun<P>, TransportError> {
+    let map = ShardMap::new(g.n(), shards);
+    let p = map.shards();
+    let adj = map.shard_adjacency(g);
+    rec.event(0, "shard.workers", p as u64);
+    rec.event(
+        0,
+        "shard.links",
+        adj.iter().map(|a| a.len() as u64).sum::<u64>() / 2,
+    );
+    let (mut endpoints, mut coord) = make_fabric_adj::<P::Msg>(&adj);
+    let map = &map;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = endpoints
+            .drain(..)
+            .enumerate()
+            .map(|(sid, mut ep)| {
+                let nodes: Vec<P> = map.nodes(sid as NodeId).map(&mut make).collect();
+                s.spawn(move || shard_main(map, sid as NodeId, g, cfg, nodes, &mut ep))
+            })
+            .collect();
+        let coord_result = coordinate_with(p, budget, &CoordConfig::default(), &mut coord, rec);
+        if coord_result.is_err() {
+            let _ = coord.broadcast(CtlMsg::Abort {
+                reason: abort_reason::PEER_ERROR,
+            });
+        }
+        let mut nodes = Vec::with_capacity(g.n());
+        let mut worker_err: Option<TransportError> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok((shard_nodes, _report, shard_outcome))) => {
+                    if let Ok((outcome, _)) = &coord_result {
+                        debug_assert_eq!(shard_outcome, *outcome);
+                    }
+                    nodes.extend(shard_nodes);
+                }
+                Ok(Err(se)) => worker_err = Some(se.error),
+                Err(_) => worker_err = Some(TransportError::protocol("a shard thread panicked")),
+            }
+        }
+        let (outcome, stats) = coord_result?;
+        if let Some(e) = worker_err {
+            return Err(e);
+        }
+        Ok(TransportRun {
+            nodes,
+            stats,
+            outcome,
+        })
+    })
+}
+
+/// As [`run_threads_chaos`], over the sharded layout: a scripted kill
+/// takes a whole worker (and every node it hosts) down, checkpoints and
+/// replay streams are per shard, and a [`PartialRun`] accounts for
+/// every node on a lost shard. The coordinator's shard-plane failure
+/// verdicts are translated back to node ids before returning.
+pub fn run_threads_sharded_chaos<P>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    shards: usize,
+    deadline: Duration,
+    mut make: impl FnMut(NodeId) -> P,
+    rec: &mut dyn Recorder,
+) -> Result<TransportRun<P>, Box<PartialRun<P>>>
+where
+    P: Checkpointable,
+    P::Msg: WireCodec,
+{
+    let map = ShardMap::new(g.n(), shards);
+    let p = map.shards();
+    let adj = map.shard_adjacency(g);
+    rec.event(0, "shard.workers", p as u64);
+    let (mut endpoints, mut coord) = make_fabric_adj::<P::Msg>(&adj);
+    let coord_cfg = CoordConfig {
+        round_deadline: Some(deadline),
+        probe_grace: deadline,
+        recovery_grace: deadline * 10,
+        max_probe_cycles: 0, // default
+        neighbors: Some(adj),
+        stalls: cfg
+            .chaos
+            .as_ref()
+            .map(ChaosPlan::stalls)
+            .unwrap_or_default(),
+    };
+    let map = &map;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = endpoints
+            .drain(..)
+            .enumerate()
+            .map(|(sid, mut ep)| {
+                let nodes: Vec<P> = map.nodes(sid as NodeId).map(&mut make).collect();
+                s.spawn(move || shard_main_recoverable(map, sid as NodeId, g, cfg, nodes, &mut ep))
+            })
+            .collect();
+        let coord_result = coordinate_with(p, budget, &coord_cfg, &mut coord, rec);
+        if coord_result.is_err() {
+            let _ = coord.broadcast(CtlMsg::Abort {
+                reason: abort_reason::PEER_ERROR,
+            });
+        }
+        // Per-node salvage slots, flattened from per-shard results in
+        // shard order (= node-id order).
+        let mut nodes: Vec<Option<P>> = Vec::with_capacity(g.n());
+        let mut worker_err: Option<TransportError> = None;
+        for (sid, h) in handles.into_iter().enumerate() {
+            let hosted = map.nodes(sid as NodeId).len();
+            match h.join() {
+                Ok(Ok((shard_nodes, _report, _outcome))) => {
+                    nodes.extend(shard_nodes.into_iter().map(Some))
+                }
+                Ok(Err(se)) => {
+                    let ShardError { error, nodes: sn } = *se;
+                    if worker_err.is_none() && !matches!(error, TransportError::Aborted { .. }) {
+                        worker_err = Some(error);
+                    }
+                    match sn {
+                        Some(sn) => nodes.extend(sn.into_iter().map(Some)),
+                        None => nodes.extend((0..hosted).map(|_| None)),
+                    }
+                }
+                Err(_) => {
+                    worker_err = Some(TransportError::protocol("a shard thread panicked"));
+                    nodes.extend((0..hosted).map(|_| None));
+                }
+            }
+        }
+        // The coordinator blames shard slots; a PartialRun speaks node
+        // ids, so expand each failed shard to the block it hosted.
+        let expand = |failed_shards: &[NodeId]| -> Vec<NodeId> {
+            failed_shards
+                .iter()
+                .flat_map(|&sfail| map.nodes(sfail))
+                .collect()
+        };
+        match coord_result {
+            Ok((outcome, stats)) => {
+                if nodes.iter().all(Option::is_some) {
+                    Ok(TransportRun {
+                        nodes: nodes.into_iter().flatten().collect(),
+                        stats,
+                        outcome,
+                    })
+                } else {
+                    let error = worker_err.unwrap_or_else(|| {
+                        TransportError::protocol("a shard died in a run the coordinator finished")
+                    });
+                    Err(Box::new(PartialRun {
+                        failed: expand(error.failed_nodes()),
+                        round: 0,
+                        nodes,
+                        error,
+                    }))
+                }
+            }
+            Err(coord_err) => {
+                let round = match &coord_err {
+                    TransportError::Unrecoverable { round, .. } => *round,
+                    _ => 0,
+                };
+                Err(Box::new(PartialRun {
+                    failed: expand(coord_err.failed_nodes()),
                     round,
                     nodes,
                     error: coord_err,
@@ -587,6 +797,90 @@ mod tests {
             salvaged >= g.n() - 1,
             "survivors' states must be salvaged, got {salvaged}"
         );
+    }
+
+    #[test]
+    fn sharded_chaos_kill_recovers_bit_identical() {
+        let g = gen::gnp_connected(16, 0.2, false, WeightDist::Constant(1), 7);
+        let (sim_outcome, sim_stats, sim_dists) = sim_reference(&g, 300);
+
+        // Kill node 5 at round 2: with P=4 on n=16 each worker hosts 4
+        // nodes, so the kill takes a whole multi-node shard down. The
+        // rejoin must restore all four hosted nodes from one shard
+        // checkpoint plus the peers' replayed cross-shard batches.
+        let cfg = TransportConfig {
+            checkpoint_cadence: Some(2),
+            chaos: Some(ChaosPlan::new(1).with_kill(5, 2)),
+            ..TransportConfig::default()
+        };
+        let run = run_threads_sharded_chaos(
+            &g,
+            &cfg,
+            300,
+            4,
+            Duration::from_millis(150),
+            new_flood,
+            &mut NullRecorder,
+        );
+        let run = match run {
+            Ok(run) => run,
+            Err(p) => panic!("sharded chaos run did not recover: {}", p.error),
+        };
+        let dists: Vec<_> = run.nodes.iter().map(|f| f.dist).collect();
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(
+            dists, sim_dists,
+            "recovered multi-node shard must be bit-identical"
+        );
+        assert_eq!(
+            run.stats, sim_stats,
+            "whole-shard replay must not double-count any counter"
+        );
+    }
+
+    #[test]
+    fn sharded_uncheckpointed_kill_blames_the_whole_shard() {
+        let g = gen::gnp_connected(16, 0.2, false, WeightDist::Constant(1), 7);
+        let map = ShardMap::new(16, 4);
+        let cfg = TransportConfig {
+            checkpoint_cadence: None, // no checkpoints -> unrecoverable
+            chaos: Some(ChaosPlan::new(2).with_kill(5, 2)),
+            ..TransportConfig::default()
+        };
+        let partial = match run_threads_sharded_chaos(
+            &g,
+            &cfg,
+            200,
+            4,
+            Duration::from_millis(60),
+            new_flood,
+            &mut NullRecorder,
+        ) {
+            Ok(_) => panic!("an uncheckpointed shard kill must not produce a full run"),
+            Err(p) => p,
+        };
+        // Node 5 lives on shard 1; the kill takes the whole worker, so
+        // the PartialRun must account for every node that shard hosted.
+        let victim = map.shard_of(5);
+        let lost: Vec<NodeId> = map.nodes(victim).collect();
+        assert_eq!(partial.failed, lost, "the whole hosted block is blamed");
+        assert!(matches!(
+            partial.error,
+            TransportError::Unrecoverable { .. }
+        ));
+        for v in 0..16u32 {
+            if map.shard_of(v) == victim {
+                assert!(
+                    partial.nodes[v as usize].is_none(),
+                    "node {v} on the killed shard must not be salvaged"
+                );
+            } else {
+                assert!(
+                    partial.nodes[v as usize].is_some(),
+                    "survivor {v} must be salvaged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -101,7 +101,7 @@ impl CoordConfig {
     }
 }
 
-fn min_opt(a: Option<Round>, b: Option<Round>) -> Option<Round> {
+pub(crate) fn min_opt(a: Option<Round>, b: Option<Round>) -> Option<Round> {
     match (a, b) {
         (Some(x), Some(y)) => Some(x.min(y)),
         (x, None) => x,

@@ -33,18 +33,28 @@ pub mod channels;
 pub mod chaos;
 pub mod coordinator;
 pub mod error;
+pub mod shard;
 pub mod stdio;
 pub mod tcp;
 pub mod wire;
 pub mod worker;
 
 pub use channels::{
-    run_threads, run_threads_chaos, run_threads_recorded, PartialRun, TransportRun,
+    run_threads, run_threads_chaos, run_threads_recorded, run_threads_sharded,
+    run_threads_sharded_chaos, run_threads_sharded_recorded, PartialRun, TransportRun,
 };
 pub use chaos::{ChaosEvent, ChaosPlan};
 pub use coordinator::{coordinate, coordinate_recorded, CoordConfig, CoordEndpoint};
 pub use error::TransportError;
-pub use wire::{abort_reason, errkind, CtlMsg, Event, Frame, NodeReport};
+pub use shard::{shard_main, shard_main_recoverable, ShardError, ShardMap};
+pub use tcp::{
+    run_coordinator_tcp, run_coordinator_tcp_mux, run_coordinator_tcp_mux_with,
+    run_coordinator_tcp_recorded, run_coordinator_tcp_with, run_node_tcp, run_node_tcp_recoverable,
+    run_shard_tcp, run_shard_tcp_recoverable, run_tcp_loopback, run_tcp_loopback_chaos,
+    run_tcp_loopback_recorded, run_tcp_loopback_sharded, run_tcp_loopback_sharded_chaos,
+    run_tcp_loopback_sharded_recorded,
+};
+pub use wire::{abort_reason, errkind, BatchEntry, CtlMsg, Event, Frame, NodeReport};
 pub use worker::{node_main, node_main_recoverable, NodeEndpoint, TransportConfig, WorkerError};
 
 // Re-exported so backend users don't need a direct dw-congest dep for

@@ -1,0 +1,1169 @@
+//! Sharded workers: one process hosts a contiguous block of protocol
+//! nodes instead of exactly one.
+//!
+//! The per-node runtime ([`crate::worker`]) pays per-message wire and
+//! barrier overhead for every link of every node, which is why the real
+//! transport trails the simulator by two orders of magnitude (BENCH_4's
+//! e15 rows). A [`ShardWorker`] amortizes that cost three ways:
+//!
+//! * **intra-shard links never hit the wire** — messages between two
+//!   hosted nodes go straight into the receiver's per-rank buffers,
+//!   exactly like the simulator's in-memory delivery;
+//! * **cross-shard frames are coalesced** — everything one shard emits
+//!   toward one peer shard in one round travels as a single
+//!   [`Frame::RoundBatch`], closed by a single [`Frame::EndRound`]
+//!   marker per shard *pair* (not per node link);
+//! * **the coordinator barrier shrinks** — P shards report one `Done`
+//!   each instead of n nodes, and the unchanged
+//!   [`crate::coordinator::coordinate_with`] loop aggregates them.
+//!
+//! Bit-identity with the simulator is preserved because every reduction
+//! the coordinator performs is associative: `Done` sums `sent`/`late`
+//! and minimizes the schedule hints, and `merge_report` sums or maxes
+//! the counters, so P pre-aggregated shard reports reduce to the same
+//! [`RunStats`] as n per-node reports. Within a shard, nodes execute
+//! each phase in node-id order — the simulator's loop order — and the
+//! per-rank receive buffers keep the per-(sender, receiver) FIFO and
+//! delivery order unchanged. The conformance suite checks all of this
+//! for every shard count from 1 (whole network in one process) to n
+//! (one node per worker, the legacy layout).
+//!
+//! Crash recovery (DESIGN.md §10) lifts to shard granularity: the whole
+//! shard checkpoints as one snapshot, replay buffers hold *cross-shard*
+//! traffic only (intra-shard traffic is re-derived by re-executing the
+//! hosted nodes together), and a killed worker rejoins by restoring
+//! every hosted node from the shard snapshot and replaying peer-shard
+//! [`Frame::BatchReplay`] batches.
+
+use crate::error::TransportError;
+use crate::wire::{abort_reason, errkind, BatchEntry, CtlMsg, Event, Frame, NodeReport};
+use crate::worker::{LocalTally, NodeEndpoint, TransportConfig};
+use dw_congest::{
+    Checkpointable, Envelope, FaultAction, FaultPlan, NodeRunner, Protocol, Round, RunOutcome,
+    SendSink, WireCodec,
+};
+use dw_graph::{NodeId, WGraph};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The shard layout: a balanced contiguous partition of `0..n` into
+/// `P` blocks, shared by every worker and the coordinator. Shard `s`
+/// owns `[s*n/P, (s+1)*n/P)`, so the concatenation of all shards in
+/// shard-id order is exactly node-id order — the property that lets
+/// sharded results be compared (and returned) positionally.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    /// Block boundaries; `starts[s]..starts[s + 1]` is shard `s`.
+    starts: Vec<NodeId>,
+}
+
+impl ShardMap {
+    /// Partition `n` nodes into `shards` blocks. The count is clamped
+    /// to `[1, n]`: one worker per node is the finest layout that
+    /// exists, and at least one shard must host everything.
+    pub fn new(n: usize, shards: usize) -> ShardMap {
+        let p = shards.clamp(1, n.max(1));
+        let starts = (0..=p).map(|s| ((s * n) / p) as NodeId).collect();
+        ShardMap { starts }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    pub fn n(&self) -> usize {
+        *self.starts.last().expect("non-empty starts") as usize
+    }
+
+    /// The shard that owns node `v`.
+    pub fn shard_of(&self, v: NodeId) -> NodeId {
+        debug_assert!((v as usize) < self.n(), "node {v} outside the layout");
+        (self.starts.partition_point(|&s| s <= v) - 1) as NodeId
+    }
+
+    /// The node-id block shard `s` owns.
+    pub fn nodes(&self, s: NodeId) -> std::ops::Range<NodeId> {
+        self.starts[s as usize]..self.starts[s as usize + 1]
+    }
+
+    /// Per-shard sorted peer-shard lists: shard `a` lists shard `b` iff
+    /// some comm link of `g` crosses between them. This is the comm
+    /// topology of the shard plane — markers, batches and the
+    /// coordinator's recovery neighbor sets all follow it.
+    pub fn shard_adjacency(&self, g: &WGraph) -> Vec<Vec<NodeId>> {
+        let p = self.shards();
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); p];
+        for u in 0..self.n() as NodeId {
+            let su = self.shard_of(u);
+            for &v in g.comm_neighbors(u) {
+                let sv = self.shard_of(v);
+                if sv != su {
+                    adj[su as usize].push(sv);
+                }
+            }
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        adj
+    }
+}
+
+/// One due round's parked delayed messages in snapshot wire form.
+type PendingBatch<M> = (Round, Vec<(NodeId, M)>);
+
+/// A cross-shard replay record: `(emission round, entry)`.
+type ShardReplayRecord<M> = (Round, BatchEntry<M>);
+
+/// One node's per-rank parked (delay-faulted) staging buffers.
+type ParkedBuf<M> = Vec<Vec<(Round, M)>>;
+
+/// One hosted node's private state inside a [`ShardWorker`]. The
+/// per-rank `fresh`/`parked` staging buffers live on the shard (indexed
+/// by local node index) so the send phase can borrow one node's runner
+/// and every node's staging buffers disjointly.
+struct NodeState<'g, P: Protocol> {
+    runner: NodeRunner<P>,
+    nbrs: &'g [NodeId],
+    /// Delay-faulted messages parked until their due round.
+    pending: BTreeMap<Round, Vec<(NodeId, P::Msg)>>,
+    tally: LocalTally,
+    inbox: Vec<Envelope<P::Msg>>,
+    /// This round's late-delivery count (transient, reset each round).
+    late: u64,
+}
+
+/// The shard-aware [`SendSink`]: same sender-side fault evaluation as
+/// the per-node worker's sink, but delivery splits by destination
+/// shard. Intra-shard messages land directly in the receiver's staging
+/// buffers (even when `emit` is off — a replayed round must re-deliver
+/// locally, because the receivers lost their state too); cross-shard
+/// messages are appended to the per-peer-shard batch (wire emission,
+/// gated by `emit`) and the replay log (always, so a rejoined shard can
+/// serve its own neighbors later).
+struct ShardSink<'a, M> {
+    g: &'a WGraph,
+    map: &'a ShardMap,
+    shard: NodeId,
+    base: NodeId,
+    peer_shards: &'a [NodeId],
+    faults: Option<&'a FaultPlan>,
+    tally: &'a mut LocalTally,
+    round: Round,
+    emit: bool,
+    fresh: &'a mut [Vec<Vec<M>>],
+    parked: &'a mut [Vec<Vec<(Round, M)>>],
+    batches: &'a mut [Vec<BatchEntry<M>>],
+    replay: Option<&'a mut Vec<Vec<ShardReplayRecord<M>>>>,
+}
+
+impl<M: Clone> ShardSink<'_, M> {
+    fn put(&mut self, u: NodeId, v: NodeId, due: Round, msg: M) {
+        let sv = self.map.shard_of(v);
+        if sv == self.shard {
+            let local = (v - self.base) as usize;
+            let rank = self
+                .g
+                .comm_neighbors(v)
+                .binary_search(&u)
+                .expect("sender is a comm neighbor of its target");
+            if due == self.round {
+                self.fresh[local][rank].push(msg);
+            } else {
+                self.parked[local][rank].push((due, msg));
+            }
+        } else {
+            let ps = self
+                .peer_shards
+                .binary_search(&sv)
+                .expect("cross-shard link within the shard adjacency");
+            let entry = BatchEntry {
+                from: u,
+                to: v,
+                due,
+                msg,
+            };
+            if let Some(replay) = self.replay.as_deref_mut() {
+                replay[ps].push((self.round, entry.clone()));
+            }
+            if self.emit {
+                self.batches[ps].push(entry);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, u: NodeId, v: NodeId, msg: M) {
+        let round = self.round;
+        let Some(plan) = self.faults else {
+            self.put(u, v, round, msg);
+            return;
+        };
+        match plan.decide(u, v, round) {
+            FaultAction::Deliver => self.put(u, v, round, msg),
+            FaultAction::Drop => self.tally.dropped += 1,
+            FaultAction::OutageDrop => self.tally.outage_dropped += 1,
+            FaultAction::Duplicate => {
+                self.put(u, v, round, msg.clone());
+                self.put(u, v, round, msg);
+                self.tally.duplicated += 1;
+            }
+            FaultAction::Delay(d) => {
+                self.put(u, v, round + d, msg);
+                self.tally.delayed += 1;
+            }
+        }
+    }
+}
+
+impl<M: Clone> SendSink<M> for ShardSink<'_, M> {
+    fn unicast(&mut self, from: NodeId, _rank: usize, to: NodeId, msg: M, _words: usize) {
+        self.dispatch(from, to, msg);
+    }
+    fn broadcast(&mut self, from: NodeId, nbrs: &[NodeId], msg: M, _words: usize) {
+        for &v in nbrs {
+            self.dispatch(from, v, msg.clone());
+        }
+    }
+}
+
+/// A shard failure: the typed fault plus every hosted node's protocol
+/// state when the wreckage still holds it (the shard-level twin of
+/// [`crate::worker::WorkerError`]).
+#[derive(Debug)]
+pub struct ShardError<P> {
+    pub error: TransportError,
+    pub nodes: Option<Vec<P>>,
+}
+
+/// All of one shard worker's mutable state, shared by the plain and
+/// the recoverable drive loops. The round phases replicate
+/// [`crate::worker::node_main`] per hosted node, in node-id order, with
+/// one barrier report for the whole shard.
+struct ShardWorker<'g, P: Protocol> {
+    shard: NodeId,
+    base: NodeId,
+    g: &'g WGraph,
+    map: &'g ShardMap,
+    cfg: &'g TransportConfig,
+    nodes: Vec<NodeState<'g, P>>,
+    /// Per-node per-rank fresh staging buffers, `[local][rank]`.
+    fresh: Vec<Vec<Vec<P::Msg>>>,
+    /// Per-node per-rank parked (delay-faulted) staging buffers.
+    parked: Vec<ParkedBuf<P::Msg>>,
+    /// Sorted peer shards (shards sharing at least one comm link).
+    peer_shards: Vec<NodeId>,
+    /// This round's outgoing cross-shard batches, per peer-shard rank.
+    batches: Vec<Vec<BatchEntry<P::Msg>>>,
+    /// Cross-shard emitted-frame log per peer-shard rank, for replaying
+    /// to crashed peers. `None` when checkpointing is off.
+    replay: Option<Vec<Vec<ShardReplayRecord<P::Msg>>>>,
+    /// Frames that raced ahead of the control plane (see
+    /// [`crate::worker`]).
+    stash: VecDeque<(NodeId, Frame<P::Msg>)>,
+    /// Executed-round count — the checkpoint cadence clock.
+    executed: u64,
+    last_checkpoint: Round,
+    prev_checkpoint: Round,
+    current_round: Round,
+    state_lost: bool,
+}
+
+impl<'g, P: Protocol> ShardWorker<'g, P> {
+    fn new(
+        map: &'g ShardMap,
+        shard: NodeId,
+        g: &'g WGraph,
+        cfg: &'g TransportConfig,
+        nodes: Vec<P>,
+        buffered: bool,
+    ) -> Self {
+        let range = map.nodes(shard);
+        let base = range.start;
+        assert_eq!(
+            nodes.len(),
+            range.len(),
+            "shard {shard} hosts {} nodes, got {}",
+            range.len(),
+            nodes.len()
+        );
+        let mut peer_shards: Vec<NodeId> = range
+            .clone()
+            .flat_map(|v| g.comm_neighbors(v).iter().copied())
+            .map(|v| map.shard_of(v))
+            .filter(|&s| s != shard)
+            .collect();
+        peer_shards.sort_unstable();
+        peer_shards.dedup();
+        let deg = peer_shards.len();
+        let states: Vec<NodeState<'g, P>> = range
+            .clone()
+            .zip(nodes)
+            .map(|(id, node)| NodeState {
+                runner: NodeRunner::new(id, g, node),
+                nbrs: g.comm_neighbors(id),
+                pending: BTreeMap::new(),
+                tally: LocalTally::default(),
+                inbox: Vec::new(),
+                late: 0,
+            })
+            .collect();
+        let fresh = states
+            .iter()
+            .map(|st| (0..st.nbrs.len()).map(|_| Vec::new()).collect())
+            .collect();
+        let parked = states
+            .iter()
+            .map(|st| (0..st.nbrs.len()).map(|_| Vec::new()).collect())
+            .collect();
+        ShardWorker {
+            shard,
+            base,
+            g,
+            map,
+            cfg,
+            nodes: states,
+            fresh,
+            parked,
+            peer_shards,
+            batches: (0..deg).map(|_| Vec::new()).collect(),
+            replay: buffered.then(|| (0..deg).map(|_| Vec::new()).collect()),
+            stash: VecDeque::new(),
+            executed: 0,
+            last_checkpoint: 0,
+            prev_checkpoint: 0,
+            current_round: 0,
+            state_lost: false,
+        }
+    }
+
+    fn peer_rank(&self, from: NodeId) -> Result<usize, TransportError> {
+        self.peer_shards.binary_search(&from).map_err(|_| {
+            TransportError::protocol(format!(
+                "shard {}: frame from non-peer shard {from}",
+                self.shard
+            ))
+        })
+    }
+
+    /// Route one cross-shard entry into the destination node's staging
+    /// buffers, validating that the destination is hosted here, the
+    /// origin lives on `from_shard`, and the link exists.
+    fn stage_entry(
+        &mut self,
+        from_shard: NodeId,
+        e: BatchEntry<P::Msg>,
+        round: Round,
+    ) -> Result<(), TransportError> {
+        if (e.to as usize) >= self.map.n() || self.map.shard_of(e.to) != self.shard {
+            return Err(TransportError::protocol(format!(
+                "shard {}: batch entry for non-hosted node {} from shard {from_shard}",
+                self.shard, e.to
+            )));
+        }
+        if (e.from as usize) >= self.map.n() || self.map.shard_of(e.from) != from_shard {
+            return Err(TransportError::protocol(format!(
+                "shard {}: batch entry from node {} not owned by shard {from_shard}",
+                self.shard, e.from
+            )));
+        }
+        let local = (e.to - self.base) as usize;
+        let rank = self
+            .g
+            .comm_neighbors(e.to)
+            .binary_search(&e.from)
+            .map_err(|_| {
+                TransportError::protocol(format!(
+                    "shard {}: batch entry over non-link {} -> {}",
+                    self.shard, e.from, e.to
+                ))
+            })?;
+        if e.due == round {
+            self.fresh[local][rank].push(e.msg);
+        } else {
+            self.parked[local][rank].push((e.due, e.msg));
+        }
+        Ok(())
+    }
+
+    /// Resend every cross-shard frame we emitted toward `target` in
+    /// rounds after `from_round`, as one batch (the crashed shard's
+    /// rejoin input).
+    fn serve_replay<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        target: NodeId,
+        from_round: Round,
+        endpoint: &mut E,
+    ) -> Result<(), TransportError> {
+        let ps = self.peer_rank(target)?;
+        let frames: Vec<ShardReplayRecord<P::Msg>> = match &self.replay {
+            Some(buf) => buf[ps]
+                .iter()
+                .filter(|(r, _)| *r > from_round)
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        };
+        endpoint.send_peer(target, Frame::BatchReplay { frames })
+    }
+
+    /// Wait for the next control message addressed to the drive loop,
+    /// stashing racing peer frames, answering pings and serving replay.
+    fn wait_ctl<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        endpoint: &mut E,
+    ) -> Result<CtlMsg, TransportError> {
+        loop {
+            match endpoint.recv()? {
+                Event::Peer { from, frame } => self.stash.push_back((from, frame)),
+                Event::Ctl(CtlMsg::Ping) => endpoint.send_ctl(CtlMsg::Pong {
+                    round: self.current_round,
+                })?,
+                Event::Ctl(CtlMsg::ReplayRequest { target, from_round }) => {
+                    self.serve_replay(target, from_round, endpoint)?
+                }
+                Event::Ctl(c) => return Ok(c),
+                Event::Lost { from, detail } => {
+                    return Err(TransportError::peer_lost(match from {
+                        Some(p) => format!("shard {}: link to {p} died: {detail}", self.shard),
+                        None => {
+                            format!("shard {}: coordinator link died: {detail}", self.shard)
+                        }
+                    }))
+                }
+            }
+        }
+    }
+
+    /// Execute one round for every hosted node, in node-id order.
+    /// `live` and `prefilled` have the same meaning as in the per-node
+    /// worker; intra-shard delivery always happens (local receivers
+    /// need their input whether or not the wire is live).
+    fn run_round<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        round: Round,
+        endpoint: &mut E,
+        live: bool,
+        prefilled: bool,
+    ) -> Result<(), TransportError> {
+        self.current_round = round;
+
+        // --- 1. late deliveries from delay faults, per node ---
+        let mut late_total = 0u64;
+        for st in &mut self.nodes {
+            st.late = 0;
+            while let Some((&due, _)) = st.pending.first_key_value() {
+                if due > round {
+                    break;
+                }
+                if let Some((_, batch)) = st.pending.pop_first() {
+                    for (from, msg) in batch {
+                        st.inbox.push(Envelope::new(from, msg));
+                        st.late += 1;
+                    }
+                }
+            }
+            st.tally.late_delivered += st.late;
+            late_total += st.late;
+        }
+
+        // --- 2. send phase, per node; intra-shard messages are
+        //        delivered in place, cross-shard ones accumulate in the
+        //        per-peer-shard batches ---
+        let mut sent_total = 0u64;
+        {
+            let ShardWorker {
+                shard,
+                base,
+                g,
+                map,
+                cfg,
+                nodes,
+                fresh,
+                parked,
+                peer_shards,
+                batches,
+                replay,
+                ..
+            } = self;
+            for st in nodes.iter_mut() {
+                st.runner.poll_send(round, g);
+                let mut sink = ShardSink {
+                    g,
+                    map,
+                    shard: *shard,
+                    base: *base,
+                    peer_shards,
+                    faults: cfg.faults.as_ref(),
+                    tally: &mut st.tally,
+                    round,
+                    emit: live,
+                    fresh,
+                    parked,
+                    batches,
+                    replay: replay.as_mut(),
+                };
+                sent_total += st.runner.drain_sends(
+                    round,
+                    g,
+                    cfg.max_words,
+                    cfg.enforce_link_capacity,
+                    &mut sink,
+                );
+            }
+        }
+
+        // --- 3. ship batches and one marker per peer shard ---
+        if live {
+            for ps in 0..self.peer_shards.len() {
+                let peer = self.peer_shards[ps];
+                if !self.batches[ps].is_empty() {
+                    let entries = std::mem::take(&mut self.batches[ps]);
+                    endpoint.send_peer(peer, Frame::RoundBatch { round, entries })?;
+                }
+                endpoint.send_peer(peer, Frame::EndRound { round })?;
+            }
+        } else {
+            debug_assert!(
+                self.batches.iter().all(|b| b.is_empty()),
+                "a non-live round staged wire batches"
+            );
+        }
+
+        // --- 4. collect this round's cross-shard frames ---
+        if live && !prefilled {
+            self.collect_round(round, endpoint)?;
+        }
+
+        // --- 5/6. drain staging, sort late-touched inboxes, receive ---
+        for (local, st) in self.nodes.iter_mut().enumerate() {
+            for rank in 0..st.nbrs.len() {
+                for msg in self.fresh[local][rank].drain(..) {
+                    st.inbox.push(Envelope::new(st.nbrs[rank], msg));
+                }
+                for (due, msg) in self.parked[local][rank].drain(..) {
+                    st.pending
+                        .entry(due)
+                        .or_default()
+                        .push((st.nbrs[rank], msg));
+                }
+            }
+            if st.late > 0 && st.inbox.len() > 1 {
+                st.inbox.sort_by_key(|e| e.from);
+            }
+            if !st.inbox.is_empty() {
+                st.runner.receive(round, &st.inbox, self.g);
+                st.inbox.clear();
+            }
+        }
+        self.executed += 1;
+
+        // --- 7. one barrier report for the whole shard ---
+        if live {
+            let mut hint = None;
+            let mut pending_due = None;
+            for st in &self.nodes {
+                hint =
+                    crate::coordinator::min_opt(hint, st.runner.earliest_send(round + 1, self.g));
+                pending_due =
+                    crate::coordinator::min_opt(pending_due, st.pending.keys().next().copied());
+            }
+            endpoint.send_ctl(CtlMsg::Done {
+                round,
+                sent: sent_total,
+                late: late_total,
+                hint,
+                pending_due,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The collection loop of a live round: pull frames until every
+    /// peer shard's end-of-round marker is in, unpacking batch entries
+    /// into the destination nodes' staging buffers.
+    fn collect_round<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        round: Round,
+        endpoint: &mut E,
+    ) -> Result<(), TransportError> {
+        let deg = self.peer_shards.len();
+        let mut markers = 0usize;
+        while markers < deg {
+            let (from, frame) = match self.stash.pop_front() {
+                Some(e) => e,
+                None => match endpoint.recv()? {
+                    Event::Peer { from, frame } => (from, frame),
+                    Event::Ctl(CtlMsg::Ping) => {
+                        endpoint.send_ctl(CtlMsg::Pong { round })?;
+                        continue;
+                    }
+                    Event::Ctl(CtlMsg::ReplayRequest { target, from_round }) => {
+                        self.serve_replay(target, from_round, endpoint)?;
+                        continue;
+                    }
+                    Event::Ctl(CtlMsg::Abort { reason }) => {
+                        return Err(TransportError::Aborted {
+                            reason: abort_reason::name(reason).to_string(),
+                        })
+                    }
+                    Event::Ctl(other) => {
+                        return Err(TransportError::protocol(format!(
+                            "shard {}: unexpected control message {other:?} while collecting round {round}",
+                            self.shard
+                        )))
+                    }
+                    Event::Lost { from, detail } => {
+                        return Err(TransportError::peer_lost(match from {
+                            Some(p) => format!(
+                                "shard {}: link to {p} died collecting round {round}: {detail}",
+                                self.shard
+                            ),
+                            None => format!(
+                                "shard {}: coordinator link died collecting round {round}: {detail}",
+                                self.shard
+                            ),
+                        }))
+                    }
+                },
+            };
+            self.peer_rank(from)?;
+            match frame {
+                Frame::EndRound { round: r } => {
+                    if r != round {
+                        return Err(TransportError::protocol(format!(
+                            "shard {}: round-{r} marker from {from} during round {round}",
+                            self.shard
+                        )));
+                    }
+                    markers += 1;
+                }
+                Frame::RoundBatch { round: r, entries } => {
+                    if r != round {
+                        return Err(TransportError::protocol(format!(
+                            "shard {}: round-{r} batch from {from} during round {round}",
+                            self.shard
+                        )));
+                    }
+                    for e in entries {
+                        self.stage_entry(from, e, round)?;
+                    }
+                }
+                Frame::Payload { .. } | Frame::ReplayBatch { .. } | Frame::BatchReplay { .. } => {
+                    return Err(TransportError::protocol(format!(
+                        "shard {}: unexpected per-node frame from {from} during round {round}",
+                        self.shard
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The shard's aggregate counters: sums where the network total is
+    /// a sum, maxes where `RunStats` takes a max over nodes
+    /// (`node_sends` feeds `max_node_sends`, `max_link_load` is already
+    /// a max) — the same reduction `merge_report` applies across
+    /// reports, so P shard reports merge to the identical `RunStats`.
+    fn report(&self) -> NodeReport {
+        let mut rep = NodeReport {
+            node_sends: 0,
+            messages: 0,
+            total_words: 0,
+            max_link_load: 0,
+            dropped: 0,
+            outage_dropped: 0,
+            duplicated: 0,
+            delayed: 0,
+            late_delivered: 0,
+        };
+        for st in &self.nodes {
+            rep.node_sends = rep.node_sends.max(st.runner.node_sends());
+            rep.messages += st.runner.messages();
+            rep.total_words += st.runner.total_words();
+            rep.max_link_load = rep.max_link_load.max(st.runner.max_link_load());
+            rep.dropped += st.tally.dropped;
+            rep.outage_dropped += st.tally.outage_dropped;
+            rep.duplicated += st.tally.duplicated;
+            rep.delayed += st.tally.delayed;
+            rep.late_delivered += st.tally.late_delivered;
+        }
+        rep
+    }
+
+    fn into_nodes(self) -> Vec<P> {
+        self.nodes
+            .into_iter()
+            .map(|st| st.runner.into_node())
+            .collect()
+    }
+
+    /// The plain drive loop: no checkpoints, no chaos.
+    fn drive_plain<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        endpoint: &mut E,
+    ) -> Result<RunOutcome, TransportError> {
+        loop {
+            match self.wait_ctl(endpoint)? {
+                CtlMsg::Go { round } => self.run_round(round, endpoint, true, false)?,
+                CtlMsg::Stop { outcome } => {
+                    debug_assert!(
+                        self.stash.is_empty(),
+                        "frames in flight past the final barrier"
+                    );
+                    return Ok(outcome);
+                }
+                CtlMsg::Abort { reason } => {
+                    return Err(TransportError::Aborted {
+                        reason: abort_reason::name(reason).to_string(),
+                    })
+                }
+                other => {
+                    return Err(TransportError::protocol(format!(
+                        "shard {}: coordinator sent {other:?} at a round boundary",
+                        self.shard
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl<P: Checkpointable> ShardWorker<'_, P>
+where
+    P::Msg: WireCodec,
+{
+    /// Serialize the whole shard: the cadence clock once, then every
+    /// hosted node's protocol snapshot, runner accounting, fault tally
+    /// and parked delayed-message queue, in node-id order.
+    fn encode_snapshot(&self, out: &mut Vec<u8>) {
+        self.executed.encode(out);
+        for st in &self.nodes {
+            let mut proto = Vec::new();
+            st.runner.node().snapshot(&mut proto);
+            proto.encode(out);
+            st.runner.encode_accounting(out);
+            st.tally.encode(out);
+            let pending: Vec<PendingBatch<P::Msg>> = st
+                .pending
+                .iter()
+                .map(|(&due, batch)| (due, batch.clone()))
+                .collect();
+            pending.encode(out);
+        }
+    }
+
+    fn restore_snapshot(&mut self, buf: &mut &[u8]) -> Option<()> {
+        self.executed = u64::decode(buf)?;
+        for st in &mut self.nodes {
+            let proto = Vec::<u8>::decode(buf)?;
+            let mut view = proto.as_slice();
+            st.runner.node_mut().restore(&mut view)?;
+            if !view.is_empty() {
+                return None;
+            }
+            st.runner.restore_accounting(buf)?;
+            st.tally = LocalTally::decode(buf)?;
+            let pending = Vec::<PendingBatch<P::Msg>>::decode(buf)?;
+            st.pending = pending.into_iter().collect();
+        }
+        Some(())
+    }
+
+    /// Snapshot, ship to the coordinator, prune replay buffers one
+    /// cadence window back (exactly as the per-node worker does).
+    fn take_checkpoint<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        round: Round,
+        endpoint: &mut E,
+    ) -> Result<(), TransportError> {
+        let mut data = Vec::new();
+        self.encode_snapshot(&mut data);
+        endpoint.send_ctl(CtlMsg::Checkpoint { round, data })?;
+        let floor = self.last_checkpoint;
+        if let Some(buf) = &mut self.replay {
+            for link in buf.iter_mut() {
+                link.retain(|(r, _)| *r > floor);
+            }
+        }
+        self.prev_checkpoint = self.last_checkpoint;
+        self.last_checkpoint = round;
+        Ok(())
+    }
+
+    /// Stage one round's worth of replay entries into the staging
+    /// buffers. Entries per peer shard arrive in emission order, so
+    /// rounds are non-decreasing and a front-drain suffices.
+    fn prefill_round(
+        &mut self,
+        batches: &mut [VecDeque<ShardReplayRecord<P::Msg>>],
+        round: Round,
+    ) -> Result<(), TransportError> {
+        for (ps, batch) in batches.iter_mut().enumerate() {
+            let from_shard = self.peer_shards[ps];
+            while batch.front().is_some_and(|(r, _)| *r == round) {
+                let Some((_, entry)) = batch.pop_front() else {
+                    break;
+                };
+                self.stage_entry(from_shard, entry, round)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The crash: discard every hosted node's dynamic state and go
+    /// silent, then rejoin — restore the shard snapshot, collect one
+    /// replay batch per peer shard, re-execute the lost rounds without
+    /// emitting (intra-shard traffic regenerates locally), and execute
+    /// the crash round live.
+    fn crash_and_rejoin<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        endpoint: &mut E,
+        pristine: &[P],
+    ) -> Result<(), TransportError> {
+        // Fail-stop: everything volatile on the whole shard is gone.
+        self.state_lost = true;
+        self.stash.clear();
+        for st in &mut self.nodes {
+            st.pending.clear();
+            st.inbox.clear();
+            st.tally = LocalTally::default();
+        }
+        for node_bufs in self.fresh.iter_mut() {
+            for b in node_bufs.iter_mut() {
+                b.clear();
+            }
+        }
+        for node_bufs in self.parked.iter_mut() {
+            for b in node_bufs.iter_mut() {
+                b.clear();
+            }
+        }
+        for b in &mut self.batches {
+            b.clear();
+        }
+        if let Some(buf) = &mut self.replay {
+            for link in buf.iter_mut() {
+                link.clear();
+            }
+        }
+
+        // Silent wait for the rejoin handshake.
+        let deg = self.peer_shards.len();
+        let mut batches: Vec<VecDeque<ShardReplayRecord<P::Msg>>> =
+            (0..deg).map(|_| VecDeque::new()).collect();
+        let mut got = vec![false; deg];
+        let mut got_count = 0usize;
+        let (round, checkpoint_round, snapshot, executed_rounds) = loop {
+            match endpoint.recv()? {
+                Event::Peer {
+                    from,
+                    frame: Frame::BatchReplay { frames },
+                } => {
+                    let ps = self.peer_rank(from)?;
+                    if !got[ps] {
+                        got[ps] = true;
+                        got_count += 1;
+                    }
+                    batches[ps] = frames.into();
+                }
+                Event::Peer { .. } => {}
+                Event::Ctl(CtlMsg::Rejoin {
+                    round,
+                    checkpoint_round,
+                    snapshot,
+                    executed,
+                }) => break (round, checkpoint_round, snapshot, executed),
+                Event::Ctl(CtlMsg::Abort { reason }) => {
+                    return Err(TransportError::Aborted {
+                        reason: abort_reason::name(reason).to_string(),
+                    })
+                }
+                Event::Ctl(_) => {}
+                Event::Lost { from: Some(_), .. } => {}
+                Event::Lost { from: None, detail } => {
+                    return Err(TransportError::peer_lost(format!(
+                        "shard {}: coordinator link died while crashed: {detail}",
+                        self.shard
+                    )))
+                }
+            }
+        };
+
+        // Restore: pristine clones + init + shard snapshot overlay.
+        for (st, p) in self.nodes.iter_mut().zip(pristine) {
+            *st.runner.node_mut() = p.clone();
+            st.runner.init(self.g);
+        }
+        let mut view = snapshot.as_slice();
+        if self.restore_snapshot(&mut view).is_none() || !view.is_empty() {
+            return Err(TransportError::MalformedFrame {
+                context: format!("shard {}: undecodable rejoin snapshot", self.shard),
+            });
+        }
+        self.last_checkpoint = checkpoint_round;
+        self.prev_checkpoint = checkpoint_round;
+
+        // Collect the remaining replay batches; pings get answered.
+        while got_count < deg {
+            match endpoint.recv()? {
+                Event::Peer {
+                    from,
+                    frame: Frame::BatchReplay { frames },
+                } => {
+                    let ps = self.peer_rank(from)?;
+                    if !got[ps] {
+                        got[ps] = true;
+                        got_count += 1;
+                    }
+                    batches[ps] = frames.into();
+                }
+                Event::Peer { .. } => {}
+                Event::Ctl(CtlMsg::Ping) => endpoint.send_ctl(CtlMsg::Pong { round })?,
+                Event::Ctl(CtlMsg::Abort { reason }) => {
+                    return Err(TransportError::Aborted {
+                        reason: abort_reason::name(reason).to_string(),
+                    })
+                }
+                Event::Ctl(other) => {
+                    return Err(TransportError::protocol(format!(
+                        "shard {}: unexpected {other:?} while collecting replay batches",
+                        self.shard
+                    )))
+                }
+                Event::Lost { from, detail } => {
+                    return Err(TransportError::peer_lost(format!(
+                        "shard {}: link to {from:?} died during rejoin: {detail}",
+                        self.shard
+                    )))
+                }
+            }
+        }
+
+        // Re-execute the lost rounds: cross-shard input from the replay
+        // batches, intra-shard input regenerated by the hosted nodes
+        // executing together.
+        for &rho in &executed_rounds {
+            self.prefill_round(&mut batches, rho)?;
+            self.run_round(rho, endpoint, false, true)?;
+        }
+
+        // The crash round runs live, unblocking the peer shards parked
+        // in its collection loop.
+        self.prefill_round(&mut batches, round)?;
+        debug_assert!(
+            batches.iter().all(|b| b.is_empty()),
+            "replay batches contained rounds outside (checkpoint, crash]"
+        );
+        self.run_round(round, endpoint, true, true)?;
+        self.state_lost = false;
+        Ok(())
+    }
+
+    /// The recoverable drive loop: checkpoints at the cadence, serves
+    /// replay, and honors the chaos script. A kill scripted for *any*
+    /// hosted node takes the whole worker process down (fail-stop is
+    /// per process, not per node), at the earliest scripted round.
+    fn drive_recoverable<E: NodeEndpoint<P::Msg>>(
+        &mut self,
+        endpoint: &mut E,
+        pristine: &[P],
+    ) -> Result<RunOutcome, TransportError> {
+        let kill_round = self.cfg.chaos.as_ref().and_then(|c| {
+            self.map
+                .nodes(self.shard)
+                .filter_map(|v| c.kill_round(v))
+                .min()
+        });
+        let sever = self.cfg.chaos.as_ref().and_then(|c| {
+            self.map
+                .nodes(self.shard)
+                .filter_map(|v| c.sever_for(v))
+                .min_by_key(|&(_, r)| r)
+        });
+        let mut died = false;
+
+        if self.cfg.checkpoint_cadence.is_some() {
+            self.take_checkpoint(0, endpoint)?;
+        }
+
+        loop {
+            match self.wait_ctl(endpoint)? {
+                CtlMsg::Go { round } => {
+                    if let Some((peer, sr)) = sever {
+                        if round >= sr {
+                            endpoint.send_ctl(CtlMsg::Error {
+                                kind: errkind::PEER_LOST,
+                                peer: Some(peer),
+                                round,
+                            })?;
+                            return Err(TransportError::peer_lost(format!(
+                                "shard {}: link to node {peer} severed at round {round} (chaos)",
+                                self.shard
+                            )));
+                        }
+                    }
+                    if !died && kill_round.is_some_and(|kr| round >= kr) {
+                        died = true;
+                        self.crash_and_rejoin(endpoint, pristine)?;
+                    } else {
+                        self.run_round(round, endpoint, true, false)?;
+                    }
+                    if let Some(k) = self.cfg.checkpoint_cadence {
+                        if k > 0 && self.executed.is_multiple_of(k) {
+                            self.take_checkpoint(round, endpoint)?;
+                        }
+                    }
+                }
+                CtlMsg::Stop { outcome } => {
+                    debug_assert!(
+                        self.stash.is_empty(),
+                        "frames in flight past the final barrier"
+                    );
+                    return Ok(outcome);
+                }
+                CtlMsg::Abort { reason } => {
+                    return Err(TransportError::Aborted {
+                        reason: abort_reason::name(reason).to_string(),
+                    })
+                }
+                other => {
+                    return Err(TransportError::protocol(format!(
+                        "shard {}: coordinator sent {other:?} at a round boundary",
+                        self.shard
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Finish a successful run: ship the `Final` report and hand back every
+/// hosted node's protocol state, in node-id order.
+fn finish<P: Protocol, E: NodeEndpoint<P::Msg>>(
+    w: ShardWorker<'_, P>,
+    outcome: RunOutcome,
+    endpoint: &mut E,
+) -> Result<(Vec<P>, NodeReport, RunOutcome), Box<ShardError<P>>> {
+    let report = w.report();
+    match endpoint.send_ctl(CtlMsg::Final { report }) {
+        Ok(()) => Ok((w.into_nodes(), report, outcome)),
+        Err(error) => Err(Box::new(ShardError {
+            error,
+            nodes: Some(w.into_nodes()),
+        })),
+    }
+}
+
+/// Run shard `shard` of the layout to completion over `endpoint`:
+/// every node in `map.nodes(shard)`, with `nodes` their protocol states
+/// in node-id order. Returns the final states (same order), the shard's
+/// aggregate counters and the coordinator's outcome.
+pub fn shard_main<P, E>(
+    map: &ShardMap,
+    shard: NodeId,
+    g: &WGraph,
+    cfg: &TransportConfig,
+    nodes: Vec<P>,
+    endpoint: &mut E,
+) -> Result<(Vec<P>, NodeReport, RunOutcome), Box<ShardError<P>>>
+where
+    P: Protocol,
+    E: NodeEndpoint<P::Msg>,
+{
+    let mut w = ShardWorker::new(map, shard, g, cfg, nodes, false);
+    for st in &mut w.nodes {
+        st.runner.init(g);
+    }
+    match w.drive_plain(endpoint) {
+        Ok(outcome) => finish(w, outcome, endpoint),
+        Err(error) => Err(Box::new(ShardError {
+            error,
+            nodes: Some(w.into_nodes()),
+        })),
+    }
+}
+
+/// As [`shard_main`], with crash-fault tolerance at shard granularity:
+/// one checkpoint and one replay stream per shard, chaos kills taking
+/// the whole worker down, and the rejoin handshake restoring every
+/// hosted node.
+pub fn shard_main_recoverable<P, E>(
+    map: &ShardMap,
+    shard: NodeId,
+    g: &WGraph,
+    cfg: &TransportConfig,
+    nodes: Vec<P>,
+    endpoint: &mut E,
+) -> Result<(Vec<P>, NodeReport, RunOutcome), Box<ShardError<P>>>
+where
+    P: Checkpointable,
+    P::Msg: WireCodec,
+    E: NodeEndpoint<P::Msg>,
+{
+    let pristine = nodes.clone();
+    let buffered = cfg.checkpoint_cadence.is_some();
+    let mut w = ShardWorker::new(map, shard, g, cfg, nodes, buffered);
+    for st in &mut w.nodes {
+        st.runner.init(g);
+    }
+    match w.drive_recoverable(endpoint, &pristine) {
+        Ok(outcome) => finish(w, outcome, endpoint),
+        Err(error) => {
+            let salvage = !w.state_lost;
+            Err(Box::new(ShardError {
+                error,
+                nodes: salvage.then(|| w.into_nodes()),
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+
+    #[test]
+    fn shard_map_is_a_balanced_contiguous_partition() {
+        for n in [1usize, 2, 3, 7, 10, 64] {
+            for p in [1usize, 2, 3, 5, 64, 1000] {
+                let map = ShardMap::new(n, p);
+                let eff = map.shards();
+                assert!(eff >= 1 && eff <= n);
+                assert_eq!(map.n(), n);
+                let mut seen = 0usize;
+                for s in 0..eff as NodeId {
+                    let block = map.nodes(s);
+                    assert!(!block.is_empty(), "empty shard {s} (n={n}, p={p})");
+                    assert_eq!(block.start as usize, seen);
+                    for v in block.clone() {
+                        assert_eq!(map.shard_of(v), s);
+                    }
+                    seen = block.end as usize;
+                }
+                assert_eq!(seen, n, "blocks cover 0..n");
+                // Balance: block sizes differ by at most one.
+                let sizes: Vec<usize> = (0..eff as NodeId).map(|s| map.nodes(s).len()).collect();
+                let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "unbalanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_adjacency_is_symmetric_and_excludes_self() {
+        let g = gen::gnp(24, 0.2, false, WeightDist::Uniform { max: 9 }, 7);
+        let map = ShardMap::new(24, 5);
+        let adj = map.shard_adjacency(&g);
+        assert_eq!(adj.len(), 5);
+        for (s, peers) in adj.iter().enumerate() {
+            for &t in peers {
+                assert_ne!(t as usize, s);
+                assert!(
+                    adj[t as usize].contains(&(s as NodeId)),
+                    "adjacency not symmetric: {s} -> {t}"
+                );
+            }
+        }
+    }
+}

@@ -29,7 +29,7 @@
 //! process exits nonzero with a diagnostic instead of aborting.
 
 use crate::error::TransportError;
-use crate::wire::{CtlMsg, Event, Frame, NodeReport};
+use crate::wire::{BatchEntry, CtlMsg, Event, Frame, NodeReport};
 use crate::worker::{node_main, NodeEndpoint, TransportConfig, WorkerError};
 use dw_congest::{Protocol, Round, RunOutcome, WireCodec};
 use dw_graph::{NodeId, WGraph};
@@ -151,6 +151,22 @@ pub fn frame_body<M: WireCodec>(frame: &Frame<M>) -> String {
             let mut bytes = Vec::new();
             frames.encode(&mut bytes);
             let mut s = String::from("{\"type\":\"replay_batch\",\"data\":");
+            push_byte_array(&mut s, &bytes);
+            s.push('}');
+            s
+        }
+        Frame::RoundBatch { round, entries } => {
+            let mut bytes = Vec::new();
+            entries.encode(&mut bytes);
+            let mut s = format!("{{\"type\":\"round_batch\",\"round\":{round},\"data\":");
+            push_byte_array(&mut s, &bytes);
+            s.push('}');
+            s
+        }
+        Frame::BatchReplay { frames } => {
+            let mut bytes = Vec::new();
+            frames.encode(&mut bytes);
+            let mut s = String::from("{\"type\":\"batch_replay\",\"data\":");
             push_byte_array(&mut s, &bytes);
             s.push('}');
             s
@@ -290,6 +306,27 @@ pub fn parse_line<M: WireCodec>(line: &str) -> Option<(String, String, LineBody<
                 return None;
             }
             LineBody::Frame(Frame::ReplayBatch { frames })
+        }
+        "round_batch" => {
+            let bytes = json_bytes(line, "data")?;
+            let mut view = bytes.as_slice();
+            let entries = Vec::<BatchEntry<M>>::decode(&mut view)?;
+            if !view.is_empty() {
+                return None;
+            }
+            LineBody::Frame(Frame::RoundBatch {
+                round: json_u64(line, "round")?,
+                entries,
+            })
+        }
+        "batch_replay" => {
+            let bytes = json_bytes(line, "data")?;
+            let mut view = bytes.as_slice();
+            let frames = Vec::<(Round, BatchEntry<M>)>::decode(&mut view)?;
+            if !view.is_empty() {
+                return None;
+            }
+            LineBody::Frame(Frame::BatchReplay { frames })
         }
         "go" => LineBody::Ctl(CtlMsg::Go {
             round: json_u64(line, "round")?,

@@ -29,15 +29,17 @@ use crate::channels::{PartialRun, TransportRun};
 use crate::chaos::{splitmix64, ChaosPlan};
 use crate::coordinator::{coordinate_with, CoordConfig, CoordEndpoint};
 use crate::error::TransportError;
+use crate::shard::{shard_main, shard_main_recoverable, ShardError, ShardMap};
 use crate::wire::{
     abort_reason, errkind, read_frame, write_frame, CtlMsg, Event, Frame, NodeReport,
+    MAX_FRAME_BYTES,
 };
 use crate::worker::{node_main, node_main_recoverable, NodeEndpoint, TransportConfig, WorkerError};
 use dw_congest::{
     Checkpointable, NullRecorder, Protocol, Recorder, Round, RunOutcome, RunStats, WireCodec,
 };
 use dw_graph::{NodeId, WGraph};
-use std::io::{self, BufReader, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::{Duration, Instant};
@@ -760,6 +762,798 @@ where
     })
 }
 
+// ---------------------------------------------------------------------
+// Sharded TCP plane: one endpoint per *shard* of nodes (see
+// [`crate::shard`]), so the socket count scales with the worker count,
+// not the graph. Each round a shard sends at most one `RoundBatch` plus
+// one `EndRound` per peer shard, and a buffered writer thread per peer
+// turns that into (typically) a single syscall. The coordinator side
+// replaces the thread-per-connection reader fan-in with one nonblocking
+// multiplexed reader.
+
+/// A shard worker's socket bundle. Outbound frames to each peer shard
+/// are queued on a channel and drained by a dedicated writer thread
+/// into one `BufWriter`, flushed when the queue is momentarily empty —
+/// a round's `RoundBatch` + `EndRound` pair usually leaves as one
+/// write. Inbound traffic is multiplexed by reader threads into `rx`
+/// exactly like [`TcpNode`].
+struct ShardTcpNode<M> {
+    shard: NodeId,
+    /// Frame queues to each peer shard's writer thread, rank order.
+    peers: Vec<(NodeId, Sender<Frame<M>>)>,
+    ctl: TcpStream,
+    rx: Receiver<Event<M>>,
+    scratch: Vec<u8>,
+}
+
+impl<M: WireCodec> NodeEndpoint<M> for ShardTcpNode<M> {
+    fn send_peer(&mut self, to: NodeId, frame: Frame<M>) -> Result<(), TransportError> {
+        let i = self
+            .peers
+            .binary_search_by_key(&to, |&(v, _)| v)
+            .map_err(|_| {
+                TransportError::protocol(format!(
+                    "shard {}: send to non-adjacent shard {to}",
+                    self.shard
+                ))
+            })?;
+        // A writer thread that hit a socket error drops its receiver;
+        // the disconnect surfaces here as a typed peer-lost error.
+        self.peers[i].1.send(frame).map_err(|_| {
+            TransportError::peer_lost(format!(
+                "shard {}: writer thread to shard {to} is gone",
+                self.shard
+            ))
+        })
+    }
+    fn send_ctl(&mut self, msg: CtlMsg) -> Result<(), TransportError> {
+        write_frame(&mut self.ctl, &msg, &mut self.scratch).map_err(|e| {
+            TransportError::io(format!("shard {}: write to coordinator", self.shard), &e)
+        })
+    }
+    fn recv(&mut self) -> Result<Event<M>, TransportError> {
+        self.rx.recv().map_err(|_| {
+            TransportError::peer_lost(format!("shard {}: all reader threads hung up", self.shard))
+        })
+    }
+}
+
+/// Writer-thread body for one peer-shard link: block for the next
+/// frame, then greedily drain everything already queued into the
+/// buffered stream and flush once. A write or flush error is reported
+/// into the shared event queue as [`Event::Lost`] and ends the thread
+/// (dropping the queue receiver, so senders observe the loss).
+fn peer_writer<M: WireCodec>(
+    to: NodeId,
+    stream: TcpStream,
+    frames: Receiver<Frame<M>>,
+    events: Sender<Event<M>>,
+) {
+    let mut w = BufWriter::new(stream);
+    let mut scratch = Vec::new();
+    'session: while let Ok(first) = frames.recv() {
+        let mut burst = Some(first);
+        loop {
+            let frame = match burst.take() {
+                Some(f) => f,
+                None => match frames.try_recv() {
+                    Ok(f) => f,
+                    Err(_) => break, // queue momentarily empty (or closing): flush the burst
+                },
+            };
+            if let Err(e) = write_frame(&mut w, &frame, &mut scratch) {
+                let _ = events.send(Event::Lost {
+                    from: Some(to),
+                    detail: format!("writer to shard {to}: {e}"),
+                });
+                break 'session;
+            }
+        }
+        if let Err(e) = w.flush() {
+            let _ = events.send(Event::Lost {
+                from: Some(to),
+                detail: format!("writer to shard {to}: flush: {e}"),
+            });
+            break;
+        }
+    }
+    // Queue closed (normal teardown) or the socket died: flush what
+    // remains and send FIN so the peer's reader sees a clean EOF.
+    let _ = w.flush();
+    let _ = w.get_ref().shutdown(Shutdown::Write);
+}
+
+/// Socket setup plus reader/writer-thread lifecycle around one shard
+/// drive function, the shard-plane analogue of [`tcp_worker_session`].
+#[allow(clippy::too_many_arguments)] // deployment entry point: each arg is one wire-level endpoint
+fn shard_tcp_session<P, F>(
+    map: &ShardMap,
+    shard: NodeId,
+    g: &WGraph,
+    nodes: Vec<P>,
+    listener: TcpListener,
+    peer_addrs: &[(NodeId, SocketAddr)],
+    coord_addr: SocketAddr,
+    timeout: Duration,
+    drive: F,
+) -> Result<(Vec<P>, NodeReport, RunOutcome), Box<ShardError<P>>>
+where
+    P: Protocol,
+    P::Msg: WireCodec,
+    F: FnOnce(
+        Vec<P>,
+        &mut ShardTcpNode<P::Msg>,
+    ) -> Result<(Vec<P>, NodeReport, RunOutcome), Box<ShardError<P>>>,
+{
+    let setup_err = |e: io::Error| {
+        Box::new(ShardError {
+            error: TransportError::io(format!("shard {shard}: transport setup"), &e),
+            nodes: None,
+        })
+    };
+    let adj = map.shard_adjacency(g);
+    let nbrs = &adj[shard as usize];
+    let links = connect_links(shard, nbrs, &listener, peer_addrs, timeout).map_err(setup_err)?;
+    let (mut ctl, _) =
+        retry_connect_seeded(coord_addr, timeout, u64::from(shard)).map_err(setup_err)?;
+    handshake_out(&mut ctl, shard).map_err(setup_err)?;
+
+    let (tx, rx) = channel();
+    std::thread::scope(|s| {
+        let mut peers: Vec<(NodeId, Sender<Frame<P::Msg>>)> = Vec::with_capacity(links.len());
+        for (u, stream) in links {
+            let Ok(read_half) = stream.try_clone() else {
+                return Err(Box::new(ShardError {
+                    error: TransportError::peer_lost(format!(
+                        "shard {shard}: could not clone the link socket to {u}"
+                    )),
+                    nodes: None,
+                }));
+            };
+            let (ftx, frx) = channel();
+            let rtx = tx.clone();
+            let etx = tx.clone();
+            s.spawn(move || peer_reader::<P::Msg>(u, read_half, rtx));
+            s.spawn(move || peer_writer::<P::Msg>(u, stream, frx, etx));
+            peers.push((u, ftx));
+        }
+        {
+            let Ok(read_half) = ctl.try_clone() else {
+                return Err(Box::new(ShardError {
+                    error: TransportError::peer_lost(format!(
+                        "shard {shard}: could not clone the coordinator socket"
+                    )),
+                    nodes: None,
+                }));
+            };
+            let tx = tx.clone();
+            s.spawn(move || ctl_reader::<P::Msg>(read_half, tx));
+        }
+        drop(tx);
+        let mut ep = ShardTcpNode {
+            shard,
+            peers,
+            ctl,
+            rx,
+            scratch: Vec::new(),
+        };
+        let result = drive(nodes, &mut ep);
+        // Closing the frame queues makes each writer flush and FIN its
+        // socket; the FIN cascade unblocks every reader with a clean
+        // EOF so the scope joins. Runs on the error path too.
+        ep.peers.clear();
+        let _ = ep.ctl.shutdown(Shutdown::Write);
+        result
+    })
+}
+
+/// Run shard `shard` of the layout over TCP: accept/dial one socket per
+/// *adjacent shard*, connect to the coordinator, then drive
+/// [`shard_main`] over all hosted nodes. The multi-process deployment
+/// entry the `dwapsp run-node --shards` CLI uses.
+#[allow(clippy::too_many_arguments)] // deployment entry point: each arg is one wire-level endpoint
+pub fn run_shard_tcp<P: Protocol>(
+    map: &ShardMap,
+    shard: NodeId,
+    g: &WGraph,
+    cfg: &TransportConfig,
+    nodes: Vec<P>,
+    listener: TcpListener,
+    peer_addrs: &[(NodeId, SocketAddr)],
+    coord_addr: SocketAddr,
+    timeout: Duration,
+) -> Result<(Vec<P>, RunOutcome), TransportError>
+where
+    P::Msg: WireCodec,
+{
+    shard_tcp_session(
+        map,
+        shard,
+        g,
+        nodes,
+        listener,
+        peer_addrs,
+        coord_addr,
+        timeout,
+        |nodes, ep| shard_main(map, shard, g, cfg, nodes, ep),
+    )
+    .map(|(nodes, _report, outcome)| (nodes, outcome))
+    .map_err(|se| se.error)
+}
+
+/// As [`run_shard_tcp`], driving [`shard_main_recoverable`]: the shard
+/// checkpoints as a unit, serves whole-shard replay, and honors
+/// `cfg.chaos` for every hosted node.
+#[allow(clippy::too_many_arguments)] // deployment entry point: each arg is one wire-level endpoint
+pub fn run_shard_tcp_recoverable<P: Checkpointable>(
+    map: &ShardMap,
+    shard: NodeId,
+    g: &WGraph,
+    cfg: &TransportConfig,
+    nodes: Vec<P>,
+    listener: TcpListener,
+    peer_addrs: &[(NodeId, SocketAddr)],
+    coord_addr: SocketAddr,
+    timeout: Duration,
+) -> Result<(Vec<P>, RunOutcome), TransportError>
+where
+    P::Msg: WireCodec,
+{
+    shard_tcp_session(
+        map,
+        shard,
+        g,
+        nodes,
+        listener,
+        peer_addrs,
+        coord_addr,
+        timeout,
+        |nodes, ep| shard_main_recoverable(map, shard, g, cfg, nodes, ep),
+    )
+    .map(|(nodes, _report, outcome)| (nodes, outcome))
+    .map_err(|se| se.error)
+}
+
+/// `write_all` against a nonblocking socket: retry on `WouldBlock`
+/// (with a short sleep) until the whole buffer is out. The mux
+/// coordinator needs this because `try_clone` shares the file
+/// description — and therefore `O_NONBLOCK` — between the reader
+/// thread's half and the write half, and a partial frame write would
+/// corrupt the length-prefixed stream.
+fn write_all_nb(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "socket write returned zero",
+                ))
+            }
+            Ok(k) => buf = &buf[k..],
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Encode one length-prefixed frame into `scratch` (same layout as
+/// [`write_frame`], without the write).
+fn frame_bytes<T: WireCodec>(value: &T, scratch: &mut Vec<u8>) {
+    scratch.clear();
+    scratch.extend_from_slice(&[0u8; 4]);
+    value.encode(scratch);
+    let body = (scratch.len() - 4) as u32;
+    scratch[..4].copy_from_slice(&body.to_le_bytes());
+}
+
+/// The multiplexed coordinator endpoint: same wire behavior as
+/// [`TcpCoord`], but all sockets are nonblocking (shared with the one
+/// mux reader thread) so writes go through [`write_all_nb`].
+struct MuxCoord {
+    streams: Vec<TcpStream>,
+    rx: Receiver<(NodeId, CtlMsg)>,
+    scratch: Vec<u8>,
+}
+
+impl CoordEndpoint for MuxCoord {
+    fn broadcast(&mut self, msg: CtlMsg) -> Result<(), TransportError> {
+        frame_bytes(&msg, &mut self.scratch);
+        let mut first_err = None;
+        for (v, stream) in self.streams.iter_mut().enumerate() {
+            if let Err(e) = write_all_nb(stream, &self.scratch) {
+                if first_err.is_none() {
+                    first_err = Some(TransportError::io(
+                        format!("coordinator: write to participant {v}"),
+                        &e,
+                    ));
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+    fn send_to(&mut self, node: NodeId, msg: CtlMsg) -> Result<(), TransportError> {
+        let Some(stream) = self.streams.get_mut(node as usize) else {
+            return Err(TransportError::protocol(format!(
+                "coordinator: no connection for participant {node}"
+            )));
+        };
+        frame_bytes(&msg, &mut self.scratch);
+        write_all_nb(stream, &self.scratch).map_err(|e| {
+            TransportError::io(format!("coordinator: write to participant {node}"), &e)
+        })
+    }
+    fn recv(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<(NodeId, CtlMsg)>, TransportError> {
+        match timeout {
+            None => self.rx.recv().map(Some).map_err(|_| {
+                TransportError::peer_lost("coordinator: the mux reader thread hung up")
+            }),
+            Some(d) => match self.rx.recv_timeout(d) {
+                Ok(m) => Ok(Some(m)),
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => Err(TransportError::peer_lost(
+                    "coordinator: the mux reader thread hung up",
+                )),
+            },
+        }
+    }
+}
+
+/// One participant's state inside the mux reader: its nonblocking read
+/// half plus the byte accumulator frames are parsed out of.
+struct MuxConn {
+    id: NodeId,
+    stream: TcpStream,
+    buf: Vec<u8>,
+    dead: bool,
+}
+
+/// Parse every complete length-prefixed [`CtlMsg`] frame out of the
+/// connection's accumulator and forward it. Returns `false` (after
+/// synthesizing a fatal [`CtlMsg::Error`]) on an oversized length
+/// prefix or a body the codec rejects.
+fn drain_ctl_frames(c: &mut MuxConn, tx: &Sender<(NodeId, CtlMsg)>) -> bool {
+    let mut off = 0usize;
+    let ok = loop {
+        let rest = &c.buf[off..];
+        if rest.len() < 4 {
+            break true;
+        }
+        let body = u32::from_le_bytes(rest[..4].try_into().expect("4-byte slice")) as usize;
+        if body > MAX_FRAME_BYTES {
+            break false;
+        }
+        if rest.len() < 4 + body {
+            break true; // incomplete frame: wait for more bytes
+        }
+        let mut view = &rest[4..4 + body];
+        let Some(msg) = CtlMsg::decode(&mut view) else {
+            break false;
+        };
+        if !view.is_empty() {
+            break false;
+        }
+        off += 4 + body;
+        let _ = tx.send((c.id, msg));
+    };
+    c.buf.drain(..off);
+    if !ok {
+        let _ = tx.send((
+            c.id,
+            CtlMsg::Error {
+                kind: errkind::IO,
+                peer: None,
+                round: 0,
+            },
+        ));
+    }
+    ok
+}
+
+/// The single readiness-driven reader the mux coordinator runs instead
+/// of a thread per connection: sweep all live sockets with nonblocking
+/// reads, accumulate bytes per connection, forward complete frames, and
+/// sleep briefly only when a whole sweep made no progress. Exits when
+/// every connection reached EOF.
+fn mux_reader(mut conns: Vec<MuxConn>, tx: Sender<(NodeId, CtlMsg)>) {
+    let mut tmp = [0u8; 64 * 1024];
+    while conns.iter().any(|c| !c.dead) {
+        let mut progress = false;
+        for c in conns.iter_mut() {
+            if c.dead {
+                continue;
+            }
+            loop {
+                match c.stream.read(&mut tmp) {
+                    Ok(0) => {
+                        // EOF inside a frame is a torn stream, not a
+                        // clean shutdown.
+                        if !c.buf.is_empty() {
+                            let _ = tx.send((
+                                c.id,
+                                CtlMsg::Error {
+                                    kind: errkind::IO,
+                                    peer: None,
+                                    round: 0,
+                                },
+                            ));
+                        }
+                        c.dead = true;
+                        break;
+                    }
+                    Ok(k) => {
+                        progress = true;
+                        c.buf.extend_from_slice(&tmp[..k]);
+                        if !drain_ctl_frames(c, &tx) {
+                            c.dead = true;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        let _ = tx.send((
+                            c.id,
+                            CtlMsg::Error {
+                                kind: errkind::IO,
+                                peer: None,
+                                round: 0,
+                            },
+                        ));
+                        c.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !progress {
+            // Long enough to genuinely yield the core to worker threads
+            // (a tighter spin measurably starves them on small
+            // machines), short relative to the per-round barrier.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Accept `n` participant connections and coordinate the run through
+/// one multiplexed nonblocking reader instead of `n` reader threads —
+/// the coordinator configuration for sharded runs, where `n` is the
+/// shard count. Wire behavior is identical to
+/// [`run_coordinator_tcp_with`].
+pub fn run_coordinator_tcp_mux_with(
+    n: usize,
+    budget: Round,
+    cfg: &CoordConfig,
+    listener: TcpListener,
+    rec: &mut dyn Recorder,
+) -> Result<(RunOutcome, RunStats), TransportError> {
+    let io_err = |context: &str, e: &io::Error| TransportError::io(context, e);
+    let mut conns: Vec<(NodeId, TcpStream)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (mut stream, _) = listener
+            .accept()
+            .map_err(|e| io_err("coordinator: accept", &e))?;
+        let id = handshake_in(&mut stream).map_err(|e| io_err("coordinator: handshake", &e))?;
+        conns.push((id, stream));
+    }
+    conns.sort_by_key(|&(id, _)| id);
+    let (tx, rx) = channel();
+    std::thread::scope(|s| -> Result<(RunOutcome, RunStats), TransportError> {
+        let mut streams = Vec::with_capacity(n);
+        let mut mux_conns = Vec::with_capacity(n);
+        for (id, stream) in conns {
+            stream
+                .set_nonblocking(true)
+                .map_err(|e| io_err("coordinator: set nonblocking", &e))?;
+            let read_half = stream
+                .try_clone()
+                .map_err(|e| io_err("coordinator: clone participant socket", &e))?;
+            mux_conns.push(MuxConn {
+                id,
+                stream: read_half,
+                buf: Vec::new(),
+                dead: false,
+            });
+            streams.push(stream);
+        }
+        s.spawn(move || mux_reader(mux_conns, tx));
+        let mut ep = MuxCoord {
+            streams,
+            rx,
+            scratch: Vec::new(),
+        };
+        let result = coordinate_with(n, budget, cfg, &mut ep, rec);
+        if result.is_err() {
+            let _ = ep.broadcast(CtlMsg::Abort {
+                reason: abort_reason::PEER_ERROR,
+            });
+        }
+        for stream in &ep.streams {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+        // Drain until the mux reader saw EOF everywhere so the scope
+        // joins; stray post-run traffic is discarded.
+        loop {
+            match ep.rx.try_recv() {
+                Ok(_) => {}
+                Err(TryRecvError::Empty) => std::thread::sleep(Duration::from_millis(1)),
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        result
+    })
+}
+
+/// [`run_coordinator_tcp_mux_with`] under the default config without
+/// recording — the `dwapsp coordinator --shards` entry point.
+pub fn run_coordinator_tcp_mux(
+    n: usize,
+    budget: Round,
+    listener: TcpListener,
+) -> Result<(RunOutcome, RunStats), TransportError> {
+    run_coordinator_tcp_mux_with(
+        n,
+        budget,
+        &CoordConfig::default(),
+        listener,
+        &mut NullRecorder,
+    )
+}
+
+/// Run a sharded network over TCP loopback inside one process: `P`
+/// shard workers plus the mux coordinator, one socket pair per adjacent
+/// shard pair. Bit-identical to [`run_tcp_loopback`], the thread
+/// backend, and the simulator for every shard count.
+pub fn run_tcp_loopback_sharded<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    shards: usize,
+    make: impl FnMut(NodeId) -> P,
+) -> Result<TransportRun<P>, TransportError>
+where
+    P::Msg: WireCodec,
+{
+    run_tcp_loopback_sharded_recorded(g, cfg, budget, shards, make, &mut NullRecorder)
+}
+
+/// As [`run_tcp_loopback_sharded`], with coordinator-side [`Recorder`]
+/// events plus `shard.workers` / `shard.links` events recording the
+/// effective layout.
+pub fn run_tcp_loopback_sharded_recorded<P: Protocol>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    shards: usize,
+    mut make: impl FnMut(NodeId) -> P,
+    rec: &mut dyn Recorder,
+) -> Result<TransportRun<P>, TransportError>
+where
+    P::Msg: WireCodec,
+{
+    let map = ShardMap::new(g.n(), shards);
+    let p = map.shards();
+    let adj = map.shard_adjacency(g);
+    rec.event(0, "shard.workers", p as u64);
+    rec.event(
+        0,
+        "shard.links",
+        adj.iter().map(|a| a.len() as u64).sum::<u64>() / 2,
+    );
+    let timeout = Duration::from_secs(10);
+    let (listeners, addrs, coord_listener, coord_addr) =
+        bind_fabric(p).map_err(|e| TransportError::io("tcp sharded loopback setup", &e))?;
+    let map = &map;
+    let adj = &adj;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(sid, listener)| {
+                let sid = sid as NodeId;
+                let nodes: Vec<P> = map.nodes(sid).map(&mut make).collect();
+                let peer_addrs: Vec<(NodeId, SocketAddr)> = adj[sid as usize]
+                    .iter()
+                    .map(|&u| (u, addrs[u as usize]))
+                    .collect();
+                s.spawn(move || {
+                    run_shard_tcp(
+                        map,
+                        sid,
+                        g,
+                        cfg,
+                        nodes,
+                        listener,
+                        &peer_addrs,
+                        coord_addr,
+                        timeout,
+                    )
+                })
+            })
+            .collect();
+        let coord_result =
+            run_coordinator_tcp_mux_with(p, budget, &CoordConfig::default(), coord_listener, rec);
+        let mut nodes = Vec::with_capacity(g.n());
+        let mut worker_err: Option<TransportError> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok((shard_nodes, shard_outcome))) => {
+                    if let Ok((outcome, _)) = &coord_result {
+                        debug_assert_eq!(shard_outcome, *outcome);
+                    }
+                    nodes.extend(shard_nodes);
+                }
+                Ok(Err(e)) => worker_err = Some(e),
+                Err(_) => worker_err = Some(TransportError::protocol("a shard thread panicked")),
+            }
+        }
+        let (outcome, stats) = coord_result?;
+        if let Some(e) = worker_err {
+            return Err(e);
+        }
+        Ok(TransportRun {
+            nodes,
+            stats,
+            outcome,
+        })
+    })
+}
+
+/// Run a sharded network over TCP loopback with the full crash-fault
+/// control plane: recoverable shard workers, whole-shard checkpoints
+/// and replay, failure detection on `deadline`, scripted chaos. The
+/// socket-level twin of [`crate::channels::run_threads_sharded_chaos`];
+/// a lost shard's `PartialRun` accounts for every node it hosted.
+#[allow(clippy::too_many_arguments)] // deployment entry point mirroring run_tcp_loopback_chaos
+pub fn run_tcp_loopback_sharded_chaos<P>(
+    g: &WGraph,
+    cfg: &TransportConfig,
+    budget: Round,
+    shards: usize,
+    deadline: Duration,
+    mut make: impl FnMut(NodeId) -> P,
+    rec: &mut dyn Recorder,
+) -> Result<TransportRun<P>, Box<PartialRun<P>>>
+where
+    P: Checkpointable,
+    P::Msg: WireCodec,
+{
+    let map = ShardMap::new(g.n(), shards);
+    let p = map.shards();
+    let adj = map.shard_adjacency(g);
+    rec.event(0, "shard.workers", p as u64);
+    let timeout = Duration::from_secs(10);
+    let (listeners, addrs, coord_listener, coord_addr) = match bind_fabric(p) {
+        Ok(f) => f,
+        Err(e) => {
+            return Err(Box::new(PartialRun {
+                nodes: (0..g.n()).map(|_| None).collect(),
+                failed: Vec::new(),
+                round: 0,
+                error: TransportError::io("tcp sharded loopback setup", &e),
+            }))
+        }
+    };
+    let coord_cfg = CoordConfig {
+        round_deadline: Some(deadline),
+        probe_grace: deadline,
+        recovery_grace: deadline * 10,
+        max_probe_cycles: 0, // default
+        neighbors: Some(adj.clone()),
+        stalls: cfg
+            .chaos
+            .as_ref()
+            .map(ChaosPlan::stalls)
+            .unwrap_or_default(),
+    };
+    let map = &map;
+    let adj = &adj;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(sid, listener)| {
+                let sid = sid as NodeId;
+                let nodes: Vec<P> = map.nodes(sid).map(&mut make).collect();
+                let peer_addrs: Vec<(NodeId, SocketAddr)> = adj[sid as usize]
+                    .iter()
+                    .map(|&u| (u, addrs[u as usize]))
+                    .collect();
+                s.spawn(move || {
+                    shard_tcp_session(
+                        map,
+                        sid,
+                        g,
+                        nodes,
+                        listener,
+                        &peer_addrs,
+                        coord_addr,
+                        timeout,
+                        |nodes, ep| shard_main_recoverable(map, sid, g, cfg, nodes, ep),
+                    )
+                })
+            })
+            .collect();
+        let coord_result = run_coordinator_tcp_mux_with(p, budget, &coord_cfg, coord_listener, rec);
+        // Per-node salvage slots, flattened from per-shard results in
+        // shard order (= node-id order).
+        let mut nodes: Vec<Option<P>> = Vec::with_capacity(g.n());
+        let mut worker_err: Option<TransportError> = None;
+        for (sid, h) in handles.into_iter().enumerate() {
+            let hosted = map.nodes(sid as NodeId).len();
+            match h.join() {
+                Ok(Ok((shard_nodes, _report, _outcome))) => {
+                    nodes.extend(shard_nodes.into_iter().map(Some))
+                }
+                Ok(Err(se)) => {
+                    let ShardError { error, nodes: sn } = *se;
+                    if worker_err.is_none() && !matches!(error, TransportError::Aborted { .. }) {
+                        worker_err = Some(error);
+                    }
+                    match sn {
+                        Some(sn) => nodes.extend(sn.into_iter().map(Some)),
+                        None => nodes.extend((0..hosted).map(|_| None)),
+                    }
+                }
+                Err(_) => {
+                    worker_err = Some(TransportError::protocol("a shard thread panicked"));
+                    nodes.extend((0..hosted).map(|_| None));
+                }
+            }
+        }
+        // The coordinator blames shard slots; a PartialRun speaks node
+        // ids, so expand each failed shard to the block it hosted.
+        let expand = |failed_shards: &[NodeId]| -> Vec<NodeId> {
+            failed_shards
+                .iter()
+                .flat_map(|&sfail| map.nodes(sfail))
+                .collect()
+        };
+        match coord_result {
+            Ok((outcome, stats)) => {
+                if nodes.iter().all(Option::is_some) {
+                    Ok(TransportRun {
+                        nodes: nodes.into_iter().flatten().collect(),
+                        stats,
+                        outcome,
+                    })
+                } else {
+                    let error = worker_err.unwrap_or_else(|| {
+                        TransportError::protocol("a shard died in a run the coordinator finished")
+                    });
+                    Err(Box::new(PartialRun {
+                        failed: expand(error.failed_nodes()),
+                        round: 0,
+                        nodes,
+                        error,
+                    }))
+                }
+            }
+            Err(coord_err) => {
+                let round = match &coord_err {
+                    TransportError::Unrecoverable { round, .. } => *round,
+                    _ => 0,
+                };
+                Err(Box::new(PartialRun {
+                    failed: expand(coord_err.failed_nodes()),
+                    round,
+                    nodes,
+                    error: coord_err,
+                }))
+            }
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,6 +1668,71 @@ mod tests {
             run.nodes.iter().map(|x| x.dist).collect::<Vec<_>>(),
             sim_dists,
             "recovered distances over sockets must be bit-identical"
+        );
+        assert_eq!(run.stats, sim_stats);
+    }
+
+    #[test]
+    fn tcp_sharded_loopback_matches_simulator_for_every_shard_count() {
+        let g = gen::gnp_connected(10, 0.3, false, WeightDist::Uniform { max: 9 }, 3);
+        let mut net = Network::new(&g, EngineConfig::default(), new_relax);
+        let sim_outcome = net.run(400);
+        let sim_stats = net.stats();
+        let sim_dists: Vec<_> = net.nodes().map(|x| x.dist).collect();
+
+        for shards in [1usize, 3, 10] {
+            let run = match run_tcp_loopback_sharded(
+                &g,
+                &TransportConfig::default(),
+                400,
+                shards,
+                new_relax,
+            ) {
+                Ok(run) => run,
+                Err(e) => panic!("tcp sharded loopback (P={shards}) failed: {e}"),
+            };
+            assert_eq!(run.outcome, sim_outcome, "P={shards}");
+            assert_eq!(
+                run.nodes.iter().map(|x| x.dist).collect::<Vec<_>>(),
+                sim_dists,
+                "P={shards}"
+            );
+            assert_eq!(run.stats, sim_stats, "P={shards}");
+        }
+    }
+
+    #[test]
+    fn tcp_sharded_chaos_kill_recovers_bit_identical() {
+        let g = gen::gnp_connected(10, 0.3, false, WeightDist::Uniform { max: 9 }, 3);
+        let mut net = Network::new(&g, EngineConfig::default(), new_relax);
+        let sim_outcome = net.run(400);
+        let sim_stats = net.stats();
+        let sim_dists: Vec<_> = net.nodes().map(|x| x.dist).collect();
+
+        // Kill node 2 at round 3: with P=4 that takes down a multi-node
+        // shard, and recovery must restore every node it hosted.
+        let cfg = TransportConfig {
+            checkpoint_cadence: Some(2),
+            chaos: Some(ChaosPlan::new(4).with_kill(2, 3)),
+            ..TransportConfig::default()
+        };
+        let run = match run_tcp_loopback_sharded_chaos(
+            &g,
+            &cfg,
+            400,
+            4,
+            Duration::from_millis(400),
+            new_relax,
+            &mut NullRecorder,
+        ) {
+            Ok(run) => run,
+            Err(p) => panic!("tcp sharded chaos run did not recover: {}", p.error),
+        };
+        assert_eq!(run.outcome, sim_outcome);
+        assert_eq!(
+            run.nodes.iter().map(|x| x.dist).collect::<Vec<_>>(),
+            sim_dists,
+            "recovered sharded distances over sockets must be bit-identical"
         );
         assert_eq!(run.stats, sim_stats);
     }

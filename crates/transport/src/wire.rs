@@ -43,6 +43,51 @@ pub enum Frame<M> {
     /// it substitutes for the per-round `EndRound` markers the rejoiner
     /// missed.
     ReplayBatch { frames: Vec<(Round, Round, M)> },
+    /// Every cross-shard payload one shard worker emits toward one peer
+    /// shard in `round`, coalesced into a single wire message (see
+    /// [`crate::shard`]). Entries are in emission order, which
+    /// preserves per-(from, to) FIFO order — the property the receive
+    /// path's per-rank buffers rely on. The per-shard-pair
+    /// [`Frame::EndRound`] that follows is the completeness marker.
+    RoundBatch {
+        round: Round,
+        entries: Vec<BatchEntry<M>>,
+    },
+    /// Shard-level crash recovery: every cross-shard payload this shard
+    /// emitted toward the rejoining shard since its checkpoint round,
+    /// as `(round, entry)` records in emission order. The shard twin of
+    /// [`Frame::ReplayBatch`].
+    BatchReplay { frames: Vec<(Round, BatchEntry<M>)> },
+}
+
+/// One cross-shard payload inside a [`Frame::RoundBatch`] or
+/// [`Frame::BatchReplay`]: the originating node, the destination node
+/// (both resolve to shards via the shared layout), and the payload with
+/// its due round (`due > round` marks a delay-faulted message, exactly
+/// as in [`Frame::Payload`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEntry<M> {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub due: Round,
+    pub msg: M,
+}
+
+impl<M: WireCodec> WireCodec for BatchEntry<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.encode(out);
+        self.to.encode(out);
+        self.due.encode(out);
+        self.msg.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(BatchEntry {
+            from: NodeId::decode(buf)?,
+            to: NodeId::decode(buf)?,
+            due: Round::decode(buf)?,
+            msg: M::decode(buf)?,
+        })
+    }
 }
 
 /// Coordinator barrier traffic.
@@ -175,6 +220,15 @@ impl<M: WireCodec> WireCodec for Frame<M> {
                 out.push(2);
                 frames.encode(out);
             }
+            Frame::RoundBatch { round, entries } => {
+                out.push(3);
+                round.encode(out);
+                entries.encode(out);
+            }
+            Frame::BatchReplay { frames } => {
+                out.push(4);
+                frames.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
@@ -189,6 +243,13 @@ impl<M: WireCodec> WireCodec for Frame<M> {
             }),
             2 => Some(Frame::ReplayBatch {
                 frames: Vec::<(Round, Round, M)>::decode(buf)?,
+            }),
+            3 => Some(Frame::RoundBatch {
+                round: Round::decode(buf)?,
+                entries: Vec::<BatchEntry<M>>::decode(buf)?,
+            }),
+            4 => Some(Frame::BatchReplay {
+                frames: Vec::<(Round, BatchEntry<M>)>::decode(buf)?,
             }),
             _ => None,
         }

@@ -128,23 +128,23 @@ pub struct WorkerError<P> {
 /// Receiver-side counters a worker accumulates outside the
 /// [`NodeRunner`] (which owns the send-side counters).
 #[derive(Default, Clone)]
-struct LocalTally {
-    dropped: u64,
-    outage_dropped: u64,
-    duplicated: u64,
-    delayed: u64,
-    late_delivered: u64,
+pub(crate) struct LocalTally {
+    pub(crate) dropped: u64,
+    pub(crate) outage_dropped: u64,
+    pub(crate) duplicated: u64,
+    pub(crate) delayed: u64,
+    pub(crate) late_delivered: u64,
 }
 
 impl LocalTally {
-    fn encode(&self, out: &mut Vec<u8>) {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
         self.dropped.encode(out);
         self.outage_dropped.encode(out);
         self.duplicated.encode(out);
         self.delayed.encode(out);
         self.late_delivered.encode(out);
     }
-    fn decode(buf: &mut &[u8]) -> Option<Self> {
+    pub(crate) fn decode(buf: &mut &[u8]) -> Option<Self> {
         Some(LocalTally {
             dropped: u64::decode(buf)?,
             outage_dropped: u64::decode(buf)?,
@@ -542,9 +542,11 @@ impl<'g, P: Protocol> Worker<'g, P> {
                         self.parked[rank].push((due, msg));
                     }
                 }
-                Frame::ReplayBatch { .. } => {
+                Frame::ReplayBatch { .. }
+                | Frame::RoundBatch { .. }
+                | Frame::BatchReplay { .. } => {
                     return Err(TransportError::protocol(format!(
-                        "node {}: unsolicited replay batch from {from}",
+                        "node {}: unsolicited replay/batch frame from {from}",
                         self.id
                     )))
                 }

@@ -5,7 +5,7 @@
 //! its own frame. A malformed peer must not be able to crash a worker.
 
 use dw_congest::{RunOutcome, WireCodec};
-use dw_transport::wire::{read_frame, write_frame, CtlMsg, Frame, NodeReport};
+use dw_transport::wire::{read_frame, write_frame, BatchEntry, CtlMsg, Frame, NodeReport};
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -85,19 +85,31 @@ fn arb_ctl() -> impl Strategy<Value = CtlMsg> {
         })
 }
 
-/// `(discriminant, round, due, msg, batch)` → one of the 3 frame kinds.
+/// `(from, to, due, msg)` → one sharded batch entry.
+fn arb_entry() -> impl Strategy<Value = BatchEntry<u64>> {
+    (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>())
+        .prop_map(|(from, to, due, msg)| BatchEntry { from, to, due, msg })
+}
+
+/// `(discriminant, round, due, msg, batch, entries)` → one of the 5
+/// frame kinds, including the sharded `RoundBatch` / `BatchReplay`.
 fn arb_frame() -> impl Strategy<Value = Frame<u64>> {
     (
-        0usize..3,
+        0usize..5,
         any::<u64>(),
         any::<u64>(),
         any::<u64>(),
         collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..12),
+        collection::vec(arb_entry(), 0..12),
     )
-        .prop_map(|(which, round, due, msg, batch)| match which {
+        .prop_map(|(which, round, due, msg, batch, entries)| match which {
             0 => Frame::Payload { round, due, msg },
             1 => Frame::EndRound { round },
-            _ => Frame::ReplayBatch { frames: batch },
+            2 => Frame::ReplayBatch { frames: batch },
+            3 => Frame::RoundBatch { round, entries },
+            _ => Frame::BatchReplay {
+                frames: entries.into_iter().map(|e| (round, e)).collect(),
+            },
         })
 }
 
@@ -206,4 +218,80 @@ proptest! {
         prop_assert_eq!(read_frame::<_, Frame<u64>>(&mut r).unwrap(), Some(b));
         prop_assert_eq!(read_frame::<_, Frame<u64>>(&mut r).unwrap(), None);
     }
+
+    // A RoundBatch at the size extremes — empty, single-entry, and a
+    // big burst — is an encode→decode fixed point. (Entry order is the
+    // emission order the shard FIFO guarantee depends on, so the
+    // roundtrip being exact, not just set-equal, matters.)
+    #[test]
+    fn round_batch_roundtrips_at_edge_sizes(round in any::<u64>(), entry in arb_entry(), size_seed in 0usize..3) {
+        let entries = match size_seed {
+            0 => Vec::new(),
+            1 => vec![entry.clone()],
+            _ => (0..4096u64)
+                .map(|i| BatchEntry { from: entry.from, to: entry.to, due: entry.due ^ i, msg: i })
+                .collect(),
+        };
+        let frame = Frame::RoundBatch { round, entries };
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut buf, &frame, &mut scratch).unwrap();
+        let mut r = Cursor::new(buf);
+        prop_assert_eq!(read_frame::<_, Frame<u64>>(&mut r).unwrap(), Some(frame));
+        prop_assert_eq!(read_frame::<_, Frame<u64>>(&mut r).unwrap(), None);
+    }
+
+    // Truncating a RoundBatch/BatchReplay encoding anywhere inside it
+    // is an error or clean EOF, never a panic or phantom success.
+    #[test]
+    fn truncated_batch_frame_is_rejected(frame in arb_frame(), cut_seed in any::<u64>()) {
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut buf, &frame, &mut scratch).unwrap();
+        let cut = (cut_seed as usize) % buf.len();
+        buf.truncate(cut);
+        let mut r = Cursor::new(buf);
+        if let Ok(Some(_)) = read_frame::<_, Frame<u64>>(&mut r) {
+            prop_assert!(false, "truncated frame decoded successfully");
+        }
+    }
+
+    // Flipping any single byte of a batch frame encoding never panics
+    // and never makes the decoder read outside its frame.
+    #[test]
+    fn bit_flipped_batch_frame_never_panics(frame in arb_frame(), pos_seed in any::<u64>(), flip in 1u8..=255) {
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut buf, &frame, &mut scratch).unwrap();
+        let pos = (pos_seed as usize) % buf.len();
+        buf[pos] ^= flip;
+        let mut r = Cursor::new(buf);
+        let _ = read_frame::<_, Frame<u64>>(&mut r);
+    }
+
+    // Raw BatchEntry decode on arbitrary bytes never panics and only
+    // consumes a prefix (the no-over-read contract the mux reader's
+    // exact-slice parsing relies on).
+    #[test]
+    fn raw_batch_entry_decode_never_over_reads(bytes in collection::vec(any::<u8>(), 0..256)) {
+        let mut view = bytes.as_slice();
+        let _ = BatchEntry::<u64>::decode(&mut view);
+        prop_assert!(view.len() <= bytes.len());
+
+        let mut view = bytes.as_slice();
+        let _ = Vec::<BatchEntry<u64>>::decode(&mut view);
+        prop_assert!(view.len() <= bytes.len());
+    }
+}
+
+/// A length prefix claiming more than `MAX_FRAME_BYTES` must be
+/// rejected before any allocation — a lying header cannot demand a
+/// multi-gigabyte buffer, whatever frame kind it pretends to carry.
+#[test]
+fn oversized_batch_length_prefix_is_rejected() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(dw_transport::wire::MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+    buf.extend_from_slice(&[0u8; 64]);
+    let mut r = Cursor::new(buf);
+    assert!(read_frame::<_, Frame<u64>>(&mut r).is_err());
 }

@@ -9,14 +9,15 @@ use dw_congest::{
 };
 use dw_graph::gen::{self, WeightDist};
 use dw_graph::{NodeId, WGraph};
-use dw_transport::channels::run_threads;
+use dw_transport::channels::{run_threads, run_threads_sharded};
 use dw_transport::coordinator::coordinate;
 use dw_transport::stdio::{
     line_dest, parse_node_name, pipe_with_sender, pipe_writer, run_node_stdio, StdioCoord, COORD,
 };
-use dw_transport::tcp::run_tcp_loopback;
+use dw_transport::tcp::{run_tcp_loopback, run_tcp_loopback_sharded};
 use dw_transport::worker::TransportConfig;
 use dw_transport::TransportRun;
+use proptest::prelude::*;
 use std::io::BufReader;
 use std::sync::mpsc::channel;
 
@@ -309,6 +310,148 @@ fn tcp_loopback_conforms_under_delay_faults() {
         run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
         nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
     );
+}
+
+/// The canonical shard counts the differential harness sweeps: one
+/// worker for the whole network, two workers, three-nodes-per-worker,
+/// and the per-node degenerate layout.
+fn shard_counts(n: usize) -> [usize; 4] {
+    [1, 2, n.div_ceil(3), n]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The differential harness, thread plane: random connected graphs
+    // through the simulator and the sharded thread backend at every
+    // canonical shard count must agree bit for bit — distances, outcome
+    // and the full RunStats.
+    #[test]
+    fn sharded_threads_conform_for_canonical_shard_counts(seed in 0u64..10_000) {
+        let n = 18usize;
+        let g = gen::gnp_connected(n, 0.2, false, WeightDist::Constant(1), seed);
+        let (nodes, stats, outcome) = simulate(&g, None, 300, new_flood);
+        let dists: Vec<_> = nodes.iter().map(|f| f.dist).collect();
+        for p in shard_counts(n) {
+            let run = run_threads_sharded(&g, &transport_cfg(None), 300, p, new_flood)
+                .unwrap_or_else(|e| panic!("threads:{p} seed {seed} failed: {e}"));
+            prop_assert_eq!(run.outcome, outcome, "P={} seed {}", p, seed);
+            prop_assert_eq!(&run.stats, &stats, "P={} seed {}", p, seed);
+            prop_assert_eq!(
+                run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+                dists.clone(),
+                "P={} seed {}", p, seed
+            );
+        }
+    }
+
+    // Same sweep under a FaultPlan: drops, duplicates, delays and an
+    // outage. RunStats equality covers every fault counter (dropped,
+    // outage_dropped, duplicated, delayed, late_delivered), so the
+    // sender-side fault evaluation must land identically no matter how
+    // nodes are packed into shards.
+    #[test]
+    fn sharded_threads_conform_under_faults(seed in 0u64..10_000) {
+        let n = 15usize;
+        let g = gen::gnp_connected(n, 0.22, false, WeightDist::Constant(1), seed);
+        let faults = FaultPlan::new(seed ^ 0x5eed)
+            .with_drop(0.12)
+            .with_duplicate(0.06)
+            .with_delay(0.12, 5)
+            .with_outage(Outage {
+                from: 0,
+                to: 1,
+                start: 2,
+                end: 6,
+                symmetric: true,
+            });
+        let (nodes, stats, outcome) = simulate(&g, Some(faults.clone()), 400, new_flood);
+        let dists: Vec<_> = nodes.iter().map(|f| f.dist).collect();
+        for p in shard_counts(n) {
+            let run = run_threads_sharded(&g, &transport_cfg(Some(faults.clone())), 400, p, new_flood)
+                .unwrap_or_else(|e| panic!("threads:{p} seed {seed} failed: {e}"));
+            prop_assert_eq!(run.outcome, outcome, "P={} seed {}", p, seed);
+            prop_assert_eq!(&run.stats, &stats, "P={} seed {}", p, seed);
+            prop_assert_eq!(
+                run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+                dists.clone(),
+                "P={} seed {}", p, seed
+            );
+        }
+    }
+
+    // Sparse schedules: the quiet-round fast-forward hints must
+    // aggregate identically through shard-level Done reports.
+    #[test]
+    fn sharded_threads_fast_forward_conforms(seed in 0u64..10_000) {
+        let n = 6usize;
+        let g = gen::ring(n, false, WeightDist::Constant(1), seed);
+        let (nodes, stats, outcome) = simulate(&g, None, 1000, new_sparse);
+        for p in shard_counts(n) {
+            let run = run_threads_sharded(&g, &transport_cfg(None), 1000, p, new_sparse)
+                .unwrap_or_else(|e| panic!("threads:{p} seed {seed} failed: {e}"));
+            prop_assert_eq!(run.outcome, outcome, "P={} seed {}", p, seed);
+            prop_assert_eq!(&run.stats, &stats, "P={} seed {}", p, seed);
+            prop_assert!(
+                stats.rounds_executed < stats.rounds,
+                "sparse schedule must fast-forward: {:?}", stats
+            );
+            prop_assert_eq!(
+                run.nodes.iter().map(|x| x.heard.clone()).collect::<Vec<_>>(),
+                nodes.iter().map(|x| x.heard.clone()).collect::<Vec<_>>(),
+                "P={} seed {}", p, seed
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    // The differential harness, socket plane: the sharded TCP backend
+    // (RoundBatch coalescing, writer threads, mux coordinator) at every
+    // canonical shard count against the simulator.
+    #[test]
+    fn sharded_tcp_conforms_for_canonical_shard_counts(seed in 0u64..10_000) {
+        let n = 9usize;
+        let g = gen::gnp_connected(n, 0.3, false, WeightDist::Constant(1), seed);
+        let (nodes, stats, outcome) = simulate(&g, None, 200, new_flood);
+        let dists: Vec<_> = nodes.iter().map(|f| f.dist).collect();
+        for p in shard_counts(n) {
+            let run = run_tcp_loopback_sharded(&g, &transport_cfg(None), 200, p, new_flood)
+                .unwrap_or_else(|e| panic!("tcp:{p} seed {seed} failed: {e}"));
+            prop_assert_eq!(run.outcome, outcome, "P={} seed {}", p, seed);
+            prop_assert_eq!(&run.stats, &stats, "P={} seed {}", p, seed);
+            prop_assert_eq!(
+                run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+                dists.clone(),
+                "P={} seed {}", p, seed
+            );
+        }
+    }
+
+    // Socket plane under faults: batched cross-shard frames must carry
+    // the fault-plan verdicts (including delayed deliveries that cross
+    // round boundaries) without disturbing per-link FIFO order.
+    #[test]
+    fn sharded_tcp_conforms_under_faults(seed in 0u64..10_000) {
+        let n = 8usize;
+        let g = gen::gnp_connected(n, 0.3, false, WeightDist::Constant(1), seed);
+        let faults = FaultPlan::new(seed ^ 0xfa57).with_drop(0.1).with_delay(0.2, 6);
+        let (nodes, stats, outcome) = simulate(&g, Some(faults.clone()), 300, new_flood);
+        let dists: Vec<_> = nodes.iter().map(|f| f.dist).collect();
+        for p in shard_counts(n) {
+            let run = run_tcp_loopback_sharded(&g, &transport_cfg(Some(faults.clone())), 300, p, new_flood)
+                .unwrap_or_else(|e| panic!("tcp:{p} seed {seed} failed: {e}"));
+            prop_assert_eq!(run.outcome, outcome, "P={} seed {}", p, seed);
+            prop_assert_eq!(&run.stats, &stats, "P={} seed {}", p, seed);
+            prop_assert_eq!(
+                run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+                dists.clone(),
+                "P={} seed {}", p, seed
+            );
+        }
+    }
 }
 
 #[test]
