@@ -6,8 +6,10 @@
 //! ```
 //!
 //! Re-runs the baseline workload set — the engine modes of
-//! [`dw_bench::engine_bench`] plus the `e15_transport` runtimes of
-//! [`dw_bench::transport_bench`] — and fails (exit 1) when any entry's
+//! [`dw_bench::engine_bench`], the `e15_transport` runtimes of
+//! [`dw_bench::transport_bench`], and (for baselines that record them)
+//! the `e16_*` recorded-phase and `scale_*` n≥50k sets — and fails
+//! (exit 1) when any entry's
 //! executed-rounds-per-second falls below `tolerance` × the checked-in
 //! baseline. Without `--baseline`, the highest-numbered `BENCH_*.json`
 //! in the working directory is used, so recording a new baseline file
@@ -30,7 +32,7 @@
 //! backends; a blowout here means coalescing regressed even if absolute
 //! throughput kept pace with a stale baseline.
 
-use dw_bench::engine_bench::{run_all, standard_modes, Measurement};
+use dw_bench::engine_bench::{run_all, run_scale, scale_modes, standard_modes, Measurement};
 use dw_bench::obs_bench::run_alg3_phases;
 use dw_bench::transport_bench::run_all_transport;
 use std::process::ExitCode;
@@ -165,9 +167,11 @@ fn main() -> ExitCode {
 
     let modes = standard_modes();
     // Only measure what the baseline can gate: pre-e15 baselines skip
-    // the transport pass, pre-e16 baselines the recorded-phase pass.
+    // the transport pass, pre-e16 baselines the recorded-phase pass,
+    // pre-BENCH_6 baselines the n≥50k scale pass.
     let want_transport = baseline.iter().any(|b| b.workload.starts_with("e15_"));
     let want_phases = baseline.iter().any(|b| b.workload.starts_with("e16_"));
+    let want_scale = baseline.iter().any(|b| b.workload.starts_with("scale_"));
     let measure_pass = || {
         let mut v = run_all(&modes);
         if want_transport {
@@ -175,6 +179,9 @@ fn main() -> ExitCode {
         }
         if want_phases {
             v.extend(run_alg3_phases(false));
+        }
+        if want_scale {
+            v.extend(run_scale(&scale_modes()));
         }
         v
     };

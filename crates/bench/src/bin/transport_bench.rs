@@ -1,10 +1,10 @@
-//! Measure runtime throughput and emit `BENCH_5.json`.
+//! Measure runtime throughput and emit `BENCH_6.json`.
 //!
 //! ```text
-//! transport_bench [--out BENCH_5.json] [--keep-pre EXISTING.json] [--smoke]
+//! transport_bench [--out BENCH_6.json] [--keep-pre EXISTING.json] [--smoke]
 //! ```
 //!
-//! `BENCH_5.json` supersedes `BENCH_4.json` as the `bench_check`
+//! `BENCH_6.json` supersedes `BENCH_5.json` as the `bench_check`
 //! baseline (the gate picks the highest-numbered `BENCH_*.json`): it
 //! contains the engine workload set of [`dw_bench::engine_bench`], the
 //! `e15_transport` set — threads-vs-simulator rounds/sec and TCP
@@ -12,13 +12,16 @@
 //! `e15_sharded_kssp` set — the sharded thread/TCP workers of
 //! `dw_transport::shard` on the n=256 k-SSP workload, whose TCP entry
 //! `bench_check` additionally holds to within 10x of the simulator —
-//! *plus* the `e16_alg3_phases` set: per-phase throughput of the
-//! recorded Algorithm 3 decomposition, so phase-level regressions are
-//! gated too. `--keep-pre` carries the frozen `"mode":"pre_pr"` history
-//! forward from an existing file. `--smoke` runs the reduced `e15`/`e16`
-//! instances and writes nothing — the `make bench-smoke` sanity pass.
+//! the `e16_alg3_phases` set: per-phase throughput of the recorded
+//! Algorithm 3 decomposition — *plus* the `scale_*` set: short-range
+//! SSSP and k-SSP at n≥50k with the inbox-slab memory gauges
+//! (`slab_bytes`/`slab_peak`) recorded per entry. `--keep-pre` carries
+//! the frozen `"mode":"pre_pr"` history forward from an existing file.
+//! `--smoke` runs the reduced `e15`/`e16` instances and writes nothing —
+//! the `make bench-smoke` sanity pass (the scale set is skipped there;
+//! `make scale-smoke` covers the 50k path with an RSS assertion).
 
-use dw_bench::engine_bench::{run_all, standard_modes, to_json_entries};
+use dw_bench::engine_bench::{run_all, run_scale, scale_modes, standard_modes, to_json_entries};
 use dw_bench::obs_bench::run_alg3_phases;
 use dw_bench::transport_bench::{print_entry, run_all_transport};
 
@@ -30,7 +33,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     let keep_pre = args
         .iter()
         .position(|a| a == "--keep-pre")
@@ -51,6 +54,7 @@ fn main() {
     let mut ms = run_all(&standard_modes());
     ms.extend(run_all_transport(false));
     ms.extend(run_alg3_phases(false));
+    ms.extend(run_scale(&scale_modes()));
     for m in &ms {
         print_entry(m);
     }

@@ -34,6 +34,12 @@ pub struct Measurement {
     pub wall_ms: f64,
     /// Executed rounds per wall-clock second.
     pub rounds_per_sec: f64,
+    /// Inbox-slab resident bytes (see [`RunStats::slab_bytes`]); zero for
+    /// runs measured through entry points that report plain `stats()`.
+    pub slab_bytes: u64,
+    /// Peak concurrently checked-out inbox buffers
+    /// (see [`RunStats::slab_peak`]); zero as for `slab_bytes`.
+    pub slab_peak: u64,
 }
 
 pub(crate) fn measure(
@@ -65,6 +71,8 @@ pub(crate) fn measure(
         messages: stats.messages,
         wall_ms,
         rounds_per_sec: stats.rounds_executed as f64 / wall.as_secs_f64().max(1e-9),
+        slab_bytes: stats.slab_bytes,
+        slab_peak: stats.slab_peak,
     }
 }
 
@@ -162,6 +170,93 @@ pub fn run_all(modes: &[(&'static str, EngineConfig)]) -> Vec<Measurement> {
     out
 }
 
+/// The engine modes measured on the n≥50k scale workloads: the active-set
+/// configurations only. `ExhaustivePoll` at this size mostly measures the
+/// poll loop itself (50k `earliest_send` queries per round for a frontier
+/// of a few hundred active nodes — the regime the scheduler exists to
+/// avoid) and would stretch the bench pass by minutes without gating
+/// anything the smaller `dense_ping` workload doesn't already cover.
+pub fn scale_modes() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("active_set", EngineConfig::default()),
+        (
+            "active_set_par",
+            EngineConfig {
+                parallel_threshold: 256,
+                threads: 4,
+                ..EngineConfig::default()
+            },
+        ),
+    ]
+}
+
+/// The n≥50k scale workload set behind the `scale_*` entries of
+/// `BENCH_6.json`. These drive [`Network`] directly (instead of the
+/// pipeline drivers) so the measurement can use
+/// [`Network::stats_with_memory`] and record the inbox-slab footprint
+/// alongside throughput.
+pub fn run_scale(modes: &[(&'static str, EngineConfig)]) -> Vec<Measurement> {
+    use pipeline::short_range::{short_range_gamma, ShortRangeNode};
+
+    let mut out = Vec::new();
+
+    // Algorithm 2 short-range SSSP on a 224×224 grid (n = 50_176): the
+    // bounded-degree planar workload of the large-graph regime. Source at
+    // the grid center so the whole h-hop ball is interior; in any given
+    // round the moving frontier keeps all but a sliver of the 50k nodes
+    // idle — the active-set scheduler's home turf.
+    let h: u64 = 64;
+    let (rows, cols) = (224usize, 224usize);
+    let src: NodeId = (112 * cols + 112) as NodeId;
+    let grid = workloads::scale_grid2d(rows, cols, 8, h as usize, src, 5001);
+    let gamma = short_range_gamma(h);
+    let budget = gamma.ceil_kappa(grid.delta, h) + 2;
+    for (mode, cfg) in modes {
+        let grid = &grid;
+        out.push(measure("scale_grid_short_range", mode, grid.n(), || {
+            let mut net = Network::new(&grid.graph, cfg.clone(), |v| {
+                ShortRangeNode::new(gamma, h, (v == src).then_some(0))
+            });
+            net.run(budget);
+            net.stats_with_memory()
+        }));
+    }
+
+    // E9-style k-SSP (Algorithm 1, hop bound n) on a 50k-node power-law
+    // graph: heavy-tailed degrees, 4 spread-out sources. Invariant
+    // tracking is off — at this size the workload measures the engine,
+    // not the invariant checker.
+    let sources: Vec<NodeId> = (0..4).map(|i| (i * 12_007) as NodeId).collect();
+    let pl = workloads::scale_power_law(50_000, 2, 4, &sources, 5002);
+    let k = sources.len() as u64;
+    let hop = pl.n() as u64;
+    let kgamma = pipeline::Gamma::new(k, hop, pl.delta);
+    let kbudget = 2 * pipeline::hk_round_bound(hop, k, pl.delta) + 2 * pl.n() as u64 + 128;
+    let mut is_source = vec![false; pl.n()];
+    for &s in &sources {
+        is_source[s as usize] = true;
+    }
+    for (mode, cfg) in modes {
+        let (pl, is_source) = (&pl, &is_source);
+        out.push(measure("scale_powerlaw_kssp", mode, pl.n(), || {
+            let mut net = Network::new(&pl.graph, cfg.clone(), |v| {
+                pipeline::node::PipelinedNode::with_admission(
+                    kgamma,
+                    hop,
+                    k,
+                    is_source[v as usize],
+                    false,
+                    pipeline::AdmissionRule::default(),
+                )
+            });
+            net.run(kbudget);
+            net.stats_with_memory()
+        }));
+    }
+
+    out
+}
+
 /// Render measurements as the `BENCH_2.json` entry list (flat objects, so
 /// the regression gate can parse them with a trivial scanner).
 pub fn to_json_entries(ms: &[Measurement]) -> String {
@@ -171,8 +266,8 @@ pub fn to_json_entries(ms: &[Measurement]) -> String {
             s.push_str(",\n");
         }
         s.push_str(&format!(
-            "    {{\"workload\":\"{}\",\"mode\":\"{}\",\"n\":{},\"rounds\":{},\"rounds_executed\":{},\"messages\":{},\"wall_ms\":{:.3},\"rounds_per_sec\":{:.1}}}",
-            m.workload, m.mode, m.n, m.rounds, m.rounds_executed, m.messages, m.wall_ms, m.rounds_per_sec
+            "    {{\"workload\":\"{}\",\"mode\":\"{}\",\"n\":{},\"rounds\":{},\"rounds_executed\":{},\"messages\":{},\"wall_ms\":{:.3},\"rounds_per_sec\":{:.1},\"slab_bytes\":{},\"slab_peak\":{}}}",
+            m.workload, m.mode, m.n, m.rounds, m.rounds_executed, m.messages, m.wall_ms, m.rounds_per_sec, m.slab_bytes, m.slab_peak
         ));
     }
     s

@@ -72,6 +72,8 @@ pub fn run_alg3_phases(smoke: bool) -> Vec<Measurement> {
                 messages: p.stats.messages,
                 wall_ms: p.wall_ns as f64 / 1e6,
                 rounds_per_sec: p.stats.rounds_executed as f64 / wall_s,
+                slab_bytes: p.stats.slab_bytes,
+                slab_peak: p.stats.slab_peak,
             }
         })
         .collect()

@@ -1,7 +1,7 @@
 //! Named workloads shared by the experiments and criterion benches.
 
 use dw_graph::gen::{self, WeightDist};
-use dw_graph::{WGraph, Weight};
+use dw_graph::{NodeId, WGraph, Weight};
 
 /// A reproducible workload: a graph plus the Δ parameters experiments
 /// need (computed once, centrally — the same role the paper's "distances
@@ -21,6 +21,19 @@ impl Workload {
             name: name.into(),
             graph,
             delta,
+        }
+    }
+
+    /// As [`Workload::new`] with a caller-supplied `Δ`. At the scale
+    /// workloads' sizes (50k+ nodes) the full APSP behind
+    /// [`dw_seqref::max_finite_distance`] is infeasible (2.5G pairs), so
+    /// the constructors below compute the `Δ` their specific run needs —
+    /// from the run's own sources only — and pass it in here.
+    pub fn with_delta(name: impl Into<String>, graph: WGraph, delta: Weight) -> Self {
+        Workload {
+            name: name.into(),
+            graph,
+            delta: delta.max(1),
         }
     }
 
@@ -101,6 +114,52 @@ pub fn grid(rows: usize, cols: usize, w_max: Weight, seed: u64) -> Workload {
             },
             seed,
         ),
+    )
+}
+
+/// Scale workload: `rows × cols` 2-D grid via the streaming generator,
+/// for single-source short-range SSSP from `source` with hop bound `h`.
+/// `Δ` is the max finite h-hop distance *from that source* (one h-hop
+/// Bellman–Ford pass, `O(h·m)`) — exactly the bound the short-range round
+/// budget needs, where the all-pairs variant would be `O(n·h·m)`.
+pub fn scale_grid2d(
+    rows: usize,
+    cols: usize,
+    w_max: Weight,
+    h: usize,
+    source: NodeId,
+    seed: u64,
+) -> Workload {
+    let g = gen::grid2d(rows, cols, WeightDist::Uniform { max: w_max }, seed);
+    let delta = dw_seqref::h_hop_sssp(&g, source, h)
+        .iter()
+        .filter(|hd| hd.is_reachable())
+        .map(|hd| hd.dist)
+        .max()
+        .unwrap_or(0);
+    Workload::with_delta(
+        format!("grid2d({rows}x{cols},W={w_max},s={seed})"),
+        g,
+        delta,
+    )
+}
+
+/// Scale workload: preferential-attachment power-law graph for k-SSP from
+/// the given sources. `Δ` is the max finite distance from those sources
+/// (`k` Dijkstra passes — the only rows the run computes).
+pub fn scale_power_law(
+    n: usize,
+    attach: usize,
+    w_max: Weight,
+    sources: &[NodeId],
+    seed: u64,
+) -> Workload {
+    let g = gen::power_law(n, attach, WeightDist::Uniform { max: w_max }, seed);
+    let delta = dw_seqref::k_source_dijkstra(&g, sources).max_finite();
+    Workload::with_delta(
+        format!("power-law(n={n},a={attach},W={w_max},s={seed})"),
+        g,
+        delta,
     )
 }
 

@@ -20,12 +20,30 @@
 //! (where fault decisions are applied), and quiet-round fast-forward.
 //!
 //! Hot paths are allocation-free in steady state: per-node [`Outbox`]
-//! buffers and inbox `Vec`s are reused round to round, delivery marks a
-//! dirty-inbox list so the receive phase and the late-delivery sort touch
-//! only mailboxes that actually got mail, and a broadcast allocates its
-//! payload once (shared via `Arc`) instead of cloning per neighbor. The
-//! parallel phases run on a persistent [`WorkerPool`] with chunk-ordered
-//! writes into disjoint slots, replacing per-round thread spawns.
+//! buffers are reused round to round, inboxes live in a recycled
+//! [`Slab`] (a node holds a buffer only between its first delivery and
+//! its receive, so resident memory tracks the per-round dirty set, not
+//! `n`), delivery marks a dirty-inbox list so the receive phase and the
+//! late-delivery sort touch only mailboxes that actually got mail, and a
+//! broadcast allocates its payload exactly once (shared via `Arc` with
+//! index-only fan-out — no per-recipient clone). The parallel phases run
+//! on a persistent [`WorkerPool`] with chunk-ordered writes into
+//! disjoint slots, replacing per-round thread spawns.
+//!
+//! For scale, the active-set schedule is **sharded**: nodes are split
+//! into contiguous chunks (aligned with the worker-pool partitions),
+//! each with its own lazy min-heap, so the schedule refresh — the
+//! per-round `earliest_send` queries — parallelizes with disjoint
+//! writes. Soundness is unchanged: each shard's heap maintains the exact
+//! invariant the global heap did, restricted to its node range, and the
+//! due set is the (sorted) union of the per-shard pops, which is the
+//! same set the global heap would pop. A **density fallback** switches
+//! to exhaustive polling while almost every node is active each round
+//! (see [`EngineConfig::dense_poll_fraction`]): polling a node early is
+//! a no-op under the `earliest_send` contract, so the fallback is
+//! bit-identical while skipping all heap bookkeeping on dense rounds.
+
+use crate::slab::{Slab, SlabRef};
 
 use crate::fault::{FaultAction, FaultPlan};
 use crate::message::Envelope;
@@ -74,6 +92,24 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Node polling strategy; see [`SchedulingMode`].
     pub scheduling: SchedulingMode,
+    /// Number of contiguous node chunks the active-set schedule is
+    /// sharded into (each with its own lazy min-heap, enabling a
+    /// disjoint-write parallel schedule refresh). `0` means auto: one
+    /// shard per worker thread. Any value yields bit-identical runs —
+    /// this is a layout knob, not a semantic one.
+    pub schedule_shards: usize,
+    /// Density fallback threshold for [`SchedulingMode::ActiveSet`]:
+    /// when the due set of a round reaches this fraction of `n`, the
+    /// engine stops maintaining the schedule heaps and polls every node
+    /// (heap bookkeeping is pure overhead when nearly everyone is active
+    /// — the BENCH_5 e2 regression). It returns to heap scheduling — via
+    /// a full `earliest_send` rescan — once the fraction of nodes that
+    /// actually *sent* drops below half this threshold (hysteresis, so
+    /// workloads hovering at the boundary don't thrash). Polling a node
+    /// before its due round is a no-op under the `earliest_send`
+    /// contract, so both transitions are bit-identical to never
+    /// switching. Set above `1.0` to disable.
+    pub dense_poll_fraction: f64,
     /// Optional deterministic fault injection (see [`crate::fault`]).
     /// `None` leaves the delivery path byte-identical to the fault-free
     /// engine.
@@ -90,6 +126,8 @@ impl Default for EngineConfig {
                 .map(|p| p.get())
                 .unwrap_or(1),
             scheduling: SchedulingMode::ActiveSet,
+            schedule_shards: 0,
+            dense_poll_fraction: 0.5,
             faults: None,
         }
     }
@@ -127,9 +165,10 @@ impl FaultTally {
 }
 
 /// The simulator's [`SendSink`]: applies fault decisions and pushes
-/// envelopes straight into the recipients' in-memory inboxes.
+/// envelopes straight into the recipients' slab-backed inboxes.
 struct EngineSink<'a, M> {
-    inboxes: &'a mut [Vec<Envelope<M>>],
+    slab: &'a mut Slab<Envelope<M>>,
+    inbox_ref: &'a mut [SlabRef],
     dirty: &'a mut Vec<NodeId>,
     inbox_mark: &'a mut [Round],
     pending: &'a mut DelayedQueue<M>,
@@ -140,28 +179,29 @@ struct EngineSink<'a, M> {
 }
 
 impl<M: Clone> EngineSink<'_, M> {
-    /// Record that `v`'s inbox got mail this round (at most one `dirty`
-    /// entry per node per round).
+    /// The inbox buffer for `v`, acquiring a slab slot on the first
+    /// delivery of the round (which also marks `v` dirty — at most one
+    /// `dirty` entry per node per round).
     #[inline]
-    fn mark_dirty(&mut self, v: NodeId) {
+    fn inbox_of(&mut self, v: NodeId) -> &mut Vec<Envelope<M>> {
         let i = v as usize;
         if self.inbox_mark[i] != self.round {
             self.inbox_mark[i] = self.round;
             self.dirty.push(v);
+            self.inbox_ref[i] = self.slab.acquire();
         }
+        self.slab.get_mut(self.inbox_ref[i])
     }
 
     /// The sender occupied the link either way; only delivery is faulted.
     fn deliver(&mut self, u: NodeId, v: NodeId, env: Envelope<M>) {
         let Some(plan) = self.faults else {
-            self.inboxes[v as usize].push(env);
-            self.mark_dirty(v);
+            self.inbox_of(v).push(env);
             return;
         };
         match plan.decide(u, v, self.round) {
             FaultAction::Deliver => {
-                self.inboxes[v as usize].push(env);
-                self.mark_dirty(v);
+                self.inbox_of(v).push(env);
             }
             FaultAction::Drop => {
                 self.tally.dropped += 1;
@@ -170,9 +210,9 @@ impl<M: Clone> EngineSink<'_, M> {
                 self.tally.outage_dropped += 1;
             }
             FaultAction::Duplicate => {
-                self.inboxes[v as usize].push(env.clone());
-                self.inboxes[v as usize].push(env);
-                self.mark_dirty(v);
+                let inbox = self.inbox_of(v);
+                inbox.push(env.clone());
+                inbox.push(env);
                 self.tally.duplicated += 1;
             }
             FaultAction::Delay(d) => {
@@ -193,21 +233,28 @@ impl<M: Clone> SendSink<M> for EngineSink<'_, M> {
     }
 
     fn broadcast(&mut self, from: NodeId, nbrs: &[NodeId], msg: M, _words: usize) {
-        if std::mem::size_of::<M>() <= 32 {
-            // Small payloads are copied inline: Arc sharing costs an
-            // allocation up front and a pointer chase per read, which for
-            // word-sized messages is slower than the copy itself.
+        // Zero-copy means "never duplicate a heap payload per recipient",
+        // not "always share". Word-sized plain-old-data messages
+        // (`needs_drop` = false guarantees the clone is a flat memcpy)
+        // are cheaper to copy than to share: an `Arc` costs an allocation
+        // per broadcast plus two atomics per delivery, which dense
+        // small-message workloads (BENCH `dense_ping`) pay millions of
+        // times per run. Both conditions are compile-time constants, so
+        // each monomorphization keeps exactly one arm.
+        if !std::mem::needs_drop::<M>() && std::mem::size_of::<M>() <= 32 {
             for &v in nbrs {
                 (self.on_msg)(from, v, &msg);
                 self.deliver(from, v, Envelope::new(from, msg.clone()));
             }
-        } else {
-            // One payload allocation shared by all recipients.
-            let payload = Arc::new(msg);
-            for &v in nbrs {
-                (self.on_msg)(from, v, &payload);
-                self.deliver(from, v, Envelope::shared(from, Arc::clone(&payload)));
-            }
+            return;
+        }
+        // The payload owns heap memory (or is large): allocate it exactly
+        // once and fan out `(from, Arc)` envelopes — no per-recipient
+        // clone of the message itself.
+        let payload = Arc::new(msg);
+        for &v in nbrs {
+            (self.on_msg)(from, v, &payload);
+            self.deliver(from, v, Envelope::shared(from, Arc::clone(&payload)));
         }
     }
 }
@@ -218,14 +265,23 @@ pub struct Network<'g, P: Protocol> {
     cfg: EngineConfig,
     runners: Vec<NodeRunner<P>>,
     round: Round,
-    inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// Recycled inbox buffers; a node holds a slot only between its first
+    /// delivery of a round and its receive.
+    slab: Slab<Envelope<P::Msg>>,
+    /// Per-node handle into `slab` (`SlabRef::NONE` when idle).
+    inbox_ref: Vec<SlabRef>,
     /// Authoritative cached next-send round per node; `Round::MAX` means
     /// dormant (will not send until woken by a receive).
     next_send: Vec<Round>,
-    /// Lazy min-heap over `(next_send[v], v)`. An entry is valid iff its
-    /// round still equals `next_send[v]`; stale entries are discarded at
-    /// pop time.
-    heap: BinaryHeap<Reverse<(Round, NodeId)>>,
+    /// Per-shard lazy min-heaps over `(next_send[v], v)`, shard `s`
+    /// covering node ids `[s * shard_size, (s+1) * shard_size)`. An entry
+    /// is valid iff its round still equals `next_send[v]`; stale entries
+    /// are discarded at pop time.
+    heaps: Vec<BinaryHeap<Reverse<(Round, NodeId)>>>,
+    /// Nodes per schedule shard (the last shard may be short).
+    shard_size: usize,
+    /// Density fallback engaged: poll everyone, skip heap bookkeeping.
+    dense_mode: bool,
     /// Scratch: nodes polled this round (sorted, deduped).
     active_scratch: Vec<NodeId>,
     /// Scratch: nodes whose inbox got mail this round.
@@ -256,15 +312,27 @@ impl<'g, P: Protocol> Network<'g, P> {
         for r in runners.iter_mut() {
             r.init(g);
         }
+        // Schedule shard layout: `0` shards means one per worker thread.
+        // Any layout is bit-identical (the due set is the sorted union of
+        // per-shard pops either way), so this only affects parallelism.
+        let want = if cfg.schedule_shards == 0 {
+            cfg.threads
+        } else {
+            cfg.schedule_shards
+        };
+        let shards = want.clamp(1, n.max(1));
+        let shard_size = n.div_ceil(shards).max(1);
+        let heap_count = if n == 0 { 1 } else { (n - 1) / shard_size + 1 };
+        let mut heaps: Vec<BinaryHeap<Reverse<(Round, NodeId)>>> =
+            (0..heap_count).map(|_| BinaryHeap::new()).collect();
         // Seed the active-set schedule from the post-init node states.
         let mut next_send = vec![Round::MAX; n];
-        let mut heap = BinaryHeap::new();
         if cfg.scheduling == SchedulingMode::ActiveSet {
             for (v, runner) in runners.iter().enumerate() {
                 if let Some(r) = runner.earliest_send(1, g) {
                     debug_assert!(r >= 1, "earliest_send must be >= after");
                     next_send[v] = r;
-                    heap.push(Reverse((r, v as NodeId)));
+                    heaps[v / shard_size].push(Reverse((r, v as NodeId)));
                 }
             }
         }
@@ -273,9 +341,12 @@ impl<'g, P: Protocol> Network<'g, P> {
             cfg,
             runners,
             round: 0,
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            slab: Slab::new(),
+            inbox_ref: vec![SlabRef::NONE; n],
             next_send,
-            heap,
+            heaps,
+            shard_size,
+            dense_mode: false,
             active_scratch: Vec::new(),
             dirty: Vec::new(),
             inbox_mark: vec![0; n],
@@ -367,11 +438,12 @@ impl<'g, P: Protocol> Network<'g, P> {
             let (_, batch) = self.pending.pop_first().expect("checked non-empty");
             for (v, env) in batch {
                 let i = v as usize;
-                self.inboxes[i].push(env);
                 if self.inbox_mark[i] != round {
                     self.inbox_mark[i] = round;
                     self.dirty.push(v);
+                    self.inbox_ref[i] = self.slab.acquire();
                 }
+                self.slab.get_mut(self.inbox_ref[i]).push(env);
                 late += 1;
             }
         }
@@ -400,19 +472,35 @@ impl<'g, P: Protocol> Network<'g, P> {
         let mut active = std::mem::take(&mut self.active_scratch);
         match self.cfg.scheduling {
             SchedulingMode::ExhaustivePoll => active.extend(0..n as NodeId),
+            SchedulingMode::ActiveSet if self.dense_mode => {
+                // Density fallback: poll everyone. Sound because polling a
+                // node before its true send round is a no-op (the same
+                // contract the ExhaustivePoll conformance relies on).
+                active.extend(0..n as NodeId);
+            }
             SchedulingMode::ActiveSet => {
-                while let Some(&Reverse((r, v))) = self.heap.peek() {
-                    if r > round {
-                        break;
-                    }
-                    self.heap.pop();
-                    // Stale entries (superseded schedule) are discarded.
-                    if self.next_send[v as usize] == r {
-                        active.push(v);
+                let next_send = &self.next_send;
+                for heap in self.heaps.iter_mut() {
+                    while let Some(&Reverse((r, v))) = heap.peek() {
+                        if r > round {
+                            break;
+                        }
+                        heap.pop();
+                        // Stale entries (superseded schedule) are discarded.
+                        if next_send[v as usize] == r {
+                            active.push(v);
+                        }
                     }
                 }
                 active.sort_unstable();
                 active.dedup();
+                // Dense-entry check: when almost everyone is due, heap
+                // bookkeeping is pure overhead — switch to full polling.
+                if (active.len() as f64) >= self.cfg.dense_poll_fraction * n as f64 {
+                    self.dense_mode = true;
+                    active.clear();
+                    active.extend(0..n as NodeId);
+                }
             }
         }
 
@@ -429,10 +517,12 @@ impl<'g, P: Protocol> Network<'g, P> {
 
         // --- delivery (sequential: validates constraints, deterministic) ---
         let mut sent_this_round = 0u64;
+        let mut senders = 0usize;
         {
             let g = self.g;
             let mut sink = EngineSink {
-                inboxes: &mut self.inboxes,
+                slab: &mut self.slab,
+                inbox_ref: &mut self.inbox_ref,
                 dirty: &mut self.dirty,
                 inbox_mark: &mut self.inbox_mark,
                 pending: &mut self.pending,
@@ -449,12 +539,17 @@ impl<'g, P: Protocol> Network<'g, P> {
                     self.cfg.enforce_link_capacity,
                     &mut sink,
                 );
-                // Flag only when a message actually hit a link (a broadcast
-                // from a neighborless node transmits nothing): the hot-path
-                // reschedule below must imply the round is busy, or it would
-                // distort `run`'s quiet-round jumps.
-                if sent > 0 && self.cfg.scheduling == SchedulingMode::ActiveSet {
-                    self.sent_flag[u as usize] = true;
+                if sent > 0 {
+                    senders += 1;
+                    // Flag only when a message actually hit a link (a
+                    // broadcast from a neighborless node transmits nothing):
+                    // the hot-path reschedule below must imply the round is
+                    // busy, or it would distort `run`'s quiet-round jumps.
+                    // In dense mode the flag stays clear — there is no heap
+                    // state to keep warm.
+                    if self.cfg.scheduling == SchedulingMode::ActiveSet && !self.dense_mode {
+                        self.sent_flag[u as usize] = true;
+                    }
                 }
                 sent_this_round += sent;
             }
@@ -472,7 +567,7 @@ impl<'g, P: Protocol> Network<'g, P> {
             // stable sort is the identity on every other inbox, so sorting
             // just these is bit-identical to sorting all of them.
             for &v in &dirty[..late_prefix] {
-                let inbox = &mut self.inboxes[v as usize];
+                let inbox = self.slab.get_mut(self.inbox_ref[v as usize]);
                 if inbox.len() > 1 {
                     inbox.sort_by_key(|e| e.from);
                 }
@@ -484,64 +579,43 @@ impl<'g, P: Protocol> Network<'g, P> {
             if par_recv {
                 self.receive_phase_parallel(round, &dirty);
             } else {
+                let runners = &mut self.runners;
+                let slab = &self.slab;
                 let g = self.g;
                 for &v in &dirty {
                     let i = v as usize;
-                    self.runners[i].receive(round, &self.inboxes[i], g);
-                    self.inboxes[i].clear();
+                    runners[i].receive(round, slab.get(self.inbox_ref[i]), g);
                 }
+            }
+            // Return every touched buffer to the pool (cheap: the parallel
+            // path already cleared them; release just recycles the slot).
+            for &v in &dirty {
+                let i = v as usize;
+                self.slab.release(self.inbox_ref[i]);
+                self.inbox_ref[i] = SlabRef::NONE;
             }
         }
 
         // --- schedule refresh: polled nodes and woken (dirty) nodes ---
-        if self.cfg.scheduling == SchedulingMode::ActiveSet {
-            let g = self.g;
-            for &v in &active {
-                // Popped nodes lost their heap entry; always reinstall.
-                let i = v as usize;
-                if self.sent_flag[i] {
-                    // Sender-stays-hot: a node that sent this round is
-                    // simply re-polled next round instead of paying an
-                    // `earliest_send` query (which may scan protocol
-                    // state). This is unobservable: `run` always executes
-                    // the round after a busy one before considering a
-                    // jump, and polling a node before its true send round
-                    // is a no-op, after which the exact query runs. At
-                    // jump time every surviving heap entry is exact,
-                    // because a conservative entry is consumed in the
-                    // very next executed round and is only ever pushed in
-                    // a busy (non-jumping) round.
-                    self.sent_flag[i] = false;
-                    self.next_send[i] = round + 1;
-                    self.heap.push(Reverse((round + 1, v)));
-                    continue;
-                }
-                match self.runners[i].earliest_send(round + 1, g) {
-                    Some(r) => {
-                        debug_assert!(r > round, "earliest_send must be in the future");
-                        self.next_send[i] = r;
-                        self.heap.push(Reverse((r, v)));
-                    }
-                    None => self.next_send[i] = Round::MAX,
-                }
+        if self.cfg.scheduling == SchedulingMode::ActiveSet && !self.dense_mode {
+            let par_refresh = active.len() + dirty.len() >= self.cfg.parallel_threshold
+                && self.cfg.threads > 1
+                && self.heaps.len() > 1;
+            if par_refresh {
+                self.refresh_schedule_parallel(round, &active, &dirty);
+            } else {
+                self.refresh_schedule(round, &active, &dirty);
             }
-            for &v in &dirty {
-                if active.binary_search(&v).is_ok() {
-                    continue; // already refreshed above
-                }
-                let i = v as usize;
-                let r_new = self.runners[i]
-                    .earliest_send(round + 1, g)
-                    .unwrap_or(Round::MAX);
-                if r_new != self.next_send[i] {
-                    self.next_send[i] = r_new;
-                    if r_new != Round::MAX {
-                        debug_assert!(r_new > round, "earliest_send must be in the future");
-                        self.heap.push(Reverse((r_new, v)));
-                    }
-                    // The superseded heap entry (if any) is now stale and
-                    // will be discarded at pop time.
-                }
+        } else if self.cfg.scheduling == SchedulingMode::ActiveSet {
+            // Dense exit (hysteresis): once actual senders drop below half
+            // the entry fraction, heap scheduling pays again. A full
+            // rescan re-seeds the schedule. A quiet round (zero senders)
+            // exits unconditionally — even at threshold 0 — so `run`'s
+            // fast-forward only ever consults the heaps in non-dense
+            // state.
+            if senders == 0 || (senders as f64) < self.cfg.dense_poll_fraction * 0.5 * n as f64 {
+                self.rebuild_schedule(round);
+                self.dense_mode = false;
             }
         }
 
@@ -591,7 +665,8 @@ impl<'g, P: Protocol> Network<'g, P> {
         let g = self.g;
         let chunk = dirty.len().div_ceil(self.cfg.threads).max(1);
         let runners = Ptr(self.runners.as_mut_ptr());
-        let inboxes = Ptr(self.inboxes.as_mut_ptr());
+        let (bufs, gens) = self.slab.raw_parts();
+        let refs: &[SlabRef] = &self.inbox_ref;
         let pool = self.pool.as_ref().expect("pool just created");
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = dirty
             .chunks(chunk)
@@ -599,10 +674,18 @@ impl<'g, P: Protocol> Network<'g, P> {
                 Box::new(move || {
                     for &v in ch {
                         // SAFETY: dirty ids are sorted and unique (stamp
-                        // dedup); chunks are disjoint; pool.run blocks
-                        // until all jobs finish.
+                        // dedup), each holds a distinct live slab slot, and
+                        // chunks are disjoint — so each runner index and
+                        // each slot index is touched by exactly one job;
+                        // pool.run blocks until all jobs finish.
+                        let r = refs[v as usize];
+                        debug_assert_eq!(
+                            gens[r.slot()],
+                            r.generation(),
+                            "stale slab handle in parallel receive"
+                        );
                         let runner = unsafe { runners.at(v as usize) };
-                        let inbox = unsafe { inboxes.at(v as usize) };
+                        let inbox = unsafe { bufs.at(r.slot()) };
                         runner.receive(round, inbox, g);
                         inbox.clear();
                     }
@@ -610,6 +693,163 @@ impl<'g, P: Protocol> Network<'g, P> {
             })
             .collect();
         pool.run(jobs);
+    }
+
+    /// Shard index owning node `v`.
+    #[inline]
+    fn shard_of(&self, v: NodeId) -> usize {
+        v as usize / self.shard_size
+    }
+
+    /// Sequential schedule refresh after round `round`: reinstall heap
+    /// entries for polled nodes, re-query woken (dirty-but-not-polled)
+    /// nodes.
+    fn refresh_schedule(&mut self, round: Round, active: &[NodeId], dirty: &[NodeId]) {
+        let g = self.g;
+        for &v in active {
+            // Popped nodes lost their heap entry; always reinstall.
+            let i = v as usize;
+            let shard = self.shard_of(v);
+            if self.sent_flag[i] {
+                // Sender-stays-hot: a node that sent this round is
+                // simply re-polled next round instead of paying an
+                // `earliest_send` query (which may scan protocol
+                // state). This is unobservable: `run` always executes
+                // the round after a busy one before considering a
+                // jump, and polling a node before its true send round
+                // is a no-op, after which the exact query runs. At
+                // jump time every surviving heap entry is exact,
+                // because a conservative entry is consumed in the
+                // very next executed round and is only ever pushed in
+                // a busy (non-jumping) round.
+                self.sent_flag[i] = false;
+                self.next_send[i] = round + 1;
+                self.heaps[shard].push(Reverse((round + 1, v)));
+                continue;
+            }
+            match self.runners[i].earliest_send(round + 1, g) {
+                Some(r) => {
+                    debug_assert!(r > round, "earliest_send must be in the future");
+                    self.next_send[i] = r;
+                    self.heaps[shard].push(Reverse((r, v)));
+                }
+                None => self.next_send[i] = Round::MAX,
+            }
+        }
+        for &v in dirty {
+            if active.binary_search(&v).is_ok() {
+                continue; // already refreshed above
+            }
+            let i = v as usize;
+            let r_new = self.runners[i]
+                .earliest_send(round + 1, g)
+                .unwrap_or(Round::MAX);
+            if r_new != self.next_send[i] {
+                self.next_send[i] = r_new;
+                if r_new != Round::MAX {
+                    debug_assert!(r_new > round, "earliest_send must be in the future");
+                    let shard = self.shard_of(v);
+                    self.heaps[shard].push(Reverse((r_new, v)));
+                }
+                // The superseded heap entry (if any) is now stale and
+                // will be discarded at pop time.
+            }
+        }
+    }
+
+    /// Parallel schedule refresh: one job per shard, operating on the
+    /// shard's contiguous subranges of `active` and `dirty` with disjoint
+    /// writes into its own heap / `next_send` / `sent_flag` slots.
+    ///
+    /// Bit-identical to [`Network::refresh_schedule`]: that loop visits
+    /// active (sorted) then dirty (sorted), so restricted to one shard it
+    /// performs exactly the insertion sequence the shard job performs,
+    /// and heap contents per shard are therefore identical. The pop order
+    /// across shards is re-sorted into the global order at poll time.
+    fn refresh_schedule_parallel(&mut self, round: Round, active: &[NodeId], dirty: &[NodeId]) {
+        self.ensure_pool();
+        let g = self.g;
+        let shard_size = self.shard_size;
+        let heaps = Ptr(self.heaps.as_mut_ptr());
+        let next_send = Ptr(self.next_send.as_mut_ptr());
+        let sent_flag = Ptr(self.sent_flag.as_mut_ptr());
+        let runners = Ptr(self.runners.as_mut_ptr());
+        let pool = self.pool.as_ref().expect("pool just created");
+        let shard_count = self.heaps.len();
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(shard_count);
+        let (mut a_lo, mut d_lo) = (0usize, 0usize);
+        for s in 0..shard_count {
+            let hi = ((s + 1) * shard_size) as NodeId;
+            let a_hi = a_lo + active[a_lo..].partition_point(|&v| v < hi);
+            let d_hi = d_lo + dirty[d_lo..].partition_point(|&v| v < hi);
+            let (active_s, dirty_s) = (&active[a_lo..a_hi], &dirty[d_lo..d_hi]);
+            (a_lo, d_lo) = (a_hi, d_hi);
+            if active_s.is_empty() && dirty_s.is_empty() {
+                continue;
+            }
+            jobs.push(Box::new(move || {
+                // SAFETY: all node ids here lie in shard `s`'s range and
+                // shard ranges are disjoint, so each runner, `next_send` /
+                // `sent_flag` slot, and the shard heap are touched by
+                // exactly one job; pool.run blocks until all jobs finish.
+                let heap = unsafe { heaps.at(s) };
+                for &v in active_s {
+                    let i = v as usize;
+                    let flag = unsafe { sent_flag.at(i) };
+                    if *flag {
+                        *flag = false;
+                        *unsafe { next_send.at(i) } = round + 1;
+                        heap.push(Reverse((round + 1, v)));
+                        continue;
+                    }
+                    let runner = unsafe { runners.at(i) };
+                    match runner.earliest_send(round + 1, g) {
+                        Some(r) => {
+                            debug_assert!(r > round, "earliest_send must be in the future");
+                            *unsafe { next_send.at(i) } = r;
+                            heap.push(Reverse((r, v)));
+                        }
+                        None => *unsafe { next_send.at(i) } = Round::MAX,
+                    }
+                }
+                for &v in dirty_s {
+                    if active_s.binary_search(&v).is_ok() {
+                        continue;
+                    }
+                    let i = v as usize;
+                    let runner = unsafe { runners.at(i) };
+                    let r_new = runner.earliest_send(round + 1, g).unwrap_or(Round::MAX);
+                    let slot = unsafe { next_send.at(i) };
+                    if r_new != *slot {
+                        *slot = r_new;
+                        if r_new != Round::MAX {
+                            debug_assert!(r_new > round, "earliest_send must be in the future");
+                            heap.push(Reverse((r_new, v)));
+                        }
+                    }
+                }
+            }) as Box<dyn FnOnce() + Send + '_>);
+        }
+        pool.run(jobs);
+    }
+
+    /// Re-seed the schedule from scratch (dense-mode exit): clear every
+    /// shard heap and re-query `earliest_send` for all nodes.
+    fn rebuild_schedule(&mut self, round: Round) {
+        let g = self.g;
+        for heap in self.heaps.iter_mut() {
+            heap.clear();
+        }
+        for (v, runner) in self.runners.iter().enumerate() {
+            match runner.earliest_send(round + 1, g) {
+                Some(r) => {
+                    debug_assert!(r > round, "earliest_send must be in the future");
+                    self.next_send[v] = r;
+                    self.heaps[v / self.shard_size].push(Reverse((r, v as NodeId)));
+                }
+                None => self.next_send[v] = Round::MAX,
+            }
+        }
     }
 
     /// Earliest future send round across all nodes, by scanning every
@@ -627,17 +867,26 @@ impl<'g, P: Protocol> Network<'g, P> {
     }
 
     /// Earliest future send round across all nodes, from the schedule
-    /// heap ([`SchedulingMode::ActiveSet`]'s quiet path): discard stale
-    /// tops, then peek. O(stale log n) amortized instead of O(n).
+    /// heaps ([`SchedulingMode::ActiveSet`]'s quiet path): per shard,
+    /// discard stale tops then peek; take the minimum over shards.
+    /// O(stale log n) amortized instead of O(n). Only called in non-dense
+    /// state (a quiet round always exits dense mode first).
     fn next_scheduled(&mut self) -> Option<Round> {
-        while let Some(&Reverse((r, v))) = self.heap.peek() {
-            if self.next_send[v as usize] == r {
-                debug_assert!(r > self.round, "schedule must be in the future");
-                return Some(r);
+        debug_assert!(!self.dense_mode, "quiet rounds exit dense mode");
+        let round = self.round;
+        let next_send = &self.next_send;
+        let mut next: Option<Round> = None;
+        for heap in self.heaps.iter_mut() {
+            while let Some(&Reverse((r, v))) = heap.peek() {
+                if next_send[v as usize] == r {
+                    debug_assert!(r > round, "schedule must be in the future");
+                    next = Some(next.map_or(r, |cur| cur.min(r)));
+                    break;
+                }
+                heap.pop();
             }
-            self.heap.pop();
         }
-        None
+        next
     }
 
     /// Run until the protocol goes quiet or `max_rounds` have elapsed.
@@ -737,7 +986,20 @@ impl<'g, P: Protocol> Network<'g, P> {
             duplicated: self.tally.duplicated,
             delayed: self.tally.delayed,
             late_delivered: self.tally.late_delivered,
+            ..RunStats::default()
         }
+    }
+
+    /// As [`Network::stats`], additionally filling the memory counters
+    /// (`slab_bytes` / `slab_peak`) from the inbox slab. Kept separate so
+    /// plain `stats()` stays bit-comparable across runtimes that have no
+    /// slab (the sim↔transport conformance suites compare `RunStats`
+    /// structs wholesale).
+    pub fn stats_with_memory(&self) -> RunStats {
+        let mut s = self.stats();
+        s.slab_bytes = self.slab.resident_bytes() as u64;
+        s.slab_peak = self.slab.peak_live() as u64;
+        s
     }
 
     /// Per-node send-round counts (Algorithm 2's per-node congestion).

@@ -37,6 +37,7 @@ pub mod protocol;
 pub mod reliable;
 pub mod runner;
 pub mod scheduler;
+pub mod slab;
 pub mod trace;
 
 pub use codec::WireCodec;

@@ -24,6 +24,7 @@ use crate::fault::FaultAction;
 use crate::message::{Envelope, MsgSize};
 use crate::outbox::{Outbox, SendOp};
 use crate::protocol::{NodeCtx, Protocol, Round};
+use crate::slab::{Slab, SlabRef};
 use dw_graph::{NodeId, WGraph};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -210,10 +211,31 @@ where
     let mut last_activity: u64 = 0;
     let mut messages: u64 = 0;
     let mut stats_stalls = vec![0u64; k];
-    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    // Inboxes live in a recycled slab: a node holds a buffer only between
+    // its first delivery of a committed round and its receive, so resident
+    // memory tracks the per-round receiver set across all instances, not
+    // `k * n`. The first delivery doubles as the receiver-set insert.
+    let mut slab: Slab<Envelope<P::Msg>> = Slab::new();
+    let mut inbox_ref: Vec<SlabRef> = vec![SlabRef::NONE; n];
 
     let mut due_nodes: Vec<NodeId> = Vec::new();
     let mut receivers: Vec<NodeId> = Vec::new();
+
+    // First delivery of a committed round acquires the slot and records
+    // the receiver; later deliveries append to the held buffer.
+    fn inbox_of<'a, M>(
+        slab: &'a mut Slab<Envelope<M>>,
+        inbox_ref: &mut [SlabRef],
+        receivers: &mut Vec<NodeId>,
+        v: NodeId,
+    ) -> &'a mut Vec<Envelope<M>> {
+        let i = v as usize;
+        if inbox_ref[i] == SlabRef::NONE {
+            inbox_ref[i] = slab.acquire();
+            receivers.push(v);
+        }
+        slab.get_mut(inbox_ref[i])
+    }
 
     loop {
         // Fast-forward to the earliest due instance.
@@ -326,19 +348,17 @@ where
                                     .map_or(FaultAction::Deliver, |p| p.decide(u, v, global))
                                 {
                                     FaultAction::Deliver => {
-                                        inboxes[v as usize]
+                                        inbox_of(&mut slab, &mut inbox_ref, &mut receivers, v)
                                             .push(Envelope::shared(u, Arc::clone(&payload)));
-                                        receivers.push(v);
                                     }
                                     FaultAction::Drop | FaultAction::OutageDrop => {
                                         fault_dropped += 1;
                                     }
                                     FaultAction::Duplicate => {
-                                        inboxes[v as usize]
-                                            .push(Envelope::shared(u, Arc::clone(&payload)));
-                                        inboxes[v as usize]
-                                            .push(Envelope::shared(u, Arc::clone(&payload)));
-                                        receivers.push(v);
+                                        let inbox =
+                                            inbox_of(&mut slab, &mut inbox_ref, &mut receivers, v);
+                                        inbox.push(Envelope::shared(u, Arc::clone(&payload)));
+                                        inbox.push(Envelope::shared(u, Arc::clone(&payload)));
                                         fault_duplicated += 1;
                                     }
                                     FaultAction::Delay(_) => {
@@ -360,16 +380,17 @@ where
                                 .map_or(FaultAction::Deliver, |p| p.decide(u, v, global))
                             {
                                 FaultAction::Deliver => {
-                                    inboxes[v as usize].push(Envelope::new(u, m));
-                                    receivers.push(v);
+                                    inbox_of(&mut slab, &mut inbox_ref, &mut receivers, v)
+                                        .push(Envelope::new(u, m));
                                 }
                                 FaultAction::Drop | FaultAction::OutageDrop => {
                                     fault_dropped += 1;
                                 }
                                 FaultAction::Duplicate => {
-                                    inboxes[v as usize].push(Envelope::new(u, m.clone()));
-                                    inboxes[v as usize].push(Envelope::new(u, m));
-                                    receivers.push(v);
+                                    let inbox =
+                                        inbox_of(&mut slab, &mut inbox_ref, &mut receivers, v);
+                                    inbox.push(Envelope::new(u, m.clone()));
+                                    inbox.push(Envelope::new(u, m));
                                     fault_duplicated += 1;
                                 }
                                 FaultAction::Delay(_) => {
@@ -391,12 +412,14 @@ where
             }
             insts[ii].local_round = local;
             let inst = &mut insts[ii];
+            // One receivers entry per node (inserted on slot acquire), so
+            // a sort restores the deterministic id order without a dedup.
             receivers.sort_unstable();
-            receivers.dedup();
             for &v in &receivers {
-                let inbox = &mut inboxes[v as usize];
-                inst.nodes[v as usize].receive(local, inbox, &NodeCtx::new(v, g));
-                inbox.clear();
+                let i = v as usize;
+                inst.nodes[i].receive(local, slab.get(inbox_ref[i]), &NodeCtx::new(v, g));
+                slab.release(inbox_ref[i]);
+                inbox_ref[i] = SlabRef::NONE;
                 inst.refresh_node(g, v, local);
             }
             for &v in &due_nodes {

@@ -111,6 +111,21 @@ fn config(mode: SchedulingMode, parallel: bool, faults: Option<FaultPlan>) -> En
     }
 }
 
+/// As [`config`], additionally pinning the schedule-shard count and the
+/// density-fallback threshold (`> 1.0` disables the fallback entirely).
+fn config_scaled(
+    parallel: bool,
+    faults: Option<FaultPlan>,
+    shards: usize,
+    dense_fraction: f64,
+) -> EngineConfig {
+    EngineConfig {
+        schedule_shards: shards,
+        dense_poll_fraction: dense_fraction,
+        ..config(SchedulingMode::ActiveSet, parallel, faults)
+    }
+}
+
 /// Step a network round by round (no fast-forward) capturing everything
 /// observable.
 fn traced(g: &WGraph, cfg: EngineConfig, rounds: u64) -> (Vec<SparseRelay>, RunStats, RoundTrace) {
@@ -178,6 +193,71 @@ proptest! {
         prop_assert_eq!(o_as, o_p);
         prop_assert_eq!(&n_as, &n_p);
         prop_assert_eq!(&s_as, &s_p);
+    }
+
+    // The schedule-shard count is a pure layout knob and the density
+    // fallback is a pure fast path: every combination of shard count
+    // {1, 2, n}, fallback threshold (always-dense 0.0, default-ish 0.4,
+    // disabled 2.0), and sequential/parallel execution must reproduce the
+    // exhaustive-poll reference bit for bit — stats (incl.
+    // `rounds_executed`, so the fast-forward decisions match), traces,
+    // and final node states — under faults too.
+    #[test]
+    fn shard_layout_and_density_fallback_bit_identical(
+        g in arb_graph(), plan in arb_plan(), budget in 20u64..=200
+    ) {
+        let n = g.n();
+        let (n_ex, s_ex, t_ex) = traced(
+            &g, config(SchedulingMode::ExhaustivePoll, false, plan.clone()), 60);
+        let (fn_ex, fs_ex, fo_ex) = full_run(
+            &g, config(SchedulingMode::ExhaustivePoll, false, plan.clone()), budget);
+        for shards in [1usize, 2, n] {
+            for dense in [0.0f64, 0.4, 2.0] {
+                for parallel in [false, true] {
+                    let label = format!("shards={shards} dense={dense} parallel={parallel}");
+                    let (n_s, s_s, t_s) = traced(
+                        &g, config_scaled(parallel, plan.clone(), shards, dense), 60);
+                    prop_assert_eq!(&n_ex, &n_s, "stepped states diverged: {}", &label);
+                    prop_assert_eq!(&s_ex, &s_s, "stepped stats diverged: {}", &label);
+                    prop_assert_eq!(
+                        t_ex.records(), t_s.records(), "traces diverged: {}", &label);
+                    let (fn_s, fs_s, fo_s) = full_run(
+                        &g, config_scaled(parallel, plan.clone(), shards, dense), budget);
+                    prop_assert_eq!(fo_ex, fo_s, "outcome diverged: {}", &label);
+                    prop_assert_eq!(&fn_ex, &fn_s, "full-run states diverged: {}", &label);
+                    prop_assert_eq!(&fs_ex, &fs_s, "full-run stats diverged: {}", &label);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic density-fallback crossing: a protocol whose active
+/// fraction swings from everyone (flood wave) to a sparse trickle forces
+/// both the dense-entry and the hysteresis exit transition, at several
+/// shard layouts.
+#[test]
+fn density_fallback_transitions_are_bit_identical() {
+    for (name, g) in [
+        ("torus", gen::torus(5, 6, WeightDist::Constant(1), 7)),
+        (
+            "gnp",
+            gen::gnp_connected(40, 0.15, false, WeightDist::Uniform { max: 4 }, 11),
+        ),
+    ] {
+        let (n_ex, s_ex, o_ex) = full_run(
+            &g,
+            config(SchedulingMode::ExhaustivePoll, false, None),
+            5_000,
+        );
+        for shards in [1usize, 3, g.n()] {
+            // Threshold low enough that the initial flood enters dense
+            // mode and the trailing re-announcement trickle exits it.
+            let (n_s, s_s, o_s) = full_run(&g, config_scaled(false, None, shards, 0.25), 5_000);
+            assert_eq!(o_ex, o_s, "{name}/shards={shards}: outcome");
+            assert_eq!(s_ex, s_s, "{name}/shards={shards}: stats");
+            assert_eq!(n_ex, n_s, "{name}/shards={shards}: states");
+        }
     }
 }
 

@@ -61,16 +61,16 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  dwapsp gen --family <zero-heavy|positive|grid|staircase|fig1> \
-         [--n N] [--w W] [--seed S] [--out FILE]\n  dwapsp run --graph FILE --algo \
-         <alg1|alg3|bf|approx> [--sources a,b,c] [--h H] [--eps NUM/DEN] \
+        "usage:\n  dwapsp gen --family <zero-heavy|positive|grid|grid2d|power-law|staircase|fig1> \
+         [--n N] [--w W] [--attach A] [--seed S] [--out FILE]\n  dwapsp run --graph FILE --algo \
+         <alg1|alg3|bf|approx> [--sources a,b,c] [--h H] [--eps NUM/DEN] [--delta D] \
          [--runtime <sim|threads[:P]|tcp[:P]>]\n  dwapsp run-node --graph FILE --node-id V \
          --listen ADDR --peers u=ADDR,w=ADDR --coordinator ADDR [--sources a,b,c] \
          [--delta D] [--timeout-secs T] [--shards P | --nodes-per-worker K]\n  \
          dwapsp coordinator --graph FILE --listen ADDR \
          [--sources a,b,c] [--budget B] [--shards P | --nodes-per-worker K]\n  \
          dwapsp solve --graph FILE [--algo <alg1|alg3>] \
-         [--sources a,b,c] [--h H] [--runtime <sim|threads[:P]|tcp[:P]>] [--trace-out FILE] \
+         [--sources a,b,c] [--h H] [--delta D] [--runtime <sim|threads[:P]|tcp[:P]>] [--trace-out FILE] \
          [--metrics-out FILE] [--print-matrix]\n  dwapsp chaos --graph FILE \
          [--runtime <threads[:P]|tcp[:P]>] [--sources a,b,c] [--kill V@R,..] [--sever A-B@R,..] \
          [--stall R@MS,..] [--seed S] [--cadence <K|off>] [--deadline-ms MS] \
@@ -127,6 +127,16 @@ fn cmd_gen(get: &impl Fn(&str) -> Option<String>) {
         }
         "staircase" => gen::staircase(n.max(4) / 4, 4, w.max(1), true),
         "fig1" => gen::fig1_gadget(n.clamp(2, 64), w.max(1), 1, true).0,
+        // Streaming large-graph families (no O(n²) intermediates): these
+        // are the ones to use at 50k+ nodes.
+        "grid2d" => {
+            let side = (n as f64).sqrt().round().max(2.0) as usize;
+            gen::grid2d(side, side, gen::WeightDist::Uniform { max: w }, seed)
+        }
+        "power-law" => {
+            let attach: usize = get("--attach").map_or(2, |s| s.parse().expect("--attach"));
+            gen::power_law(n.max(2), attach, gen::WeightDist::Uniform { max: w }, seed)
+        }
         other => {
             eprintln!("unknown family {other}");
             exit(2);
@@ -178,8 +188,13 @@ fn cmd_run(get: &impl Fn(&str) -> Option<String>) {
     let engine = EngineConfig::default();
     match algo.as_str() {
         "alg1" => {
+            // `--delta` skips the exact Δ computation (a full sequential
+            // APSP) — required on large graphs, where any sound upper
+            // bound on the distances of interest keeps the run correct
+            // (only the round budget depends on Δ).
+            let delta_flag = get("--delta").map(|s| s.parse().expect("--delta"));
             if let Some(sources) = parse_sources(get, g.n()) {
-                let delta = max_finite_distance(&g).max(1);
+                let delta = delta_flag.unwrap_or_else(|| max_finite_distance(&g).max(1));
                 let cfg = SspConfig::k_ssp(g.n(), sources, delta);
                 let (res, st, _) = run_hk_ssp_on(rt, &g, &cfg, engine).unwrap_or_else(|e| {
                     eprintln!("{} runtime failed: {e}", rt.as_str());
@@ -192,7 +207,7 @@ fn cmd_run(get: &impl Fn(&str) -> Option<String>) {
                     st.max_link_load,
                 );
                 print_matrix(&res.to_matrix());
-            } else if rt == Runtime::Sim {
+            } else if rt == Runtime::Sim && delta_flag.is_none() {
                 let (res, st, delta) = apsp_auto(&g, engine);
                 print_stats(
                     &format!("alg1 apsp (Δ={delta})"),
@@ -202,7 +217,7 @@ fn cmd_run(get: &impl Fn(&str) -> Option<String>) {
                 );
                 print_matrix(&res.to_matrix());
             } else {
-                let delta = max_finite_distance(&g).max(1);
+                let delta = delta_flag.unwrap_or_else(|| max_finite_distance(&g).max(1));
                 let cfg = SspConfig::apsp(g.n(), delta);
                 let (res, st, _) = run_hk_ssp_on(rt, &g, &cfg, engine).unwrap_or_else(|e| {
                     eprintln!("{} runtime failed: {e}", rt.as_str());
@@ -285,7 +300,10 @@ fn cmd_solve(get: &impl Fn(&str) -> Option<String>) {
 
     let matrix = match algo.as_str() {
         "alg1" => {
-            let delta = max_finite_distance(&g).max(1);
+            let delta = get("--delta").map_or_else(
+                || max_finite_distance(&g).max(1),
+                |s| s.parse().expect("--delta"),
+            );
             let cfg = match sources {
                 Some(s) => SspConfig::k_ssp(g.n(), s, delta),
                 None => SspConfig::apsp(g.n(), delta),

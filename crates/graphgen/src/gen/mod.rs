@@ -9,6 +9,7 @@ mod classic;
 mod fig1;
 mod hard;
 mod random;
+mod scale;
 mod structured;
 mod weights;
 
@@ -16,5 +17,6 @@ pub use classic::{complete, grid, path, ring, star};
 pub use fig1::{fig1_chain, fig1_gadget};
 pub use hard::{layered_conflict, staircase, staircase_anchor};
 pub use random::{gnp, gnp_connected, zero_heavy};
+pub use scale::{grid2d, power_law};
 pub use structured::{barbell, binary_tree, expanderish, torus};
 pub use weights::WeightDist;

@@ -26,30 +26,60 @@ impl Edge {
     }
 }
 
-/// A weighted graph with non-negative integer edge weights.
+/// A weighted graph with non-negative integer edge weights, stored in
+/// compressed sparse row (CSR) form: one flat packed array per adjacency
+/// kind plus an `n+1`-entry offset table, so per-node rows are contiguous
+/// slices and whole-graph scans walk a single allocation. This is what
+/// keeps the engine's send/receive phases cache-friendly at 100k+ nodes;
+/// the per-node-`Vec` layout it replaced scattered rows across the heap.
 ///
-/// * For **directed** graphs, `out[v]` are edges leaving `v` and `inc[v]`
-///   edges entering `v`.
-/// * For **undirected** graphs, every edge `{u,v}` appears in `out[u]`,
-///   `out[v]`, `inc[u]` and `inc[v]` so that the directed code paths work
-///   unchanged.
+/// * For **directed** graphs, row `v` of `out` holds edges leaving `v`
+///   and row `v` of `inc` edges entering `v`.
+/// * For **undirected** graphs, every edge `{u,v}` appears in both rows
+///   of both arrays so that the directed code paths work unchanged.
 ///
-/// `comm[v]` is the neighborhood of `v` in the *underlying undirected*
-/// communication graph `U_G` — the set of nodes `v` shares a CONGEST link
-/// with, regardless of edge direction (paper Section I-B).
+/// `comm` row `v` is the neighborhood of `v` in the *underlying
+/// undirected* communication graph `U_G` — the set of nodes `v` shares a
+/// CONGEST link with, regardless of edge direction (paper Section I-B).
 ///
-/// Invariants (enforced by [`crate::builder::GraphBuilder`]):
+/// Invariants (enforced by [`crate::builder::GraphBuilder`] and
+/// [`WGraph::from_edge_list`]):
 /// * no self loops;
 /// * no parallel edges (the minimum weight is kept);
-/// * adjacency lists sorted by neighbor id (determinism).
+/// * adjacency rows sorted by neighbor id (determinism).
+///
+/// Because rows are sorted and concatenated in node order, two logically
+/// equal graphs have byte-identical CSR arrays, so the derived
+/// `PartialEq` still means logical equality.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WGraph {
     n: usize,
     directed: bool,
-    out: Vec<Vec<(NodeId, Weight)>>,
-    inc: Vec<Vec<(NodeId, Weight)>>,
-    comm: Vec<Vec<NodeId>>,
     m: usize,
+    out_off: Vec<usize>,
+    out_adj: Vec<(NodeId, Weight)>,
+    inc_off: Vec<usize>,
+    inc_adj: Vec<(NodeId, Weight)>,
+    comm_off: Vec<usize>,
+    comm_adj: Vec<NodeId>,
+}
+
+/// Flatten per-node rows into a packed CSR (offsets, entries) pair.
+fn pack<T: Copy>(n: usize, rows: &[Vec<T>]) -> (Vec<usize>, Vec<T>) {
+    let total: usize = rows.iter().map(|r| r.len()).sum();
+    let mut off = Vec::with_capacity(n + 1);
+    let mut adj = Vec::with_capacity(total);
+    off.push(0);
+    for row in rows {
+        adj.extend_from_slice(row);
+        off.push(adj.len());
+    }
+    (off, adj)
+}
+
+/// Split a packed CSR pair back into per-node rows.
+fn unpack<T: Copy>(off: &[usize], adj: &[T]) -> Vec<Vec<T>> {
+    off.windows(2).map(|w| adj[w[0]..w[1]].to_vec()).collect()
 }
 
 impl WGraph {
@@ -63,13 +93,149 @@ impl WGraph {
         comm: Vec<Vec<NodeId>>,
         m: usize,
     ) -> Self {
+        Self::from_vecs(n, directed, &out, &inc, &comm, m)
+    }
+
+    /// Bridge from the Vec-of-Vec adjacency form to CSR. Rows must obey
+    /// the [`WGraph`] invariants (sorted by neighbor, no self loops, no
+    /// parallel edges); the builders that call this guarantee them.
+    pub fn from_vecs(
+        n: usize,
+        directed: bool,
+        out: &[Vec<(NodeId, Weight)>],
+        inc: &[Vec<(NodeId, Weight)>],
+        comm: &[Vec<NodeId>],
+        m: usize,
+    ) -> Self {
+        assert_eq!(out.len(), n);
+        assert_eq!(inc.len(), n);
+        assert_eq!(comm.len(), n);
+        let (out_off, out_adj) = pack(n, out);
+        let (inc_off, inc_adj) = pack(n, inc);
+        let (comm_off, comm_adj) = pack(n, comm);
         WGraph {
             n,
             directed,
-            out,
-            inc,
-            comm,
             m,
+            out_off,
+            out_adj,
+            inc_off,
+            inc_adj,
+            comm_off,
+            comm_adj,
+        }
+    }
+
+    /// Bridge back to the Vec-of-Vec form `(out, inc, comm)` — the exact
+    /// inverse of [`WGraph::from_vecs`]. Used by tests and by callers
+    /// that want to edit adjacency rows before rebuilding.
+    #[allow(clippy::type_complexity)]
+    pub fn to_vecs(
+        &self,
+    ) -> (
+        Vec<Vec<(NodeId, Weight)>>,
+        Vec<Vec<(NodeId, Weight)>>,
+        Vec<Vec<NodeId>>,
+    ) {
+        (
+            unpack(&self.out_off, &self.out_adj),
+            unpack(&self.inc_off, &self.inc_adj),
+            unpack(&self.comm_off, &self.comm_adj),
+        )
+    }
+
+    /// Streaming construction from an edge list: sort + scan, never any
+    /// per-node intermediate or O(n²) structure, so it is the right entry
+    /// point for 100k+-node generators. Self loops are dropped and
+    /// parallel edges deduplicated keeping the minimum weight (the same
+    /// normalization [`crate::builder::GraphBuilder`] applies).
+    pub fn from_edge_list(n: usize, directed: bool, edges: impl IntoIterator<Item = Edge>) -> Self {
+        // Normalize to the logical edge set: sorted, min-weight deduped.
+        let mut logical: Vec<Edge> = edges
+            .into_iter()
+            .filter(|e| e.src != e.dst)
+            .map(|e| {
+                assert!(
+                    (e.src as usize) < n && (e.dst as usize) < n,
+                    "edge ({}, {}) out of range for n={n}",
+                    e.src,
+                    e.dst
+                );
+                if !directed && e.src > e.dst {
+                    Edge::new(e.dst, e.src, e.w)
+                } else {
+                    e
+                }
+            })
+            .collect();
+        logical.sort_unstable_by_key(|e| (e.src, e.dst, e.w));
+        logical.dedup_by_key(|e| (e.src, e.dst));
+        let m = logical.len();
+
+        // Directed adjacency entries: one per logical edge for directed
+        // graphs, both orientations for undirected ones.
+        let mut fwd: Vec<Edge> = Vec::with_capacity(if directed { m } else { 2 * m });
+        fwd.extend_from_slice(&logical);
+        if !directed {
+            fwd.extend(logical.iter().map(|e| Edge::new(e.dst, e.src, e.w)));
+        }
+        let mut rev: Vec<Edge> = fwd.iter().map(|e| Edge::new(e.dst, e.src, e.w)).collect();
+        fwd.sort_unstable_by_key(|e| (e.src, e.dst));
+        rev.sort_unstable_by_key(|e| (e.src, e.dst));
+
+        let csr = |entries: &[Edge]| {
+            let mut off = Vec::with_capacity(n + 1);
+            let mut adj = Vec::with_capacity(entries.len());
+            off.push(0);
+            let mut next: NodeId = 0;
+            for e in entries {
+                while next < e.src {
+                    off.push(adj.len());
+                    next += 1;
+                }
+                adj.push((e.dst, e.w));
+            }
+            while off.len() < n + 1 {
+                off.push(adj.len());
+            }
+            (off, adj)
+        };
+        let (out_off, out_adj) = csr(&fwd);
+        let (inc_off, inc_adj) = csr(&rev);
+
+        // Communication graph: union of both directions, deduped.
+        let mut comm_pairs: Vec<(NodeId, NodeId)> = fwd
+            .iter()
+            .map(|e| (e.src, e.dst))
+            .chain(rev.iter().map(|e| (e.src, e.dst)))
+            .collect();
+        comm_pairs.sort_unstable();
+        comm_pairs.dedup();
+        let mut comm_off = Vec::with_capacity(n + 1);
+        let mut comm_adj = Vec::with_capacity(comm_pairs.len());
+        comm_off.push(0);
+        let mut next: NodeId = 0;
+        for &(u, v) in &comm_pairs {
+            while next < u {
+                comm_off.push(comm_adj.len());
+                next += 1;
+            }
+            comm_adj.push(v);
+        }
+        while comm_off.len() < n + 1 {
+            comm_off.push(comm_adj.len());
+        }
+
+        WGraph {
+            n,
+            directed,
+            m,
+            out_off,
+            out_adj,
+            inc_off,
+            inc_adj,
+            comm_off,
+            comm_adj,
         }
     }
 
@@ -95,30 +261,33 @@ impl WGraph {
     /// Out-neighbors of `v` with weights, sorted by neighbor id.
     #[inline]
     pub fn out_edges(&self, v: NodeId) -> &[(NodeId, Weight)] {
-        &self.out[v as usize]
+        let v = v as usize;
+        &self.out_adj[self.out_off[v]..self.out_off[v + 1]]
     }
 
     /// In-neighbors of `v` with weights, sorted by neighbor id.
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> &[(NodeId, Weight)] {
-        &self.inc[v as usize]
+        let v = v as usize;
+        &self.inc_adj[self.inc_off[v]..self.inc_off[v + 1]]
     }
 
     /// Communication neighbors of `v` in the underlying undirected graph.
     #[inline]
     pub fn comm_neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.comm[v as usize]
+        let v = v as usize;
+        &self.comm_adj[self.comm_off[v]..self.comm_off[v + 1]]
     }
 
     /// Degree of `v` in the communication graph.
     #[inline]
     pub fn comm_degree(&self, v: NodeId) -> usize {
-        self.comm[v as usize].len()
+        self.comm_off[v as usize + 1] - self.comm_off[v as usize]
     }
 
     /// The weight of edge `u -> v`, if present.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
-        let row = &self.out[u as usize];
+        let row = self.out_edges(u);
         row.binary_search_by_key(&v, |&(d, _)| d)
             .ok()
             .map(|i| row[i].1)
@@ -127,9 +296,8 @@ impl WGraph {
     /// Iterator over all logical edges. For undirected graphs each edge is
     /// yielded once with `src < dst`.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.out.iter().enumerate().flat_map(move |(u, row)| {
-            let u = u as NodeId;
-            row.iter().filter_map(move |&(v, w)| {
+        self.nodes().flat_map(move |u| {
+            self.out_edges(u).iter().filter_map(move |&(v, w)| {
                 if self.directed || u < v {
                     Some(Edge::new(u, v, w))
                 } else {
@@ -146,11 +314,7 @@ impl WGraph {
 
     /// Largest edge weight `W` (0 for edgeless graphs).
     pub fn max_weight(&self) -> Weight {
-        self.out
-            .iter()
-            .flat_map(|row| row.iter().map(|&(_, w)| w))
-            .max()
-            .unwrap_or(0)
+        self.out_adj.iter().map(|&(_, w)| w).max().unwrap_or(0)
     }
 
     /// Number of zero-weight edges (logical count, like [`WGraph::m`]).
@@ -161,55 +325,32 @@ impl WGraph {
     /// The subgraph containing only zero-weight edges (same node set).
     /// Used by the approximate-APSP zero-closure step (paper Section IV).
     pub fn zero_subgraph(&self) -> WGraph {
-        let mut b = crate::builder::GraphBuilder::new(self.n, self.directed);
-        for e in self.edges() {
-            if e.w == 0 {
-                b.add_edge(e.src, e.dst, 0);
-            }
-        }
-        b.build()
+        WGraph::from_edge_list(self.n, self.directed, self.edges().filter(|e| e.w == 0))
     }
 
     /// Apply `f` to every edge weight, producing a new graph with the same
     /// topology. Used by the Section IV weight transform and by the
     /// approximate-APSP scale rounding.
     pub fn map_weights(&self, mut f: impl FnMut(Edge) -> Weight) -> WGraph {
-        let out: Vec<Vec<(NodeId, Weight)>> = self
-            .out
-            .iter()
-            .enumerate()
-            .map(|(u, row)| {
-                row.iter()
-                    .map(|&(v, w)| (v, f(Edge::new(u as NodeId, v, w))))
-                    .collect()
-            })
-            .collect();
-        let inc: Vec<Vec<(NodeId, Weight)>> = self
-            .inc
-            .iter()
-            .enumerate()
-            .map(|(v, row)| {
-                row.iter()
-                    .map(|&(u, w)| {
-                        let _ = w;
-                        let nw = out[u as usize]
-                            .iter()
-                            .find(|&&(d, _)| d == v as NodeId)
-                            .map(|&(_, w)| w)
-                            .expect("in-edge must mirror an out-edge");
-                        (u, nw)
-                    })
-                    .collect()
-            })
-            .collect();
-        WGraph {
-            n: self.n,
-            directed: self.directed,
-            out,
-            inc,
-            comm: self.comm.clone(),
-            m: self.m,
+        let mut mapped = self.clone();
+        for u in self.nodes() {
+            let (lo, hi) = (self.out_off[u as usize], self.out_off[u as usize + 1]);
+            for i in lo..hi {
+                let (v, w) = self.out_adj[i];
+                mapped.out_adj[i].1 = f(Edge::new(u, v, w));
+            }
         }
+        // Mirror the mapped out-weights into the in-adjacency.
+        for v in self.nodes() {
+            let (lo, hi) = (self.inc_off[v as usize], self.inc_off[v as usize + 1]);
+            for i in lo..hi {
+                let u = self.inc_adj[i].0;
+                mapped.inc_adj[i].1 = mapped
+                    .edge_weight(u, v)
+                    .expect("in-edge must mirror an out-edge");
+            }
+        }
+        mapped
     }
 
     /// Reverse all edges (no-op for undirected graphs).
@@ -217,19 +358,26 @@ impl WGraph {
         if !self.directed {
             return self.clone();
         }
-        WGraph {
-            n: self.n,
-            directed: true,
-            out: self.inc.clone(),
-            inc: self.out.clone(),
-            comm: self.comm.clone(),
-            m: self.m,
-        }
+        let mut rev = self.clone();
+        std::mem::swap(&mut rev.out_off, &mut rev.inc_off);
+        std::mem::swap(&mut rev.out_adj, &mut rev.inc_adj);
+        rev
     }
 
     /// Total number of directed adjacency entries (2m for undirected).
+    #[inline]
     pub fn out_entry_count(&self) -> usize {
-        self.out.iter().map(|r| r.len()).sum()
+        self.out_adj.len()
+    }
+
+    /// Resident bytes of the CSR arrays themselves — the irreducible
+    /// storage cost of the graph, used to derive memory budgets for the
+    /// scale smoke test.
+    pub fn csr_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.out_off.len() + self.inc_off.len() + self.comm_off.len()) * size_of::<usize>()
+            + (self.out_adj.len() + self.inc_adj.len()) * size_of::<(NodeId, Weight)>()
+            + self.comm_adj.len() * size_of::<NodeId>()
     }
 }
 
@@ -325,5 +473,60 @@ mod tests {
         let g = diamond(true);
         assert_eq!(g.max_weight(), 5);
         assert_eq!(g.zero_weight_edges(), 1);
+    }
+
+    #[test]
+    fn vec_bridge_round_trips() {
+        for directed in [true, false] {
+            let g = diamond(directed);
+            let (out, inc, comm) = g.to_vecs();
+            let back = WGraph::from_vecs(g.n(), directed, &out, &inc, &comm, g.m());
+            assert_eq!(g, back);
+        }
+    }
+
+    #[test]
+    fn from_edge_list_matches_builder() {
+        for directed in [true, false] {
+            let edges = [
+                Edge::new(0, 1, 2),
+                Edge::new(0, 2, 0),
+                Edge::new(1, 3, 1),
+                Edge::new(2, 3, 5),
+            ];
+            let g = WGraph::from_edge_list(4, directed, edges);
+            assert_eq!(g, diamond(directed));
+        }
+    }
+
+    #[test]
+    fn from_edge_list_dedups_min_and_drops_loops() {
+        let edges = [
+            Edge::new(1, 0, 9),
+            Edge::new(0, 1, 4), // parallel (undirected): min kept
+            Edge::new(2, 2, 1), // self loop: dropped
+            Edge::new(1, 2, 3),
+        ];
+        let g = WGraph::from_edge_list(3, false, edges);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(4));
+        assert_eq!(g.edge_weight(1, 0), Some(4));
+        assert_eq!(g.edge_weight(1, 2), Some(3));
+
+        let gd = WGraph::from_edge_list(3, true, edges);
+        assert_eq!(gd.m(), 3); // (1,0) and (0,1) are distinct directed edges
+        assert_eq!(gd.edge_weight(1, 0), Some(9));
+        assert_eq!(gd.comm_neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn from_edge_list_isolated_nodes_have_empty_rows() {
+        let g = WGraph::from_edge_list(5, false, [Edge::new(1, 3, 7)]);
+        for v in [0u32, 2, 4] {
+            assert!(g.out_edges(v).is_empty());
+            assert!(g.in_edges(v).is_empty());
+            assert_eq!(g.comm_degree(v), 0);
+        }
+        assert_eq!(g.comm_neighbors(3), &[1]);
     }
 }

@@ -132,6 +132,46 @@ proptest! {
         }
     }
 
+    // CSR round-trip: the packed representation must be observationally
+    // identical to the Vec-of-Vec form it replaced — per-node neighbor
+    // slices, weights, comm lists, and degree sums — including graphs
+    // with zero-weight edges and isolated trailing nodes.
+    #[test]
+    fn csr_roundtrip_matches_vec_form(
+        used in 2usize..12,
+        isolated in 0usize..5,
+        edges in arb_edges(12),
+        directed: bool,
+    ) {
+        let n = used + isolated;
+        let mut b = GraphBuilder::new(n, directed);
+        for (s, d, w) in edges {
+            if (s as usize) < used && (d as usize) < used {
+                b.add_edge(s, d, w % 4); // keep zero weights in play
+            }
+        }
+        let g = b.build();
+        let (out, inc, comm) = g.to_vecs();
+        // Accessor-level equality against the unpacked rows.
+        let mut degree_sum = 0usize;
+        for v in g.nodes() {
+            prop_assert_eq!(g.out_edges(v), &out[v as usize][..]);
+            prop_assert_eq!(g.in_edges(v), &inc[v as usize][..]);
+            prop_assert_eq!(g.comm_neighbors(v), &comm[v as usize][..]);
+            prop_assert_eq!(g.comm_degree(v), comm[v as usize].len());
+            degree_sum += g.comm_degree(v);
+        }
+        prop_assert_eq!(degree_sum, comm.iter().map(|r| r.len()).sum::<usize>());
+        prop_assert_eq!(g.out_entry_count(), out.iter().map(|r| r.len()).sum::<usize>());
+        // Rebuilding from the unpacked rows is the identity.
+        let back = dw_graph::WGraph::from_vecs(n, directed, &out, &inc, &comm, g.m());
+        prop_assert_eq!(&g, &back);
+        // The streaming edge-list constructor agrees with the builder
+        // path on the same logical edge set.
+        let from_list = dw_graph::WGraph::from_edge_list(n, directed, g.edges());
+        prop_assert_eq!(&g, &from_list);
+    }
+
     #[test]
     fn zero_subgraph_subset(edges in arb_edges(12)) {
         let mut b = GraphBuilder::new(12, true);

@@ -44,6 +44,16 @@ pub struct RunStats {
     pub delayed: u64,
     /// Delayed messages that eventually arrived (late).
     pub late_delivered: u64,
+    /// Bytes resident in the engine's recycled inbox slab (capacity, the
+    /// steady-state allocation footprint). Zero from plain `stats()` on
+    /// every runtime — only the memory-reporting entry points
+    /// (`Network::stats_with_memory`, the bench harness) fill it, so
+    /// cross-runtime `RunStats` equality checks are unaffected.
+    pub slab_bytes: u64,
+    /// Peak number of concurrently checked-out slab buffers over the run
+    /// (the high-water mark of per-round inbox demand). Zero from plain
+    /// `stats()`, as for `slab_bytes`.
+    pub slab_peak: u64,
 }
 
 impl RunStats {
@@ -65,6 +75,10 @@ impl RunStats {
             duplicated: self.duplicated + later.duplicated,
             delayed: self.delayed + later.delayed,
             late_delivered: self.late_delivered + later.late_delivered,
+            // Memory gauges, not counters: the slab persists across
+            // phases, so composition takes the high-water mark.
+            slab_bytes: self.slab_bytes.max(later.slab_bytes),
+            slab_peak: self.slab_peak.max(later.slab_peak),
         }
     }
 
@@ -76,7 +90,7 @@ impl RunStats {
     /// The `(name, value)` pairs of every field, in declaration order —
     /// the single source of truth the exporters and parsers share, so a
     /// new stat field can never silently miss the wire formats.
-    pub fn fields(&self) -> [(&'static str, u64); 12] {
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
         [
             ("rounds", self.rounds),
             ("rounds_executed", self.rounds_executed),
@@ -90,6 +104,8 @@ impl RunStats {
             ("duplicated", self.duplicated),
             ("delayed", self.delayed),
             ("late_delivered", self.late_delivered),
+            ("slab_bytes", self.slab_bytes),
+            ("slab_peak", self.slab_peak),
         ]
     }
 
@@ -108,6 +124,8 @@ impl RunStats {
             "duplicated" => &mut self.duplicated,
             "delayed" => &mut self.delayed,
             "late_delivered" => &mut self.late_delivered,
+            "slab_bytes" => &mut self.slab_bytes,
+            "slab_peak" => &mut self.slab_peak,
             _ => return false,
         };
         *slot = value;
@@ -134,6 +152,8 @@ mod tests {
             duplicated: 4,
             delayed: 3,
             late_delivered: 3,
+            slab_bytes: 4096,
+            slab_peak: 16,
         };
         let b = RunStats {
             rounds: 7,
@@ -148,6 +168,8 @@ mod tests {
             duplicated: 0,
             delayed: 2,
             late_delivered: 1,
+            slab_bytes: 8192,
+            slab_peak: 8,
         };
         let c = a.then(&b);
         assert_eq!(c.rounds, 17);
@@ -162,6 +184,8 @@ mod tests {
         assert_eq!(c.duplicated, 4);
         assert_eq!(c.delayed, 5);
         assert_eq!(c.late_delivered, 4);
+        assert_eq!(c.slab_bytes, 8192, "gauge: high-water, not sum");
+        assert_eq!(c.slab_peak, 16, "gauge: high-water, not sum");
         assert_eq!(c.fault_events(), 13);
     }
 
