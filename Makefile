@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance shard-conformance chaos-smoke scale-smoke
+.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance shard-conformance chaos-smoke scale-smoke serve-smoke
 
-ci: build test fmt clippy obs-schema bench-check transport-conformance shard-conformance chaos-smoke scale-smoke
+ci: build test fmt clippy obs-schema bench-check transport-conformance shard-conformance chaos-smoke scale-smoke serve-smoke
 
 build:
 	$(CARGO) build --release
@@ -69,20 +69,28 @@ bench-smoke:
 
 # Throughput regression gate: re-measures the workload set of the
 # highest-numbered BENCH_*.json (engine modes + e15 transport runtimes +
-# e15 sharded workers + e16 recorded phases + scale_* n>=50k) and fails on a >20%
-# rounds/sec regression, or on any e15_sharded_* mode falling more than
-# 10x behind the simulator. Soft-passes with a warning until a baseline
-# exists.
+# e15 sharded workers + e16 recorded phases + scale_* n>=50k + serve_*
+# query-plane QPS) and fails on a >20% rounds/sec regression, or on any
+# e15_sharded_* mode falling more than 10x behind the simulator.
+# Soft-passes with a warning until a baseline exists.
 bench-check:
 	$(CARGO) run --release -p dw-bench --bin bench_check
 
-# Re-record the BENCH_6.json baseline (carries the frozen pre_pr history
-# forward from BENCH_5.json).
+# Re-record the BENCH_7.json baseline (carries the frozen pre_pr history
+# forward from BENCH_6.json).
 bench-baseline:
-	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_6.json --keep-pre BENCH_5.json
+	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_7.json --keep-pre BENCH_6.json
 
 # Large-graph memory/time guard: one n=50k short-range SSSP run that must
 # go quiet inside the Lemma II.15 budget, finish inside the time box, and
 # keep peak RSS under 128 MiB + 10x the graph's own CSR footprint.
 scale-smoke:
 	$(CARGO) run --release -q -p dw-bench --bin scale_smoke
+
+# Serving-plane smoke test (DESIGN.md §13): compute APSP tables with
+# Algorithm 1, persist them through the snapshot codec, stand up 2 shard
+# servers + the gateway on loopback, verify ~1k mixed distance/path
+# queries against sequential Dijkstra, then kill one shard and require
+# the typed ShardUnavailable degradation within a bounded deadline.
+serve-smoke:
+	$(CARGO) run --release -q -p dw-bench --bin serve_smoke

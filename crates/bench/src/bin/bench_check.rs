@@ -34,6 +34,7 @@
 
 use dw_bench::engine_bench::{run_all, run_scale, scale_modes, standard_modes, Measurement};
 use dw_bench::obs_bench::run_alg3_phases;
+use dw_bench::serve_bench::run_all_serve;
 use dw_bench::transport_bench::run_all_transport;
 use std::process::ExitCode;
 
@@ -168,10 +169,12 @@ fn main() -> ExitCode {
     let modes = standard_modes();
     // Only measure what the baseline can gate: pre-e15 baselines skip
     // the transport pass, pre-e16 baselines the recorded-phase pass,
-    // pre-BENCH_6 baselines the n≥50k scale pass.
+    // pre-BENCH_6 baselines the n≥50k scale pass, pre-BENCH_7 baselines
+    // the serve_* query-plane pass.
     let want_transport = baseline.iter().any(|b| b.workload.starts_with("e15_"));
     let want_phases = baseline.iter().any(|b| b.workload.starts_with("e16_"));
     let want_scale = baseline.iter().any(|b| b.workload.starts_with("scale_"));
+    let want_serve = baseline.iter().any(|b| b.workload.starts_with("serve_"));
     let measure_pass = || {
         let mut v = run_all(&modes);
         if want_transport {
@@ -182,6 +185,9 @@ fn main() -> ExitCode {
         }
         if want_scale {
             v.extend(run_scale(&scale_modes()));
+        }
+        if want_serve {
+            v.extend(run_all_serve(false));
         }
         v
     };

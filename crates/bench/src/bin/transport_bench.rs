@@ -1,10 +1,10 @@
-//! Measure runtime throughput and emit `BENCH_6.json`.
+//! Measure runtime throughput and emit `BENCH_7.json`.
 //!
 //! ```text
-//! transport_bench [--out BENCH_6.json] [--keep-pre EXISTING.json] [--smoke]
+//! transport_bench [--out BENCH_7.json] [--keep-pre EXISTING.json] [--smoke]
 //! ```
 //!
-//! `BENCH_6.json` supersedes `BENCH_5.json` as the `bench_check`
+//! `BENCH_7.json` supersedes `BENCH_6.json` as the `bench_check`
 //! baseline (the gate picks the highest-numbered `BENCH_*.json`): it
 //! contains the engine workload set of [`dw_bench::engine_bench`], the
 //! `e15_transport` set — threads-vs-simulator rounds/sec and TCP
@@ -13,16 +13,21 @@
 //! `dw_transport::shard` on the n=256 k-SSP workload, whose TCP entry
 //! `bench_check` additionally holds to within 10x of the simulator —
 //! the `e16_alg3_phases` set: per-phase throughput of the recorded
-//! Algorithm 3 decomposition — *plus* the `scale_*` set: short-range
+//! Algorithm 3 decomposition — the `scale_*` set: short-range
 //! SSSP and k-SSP at n≥50k with the inbox-slab memory gauges
-//! (`slab_bytes`/`slab_peak`) recorded per entry. `--keep-pre` carries
+//! (`slab_bytes`/`slab_peak`) recorded per entry — *plus* the `serve_*`
+//! set: sustained query-plane QPS (with `p50_us`/`p99_us` latency
+//! percentiles) of the `dw-serve` gateway across shard counts and
+//! uniform/Zipf mixes (EXPERIMENTS.md E19). `--keep-pre` carries
 //! the frozen `"mode":"pre_pr"` history forward from an existing file.
-//! `--smoke` runs the reduced `e15`/`e16` instances and writes nothing —
-//! the `make bench-smoke` sanity pass (the scale set is skipped there;
-//! `make scale-smoke` covers the 50k path with an RSS assertion).
+//! `--smoke` runs the reduced `e15`/`e16`/`e19` instances and writes
+//! nothing — the `make bench-smoke` sanity pass (the scale set is
+//! skipped there; `make scale-smoke` covers the 50k path with an RSS
+//! assertion).
 
 use dw_bench::engine_bench::{run_all, run_scale, scale_modes, standard_modes, to_json_entries};
 use dw_bench::obs_bench::run_alg3_phases;
+use dw_bench::serve_bench::run_all_serve;
 use dw_bench::transport_bench::{print_entry, run_all_transport};
 
 fn main() {
@@ -33,7 +38,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     let keep_pre = args
         .iter()
         .position(|a| a == "--keep-pre")
@@ -47,6 +52,9 @@ fn main() {
         for m in run_alg3_phases(true) {
             print_entry(&m);
         }
+        for m in run_all_serve(true) {
+            print_entry(&m);
+        }
         eprintln!("transport_bench: smoke pass done (nothing written)");
         return;
     }
@@ -55,6 +63,7 @@ fn main() {
     ms.extend(run_all_transport(false));
     ms.extend(run_alg3_phases(false));
     ms.extend(run_scale(&scale_modes()));
+    ms.extend(run_all_serve(false));
     for m in &ms {
         print_entry(m);
     }

@@ -40,6 +40,12 @@ pub struct Measurement {
     /// Peak concurrently checked-out inbox buffers
     /// (see [`RunStats::slab_peak`]); zero as for `slab_bytes`.
     pub slab_peak: u64,
+    /// Client-observed median latency in microseconds — only the
+    /// `serve_*` workloads measure latency; zero (and omitted from the
+    /// JSON) everywhere else.
+    pub p50_us: u64,
+    /// Client-observed 99th-percentile latency; zero as for `p50_us`.
+    pub p99_us: u64,
 }
 
 pub(crate) fn measure(
@@ -73,6 +79,8 @@ pub(crate) fn measure(
         rounds_per_sec: stats.rounds_executed as f64 / wall.as_secs_f64().max(1e-9),
         slab_bytes: stats.slab_bytes,
         slab_peak: stats.slab_peak,
+        p50_us: 0,
+        p99_us: 0,
     }
 }
 
@@ -266,9 +274,15 @@ pub fn to_json_entries(ms: &[Measurement]) -> String {
             s.push_str(",\n");
         }
         s.push_str(&format!(
-            "    {{\"workload\":\"{}\",\"mode\":\"{}\",\"n\":{},\"rounds\":{},\"rounds_executed\":{},\"messages\":{},\"wall_ms\":{:.3},\"rounds_per_sec\":{:.1},\"slab_bytes\":{},\"slab_peak\":{}}}",
+            "    {{\"workload\":\"{}\",\"mode\":\"{}\",\"n\":{},\"rounds\":{},\"rounds_executed\":{},\"messages\":{},\"wall_ms\":{:.3},\"rounds_per_sec\":{:.1},\"slab_bytes\":{},\"slab_peak\":{}",
             m.workload, m.mode, m.n, m.rounds, m.rounds_executed, m.messages, m.wall_ms, m.rounds_per_sec, m.slab_bytes, m.slab_peak
         ));
+        // Latency percentiles only exist for the serve_* workloads;
+        // keep every other entry's line byte-identical to the old form.
+        if m.p50_us > 0 || m.p99_us > 0 {
+            s.push_str(&format!(",\"p50_us\":{},\"p99_us\":{}", m.p50_us, m.p99_us));
+        }
+        s.push('}');
     }
     s
 }

@@ -23,6 +23,7 @@ pub mod engine_bench;
 pub mod experiments;
 pub mod fit;
 pub mod obs_bench;
+pub mod serve_bench;
 pub mod table;
 pub mod transport_bench;
 pub mod workloads;

@@ -74,6 +74,8 @@ pub fn run_alg3_phases(smoke: bool) -> Vec<Measurement> {
                 rounds_per_sec: p.stats.rounds_executed as f64 / wall_s,
                 slab_bytes: p.stats.slab_bytes,
                 slab_peak: p.stats.slab_peak,
+                p50_us: 0,
+                p99_us: 0,
             }
         })
         .collect()

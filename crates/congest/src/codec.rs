@@ -161,6 +161,26 @@ impl<M: WireCodec> WireCodec for RMsg<M> {
     }
 }
 
+/// Encode a value into a fresh buffer. The encoding is canonical (a
+/// fixed layout per type, no padding, no map iteration order), so the
+/// bytes are stable across runs — which is what lets snapshot files be
+/// compared byte for byte.
+pub fn to_bytes<M: WireCodec>(m: &M) -> Vec<u8> {
+    let mut out = Vec::new();
+    m.encode(&mut out);
+    out
+}
+
+/// Decode a value that must account for the *entire* buffer — trailing
+/// bytes are an error, exactly like a malformed prefix. This is the
+/// contract for persisted snapshots: a file is one encoding, not a
+/// stream.
+pub fn from_bytes<M: WireCodec>(bytes: &[u8]) -> Option<M> {
+    let mut view = bytes;
+    let value = M::decode(&mut view)?;
+    view.is_empty().then_some(value)
+}
+
 /// Round-trip helper for tests: encode then decode, checking the whole
 /// buffer is consumed.
 pub fn roundtrip<M: WireCodec>(m: &M) -> Option<M> {

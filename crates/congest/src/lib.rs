@@ -40,7 +40,7 @@ pub mod scheduler;
 pub mod slab;
 pub mod trace;
 
-pub use codec::WireCodec;
+pub use codec::{from_bytes, to_bytes, WireCodec};
 pub use engine::{EngineConfig, Network, RunOutcome, SchedulingMode};
 pub use fault::{FaultAction, FaultPlan, LinkDelay, Outage};
 pub use message::{Envelope, MsgSize};

@@ -10,6 +10,16 @@
 //!
 //! Graphs are the JSON documents of `dw_graph::io` (n, directed, edge
 //! list), so instances are easy to craft by hand or from other tools.
+//!
+//! The serving plane (`dw-serve`) adds a compute-once / query-forever
+//! workflow:
+//!
+//! ```text
+//! dwapsp tables  --graph g.json --out g.tables       # compute + persist
+//! dwapsp serve   --tables g.tables --shards 4 --listen 127.0.0.1:7000
+//! dwapsp query   --gateway 127.0.0.1:7000 --src 0 --dst 9 --path
+//! dwapsp loadgen --gateway 127.0.0.1:7000 --tables g.tables --zipf 1.1
+//! ```
 
 use dwapsp::approx::approx_apsp;
 use dwapsp::baselines::bf_apsp;
@@ -25,6 +35,10 @@ use dwapsp::pipeline::runtime::run_hk_ssp_on_recorded;
 use dwapsp::pipeline::{default_budget, hk_ssp_node, run_hk_ssp_chaos, ChaosConfig};
 use dwapsp::prelude::*;
 use dwapsp::seqref::matrices_equal;
+use dwapsp::serve::{
+    run_loadgen, serve_shard, Gateway, GatewayConfig, LoadgenConfig, QueryOutcome, ServeClient,
+    ShardHandle, TableSnapshot,
+};
 use dwapsp::transport::tcp::{
     run_coordinator_tcp, run_coordinator_tcp_mux, run_node_tcp, run_shard_tcp,
 };
@@ -53,6 +67,11 @@ fn main() {
         "report" => cmd_report(&get),
         "run-node" => cmd_run_node(&get),
         "coordinator" => cmd_coordinator(&get),
+        "tables" => cmd_tables(&get),
+        "serve" => cmd_serve(&get),
+        "serve-shard" => cmd_serve_shard(&get),
+        "query" => cmd_query(&get),
+        "loadgen" => cmd_loadgen(&get),
         "validate" => cmd_validate(&get),
         "info" => cmd_info(&get),
         _ => usage_and_exit(),
@@ -75,6 +94,14 @@ fn usage_and_exit() -> ! {
          [--runtime <threads[:P]|tcp[:P]>] [--sources a,b,c] [--kill V@R,..] [--sever A-B@R,..] \
          [--stall R@MS,..] [--seed S] [--cadence <K|off>] [--deadline-ms MS] \
          [--metrics-out FILE]\n  dwapsp report --metrics FILE\n  \
+         dwapsp tables --graph FILE --out FILE [--sources a,b,c] [--delta D] \
+         [--runtime <sim|threads[:P]|tcp[:P]>] [--oracle]\n  \
+         dwapsp serve --tables FILE [--listen ADDR] [--shards P | --shard-addrs A,B,..] \
+         [--flush-us U] [--max-batch B] [--cache C] [--duration-secs T]\n  \
+         dwapsp serve-shard --tables FILE --listen ADDR --shards P --shard-id S\n  \
+         dwapsp query --gateway ADDR --src S --dst D [--path]\n  \
+         dwapsp loadgen --gateway ADDR --tables FILE [--clients C] [--requests R] \
+         [--zipf S] [--zipf-pairs P] [--path-fraction F] [--seed S] [--json]\n  \
          dwapsp validate --graph FILE\n  dwapsp info --graph FILE"
     );
     exit(2);
@@ -712,6 +739,298 @@ fn cmd_coordinator(get: &impl Fn(&str) -> Option<String>) {
     });
     println!("coordinator: outcome={outcome:?}");
     print_stats("alg1 [tcp]", st.rounds, st.messages, st.max_link_load);
+}
+
+/// Presence-only flags (`--path`, `--oracle`, `--json`): the `get`
+/// closure needs a following value, so test membership directly.
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn load_tables(get: &impl Fn(&str) -> Option<String>) -> TableSnapshot {
+    let path = get("--tables").unwrap_or_else(|| {
+        eprintln!("--tables FILE (written by `dwapsp tables`) is required");
+        exit(2);
+    });
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    TableSnapshot::from_file_bytes(&bytes).unwrap_or_else(|| {
+        eprintln!("{path} is not a valid table snapshot (bad magic/version or corrupt payload)");
+        exit(1);
+    })
+}
+
+/// `tables`: compute k-SSP/APSP once — on any runtime, or with the
+/// sequential Dijkstra oracle (`--oracle`) — and persist the per-source
+/// distance + parent tables for the serving plane.
+fn cmd_tables(get: &impl Fn(&str) -> Option<String>) {
+    let g = load(get);
+    let out = get("--out").unwrap_or_else(|| {
+        eprintln!("--out FILE is required");
+        exit(2);
+    });
+    let snap = if has_flag("--oracle") {
+        let sources = parse_sources(get, g.n()).unwrap_or_else(|| (0..g.n() as NodeId).collect());
+        let runs: Vec<_> = sources.iter().map(|&s| dijkstra(&g, s)).collect();
+        TableSnapshot::from_sssp(&runs, g.n() as u32)
+    } else {
+        let rt = parse_runtime(get);
+        let cfg = deployment_config(get, &g);
+        let (res, st, _) =
+            run_hk_ssp_on(rt, &g, &cfg, EngineConfig::default()).unwrap_or_else(|e| {
+                eprintln!("{} runtime failed: {e}", rt.as_str());
+                exit(1);
+            });
+        print_stats(
+            &format!("alg1 tables [{}]", rt.as_str()),
+            st.rounds,
+            st.messages,
+            st.max_link_load,
+        );
+        TableSnapshot::from_result(&res)
+    };
+    std::fs::write(&out, snap.to_file_bytes()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "wrote {out}: {} source rows over n={} ({} payload bytes)",
+        snap.tables.len(),
+        snap.n,
+        snap.payload_bytes()
+    );
+}
+
+/// `serve`: stand up the query plane for a persisted table snapshot.
+/// Default mode spawns `--shards P` in-process shard servers plus the
+/// gateway; `--shard-addrs` instead fronts externally started
+/// `serve-shard` processes (shard `i` serves block `i` of the layout).
+fn cmd_serve(get: &impl Fn(&str) -> Option<String>) {
+    let snap = load_tables(get);
+    let cfg = GatewayConfig {
+        flush_interval: Duration::from_micros(
+            get("--flush-us").map_or(200, |s| s.parse().expect("--flush-us")),
+        ),
+        max_batch: get("--max-batch").map_or(128, |s| s.parse().expect("--max-batch")),
+        cache_capacity: get("--cache").map_or(4096, |s| s.parse().expect("--cache")),
+        ..GatewayConfig::default()
+    };
+    let listener = match get("--listen") {
+        Some(_) => TcpListener::bind(parse_addr(get, "--listen")),
+        None => TcpListener::bind(("127.0.0.1", 0)),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot listen: {e}");
+        exit(1);
+    });
+
+    let mut local_shards: Vec<ShardHandle> = Vec::new();
+    let (map, addrs) = if let Some(spec) = get("--shard-addrs") {
+        let addrs: Vec<SocketAddr> = spec
+            .split(',')
+            .map(|a| {
+                a.trim().parse().unwrap_or_else(|e| {
+                    eprintln!("--shard-addrs {a}: {e}");
+                    exit(2);
+                })
+            })
+            .collect();
+        (ShardMap::new(snap.n as usize, addrs.len()), addrs)
+    } else {
+        let shards: usize = get("--shards").map_or(1, |s| s.parse().expect("--shards"));
+        let map = ShardMap::new(snap.n as usize, shards);
+        let mut addrs = Vec::with_capacity(map.shards());
+        for s in 0..map.shards() {
+            let h = ShardHandle::spawn(snap.for_shard(&map, s as NodeId)).unwrap_or_else(|e| {
+                eprintln!("cannot spawn shard {s}: {e}");
+                exit(1);
+            });
+            addrs.push(h.addr);
+            local_shards.push(h);
+        }
+        (map, addrs)
+    };
+    let mut gw = Gateway::spawn_on(listener, map.clone(), &addrs, cfg).unwrap_or_else(|e| {
+        eprintln!("cannot start gateway: {e}");
+        exit(1);
+    });
+    println!("gateway listening on {}", gw.addr);
+    for (s, a) in addrs.iter().enumerate() {
+        let block = map.nodes(s as NodeId);
+        eprintln!(
+            "  shard {s} at {a}: sources [{}, {})",
+            block.start, block.end
+        );
+    }
+
+    match get("--duration-secs") {
+        Some(t) => {
+            let t: u64 = t.parse().expect("--duration-secs");
+            std::thread::sleep(Duration::from_secs(t));
+            let st = gw.stats();
+            println!(
+                "served {} queries: cache-hit-rate={:.3} mean-batch={:.1} shard-unavailable={}",
+                st.queries,
+                st.cache_hit_rate(),
+                st.mean_batch_size(),
+                st.shard_unavailable
+            );
+            gw.shutdown();
+            for h in &mut local_shards {
+                h.stop();
+            }
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}
+
+/// `serve-shard`: one standalone shard worker, serving the rows of its
+/// contiguous source block until killed. Pair with
+/// `dwapsp serve --shard-addrs` on the gateway side.
+fn cmd_serve_shard(get: &impl Fn(&str) -> Option<String>) {
+    let snap = load_tables(get);
+    let shards: usize = get("--shards")
+        .unwrap_or_else(|| {
+            eprintln!("--shards P (the full layout size) is required");
+            exit(2);
+        })
+        .parse()
+        .expect("--shards");
+    let id: NodeId = get("--shard-id")
+        .unwrap_or_else(|| {
+            eprintln!("--shard-id S is required");
+            exit(2);
+        })
+        .parse()
+        .expect("--shard-id");
+    let map = ShardMap::new(snap.n as usize, shards);
+    assert!(
+        (id as usize) < map.shards(),
+        "shard id {id} out of range (effective shards: {})",
+        map.shards()
+    );
+    let sub = snap.for_shard(&map, id);
+    let listener = TcpListener::bind(parse_addr(get, "--listen")).unwrap_or_else(|e| {
+        eprintln!("cannot listen: {e}");
+        exit(1);
+    });
+    let block = map.nodes(id);
+    eprintln!(
+        "shard {id} serving {} source rows [{}, {}) on {}",
+        sub.tables.len(),
+        block.start,
+        block.end,
+        listener.local_addr().unwrap()
+    );
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    if let Err(e) = serve_shard(listener, std::sync::Arc::new(sub), stop) {
+        eprintln!("shard {id} failed: {e}");
+        exit(1);
+    }
+}
+
+/// `query`: one point-to-point lookup against a running gateway. Exits
+/// 0 on an answer (including "unreachable"), 3 on degraded mode
+/// (`ShardUnavailable`), 2 on a malformed query.
+fn cmd_query(get: &impl Fn(&str) -> Option<String>) {
+    let gateway = parse_addr(get, "--gateway");
+    let src: NodeId = get("--src")
+        .unwrap_or_else(|| {
+            eprintln!("--src S is required");
+            exit(2);
+        })
+        .parse()
+        .expect("--src");
+    let dst: NodeId = get("--dst")
+        .unwrap_or_else(|| {
+            eprintln!("--dst D is required");
+            exit(2);
+        })
+        .parse()
+        .expect("--dst");
+    let mut client = ServeClient::connect(gateway, Duration::from_secs(5)).unwrap_or_else(|e| {
+        eprintln!("cannot connect to gateway {gateway}: {e}");
+        exit(1);
+    });
+    let outcome = client
+        .query(src, dst, has_flag("--path"))
+        .unwrap_or_else(|e| {
+            eprintln!("query failed: {e}");
+            exit(1);
+        });
+    match outcome {
+        QueryOutcome::Dist { dist } => println!("dist {src} -> {dst}: {dist}"),
+        QueryOutcome::Path { dist, path } => {
+            let hops: Vec<String> = path.iter().map(|v| v.to_string()).collect();
+            println!("dist {src} -> {dst}: {dist}");
+            println!("path: {}", hops.join(" -> "));
+        }
+        QueryOutcome::Unreachable => println!("dist {src} -> {dst}: inf"),
+        QueryOutcome::UnknownSource => {
+            eprintln!("source {src} has no computed table row");
+            exit(2);
+        }
+        QueryOutcome::OutOfRange => {
+            eprintln!("src/dst out of the table's node range");
+            exit(2);
+        }
+        QueryOutcome::ShardUnavailable { shard, lo, hi } => {
+            eprintln!("degraded: shard {shard} (sources [{lo}, {hi})) is unavailable");
+            exit(3);
+        }
+    }
+}
+
+/// `loadgen`: the closed-loop generator behind BENCH_7 — reports
+/// sustained QPS and client-observed latency percentiles.
+fn cmd_loadgen(get: &impl Fn(&str) -> Option<String>) {
+    let gateway = parse_addr(get, "--gateway");
+    let snap = load_tables(get);
+    let sources: Vec<NodeId> = snap.tables.iter().map(|t| t.source).collect();
+    let cfg = LoadgenConfig {
+        clients: get("--clients").map_or(4, |s| s.parse().expect("--clients")),
+        requests_per_client: get("--requests").map_or(1000, |s| s.parse().expect("--requests")),
+        path_fraction: get("--path-fraction").map_or(0.5, |s| s.parse().expect("--path-fraction")),
+        zipf: get("--zipf").map(|s| s.parse().expect("--zipf")),
+        zipf_pairs: get("--zipf-pairs").map_or(10_000, |s| s.parse().expect("--zipf-pairs")),
+        seed: get("--seed").map_or(1, |s| s.parse().expect("--seed")),
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(gateway, &sources, snap.n, &cfg).unwrap_or_else(|e| {
+        eprintln!("loadgen failed: {e}");
+        exit(1);
+    });
+    if has_flag("--json") {
+        println!(
+            "{{\"queries\":{},\"ok\":{},\"shard_unavailable\":{},\"errors\":{},\"wall_ms\":{},\
+             \"qps\":{:.1},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            report.queries,
+            report.ok,
+            report.shard_unavailable,
+            report.errors,
+            report.wall.as_millis(),
+            report.qps,
+            report.p50_us,
+            report.p95_us,
+            report.p99_us
+        );
+    } else {
+        let mix = cfg
+            .zipf
+            .map_or("uniform".to_string(), |s| format!("zipf({s})"));
+        println!(
+            "loadgen [{mix}]: {} queries in {:?} ({:.0} qps, {} clients)",
+            report.queries, report.wall, report.qps, cfg.clients
+        );
+        println!(
+            "latency: p50={}us p95={}us p99={}us; shard-unavailable={} errors={}",
+            report.p50_us, report.p95_us, report.p99_us, report.shard_unavailable, report.errors
+        );
+    }
 }
 
 fn print_matrix(m: &DistMatrix) {

@@ -37,6 +37,7 @@
 //! | [`blocker`] | `dw-blocker` | blocker sets, Algorithm 4, Algorithm 3 |
 //! | [`approx`] | `dw-approx` | Section IV (1+ε)-approximate APSP |
 //! | [`transport`] | `dw-transport` | message-passing runtime: threads, TCP, stdio |
+//! | [`serve`] | `dw-serve` | query serving plane: tables, gateway, shards, loadgen |
 //! | [`baselines`] | `dw-baselines` | Bellman–Ford, unweighted pipeline, delayed BFS |
 
 pub use dw_approx as approx;
@@ -47,6 +48,7 @@ pub use dw_graph as graph;
 pub use dw_obs as obs;
 pub use dw_pipeline as pipeline;
 pub use dw_seqref as seqref;
+pub use dw_serve as serve;
 pub use dw_transport as transport;
 
 /// The items most programs need.

@@ -36,6 +36,31 @@ impl HkSspResult {
         }
     }
 
+    /// Reconstruct the recorded shortest path `sources[i], …, dst` by
+    /// walking parent pointers backwards. `None` when `dst` is
+    /// unreachable or out of range, or when the parent chain is corrupt
+    /// (a cycle or a dangling pointer): the walk is bounded by `n`
+    /// hops, so a bad chain fails the call instead of looping. This is
+    /// what the serving plane persists per source row.
+    pub fn path(&self, i: usize, dst: NodeId) -> Option<Vec<NodeId>> {
+        let n = self.n();
+        if i >= self.k() || (dst as usize) >= n || self.dist[i][dst as usize] == INFINITY {
+            return None;
+        }
+        let source = self.sources[i];
+        let mut rev = vec![dst];
+        let mut at = dst;
+        while at != source {
+            at = self.parent[i][at as usize]?;
+            if (at as usize) >= n || rev.len() > n {
+                return None; // dangling pointer or cycle
+            }
+            rev.push(at);
+        }
+        rev.reverse();
+        Some(rev)
+    }
+
     pub fn k(&self) -> usize {
         self.sources.len()
     }
@@ -62,5 +87,30 @@ mod tests {
         assert_eq!(r.to_matrix().at(0, 2), 4);
         assert_eq!(r.hop_dist(0, 2), HopDist { dist: 4, hops: 2 });
         assert_eq!(r.hop_dist(0, 0), HopDist::UNREACHABLE);
+    }
+
+    #[test]
+    fn path_walks_parents_and_fails_closed() {
+        // source 3 in a 4-node row: 3 -> 1 -> 2, node 0 unreachable.
+        let r = HkSspResult {
+            sources: vec![3],
+            dist: vec![vec![INFINITY, 2, 6, 0]],
+            hops: vec![vec![0, 1, 2, 0]],
+            parent: vec![vec![None, Some(3), Some(1), None]],
+        };
+        assert_eq!(r.path(0, 3), Some(vec![3]));
+        assert_eq!(r.path(0, 2), Some(vec![3, 1, 2]));
+        assert_eq!(r.path(0, 0), None); // unreachable
+        assert_eq!(r.path(0, 9), None); // out of range
+        assert_eq!(r.path(1, 2), None); // no such source row
+
+        // A corrupt cycle must fail, not loop.
+        let bad = HkSspResult {
+            sources: vec![0],
+            dist: vec![vec![0, 1, 2]],
+            hops: vec![vec![0, 1, 2]],
+            parent: vec![vec![None, Some(2), Some(1)]],
+        };
+        assert_eq!(bad.path(0, 2), None);
     }
 }

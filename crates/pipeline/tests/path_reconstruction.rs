@@ -1,0 +1,75 @@
+//! Property test for parent-pointer path extraction: on random
+//! zero-heavy instances, every finite distance Algorithm 1 reports is
+//! witnessed by its own recorded path — walking the parent pointers
+//! yields a real edge sequence whose total weight **equals** the
+//! reported distance and whose hop count matches the recorded hop
+//! length. This is the invariant the serving plane relies on when it
+//! persists the tables and answers path queries without the graph.
+
+use dw_congest::EngineConfig;
+use dw_graph::{gen, NodeId, INFINITY};
+use dw_pipeline::{k_ssp, SspConfig};
+use dw_seqref::max_finite_distance;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn walked_path_weight_equals_reported_distance(
+        n in 2usize..28,
+        seed in any::<u64>(),
+        p_pct in 5u32..50,
+        p_zero_pct in 0u32..60,
+        w in 1u64..9,
+        source_stride in 1usize..4,
+    ) {
+        let g = gen::zero_heavy(
+            n,
+            p_pct as f64 / 100.0,
+            p_zero_pct as f64 / 100.0,
+            w,
+            true,
+            seed,
+        );
+        let delta = max_finite_distance(&g).max(1);
+        let sources: Vec<NodeId> =
+            (0..n as NodeId).step_by(source_stride).collect();
+        let cfg_hops = SspConfig::k_ssp(n, sources.clone(), delta).h;
+        let (res, _, _) = k_ssp(&g, sources, delta, EngineConfig::default());
+
+        for (i, &s) in res.sources.iter().enumerate() {
+            for v in 0..n as NodeId {
+                let d = res.dist[i][v as usize];
+                match res.path(i, v) {
+                    None => prop_assert_eq!(d, INFINITY, "{} -> {}", s, v),
+                    Some(path) => {
+                        prop_assert_eq!(path.first(), Some(&s));
+                        prop_assert_eq!(path.last(), Some(&v));
+                        prop_assert_eq!(
+                            path.len() as u64 - 1,
+                            res.hops[i][v as usize],
+                            "hop count disagrees for {} -> {}", s, v
+                        );
+                        prop_assert!(path.len() as u64 <= cfg_hops + 1);
+                        let mut walked = 0u64;
+                        for pair in path.windows(2) {
+                            let ew = g
+                                .out_edges(pair[0])
+                                .iter()
+                                .find(|&&(u, _)| u == pair[1])
+                                .map(|&(_, w)| w);
+                            prop_assert!(
+                                ew.is_some(),
+                                "path {} -> {} uses a non-edge {}->{}",
+                                s, v, pair[0], pair[1]
+                            );
+                            walked += ew.unwrap();
+                        }
+                        prop_assert_eq!(walked, d, "{} -> {}", s, v);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! A bounded LRU cache of hot `(src, dst)` answers.
+//!
+//! The gateway consults the cache at intake, before a query is ever
+//! routed to a shard, so a hot pair costs one map probe instead of a
+//! network round trip — under Zipf-skewed load most traffic collapses
+//! onto a few pairs and the hit rate is what buys the QPS headroom
+//! (EXPERIMENTS.md E19 measures exactly this curve).
+//!
+//! Implementation: a hand-rolled intrusive LRU — a slot arena with an
+//! embedded doubly-linked recency list and a `HashMap` from key to
+//! slot. All operations are O(1); no external crates (the build is
+//! offline). One entry can hold the distance alone or the distance plus
+//! the reconstructed path: a path-bearing entry answers both query
+//! flavors, a distance-only entry answers distance queries and upgrades
+//! in place when a path reply comes back.
+
+use dw_graph::{NodeId, Weight, INFINITY};
+use std::collections::HashMap;
+
+/// A cached answer for one `(src, dst)` pair. `dist == INFINITY` means
+/// "known unreachable" (which answers path queries too — there is no
+/// path to reconstruct).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedAnswer {
+    pub dist: Weight,
+    pub path: Option<Vec<NodeId>>,
+}
+
+impl CachedAnswer {
+    /// Can this entry answer a query of the given flavor?
+    fn answers(&self, want_path: bool) -> bool {
+        !want_path || self.path.is_some() || self.dist == INFINITY
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+struct Slot {
+    key: (NodeId, NodeId),
+    value: CachedAnswer,
+    prev: u32,
+    next: u32,
+}
+
+/// Bounded LRU over `(src, dst)` keys. `capacity == 0` disables
+/// caching entirely (every lookup misses, nothing is stored).
+pub struct PathCache {
+    capacity: usize,
+    map: HashMap<(NodeId, NodeId), u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl PathCache {
+    pub fn new(capacity: usize) -> PathCache {
+        PathCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Observed hit rate so far, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = &self.slots[i as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[i as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+    }
+
+    /// Look up an answer able to serve a query of the given flavor.
+    /// Counts a hit or miss and refreshes recency on hit.
+    pub fn get(&mut self, src: NodeId, dst: NodeId, want_path: bool) -> Option<CachedAnswer> {
+        match self.map.get(&(src, dst)).copied() {
+            Some(i) if self.slots[i as usize].value.answers(want_path) => {
+                self.hits += 1;
+                self.unlink(i);
+                self.push_front(i);
+                Some(self.slots[i as usize].value.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert or upgrade the answer for `(src, dst)`, evicting the
+    /// least-recently-used entry when at capacity. An existing
+    /// path-bearing entry is never downgraded to distance-only.
+    pub fn put(&mut self, src: NodeId, dst: NodeId, value: CachedAnswer) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&(src, dst)) {
+            let slot = &mut self.slots[i as usize];
+            if value.path.is_some() || slot.value.path.is_none() {
+                slot.value = value;
+            }
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        let i = if self.map.len() >= self.capacity {
+            // Evict the LRU tail and reuse its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            let key = self.slots[victim as usize].key;
+            self.map.remove(&key);
+            self.slots[victim as usize].key = (src, dst);
+            self.slots[victim as usize].value = value;
+            victim
+        } else if let Some(i) = self.free.pop() {
+            self.slots[i as usize].key = (src, dst);
+            self.slots[i as usize].value = value;
+            i
+        } else {
+            let i = self.slots.len() as u32;
+            self.slots.push(Slot {
+                key: (src, dst),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            i
+        };
+        self.map.insert((src, dst), i);
+        self.push_front(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(d: Weight) -> CachedAnswer {
+        CachedAnswer {
+            dist: d,
+            path: None,
+        }
+    }
+
+    #[test]
+    fn hits_misses_and_recency() {
+        let mut c = PathCache::new(2);
+        assert_eq!(c.get(0, 1, false), None);
+        c.put(0, 1, dist(5));
+        c.put(0, 2, dist(7));
+        assert_eq!(c.get(0, 1, false), Some(dist(5)));
+        // (0,2) is now LRU; inserting a third pair evicts it.
+        c.put(0, 3, dist(9));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0, 2, false), None);
+        assert_eq!(c.get(0, 1, false), Some(dist(5)));
+        assert_eq!(c.get(0, 3, false), Some(dist(9)));
+        assert_eq!(c.hits, 3);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn dist_entry_does_not_answer_path_queries() {
+        let mut c = PathCache::new(4);
+        c.put(1, 2, dist(4));
+        assert_eq!(c.get(1, 2, true), None); // path wanted, none cached
+        assert_eq!(c.get(1, 2, false), Some(dist(4)));
+        let full = CachedAnswer {
+            dist: 4,
+            path: Some(vec![1, 2]),
+        };
+        c.put(1, 2, full.clone());
+        assert_eq!(c.get(1, 2, true), Some(full.clone()));
+        // A later dist-only put must not erase the path.
+        c.put(1, 2, dist(4));
+        assert_eq!(c.get(1, 2, true), Some(full));
+    }
+
+    #[test]
+    fn unreachable_answers_both_flavors() {
+        let mut c = PathCache::new(4);
+        c.put(3, 9, dist(INFINITY));
+        assert_eq!(c.get(3, 9, true), Some(dist(INFINITY)));
+        assert_eq!(c.get(3, 9, false), Some(dist(INFINITY)));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PathCache::new(0);
+        c.put(0, 1, dist(5));
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.get(0, 1, false), None);
+    }
+
+    #[test]
+    fn heavy_churn_keeps_len_bounded() {
+        let mut c = PathCache::new(8);
+        for i in 0..1000u32 {
+            c.put(i % 16, i / 16, dist(i as Weight));
+            let _ = c.get(i % 16, 0, false);
+        }
+        assert!(c.len() <= 8);
+    }
+}

@@ -1,0 +1,68 @@
+//! A synchronous gateway client: one connection, one outstanding
+//! request at a time.
+//!
+//! This is the building block both `dwapsp query` and the closed-loop
+//! load generator use. Replies are correlated by id (the gateway may
+//! complete replies out of submission order for *pipelined* clients;
+//! with one outstanding request the loop below is just a safety check).
+
+use crate::proto::{QueryOutcome, QueryReply, QueryRequest};
+use dw_transport::tcp::retry_connect;
+use dw_transport::wire::{read_frame, write_frame};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+pub struct ServeClient {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connect to a gateway, retrying until `timeout`.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<ServeClient> {
+        let stream = retry_connect(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient {
+            stream,
+            scratch: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    /// One blocking query round trip.
+    pub fn query(&mut self, src: u32, dst: u32, want_path: bool) -> io::Result<QueryOutcome> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = QueryRequest {
+            id,
+            src,
+            dst,
+            want_path,
+        };
+        write_frame(&mut self.stream, &req, &mut self.scratch)?;
+        loop {
+            match read_frame::<_, QueryReply>(&mut self.stream)? {
+                Some(reply) if reply.id == id => return Ok(reply.outcome),
+                Some(_) => continue, // a stray reply from a past timeout
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "gateway closed the connection mid-query",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Distance-only convenience wrapper.
+    pub fn dist(&mut self, src: u32, dst: u32) -> io::Result<QueryOutcome> {
+        self.query(src, dst, false)
+    }
+
+    /// Path convenience wrapper.
+    pub fn path(&mut self, src: u32, dst: u32) -> io::Result<QueryOutcome> {
+        self.query(src, dst, true)
+    }
+}

@@ -1,0 +1,519 @@
+//! The stateless query gateway: route, coalesce, cache, degrade.
+//!
+//! Clients connect to one address and never learn the shard layout.
+//! For every incoming [`QueryRequest`] the gateway:
+//!
+//! 1. **routes** — resolves the owning shard from the source node via
+//!    the same [`ShardMap`] the transport runtime shards by, and probes
+//!    the LRU cache; a hit (or an out-of-range source/destination)
+//!    answers immediately without touching any shard;
+//! 2. **batches** — parks the query on the owning shard's dispatcher,
+//!    which coalesces everything that arrives within one flush tick
+//!    (or up to `max_batch`) into a single [`QueryBatch`] frame,
+//!    mempool-style, and ships it as one write;
+//! 3. **caches** — folds every distance/path/unreachable answer back
+//!    into the shared LRU so hot pairs short-circuit at intake;
+//! 4. **degrades** — a dead shard connection marks that shard down and
+//!    turns its queued and future queries into typed
+//!    [`QueryOutcome::ShardUnavailable`] replies carrying the orphaned
+//!    source range, while every other shard keeps serving.
+//!
+//! Threading: one dispatcher thread per shard (owns that shard's
+//! connection; write-then-read per batch, so batches to *different*
+//! shards overlap freely), one reader and one writer thread per client
+//! connection (replies can complete out of submission order — cache
+//! hits overtake shard round trips — so writers drain a channel and
+//! clients correlate by id).
+
+use crate::cache::{CachedAnswer, PathCache};
+use crate::metrics::ServeStats;
+use crate::proto::{QueryBatch, QueryOutcome, QueryReply, QueryRequest, ReplyBatch};
+use dw_graph::{NodeId, INFINITY};
+use dw_transport::shard::ShardMap;
+use dw_transport::tcp::retry_connect;
+use dw_transport::wire::{read_frame, write_frame};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Coalescing window: after the first query lands on an idle
+    /// dispatcher, wait this long for more before flushing. Zero
+    /// disables coalescing (every query ships as soon as the
+    /// dispatcher is free).
+    pub flush_interval: Duration,
+    /// Flush early once a batch holds this many queries.
+    pub max_batch: usize,
+    /// LRU capacity in `(src, dst)` entries; zero disables caching.
+    pub cache_capacity: usize,
+    /// How long to keep retrying the initial shard connections.
+    pub connect_timeout: Duration,
+    /// Per-batch shard read timeout: a shard silent this long is
+    /// declared down (a *closed* socket is detected immediately; the
+    /// timeout catches a wedged one).
+    pub shard_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            flush_interval: Duration::from_micros(200),
+            max_batch: 128,
+            cache_capacity: 4096,
+            connect_timeout: Duration::from_secs(5),
+            shard_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A query parked on a dispatcher: the shard-hop request (re-tagged
+/// with an internal id) plus the way home.
+struct Parked {
+    query: QueryRequest,
+    /// Reply channel of the owning client connection.
+    home: Sender<QueryReply>,
+    /// The client's original correlation id.
+    client_id: u64,
+}
+
+/// One shard dispatcher's mailbox.
+#[derive(Default)]
+struct Mailbox {
+    parked: Vec<Parked>,
+    /// Set once the shard is declared dead; guarded by the same lock
+    /// so intake and dispatcher agree on who answers a parked query.
+    down: bool,
+}
+
+struct Dispatcher {
+    mailbox: Mutex<Mailbox>,
+    wake: Condvar,
+    /// The source-node block this shard owns (for `ShardUnavailable`).
+    lo: NodeId,
+    hi: NodeId,
+}
+
+struct Shared {
+    map: ShardMap,
+    dispatchers: Vec<Arc<Dispatcher>>,
+    cache: Mutex<PathCache>,
+    stats: Mutex<ServeStats>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn unavailable(&self, shard: NodeId) -> QueryOutcome {
+        let d = &self.dispatchers[shard as usize];
+        QueryOutcome::ShardUnavailable {
+            shard,
+            lo: d.lo,
+            hi: d.hi,
+        }
+    }
+}
+
+/// Fold a shard answer into the cache (only answers that are facts
+/// about the graph — not errors — are cacheable).
+fn cache_put(cache: &Mutex<PathCache>, src: NodeId, dst: NodeId, outcome: &QueryOutcome) {
+    let answer = match outcome {
+        QueryOutcome::Dist { dist } => CachedAnswer {
+            dist: *dist,
+            path: None,
+        },
+        QueryOutcome::Path { dist, path } => CachedAnswer {
+            dist: *dist,
+            path: Some(path.clone()),
+        },
+        QueryOutcome::Unreachable => CachedAnswer {
+            dist: INFINITY,
+            path: None,
+        },
+        _ => return,
+    };
+    cache.lock().unwrap().put(src, dst, answer);
+}
+
+/// The per-shard dispatcher loop: wait for parked queries, coalesce one
+/// flush tick's worth, ship the batch, route replies home.
+fn dispatcher_main(
+    shared: &Shared,
+    shard: usize,
+    mut conn: Option<TcpStream>,
+    cfg_flush: Duration,
+    cfg_batch: usize,
+) {
+    let d = &shared.dispatchers[shard];
+    let mut scratch = Vec::new();
+    let mut seq = 0u64;
+    loop {
+        // --- collect one batch ---
+        let batch: Vec<Parked> = {
+            let mut mb = d.mailbox.lock().unwrap();
+            while mb.parked.is_empty() && !shared.stop.load(Ordering::Relaxed) {
+                let (guard, _) = d.wake.wait_timeout(mb, Duration::from_millis(50)).unwrap();
+                mb = guard;
+            }
+            if mb.parked.is_empty() {
+                return; // stopped while idle
+            }
+            // Coalescing window: give concurrent clients one tick to
+            // pile on, flushing early at max_batch.
+            if !cfg_flush.is_zero() {
+                let deadline = Instant::now() + cfg_flush;
+                while mb.parked.len() < cfg_batch {
+                    let now = Instant::now();
+                    if now >= deadline || shared.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let (guard, _) = d.wake.wait_timeout(mb, deadline - now).unwrap();
+                    mb = guard;
+                }
+            }
+            let take = mb.parked.len().min(cfg_batch);
+            mb.parked.drain(..take).collect()
+        };
+
+        let t0 = Instant::now();
+        let outcome = match &mut conn {
+            None => Err(io::Error::new(io::ErrorKind::NotConnected, "shard down")),
+            Some(stream) => ship_batch(stream, &mut scratch, &mut seq, &batch),
+        };
+        match outcome {
+            Ok(reply) => {
+                let batch_ns = t0.elapsed().as_nanos() as u64;
+                {
+                    let mut st = shared.stats.lock().unwrap();
+                    st.batches += 1;
+                    st.batched_queries += batch.len() as u64;
+                    st.batch_ns += batch_ns;
+                    st.lookup_ns += reply.lookup_ns;
+                    st.walk_ns += reply.walk_ns;
+                }
+                let mut by_id: HashMap<u64, QueryReply> =
+                    reply.replies.into_iter().map(|r| (r.id, r)).collect();
+                for p in batch {
+                    let outcome = match by_id.remove(&p.query.id) {
+                        Some(r) => {
+                            cache_put(&shared.cache, p.query.src, p.query.dst, &r.outcome);
+                            r.outcome
+                        }
+                        // A reply batch that lost an entry is a shard
+                        // bug; fail that query closed.
+                        None => shared.unavailable(shard as NodeId),
+                    };
+                    deliver(shared, &p, outcome);
+                }
+            }
+            Err(_) => {
+                // The shard is gone: mark it down under the mailbox
+                // lock (so no new query can park in between), then fail
+                // this batch and anything parked meanwhile.
+                let leftovers: Vec<Parked> = {
+                    let mut mb = d.mailbox.lock().unwrap();
+                    mb.down = true;
+                    mb.parked.drain(..).collect()
+                };
+                conn = None;
+                for p in batch.iter().chain(leftovers.iter()) {
+                    deliver(shared, p, shared.unavailable(shard as NodeId));
+                }
+            }
+        }
+    }
+}
+
+/// One batched round trip on the shard connection.
+fn ship_batch(
+    stream: &mut TcpStream,
+    scratch: &mut Vec<u8>,
+    seq: &mut u64,
+    batch: &[Parked],
+) -> io::Result<ReplyBatch> {
+    *seq += 1;
+    let frame = QueryBatch {
+        seq: *seq,
+        queries: batch.iter().map(|p| p.query.clone()).collect(),
+    };
+    write_frame(stream, &frame, scratch)?;
+    loop {
+        match read_frame::<_, ReplyBatch>(stream) {
+            Ok(Some(reply)) if reply.seq == *seq => return Ok(reply),
+            // A stale reply (from a batch we already gave up on) is
+            // skipped; anything else is a dead or misbehaving shard.
+            Ok(Some(_)) => continue,
+            Ok(None) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn deliver(shared: &Shared, p: &Parked, outcome: QueryOutcome) {
+    {
+        let mut st = shared.stats.lock().unwrap();
+        st.replies += 1;
+        if matches!(outcome, QueryOutcome::ShardUnavailable { .. }) {
+            st.shard_unavailable += 1;
+        }
+    }
+    // A dead client connection just drops the reply; the reader side
+    // notices the hangup independently.
+    let _ = p.home.send(QueryReply {
+        id: p.client_id,
+        outcome,
+    });
+}
+
+/// One client connection's intake loop: read requests, answer what can
+/// be answered at the gate, park the rest on the owning dispatcher.
+fn client_main(shared: &Shared, stream: TcpStream, next_internal: &std::sync::atomic::AtomicU64) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = std::sync::mpsc::channel::<QueryReply>();
+
+    // Writer: serialize replies back to the client as they complete.
+    let writer = std::thread::spawn(move || {
+        let mut stream = stream;
+        let mut scratch = Vec::new();
+        while let Ok(reply) = rx.recv() {
+            if write_frame(&mut stream, &reply, &mut scratch).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut read_half = read_half;
+    let _ = read_half.set_nodelay(true);
+    let _ = read_half.set_read_timeout(Some(Duration::from_millis(50)));
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let req = match read_frame::<_, QueryRequest>(&mut read_half) {
+            Ok(Some(r)) => r,
+            Ok(None) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+
+        let t0 = Instant::now();
+        shared.stats.lock().unwrap().queries += 1;
+        let n = shared.map.n() as NodeId;
+
+        // Fail fast on out-of-range coordinates: no shard owns them.
+        if req.src >= n || req.dst >= n {
+            {
+                let mut st = shared.stats.lock().unwrap();
+                st.route_ns += t0.elapsed().as_nanos() as u64;
+                st.replies += 1;
+            }
+            let _ = tx.send(QueryReply {
+                id: req.id,
+                outcome: QueryOutcome::OutOfRange,
+            });
+            continue;
+        }
+
+        // Cache probe.
+        let cached = shared
+            .cache
+            .lock()
+            .unwrap()
+            .get(req.src, req.dst, req.want_path);
+        if let Some(hit) = cached {
+            let outcome = match (req.want_path, hit.path) {
+                _ if hit.dist == INFINITY => QueryOutcome::Unreachable,
+                (true, Some(path)) => QueryOutcome::Path {
+                    dist: hit.dist,
+                    path,
+                },
+                _ => QueryOutcome::Dist { dist: hit.dist },
+            };
+            let mut st = shared.stats.lock().unwrap();
+            st.cache_hits += 1;
+            st.replies += 1;
+            st.route_ns += t0.elapsed().as_nanos() as u64;
+            drop(st);
+            let _ = tx.send(QueryReply {
+                id: req.id,
+                outcome,
+            });
+            continue;
+        }
+        shared.stats.lock().unwrap().cache_misses += 1;
+
+        // Route to the owning shard's dispatcher.
+        let shard = shared.map.shard_of(req.src);
+        let d = &shared.dispatchers[shard as usize];
+        let internal = next_internal.fetch_add(1, Ordering::Relaxed);
+        let parked = Parked {
+            query: QueryRequest {
+                id: internal,
+                ..req.clone()
+            },
+            home: tx.clone(),
+            client_id: req.id,
+        };
+        {
+            let mut mb = d.mailbox.lock().unwrap();
+            if mb.down {
+                drop(mb);
+                shared.stats.lock().unwrap().route_ns += t0.elapsed().as_nanos() as u64;
+                deliver(shared, &parked, shared.unavailable(shard));
+                continue;
+            }
+            mb.parked.push(parked);
+            d.wake.notify_one();
+        }
+        shared.stats.lock().unwrap().route_ns += t0.elapsed().as_nanos() as u64;
+    }
+    // Closing `tx` ends the writer once in-flight replies drain.
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// A running gateway: accept loop + shard dispatchers on background
+/// threads. Stop with [`Gateway::shutdown`]; dropping shuts down too.
+pub struct Gateway {
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Connect to `shard_addrs` (shard `s` serves the `s`-th block of
+    /// `map`) and start accepting clients on a fresh loopback listener.
+    pub fn spawn(
+        map: ShardMap,
+        shard_addrs: &[SocketAddr],
+        cfg: GatewayConfig,
+    ) -> io::Result<Gateway> {
+        Gateway::spawn_on(TcpListener::bind(("127.0.0.1", 0))?, map, shard_addrs, cfg)
+    }
+
+    /// As [`Gateway::spawn`], on a caller-provided listener.
+    pub fn spawn_on(
+        listener: TcpListener,
+        map: ShardMap,
+        shard_addrs: &[SocketAddr],
+        cfg: GatewayConfig,
+    ) -> io::Result<Gateway> {
+        assert_eq!(
+            map.shards(),
+            shard_addrs.len(),
+            "one shard address per shard of the layout"
+        );
+        let addr = listener.local_addr()?;
+        let dispatchers: Vec<Arc<Dispatcher>> = (0..map.shards())
+            .map(|s| {
+                let block = map.nodes(s as NodeId);
+                Arc::new(Dispatcher {
+                    mailbox: Mutex::new(Mailbox::default()),
+                    wake: Condvar::new(),
+                    lo: block.start,
+                    hi: block.end,
+                })
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            map,
+            dispatchers,
+            cache: Mutex::new(PathCache::new(cfg.cache_capacity)),
+            stats: Mutex::new(ServeStats::default()),
+            stop: AtomicBool::new(false),
+        });
+
+        let mut threads = Vec::new();
+        for (s, &peer) in shard_addrs.iter().enumerate() {
+            // A shard that is already down at startup degrades exactly
+            // like one that dies later: its dispatcher starts with no
+            // connection and answers `ShardUnavailable`.
+            let conn = retry_connect(peer, cfg.connect_timeout)
+                .and_then(|c| {
+                    c.set_nodelay(true)?;
+                    c.set_read_timeout(Some(cfg.shard_timeout))?;
+                    Ok(c)
+                })
+                .ok();
+            if conn.is_none() {
+                shared.dispatchers[s].mailbox.lock().unwrap().down = true;
+            }
+            let shared2 = Arc::clone(&shared);
+            let flush = cfg.flush_interval;
+            let max_batch = cfg.max_batch.max(1);
+            threads.push(std::thread::spawn(move || {
+                dispatcher_main(&shared2, s, conn, flush, max_batch);
+            }));
+        }
+
+        // Accept loop.
+        listener.set_nonblocking(true)?;
+        let shared2 = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            let next_internal = Arc::new(std::sync::atomic::AtomicU64::new(1));
+            let mut clients = Vec::new();
+            while !shared2.stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared3 = Arc::clone(&shared2);
+                        let ids = Arc::clone(&next_internal);
+                        clients.push(std::thread::spawn(move || {
+                            client_main(&shared3, stream, &ids);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for c in clients {
+                let _ = c.join();
+            }
+        }));
+
+        Ok(Gateway {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// Snapshot of the aggregate serve metrics.
+    pub fn stats(&self) -> ServeStats {
+        *self.shared.stats.lock().unwrap()
+    }
+
+    /// Observed cache hit rate (from the cache's own counters, which
+    /// include probes answered before routing).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.shared.cache.lock().unwrap().hit_rate()
+    }
+
+    /// Stop accepting, drain the dispatchers, join every thread.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for d in &self.shared.dispatchers {
+            d.wake.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

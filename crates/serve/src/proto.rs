@@ -1,0 +1,272 @@
+//! The `dwapsp-serve-v1` wire protocol.
+//!
+//! Two hops, one framing. Clients speak [`QueryRequest`] /
+//! [`QueryReply`] to the gateway; the gateway speaks [`QueryBatch`] /
+//! [`ReplyBatch`] to the shard workers. Both hops move values as
+//! length-prefixed frames via [`dw_transport::wire::write_frame`] /
+//! [`read_frame`] — the same framing, length cap and
+//! malformed-input discipline as the transport runtime's round
+//! traffic, so the codec fuzz suite applies unchanged.
+//!
+//! Request ids are correlation tokens: clients choose them freely (the
+//! gateway echoes each back on the matching reply), and the gateway
+//! re-tags queries with its own ids on the shard hop so replies from a
+//! batched frame route back to the right client connection. Both hops
+//! preserve FIFO order per connection, but ids make the matching
+//! explicit rather than positional — a reply batch that lost or
+//! reordered entries is detected, not silently misattributed.
+
+use dw_congest::WireCodec;
+use dw_graph::{NodeId, Weight};
+
+/// One point-to-point lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Correlation id, echoed on the reply.
+    pub id: u64,
+    /// Source node — selects the table row, and thereby the owning
+    /// shard (sources shard by contiguous node-id blocks).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Ask for the full path, reconstructed from parent pointers, not
+    /// just the distance.
+    pub want_path: bool,
+}
+
+/// The outcome of one query. Transport-level failure is data here, not
+/// a connection error: a gateway whose shard died answers
+/// [`QueryOutcome::ShardUnavailable`] for that source range and keeps
+/// serving everything else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The shortest-path distance.
+    Dist { dist: Weight },
+    /// Distance plus the node sequence `src, …, dst` achieving it.
+    Path { dist: Weight, path: Vec<NodeId> },
+    /// No path (or none within the computed hop/distance regime).
+    Unreachable,
+    /// `src` is not a source row of the computed tables (a k-SSP table
+    /// set only covers its k sources).
+    UnknownSource,
+    /// `src` or `dst` is outside `0..n`.
+    OutOfRange,
+    /// The shard owning `src`'s block (`lo..hi`) is down. The typed
+    /// degraded-mode answer: other shards keep serving.
+    ShardUnavailable {
+        shard: NodeId,
+        lo: NodeId,
+        hi: NodeId,
+    },
+}
+
+/// One answered query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// The request's correlation id.
+    pub id: u64,
+    pub outcome: QueryOutcome,
+}
+
+/// Gateway → shard: every query routed to one shard in one flush tick,
+/// coalesced into a single frame (the serving-plane twin of the
+/// transport's `RoundBatch`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryBatch {
+    /// Batch sequence number on this connection, for diagnostics.
+    pub seq: u64,
+    pub queries: Vec<QueryRequest>,
+}
+
+/// Shard → gateway: the answers to one [`QueryBatch`], in query order,
+/// plus the shard-side phase timings the gateway folds into its
+/// aggregate serve metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyBatch {
+    /// Echo of the request batch's `seq`.
+    pub seq: u64,
+    pub replies: Vec<QueryReply>,
+    /// Nanoseconds this batch spent in table lookups.
+    pub lookup_ns: u64,
+    /// Nanoseconds this batch spent walking parent pointers.
+    pub walk_ns: u64,
+}
+
+impl WireCodec for QueryRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.src.encode(out);
+        self.dst.encode(out);
+        self.want_path.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(QueryRequest {
+            id: u64::decode(buf)?,
+            src: NodeId::decode(buf)?,
+            dst: NodeId::decode(buf)?,
+            want_path: bool::decode(buf)?,
+        })
+    }
+}
+
+impl WireCodec for QueryOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            QueryOutcome::Dist { dist } => {
+                out.push(0);
+                dist.encode(out);
+            }
+            QueryOutcome::Path { dist, path } => {
+                out.push(1);
+                dist.encode(out);
+                path.encode(out);
+            }
+            QueryOutcome::Unreachable => out.push(2),
+            QueryOutcome::UnknownSource => out.push(3),
+            QueryOutcome::OutOfRange => out.push(4),
+            QueryOutcome::ShardUnavailable { shard, lo, hi } => {
+                out.push(5);
+                shard.encode(out);
+                lo.encode(out);
+                hi.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(QueryOutcome::Dist {
+                dist: Weight::decode(buf)?,
+            }),
+            1 => Some(QueryOutcome::Path {
+                dist: Weight::decode(buf)?,
+                path: Vec::<NodeId>::decode(buf)?,
+            }),
+            2 => Some(QueryOutcome::Unreachable),
+            3 => Some(QueryOutcome::UnknownSource),
+            4 => Some(QueryOutcome::OutOfRange),
+            5 => Some(QueryOutcome::ShardUnavailable {
+                shard: NodeId::decode(buf)?,
+                lo: NodeId::decode(buf)?,
+                hi: NodeId::decode(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl WireCodec for QueryReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.outcome.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(QueryReply {
+            id: u64::decode(buf)?,
+            outcome: QueryOutcome::decode(buf)?,
+        })
+    }
+}
+
+impl WireCodec for QueryBatch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seq.encode(out);
+        self.queries.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(QueryBatch {
+            seq: u64::decode(buf)?,
+            queries: Vec::<QueryRequest>::decode(buf)?,
+        })
+    }
+}
+
+impl WireCodec for ReplyBatch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seq.encode(out);
+        self.replies.encode(out);
+        self.lookup_ns.encode(out);
+        self.walk_ns.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(ReplyBatch {
+            seq: u64::decode(buf)?,
+            replies: Vec::<QueryReply>::decode(buf)?,
+            lookup_ns: u64::decode(buf)?,
+            walk_ns: u64::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_congest::codec::roundtrip;
+
+    #[test]
+    fn query_types_roundtrip() {
+        let q = QueryRequest {
+            id: 7,
+            src: 3,
+            dst: 9,
+            want_path: true,
+        };
+        assert_eq!(roundtrip(&q), Some(q.clone()));
+        for outcome in [
+            QueryOutcome::Dist { dist: 42 },
+            QueryOutcome::Path {
+                dist: 11,
+                path: vec![3, 5, 9],
+            },
+            QueryOutcome::Unreachable,
+            QueryOutcome::UnknownSource,
+            QueryOutcome::OutOfRange,
+            QueryOutcome::ShardUnavailable {
+                shard: 1,
+                lo: 8,
+                hi: 16,
+            },
+        ] {
+            let r = QueryReply { id: 9, outcome };
+            assert_eq!(roundtrip(&r), Some(r.clone()));
+        }
+    }
+
+    #[test]
+    fn batches_roundtrip() {
+        let b = QueryBatch {
+            seq: 4,
+            queries: vec![
+                QueryRequest {
+                    id: 1,
+                    src: 0,
+                    dst: 5,
+                    want_path: false,
+                },
+                QueryRequest {
+                    id: 2,
+                    src: 1,
+                    dst: 0,
+                    want_path: true,
+                },
+            ],
+        };
+        assert_eq!(roundtrip(&b), Some(b.clone()));
+        let r = ReplyBatch {
+            seq: 4,
+            replies: vec![QueryReply {
+                id: 1,
+                outcome: QueryOutcome::Dist { dist: 3 },
+            }],
+            lookup_ns: 120,
+            walk_ns: 0,
+        };
+        assert_eq!(roundtrip(&r), Some(r.clone()));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut bytes = dw_congest::to_bytes(&QueryOutcome::Unreachable);
+        bytes[0] = 99;
+        assert_eq!(dw_congest::from_bytes::<QueryOutcome>(&bytes), None);
+    }
+}

@@ -1,0 +1,296 @@
+//! The shard worker of the serving plane: answers batched queries for
+//! the source rows it owns.
+//!
+//! A shard server is deliberately dumb — it holds its slice of the
+//! [`TableSnapshot`] (the rows whose source falls in its contiguous
+//! node-id block), accepts connections, and answers each incoming
+//! [`QueryBatch`] with one [`ReplyBatch`] in query order. All policy —
+//! routing, batching, caching, failure handling — lives in the gateway;
+//! the shard's only contract is "one reply batch per query batch, same
+//! connection, FIFO". That keeps a worker restartable by just pointing
+//! a new process at the same table file.
+
+use crate::proto::{QueryBatch, QueryOutcome, QueryReply, QueryRequest, ReplyBatch};
+use crate::table::TableSnapshot;
+use dw_graph::INFINITY;
+use dw_transport::wire::{read_frame, write_frame};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Answer one query against a (shard-local) snapshot. Returns the reply
+/// plus the nanoseconds attributed to the lookup and path-walk phases.
+pub fn answer(snap: &TableSnapshot, q: &QueryRequest) -> (QueryReply, u64, u64) {
+    let t0 = Instant::now();
+    let outcome = 'o: {
+        if q.src >= snap.n || q.dst >= snap.n {
+            break 'o QueryOutcome::OutOfRange;
+        }
+        let Some(table) = snap.table_for(q.src) else {
+            break 'o QueryOutcome::UnknownSource;
+        };
+        let dist = table.dist[q.dst as usize];
+        if dist == INFINITY {
+            break 'o QueryOutcome::Unreachable;
+        }
+        if !q.want_path {
+            break 'o QueryOutcome::Dist { dist };
+        }
+        let lookup_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
+        // A finite distance whose parent chain will not walk is a
+        // corrupt table; fail the query closed rather than hang or lie.
+        let outcome = match table.path_to(q.dst) {
+            Some(path) => QueryOutcome::Path { dist, path },
+            None => QueryOutcome::Unreachable,
+        };
+        let walk_ns = t1.elapsed().as_nanos() as u64;
+        return (QueryReply { id: q.id, outcome }, lookup_ns, walk_ns);
+    };
+    (
+        QueryReply { id: q.id, outcome },
+        t0.elapsed().as_nanos() as u64,
+        0,
+    )
+}
+
+/// Answer a whole batch, preserving query order.
+pub fn answer_batch(snap: &TableSnapshot, batch: &QueryBatch) -> ReplyBatch {
+    let mut replies = Vec::with_capacity(batch.queries.len());
+    let (mut lookup_ns, mut walk_ns) = (0u64, 0u64);
+    for q in &batch.queries {
+        let (r, l, w) = answer(snap, q);
+        replies.push(r);
+        lookup_ns += l;
+        walk_ns += w;
+    }
+    ReplyBatch {
+        seq: batch.seq,
+        replies,
+        lookup_ns,
+        walk_ns,
+    }
+}
+
+/// Serve one established connection until EOF, error, or stop.
+fn serve_conn(snap: &TableSnapshot, mut stream: TcpStream, stop: &AtomicBool) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Wake periodically so a stop request is honored even on an idle
+    // connection.
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut scratch = Vec::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match read_frame::<_, QueryBatch>(&mut stream) {
+            Ok(None) => return Ok(()),
+            Ok(Some(batch)) => {
+                let reply = answer_batch(snap, &batch);
+                write_frame(&mut stream, &reply, &mut scratch)?;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Run a shard server on `listener` until `stop` is raised: accept
+/// connections (the gateway usually holds exactly one) and serve each
+/// on its own thread. Returns when the accept loop has wound down;
+/// connection threads drain on the same stop flag.
+pub fn serve_shard(
+    listener: TcpListener,
+    snap: Arc<TableSnapshot>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let snap = Arc::clone(&snap);
+                let stop = Arc::clone(&stop);
+                conns.push(std::thread::spawn(move || {
+                    // A connection error (gateway went away) only ends
+                    // this connection; the shard keeps accepting.
+                    let _ = serve_conn(&snap, stream, &stop);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    Ok(())
+}
+
+/// A shard server running on a background thread, for in-process
+/// deployments (benches, smoke tests, the loopback path of `dwapsp
+/// serve`). Kill it with [`ShardHandle::stop`] — dropping the handle
+/// also stops it.
+pub struct ShardHandle {
+    pub addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ShardHandle {
+    /// Bind a loopback listener and serve `snap` on a new thread.
+    pub fn spawn(snap: TableSnapshot) -> io::Result<ShardHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || serve_shard(listener, Arc::new(snap), stop2));
+        Ok(ShardHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// Stop serving: raise the flag and join the accept loop. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::SourceTable;
+    use dw_congest::WireCodec;
+
+    fn snap() -> TableSnapshot {
+        // 0 -> 1 -> 2 (weights 2, 3); node 3 unreachable.
+        TableSnapshot {
+            n: 4,
+            tables: vec![SourceTable {
+                source: 0,
+                dist: vec![0, 2, 5, INFINITY],
+                parent: vec![None, Some(0), Some(1), None],
+            }],
+        }
+    }
+
+    #[test]
+    fn answer_covers_all_outcomes() {
+        let s = snap();
+        let q = |src, dst, want_path| QueryRequest {
+            id: 1,
+            src,
+            dst,
+            want_path,
+        };
+        assert_eq!(
+            answer(&s, &q(0, 2, false)).0.outcome,
+            QueryOutcome::Dist { dist: 5 }
+        );
+        assert_eq!(
+            answer(&s, &q(0, 2, true)).0.outcome,
+            QueryOutcome::Path {
+                dist: 5,
+                path: vec![0, 1, 2]
+            }
+        );
+        assert_eq!(
+            answer(&s, &q(0, 3, true)).0.outcome,
+            QueryOutcome::Unreachable
+        );
+        assert_eq!(
+            answer(&s, &q(1, 0, false)).0.outcome,
+            QueryOutcome::UnknownSource
+        );
+        assert_eq!(
+            answer(&s, &q(0, 9, false)).0.outcome,
+            QueryOutcome::OutOfRange
+        );
+    }
+
+    #[test]
+    fn shard_serves_batches_over_tcp() {
+        let mut h = ShardHandle::spawn(snap()).unwrap();
+        let mut stream = TcpStream::connect(h.addr).unwrap();
+        let mut scratch = Vec::new();
+        let batch = QueryBatch {
+            seq: 1,
+            queries: vec![
+                QueryRequest {
+                    id: 10,
+                    src: 0,
+                    dst: 1,
+                    want_path: false,
+                },
+                QueryRequest {
+                    id: 11,
+                    src: 0,
+                    dst: 2,
+                    want_path: true,
+                },
+            ],
+        };
+        write_frame(&mut stream, &batch, &mut scratch).unwrap();
+        let reply: ReplyBatch = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(reply.seq, 1);
+        assert_eq!(reply.replies.len(), 2);
+        assert_eq!(reply.replies[0].id, 10);
+        assert_eq!(reply.replies[0].outcome, QueryOutcome::Dist { dist: 2 });
+        assert_eq!(
+            reply.replies[1].outcome,
+            QueryOutcome::Path {
+                dist: 5,
+                path: vec![0, 1, 2]
+            }
+        );
+        h.stop();
+    }
+
+    #[test]
+    fn malformed_frame_drops_the_connection_not_the_shard() {
+        let mut h = ShardHandle::spawn(snap()).unwrap();
+        let mut bad = TcpStream::connect(h.addr).unwrap();
+        // A frame whose body the codec rejects.
+        let mut junk = Vec::new();
+        9u32.encode(&mut junk); // length prefix: 9 bytes
+        junk.extend_from_slice(&[0xff; 9]);
+        use std::io::Write;
+        bad.write_all(&junk).unwrap();
+        // The shard must still accept and serve a fresh connection.
+        let mut good = TcpStream::connect(h.addr).unwrap();
+        let mut scratch = Vec::new();
+        let batch = QueryBatch {
+            seq: 7,
+            queries: vec![QueryRequest {
+                id: 1,
+                src: 0,
+                dst: 1,
+                want_path: false,
+            }],
+        };
+        write_frame(&mut good, &batch, &mut scratch).unwrap();
+        let reply: ReplyBatch = read_frame(&mut good).unwrap().unwrap();
+        assert_eq!(reply.replies[0].outcome, QueryOutcome::Dist { dist: 2 });
+        h.stop();
+    }
+}

@@ -1,0 +1,88 @@
+//! A Zipf(s) sampler over ranks `0..n`, for skewed query mixes.
+//!
+//! The load generator's skewed mix draws query pairs from a Zipf
+//! distribution: rank `r` (0-based) has probability proportional to
+//! `1 / (r + 1)^s`. Implementation is the standard inverse-CDF table —
+//! precompute the normalized cumulative weights once, then each sample
+//! is one uniform draw and a binary search. Deterministic given the
+//! caller's RNG, which keeps loadgen runs reproducible seed-for-seed.
+
+use rand::Rng;
+
+/// Inverse-CDF Zipf sampler with exponent `s` over `n` ranks.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// `n` must be nonzero; `s == 0` degenerates to uniform.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty rank space");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn skew_concentrates_mass_on_low_ranks() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut head = 0usize;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s = 1.1 the top-10 ranks carry a large constant fraction
+        // of the mass; uniform would give 1%.
+        assert!(head as f64 / draws as f64 > 0.3, "head mass {head}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((1600..2400).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Golden-file pin of the persisted table encoding: a deterministic
+//! workload's `TableSnapshot` must serialize to byte-identical output
+//! forever — table files written by one build must stay readable (and
+//! re-writable, bit for bit) by every later build, or `TABLE_VERSION`
+//! must be bumped. Any codec or layout change shows up here as a
+//! readable hex diff. To accept an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p dw-serve --test snapshot_golden
+//! ```
+//!
+//! and commit the rewritten file under `tests/golden/` **together with
+//! a `TABLE_VERSION` bump** if previously written files became
+//! unreadable.
+
+use dw_graph::gen::{self, WeightDist};
+use dw_seqref::dijkstra;
+use dw_serve::TableSnapshot;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); create it with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for {name}; if intentional, rerun with UPDATE_GOLDEN=1, \
+         commit, and bump TABLE_VERSION if old files became unreadable"
+    );
+}
+
+fn hex_dump(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        let cells: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+        writeln!(out, "{:06x}  {}", i * 16, cells.join(" ")).unwrap();
+    }
+    out
+}
+
+/// The deterministic serving workload: 10-node seeded G(n,p), Dijkstra
+/// from 4 sources. Same instance the round-trip below re-reads.
+fn sample() -> TableSnapshot {
+    let g = gen::gnp(10, 0.35, false, WeightDist::Uniform { max: 9 }, 2024);
+    let runs: Vec<_> = [0u32, 3, 4, 8].iter().map(|&s| dijkstra(&g, s)).collect();
+    TableSnapshot::from_sssp(&runs, 10)
+}
+
+#[test]
+fn golden_table_snapshot_bytes() {
+    let snap = sample();
+    let bytes = snap.to_file_bytes();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "table snapshot n={} rows={} payload_bytes={}",
+        snap.n,
+        snap.tables.len(),
+        snap.payload_bytes()
+    )
+    .unwrap();
+    out.push_str(&hex_dump(&bytes));
+    check_golden("table_snapshot.hex", &out);
+
+    // The pinned bytes must also round-trip back to the exact snapshot:
+    // the golden file certifies the encoding, this certifies the decoder
+    // agrees with it.
+    assert_eq!(TableSnapshot::from_file_bytes(&bytes), Some(snap));
+}
