@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance shard-conformance chaos-smoke scale-smoke serve-smoke
+.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance shard-conformance chaos-smoke scale-smoke serve-smoke dynamic-smoke
 
-ci: build test fmt clippy obs-schema bench-check transport-conformance shard-conformance chaos-smoke scale-smoke serve-smoke
+ci: build test fmt clippy obs-schema bench-check transport-conformance shard-conformance chaos-smoke scale-smoke serve-smoke dynamic-smoke
 
 build:
 	$(CARGO) build --release
@@ -76,10 +76,10 @@ bench-smoke:
 bench-check:
 	$(CARGO) run --release -p dw-bench --bin bench_check
 
-# Re-record the BENCH_7.json baseline (carries the frozen pre_pr history
-# forward from BENCH_6.json).
+# Re-record the BENCH_8.json baseline (carries the frozen pre_pr history
+# forward from BENCH_7.json).
 bench-baseline:
-	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_7.json --keep-pre BENCH_6.json
+	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_8.json --keep-pre BENCH_7.json
 
 # Large-graph memory/time guard: one n=50k short-range SSSP run that must
 # go quiet inside the Lemma II.15 budget, finish inside the time box, and
@@ -94,3 +94,12 @@ scale-smoke:
 # the typed ShardUnavailable degradation within a bounded deadline.
 serve-smoke:
 	$(CARGO) run --release -q -p dw-bench --bin serve_smoke
+
+# Dynamic-update smoke test (DESIGN.md §14): seeded update batches
+# recomputed incrementally (Algorithm-1 dirty re-solve) and pushed to a
+# live 2-shard deployment — a hammer thread queries throughout and
+# requires zero ShardUnavailable, every mid-swap probe answer to match
+# an installed generation (old or new, never mixed), and the post-swap
+# tables to answer bit-identically to Dijkstra on the patched graph.
+dynamic-smoke:
+	$(CARGO) run --release -q -p dw-bench --bin dynamic_smoke

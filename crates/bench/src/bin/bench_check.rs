@@ -8,7 +8,8 @@
 //! Re-runs the baseline workload set — the engine modes of
 //! [`dw_bench::engine_bench`], the `e15_transport` runtimes of
 //! [`dw_bench::transport_bench`], and (for baselines that record them)
-//! the `e16_*` recorded-phase and `scale_*` n≥50k sets — and fails
+//! the `e16_*` recorded-phase, `scale_*` n≥50k, `serve_*` query-plane
+//! and `dynamic_*` incremental-recompute sets — and fails
 //! (exit 1) when any entry's
 //! executed-rounds-per-second falls below `tolerance` × the checked-in
 //! baseline. Without `--baseline`, the highest-numbered `BENCH_*.json`
@@ -32,6 +33,7 @@
 //! backends; a blowout here means coalescing regressed even if absolute
 //! throughput kept pace with a stale baseline.
 
+use dw_bench::dynamic_bench::run_all_dynamic;
 use dw_bench::engine_bench::{run_all, run_scale, scale_modes, standard_modes, Measurement};
 use dw_bench::obs_bench::run_alg3_phases;
 use dw_bench::serve_bench::run_all_serve;
@@ -170,11 +172,13 @@ fn main() -> ExitCode {
     // Only measure what the baseline can gate: pre-e15 baselines skip
     // the transport pass, pre-e16 baselines the recorded-phase pass,
     // pre-BENCH_6 baselines the n≥50k scale pass, pre-BENCH_7 baselines
-    // the serve_* query-plane pass.
+    // the serve_* query-plane pass, pre-BENCH_8 baselines the dynamic_*
+    // incremental-recompute pass.
     let want_transport = baseline.iter().any(|b| b.workload.starts_with("e15_"));
     let want_phases = baseline.iter().any(|b| b.workload.starts_with("e16_"));
     let want_scale = baseline.iter().any(|b| b.workload.starts_with("scale_"));
     let want_serve = baseline.iter().any(|b| b.workload.starts_with("serve_"));
+    let want_dynamic = baseline.iter().any(|b| b.workload.starts_with("dynamic_"));
     let measure_pass = || {
         let mut v = run_all(&modes);
         if want_transport {
@@ -188,6 +192,9 @@ fn main() -> ExitCode {
         }
         if want_serve {
             v.extend(run_all_serve(false));
+        }
+        if want_dynamic {
+            v.extend(run_all_dynamic(false));
         }
         v
     };

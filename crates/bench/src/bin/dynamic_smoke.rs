@@ -1,0 +1,196 @@
+//! Dynamic-update smoke test (`make dynamic-smoke`): seeded update
+//! batches against a **live** 2-shard deployment, end to end.
+//!
+//! 1. Compute APSP tables over a 6×6 grid, stand up 2 shard servers
+//!    plus the gateway on loopback (generation 0).
+//! 2. Start a hammer thread that queries continuously throughout the
+//!    run — every answer must be typed (never `ShardUnavailable`: a
+//!    swap must not drop or degrade in-flight queries), and every
+//!    answer for the probe pair must equal some *installed* generation's
+//!    answer (old or new — never a mix, never a torn read).
+//! 3. Apply 3 seeded update batches through the incremental engine
+//!    (Algorithm-1 k-SSP re-solve) and push each generation through
+//!    `ServeClient::apply_tables`; every swap must be accepted by the
+//!    whole fleet and bump the gateway generation.
+//! 4. After the last swap, sweep **all** n² pairs and check every
+//!    distance against a fresh sequential Dijkstra on the patched
+//!    graph.
+//!
+//! Exit 0 on success, 1 on any violation.
+
+use dw_dynamic::{apply_update_batch, gen_update_batch, RecomputeEngine};
+use dw_graph::gen::{self, WeightDist};
+use dw_graph::{NodeId, INFINITY};
+use dw_seqref::dijkstra;
+use dw_serve::{
+    spawn_loopback, GatewayConfig, QueryOutcome, ServeClient, TableSnapshot, VersionedTables,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn fail(msg: String) -> ! {
+    eprintln!("dynamic_smoke: FAIL: {msg}");
+    exit(1);
+}
+
+/// A probe answer, with `u64::MAX` standing in for "unreachable".
+fn probe_key(outcome: &QueryOutcome) -> Option<u64> {
+    match outcome {
+        QueryOutcome::Dist { dist } => Some(*dist),
+        QueryOutcome::Unreachable => Some(u64::MAX),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut g = gen::grid2d(6, 6, WeightDist::Uniform { max: 9 }, 42);
+    let n = g.n();
+    let probe = (0u32, n as NodeId - 1);
+
+    let runs: Vec<_> = (0..n as u32).map(|s| dijkstra(&g, s)).collect();
+    let snap = TableSnapshot::from_sssp(&runs, n as u32);
+    let mut vt = VersionedTables {
+        generation: 0,
+        snap,
+    };
+
+    let (mut gw, mut shards, _map) = spawn_loopback(&vt.snap, 2, GatewayConfig::default())
+        .unwrap_or_else(|e| {
+            fail(format!("cannot spawn deployment: {e}"));
+        });
+    eprintln!(
+        "dynamic_smoke: 2 shards + gateway up at {} (n={n})",
+        gw.addr
+    );
+
+    // Every distance the probe pair has legitimately had across the
+    // installed generations; the hammer may observe any of them
+    // mid-swap, but nothing else.
+    let valid_probe: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+    valid_probe
+        .lock()
+        .unwrap()
+        .insert(dijkstra(&g, probe.0).dist[probe.1 as usize]);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammer = {
+        let stop = Arc::clone(&stop);
+        let valid_probe = Arc::clone(&valid_probe);
+        let addr = gw.addr;
+        std::thread::spawn(move || -> u64 {
+            let mut client = ServeClient::connect(addr, Duration::from_secs(5))
+                .unwrap_or_else(|e| fail(format!("hammer cannot connect: {e}")));
+            let mut queries = 0u64;
+            let mut i = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                // Mostly the probe pair (its valid-answer set is
+                // tracked); a rotating pair keeps the other rows warm.
+                let (src, dst) = if i.is_multiple_of(4) {
+                    (i % n as u32, (i * 7 + 3) % n as u32)
+                } else {
+                    (probe.0, probe.1)
+                };
+                let outcome = client
+                    .query(src, dst, false)
+                    .unwrap_or_else(|e| fail(format!("hammer query failed: {e}")));
+                if let QueryOutcome::ShardUnavailable { shard, .. } = outcome {
+                    fail(format!(
+                        "shard {shard} unavailable mid-swap (query {src}->{dst})"
+                    ));
+                }
+                if (src, dst) == probe {
+                    let key = probe_key(&outcome)
+                        .unwrap_or_else(|| fail(format!("untyped probe answer {outcome:?}")));
+                    if !valid_probe.lock().unwrap().contains(&key) {
+                        fail(format!(
+                            "probe {src}->{dst} answered {key}, not any installed generation"
+                        ));
+                    }
+                }
+                queries += 1;
+                i = i.wrapping_add(1);
+            }
+            queries
+        })
+    };
+
+    // Three seeded batches through the pipelined engine, each pushed
+    // live. The new generation's probe answer becomes valid *before*
+    // the push — mid-swap the hammer may see old or new, never a third
+    // value.
+    let mut push = ServeClient::connect(gw.addr, Duration::from_secs(5))
+        .unwrap_or_else(|e| fail(format!("cannot connect: {e}")));
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for b in 0..3u64 {
+        let batch = gen_update_batch(&g, b, 8, 9, &mut rng);
+        let (next, report) = apply_update_batch(&mut g, &vt, &batch, RecomputeEngine::Alg1)
+            .unwrap_or_else(|e| fail(format!("batch {b} rejected: {e}")));
+        vt = next;
+        valid_probe.lock().unwrap().insert(
+            match vt.snap.table_for(probe.0).map(|t| t.dist[probe.1 as usize]) {
+                Some(d) if d != INFINITY => d,
+                _ => u64::MAX,
+            },
+        );
+        let rep = push
+            .apply_tables(vt.generation, &vt.snap)
+            .unwrap_or_else(|e| fail(format!("apply {b} failed: {e}")));
+        if !rep.accepted || rep.shards_installed != 2 || rep.generation != vt.generation {
+            fail(format!(
+                "swap {b} not clean: accepted={} installed={} down={} generation={}",
+                rep.accepted, rep.shards_installed, rep.shards_down, rep.generation
+            ));
+        }
+        eprintln!(
+            "dynamic_smoke: batch {b} -> generation {} swapped \
+             (recomputed {}/{} rows, delta={})",
+            rep.generation,
+            report.recomputed,
+            report.recomputed + report.reused,
+            report.delta
+        );
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let hammered = hammer.join().unwrap_or_else(|_| {
+        fail("hammer thread panicked".to_string());
+    });
+    if hammered < 100 {
+        fail(format!("hammer only landed {hammered} queries"));
+    }
+
+    // Post-swap sweep: the live deployment must now answer exactly like
+    // a fresh Dijkstra on the patched graph, for every pair.
+    for s in 0..n as u32 {
+        let oracle = dijkstra(&g, s);
+        for v in 0..n as u32 {
+            let outcome = push
+                .query(s, v, false)
+                .unwrap_or_else(|e| fail(format!("sweep query failed: {e}")));
+            let want = oracle.dist[v as usize];
+            match outcome {
+                QueryOutcome::Dist { dist } if dist == want => {}
+                QueryOutcome::Unreachable if want == INFINITY => {}
+                other => fail(format!(
+                    "post-swap {s}->{v}: got {other:?}, oracle says {want}"
+                )),
+            }
+        }
+    }
+    eprintln!(
+        "dynamic_smoke: {hammered} mid-swap queries all typed and generation-consistent; \
+         {} post-swap answers match Dijkstra ✓",
+        n * n
+    );
+    eprintln!("dynamic_smoke: ok");
+
+    gw.shutdown();
+    for h in &mut shards {
+        h.stop();
+    }
+}

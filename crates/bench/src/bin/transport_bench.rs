@@ -1,10 +1,10 @@
-//! Measure runtime throughput and emit `BENCH_7.json`.
+//! Measure runtime throughput and emit `BENCH_8.json`.
 //!
 //! ```text
-//! transport_bench [--out BENCH_7.json] [--keep-pre EXISTING.json] [--smoke]
+//! transport_bench [--out BENCH_8.json] [--keep-pre EXISTING.json] [--smoke]
 //! ```
 //!
-//! `BENCH_7.json` supersedes `BENCH_6.json` as the `bench_check`
+//! `BENCH_8.json` supersedes `BENCH_7.json` as the `bench_check`
 //! baseline (the gate picks the highest-numbered `BENCH_*.json`): it
 //! contains the engine workload set of [`dw_bench::engine_bench`], the
 //! `e15_transport` set — threads-vs-simulator rounds/sec and TCP
@@ -18,13 +18,17 @@
 //! (`slab_bytes`/`slab_peak`) recorded per entry — *plus* the `serve_*`
 //! set: sustained query-plane QPS (with `p50_us`/`p99_us` latency
 //! percentiles) of the `dw-serve` gateway across shard counts and
-//! uniform/Zipf mixes (EXPERIMENTS.md E19). `--keep-pre` carries
+//! uniform/Zipf mixes (EXPERIMENTS.md E19) — *plus* the `dynamic_*`
+//! set: incremental-recompute batches/sec of `dw-dynamic` at batch
+//! sizes 1/8/64 against a from-scratch baseline (EXPERIMENTS.md E20).
+//! `--keep-pre` carries
 //! the frozen `"mode":"pre_pr"` history forward from an existing file.
-//! `--smoke` runs the reduced `e15`/`e16`/`e19` instances and writes
+//! `--smoke` runs the reduced `e15`/`e16`/`e19`/`e20` instances and writes
 //! nothing — the `make bench-smoke` sanity pass (the scale set is
 //! skipped there; `make scale-smoke` covers the 50k path with an RSS
 //! assertion).
 
+use dw_bench::dynamic_bench::run_all_dynamic;
 use dw_bench::engine_bench::{run_all, run_scale, scale_modes, standard_modes, to_json_entries};
 use dw_bench::obs_bench::run_alg3_phases;
 use dw_bench::serve_bench::run_all_serve;
@@ -38,7 +42,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
     let keep_pre = args
         .iter()
         .position(|a| a == "--keep-pre")
@@ -55,6 +59,9 @@ fn main() {
         for m in run_all_serve(true) {
             print_entry(&m);
         }
+        for m in run_all_dynamic(true) {
+            print_entry(&m);
+        }
         eprintln!("transport_bench: smoke pass done (nothing written)");
         return;
     }
@@ -64,6 +71,7 @@ fn main() {
     ms.extend(run_alg3_phases(false));
     ms.extend(run_scale(&scale_modes()));
     ms.extend(run_all_serve(false));
+    ms.extend(run_all_dynamic(false));
     for m in &ms {
         print_entry(m);
     }

@@ -1,0 +1,191 @@
+//! `e20_dynamic`: incremental recompute throughput of the `dw-dynamic`
+//! subsystem (ROADMAP item 2, EXPERIMENTS.md E20).
+//!
+//! One seeded update stream (the 50/25/25 reweight/remove/insert mix of
+//! [`dw_dynamic::gen_update_batch`]) applied to full APSP tables over a
+//! 20×20 grid, measured at batch sizes 1, 8 and 64 through the
+//! tight/slack invalidation engine, against a from-scratch baseline
+//! that re-runs every source per batch. All four entries use the same
+//! per-row solver (sequential Dijkstra), so the ratio isolates exactly
+//! what the invalidation rule saves.
+//!
+//! `Measurement` mapping: a "round" is one applied batch, so
+//! `rounds_per_sec` is batches/sec and `p50_us`/`p99_us` are per-batch
+//! update latency percentiles. `messages` counts the source rows
+//! actually re-solved across the run — `messages / (rounds · n)` is the
+//! mean recomputed fraction, the number E20 reports per entry. The
+//! stream is seeded, so the round structure is deterministic and
+//! `bench_check` pins it like every other workload.
+
+use crate::engine_bench::Measurement;
+use dw_dynamic::{apply_update_batch, gen_update_batch, RecomputeEngine};
+use dw_graph::gen::{self, WeightDist};
+use dw_graph::WGraph;
+use dw_seqref::dijkstra;
+use dw_serve::{TableSnapshot, VersionedTables};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+const STREAM_SEED: u64 = 2020;
+const MAX_W: u64 = 9;
+
+fn seed_instance(smoke: bool) -> (WGraph, VersionedTables) {
+    let side = if smoke { 8 } else { 20 };
+    let g = gen::grid2d(side, side, WeightDist::Uniform { max: MAX_W }, 1807);
+    let runs: Vec<_> = (0..g.n() as u32).map(|s| dijkstra(&g, s)).collect();
+    let vt = VersionedTables {
+        generation: 0,
+        snap: TableSnapshot::from_sssp(&runs, g.n() as u32),
+    };
+    (g, vt)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn finish(
+    workload: &'static str,
+    mode: &'static str,
+    n: usize,
+    batches: u64,
+    recomputed_rows: u64,
+    mut lat_us: Vec<u64>,
+    wall_ms: f64,
+) -> Measurement {
+    lat_us.sort_unstable();
+    Measurement {
+        workload,
+        mode,
+        n,
+        rounds: batches,
+        rounds_executed: batches,
+        messages: recomputed_rows,
+        wall_ms,
+        rounds_per_sec: batches as f64 / (wall_ms / 1e3).max(1e-9),
+        slab_bytes: 0,
+        slab_peak: 0,
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+    }
+}
+
+/// Incremental path: patch, invalidate, re-solve only dirty rows.
+fn measure_incremental(
+    mode: &'static str,
+    smoke: bool,
+    batches: usize,
+    batch_size: usize,
+) -> Measurement {
+    let (mut g, mut vt) = seed_instance(smoke);
+    let n = g.n();
+    let mut rng = ChaCha8Rng::seed_from_u64(STREAM_SEED);
+    let mut recomputed_rows = 0u64;
+    let mut lat_us = Vec::with_capacity(batches);
+    let start = Instant::now();
+    for b in 0..batches {
+        let batch = gen_update_batch(&g, b as u64, batch_size, MAX_W, &mut rng);
+        let t0 = Instant::now();
+        let (next, report) = apply_update_batch(&mut g, &vt, &batch, RecomputeEngine::Oracle)
+            .expect("seeded streams drawn from the live graph always validate");
+        lat_us.push(t0.elapsed().as_micros() as u64);
+        recomputed_rows += report.recomputed as u64;
+        vt = next;
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    finish(
+        "dynamic_update_batch",
+        mode,
+        n,
+        batches as u64,
+        recomputed_rows,
+        lat_us,
+        wall_ms,
+    )
+}
+
+/// From-scratch baseline: the same stream, but every batch re-runs all
+/// n sources on the patched graph.
+fn measure_full(smoke: bool, batches: usize, batch_size: usize) -> Measurement {
+    let (mut g, _) = seed_instance(smoke);
+    let n = g.n();
+    let mut rng = ChaCha8Rng::seed_from_u64(STREAM_SEED);
+    let mut recomputed_rows = 0u64;
+    let mut lat_us = Vec::with_capacity(batches);
+    let start = Instant::now();
+    for b in 0..batches {
+        let batch = gen_update_batch(&g, b as u64, batch_size, MAX_W, &mut rng);
+        let t0 = Instant::now();
+        g.apply_updates(&batch.updates)
+            .expect("seeded streams always validate");
+        let runs: Vec<_> = (0..n as u32).map(|s| dijkstra(&g, s)).collect();
+        let _ = TableSnapshot::from_sssp(&runs, n as u32);
+        lat_us.push(t0.elapsed().as_micros() as u64);
+        recomputed_rows += n as u64;
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    finish(
+        "dynamic_full_recompute",
+        "batch_8",
+        n,
+        batches as u64,
+        recomputed_rows,
+        lat_us,
+        wall_ms,
+    )
+}
+
+/// The fixed `e20_dynamic` measurement set, in stable order. `smoke`
+/// shrinks the grid and the stream for `make bench-smoke` and the unit
+/// test below.
+pub fn run_all_dynamic(smoke: bool) -> Vec<Measurement> {
+    let batches = if smoke { 8 } else { 32 };
+    vec![
+        measure_incremental("batch_1", smoke, batches, 1),
+        measure_incremental("batch_8", smoke, batches, 8),
+        measure_incremental("batch_64", smoke, batches, 64),
+        measure_full(smoke, batches, 8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smoke set is the full pipeline in miniature: deterministic
+    /// round structure, and the invalidation rule must actually save
+    /// work — small batches re-solve strictly fewer rows than the
+    /// from-scratch baseline re-runs.
+    #[test]
+    fn dynamic_bench_smoke_set_is_clean() {
+        let ms = run_all_dynamic(true);
+        assert_eq!(ms.len(), 4);
+        for m in &ms {
+            assert_eq!(m.rounds, 8, "{}/{}", m.workload, m.mode);
+            assert_eq!(m.rounds_executed, 8);
+            assert!(m.messages > 0 && m.rounds_per_sec > 0.0);
+            assert!(m.p99_us >= m.p50_us);
+        }
+        let batch_1 = &ms[0];
+        let full = &ms[3];
+        assert_eq!(full.messages, 8 * full.n as u64);
+        assert!(
+            batch_1.messages < full.messages,
+            "single-update batches must dirty fewer rows than full recompute \
+             ({} vs {})",
+            batch_1.messages,
+            full.messages
+        );
+        // Same seed, same mix: two runs at the same batch size agree on
+        // the round structure bench_check pins.
+        let again = run_all_dynamic(true);
+        for (a, b) in ms.iter().zip(&again) {
+            assert_eq!((a.rounds, a.messages), (b.rounds, b.messages));
+        }
+    }
+}

@@ -26,6 +26,9 @@ use dwapsp::baselines::bf_apsp;
 use dwapsp::blocker::alg3::{
     alg3_apsp, alg3_apsp_recorded, alg3_k_ssp, alg3_k_ssp_recorded, suggested_h_weight_regime,
 };
+use dwapsp::dynamic::{
+    apply_update_batch, gen_update_batch, parse_updates, RecomputeEngine, UpdatePool,
+};
 use dwapsp::graph::{analysis, gen, io as gio};
 use dwapsp::obs::export::{parse_jsonl, to_chrome_trace, to_jsonl};
 use dwapsp::obs::report::{aggregate_phases, render_report, PhaseBound};
@@ -36,8 +39,8 @@ use dwapsp::pipeline::{default_budget, hk_ssp_node, run_hk_ssp_chaos, ChaosConfi
 use dwapsp::prelude::*;
 use dwapsp::seqref::matrices_equal;
 use dwapsp::serve::{
-    run_loadgen, serve_shard, Gateway, GatewayConfig, LoadgenConfig, QueryOutcome, ServeClient,
-    ShardHandle, TableSnapshot,
+    run_loadgen, serve_shard, shared_tables, Gateway, GatewayConfig, LoadgenConfig, QueryOutcome,
+    ServeClient, ShardHandle, TableSnapshot, VersionedTables,
 };
 use dwapsp::transport::tcp::{
     run_coordinator_tcp, run_coordinator_tcp_mux, run_node_tcp, run_shard_tcp,
@@ -71,6 +74,8 @@ fn main() {
         "serve" => cmd_serve(&get),
         "serve-shard" => cmd_serve_shard(&get),
         "query" => cmd_query(&get),
+        "update" => cmd_update(&get),
+        "apply-updates" => cmd_apply_updates(&get),
         "loadgen" => cmd_loadgen(&get),
         "validate" => cmd_validate(&get),
         "info" => cmd_info(&get),
@@ -100,8 +105,14 @@ fn usage_and_exit() -> ! {
          [--flush-us U] [--max-batch B] [--cache C] [--duration-secs T]\n  \
          dwapsp serve-shard --tables FILE --listen ADDR --shards P --shard-id S\n  \
          dwapsp query --gateway ADDR --src S --dst D [--path]\n  \
+         dwapsp update --graph FILE --tables FILE --updates FILE [--batch-size B] \
+         [--engine <alg1|oracle>] [--out-tables FILE] [--out-graph FILE]\n  \
+         dwapsp apply-updates --graph FILE --tables FILE --updates FILE --gateway ADDR \
+         [--batch-size B] [--engine <alg1|oracle>] [--out-tables FILE] [--out-graph FILE]\n  \
          dwapsp loadgen --gateway ADDR --tables FILE [--clients C] [--requests R] \
-         [--zipf S] [--zipf-pairs P] [--path-fraction F] [--seed S] [--json]\n  \
+         [--zipf S] [--zipf-pairs P] [--path-fraction F] [--seed S] [--json] \
+         [--update-graph FILE [--update-every-ms T] [--update-batch B] [--update-seed S] \
+         [--update-engine <alg1|oracle>]]\n  \
          dwapsp validate --graph FILE\n  dwapsp info --graph FILE"
     );
     exit(2);
@@ -747,16 +758,19 @@ fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
-fn load_tables(get: &impl Fn(&str) -> Option<String>) -> TableSnapshot {
+/// Load a table file in either format: legacy `DWT1` snapshots come
+/// back as generation 0, versioned `DWD1` files (written by
+/// `dwapsp update`) keep their generation.
+fn load_tables(get: &impl Fn(&str) -> Option<String>) -> VersionedTables {
     let path = get("--tables").unwrap_or_else(|| {
-        eprintln!("--tables FILE (written by `dwapsp tables`) is required");
+        eprintln!("--tables FILE (written by `dwapsp tables` or `dwapsp update`) is required");
         exit(2);
     });
     let bytes = std::fs::read(&path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         exit(1);
     });
-    TableSnapshot::from_file_bytes(&bytes).unwrap_or_else(|| {
+    VersionedTables::from_any_file_bytes(&bytes).unwrap_or_else(|| {
         eprintln!("{path} is not a valid table snapshot (bad magic/version or corrupt payload)");
         exit(1);
     })
@@ -808,13 +822,15 @@ fn cmd_tables(get: &impl Fn(&str) -> Option<String>) {
 /// gateway; `--shard-addrs` instead fronts externally started
 /// `serve-shard` processes (shard `i` serves block `i` of the layout).
 fn cmd_serve(get: &impl Fn(&str) -> Option<String>) {
-    let snap = load_tables(get);
+    let vt = load_tables(get);
+    let snap = &vt.snap;
     let cfg = GatewayConfig {
         flush_interval: Duration::from_micros(
             get("--flush-us").map_or(200, |s| s.parse().expect("--flush-us")),
         ),
         max_batch: get("--max-batch").map_or(128, |s| s.parse().expect("--max-batch")),
         cache_capacity: get("--cache").map_or(4096, |s| s.parse().expect("--cache")),
+        initial_generation: vt.generation,
         ..GatewayConfig::default()
     };
     let listener = match get("--listen") {
@@ -843,7 +859,11 @@ fn cmd_serve(get: &impl Fn(&str) -> Option<String>) {
         let map = ShardMap::new(snap.n as usize, shards);
         let mut addrs = Vec::with_capacity(map.shards());
         for s in 0..map.shards() {
-            let h = ShardHandle::spawn(snap.for_shard(&map, s as NodeId)).unwrap_or_else(|e| {
+            let h = ShardHandle::spawn_versioned(VersionedTables {
+                generation: vt.generation,
+                snap: snap.for_shard(&map, s as NodeId),
+            })
+            .unwrap_or_else(|e| {
                 eprintln!("cannot spawn shard {s}: {e}");
                 exit(1);
             });
@@ -856,7 +876,10 @@ fn cmd_serve(get: &impl Fn(&str) -> Option<String>) {
         eprintln!("cannot start gateway: {e}");
         exit(1);
     });
-    println!("gateway listening on {}", gw.addr);
+    println!(
+        "gateway listening on {} (tables generation {})",
+        gw.addr, vt.generation
+    );
     for (s, a) in addrs.iter().enumerate() {
         let block = map.nodes(s as NodeId);
         eprintln!(
@@ -892,7 +915,8 @@ fn cmd_serve(get: &impl Fn(&str) -> Option<String>) {
 /// contiguous source block until killed. Pair with
 /// `dwapsp serve --shard-addrs` on the gateway side.
 fn cmd_serve_shard(get: &impl Fn(&str) -> Option<String>) {
-    let snap = load_tables(get);
+    let vt = load_tables(get);
+    let snap = &vt.snap;
     let shards: usize = get("--shards")
         .unwrap_or_else(|| {
             eprintln!("--shards P (the full layout size) is required");
@@ -920,14 +944,19 @@ fn cmd_serve_shard(get: &impl Fn(&str) -> Option<String>) {
     });
     let block = map.nodes(id);
     eprintln!(
-        "shard {id} serving {} source rows [{}, {}) on {}",
+        "shard {id} serving {} source rows [{}, {}) on {} (generation {})",
         sub.tables.len(),
         block.start,
         block.end,
-        listener.local_addr().unwrap()
+        listener.local_addr().unwrap(),
+        vt.generation
     );
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-    if let Err(e) = serve_shard(listener, std::sync::Arc::new(sub), stop) {
+    let tables = shared_tables(VersionedTables {
+        generation: vt.generation,
+        snap: sub,
+    });
+    if let Err(e) = serve_shard(listener, tables, stop) {
         eprintln!("shard {id} failed: {e}");
         exit(1);
     }
@@ -985,12 +1014,152 @@ fn cmd_query(get: &impl Fn(&str) -> Option<String>) {
     }
 }
 
+fn parse_engine(get: &impl Fn(&str) -> Option<String>, flag: &str) -> RecomputeEngine {
+    match get(flag).as_deref() {
+        None | Some("alg1") => RecomputeEngine::Alg1,
+        Some("oracle") => RecomputeEngine::Oracle,
+        Some(other) => {
+            eprintln!("{flag} {other}: expected alg1 or oracle");
+            exit(2);
+        }
+    }
+}
+
+fn print_update_report(r: &dwapsp::dynamic::UpdateReport) {
+    println!(
+        "batch {} -> generation {}: recomputed {}/{} rows ({:.1}%), edges +{} -{} ~{} ({} noops), \
+         delta={}, patch {}us solve {}us",
+        r.seq,
+        r.generation,
+        r.recomputed,
+        r.recomputed + r.reused,
+        100.0 * r.recomputed_fraction(),
+        r.inserted,
+        r.removed,
+        r.reweighted,
+        r.noops,
+        r.delta,
+        r.patch_micros,
+        r.solve_micros
+    );
+}
+
+/// Shared front half of `update` / `apply-updates`: load the graph, the
+/// tables (either format) and the update file, drain the pool through
+/// the incremental engine in `--batch-size` batches, and return the
+/// patched graph plus the final table generation.
+fn run_update_batches(get: &impl Fn(&str) -> Option<String>) -> (WGraph, VersionedTables) {
+    let mut g = load(get);
+    let mut vt = load_tables(get);
+    if vt.snap.n as usize != g.n() {
+        eprintln!(
+            "tables cover n={} but the graph has n={}; recompute with `dwapsp tables`",
+            vt.snap.n,
+            g.n()
+        );
+        exit(2);
+    }
+    let upath = get("--updates").unwrap_or_else(|| {
+        eprintln!("--updates FILE (`ins u v w` / `set u v w` / `del u v` lines) is required");
+        exit(2);
+    });
+    let text = std::fs::read_to_string(&upath).unwrap_or_else(|e| {
+        eprintln!("cannot read {upath}: {e}");
+        exit(1);
+    });
+    let updates = parse_updates(&text).unwrap_or_else(|e| {
+        eprintln!("{upath}: {e}");
+        exit(2);
+    });
+    let engine = parse_engine(get, "--engine");
+    let batch_size: usize =
+        get("--batch-size").map_or(updates.len().max(1), |s| s.parse().expect("--batch-size"));
+    let mut pool = UpdatePool::new();
+    pool.extend(updates);
+    while let Some(batch) = pool.take_batch(batch_size) {
+        match apply_update_batch(&mut g, &vt, &batch, engine) {
+            Ok((next, report)) => {
+                print_update_report(&report);
+                vt = next;
+            }
+            Err(e) => {
+                eprintln!(
+                    "batch {} rejected, graph and tables unchanged: {e}",
+                    batch.seq
+                );
+                exit(1);
+            }
+        }
+    }
+    (g, vt)
+}
+
+fn write_update_outputs(get: &impl Fn(&str) -> Option<String>, g: &WGraph, vt: &VersionedTables) {
+    if let Some(out) = get("--out-tables") {
+        std::fs::write(&out, vt.to_file_bytes()).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            exit(1);
+        });
+        eprintln!(
+            "wrote {out}: generation {} ({} source rows over n={})",
+            vt.generation,
+            vt.snap.tables.len(),
+            vt.snap.n
+        );
+    }
+    if let Some(out) = get("--out-graph") {
+        std::fs::write(&out, gio::to_json(g)).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote {out}: patched graph (n={}, m={})", g.n(), g.m());
+    }
+}
+
+/// `update`: offline incremental recompute. Patches the graph with a
+/// batch file, re-solves only the rows the tight/slack invalidation
+/// rule marks dirty, and persists the next `DWD1` generation.
+fn cmd_update(get: &impl Fn(&str) -> Option<String>) {
+    let (g, vt) = run_update_batches(get);
+    write_update_outputs(get, &g, &vt);
+}
+
+/// `apply-updates`: the online variant — recompute incrementally, then
+/// push the new generation to a running gateway, which swaps every
+/// shard atomically without dropping in-flight queries. Exits 3 when
+/// the swap was degraded (some shard down).
+fn cmd_apply_updates(get: &impl Fn(&str) -> Option<String>) {
+    let gateway = parse_addr(get, "--gateway");
+    let (g, vt) = run_update_batches(get);
+    let mut client = ServeClient::connect(gateway, Duration::from_secs(30)).unwrap_or_else(|e| {
+        eprintln!("cannot connect to gateway {gateway}: {e}");
+        exit(1);
+    });
+    let rep = client
+        .apply_tables(vt.generation, &vt.snap)
+        .unwrap_or_else(|e| {
+            eprintln!("apply failed: {e}");
+            exit(1);
+        });
+    println!(
+        "apply generation {}: accepted={} shards-installed={} shards-down={}",
+        rep.generation, rep.accepted, rep.shards_installed, rep.shards_down
+    );
+    write_update_outputs(get, &g, &vt);
+    if !rep.accepted {
+        exit(3);
+    }
+}
+
 /// `loadgen`: the closed-loop generator behind BENCH_7 — reports
-/// sustained QPS and client-observed latency percentiles.
+/// sustained QPS and client-observed latency percentiles. With
+/// `--update-graph`, a background updater thread applies seeded
+/// incremental batches through the gateway while the query load runs,
+/// exercising the mixed query + swap path end to end.
 fn cmd_loadgen(get: &impl Fn(&str) -> Option<String>) {
     let gateway = parse_addr(get, "--gateway");
-    let snap = load_tables(get);
-    let sources: Vec<NodeId> = snap.tables.iter().map(|t| t.source).collect();
+    let vt = load_tables(get);
+    let sources: Vec<NodeId> = vt.snap.tables.iter().map(|t| t.source).collect();
     let cfg = LoadgenConfig {
         clients: get("--clients").map_or(4, |s| s.parse().expect("--clients")),
         requests_per_client: get("--requests").map_or(1000, |s| s.parse().expect("--requests")),
@@ -1000,14 +1169,83 @@ fn cmd_loadgen(get: &impl Fn(&str) -> Option<String>) {
         seed: get("--seed").map_or(1, |s| s.parse().expect("--seed")),
         ..LoadgenConfig::default()
     };
-    let report = run_loadgen(gateway, &sources, snap.n, &cfg).unwrap_or_else(|e| {
+
+    // Mixed stream: a background updater recomputes + swaps table
+    // generations through the gateway while the query load runs.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let updater = get("--update-graph").map(|gpath| {
+        let interval = Duration::from_millis(
+            get("--update-every-ms").map_or(200, |s| s.parse().expect("--update-every-ms")),
+        );
+        let batch_size: usize =
+            get("--update-batch").map_or(8, |s| s.parse().expect("--update-batch"));
+        let seed: u64 =
+            get("--update-seed").map_or(cfg.seed ^ 0xD15C0, |s| s.parse().expect("--update-seed"));
+        let engine = parse_engine(get, "--update-engine");
+        let text = std::fs::read_to_string(&gpath).unwrap_or_else(|e| {
+            eprintln!("cannot read {gpath}: {e}");
+            exit(1);
+        });
+        let mut g = gio::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {gpath}: {e}");
+            exit(1);
+        });
+        if g.n() != vt.snap.n as usize {
+            eprintln!(
+                "--update-graph has n={} but the tables cover n={}",
+                g.n(),
+                vt.snap.n
+            );
+            exit(2);
+        }
+        let mut vt = vt.clone();
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            use rand::SeedableRng;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let Ok(mut client) = ServeClient::connect(gateway, Duration::from_secs(5)) else {
+                return (0u64, 0u64);
+            };
+            let max_w = g.max_weight().max(1);
+            let (mut swaps, mut accepted) = (0u64, 0u64);
+            for seq in 0u64.. {
+                std::thread::sleep(interval);
+                if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                let batch = gen_update_batch(&g, seq, batch_size, max_w, &mut rng);
+                let Ok((next, _)) = apply_update_batch(&mut g, &vt, &batch, engine) else {
+                    break;
+                };
+                vt = next;
+                match client.apply_tables(vt.generation, &vt.snap) {
+                    Ok(rep) => {
+                        swaps += 1;
+                        if rep.accepted {
+                            accepted += 1;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            (swaps, accepted)
+        })
+    });
+
+    let report = run_loadgen(gateway, &sources, vt.snap.n, &cfg).unwrap_or_else(|e| {
         eprintln!("loadgen failed: {e}");
         exit(1);
     });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let swap_stats = updater.map(|h| h.join().expect("updater thread"));
+
     if has_flag("--json") {
+        let swap_suffix = swap_stats.map_or(String::new(), |(s, a)| {
+            format!(",\"swaps\":{s},\"swaps_accepted\":{a}")
+        });
         println!(
             "{{\"queries\":{},\"ok\":{},\"shard_unavailable\":{},\"errors\":{},\"wall_ms\":{},\
-             \"qps\":{:.1},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+             \"qps\":{:.1},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}{}}}",
             report.queries,
             report.ok,
             report.shard_unavailable,
@@ -1016,7 +1254,8 @@ fn cmd_loadgen(get: &impl Fn(&str) -> Option<String>) {
             report.qps,
             report.p50_us,
             report.p95_us,
-            report.p99_us
+            report.p99_us,
+            swap_suffix
         );
     } else {
         let mix = cfg
@@ -1030,6 +1269,11 @@ fn cmd_loadgen(get: &impl Fn(&str) -> Option<String>) {
             "latency: p50={}us p95={}us p99={}us; shard-unavailable={} errors={}",
             report.p50_us, report.p95_us, report.p99_us, report.shard_unavailable, report.errors
         );
+        if let Some((s, a)) = swap_stats {
+            println!(
+                "updates: {s} generation swaps applied mid-run ({a} accepted by the whole fleet)"
+            );
+        }
     }
 }
 

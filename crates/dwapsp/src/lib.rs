@@ -38,12 +38,14 @@
 //! | [`approx`] | `dw-approx` | Section IV (1+ε)-approximate APSP |
 //! | [`transport`] | `dw-transport` | message-passing runtime: threads, TCP, stdio |
 //! | [`serve`] | `dw-serve` | query serving plane: tables, gateway, shards, loadgen |
+//! | [`dynamic`] | `dw-dynamic` | batched graph updates, incremental recompute, versioned swaps |
 //! | [`baselines`] | `dw-baselines` | Bellman–Ford, unweighted pipeline, delayed BFS |
 
 pub use dw_approx as approx;
 pub use dw_baselines as baselines;
 pub use dw_blocker as blocker;
 pub use dw_congest as congest;
+pub use dw_dynamic as dynamic;
 pub use dw_graph as graph;
 pub use dw_obs as obs;
 pub use dw_pipeline as pipeline;

@@ -1,0 +1,327 @@
+//! The recompute engine: one batch in, one table generation out.
+//!
+//! [`apply_update_batch`] is the dynamic subsystem's core transaction
+//! (DESIGN.md §14):
+//!
+//! 1. **patch** — apply the batch to the graph in place
+//!    ([`WGraph::apply_updates`] rebuilds only the touched CSR rows)
+//!    and get back the batch's normalized *net* changes;
+//! 2. **invalidate** — partition the snapshot's sources with the
+//!    tight/slack rule ([`dw_graph::row_is_dirty`]): a source is clean
+//!    iff no changed edge is tight against its old distance function,
+//!    and a clean source's old row — distances *and* parents — is
+//!    provably exact on the patched graph;
+//! 3. **re-solve** — the dirty sources only, either as one pipelined
+//!    k-SSP over the patched graph ([`RecomputeEngine::Alg1`], the
+//!    paper's machinery) or per-source Dijkstra
+//!    ([`RecomputeEngine::Oracle`], the correctness baseline);
+//! 4. **version** — assemble the next [`VersionedTables`]: clean rows
+//!    carried by `Arc` reference (zero copy), dirty rows fresh,
+//!    generation bumped by one.
+//!
+//! The whole transaction is all-or-nothing: a batch that fails
+//! validation ([`PatchError`]) leaves the graph untouched and produces
+//! no generation.
+
+use crate::batch::UpdateBatch;
+use dw_congest::EngineConfig;
+use dw_graph::{row_is_dirty, PatchError, WGraph, Weight, INFINITY};
+use dw_pipeline::solve_dirty;
+use dw_seqref::dijkstra;
+use dw_serve::{SourceTable, TableSnapshot, VersionedTables};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which solver re-derives the dirty rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecomputeEngine {
+    /// The paper's pipelined k-SSP (Algorithm 1) over the dirty source
+    /// set, with guess-and-double `Δ` seeded from the old rows.
+    Alg1,
+    /// Per-source sequential Dijkstra — the oracle the proptests hold
+    /// Alg1 against, and the cheap choice for tiny dirty sets.
+    Oracle,
+}
+
+/// What one applied batch did, for operators and benches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The batch's pool sequence number.
+    pub seq: u64,
+    /// The generation the new tables carry.
+    pub generation: u64,
+    /// Sources re-solved on the patched graph.
+    pub recomputed: usize,
+    /// Sources whose rows were carried forward by reference.
+    pub reused: usize,
+    /// Net edge effects of the batch (after normalization).
+    pub inserted: usize,
+    pub removed: usize,
+    pub reweighted: usize,
+    /// Updates that canceled out against the pre-batch graph.
+    pub noops: usize,
+    /// The `Δ` the dirty solve converged at (0 for Oracle / no dirty).
+    pub delta: Weight,
+    /// Wall time patching the CSR, in microseconds.
+    pub patch_micros: u64,
+    /// Wall time re-solving the dirty rows, in microseconds.
+    pub solve_micros: u64,
+}
+
+impl UpdateReport {
+    /// Fraction of sources that had to be recomputed, in `[0, 1]`.
+    pub fn recomputed_fraction(&self) -> f64 {
+        let total = self.recomputed + self.reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.recomputed as f64 / total as f64
+        }
+    }
+}
+
+/// Apply one batch: patch `g` in place, re-solve the invalidated rows
+/// of `tables`, and return the next generation plus its report.
+///
+/// `tables.snap` must have been computed on `g`'s pre-call state (full
+/// range, no `Δ` truncation) — the invalidation rule reads its rows as
+/// exact. On [`PatchError`] the graph is untouched and no generation is
+/// produced.
+pub fn apply_update_batch(
+    g: &mut WGraph,
+    tables: &VersionedTables,
+    batch: &UpdateBatch,
+    engine: RecomputeEngine,
+) -> Result<(VersionedTables, UpdateReport), PatchError> {
+    let t0 = Instant::now();
+    let summary = g.apply_updates(&batch.updates)?;
+    let patch_micros = t0.elapsed().as_micros() as u64;
+
+    let directed = g.is_directed();
+    let mut dirty = Vec::new();
+    let mut delta_floor: Weight = 0;
+    for t in &tables.snap.tables {
+        if row_is_dirty(&t.dist, &summary.changes, directed) {
+            dirty.push(t.source);
+            let row_max = t
+                .dist
+                .iter()
+                .copied()
+                .filter(|&d| d != INFINITY)
+                .max()
+                .unwrap_or(0);
+            delta_floor = delta_floor.max(row_max);
+        }
+    }
+
+    let t1 = Instant::now();
+    let (fresh_rows, delta): (Vec<Arc<SourceTable>>, Weight) = if dirty.is_empty() {
+        (Vec::new(), 0)
+    } else {
+        match engine {
+            RecomputeEngine::Oracle => (
+                dirty
+                    .iter()
+                    .map(|&s| {
+                        let r = dijkstra(g, s);
+                        Arc::new(SourceTable {
+                            source: s,
+                            dist: r.dist,
+                            parent: r.parent,
+                        })
+                    })
+                    .collect(),
+                0,
+            ),
+            RecomputeEngine::Alg1 => {
+                let (res, _stats, delta) =
+                    solve_dirty(g, &dirty, delta_floor, EngineConfig::default());
+                (
+                    res.sources
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &s)| {
+                            Arc::new(SourceTable {
+                                source: s,
+                                dist: res.dist[i].clone(),
+                                parent: res.parent[i].clone(),
+                            })
+                        })
+                        .collect(),
+                    delta,
+                )
+            }
+        }
+    };
+    let solve_micros = t1.elapsed().as_micros() as u64;
+
+    // Assemble the next generation: fresh rows by source, everything
+    // else carried by reference. Both sides are sorted by source, so
+    // one merge pass keeps the snapshot canonical.
+    let mut fresh_by_source: std::collections::HashMap<_, _> =
+        fresh_rows.into_iter().map(|r| (r.source, r)).collect();
+    let new_tables: Vec<Arc<SourceTable>> = tables
+        .snap
+        .tables
+        .iter()
+        .map(|t| {
+            fresh_by_source
+                .remove(&t.source)
+                .unwrap_or_else(|| Arc::clone(t))
+        })
+        .collect();
+    let generation = tables.generation + 1;
+    let next = VersionedTables {
+        generation,
+        snap: TableSnapshot {
+            n: tables.snap.n,
+            tables: new_tables,
+        },
+    };
+    let report = UpdateReport {
+        seq: batch.seq,
+        generation,
+        recomputed: dirty.len(),
+        reused: tables.snap.tables.len() - dirty.len(),
+        inserted: summary.inserted,
+        removed: summary.removed,
+        reweighted: summary.reweighted,
+        noops: summary.noops,
+        delta,
+        patch_micros,
+        solve_micros,
+    };
+    Ok((next, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_graph::gen::{self, WeightDist};
+    use dw_graph::EdgeUpdate;
+    use dw_seqref::dijkstra;
+
+    fn tables_for(g: &WGraph) -> VersionedTables {
+        let runs: Vec<_> = (0..g.n() as u32).map(|s| dijkstra(g, s)).collect();
+        VersionedTables {
+            generation: 0,
+            snap: TableSnapshot::from_sssp(&runs, g.n() as u32),
+        }
+    }
+
+    fn check_exact(g: &WGraph, vt: &VersionedTables) {
+        for t in &vt.snap.tables {
+            let want = dijkstra(g, t.source);
+            assert_eq!(t.dist, want.dist, "source {}", t.source);
+            assert_eq!(t.parent, want.parent, "source {}", t.source);
+        }
+    }
+
+    #[test]
+    fn oracle_engine_matches_from_scratch_and_carries_clean_rows() {
+        let mut g = gen::gnp_connected(20, 0.2, false, WeightDist::Uniform { max: 9 }, 17);
+        let vt = tables_for(&g);
+        let batch = UpdateBatch {
+            seq: 0,
+            updates: vec![
+                EdgeUpdate::SetWeight {
+                    src: 0,
+                    dst: 1,
+                    w: 1,
+                },
+                EdgeUpdate::Insert {
+                    src: 3,
+                    dst: 11,
+                    w: 2,
+                },
+            ],
+        };
+        let (next, report) =
+            apply_update_batch(&mut g, &vt, &batch, RecomputeEngine::Oracle).unwrap();
+        assert_eq!(next.generation, 1);
+        assert_eq!(report.recomputed + report.reused, 20);
+        check_exact(&g, &next);
+        // Reused rows must be the same allocation, not a copy.
+        let reused_shared = vt
+            .snap
+            .tables
+            .iter()
+            .zip(&next.snap.tables)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count();
+        assert_eq!(reused_shared, report.reused);
+    }
+
+    #[test]
+    fn alg1_engine_matches_oracle_distances() {
+        let mut g = gen::grid2d(5, 5, WeightDist::Uniform { max: 7 }, 3);
+        let vt = tables_for(&g);
+        let batch = UpdateBatch {
+            seq: 0,
+            updates: vec![
+                EdgeUpdate::SetWeight {
+                    src: 0,
+                    dst: 1,
+                    w: 40,
+                },
+                EdgeUpdate::Remove { src: 12, dst: 13 },
+            ],
+        };
+        let mut g2 = g.clone();
+        let (next, _) = apply_update_batch(&mut g, &vt, &batch, RecomputeEngine::Alg1).unwrap();
+        let (oracle_next, _) =
+            apply_update_batch(&mut g2, &vt, &batch, RecomputeEngine::Oracle).unwrap();
+        for (a, b) in next.snap.tables.iter().zip(&oracle_next.snap.tables) {
+            assert_eq!(a.dist, b.dist, "source {}", a.source);
+        }
+        // Alg1 parents form *some* valid tree: every path walks and its
+        // weight telescopes to the distance.
+        for t in &next.snap.tables {
+            for v in 0..25u32 {
+                if t.dist[v as usize] != dw_graph::INFINITY {
+                    let p = t.path_to(v).expect("reachable node walks");
+                    assert_eq!(p.first(), Some(&t.source));
+                    assert_eq!(p.last(), Some(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_batch_produces_no_generation_and_leaves_graph_alone() {
+        let mut g = gen::grid2d(3, 3, WeightDist::Constant(2), 0);
+        let vt = tables_for(&g);
+        let before = g.clone();
+        let batch = UpdateBatch {
+            seq: 0,
+            updates: vec![EdgeUpdate::Insert {
+                src: 0,
+                dst: 99,
+                w: 1,
+            }],
+        };
+        let err = apply_update_batch(&mut g, &vt, &batch, RecomputeEngine::Oracle);
+        assert!(matches!(err, Err(PatchError::OutOfRange { .. })));
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn noop_batch_bumps_generation_but_recomputes_nothing() {
+        let mut g = gen::grid2d(3, 3, WeightDist::Constant(2), 0);
+        let vt = tables_for(&g);
+        let batch = UpdateBatch {
+            seq: 5,
+            updates: vec![EdgeUpdate::SetWeight {
+                src: 0,
+                dst: 1,
+                w: 2,
+            }], // same weight
+        };
+        let (next, report) =
+            apply_update_batch(&mut g, &vt, &batch, RecomputeEngine::Alg1).unwrap();
+        assert_eq!(report.recomputed, 0);
+        assert_eq!(report.noops, 1);
+        assert_eq!(next.generation, 1);
+        assert_eq!(next.snap, vt.snap);
+    }
+}

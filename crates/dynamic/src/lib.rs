@@ -1,0 +1,36 @@
+//! **dw-dynamic** — batched graph updates with incremental recompute
+//! and versioned table swaps (ROADMAP item 2, DESIGN.md §14).
+//!
+//! Everything upstream of this crate computes shortest-path tables for
+//! a *fixed* graph; everything downstream serves them. This crate is
+//! the piece in between for graphs that change: edge insertions,
+//! deletions and weight changes accumulate mempool-style into
+//! [`UpdateBatch`]es, each batch patches the graph in place, the
+//! tight/slack invalidation rule picks out the sources whose rows the
+//! batch can possibly have disturbed, only those are re-solved (as one
+//! pipelined k-SSP or per-source Dijkstra), and the result is the next
+//! [`dw_serve::VersionedTables`] generation — clean rows carried by
+//! `Arc` reference, ready for the gateway's atomic swap.
+//!
+//! ```text
+//!  EdgeUpdate ─► UpdatePool ─► UpdateBatch ─► apply_update_batch
+//!                                               │  patch CSR rows
+//!                                               │  row_is_dirty ──► dirty k-SSP
+//!                                               ▼
+//!                                        VersionedTables gen+1 ─► gateway swap
+//! ```
+//!
+//! * [`batch`] — the batch type, its wire codec, the pool, and the
+//!   `dwapsp update` text format;
+//! * [`engine`] — the recompute transaction (patch → invalidate →
+//!   re-solve → version) and its per-batch report;
+//! * [`stream`] — seeded random update streams for benches and the
+//!   randomized bit-equality suite in `tests/`.
+
+pub mod batch;
+pub mod engine;
+pub mod stream;
+
+pub use batch::{parse_updates, UpdateBatch, UpdatePool};
+pub use engine::{apply_update_batch, RecomputeEngine, UpdateReport};
+pub use stream::gen_update_batch;

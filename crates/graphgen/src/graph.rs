@@ -53,15 +53,15 @@ impl Edge {
 /// `PartialEq` still means logical equality.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WGraph {
-    n: usize,
-    directed: bool,
-    m: usize,
-    out_off: Vec<usize>,
-    out_adj: Vec<(NodeId, Weight)>,
-    inc_off: Vec<usize>,
-    inc_adj: Vec<(NodeId, Weight)>,
-    comm_off: Vec<usize>,
-    comm_adj: Vec<NodeId>,
+    pub(crate) n: usize,
+    pub(crate) directed: bool,
+    pub(crate) m: usize,
+    pub(crate) out_off: Vec<usize>,
+    pub(crate) out_adj: Vec<(NodeId, Weight)>,
+    pub(crate) inc_off: Vec<usize>,
+    pub(crate) inc_adj: Vec<(NodeId, Weight)>,
+    pub(crate) comm_off: Vec<usize>,
+    pub(crate) comm_adj: Vec<NodeId>,
 }
 
 /// Flatten per-node rows into a packed CSR (offsets, entries) pair.

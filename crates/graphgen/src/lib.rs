@@ -24,6 +24,8 @@ pub mod builder;
 pub mod gen;
 pub mod graph;
 pub mod io;
+pub mod patch;
 
 pub use builder::GraphBuilder;
 pub use graph::{Edge, NodeId, WGraph, Weight, INFINITY};
+pub use patch::{normalize_updates, row_is_dirty, EdgeUpdate, NetChange, PatchError, PatchSummary};

@@ -1,0 +1,214 @@
+//! Incremental recompute after a batch of edge updates (ROADMAP item 2,
+//! DESIGN.md §14).
+//!
+//! The paper's decomposition gives the recompute boundary for free:
+//! each source's answer is one shortest-path tree, and a batch of
+//! weight changes can only disturb the trees whose old distance
+//! function is *tight* on some changed edge
+//! ([`dw_graph::row_is_dirty`]). Everything else is provably unchanged
+//! — distances and recorded parents — and is carried forward. The dirty
+//! set is then re-solved together as one k-SSP over the patched graph
+//! (the k-source machinery of arXiv:1810.08544), not `k` independent
+//! runs and not a full APSP.
+//!
+//! The `Δ` rework: Algorithm 1's round budget is parameterized by the
+//! distance bound `Δ`, and weight changes can push dirty sources'
+//! eccentricities past the old bound. [`solve_dirty`] therefore runs
+//! guess-and-double, seeded from the dirty sources' *old* finite
+//! distances (a good first guess: most updates move distances a
+//! little), doubling until the run is quiet — exactly the
+//! [`crate::apsp_auto`] argument, restricted to the dirty set.
+
+use crate::driver::k_ssp;
+use crate::result::HkSspResult;
+use dw_congest::{EngineConfig, RunOutcome, RunStats};
+use dw_graph::{row_is_dirty, NetChange, NodeId, WGraph, Weight, INFINITY};
+
+/// The outcome of an incremental recompute: the merged result (same
+/// source order as the old one) plus the recomputed/reused partition
+/// that benches and the serving plane report.
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcome {
+    pub result: HkSspResult,
+    /// Sources whose rows were re-solved on the patched graph.
+    pub recomputed: Vec<NodeId>,
+    /// Sources whose old rows were carried forward unchanged.
+    pub reused: Vec<NodeId>,
+    /// Engine statistics of the dirty k-SSP (zero if nothing was dirty).
+    pub stats: RunStats,
+    /// The `Δ` the dirty solve converged at.
+    pub delta: Weight,
+}
+
+/// Re-solve `dirty` as one k-SSP on `g` with guess-and-double `Δ`.
+/// `delta_floor` seeds the guess (pass the dirty rows' old max finite
+/// distance); correctness never depends on the guess, only rounds do.
+pub fn solve_dirty(
+    g: &WGraph,
+    dirty: &[NodeId],
+    delta_floor: Weight,
+    engine: EngineConfig,
+) -> (HkSspResult, RunStats, Weight) {
+    let mut guess = delta_floor.max(g.max_weight()).max(1);
+    let mut total = RunStats::default();
+    loop {
+        let (res, stats, outcome) = k_ssp(g, dirty.to_vec(), guess, engine.clone());
+        total = total.then(&stats);
+        if outcome == RunOutcome::Quiet {
+            return (res, total, guess);
+        }
+        guess = guess.saturating_mul(2);
+    }
+}
+
+/// Recompute `old` (computed on the pre-patch graph) against the
+/// *patched* graph `g`, given the batch's normalized `changes`:
+/// partition sources into dirty and clean by the invalidation rule,
+/// re-solve the dirty set as one k-SSP, carry clean rows forward.
+///
+/// `old` must be a full-range result (no `Δ` truncation) — the
+/// invalidation rule reads old distances as exact. Results produced by
+/// [`crate::apsp_auto`], a quiet run at `Δ ≥` the true eccentricity, or
+/// the sequential oracle all qualify.
+pub fn recompute_incremental(
+    g: &WGraph,
+    old: &HkSspResult,
+    changes: &[NetChange],
+    engine: EngineConfig,
+) -> IncrementalOutcome {
+    let directed = g.is_directed();
+    let mut recomputed = Vec::new();
+    let mut reused = Vec::new();
+    let mut delta_floor: Weight = 0;
+    for (i, &s) in old.sources.iter().enumerate() {
+        if row_is_dirty(&old.dist[i], changes, directed) {
+            recomputed.push(s);
+            let row_max = old.dist[i]
+                .iter()
+                .copied()
+                .filter(|&d| d != INFINITY)
+                .max()
+                .unwrap_or(0);
+            delta_floor = delta_floor.max(row_max);
+        } else {
+            reused.push(s);
+        }
+    }
+
+    if recomputed.is_empty() {
+        return IncrementalOutcome {
+            result: old.clone(),
+            recomputed,
+            reused,
+            stats: RunStats::default(),
+            delta: 0,
+        };
+    }
+
+    let (fresh, stats, delta) = solve_dirty(g, &recomputed, delta_floor, engine);
+    let mut result = old.clone();
+    for (j, &s) in fresh.sources.iter().enumerate() {
+        let i = old
+            .sources
+            .iter()
+            .position(|&t| t == s)
+            .expect("dirty source came from old result");
+        result.dist[i] = fresh.dist[j].clone();
+        result.hops[i] = fresh.hops[j].clone();
+        result.parent[i] = fresh.parent[j].clone();
+    }
+    IncrementalOutcome {
+        result,
+        recomputed,
+        reused,
+        stats,
+        delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::apsp_auto;
+    use dw_graph::gen::{self, WeightDist};
+    use dw_graph::EdgeUpdate;
+    use dw_seqref::apsp_dijkstra;
+
+    #[test]
+    fn incremental_matches_from_scratch_distances() {
+        let mut g = gen::gnp_connected(18, 0.15, false, WeightDist::Uniform { max: 9 }, 21);
+        let (old, _, _) = apsp_auto(&g, EngineConfig::default());
+        let summary = g
+            .apply_updates(&[
+                EdgeUpdate::SetWeight {
+                    src: 0,
+                    dst: 1,
+                    w: 1,
+                },
+                EdgeUpdate::Insert {
+                    src: 2,
+                    dst: 9,
+                    w: 3,
+                },
+            ])
+            .unwrap();
+        let out = recompute_incremental(&g, &old, &summary.changes, EngineConfig::default());
+        let oracle = apsp_dijkstra(&g);
+        for (i, &s) in out.result.sources.iter().enumerate() {
+            assert_eq!(
+                out.result.dist[i],
+                oracle.dist[s as usize],
+                "source {s} (recomputed={})",
+                out.recomputed.contains(&s)
+            );
+        }
+        assert_eq!(
+            out.recomputed.len() + out.reused.len(),
+            out.result.sources.len()
+        );
+    }
+
+    #[test]
+    fn clean_rows_are_carried_verbatim() {
+        let mut g = gen::grid2d(4, 4, WeightDist::Uniform { max: 5 }, 9);
+        let (old, _, _) = apsp_auto(&g, EngineConfig::default());
+        // A very heavy new edge is slack for every source: nothing dirty.
+        let summary = g
+            .apply_updates(&[EdgeUpdate::Insert {
+                src: 0,
+                dst: 15,
+                w: 10_000,
+            }])
+            .unwrap();
+        let out = recompute_incremental(&g, &old, &summary.changes, EngineConfig::default());
+        assert!(out.recomputed.is_empty());
+        assert_eq!(out.result, old);
+        // And the carried rows are still exact on the patched graph.
+        let oracle = apsp_dijkstra(&g);
+        for (i, &s) in out.result.sources.iter().enumerate() {
+            assert_eq!(out.result.dist[i], oracle.dist[s as usize]);
+        }
+    }
+
+    #[test]
+    fn delta_grows_when_updates_stretch_distances() {
+        // A light path whose middle edge becomes very heavy: the dirty
+        // solve must re-derive a larger delta by guess-and-double.
+        let mut g = gen::path(6, false, WeightDist::Constant(1), 0);
+        let (old, _, _) = apsp_auto(&g, EngineConfig::default());
+        let summary = g
+            .apply_updates(&[EdgeUpdate::SetWeight {
+                src: 2,
+                dst: 3,
+                w: 500,
+            }])
+            .unwrap();
+        let out = recompute_incremental(&g, &old, &summary.changes, EngineConfig::default());
+        assert!(!out.recomputed.is_empty());
+        assert!(out.delta >= 500, "delta {} too small", out.delta);
+        let oracle = apsp_dijkstra(&g);
+        for (i, &s) in out.result.sources.iter().enumerate() {
+            assert_eq!(out.result.dist[i], oracle.dist[s as usize]);
+        }
+    }
+}

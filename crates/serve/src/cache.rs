@@ -38,12 +38,21 @@ const NIL: u32 = u32::MAX;
 struct Slot {
     key: (NodeId, NodeId),
     value: CachedAnswer,
+    /// The snapshot generation the answer was computed against. A table
+    /// swap bumps the cache's current generation; entries stamped with
+    /// an older one are facts about a graph that no longer exists and
+    /// are treated as misses (and reclaimed) on their next probe.
+    gen: u64,
     prev: u32,
     next: u32,
 }
 
 /// Bounded LRU over `(src, dst)` keys. `capacity == 0` disables
 /// caching entirely (every lookup misses, nothing is stored).
+///
+/// Entries are keyed by snapshot generation: [`PathCache::set_generation`]
+/// invalidates every older entry lazily, in O(1), without walking the
+/// arena — stale slots die on first touch.
 pub struct PathCache {
     capacity: usize,
     map: HashMap<(NodeId, NodeId), u32>,
@@ -51,6 +60,7 @@ pub struct PathCache {
     free: Vec<u32>,
     head: u32, // most recently used
     tail: u32, // least recently used
+    generation: u64,
     pub hits: u64,
     pub misses: u64,
 }
@@ -64,9 +74,22 @@ impl PathCache {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            generation: 0,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// The generation new entries are stamped with.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Move the cache to a new snapshot generation. Every entry stamped
+    /// with an older generation is invalid from this point on; they are
+    /// reclaimed lazily as probes touch them.
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     pub fn len(&self) -> usize {
@@ -120,9 +143,17 @@ impl PathCache {
     }
 
     /// Look up an answer able to serve a query of the given flavor.
-    /// Counts a hit or miss and refreshes recency on hit.
+    /// Counts a hit or miss and refreshes recency on hit. An entry from
+    /// a stale generation is a miss — its slot is freed on the spot.
     pub fn get(&mut self, src: NodeId, dst: NodeId, want_path: bool) -> Option<CachedAnswer> {
         match self.map.get(&(src, dst)).copied() {
+            Some(i) if self.slots[i as usize].gen != self.generation => {
+                self.unlink(i);
+                self.map.remove(&(src, dst));
+                self.free.push(i);
+                self.misses += 1;
+                None
+            }
             Some(i) if self.slots[i as usize].value.answers(want_path) => {
                 self.hits += 1;
                 self.unlink(i);
@@ -145,9 +176,13 @@ impl PathCache {
         }
         if let Some(&i) = self.map.get(&(src, dst)) {
             let slot = &mut self.slots[i as usize];
-            if value.path.is_some() || slot.value.path.is_none() {
+            // A stale-generation slot is overwritten outright (its old
+            // answer must never resurface); a current-generation
+            // path-bearing entry is never downgraded to distance-only.
+            if slot.gen != self.generation || value.path.is_some() || slot.value.path.is_none() {
                 slot.value = value;
             }
+            slot.gen = self.generation;
             self.unlink(i);
             self.push_front(i);
             return;
@@ -160,16 +195,19 @@ impl PathCache {
             self.map.remove(&key);
             self.slots[victim as usize].key = (src, dst);
             self.slots[victim as usize].value = value;
+            self.slots[victim as usize].gen = self.generation;
             victim
         } else if let Some(i) = self.free.pop() {
             self.slots[i as usize].key = (src, dst);
             self.slots[i as usize].value = value;
+            self.slots[i as usize].gen = self.generation;
             i
         } else {
             let i = self.slots.len() as u32;
             self.slots.push(Slot {
                 key: (src, dst),
                 value,
+                gen: self.generation,
                 prev: NIL,
                 next: NIL,
             });
@@ -231,6 +269,41 @@ mod tests {
         c.put(3, 9, dist(INFINITY));
         assert_eq!(c.get(3, 9, true), Some(dist(INFINITY)));
         assert_eq!(c.get(3, 9, false), Some(dist(INFINITY)));
+    }
+
+    #[test]
+    fn generation_bump_invalidates_stale_entries() {
+        let mut c = PathCache::new(4);
+        c.put(0, 1, dist(5));
+        c.put(0, 2, dist(7));
+        assert_eq!(c.get(0, 1, false), Some(dist(5)));
+        c.set_generation(1);
+        // Every pre-swap entry is now a miss, and its slot is freed.
+        assert_eq!(c.get(0, 1, false), None);
+        assert_eq!(c.get(0, 2, false), None);
+        assert_eq!(c.len(), 0);
+        // Post-swap answers cache normally under the new generation.
+        c.put(0, 1, dist(9));
+        assert_eq!(c.get(0, 1, false), Some(dist(9)));
+    }
+
+    #[test]
+    fn stale_path_entry_is_overwritten_not_upgraded() {
+        let mut c = PathCache::new(4);
+        c.put(
+            1,
+            2,
+            CachedAnswer {
+                dist: 4,
+                path: Some(vec![1, 2]),
+            },
+        );
+        c.set_generation(3);
+        // A distance-only put after the swap must replace the stale
+        // path answer entirely — the old path is from a dead graph.
+        c.put(1, 2, dist(6));
+        assert_eq!(c.get(1, 2, false), Some(dist(6)));
+        assert_eq!(c.get(1, 2, true), None);
     }
 
     #[test]

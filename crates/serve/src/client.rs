@@ -1,12 +1,14 @@
 //! A synchronous gateway client: one connection, one outstanding
 //! request at a time.
 //!
-//! This is the building block both `dwapsp query` and the closed-loop
-//! load generator use. Replies are correlated by id (the gateway may
-//! complete replies out of submission order for *pipelined* clients;
-//! with one outstanding request the loop below is just a safety check).
+//! This is the building block `dwapsp query`, `dwapsp apply-updates`
+//! and the closed-loop load generator use. Replies are correlated by id
+//! (the gateway may complete replies out of submission order for
+//! *pipelined* clients; with one outstanding request the loop below is
+//! just a safety check).
 
-use crate::proto::{QueryOutcome, QueryReply, QueryRequest};
+use crate::proto::{ApplyReport, ClientReply, ClientRequest, QueryOutcome, QueryRequest};
+use crate::table::TableSnapshot;
 use dw_transport::tcp::retry_connect;
 use dw_transport::wire::{read_frame, write_frame};
 use std::io;
@@ -35,21 +37,49 @@ impl ServeClient {
     pub fn query(&mut self, src: u32, dst: u32, want_path: bool) -> io::Result<QueryOutcome> {
         let id = self.next_id;
         self.next_id += 1;
-        let req = QueryRequest {
+        let req = ClientRequest::Query(QueryRequest {
             id,
             src,
             dst,
             want_path,
-        };
+        });
         write_frame(&mut self.stream, &req, &mut self.scratch)?;
         loop {
-            match read_frame::<_, QueryReply>(&mut self.stream)? {
-                Some(reply) if reply.id == id => return Ok(reply.outcome),
+            match read_frame::<_, ClientReply>(&mut self.stream)? {
+                Some(ClientReply::Query(reply)) if reply.id == id => return Ok(reply.outcome),
                 Some(_) => continue, // a stray reply from a past timeout
                 None => {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
                         "gateway closed the connection mid-query",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Push a new table generation into the deployment: the gateway
+    /// fans the install out to every live shard, swaps atomically, and
+    /// reports what happened. Blocking — a swap of large tables takes
+    /// as long as the slowest shard's install.
+    pub fn apply_tables(
+        &mut self,
+        generation: u64,
+        snap: &TableSnapshot,
+    ) -> io::Result<ApplyReport> {
+        let req = ClientRequest::ApplyTables {
+            generation,
+            snap: snap.clone(),
+        };
+        write_frame(&mut self.stream, &req, &mut self.scratch)?;
+        loop {
+            match read_frame::<_, ClientReply>(&mut self.stream)? {
+                Some(ClientReply::ApplyDone(report)) => return Ok(report),
+                Some(ClientReply::Query(_)) => continue, // a stray reply
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "gateway closed the connection mid-apply",
                     ))
                 }
             }

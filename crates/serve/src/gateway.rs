@@ -1,4 +1,4 @@
-//! The stateless query gateway: route, coalesce, cache, degrade.
+//! The stateless query gateway: route, coalesce, cache, degrade, swap.
 //!
 //! Clients connect to one address and never learn the shard layout.
 //! For every incoming [`QueryRequest`] the gateway:
@@ -16,18 +16,40 @@
 //! 4. **degrades** — a dead shard connection marks that shard down and
 //!    turns its queued and future queries into typed
 //!    [`QueryOutcome::ShardUnavailable`] replies carrying the orphaned
-//!    source range, while every other shard keeps serving.
+//!    source range, while every other shard keeps serving;
+//! 5. **swaps** — a [`ClientRequest::ApplyTables`] fans the new
+//!    generation out to every live shard *through the dispatcher
+//!    mailboxes* (so installs serialize with query batches on each
+//!    shard connection — FIFO, no second socket), waits for the acks,
+//!    then bumps the gateway generation and invalidates the cache. See
+//!    DESIGN.md §14 for the protocol's old-or-new guarantee.
 //!
 //! Threading: one dispatcher thread per shard (owns that shard's
-//! connection; write-then-read per batch, so batches to *different*
+//! connection; write-then-read per frame, so batches to *different*
 //! shards overlap freely), one reader and one writer thread per client
 //! connection (replies can complete out of submission order — cache
 //! hits overtake shard round trips — so writers drain a channel and
 //! clients correlate by id).
+//!
+//! # Why queries carry their intake generation
+//!
+//! A query parked before a swap can be answered by the shard *after*
+//! the shard installed the new tables. Delivering that (new-generation)
+//! answer to the client is fine — during a swap a client may see old or
+//! new, never a mix within one answer. But folding it into the cache
+//! stamped with the *old* gateway generation, or folding an
+//! old-generation answer in after the bump, would poison the cache. So
+//! every parked query records the generation it was admitted under and
+//! [`cache_put`] drops answers whose intake generation is no longer
+//! current — the cheap, conservative rule.
 
 use crate::cache::{CachedAnswer, PathCache};
 use crate::metrics::ServeStats;
-use crate::proto::{QueryBatch, QueryOutcome, QueryReply, QueryRequest, ReplyBatch};
+use crate::proto::{
+    ApplyReport, ClientReply, ClientRequest, QueryBatch, QueryOutcome, QueryReply, QueryRequest,
+    ReplyBatch, ShardFrame, ShardReply,
+};
+use crate::table::TableSnapshot;
 use dw_graph::{NodeId, INFINITY};
 use dw_transport::shard::ShardMap;
 use dw_transport::tcp::retry_connect;
@@ -35,7 +57,7 @@ use dw_transport::wire::{read_frame, write_frame};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -58,6 +80,13 @@ pub struct GatewayConfig {
     /// declared down (a *closed* socket is detected immediately; the
     /// timeout catches a wedged one).
     pub shard_timeout: Duration,
+    /// How long one `ApplyTables` waits for all shard install acks
+    /// before counting the stragglers as failed.
+    pub apply_timeout: Duration,
+    /// The generation the deployment starts at — the generation of the
+    /// tables file the shards were booted from (0 for legacy `DWT1`
+    /// files). Installs must beat this to be accepted.
+    pub initial_generation: u64,
 }
 
 impl Default for GatewayConfig {
@@ -68,6 +97,8 @@ impl Default for GatewayConfig {
             cache_capacity: 4096,
             connect_timeout: Duration::from_secs(5),
             shard_timeout: Duration::from_secs(5),
+            apply_timeout: Duration::from_secs(30),
+            initial_generation: 0,
         }
     }
 }
@@ -77,15 +108,29 @@ impl Default for GatewayConfig {
 struct Parked {
     query: QueryRequest,
     /// Reply channel of the owning client connection.
-    home: Sender<QueryReply>,
+    home: Sender<ClientReply>,
     /// The client's original correlation id.
     client_id: u64,
+    /// The gateway generation this query was admitted under; answers
+    /// whose intake generation is no longer current are not cached.
+    gen: u64,
+}
+
+/// A table install parked on a dispatcher, serialized with query
+/// batches on the shard connection. `done` reports whether the shard
+/// acked at (or beyond) the requested generation.
+struct InstallJob {
+    generation: u64,
+    snap: TableSnapshot,
+    done: Sender<bool>,
 }
 
 /// One shard dispatcher's mailbox.
 #[derive(Default)]
 struct Mailbox {
     parked: Vec<Parked>,
+    /// Pending table installs; shipped before the next query batch.
+    installs: Vec<InstallJob>,
     /// Set once the shard is declared dead; guarded by the same lock
     /// so intake and dispatcher agree on who answers a parked query.
     down: bool,
@@ -105,6 +150,9 @@ struct Shared {
     cache: Mutex<PathCache>,
     stats: Mutex<ServeStats>,
     stop: AtomicBool,
+    /// The currently installed table generation (monotone).
+    generation: AtomicU64,
+    apply_timeout: Duration,
 }
 
 impl Shared {
@@ -119,8 +167,12 @@ impl Shared {
 }
 
 /// Fold a shard answer into the cache (only answers that are facts
-/// about the graph — not errors — are cacheable).
-fn cache_put(cache: &Mutex<PathCache>, src: NodeId, dst: NodeId, outcome: &QueryOutcome) {
+/// about the graph — not errors — are cacheable, and only when the
+/// query's intake generation is still the live one).
+fn cache_put(shared: &Shared, gen: u64, src: NodeId, dst: NodeId, outcome: &QueryOutcome) {
+    if gen != shared.generation.load(Ordering::SeqCst) {
+        return;
+    }
     let answer = match outcome {
         QueryOutcome::Dist { dist } => CachedAnswer {
             dist: *dist,
@@ -136,11 +188,19 @@ fn cache_put(cache: &Mutex<PathCache>, src: NodeId, dst: NodeId, outcome: &Query
         },
         _ => return,
     };
-    cache.lock().unwrap().put(src, dst, answer);
+    shared.cache.lock().unwrap().put(src, dst, answer);
 }
 
-/// The per-shard dispatcher loop: wait for parked queries, coalesce one
-/// flush tick's worth, ship the batch, route replies home.
+/// What a dispatcher pulled out of its mailbox for one round.
+enum Work {
+    /// Installs ship first, in arrival order, one frame each.
+    Installs(Vec<InstallJob>),
+    Batch(Vec<Parked>),
+}
+
+/// The per-shard dispatcher loop: wait for parked work, coalesce one
+/// flush tick's worth of queries (installs preempt coalescing), ship,
+/// route replies home.
 fn dispatcher_main(
     shared: &Shared,
     shard: usize,
@@ -152,79 +212,129 @@ fn dispatcher_main(
     let mut scratch = Vec::new();
     let mut seq = 0u64;
     loop {
-        // --- collect one batch ---
-        let batch: Vec<Parked> = {
+        // --- collect one round of work ---
+        let work: Work = {
             let mut mb = d.mailbox.lock().unwrap();
-            while mb.parked.is_empty() && !shared.stop.load(Ordering::Relaxed) {
+            while mb.parked.is_empty()
+                && mb.installs.is_empty()
+                && !shared.stop.load(Ordering::Relaxed)
+            {
                 let (guard, _) = d.wake.wait_timeout(mb, Duration::from_millis(50)).unwrap();
                 mb = guard;
             }
-            if mb.parked.is_empty() {
+            if !mb.installs.is_empty() {
+                Work::Installs(mb.installs.drain(..).collect())
+            } else if mb.parked.is_empty() {
                 return; // stopped while idle
-            }
-            // Coalescing window: give concurrent clients one tick to
-            // pile on, flushing early at max_batch.
-            if !cfg_flush.is_zero() {
-                let deadline = Instant::now() + cfg_flush;
-                while mb.parked.len() < cfg_batch {
-                    let now = Instant::now();
-                    if now >= deadline || shared.stop.load(Ordering::Relaxed) {
-                        break;
+            } else {
+                // Coalescing window: give concurrent clients one tick to
+                // pile on, flushing early at max_batch (or the moment an
+                // install arrives — swaps should not wait on the window).
+                if !cfg_flush.is_zero() {
+                    let deadline = Instant::now() + cfg_flush;
+                    while mb.parked.len() < cfg_batch && mb.installs.is_empty() {
+                        let now = Instant::now();
+                        if now >= deadline || shared.stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let (guard, _) = d.wake.wait_timeout(mb, deadline - now).unwrap();
+                        mb = guard;
                     }
-                    let (guard, _) = d.wake.wait_timeout(mb, deadline - now).unwrap();
-                    mb = guard;
                 }
+                let take = mb.parked.len().min(cfg_batch);
+                Work::Batch(mb.parked.drain(..take).collect())
             }
-            let take = mb.parked.len().min(cfg_batch);
-            mb.parked.drain(..take).collect()
         };
 
-        let t0 = Instant::now();
-        let outcome = match &mut conn {
-            None => Err(io::Error::new(io::ErrorKind::NotConnected, "shard down")),
-            Some(stream) => ship_batch(stream, &mut scratch, &mut seq, &batch),
-        };
-        match outcome {
-            Ok(reply) => {
-                let batch_ns = t0.elapsed().as_nanos() as u64;
-                {
-                    let mut st = shared.stats.lock().unwrap();
-                    st.batches += 1;
-                    st.batched_queries += batch.len() as u64;
-                    st.batch_ns += batch_ns;
-                    st.lookup_ns += reply.lookup_ns;
-                    st.walk_ns += reply.walk_ns;
-                }
-                let mut by_id: HashMap<u64, QueryReply> =
-                    reply.replies.into_iter().map(|r| (r.id, r)).collect();
-                for p in batch {
-                    let outcome = match by_id.remove(&p.query.id) {
-                        Some(r) => {
-                            cache_put(&shared.cache, p.query.src, p.query.dst, &r.outcome);
-                            r.outcome
+        match work {
+            Work::Installs(jobs) => {
+                let mut jobs = jobs.into_iter();
+                for job in jobs.by_ref() {
+                    let acked = match &mut conn {
+                        None => Err(io::Error::new(io::ErrorKind::NotConnected, "shard down")),
+                        Some(stream) => {
+                            ship_install(stream, &mut scratch, job.generation, &job.snap)
                         }
-                        // A reply batch that lost an entry is a shard
-                        // bug; fail that query closed.
-                        None => shared.unavailable(shard as NodeId),
                     };
-                    deliver(shared, &p, outcome);
+                    match acked {
+                        Ok(live_gen) => {
+                            let _ = job.done.send(live_gen >= job.generation);
+                        }
+                        Err(_) => {
+                            let _ = job.done.send(false);
+                            mark_down(shared, d, shard, &mut conn, &[]);
+                            break;
+                        }
+                    }
+                }
+                // A connection death mid-install fails the rest too.
+                for job in jobs {
+                    let _ = job.done.send(false);
                 }
             }
-            Err(_) => {
-                // The shard is gone: mark it down under the mailbox
-                // lock (so no new query can park in between), then fail
-                // this batch and anything parked meanwhile.
-                let leftovers: Vec<Parked> = {
-                    let mut mb = d.mailbox.lock().unwrap();
-                    mb.down = true;
-                    mb.parked.drain(..).collect()
+            Work::Batch(batch) => {
+                let t0 = Instant::now();
+                let outcome = match &mut conn {
+                    None => Err(io::Error::new(io::ErrorKind::NotConnected, "shard down")),
+                    Some(stream) => ship_batch(stream, &mut scratch, &mut seq, &batch),
                 };
-                conn = None;
-                for p in batch.iter().chain(leftovers.iter()) {
-                    deliver(shared, p, shared.unavailable(shard as NodeId));
+                match outcome {
+                    Ok(reply) => {
+                        let batch_ns = t0.elapsed().as_nanos() as u64;
+                        {
+                            let mut st = shared.stats.lock().unwrap();
+                            st.batches += 1;
+                            st.batched_queries += batch.len() as u64;
+                            st.batch_ns += batch_ns;
+                            st.lookup_ns += reply.lookup_ns;
+                            st.walk_ns += reply.walk_ns;
+                        }
+                        let mut by_id: HashMap<u64, QueryReply> =
+                            reply.replies.into_iter().map(|r| (r.id, r)).collect();
+                        for p in batch {
+                            let outcome = match by_id.remove(&p.query.id) {
+                                Some(r) => {
+                                    cache_put(shared, p.gen, p.query.src, p.query.dst, &r.outcome);
+                                    r.outcome
+                                }
+                                // A reply batch that lost an entry is a
+                                // shard bug; fail that query closed.
+                                None => shared.unavailable(shard as NodeId),
+                            };
+                            deliver(shared, &p, outcome);
+                        }
+                    }
+                    Err(_) => mark_down(shared, d, shard, &mut conn, &batch),
                 }
             }
         }
+    }
+}
+
+/// The shard is gone: mark it down under the mailbox lock (so no new
+/// query can park in between), then fail `batch` and anything parked or
+/// queued for install meanwhile.
+fn mark_down(
+    shared: &Shared,
+    d: &Dispatcher,
+    shard: usize,
+    conn: &mut Option<TcpStream>,
+    batch: &[Parked],
+) {
+    let (leftovers, installs): (Vec<Parked>, Vec<InstallJob>) = {
+        let mut mb = d.mailbox.lock().unwrap();
+        mb.down = true;
+        (
+            mb.parked.drain(..).collect(),
+            mb.installs.drain(..).collect(),
+        )
+    };
+    *conn = None;
+    for p in batch.iter().chain(leftovers.iter()) {
+        deliver(shared, p, shared.unavailable(shard as NodeId));
+    }
+    for job in installs {
+        let _ = job.done.send(false);
     }
 }
 
@@ -236,17 +346,42 @@ fn ship_batch(
     batch: &[Parked],
 ) -> io::Result<ReplyBatch> {
     *seq += 1;
-    let frame = QueryBatch {
+    let frame = ShardFrame::Queries(QueryBatch {
         seq: *seq,
         queries: batch.iter().map(|p| p.query.clone()).collect(),
+    });
+    write_frame(stream, &frame, scratch)?;
+    loop {
+        match read_frame::<_, ShardReply>(stream) {
+            Ok(Some(ShardReply::Replies(reply))) if reply.seq == *seq => return Ok(reply),
+            // A stale reply (from a batch or install we already gave up
+            // on) is skipped; anything else is a dead or misbehaving
+            // shard.
+            Ok(Some(_)) => continue,
+            Ok(None) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One install round trip on the shard connection. Returns the
+/// generation the shard reports live after the install.
+fn ship_install(
+    stream: &mut TcpStream,
+    scratch: &mut Vec<u8>,
+    generation: u64,
+    snap: &TableSnapshot,
+) -> io::Result<u64> {
+    let frame = ShardFrame::Install {
+        generation,
+        snap: snap.clone(),
     };
     write_frame(stream, &frame, scratch)?;
     loop {
-        match read_frame::<_, ReplyBatch>(stream) {
-            Ok(Some(reply)) if reply.seq == *seq => return Ok(reply),
-            // A stale reply (from a batch we already gave up on) is
-            // skipped; anything else is a dead or misbehaving shard.
-            Ok(Some(_)) => continue,
+        match read_frame::<_, ShardReply>(stream) {
+            Ok(Some(ShardReply::Installed { generation })) => return Ok(generation),
+            // Stale query replies from an abandoned batch are skipped.
+            Ok(Some(ShardReply::Replies(_))) => continue,
             Ok(None) => return Err(io::ErrorKind::UnexpectedEof.into()),
             Err(e) => return Err(e),
         }
@@ -263,19 +398,89 @@ fn deliver(shared: &Shared, p: &Parked, outcome: QueryOutcome) {
     }
     // A dead client connection just drops the reply; the reader side
     // notices the hangup independently.
-    let _ = p.home.send(QueryReply {
+    let _ = p.home.send(ClientReply::Query(QueryReply {
         id: p.client_id,
         outcome,
-    });
+    }));
+}
+
+/// Handle one `ApplyTables` from a client: validate, fan the install
+/// out to every live shard through its dispatcher, await the acks, bump
+/// the gateway generation and invalidate the cache if anything
+/// installed, and report back.
+fn handle_apply(shared: &Shared, generation: u64, snap: TableSnapshot, tx: &Sender<ClientReply>) {
+    let current = shared.generation.load(Ordering::SeqCst);
+    if generation <= current || snap.n as usize != shared.map.n() {
+        let _ = tx.send(ClientReply::ApplyDone(ApplyReport {
+            accepted: false,
+            generation: current,
+            shards_installed: 0,
+            shards_down: 0,
+        }));
+        return;
+    }
+
+    let mut waits = Vec::new();
+    let mut shards_down = 0u32;
+    for (s, d) in shared.dispatchers.iter().enumerate() {
+        let sub = snap.for_shard(&shared.map, s as NodeId);
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let mut mb = d.mailbox.lock().unwrap();
+        if mb.down {
+            shards_down += 1;
+            continue;
+        }
+        mb.installs.push(InstallJob {
+            generation,
+            snap: sub,
+            done: done_tx,
+        });
+        d.wake.notify_one();
+        drop(mb);
+        waits.push(done_rx);
+    }
+
+    let deadline = Instant::now() + shared.apply_timeout;
+    let (mut installed, mut failed) = (0u32, 0u32);
+    for rx in waits {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(left) {
+            Ok(true) => installed += 1,
+            _ => failed += 1,
+        }
+    }
+
+    // Any successful install means live shards are now answering from
+    // the new generation: the gateway must follow (and drop every
+    // cached fact about the old graph), even if some other shard died
+    // mid-swap — its queries degrade to ShardUnavailable anyway.
+    let live_gen = if installed > 0 {
+        shared.generation.fetch_max(generation, Ordering::SeqCst);
+        let g = shared.generation.load(Ordering::SeqCst);
+        shared.cache.lock().unwrap().set_generation(g);
+        g
+    } else {
+        current
+    };
+    // `accepted` means the *whole* fleet now serves the new generation;
+    // a degraded swap (some shard down or failing mid-install) still
+    // advances the live shards but reports itself honestly.
+    let _ = tx.send(ClientReply::ApplyDone(ApplyReport {
+        accepted: failed == 0 && shards_down == 0 && installed > 0,
+        generation: live_gen,
+        shards_installed: installed,
+        shards_down: shards_down + failed,
+    }));
 }
 
 /// One client connection's intake loop: read requests, answer what can
 /// be answered at the gate, park the rest on the owning dispatcher.
-fn client_main(shared: &Shared, stream: TcpStream, next_internal: &std::sync::atomic::AtomicU64) {
+/// Table swaps are handled inline (one at a time per connection).
+fn client_main(shared: &Shared, stream: TcpStream, next_internal: &AtomicU64) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let (tx, rx) = std::sync::mpsc::channel::<QueryReply>();
+    let (tx, rx) = std::sync::mpsc::channel::<ClientReply>();
 
     // Writer: serialize replies back to the client as they complete.
     let writer = std::thread::spawn(move || {
@@ -295,7 +500,7 @@ fn client_main(shared: &Shared, stream: TcpStream, next_internal: &std::sync::at
         if shared.stop.load(Ordering::Relaxed) {
             break;
         }
-        let req = match read_frame::<_, QueryRequest>(&mut read_half) {
+        let req = match read_frame::<_, ClientRequest>(&mut read_half) {
             Ok(Some(r)) => r,
             Ok(None) => break,
             Err(e)
@@ -304,6 +509,13 @@ fn client_main(shared: &Shared, stream: TcpStream, next_internal: &std::sync::at
                 continue;
             }
             Err(_) => break,
+        };
+        let req = match req {
+            ClientRequest::Query(q) => q,
+            ClientRequest::ApplyTables { generation, snap } => {
+                handle_apply(shared, generation, snap, &tx);
+                continue;
+            }
         };
 
         let t0 = Instant::now();
@@ -317,10 +529,10 @@ fn client_main(shared: &Shared, stream: TcpStream, next_internal: &std::sync::at
                 st.route_ns += t0.elapsed().as_nanos() as u64;
                 st.replies += 1;
             }
-            let _ = tx.send(QueryReply {
+            let _ = tx.send(ClientReply::Query(QueryReply {
                 id: req.id,
                 outcome: QueryOutcome::OutOfRange,
-            });
+            }));
             continue;
         }
 
@@ -344,10 +556,10 @@ fn client_main(shared: &Shared, stream: TcpStream, next_internal: &std::sync::at
             st.replies += 1;
             st.route_ns += t0.elapsed().as_nanos() as u64;
             drop(st);
-            let _ = tx.send(QueryReply {
+            let _ = tx.send(ClientReply::Query(QueryReply {
                 id: req.id,
                 outcome,
-            });
+            }));
             continue;
         }
         shared.stats.lock().unwrap().cache_misses += 1;
@@ -363,6 +575,7 @@ fn client_main(shared: &Shared, stream: TcpStream, next_internal: &std::sync::at
             },
             home: tx.clone(),
             client_id: req.id,
+            gen: shared.generation.load(Ordering::SeqCst),
         };
         {
             let mut mb = d.mailbox.lock().unwrap();
@@ -425,12 +638,16 @@ impl Gateway {
                 })
             })
             .collect();
+        let mut cache = PathCache::new(cfg.cache_capacity);
+        cache.set_generation(cfg.initial_generation);
         let shared = Arc::new(Shared {
             map,
             dispatchers,
-            cache: Mutex::new(PathCache::new(cfg.cache_capacity)),
+            cache: Mutex::new(cache),
             stats: Mutex::new(ServeStats::default()),
             stop: AtomicBool::new(false),
+            generation: AtomicU64::new(cfg.initial_generation),
+            apply_timeout: cfg.apply_timeout,
         });
 
         let mut threads = Vec::new();
@@ -460,7 +677,7 @@ impl Gateway {
         listener.set_nonblocking(true)?;
         let shared2 = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || {
-            let next_internal = Arc::new(std::sync::atomic::AtomicU64::new(1));
+            let next_internal = Arc::new(AtomicU64::new(1));
             let mut clients = Vec::new();
             while !shared2.stop.load(Ordering::Relaxed) {
                 match listener.accept() {
@@ -492,6 +709,11 @@ impl Gateway {
     /// Snapshot of the aggregate serve metrics.
     pub fn stats(&self) -> ServeStats {
         *self.shared.stats.lock().unwrap()
+    }
+
+    /// The table generation the gateway currently believes live.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::SeqCst)
     }
 
     /// Observed cache hit rate (from the cache's own counters, which

@@ -47,9 +47,14 @@ pub use client::ServeClient;
 pub use gateway::{Gateway, GatewayConfig};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use metrics::ServeStats;
-pub use proto::{QueryBatch, QueryOutcome, QueryReply, QueryRequest, ReplyBatch};
-pub use server::{answer, answer_batch, serve_shard, ShardHandle};
-pub use table::{SourceTable, TableSnapshot, TABLE_MAGIC, TABLE_VERSION};
+pub use proto::{
+    ApplyReport, ClientReply, ClientRequest, QueryBatch, QueryOutcome, QueryReply, QueryRequest,
+    ReplyBatch, ShardFrame, ShardReply,
+};
+pub use server::{answer, answer_batch, serve_shard, shared_tables, ShardHandle, SharedTables};
+pub use table::{
+    SourceTable, TableSnapshot, VersionedTables, TABLE_MAGIC, TABLE_V2_MAGIC, TABLE_VERSION,
+};
 pub use zipf::Zipf;
 
 use dw_graph::NodeId;
@@ -57,23 +62,45 @@ use dw_transport::shard::ShardMap;
 use std::io;
 
 /// Spawn a full loopback deployment — `shards` shard servers plus a
-/// gateway — serving `snap`. Returns the gateway (whose `addr` clients
-/// connect to) and the shard handles (kill one to exercise degraded
-/// mode). This is the in-process path used by `dwapsp serve`, the
-/// smoke test and the serve bench.
+/// gateway — serving `snap` as generation 0. Returns the gateway (whose
+/// `addr` clients connect to) and the shard handles (kill one to
+/// exercise degraded mode). This is the in-process path used by `dwapsp
+/// serve`, the smoke tests and the serve bench.
 pub fn spawn_loopback(
     snap: &TableSnapshot,
     shards: usize,
     cfg: GatewayConfig,
 ) -> io::Result<(Gateway, Vec<ShardHandle>, ShardMap)> {
-    let map = ShardMap::new(snap.n as usize, shards);
+    spawn_loopback_versioned(
+        &VersionedTables {
+            generation: 0,
+            snap: snap.clone(),
+        },
+        shards,
+        cfg,
+    )
+}
+
+/// As [`spawn_loopback`], but the tables carry a starting generation (a
+/// `DWD1` file's): shards boot at it and the gateway only accepts
+/// installs that beat it.
+pub fn spawn_loopback_versioned(
+    tables: &VersionedTables,
+    shards: usize,
+    mut cfg: GatewayConfig,
+) -> io::Result<(Gateway, Vec<ShardHandle>, ShardMap)> {
+    let map = ShardMap::new(tables.snap.n as usize, shards);
     let mut handles = Vec::with_capacity(map.shards());
     let mut addrs = Vec::with_capacity(map.shards());
     for s in 0..map.shards() {
-        let h = ShardHandle::spawn(snap.for_shard(&map, s as NodeId))?;
+        let h = ShardHandle::spawn_versioned(VersionedTables {
+            generation: tables.generation,
+            snap: tables.snap.for_shard(&map, s as NodeId),
+        })?;
         addrs.push(h.addr);
         handles.push(h);
     }
+    cfg.initial_generation = tables.generation;
     let gateway = Gateway::spawn(map.clone(), &addrs, cfg)?;
     Ok((gateway, handles, map))
 }
@@ -170,6 +197,134 @@ mod tests {
         assert!(saw_unavailable, "shard loss never surfaced as typed error");
         assert!(matches!(
             client.query(1, 6, false).unwrap(),
+            QueryOutcome::Dist { .. } | QueryOutcome::Unreachable
+        ));
+        gw.shutdown();
+        for s in &mut shards {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn apply_tables_swaps_generations_end_to_end() {
+        // Two graphs over the same nodes; the swap must atomically move
+        // every answer (and the cache) from the first to the second.
+        let (g0, snap0) = snapshot(24, 24, 11);
+        let g1 = {
+            let mut g = g0.clone();
+            // Make a visible change: every existing edge gets heavier.
+            let updates: Vec<dw_graph::EdgeUpdate> = g0
+                .edges()
+                .map(|e| dw_graph::EdgeUpdate::SetWeight {
+                    src: e.src,
+                    dst: e.dst,
+                    w: e.w + 3,
+                })
+                .collect();
+            g.apply_updates(&updates).unwrap();
+            g
+        };
+        let runs: Vec<_> = (0..24).map(|s| dijkstra(&g1, s)).collect();
+        let snap1 = TableSnapshot::from_sssp(&runs, 24);
+
+        let (mut gw, mut shards, _) = spawn_loopback(&snap0, 2, GatewayConfig::default()).unwrap();
+        let mut client = ServeClient::connect(gw.addr, Duration::from_secs(5)).unwrap();
+
+        // Warm the cache on the old generation.
+        let pre = client.query(0, 7, false).unwrap();
+        assert_eq!(client.query(0, 7, false).unwrap(), pre);
+        assert_eq!(gw.generation(), 0);
+
+        // A non-advancing generation is rejected without touching shards.
+        let report = client.apply_tables(0, &snap1).unwrap();
+        assert!(!report.accepted);
+        assert_eq!(report.generation, 0);
+
+        let report = client.apply_tables(1, &snap1).unwrap();
+        assert!(report.accepted, "swap failed: {report:?}");
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.shards_installed, 2);
+        assert_eq!(report.shards_down, 0);
+        assert_eq!(gw.generation(), 1);
+
+        // Every post-swap answer — including the previously cached pair
+        // — must match the new oracle.
+        for src in 0..24u32 {
+            let oracle = dijkstra(&g1, src);
+            for dst in 0..24u32 {
+                let want = oracle.dist[dst as usize];
+                match client.query(src, dst, false).unwrap() {
+                    QueryOutcome::Dist { dist } => assert_eq!(dist, want, "{src}->{dst}"),
+                    QueryOutcome::Unreachable => assert_eq!(want, INFINITY, "{src}->{dst}"),
+                    other => panic!("unexpected outcome {other:?} for {src}->{dst}"),
+                }
+            }
+        }
+        gw.shutdown();
+        for s in &mut shards {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn versioned_boot_rejects_stale_installs() {
+        let (_, snap) = snapshot(16, 16, 5);
+        let tables = VersionedTables {
+            generation: 4,
+            snap: snap.clone(),
+        };
+        let (mut gw, mut shards, _) =
+            spawn_loopback_versioned(&tables, 2, GatewayConfig::default()).unwrap();
+        let mut client = ServeClient::connect(gw.addr, Duration::from_secs(5)).unwrap();
+        assert_eq!(gw.generation(), 4);
+        // Installing at or below the boot generation is refused.
+        let report = client.apply_tables(4, &snap).unwrap();
+        assert!(!report.accepted);
+        assert_eq!(report.generation, 4);
+        // Advancing works.
+        let report = client.apply_tables(5, &snap).unwrap();
+        assert!(report.accepted);
+        assert_eq!(report.generation, 5);
+        gw.shutdown();
+        for s in &mut shards {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn apply_with_a_dead_shard_installs_the_rest() {
+        let (_, snap) = snapshot(20, 20, 13);
+        let (mut gw, mut shards, map) = spawn_loopback(&snap, 2, GatewayConfig::default()).unwrap();
+        let mut client = ServeClient::connect(gw.addr, Duration::from_secs(5)).unwrap();
+
+        // Kill shard 1 and let the gateway notice (queries to its block
+        // must surface the typed error first).
+        shards[1].stop();
+        let hi_src = map.nodes(1).start;
+        let mut noticed = false;
+        for _ in 0..100 {
+            if matches!(
+                client.query(hi_src, 1, false).unwrap(),
+                QueryOutcome::ShardUnavailable { .. }
+            ) {
+                noticed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(noticed, "gateway never noticed the dead shard");
+
+        // The swap lands on the surviving shard; the report says the
+        // deployment is degraded, and the generation still advances so
+        // live shards serve consistent (new) answers.
+        let report = client.apply_tables(1, &snap).unwrap();
+        assert!(!report.accepted, "a degraded swap must not claim success");
+        assert_eq!(report.shards_installed, 1);
+        assert_eq!(report.shards_down, 1);
+        assert_eq!(report.generation, 1);
+        assert_eq!(gw.generation(), 1);
+        assert!(matches!(
+            client.query(0, 3, false).unwrap(),
             QueryOutcome::Dist { .. } | QueryOutcome::Unreachable
         ));
         gw.shutdown();

@@ -1,12 +1,17 @@
-//! The `dwapsp-serve-v1` wire protocol.
+//! The `dwapsp-serve-v2` wire protocol.
 //!
-//! Two hops, one framing. Clients speak [`QueryRequest`] /
-//! [`QueryReply`] to the gateway; the gateway speaks [`QueryBatch`] /
-//! [`ReplyBatch`] to the shard workers. Both hops move values as
-//! length-prefixed frames via [`dw_transport::wire::write_frame`] /
-//! [`read_frame`] — the same framing, length cap and
-//! malformed-input discipline as the transport runtime's round
-//! traffic, so the codec fuzz suite applies unchanged.
+//! Two hops, one framing. Clients speak [`ClientRequest`] /
+//! [`ClientReply`] to the gateway; the gateway speaks [`ShardFrame`] /
+//! [`ShardReply`] to the shard workers. Each hop's frame is a tagged
+//! enum: the query-path payloads ([`QueryRequest`] / [`QueryReply`] /
+//! [`QueryBatch`] / [`ReplyBatch`]) are unchanged from v1, and the new
+//! variants carry the dynamic-update subsystem's *install* traffic —
+//! a versioned [`TableSnapshot`] pushed through the gateway to every
+//! shard, acknowledged per shard, swapped atomically (DESIGN.md §14).
+//! Both hops move values as length-prefixed frames via
+//! [`dw_transport::wire::write_frame`] / [`read_frame`] — the same
+//! framing, length cap and malformed-input discipline as the transport
+//! runtime's round traffic, so the codec fuzz suite applies unchanged.
 //!
 //! Request ids are correlation tokens: clients choose them freely (the
 //! gateway echoes each back on the matching reply), and the gateway
@@ -16,6 +21,7 @@
 //! explicit rather than positional — a reply batch that lost or
 //! reordered entries is detected, not silently misattributed.
 
+use crate::table::TableSnapshot;
 use dw_congest::WireCodec;
 use dw_graph::{NodeId, Weight};
 
@@ -90,6 +96,69 @@ pub struct ReplyBatch {
     pub lookup_ns: u64,
     /// Nanoseconds this batch spent walking parent pointers.
     pub walk_ns: u64,
+}
+
+/// Client → gateway: one frame per request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientRequest {
+    /// The common case: a point-to-point lookup.
+    Query(QueryRequest),
+    /// Install a new table generation across the fleet (the `dwapsp
+    /// apply-updates` path). The gateway fans the snapshot out to every
+    /// live shard, waits for their acks, flips its own generation and
+    /// invalidates the cache, then answers with one [`ApplyReport`].
+    ApplyTables {
+        generation: u64,
+        snap: TableSnapshot,
+    },
+}
+
+/// Gateway → client: one frame per reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientReply {
+    Query(QueryReply),
+    ApplyDone(ApplyReport),
+}
+
+/// The gateway's answer to an [`ClientRequest::ApplyTables`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Whether the install was accepted and fully applied: the
+    /// generation was newer than the gateway's, the snapshot's domain
+    /// matched, and every *live* shard acknowledged it.
+    pub accepted: bool,
+    /// The gateway's generation after the call.
+    pub generation: u64,
+    /// Shards that acknowledged the install.
+    pub shards_installed: u32,
+    /// Shards that were down (or died during the install); they pick up
+    /// the current tables when restarted from the persisted file.
+    pub shards_down: u32,
+}
+
+/// Gateway → shard: query batches interleaved with installs, FIFO on
+/// the shard connection (so a shard's answers are always against the
+/// latest installed generation at batch-arrival time — old-or-new per
+/// batch, never mixed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardFrame {
+    Queries(QueryBatch),
+    /// Install this shard's slice of a new table generation.
+    Install {
+        generation: u64,
+        snap: TableSnapshot,
+    },
+}
+
+/// Shard → gateway: the answer to one [`ShardFrame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardReply {
+    Replies(ReplyBatch),
+    /// Ack of an install: the shard's generation after applying it
+    /// (unchanged if the install was stale and ignored).
+    Installed {
+        generation: u64,
+    },
 }
 
 impl WireCodec for QueryRequest {
@@ -197,6 +266,121 @@ impl WireCodec for ReplyBatch {
     }
 }
 
+impl WireCodec for ClientRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientRequest::Query(q) => {
+                out.push(0);
+                q.encode(out);
+            }
+            ClientRequest::ApplyTables { generation, snap } => {
+                out.push(1);
+                generation.encode(out);
+                snap.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(ClientRequest::Query(QueryRequest::decode(buf)?)),
+            1 => Some(ClientRequest::ApplyTables {
+                generation: u64::decode(buf)?,
+                snap: TableSnapshot::decode(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl WireCodec for ApplyReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.accepted.encode(out);
+        self.generation.encode(out);
+        self.shards_installed.encode(out);
+        self.shards_down.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(ApplyReport {
+            accepted: bool::decode(buf)?,
+            generation: u64::decode(buf)?,
+            shards_installed: u32::decode(buf)?,
+            shards_down: u32::decode(buf)?,
+        })
+    }
+}
+
+impl WireCodec for ClientReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientReply::Query(r) => {
+                out.push(0);
+                r.encode(out);
+            }
+            ClientReply::ApplyDone(report) => {
+                out.push(1);
+                report.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(ClientReply::Query(QueryReply::decode(buf)?)),
+            1 => Some(ClientReply::ApplyDone(ApplyReport::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+impl WireCodec for ShardFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ShardFrame::Queries(b) => {
+                out.push(0);
+                b.encode(out);
+            }
+            ShardFrame::Install { generation, snap } => {
+                out.push(1);
+                generation.encode(out);
+                snap.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(ShardFrame::Queries(QueryBatch::decode(buf)?)),
+            1 => Some(ShardFrame::Install {
+                generation: u64::decode(buf)?,
+                snap: TableSnapshot::decode(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl WireCodec for ShardReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ShardReply::Replies(b) => {
+                out.push(0);
+                b.encode(out);
+            }
+            ShardReply::Installed { generation } => {
+                out.push(1);
+                generation.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(ShardReply::Replies(ReplyBatch::decode(buf)?)),
+            1 => Some(ShardReply::Installed {
+                generation: u64::decode(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +452,73 @@ mod tests {
         let mut bytes = dw_congest::to_bytes(&QueryOutcome::Unreachable);
         bytes[0] = 99;
         assert_eq!(dw_congest::from_bytes::<QueryOutcome>(&bytes), None);
+        let mut bytes = dw_congest::to_bytes(&ShardReply::Installed { generation: 1 });
+        bytes[0] = 7;
+        assert_eq!(dw_congest::from_bytes::<ShardReply>(&bytes), None);
+    }
+
+    #[test]
+    fn tagged_frames_roundtrip() {
+        use crate::table::SourceTable;
+        use std::sync::Arc;
+        let snap = TableSnapshot {
+            n: 3,
+            tables: vec![Arc::new(SourceTable {
+                source: 1,
+                dist: vec![2, 0, 5],
+                parent: vec![Some(1), None, Some(1)],
+            })],
+        };
+        for req in [
+            ClientRequest::Query(QueryRequest {
+                id: 3,
+                src: 0,
+                dst: 2,
+                want_path: true,
+            }),
+            ClientRequest::ApplyTables {
+                generation: 9,
+                snap: snap.clone(),
+            },
+        ] {
+            assert_eq!(roundtrip(&req), Some(req.clone()));
+        }
+        for reply in [
+            ClientReply::Query(QueryReply {
+                id: 3,
+                outcome: QueryOutcome::Dist { dist: 5 },
+            }),
+            ClientReply::ApplyDone(ApplyReport {
+                accepted: true,
+                generation: 9,
+                shards_installed: 2,
+                shards_down: 0,
+            }),
+        ] {
+            assert_eq!(roundtrip(&reply), Some(reply.clone()));
+        }
+        for frame in [
+            ShardFrame::Queries(QueryBatch {
+                seq: 1,
+                queries: vec![],
+            }),
+            ShardFrame::Install {
+                generation: 9,
+                snap,
+            },
+        ] {
+            assert_eq!(roundtrip(&frame), Some(frame.clone()));
+        }
+        for reply in [
+            ShardReply::Replies(ReplyBatch {
+                seq: 1,
+                replies: vec![],
+                lookup_ns: 0,
+                walk_ns: 0,
+            }),
+            ShardReply::Installed { generation: 9 },
+        ] {
+            assert_eq!(roundtrip(&reply), Some(reply.clone()));
+        }
     }
 }

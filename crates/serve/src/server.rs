@@ -1,24 +1,48 @@
 //! The shard worker of the serving plane: answers batched queries for
-//! the source rows it owns.
+//! the source rows it owns and installs versioned table swaps.
 //!
 //! A shard server is deliberately dumb — it holds its slice of the
 //! [`TableSnapshot`] (the rows whose source falls in its contiguous
-//! node-id block), accepts connections, and answers each incoming
-//! [`QueryBatch`] with one [`ReplyBatch`] in query order. All policy —
-//! routing, batching, caching, failure handling — lives in the gateway;
-//! the shard's only contract is "one reply batch per query batch, same
-//! connection, FIFO". That keeps a worker restartable by just pointing
-//! a new process at the same table file.
+//! node-id block) stamped with a generation, accepts connections, and
+//! answers each incoming [`ShardFrame`] with one [`ShardReply`] in
+//! frame order. All policy — routing, batching, caching, failure
+//! handling — lives in the gateway; the shard's only contract is "one
+//! reply per frame, same connection, FIFO". That keeps a worker
+//! restartable by just pointing a new process at the same table file.
+//!
+//! # Atomic swaps
+//!
+//! The live tables are `Arc<RwLock<Arc<VersionedTables>>>`, shared by
+//! every connection thread. A query batch pins the current `Arc` once
+//! (one read-lock acquisition per *batch*, not per query) and answers
+//! the whole batch against that pin — so a swap landing mid-batch never
+//! mixes generations within a batch, and in-flight batches keep the old
+//! tables alive until they finish. An [`ShardFrame::Install`] replaces
+//! the inner `Arc` under the write lock only if the incoming generation
+//! is strictly newer, which makes duplicated or reordered installs
+//! idempotent; the ack always reports the post-install generation so
+//! the installer can tell "applied" from "already there".
 
-use crate::proto::{QueryBatch, QueryOutcome, QueryReply, QueryRequest, ReplyBatch};
-use crate::table::TableSnapshot;
+use crate::proto::{
+    QueryBatch, QueryOutcome, QueryReply, QueryRequest, ReplyBatch, ShardFrame, ShardReply,
+};
+use crate::table::{TableSnapshot, VersionedTables};
 use dw_graph::INFINITY;
 use dw_transport::wire::{read_frame, write_frame};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
+
+/// The shard's live table state: swap by replacing the inner `Arc`.
+pub type SharedTables = Arc<RwLock<Arc<VersionedTables>>>;
+
+/// Wrap an initial snapshot (generation 0 unless it came from a `DWD1`
+/// file) into the shared, swappable state a shard serves from.
+pub fn shared_tables(tables: VersionedTables) -> SharedTables {
+    Arc::new(RwLock::new(Arc::new(tables)))
+}
 
 /// Answer one query against a (shard-local) snapshot. Returns the reply
 /// plus the nanoseconds attributed to the lookup and path-walk phases.
@@ -75,7 +99,7 @@ pub fn answer_batch(snap: &TableSnapshot, batch: &QueryBatch) -> ReplyBatch {
 }
 
 /// Serve one established connection until EOF, error, or stop.
-fn serve_conn(snap: &TableSnapshot, mut stream: TcpStream, stop: &AtomicBool) -> io::Result<()> {
+fn serve_conn(tables: &SharedTables, mut stream: TcpStream, stop: &AtomicBool) -> io::Result<()> {
     stream.set_nodelay(true)?;
     // Wake periodically so a stop request is honored even on an idle
     // connection.
@@ -85,11 +109,30 @@ fn serve_conn(snap: &TableSnapshot, mut stream: TcpStream, stop: &AtomicBool) ->
         if stop.load(Ordering::Relaxed) {
             return Ok(());
         }
-        match read_frame::<_, QueryBatch>(&mut stream) {
+        match read_frame::<_, ShardFrame>(&mut stream) {
             Ok(None) => return Ok(()),
-            Ok(Some(batch)) => {
-                let reply = answer_batch(snap, &batch);
-                write_frame(&mut stream, &reply, &mut scratch)?;
+            Ok(Some(ShardFrame::Queries(batch))) => {
+                // Pin the current generation once for the whole batch:
+                // a concurrent install can't mix old and new rows
+                // inside one batch, and the pin keeps the old tables
+                // alive until the batch is answered.
+                let pinned = tables.read().unwrap().clone();
+                let reply = answer_batch(&pinned.snap, &batch);
+                write_frame(&mut stream, &ShardReply::Replies(reply), &mut scratch)?;
+            }
+            Ok(Some(ShardFrame::Install { generation, snap })) => {
+                let generation = {
+                    let mut live = tables.write().unwrap();
+                    if generation > live.generation {
+                        *live = Arc::new(VersionedTables { generation, snap });
+                    }
+                    live.generation
+                };
+                write_frame(
+                    &mut stream,
+                    &ShardReply::Installed { generation },
+                    &mut scratch,
+                )?;
             }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -103,11 +146,13 @@ fn serve_conn(snap: &TableSnapshot, mut stream: TcpStream, stop: &AtomicBool) ->
 
 /// Run a shard server on `listener` until `stop` is raised: accept
 /// connections (the gateway usually holds exactly one) and serve each
-/// on its own thread. Returns when the accept loop has wound down;
-/// connection threads drain on the same stop flag.
+/// on its own thread. All connections share `tables`, so an install on
+/// one connection is visible to every other on their next batch.
+/// Returns when the accept loop has wound down; connection threads
+/// drain on the same stop flag.
 pub fn serve_shard(
     listener: TcpListener,
-    snap: Arc<TableSnapshot>,
+    tables: SharedTables,
     stop: Arc<AtomicBool>,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
@@ -116,12 +161,12 @@ pub fn serve_shard(
         match listener.accept() {
             Ok((stream, _)) => {
                 stream.set_nonblocking(false)?;
-                let snap = Arc::clone(&snap);
+                let tables = Arc::clone(&tables);
                 let stop = Arc::clone(&stop);
                 conns.push(std::thread::spawn(move || {
                     // A connection error (gateway went away) only ends
                     // this connection; the shard keeps accepting.
-                    let _ = serve_conn(&snap, stream, &stop);
+                    let _ = serve_conn(&tables, stream, &stop);
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -147,13 +192,23 @@ pub struct ShardHandle {
 }
 
 impl ShardHandle {
-    /// Bind a loopback listener and serve `snap` on a new thread.
+    /// Bind a loopback listener and serve `snap` (as generation 0) on a
+    /// new thread.
     pub fn spawn(snap: TableSnapshot) -> io::Result<ShardHandle> {
+        ShardHandle::spawn_versioned(VersionedTables {
+            generation: 0,
+            snap,
+        })
+    }
+
+    /// Bind a loopback listener and serve an already-stamped table set.
+    pub fn spawn_versioned(tables: VersionedTables) -> io::Result<ShardHandle> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let thread = std::thread::spawn(move || serve_shard(listener, Arc::new(snap), stop2));
+        let shared = shared_tables(tables);
+        let thread = std::thread::spawn(move || serve_shard(listener, shared, stop2));
         Ok(ShardHandle {
             addr,
             stop,
@@ -186,12 +241,21 @@ mod tests {
         // 0 -> 1 -> 2 (weights 2, 3); node 3 unreachable.
         TableSnapshot {
             n: 4,
-            tables: vec![SourceTable {
+            tables: vec![Arc::new(SourceTable {
                 source: 0,
                 dist: vec![0, 2, 5, INFINITY],
                 parent: vec![None, Some(0), Some(1), None],
-            }],
+            })],
         }
+    }
+
+    fn send(
+        stream: &mut TcpStream,
+        scratch: &mut Vec<u8>,
+        frame: &ShardFrame,
+    ) -> Option<ShardReply> {
+        write_frame(stream, frame, scratch).unwrap();
+        read_frame(stream).unwrap()
     }
 
     #[test]
@@ -250,8 +314,11 @@ mod tests {
                 },
             ],
         };
-        write_frame(&mut stream, &batch, &mut scratch).unwrap();
-        let reply: ReplyBatch = read_frame(&mut stream).unwrap().unwrap();
+        let Some(ShardReply::Replies(reply)) =
+            send(&mut stream, &mut scratch, &ShardFrame::Queries(batch))
+        else {
+            panic!("expected a reply batch");
+        };
         assert_eq!(reply.seq, 1);
         assert_eq!(reply.replies.len(), 2);
         assert_eq!(reply.replies[0].id, 10);
@@ -263,6 +330,104 @@ mod tests {
                 path: vec![0, 1, 2]
             }
         );
+        h.stop();
+    }
+
+    #[test]
+    fn install_swaps_tables_and_stale_generations_are_ignored() {
+        let mut h = ShardHandle::spawn(snap()).unwrap();
+        let mut stream = TcpStream::connect(h.addr).unwrap();
+        let mut scratch = Vec::new();
+        let probe = ShardFrame::Queries(QueryBatch {
+            seq: 1,
+            queries: vec![QueryRequest {
+                id: 1,
+                src: 0,
+                dst: 1,
+                want_path: false,
+            }],
+        });
+
+        // New tables where 0 -> 1 now costs 9.
+        let new_snap = TableSnapshot {
+            n: 4,
+            tables: vec![Arc::new(SourceTable {
+                source: 0,
+                dist: vec![0, 9, 12, INFINITY],
+                parent: vec![None, Some(0), Some(1), None],
+            })],
+        };
+        let reply = send(
+            &mut stream,
+            &mut scratch,
+            &ShardFrame::Install {
+                generation: 3,
+                snap: new_snap.clone(),
+            },
+        );
+        assert_eq!(reply, Some(ShardReply::Installed { generation: 3 }));
+        let Some(ShardReply::Replies(r)) = send(&mut stream, &mut scratch, &probe) else {
+            panic!("expected replies");
+        };
+        assert_eq!(r.replies[0].outcome, QueryOutcome::Dist { dist: 9 });
+
+        // A stale (or duplicated) install is a no-op; the ack reports
+        // the generation actually live so the installer can tell.
+        let reply = send(
+            &mut stream,
+            &mut scratch,
+            &ShardFrame::Install {
+                generation: 2,
+                snap: snap(),
+            },
+        );
+        assert_eq!(reply, Some(ShardReply::Installed { generation: 3 }));
+        let Some(ShardReply::Replies(r)) = send(&mut stream, &mut scratch, &probe) else {
+            panic!("expected replies");
+        };
+        assert_eq!(r.replies[0].outcome, QueryOutcome::Dist { dist: 9 });
+        h.stop();
+    }
+
+    #[test]
+    fn install_on_one_connection_is_visible_on_another() {
+        let mut h = ShardHandle::spawn(snap()).unwrap();
+        let mut a = TcpStream::connect(h.addr).unwrap();
+        let mut b = TcpStream::connect(h.addr).unwrap();
+        let mut scratch = Vec::new();
+        let new_snap = TableSnapshot {
+            n: 4,
+            tables: vec![Arc::new(SourceTable {
+                source: 0,
+                dist: vec![0, 7, 10, INFINITY],
+                parent: vec![None, Some(0), Some(1), None],
+            })],
+        };
+        let reply = send(
+            &mut a,
+            &mut scratch,
+            &ShardFrame::Install {
+                generation: 1,
+                snap: new_snap,
+            },
+        );
+        assert_eq!(reply, Some(ShardReply::Installed { generation: 1 }));
+        let Some(ShardReply::Replies(r)) = send(
+            &mut b,
+            &mut scratch,
+            &ShardFrame::Queries(QueryBatch {
+                seq: 9,
+                queries: vec![QueryRequest {
+                    id: 2,
+                    src: 0,
+                    dst: 1,
+                    want_path: false,
+                }],
+            }),
+        ) else {
+            panic!("expected replies");
+        };
+        assert_eq!(r.replies[0].outcome, QueryOutcome::Dist { dist: 7 });
         h.stop();
     }
 
@@ -288,8 +453,11 @@ mod tests {
                 want_path: false,
             }],
         };
-        write_frame(&mut good, &batch, &mut scratch).unwrap();
-        let reply: ReplyBatch = read_frame(&mut good).unwrap().unwrap();
+        let Some(ShardReply::Replies(reply)) =
+            send(&mut good, &mut scratch, &ShardFrame::Queries(batch))
+        else {
+            panic!("expected replies");
+        };
         assert_eq!(reply.replies[0].outcome, QueryOutcome::Dist { dist: 2 });
         h.stop();
     }

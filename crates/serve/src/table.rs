@@ -20,9 +20,14 @@ use dw_graph::{NodeId, Weight, INFINITY};
 use dw_pipeline::HkSspResult;
 use dw_seqref::dijkstra::SsspResult;
 use dw_transport::shard::ShardMap;
+use std::sync::Arc;
 
 /// File magic: `DWT1` ("distance-weighted tables, layout 1").
 pub const TABLE_MAGIC: u32 = u32::from_le_bytes(*b"DWT1");
+/// File magic of the *versioned* layout produced by the dynamic-update
+/// subsystem: `DWD1` ("distance-weighted dynamic, layout 1") — a
+/// generation counter followed by the same table payload as `DWT1`.
+pub const TABLE_V2_MAGIC: u32 = u32::from_le_bytes(*b"DWD1");
 /// Layout version inside the magic; bump on any field change.
 pub const TABLE_VERSION: u32 = 1;
 
@@ -87,15 +92,22 @@ impl WireCodec for SourceTable {
 /// `n` nodes. For k-SSP runs `tables.len() == k`; for full APSP it is
 /// `n`. Rows are kept sorted by source id so lookup is a binary search
 /// and the encoding is canonical regardless of compute order.
+///
+/// Rows are held behind `Arc` so the dynamic-update path can carry
+/// clean rows from one snapshot generation to the next *by reference*
+/// (and [`TableSnapshot::for_shard`] is a handful of pointer bumps, not
+/// a deep copy). The wire encoding is unchanged — an `Arc<SourceTable>`
+/// encodes exactly as its payload — so `DWT1` files are byte-stable
+/// across this refactor (the golden test pins that).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSnapshot {
     /// Node-id domain `0..n` the tables cover.
     pub n: u32,
-    pub tables: Vec<SourceTable>,
+    pub tables: Vec<Arc<SourceTable>>,
 }
 
 impl TableSnapshot {
-    fn normalize(mut tables: Vec<SourceTable>, n: u32) -> TableSnapshot {
+    fn normalize(mut tables: Vec<Arc<SourceTable>>, n: u32) -> TableSnapshot {
         tables.sort_by_key(|t| t.source);
         TableSnapshot { n, tables }
     }
@@ -107,10 +119,12 @@ impl TableSnapshot {
             .sources
             .iter()
             .enumerate()
-            .map(|(i, &s)| SourceTable {
-                source: s,
-                dist: r.dist[i].clone(),
-                parent: r.parent[i].clone(),
+            .map(|(i, &s)| {
+                Arc::new(SourceTable {
+                    source: s,
+                    dist: r.dist[i].clone(),
+                    parent: r.parent[i].clone(),
+                })
             })
             .collect();
         TableSnapshot::normalize(tables, r.n() as u32)
@@ -121,10 +135,12 @@ impl TableSnapshot {
     pub fn from_sssp(runs: &[SsspResult], n: u32) -> TableSnapshot {
         let tables = runs
             .iter()
-            .map(|r| SourceTable {
-                source: r.source,
-                dist: r.dist.clone(),
-                parent: r.parent.clone(),
+            .map(|r| {
+                Arc::new(SourceTable {
+                    source: r.source,
+                    dist: r.dist.clone(),
+                    parent: r.parent.clone(),
+                })
             })
             .collect();
         TableSnapshot::normalize(tables, n)
@@ -135,7 +151,7 @@ impl TableSnapshot {
         self.tables
             .binary_search_by_key(&source, |t| t.source)
             .ok()
-            .map(|i| &self.tables[i])
+            .map(|i| self.tables[i].as_ref())
     }
 
     /// The sub-snapshot shard `shard` of `map` serves: the rows whose
@@ -189,7 +205,7 @@ impl WireCodec for TableSnapshot {
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
         let n = u32::decode(buf)?;
-        let tables = Vec::<SourceTable>::decode(buf)?;
+        let tables = Vec::<Arc<SourceTable>>::decode(buf)?;
         // Validate invariants so a decoded snapshot is usable as-is:
         // every row spans 0..n, source in range, rows sorted + unique.
         let mut prev: Option<NodeId> = None;
@@ -203,6 +219,53 @@ impl WireCodec for TableSnapshot {
             prev = Some(t.source);
         }
         Some(TableSnapshot { n, tables })
+    }
+}
+
+/// A table set stamped with its swap *generation* — the unit the
+/// dynamic-update subsystem produces and the serving plane installs
+/// atomically (DESIGN.md §14). Generation 0 is the initial compute; the
+/// gateway only accepts installs with a strictly larger generation, so
+/// duplicated or reordered installs are idempotent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedTables {
+    pub generation: u64,
+    pub snap: TableSnapshot,
+}
+
+impl VersionedTables {
+    /// Serialize with the `DWD1` magic/version header.
+    pub fn to_file_bytes(&self) -> Vec<u8> {
+        dw_congest::to_bytes(&(
+            TABLE_V2_MAGIC,
+            TABLE_VERSION,
+            self.generation,
+            self.snap.clone(),
+        ))
+    }
+
+    /// Parse a persisted `DWD1` file, with the same rejection rules as
+    /// [`TableSnapshot::from_file_bytes`].
+    pub fn from_file_bytes(bytes: &[u8]) -> Option<VersionedTables> {
+        let (magic, version, generation, snap): (u32, u32, u64, TableSnapshot) =
+            dw_congest::from_bytes(bytes)?;
+        if magic != TABLE_V2_MAGIC || version != TABLE_VERSION {
+            return None;
+        }
+        Some(VersionedTables { generation, snap })
+    }
+
+    /// Parse either table format: a `DWD1` file keeps its generation, a
+    /// legacy `DWT1` file loads as generation 0. This is what `dwapsp`
+    /// uses everywhere a tables file is read.
+    pub fn from_any_file_bytes(bytes: &[u8]) -> Option<VersionedTables> {
+        if let Some(vt) = VersionedTables::from_file_bytes(bytes) {
+            return Some(vt);
+        }
+        TableSnapshot::from_file_bytes(bytes).map(|snap| VersionedTables {
+            generation: 0,
+            snap,
+        })
     }
 }
 
@@ -266,6 +329,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn versioned_file_roundtrip_and_fallback() {
+        let vt = VersionedTables {
+            generation: 7,
+            snap: sample(),
+        };
+        let bytes = vt.to_file_bytes();
+        assert_eq!(VersionedTables::from_file_bytes(&bytes), Some(vt.clone()));
+        assert_eq!(
+            VersionedTables::from_any_file_bytes(&bytes),
+            Some(vt.clone())
+        );
+        // Wrong magic, version, or trailing bytes all reject.
+        let mut bad = vt.to_file_bytes();
+        bad[0] ^= 0xff;
+        assert_eq!(VersionedTables::from_file_bytes(&bad), None);
+        let mut bad = vt.to_file_bytes();
+        bad.push(0);
+        assert_eq!(VersionedTables::from_file_bytes(&bad), None);
+        // A legacy DWT1 file loads as generation 0.
+        let legacy = vt.snap.to_file_bytes();
+        assert_eq!(
+            VersionedTables::from_any_file_bytes(&legacy),
+            Some(VersionedTables {
+                generation: 0,
+                snap: vt.snap
+            })
+        );
+    }
+
+    #[test]
+    fn arc_rows_keep_dwt1_bytes_stable() {
+        // Carrying a row by reference into a second snapshot must not
+        // change either snapshot's encoding.
+        let snap = sample();
+        let carried = TableSnapshot {
+            n: snap.n,
+            tables: snap.tables.clone(), // Arc clones, no deep copy
+        };
+        assert_eq!(snap.to_file_bytes(), carried.to_file_bytes());
+        assert!(Arc::ptr_eq(&snap.tables[0], &carried.tables[0]));
     }
 
     #[test]

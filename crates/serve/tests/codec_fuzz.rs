@@ -7,11 +7,15 @@
 //! door.
 
 use dw_congest::WireCodec;
-use dw_serve::table::{SourceTable, TableSnapshot};
-use dw_serve::{QueryBatch, QueryOutcome, QueryReply, QueryRequest, ReplyBatch};
+use dw_serve::table::{SourceTable, TableSnapshot, VersionedTables};
+use dw_serve::{
+    ApplyReport, ClientReply, ClientRequest, QueryBatch, QueryOutcome, QueryReply, QueryRequest,
+    ReplyBatch, ShardFrame, ShardReply,
+};
 use dw_transport::wire::{read_frame, write_frame, MAX_FRAME_BYTES};
 use proptest::prelude::*;
 use std::io::Cursor;
+use std::sync::Arc;
 
 // The vendored proptest has no `prop_oneof!`, so variant selection is a
 // discriminant drawn alongside a bag of field material (same idiom as
@@ -79,26 +83,76 @@ fn arb_reply_batch() -> impl Strategy<Value = ReplyBatch> {
 fn arb_snapshot() -> impl Strategy<Value = TableSnapshot> {
     (1u32..12, collection::vec(any::<u64>(), 0..12), any::<u64>()).prop_map(
         |(n, row_material, seed)| {
-            let tables: Vec<SourceTable> = (0..n)
+            let tables: Vec<Arc<SourceTable>> = (0..n)
                 .filter(|s| (seed >> (s % 60)) & 1 == 1)
-                .map(|source| SourceTable {
-                    source,
-                    dist: (0..n as usize)
-                        .map(|v| {
-                            row_material
-                                .get(v % row_material.len().max(1))
-                                .copied()
-                                .unwrap_or(u64::MAX)
-                        })
-                        .collect(),
-                    parent: (0..n)
-                        .map(|v| (v % 3 == 1).then_some(v.saturating_sub(1)))
-                        .collect(),
+                .map(|source| {
+                    Arc::new(SourceTable {
+                        source,
+                        dist: (0..n as usize)
+                            .map(|v| {
+                                row_material
+                                    .get(v % row_material.len().max(1))
+                                    .copied()
+                                    .unwrap_or(u64::MAX)
+                            })
+                            .collect(),
+                        parent: (0..n)
+                            .map(|v| (v % 3 == 1).then_some(v.saturating_sub(1)))
+                            .collect(),
+                    })
                 })
                 .collect();
             TableSnapshot { n, tables }
         },
     )
+}
+
+/// `(discriminant, request, generation, snapshot)` → a `ClientRequest`.
+fn arb_client_request() -> impl Strategy<Value = ClientRequest> {
+    (0usize..2, arb_request(), any::<u64>(), arb_snapshot()).prop_map(
+        |(which, req, generation, snap)| match which {
+            0 => ClientRequest::Query(req),
+            _ => ClientRequest::ApplyTables { generation, snap },
+        },
+    )
+}
+
+fn arb_client_reply() -> impl Strategy<Value = ClientReply> {
+    (
+        0usize..2,
+        arb_reply(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(which, reply, generation, installed, down, accepted)| match which {
+                0 => ClientReply::Query(reply),
+                _ => ClientReply::ApplyDone(ApplyReport {
+                    accepted,
+                    generation,
+                    shards_installed: installed,
+                    shards_down: down,
+                }),
+            },
+        )
+}
+
+fn arb_shard_frame() -> impl Strategy<Value = ShardFrame> {
+    (0usize..2, arb_query_batch(), any::<u64>(), arb_snapshot()).prop_map(
+        |(which, qb, generation, snap)| match which {
+            0 => ShardFrame::Queries(qb),
+            _ => ShardFrame::Install { generation, snap },
+        },
+    )
+}
+
+fn arb_shard_reply() -> impl Strategy<Value = ShardReply> {
+    (0usize..2, arb_reply_batch(), any::<u64>()).prop_map(|(which, rb, generation)| match which {
+        0 => ShardReply::Replies(rb),
+        _ => ShardReply::Installed { generation },
+    })
 }
 
 proptest! {
@@ -112,8 +166,16 @@ proptest! {
         let _ = read_frame::<_, QueryReply>(&mut r);
         let mut r = Cursor::new(bytes.clone());
         let _ = read_frame::<_, QueryBatch>(&mut r);
-        let mut r = Cursor::new(bytes);
+        let mut r = Cursor::new(bytes.clone());
         let _ = read_frame::<_, ReplyBatch>(&mut r);
+        let mut r = Cursor::new(bytes.clone());
+        let _ = read_frame::<_, ClientRequest>(&mut r);
+        let mut r = Cursor::new(bytes.clone());
+        let _ = read_frame::<_, ClientReply>(&mut r);
+        let mut r = Cursor::new(bytes.clone());
+        let _ = read_frame::<_, ShardFrame>(&mut r);
+        let mut r = Cursor::new(bytes);
+        let _ = read_frame::<_, ShardReply>(&mut r);
     }
 
     // Raw decode on arbitrary bytes never panics and only consumes a
@@ -131,17 +193,87 @@ proptest! {
         let mut view = bytes.as_slice();
         let _ = TableSnapshot::decode(&mut view);
         prop_assert!(view.len() <= bytes.len());
+
+        let mut view = bytes.as_slice();
+        let _ = ClientRequest::decode(&mut view);
+        prop_assert!(view.len() <= bytes.len());
+
+        let mut view = bytes.as_slice();
+        let _ = ShardFrame::decode(&mut view);
+        prop_assert!(view.len() <= bytes.len());
     }
 
     // A persisted table file made of garbage is rejected, not a panic;
-    // so is any truncation of a valid file.
+    // so is any truncation of a valid file. Same for the versioned
+    // (`DWD1`) format and the accept-either entry point.
     #[test]
-    fn snapshot_file_parse_is_total(snap in arb_snapshot(), cut_seed in any::<u64>(), garbage in collection::vec(any::<u8>(), 0..128)) {
+    fn snapshot_file_parse_is_total(snap in arb_snapshot(), gen in any::<u64>(), cut_seed in any::<u64>(), garbage in collection::vec(any::<u8>(), 0..128)) {
         let _ = TableSnapshot::from_file_bytes(&garbage);
+        let _ = VersionedTables::from_file_bytes(&garbage);
+        let _ = VersionedTables::from_any_file_bytes(&garbage);
         let bytes = snap.to_file_bytes();
-        prop_assert_eq!(TableSnapshot::from_file_bytes(&bytes), Some(snap));
+        prop_assert_eq!(TableSnapshot::from_file_bytes(&bytes), Some(snap.clone()));
         let cut = (cut_seed as usize) % bytes.len();
         prop_assert_eq!(TableSnapshot::from_file_bytes(&bytes[..cut]), None);
+
+        let vt = VersionedTables { generation: gen, snap };
+        let vbytes = vt.to_file_bytes();
+        prop_assert_eq!(VersionedTables::from_file_bytes(&vbytes), Some(vt.clone()));
+        prop_assert_eq!(VersionedTables::from_any_file_bytes(&vbytes), Some(vt.clone()));
+        let cut = (cut_seed as usize) % vbytes.len();
+        prop_assert_eq!(VersionedTables::from_any_file_bytes(&vbytes[..cut]), None);
+        // A legacy file through the accept-either gate keeps its payload
+        // and loads as generation 0.
+        prop_assert_eq!(
+            VersionedTables::from_any_file_bytes(&bytes),
+            Some(VersionedTables { generation: 0, snap: vt.snap })
+        );
+    }
+
+    // Every tagged swap-protocol frame survives a framed roundtrip.
+    #[test]
+    fn swap_frames_roundtrip(req in arb_client_request(), reply in arb_client_reply(), sf in arb_shard_frame(), sr in arb_shard_reply()) {
+        let mut scratch = Vec::new();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req, &mut scratch).unwrap();
+        let mut r = Cursor::new(buf);
+        prop_assert_eq!(read_frame::<_, ClientRequest>(&mut r).unwrap(), Some(req));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &reply, &mut scratch).unwrap();
+        let mut r = Cursor::new(buf);
+        prop_assert_eq!(read_frame::<_, ClientReply>(&mut r).unwrap(), Some(reply));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sf, &mut scratch).unwrap();
+        let mut r = Cursor::new(buf);
+        prop_assert_eq!(read_frame::<_, ShardFrame>(&mut r).unwrap(), Some(sf));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sr, &mut scratch).unwrap();
+        let mut r = Cursor::new(buf);
+        prop_assert_eq!(read_frame::<_, ShardReply>(&mut r).unwrap(), Some(sr));
+    }
+
+    // Truncating a valid swap frame anywhere strictly inside it is an
+    // error or clean EOF, never a phantom success; bit flips never
+    // panic.
+    #[test]
+    fn swap_frames_reject_truncation_and_survive_flips(sf in arb_shard_frame(), cut_seed in any::<u64>(), flip in 1u8..=255) {
+        let mut scratch = Vec::new();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sf, &mut scratch).unwrap();
+        let full = buf.clone();
+        buf.truncate((cut_seed as usize) % buf.len());
+        let mut r = Cursor::new(buf);
+        if let Ok(Some(_)) = read_frame::<_, ShardFrame>(&mut r) {
+            prop_assert!(false, "truncated ShardFrame decoded successfully");
+        }
+        let mut flipped = full;
+        let pos = (cut_seed as usize) % flipped.len();
+        flipped[pos] ^= flip;
+        let mut r = Cursor::new(flipped);
+        let _ = read_frame::<_, ShardFrame>(&mut r);
     }
 
     // Every query/reply/batch shape survives a framed roundtrip.
