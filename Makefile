@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance shard-conformance chaos-smoke scale-smoke serve-smoke dynamic-smoke
+.PHONY: ci build test fmt clippy report golden obs-schema bench-smoke bench-check bench-baseline transport-conformance shard-conformance chaos-smoke scale-smoke serve-smoke dynamic-smoke serve-chaos maelstrom-smoke
 
-ci: build test fmt clippy obs-schema bench-check transport-conformance shard-conformance chaos-smoke scale-smoke serve-smoke dynamic-smoke
+ci: build test fmt clippy obs-schema bench-check transport-conformance shard-conformance chaos-smoke scale-smoke serve-smoke dynamic-smoke serve-chaos maelstrom-smoke
 
 build:
 	$(CARGO) build --release
@@ -53,10 +53,15 @@ shard-conformance:
 
 # Crash-fault smoke test (DESIGN.md §10): kill one node mid-run on the
 # thread backend, recover from checkpoint + neighbor replay, and require
-# distances bit-identical to the fault-free simulator (exit 0).
+# distances bit-identical to the fault-free simulator (exit 0). The
+# generated graph is checked explicitly so a silent gen failure cannot
+# surface later as a confusing load error.
 chaos-smoke:
 	$(CARGO) run --release -q -p dwapsp --bin dwapsp -- gen --family zero-heavy \
-		--n 14 --w 5 --seed 9 --out target/chaos-smoke.json
+		--n 14 --w 5 --seed 9 --out target/chaos-smoke.json \
+		|| { echo "chaos-smoke: FAIL — graph generation exited nonzero" >&2; exit 1; }
+	@test -s target/chaos-smoke.json \
+		|| { echo "chaos-smoke: FAIL — target/chaos-smoke.json missing or empty after gen" >&2; exit 1; }
 	$(CARGO) run --release -q -p dwapsp --bin dwapsp -- chaos \
 		--graph target/chaos-smoke.json --runtime threads --kill 5@4 --cadence 3
 
@@ -76,10 +81,10 @@ bench-smoke:
 bench-check:
 	$(CARGO) run --release -p dw-bench --bin bench_check
 
-# Re-record the BENCH_8.json baseline (carries the frozen pre_pr history
-# forward from BENCH_7.json).
+# Re-record the BENCH_9.json baseline (carries the frozen pre_pr history
+# forward from BENCH_8.json).
 bench-baseline:
-	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_8.json --keep-pre BENCH_7.json
+	$(CARGO) run --release -p dw-bench --bin transport_bench -- --out BENCH_9.json --keep-pre BENCH_8.json
 
 # Large-graph memory/time guard: one n=50k short-range SSSP run that must
 # go quiet inside the Lemma II.15 budget, finish inside the time box, and
@@ -103,3 +108,20 @@ serve-smoke:
 # tables to answer bit-identically to Dijkstra on the patched graph.
 dynamic-smoke:
 	$(CARGO) run --release -q -p dw-bench --bin dynamic_smoke
+
+# Serving-plane chaos (DESIGN.md §15): a ChaosPlan-scripted shard kill
+# and gateway<->shard partition during a mixed query + table-swap
+# stream. Asserts generation fencing (no answer from a retired
+# generation), typed ShardUnavailable degradation inside the timeout
+# budget, live shards unaffected, and full recovery once healed;
+# prints per-nemesis recovery latencies (the E21 rows).
+serve-chaos:
+	$(CARGO) run --release -q -p dw-bench --bin serve_chaos
+
+# Maelstrom validation (DESIGN.md §15): `dwapsp run-node --maelstrom`
+# under the real Jepsen harness's echo workload with its partition
+# nemesis. The stdio handshake self-check always runs; the harness leg
+# skips explicitly (a SKIP line, exit 0) when java or the Maelstrom
+# distribution is unavailable — CI containers are offline.
+maelstrom-smoke:
+	sh scripts/maelstrom_smoke.sh

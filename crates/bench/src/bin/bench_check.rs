@@ -8,8 +8,9 @@
 //! Re-runs the baseline workload set — the engine modes of
 //! [`dw_bench::engine_bench`], the `e15_transport` runtimes of
 //! [`dw_bench::transport_bench`], and (for baselines that record them)
-//! the `e16_*` recorded-phase, `scale_*` n≥50k, `serve_*` query-plane
-//! and `dynamic_*` incremental-recompute sets — and fails
+//! the `e16_*` recorded-phase, `scale_*` n≥50k, `serve_*` query-plane,
+//! `dynamic_*` incremental-recompute and `chaos_*` per-nemesis
+//! recovery-latency sets — and fails
 //! (exit 1) when any entry's
 //! executed-rounds-per-second falls below `tolerance` × the checked-in
 //! baseline. Without `--baseline`, the highest-numbered `BENCH_*.json`
@@ -33,6 +34,7 @@
 //! backends; a blowout here means coalescing regressed even if absolute
 //! throughput kept pace with a stale baseline.
 
+use dw_bench::chaos_bench::run_all_chaos;
 use dw_bench::dynamic_bench::run_all_dynamic;
 use dw_bench::engine_bench::{run_all, run_scale, scale_modes, standard_modes, Measurement};
 use dw_bench::obs_bench::run_alg3_phases;
@@ -173,12 +175,14 @@ fn main() -> ExitCode {
     // the transport pass, pre-e16 baselines the recorded-phase pass,
     // pre-BENCH_6 baselines the n≥50k scale pass, pre-BENCH_7 baselines
     // the serve_* query-plane pass, pre-BENCH_8 baselines the dynamic_*
-    // incremental-recompute pass.
+    // incremental-recompute pass, pre-BENCH_9 baselines the chaos_*
+    // per-nemesis recovery pass.
     let want_transport = baseline.iter().any(|b| b.workload.starts_with("e15_"));
     let want_phases = baseline.iter().any(|b| b.workload.starts_with("e16_"));
     let want_scale = baseline.iter().any(|b| b.workload.starts_with("scale_"));
     let want_serve = baseline.iter().any(|b| b.workload.starts_with("serve_"));
     let want_dynamic = baseline.iter().any(|b| b.workload.starts_with("dynamic_"));
+    let want_chaos = baseline.iter().any(|b| b.workload.starts_with("chaos_"));
     let measure_pass = || {
         let mut v = run_all(&modes);
         if want_transport {
@@ -195,6 +199,9 @@ fn main() -> ExitCode {
         }
         if want_dynamic {
             v.extend(run_all_dynamic(false));
+        }
+        if want_chaos {
+            v.extend(run_all_chaos(false));
         }
         v
     };

@@ -1,10 +1,10 @@
-//! Measure runtime throughput and emit `BENCH_8.json`.
+//! Measure runtime throughput and emit `BENCH_9.json`.
 //!
 //! ```text
-//! transport_bench [--out BENCH_8.json] [--keep-pre EXISTING.json] [--smoke]
+//! transport_bench [--out BENCH_9.json] [--keep-pre EXISTING.json] [--smoke]
 //! ```
 //!
-//! `BENCH_8.json` supersedes `BENCH_7.json` as the `bench_check`
+//! `BENCH_9.json` supersedes `BENCH_8.json` as the `bench_check`
 //! baseline (the gate picks the highest-numbered `BENCH_*.json`): it
 //! contains the engine workload set of [`dw_bench::engine_bench`], the
 //! `e15_transport` set — threads-vs-simulator rounds/sec and TCP
@@ -20,7 +20,11 @@
 //! percentiles) of the `dw-serve` gateway across shard counts and
 //! uniform/Zipf mixes (EXPERIMENTS.md E19) — *plus* the `dynamic_*`
 //! set: incremental-recompute batches/sec of `dw-dynamic` at batch
-//! sizes 1/8/64 against a from-scratch baseline (EXPERIMENTS.md E20).
+//! sizes 1/8/64 against a from-scratch baseline (EXPERIMENTS.md E20) —
+//! *plus* the `chaos_*` set: per-nemesis recovery latency of the
+//! thread backend under healing partition / asymmetric-loss /
+//! bandwidth-cap plans, each run re-asserting bit-identity to the
+//! fault-free simulator before reporting (EXPERIMENTS.md E21).
 //! `--keep-pre` carries
 //! the frozen `"mode":"pre_pr"` history forward from an existing file.
 //! `--smoke` runs the reduced `e15`/`e16`/`e19`/`e20` instances and writes
@@ -28,6 +32,7 @@
 //! skipped there; `make scale-smoke` covers the 50k path with an RSS
 //! assertion).
 
+use dw_bench::chaos_bench::run_all_chaos;
 use dw_bench::dynamic_bench::run_all_dynamic;
 use dw_bench::engine_bench::{run_all, run_scale, scale_modes, standard_modes, to_json_entries};
 use dw_bench::obs_bench::run_alg3_phases;
@@ -42,7 +47,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
     let keep_pre = args
         .iter()
         .position(|a| a == "--keep-pre")
@@ -62,6 +67,9 @@ fn main() {
         for m in run_all_dynamic(true) {
             print_entry(&m);
         }
+        for m in run_all_chaos(true) {
+            print_entry(&m);
+        }
         eprintln!("transport_bench: smoke pass done (nothing written)");
         return;
     }
@@ -72,6 +80,7 @@ fn main() {
     ms.extend(run_scale(&scale_modes()));
     ms.extend(run_all_serve(false));
     ms.extend(run_all_dynamic(false));
+    ms.extend(run_all_chaos(false));
     for m in &ms {
         print_entry(m);
     }

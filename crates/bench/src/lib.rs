@@ -19,6 +19,7 @@
 //! Run them all with `cargo run -p dw-bench --bin report --release`; pass
 //! `--exp e3` for one experiment and `--full` for the larger sweeps.
 
+pub mod chaos_bench;
 pub mod dynamic_bench;
 pub mod engine_bench;
 pub mod experiments;

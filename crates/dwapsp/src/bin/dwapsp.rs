@@ -91,13 +91,15 @@ fn usage_and_exit() -> ! {
          [--runtime <sim|threads[:P]|tcp[:P]>]\n  dwapsp run-node --graph FILE --node-id V \
          --listen ADDR --peers u=ADDR,w=ADDR --coordinator ADDR [--sources a,b,c] \
          [--delta D] [--timeout-secs T] [--shards P | --nodes-per-worker K]\n  \
+         dwapsp run-node --maelstrom   (serve the Maelstrom node protocol on stdin/stdout)\n  \
          dwapsp coordinator --graph FILE --listen ADDR \
          [--sources a,b,c] [--budget B] [--shards P | --nodes-per-worker K]\n  \
          dwapsp solve --graph FILE [--algo <alg1|alg3>] \
          [--sources a,b,c] [--h H] [--delta D] [--runtime <sim|threads[:P]|tcp[:P]>] [--trace-out FILE] \
          [--metrics-out FILE] [--print-matrix]\n  dwapsp chaos --graph FILE \
          [--runtime <threads[:P]|tcp[:P]>] [--sources a,b,c] [--kill V@R,..] [--sever A-B@R,..] \
-         [--stall R@MS,..] [--seed S] [--cadence <K|off>] [--deadline-ms MS] \
+         [--stall R@MS,..] [--partition G1|G2@FROM[:HEAL],..] [--asym-loss U-V@FROM[:UNTIL],..] \
+         [--bandwidth-cap A-B@BYTES,..] [--seed S] [--cadence <K|off>] [--deadline-ms MS] \
          [--metrics-out FILE]\n  dwapsp report --metrics FILE\n  \
          dwapsp tables --graph FILE --out FILE [--sources a,b,c] [--delta D] \
          [--runtime <sim|threads[:P]|tcp[:P]>] [--oracle]\n  \
@@ -398,6 +400,15 @@ fn cmd_solve(get: &impl Fn(&str) -> Option<String>) {
     }
 }
 
+/// Parse one numeric field of a chaos flag, with the flag and the whole
+/// entry named in the error.
+fn chaos_num(flag: &str, item: &str, x: &str) -> u64 {
+    x.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} entry {item:?} has a non-numeric field {x:?}");
+        exit(2);
+    })
+}
+
 /// Parse a comma-separated fault list, e.g. `--kill 3@5,7@9`. Each item
 /// is split on the given separators and handed to `build` as numbers.
 fn parse_faults(spec: &str, flag: &str, seps: &[char], arity: usize) -> Vec<Vec<u64>> {
@@ -455,6 +466,66 @@ fn cmd_chaos(get: &impl Fn(&str) -> Option<String>) {
     if let Some(spec) = get("--stall") {
         for f in parse_faults(&spec, "--stall", &['@'], 2) {
             plan = plan.with_stall(f[0], f[1]);
+        }
+    }
+    if let Some(spec) = get("--partition") {
+        // `0.1.2|3.4@1:6` — dot-joined groups split by `|`, active from
+        // round 1, healing at round 6 (omit `:HEAL` for a permanent cut).
+        for item in spec.split(',') {
+            let item = item.trim();
+            let Some((grps, when)) = item.split_once('@') else {
+                eprintln!("--partition entry {item:?}: expected GROUPS@FROM[:HEAL]");
+                exit(2);
+            };
+            let groups: Vec<Vec<NodeId>> = grps
+                .split('|')
+                .map(|g| {
+                    g.split('.')
+                        .map(|x| chaos_num("--partition", item, x) as NodeId)
+                        .collect()
+                })
+                .collect();
+            let (from, heal) = match when.split_once(':') {
+                Some((f, h)) => (
+                    chaos_num("--partition", item, f),
+                    Some(chaos_num("--partition", item, h)),
+                ),
+                None => (chaos_num("--partition", item, when), None),
+            };
+            plan = plan.with_partition(groups, from, heal);
+        }
+    }
+    if let Some(spec) = get("--asym-loss") {
+        // `3-4@0:9` drops 3→4 (one direction only) for rounds 0..9;
+        // omit `:UNTIL` for a permanent one-way cut.
+        for item in spec.split(',') {
+            let item = item.trim();
+            let (Some((link, when)), 1) = (item.split_once('@'), item.matches('@').count()) else {
+                eprintln!("--asym-loss entry {item:?}: expected FROM-TO@FROM_ROUND[:UNTIL]");
+                exit(2);
+            };
+            let Some((u, v)) = link.split_once('-') else {
+                eprintln!("--asym-loss entry {item:?}: expected FROM-TO@FROM_ROUND[:UNTIL]");
+                exit(2);
+            };
+            let (from_round, until) = match when.split_once(':') {
+                Some((f, h)) => (
+                    chaos_num("--asym-loss", item, f),
+                    chaos_num("--asym-loss", item, h),
+                ),
+                None => (chaos_num("--asym-loss", item, when), dw_transport::NEVER),
+            };
+            plan = plan.with_asym_loss(
+                chaos_num("--asym-loss", item, u) as NodeId,
+                chaos_num("--asym-loss", item, v) as NodeId,
+                from_round,
+                until,
+            );
+        }
+    }
+    if let Some(spec) = get("--bandwidth-cap") {
+        for f in parse_faults(&spec, "--bandwidth-cap", &['-', '@'], 3) {
+            plan = plan.with_bandwidth_cap(f[0] as NodeId, f[1] as NodeId, f[2]);
         }
     }
     let chaos = ChaosConfig {
@@ -620,6 +691,31 @@ fn shard_count(get: &impl Fn(&str) -> Option<String>, n: usize) -> Option<usize>
 }
 
 fn cmd_run_node(get: &impl Fn(&str) -> Option<String>) {
+    if has_flag("--maelstrom") {
+        // A true Maelstrom binary: the harness supplies the cluster over
+        // stdin (init handshake), no graph or ids on the command line.
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        match dw_transport::maelstrom_serve(stdin.lock(), stdout.lock()) {
+            Ok((init, stats)) => {
+                eprintln!(
+                    "maelstrom node {} (internal id {} of {} nodes): \
+                     {} echoes, {} unsupported, {} skipped",
+                    init.node_id,
+                    init.internal_id(),
+                    init.node_ids.len(),
+                    stats.echoes,
+                    stats.unsupported,
+                    stats.skipped
+                );
+            }
+            Err(e) => {
+                eprintln!("maelstrom node failed: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
     let g = load(get);
     let shards = shard_count(get, g.n());
     let id: NodeId = get("--node-id")

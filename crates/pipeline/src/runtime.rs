@@ -237,6 +237,14 @@ pub struct PartialOutcome {
     /// Sources whose own node failed: their instance state is lost, so
     /// their rows are incomplete beyond the salvaged upper bounds.
     pub incomplete_sources: Vec<NodeId>,
+    /// Nodes cut off from some source by the chaos plan's *permanent*
+    /// link cuts (an unhealed [`dw_transport::ChaosEvent::Partition`],
+    /// a never-healing `AsymmetricLoss`): exactly the nodes unreachable
+    /// from a source in the residual communication graph with the cut
+    /// directed links removed. These runs terminate (the cut links go
+    /// quiet, they do not hang) but degrade to this typed outcome
+    /// instead of claiming convergence. Empty for crash-path failures.
+    pub unreachable: Vec<NodeId>,
     /// The barrier round the run died in.
     pub round: Round,
     /// Human-readable failure cause (the rendered `TransportError`).
@@ -276,9 +284,58 @@ fn partial_outcome(
         },
         failed: run.failed,
         incomplete_sources,
+        unreachable: Vec::new(),
         round: run.round,
         reason: run.error.to_string(),
     }
+}
+
+/// Nodes unreachable from some source in the *residual* communication
+/// graph — the comm graph with every directed link the plan cuts
+/// forever removed. Sorted, deduplicated; empty iff the permanent cuts
+/// (if any) leave every source-to-node path intact.
+///
+/// The check is structural: it asks what information flow the cuts make
+/// impossible, not what a particular run achieved before the cut bit.
+/// With `from_round == 0` (the scripted case the chaos suite exercises)
+/// the two coincide — no payload ever crosses a cut link, so a named
+/// node provably cannot have learned its distance. A cut starting mid-run
+/// may leave valid upper bounds in `result` for nodes named here.
+fn residual_unreachable(g: &WGraph, sources: &[NodeId], plan: &ChaosPlan) -> Vec<NodeId> {
+    if !plan.events().iter().any(|e| {
+        matches!(
+            e,
+            dw_transport::ChaosEvent::Partition {
+                heal_round: None,
+                ..
+            } | dw_transport::ChaosEvent::AsymmetricLoss {
+                until_round: dw_transport::NEVER,
+                ..
+            }
+        )
+    }) {
+        return Vec::new();
+    }
+    let n = g.n();
+    let mut cut_off = vec![false; n];
+    for &s in sources {
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[s as usize] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.comm_neighbors(u) {
+                if !seen[v as usize] && !plan.cuts_forever(u, v) {
+                    seen[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for v in 0..n {
+            cut_off[v] |= !seen[v];
+        }
+    }
+    (0..n as NodeId).filter(|&v| cut_off[v as usize]).collect()
 }
 
 /// Algorithm 1 under scripted crash faults, with checkpoint/restore
@@ -328,6 +385,22 @@ pub fn run_hk_ssp_chaos(
     match run {
         Ok(run) => {
             let result = crate::driver::extract(g, &cfg.sources, run.nodes.iter());
+            let unreachable = residual_unreachable(g, &cfg.sources, &chaos.plan);
+            if !unreachable.is_empty() {
+                // The run terminated (permanent cuts drop payloads, they
+                // never stall the barrier), but some sources provably
+                // could not inform every node. Degrade to the typed
+                // outcome instead of claiming convergence; the salvaged
+                // distances remain valid upper bounds.
+                return Err(Box::new(PartialOutcome {
+                    result,
+                    failed: Vec::new(),
+                    incomplete_sources: Vec::new(),
+                    unreachable,
+                    round: run.stats.rounds_executed,
+                    reason: "permanent link cuts disconnect the communication graph".to_string(),
+                }));
+            }
             Ok((result, run.stats, run.outcome))
         }
         Err(partial) => Err(Box::new(partial_outcome(g, &cfg.sources, *partial))),
@@ -526,5 +599,183 @@ mod tests {
         for row in &partial.result.dist {
             assert_eq!(row[4], INFINITY);
         }
+    }
+
+    /// A partition that heals before quiescence delays cross-group
+    /// payloads but loses none: after the heal the pipeline converges
+    /// to distances bit-identical to the fault-free simulator on every
+    /// transport runtime. (`RunStats` legitimately differ — parked
+    /// messages count as delayed — so only result and outcome are
+    /// compared.)
+    #[test]
+    fn healed_partition_pipeline_matches_sim_on_every_runtime() {
+        let g = gen::zero_heavy(14, 0.2, 0.4, 4, true, 9);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let (sim_res, _, sim_outcome) =
+            run_hk_ssp_on(Runtime::Sim, &g, &cfg, EngineConfig::default()).unwrap();
+        let chaos = ChaosConfig {
+            plan: ChaosPlan::new(5).with_partition(vec![vec![0, 1, 2, 3]], 1, Some(6)),
+            cadence: None,
+            deadline: Duration::from_millis(200),
+        };
+        for rt in [
+            Runtime::Threads,
+            Runtime::Tcp,
+            Runtime::ThreadsSharded(4),
+            Runtime::TcpSharded(3),
+        ] {
+            let (res, stats, outcome) = run_hk_ssp_chaos(
+                rt,
+                &g,
+                &cfg,
+                EngineConfig::default(),
+                &chaos,
+                &mut NullRecorder,
+            )
+            .expect("a healed partition must not degrade the run");
+            assert_eq!(
+                res,
+                sim_res,
+                "{}: healed run must be bit-identical",
+                rt.label()
+            );
+            assert_eq!(outcome, sim_outcome, "{}", rt.label());
+            assert!(
+                stats.delayed > 0,
+                "{}: the partition must actually defer: {stats:?}",
+                rt.label()
+            );
+        }
+    }
+
+    /// An undersized bandwidth cap on a real communication edge spreads
+    /// deliveries across extra rounds but changes no distances: the
+    /// pipeline's lexicographic improves-rule makes the fixpoint
+    /// independent of delivery timing.
+    #[test]
+    fn bandwidth_cap_pipeline_matches_sim() {
+        let g = gen::zero_heavy(14, 0.2, 0.4, 4, true, 9);
+        let delta = dw_seqref::max_finite_distance(&g).max(1);
+        let cfg = SspConfig::apsp(g.n(), delta);
+        let (sim_res, _, sim_outcome) =
+            run_hk_ssp_on(Runtime::Sim, &g, &cfg, EngineConfig::default()).unwrap();
+        let nb = g.comm_neighbors(0)[0];
+        let chaos = ChaosConfig {
+            plan: ChaosPlan::new(6).with_bandwidth_cap(0, nb, 8),
+            cadence: None,
+            deadline: Duration::from_millis(200),
+        };
+        for rt in [Runtime::Threads, Runtime::ThreadsSharded(4)] {
+            let (res, stats, outcome) = run_hk_ssp_chaos(
+                rt,
+                &g,
+                &cfg,
+                EngineConfig::default(),
+                &chaos,
+                &mut NullRecorder,
+            )
+            .expect("a bandwidth cap must not degrade the run");
+            assert_eq!(
+                res,
+                sim_res,
+                "{}: capped run must be bit-identical",
+                rt.label()
+            );
+            assert_eq!(outcome, sim_outcome, "{}", rt.label());
+            assert!(
+                stats.delayed > 0,
+                "{}: the cap must actually spill: {stats:?}",
+                rt.label()
+            );
+        }
+    }
+
+    /// An unhealed partition on a path graph: the run terminates (no
+    /// hang) and degrades to a typed [`PartialOutcome`] naming exactly
+    /// the nodes on the far side of the cut, with the reachable prefix
+    /// still carrying correct distances.
+    #[test]
+    fn permanent_partition_reports_exact_unreachable_set() {
+        let g = gen::path(8, false, WeightDist::Constant(1), 11);
+        let cfg = SspConfig::new(vec![0], 8, 7);
+        let chaos = ChaosConfig {
+            plan: ChaosPlan::new(7).with_partition(vec![vec![0, 1, 2, 3]], 0, None),
+            cadence: None,
+            deadline: Duration::from_millis(200),
+        };
+        let partial = run_hk_ssp_chaos(
+            Runtime::Threads,
+            &g,
+            &cfg,
+            EngineConfig::default(),
+            &chaos,
+            &mut NullRecorder,
+        )
+        .expect_err("a permanent cut must degrade, not converge");
+        assert_eq!(partial.unreachable, vec![4, 5, 6, 7]);
+        assert!(
+            partial.failed.is_empty(),
+            "no node crashed: {:?}",
+            partial.failed
+        );
+        assert!(partial.incomplete_sources.is_empty());
+        assert!(!partial.reason.is_empty());
+        assert_eq!(&partial.result.dist[0][..4], &[0, 1, 2, 3]);
+        for v in 4..8 {
+            assert_eq!(partial.result.dist[0][v], INFINITY, "cut-off node {v}");
+        }
+    }
+
+    /// A never-healing one-way loss on the bridge edge cuts exactly the
+    /// downstream direction: flooding from node 0 degrades to a typed
+    /// partial outcome naming the far side, while the same plan leaves a
+    /// source on the other end fully functional (the reverse direction
+    /// still flows).
+    #[test]
+    fn asym_loss_on_bridge_degrades_one_way_only() {
+        let g = gen::path(8, false, WeightDist::Constant(1), 11);
+        let plan = ChaosPlan::new(8).with_asym_loss(3, 4, 0, dw_transport::NEVER);
+        let chaos = ChaosConfig {
+            plan,
+            cadence: None,
+            deadline: Duration::from_millis(200),
+        };
+
+        // Downstream source: information cannot cross 3 -> 4.
+        let cfg = SspConfig::new(vec![0], 8, 7);
+        let partial = run_hk_ssp_chaos(
+            Runtime::Threads,
+            &g,
+            &cfg,
+            EngineConfig::default(),
+            &chaos,
+            &mut NullRecorder,
+        )
+        .expect_err("the one-way cut must degrade the downstream source");
+        assert_eq!(partial.unreachable, vec![4, 5, 6, 7]);
+        assert!(partial.failed.is_empty());
+        assert_eq!(&partial.result.dist[0][..4], &[0, 1, 2, 3]);
+
+        // Upstream source: 4 -> 3 still flows, so the run completes and
+        // matches the fault-free simulator exactly.
+        let cfg = SspConfig::new(vec![7], 8, 7);
+        let (sim_res, _, sim_outcome) =
+            run_hk_ssp_on(Runtime::Sim, &g, &cfg, EngineConfig::default()).unwrap();
+        let (res, stats, outcome) = run_hk_ssp_chaos(
+            Runtime::Threads,
+            &g,
+            &cfg,
+            EngineConfig::default(),
+            &chaos,
+            &mut NullRecorder,
+        )
+        .expect("the reverse direction is uncut");
+        assert_eq!(res, sim_res);
+        assert_eq!(outcome, sim_outcome);
+        assert!(
+            stats.dropped > 0,
+            "node 3's rebroadcasts toward 4 must hit the cut: {stats:?}"
+        );
     }
 }

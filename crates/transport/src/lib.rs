@@ -33,6 +33,7 @@ pub mod channels;
 pub mod chaos;
 pub mod coordinator;
 pub mod error;
+pub mod maelstrom;
 pub mod shard;
 pub mod stdio;
 pub mod tcp;
@@ -43,9 +44,10 @@ pub use channels::{
     run_threads, run_threads_chaos, run_threads_recorded, run_threads_sharded,
     run_threads_sharded_chaos, run_threads_sharded_recorded, PartialRun, TransportRun,
 };
-pub use chaos::{ChaosEvent, ChaosPlan};
+pub use chaos::{ChaosEvent, ChaosPlan, LinkNemesis, LinkVerdict, NEVER};
 pub use coordinator::{coordinate, coordinate_recorded, CoordConfig, CoordEndpoint};
 pub use error::TransportError;
+pub use maelstrom::{maelstrom_serve, MaelstromInit, MaelstromStats};
 pub use shard::{shard_main, shard_main_recoverable, ShardError, ShardMap};
 pub use tcp::{
     run_coordinator_tcp, run_coordinator_tcp_mux, run_coordinator_tcp_mux_with,

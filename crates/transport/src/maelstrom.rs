@@ -1,0 +1,371 @@
+//! A true [Maelstrom](https://github.com/jepsen-io/maelstrom) node: the
+//! init/echo protocol the Jepsen harness speaks, on top of the same
+//! line-oriented JSON the [`crate::stdio`] backend uses.
+//!
+//! Maelstrom drives binaries over stdin/stdout: it first sends an
+//! `init` message naming this node and the full cluster
+//! (`{"type":"init","msg_id":1,"node_id":"n2","node_ids":["n1","n2","n3"]}`),
+//! expects `init_ok`, then runs a workload — for the echo workload,
+//! `echo` requests whose `echo` value must come back verbatim in
+//! `echo_ok` — while its nemeses (partitions, kills) batter the
+//! cluster. A node that keeps answering through a partition and never
+//! crashes on a garbled line passes.
+//!
+//! Two things bridge Maelstrom's world to ours:
+//!
+//! * **Node-id remapping.** Maelstrom names nodes `n1..nN` (1-based,
+//!   arbitrary order per message); the transport names them `n0..n{N-1}`
+//!   by [`dw_graph::NodeId`]. [`MaelstromInit`] fixes a bijection by
+//!   sorting `node_ids` (length-first, so `n2 < n10`) and taking each
+//!   name's rank as its internal id — every node computes the same map
+//!   from its own init message, no coordination needed.
+//! * **Fault tolerance by construction.** [`maelstrom_serve`] never
+//!   panics: unparseable lines are counted and skipped, unknown request
+//!   types get Maelstrom's standard `error` body (code 10, "not
+//!   supported"), and EOF after init is a clean shutdown — exactly the
+//!   behavior the harness's partition nemesis expects from a node that
+//!   stays up while the network misbehaves.
+//!
+//! `dwapsp run-node --maelstrom` wraps [`maelstrom_serve`] around real
+//! stdin/stdout; `make maelstrom-smoke` runs it under the real harness
+//! when one is available (see `scripts/maelstrom_smoke.sh`).
+
+use crate::error::TransportError;
+use crate::stdio::{json_str, json_u64, value_start, write_line};
+use dw_graph::NodeId;
+use std::io::{BufRead, Write};
+
+/// The raw JSON value at `"key":` — object, array, string, number or
+/// literal — exactly as spelled in `line`, so an `echo` value of any
+/// shape can be reflected back byte-for-byte. Balanced-scan over
+/// nesting and string escapes; `None` when the key is absent or the
+/// value never closes (a truncated line).
+pub(crate) fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = value_start(line, key)?;
+    let bytes = rest.as_bytes();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if b == b'\\' {
+                esc = true;
+            } else if b == b'"' {
+                in_str = false;
+                if depth == 0 {
+                    return Some(rest[..=i].trim_end());
+                }
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => {
+                if depth == 0 {
+                    // The enclosing object closes: the value ended just
+                    // before this brace.
+                    return Some(rest[..i].trim_end()).filter(|v| !v.is_empty());
+                }
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[..=i].trim_end());
+                }
+            }
+            b',' if depth == 0 => {
+                return Some(rest[..i].trim_end()).filter(|v| !v.is_empty());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A JSON array of strings (`["n1","n2"]`), for `node_ids`.
+pub(crate) fn json_str_array(line: &str, key: &str) -> Option<Vec<String>> {
+    let rest = value_start(line, key)?.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = &rest[..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',')
+        .map(|tok| {
+            let t = tok.trim().strip_prefix('"')?.strip_suffix('"')?;
+            Some(t.to_string())
+        })
+        .collect()
+}
+
+/// The cluster facts from Maelstrom's `init` message, plus the derived
+/// name-to-internal-id bijection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaelstromInit {
+    /// This node's Maelstrom name (e.g. `"n2"`).
+    pub node_id: String,
+    /// Every node's Maelstrom name, in canonical (length, lexicographic)
+    /// order — each name's position here is its internal [`NodeId`].
+    pub node_ids: Vec<String>,
+}
+
+impl MaelstromInit {
+    /// Parse from an `init` message line; `None` if the node's own id
+    /// is missing from the cluster list.
+    pub fn from_line(line: &str) -> Option<MaelstromInit> {
+        let node_id = json_str(line, "node_id")?.to_string();
+        let mut node_ids = json_str_array(line, "node_ids")?;
+        node_ids.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        node_ids
+            .contains(&node_id)
+            .then_some(MaelstromInit { node_id, node_ids })
+    }
+
+    /// This node's internal id: its name's rank in the sorted cluster
+    /// list. Every node derives the same total map, so `n2` in a
+    /// 3-node cluster is internal node 1 everywhere.
+    pub fn internal_id(&self) -> NodeId {
+        self.index_of(&self.node_id).expect("own id is in node_ids")
+    }
+
+    /// Internal id of any cluster member by Maelstrom name.
+    pub fn index_of(&self, name: &str) -> Option<NodeId> {
+        self.node_ids
+            .iter()
+            .position(|x| x == name)
+            .map(|i| i as NodeId)
+    }
+
+    /// Maelstrom name of an internal id (inverse of [`Self::index_of`]).
+    pub fn name_of(&self, id: NodeId) -> Option<&str> {
+        self.node_ids.get(id as usize).map(String::as_str)
+    }
+}
+
+/// What a serve loop saw, for smoke-test assertions and exit codes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaelstromStats {
+    /// `echo` requests answered.
+    pub echoes: u64,
+    /// Known-typed requests we answered with the standard `error` body.
+    pub unsupported: u64,
+    /// Lines that did not parse as any message; skipped, never fatal.
+    pub skipped: u64,
+}
+
+/// Serve the Maelstrom node protocol until the harness hangs up.
+///
+/// Blocks on `reader` line by line: answers `init` with `init_ok`
+/// (recording the cluster map), `echo` with `echo_ok` (value reflected
+/// verbatim), `topology` with `topology_ok`, anything else carrying a
+/// `msg_id` with Maelstrom's `error` code 10. Returns the init facts
+/// and counters at EOF. The only errors are I/O faults and the harness
+/// closing stdin *before* ever sending `init` — after init, EOF is the
+/// normal end of a test.
+pub fn maelstrom_serve<R: BufRead, W: Write>(
+    mut reader: R,
+    mut writer: W,
+) -> Result<(MaelstromInit, MaelstromStats), TransportError> {
+    let mut init: Option<MaelstromInit> = None;
+    let mut stats = MaelstromStats::default();
+    let mut next_id: u64 = 0;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let k = reader
+            .read_line(&mut line)
+            .map_err(|e| TransportError::io("maelstrom: stdin read", &e))?;
+        if k == 0 {
+            return match init {
+                Some(init) => Ok((init, stats)),
+                None => Err(TransportError::peer_lost(
+                    "maelstrom: stdin closed before init",
+                )),
+            };
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (Some(src), Some(typ)) = (json_str(trimmed, "src"), json_str(trimmed, "type")) else {
+            stats.skipped += 1;
+            continue;
+        };
+        let src = src.to_string();
+        let in_reply_to = json_u64(trimmed, "msg_id");
+        next_id += 1;
+        let me = init
+            .as_ref()
+            .map(|i| i.node_id.clone())
+            .unwrap_or_else(|| json_str(trimmed, "node_id").unwrap_or("n?").to_string());
+        let body = match typ {
+            "init" => match MaelstromInit::from_line(trimmed) {
+                Some(parsed) => {
+                    init = Some(parsed);
+                    format!(
+                        "{{\"type\":\"init_ok\",\"msg_id\":{next_id},\"in_reply_to\":{}}}",
+                        in_reply_to.unwrap_or(0)
+                    )
+                }
+                None => {
+                    stats.skipped += 1;
+                    continue;
+                }
+            },
+            "echo" => match (json_raw(trimmed, "echo"), in_reply_to) {
+                (Some(echo), Some(m)) => {
+                    stats.echoes += 1;
+                    format!(
+                        "{{\"type\":\"echo_ok\",\"msg_id\":{next_id},\"in_reply_to\":{m},\
+                         \"echo\":{echo}}}"
+                    )
+                }
+                _ => {
+                    stats.skipped += 1;
+                    continue;
+                }
+            },
+            "topology" => match in_reply_to {
+                Some(m) => {
+                    format!("{{\"type\":\"topology_ok\",\"msg_id\":{next_id},\"in_reply_to\":{m}}}")
+                }
+                None => {
+                    stats.skipped += 1;
+                    continue;
+                }
+            },
+            _ => match in_reply_to {
+                // A well-formed request we do not serve: the standard
+                // Maelstrom "not supported" error, so the harness can
+                // tell a healthy node from a wedged one.
+                Some(m) => {
+                    stats.unsupported += 1;
+                    format!(
+                        "{{\"type\":\"error\",\"msg_id\":{next_id},\"in_reply_to\":{m},\
+                         \"code\":10,\"text\":\"not supported\"}}"
+                    )
+                }
+                None => {
+                    stats.skipped += 1;
+                    continue;
+                }
+            },
+        };
+        write_line(&mut writer, &me, &src, &body)
+            .map_err(|e| TransportError::io("maelstrom: stdout write", &e))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stdio::pipe;
+    use std::io::BufReader;
+
+    #[test]
+    fn init_remaps_names_to_dense_internal_ids() {
+        let line = r#"{"src":"c1","dest":"n10","body":{"type":"init","msg_id":1,"node_id":"n10","node_ids":["n10","n2","n1"]}}"#;
+        let init = MaelstromInit::from_line(line).unwrap();
+        // Length-first order: n1, n2, n10 — numeric for uniform prefixes.
+        assert_eq!(init.node_ids, vec!["n1", "n2", "n10"]);
+        assert_eq!(init.internal_id(), 2);
+        assert_eq!(init.index_of("n1"), Some(0));
+        assert_eq!(init.index_of("n2"), Some(1));
+        assert_eq!(init.index_of("nope"), None);
+        assert_eq!(init.name_of(1), Some("n2"));
+        // Every node derives the same map from its own init.
+        let peer = r#"{"type":"init","msg_id":1,"node_id":"n2","node_ids":["n1","n10","n2"]}"#;
+        assert_eq!(
+            MaelstromInit::from_line(peer).unwrap().node_ids,
+            init.node_ids
+        );
+    }
+
+    #[test]
+    fn init_missing_own_id_is_rejected() {
+        let line = r#"{"type":"init","msg_id":1,"node_id":"n9","node_ids":["n1","n2"]}"#;
+        assert_eq!(MaelstromInit::from_line(line), None);
+    }
+
+    #[test]
+    fn json_raw_extracts_every_value_shape() {
+        let line = r#"{"a":{"x":[1,2],"y":"s"},"b":[3,{"z":4}],"c":"he\"llo","d":42,"e":null}"#;
+        assert_eq!(json_raw(line, "a"), Some(r#"{"x":[1,2],"y":"s"}"#));
+        assert_eq!(json_raw(line, "b"), Some(r#"[3,{"z":4}]"#));
+        assert_eq!(json_raw(line, "c"), Some(r#""he\"llo""#));
+        assert_eq!(json_raw(line, "d"), Some("42"));
+        assert_eq!(json_raw(line, "e"), Some("null"));
+        assert_eq!(json_raw(line, "zz"), None);
+        // Truncated nesting never closes: no value, no panic.
+        assert_eq!(json_raw(r#"{"a":{"x":[1,2"#, "a"), None);
+    }
+
+    #[test]
+    fn serve_handshakes_echoes_and_survives_garbage() {
+        let (mut tx, rx) = pipe();
+        let (mut out_tx, mut out_rx) = pipe();
+        writeln!(
+            tx,
+            r#"{{"src":"c1","dest":"n2","body":{{"type":"init","msg_id":1,"node_id":"n2","node_ids":["n1","n2","n3"]}}}}"#
+        )
+        .unwrap();
+        writeln!(tx, "%%% not json at all %%%").unwrap();
+        writeln!(
+            tx,
+            r#"{{"src":"c1","dest":"n2","body":{{"type":"echo","msg_id":2,"echo":"Please echo 35"}}}}"#
+        )
+        .unwrap();
+        writeln!(
+            tx,
+            r#"{{"src":"c1","dest":"n2","body":{{"type":"echo","msg_id":3,"echo":{{"deep":[1,2,3]}}}}}}"#
+        )
+        .unwrap();
+        writeln!(
+            tx,
+            r#"{{"src":"c1","dest":"n2","body":{{"type":"broadcast","msg_id":4,"message":7}}}}"#
+        )
+        .unwrap();
+        drop(tx);
+        let (init, stats) = maelstrom_serve(BufReader::new(rx), &mut out_tx).unwrap();
+        drop(out_tx);
+        assert_eq!(init.node_id, "n2");
+        assert_eq!(init.internal_id(), 1);
+        assert_eq!(
+            stats,
+            MaelstromStats {
+                echoes: 2,
+                unsupported: 1,
+                skipped: 1,
+            }
+        );
+        let mut out = String::new();
+        std::io::Read::read_to_string(&mut out_rx, &mut out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(
+            lines[0].contains(r#""type":"init_ok""#) && lines[0].contains(r#""in_reply_to":1"#)
+        );
+        assert!(lines[1].contains(r#""echo":"Please echo 35""#));
+        assert!(lines[2].contains(r#""echo":{"deep":[1,2,3]}"#));
+        assert!(lines[3].contains(r#""code":10"#));
+        for l in &lines {
+            assert_eq!(json_str(l, "src"), Some("n2"), "replies come from us: {l}");
+            assert_eq!(
+                json_str(l, "dest"),
+                Some("c1"),
+                "replies go to the asker: {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn eof_before_init_is_a_typed_error() {
+        let reader = BufReader::new(std::io::empty());
+        let mut sink = Vec::new();
+        assert!(matches!(
+            maelstrom_serve(reader, &mut sink),
+            Err(TransportError::PeerLost { .. })
+        ));
+    }
+}

@@ -35,6 +35,7 @@
 //! every hosted node from the shard snapshot and replaying peer-shard
 //! [`Frame::BatchReplay`] batches.
 
+use crate::chaos::{LinkNemesis, LinkVerdict};
 use crate::error::TransportError;
 use crate::wire::{abort_reason, errkind, BatchEntry, CtlMsg, Event, Frame, NodeReport};
 use crate::worker::{LocalTally, NodeEndpoint, TransportConfig};
@@ -148,6 +149,10 @@ struct ShardSink<'a, M> {
     base: NodeId,
     peer_shards: &'a [NodeId],
     faults: Option<&'a FaultPlan>,
+    /// Link-nemesis evaluator, consulted before the fault plan —
+    /// intra-shard links included: a partition separates *nodes*, and
+    /// two nodes in one process are still two CONGEST endpoints.
+    chaos: Option<&'a mut LinkNemesis>,
     tally: &'a mut LocalTally,
     round: Round,
     emit: bool,
@@ -192,23 +197,38 @@ impl<M: Clone> ShardSink<'_, M> {
         }
     }
 
-    fn dispatch(&mut self, u: NodeId, v: NodeId, msg: M) {
+    fn dispatch(&mut self, u: NodeId, v: NodeId, msg: M, words: usize) {
         let round = self.round;
+        // Link nemeses first, exactly as in the per-node FaultSink.
+        let mut floor = round;
+        if let Some(nem) = self.chaos.as_deref_mut() {
+            match nem.decide(u, v, round, words) {
+                LinkVerdict::Deliver => {}
+                LinkVerdict::Drop => {
+                    self.tally.dropped += 1;
+                    return;
+                }
+                LinkVerdict::DeferTo(due) => {
+                    self.tally.delayed += 1;
+                    floor = due;
+                }
+            }
+        }
         let Some(plan) = self.faults else {
-            self.put(u, v, round, msg);
+            self.put(u, v, floor, msg);
             return;
         };
         match plan.decide(u, v, round) {
-            FaultAction::Deliver => self.put(u, v, round, msg),
+            FaultAction::Deliver => self.put(u, v, floor, msg),
             FaultAction::Drop => self.tally.dropped += 1,
             FaultAction::OutageDrop => self.tally.outage_dropped += 1,
             FaultAction::Duplicate => {
-                self.put(u, v, round, msg.clone());
-                self.put(u, v, round, msg);
+                self.put(u, v, floor, msg.clone());
+                self.put(u, v, floor, msg);
                 self.tally.duplicated += 1;
             }
             FaultAction::Delay(d) => {
-                self.put(u, v, round + d, msg);
+                self.put(u, v, floor.max(round + d), msg);
                 self.tally.delayed += 1;
             }
         }
@@ -216,12 +236,12 @@ impl<M: Clone> ShardSink<'_, M> {
 }
 
 impl<M: Clone> SendSink<M> for ShardSink<'_, M> {
-    fn unicast(&mut self, from: NodeId, _rank: usize, to: NodeId, msg: M, _words: usize) {
-        self.dispatch(from, to, msg);
+    fn unicast(&mut self, from: NodeId, _rank: usize, to: NodeId, msg: M, words: usize) {
+        self.dispatch(from, to, msg, words);
     }
-    fn broadcast(&mut self, from: NodeId, nbrs: &[NodeId], msg: M, _words: usize) {
+    fn broadcast(&mut self, from: NodeId, nbrs: &[NodeId], msg: M, words: usize) {
         for &v in nbrs {
-            self.dispatch(from, v, msg.clone());
+            self.dispatch(from, v, msg.clone(), words);
         }
     }
 }
@@ -266,6 +286,11 @@ struct ShardWorker<'g, P: Protocol> {
     prev_checkpoint: Round,
     current_round: Round,
     state_lost: bool,
+    /// Shard-wide link-nemesis evaluator (see [`crate::worker`]); one
+    /// per shard, shared by every hosted node's sink, because the cap
+    /// buckets are per directed *link* and each link has exactly one
+    /// sending shard.
+    link_chaos: Option<LinkNemesis>,
 }
 
 impl<'g, P: Protocol> ShardWorker<'g, P> {
@@ -333,6 +358,7 @@ impl<'g, P: Protocol> ShardWorker<'g, P> {
             prev_checkpoint: 0,
             current_round: 0,
             state_lost: false,
+            link_chaos: cfg.chaos.as_ref().and_then(|p| p.link_nemesis()),
         }
     }
 
@@ -483,6 +509,7 @@ impl<'g, P: Protocol> ShardWorker<'g, P> {
                 peer_shards,
                 batches,
                 replay,
+                link_chaos,
                 ..
             } = self;
             for st in nodes.iter_mut() {
@@ -494,6 +521,7 @@ impl<'g, P: Protocol> ShardWorker<'g, P> {
                     base: *base,
                     peer_shards,
                     faults: cfg.faults.as_ref(),
+                    chaos: link_chaos.as_mut(),
                     tally: &mut st.tally,
                     round,
                     emit: live,
@@ -750,6 +778,14 @@ where
                 .collect();
             pending.encode(out);
         }
+        // Shard-wide bandwidth-cap water-filling state, for replaying
+        // identical spill decisions after a crash.
+        let chaos_state = self
+            .link_chaos
+            .as_ref()
+            .map(|nem| nem.state())
+            .unwrap_or_default();
+        chaos_state.encode(out);
     }
 
     fn restore_snapshot(&mut self, buf: &mut &[u8]) -> Option<()> {
@@ -765,6 +801,10 @@ where
             st.tally = LocalTally::decode(buf)?;
             let pending = Vec::<PendingBatch<P::Msg>>::decode(buf)?;
             st.pending = pending.into_iter().collect();
+        }
+        let chaos_state = Vec::<((NodeId, NodeId), (Round, u64))>::decode(buf)?;
+        if let Some(nem) = &mut self.link_chaos {
+            nem.restore(chaos_state);
         }
         Some(())
     }

@@ -54,19 +54,19 @@ pub fn parse_node_name(name: &str) -> Option<NodeId> {
 // --- JSON scanning helpers -------------------------------------------------
 
 /// Position just after `"key":` (plus whitespace) in `line`.
-fn value_start<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn value_start<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let at = line.find(&pat)? + pat.len();
     Some(line[at..].trim_start())
 }
 
-fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let rest = value_start(line, key)?.strip_prefix('"')?;
     let end = rest.find('"')?;
     Some(&rest[..end])
 }
 
-fn json_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_u64(line: &str, key: &str) -> Option<u64> {
     let rest = value_start(line, key)?;
     let digits: &str = &rest[..rest
         .find(|c: char| !c.is_ascii_digit())

@@ -36,7 +36,7 @@
 //! rejoin via the coordinator's [`CtlMsg::Rejoin`] handshake,
 //! re-deriving the lost state deterministically.
 
-use crate::chaos::ChaosPlan;
+use crate::chaos::{ChaosPlan, LinkNemesis, LinkVerdict};
 use crate::error::TransportError;
 use crate::wire::{abort_reason, errkind, CtlMsg, Event, Frame, NodeReport};
 use dw_congest::{
@@ -82,8 +82,10 @@ pub struct TransportConfig {
     /// align across nodes). `None` disables checkpointing and replay
     /// buffering, making crashes unrecoverable.
     pub checkpoint_cadence: Option<u64>,
-    /// Scripted process-level faults (see [`ChaosPlan`]). Only honored
-    /// by [`node_main_recoverable`].
+    /// Scripted process-level faults (see [`ChaosPlan`]). Kill, sever
+    /// and stall are only honored by [`node_main_recoverable`]; the
+    /// link nemeses (partition, asymmetric loss, bandwidth cap) are
+    /// enforced sender-side in *every* drive loop, plain included.
     pub chaos: Option<ChaosPlan>,
 }
 
@@ -177,6 +179,11 @@ type PendingBatch<M> = (Round, Vec<(NodeId, M)>);
 struct FaultSink<'a, M, E: NodeEndpoint<M>> {
     endpoint: &'a mut E,
     faults: Option<&'a FaultPlan>,
+    /// Link-nemesis evaluator (partition / asymmetric loss / bandwidth
+    /// cap), consulted *before* the fault plan: a chaos drop or defer
+    /// is the network's doing, not the protocol's. Stateful (the cap
+    /// buckets water-fill), hence the mutable borrow.
+    chaos: Option<&'a mut LinkNemesis>,
     tally: &'a mut LocalTally,
     /// Per-rank emitted-frame log for crash recovery; `None` when
     /// checkpointing is off.
@@ -202,23 +209,39 @@ impl<M: Clone, E: NodeEndpoint<M>> FaultSink<'_, M, E> {
         }
     }
 
-    fn dispatch(&mut self, u: NodeId, v: NodeId, rank: usize, msg: M) {
+    fn dispatch(&mut self, u: NodeId, v: NodeId, rank: usize, msg: M, words: usize) {
         let round = self.round;
+        // Link nemeses first: the network's verdict bounds everything
+        // the protocol-level fault plan can add on top.
+        let mut floor = round;
+        if let Some(nem) = self.chaos.as_deref_mut() {
+            match nem.decide(u, v, round, words) {
+                LinkVerdict::Deliver => {}
+                LinkVerdict::Drop => {
+                    self.tally.dropped += 1;
+                    return;
+                }
+                LinkVerdict::DeferTo(due) => {
+                    self.tally.delayed += 1;
+                    floor = due;
+                }
+            }
+        }
         let Some(plan) = self.faults else {
-            self.put(v, rank, round, msg);
+            self.put(v, rank, floor, msg);
             return;
         };
         match plan.decide(u, v, round) {
-            FaultAction::Deliver => self.put(v, rank, round, msg),
+            FaultAction::Deliver => self.put(v, rank, floor, msg),
             FaultAction::Drop => self.tally.dropped += 1,
             FaultAction::OutageDrop => self.tally.outage_dropped += 1,
             FaultAction::Duplicate => {
-                self.put(v, rank, round, msg.clone());
-                self.put(v, rank, round, msg);
+                self.put(v, rank, floor, msg.clone());
+                self.put(v, rank, floor, msg);
                 self.tally.duplicated += 1;
             }
             FaultAction::Delay(d) => {
-                self.put(v, rank, round + d, msg);
+                self.put(v, rank, floor.max(round + d), msg);
                 self.tally.delayed += 1;
             }
         }
@@ -226,12 +249,12 @@ impl<M: Clone, E: NodeEndpoint<M>> FaultSink<'_, M, E> {
 }
 
 impl<M: Clone, E: NodeEndpoint<M>> SendSink<M> for FaultSink<'_, M, E> {
-    fn unicast(&mut self, from: NodeId, rank: usize, to: NodeId, msg: M, _words: usize) {
-        self.dispatch(from, to, rank, msg);
+    fn unicast(&mut self, from: NodeId, rank: usize, to: NodeId, msg: M, words: usize) {
+        self.dispatch(from, to, rank, msg, words);
     }
-    fn broadcast(&mut self, from: NodeId, nbrs: &[NodeId], msg: M, _words: usize) {
+    fn broadcast(&mut self, from: NodeId, nbrs: &[NodeId], msg: M, words: usize) {
         for (rank, &v) in nbrs.iter().enumerate() {
-            self.dispatch(from, v, rank, msg.clone());
+            self.dispatch(from, v, rank, msg.clone(), words);
         }
     }
 }
@@ -280,6 +303,11 @@ struct Worker<'g, P: Protocol> {
     /// until the rejoin fully restores it. Fail-stop: a worker that
     /// errors out in this window has no node state worth salvaging.
     state_lost: bool,
+    /// Sender-side evaluator for the plan's link nemeses (partition /
+    /// asymmetric loss / bandwidth cap); `None` when the plan scripts
+    /// none. Its water-filling state rides in the snapshot so a crash
+    /// re-execution replays identical spill decisions.
+    link_chaos: Option<LinkNemesis>,
 }
 
 impl<'g, P: Protocol> Worker<'g, P> {
@@ -305,6 +333,7 @@ impl<'g, P: Protocol> Worker<'g, P> {
             prev_checkpoint: 0,
             current_round: 0,
             state_lost: false,
+            link_chaos: cfg.chaos.as_ref().and_then(|p| p.link_nemesis()),
         }
     }
 
@@ -401,6 +430,7 @@ impl<'g, P: Protocol> Worker<'g, P> {
             let mut sink = FaultSink {
                 endpoint: &mut *endpoint,
                 faults: self.cfg.faults.as_ref(),
+                chaos: self.link_chaos.as_mut(),
                 tally: &mut self.tally,
                 replay: self.replay.as_mut(),
                 round,
@@ -626,6 +656,14 @@ where
             .map(|(&due, batch)| (due, batch.clone()))
             .collect();
         pending.encode(out);
+        // Bandwidth-cap water-filling state: a crash re-execution must
+        // replay the same spill decisions the original run made.
+        let chaos_state = self
+            .link_chaos
+            .as_ref()
+            .map(|nem| nem.state())
+            .unwrap_or_default();
+        chaos_state.encode(out);
     }
 
     fn restore_snapshot(&mut self, buf: &mut &[u8]) -> Option<()> {
@@ -640,6 +678,10 @@ where
         self.executed = u64::decode(buf)?;
         let pending = Vec::<PendingBatch<P::Msg>>::decode(buf)?;
         self.pending = pending.into_iter().collect();
+        let chaos_state = Vec::<((NodeId, NodeId), (Round, u64))>::decode(buf)?;
+        if let Some(nem) = &mut self.link_chaos {
+            nem.restore(chaos_state);
+        }
         Some(())
     }
 

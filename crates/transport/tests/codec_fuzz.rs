@@ -6,6 +6,7 @@
 
 use dw_congest::{RunOutcome, WireCodec};
 use dw_transport::wire::{read_frame, write_frame, BatchEntry, CtlMsg, Frame, NodeReport};
+use dw_transport::{maelstrom_serve, ChaosEvent, ChaosPlan, MaelstromInit};
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -281,6 +282,213 @@ proptest! {
         let mut view = bytes.as_slice();
         let _ = Vec::<BatchEntry<u64>>::decode(&mut view);
         prop_assert!(view.len() <= bytes.len());
+    }
+}
+
+/// `(discriminant, a, b, r1, r2, groups)` → one of the 6 `ChaosEvent`
+/// variants (the nemesis vocabulary of DESIGN.md §15).
+fn arb_chaos_event() -> impl Strategy<Value = ChaosEvent> {
+    (
+        0usize..6,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        collection::vec(collection::vec(any::<u32>(), 0..6), 0..4),
+    )
+        .prop_map(|(which, a, b, r1, r2, groups)| match which {
+            0 => ChaosEvent::Kill { node: a, round: r1 },
+            1 => ChaosEvent::SeverLink { a, b, round: r1 },
+            2 => ChaosEvent::StallCoordinator {
+                round: r1,
+                millis: r2,
+            },
+            3 => ChaosEvent::Partition {
+                groups,
+                from_round: r1,
+                heal_round: opt(r2, r1 ^ r2),
+            },
+            4 => ChaosEvent::AsymmetricLoss {
+                from: a,
+                to: b,
+                from_round: r1,
+                until_round: r2,
+            },
+            _ => ChaosEvent::BandwidthCap {
+                a,
+                b,
+                bytes_per_round: r2,
+            },
+        })
+}
+
+/// Rebuild a plan through the public builders (fields are private), so
+/// the roundtrip also exercises the builder → event mapping.
+fn plan_from(seed: u64, events: Vec<ChaosEvent>) -> ChaosPlan {
+    events
+        .into_iter()
+        .fold(ChaosPlan::new(seed), |p, ev| match ev {
+            ChaosEvent::Kill { node, round } => p.with_kill(node, round),
+            ChaosEvent::SeverLink { a, b, round } => p.with_sever(a, b, round),
+            ChaosEvent::StallCoordinator { round, millis } => p.with_stall(round, millis),
+            ChaosEvent::Partition {
+                groups,
+                from_round,
+                heal_round,
+            } => p.with_partition(groups, from_round, heal_round),
+            ChaosEvent::AsymmetricLoss {
+                from,
+                to,
+                from_round,
+                until_round,
+            } => p.with_asym_loss(from, to, from_round, until_round),
+            ChaosEvent::BandwidthCap {
+                a,
+                b,
+                bytes_per_round,
+            } => p.with_bandwidth_cap(a, b, bytes_per_round),
+        })
+}
+
+/// One syntactically valid Maelstrom init line for the mutation tests.
+fn init_line(msg_id: u64) -> String {
+    format!(
+        "{{\"src\":\"c1\",\"dest\":\"n1\",\"body\":{{\"type\":\"init\",\
+         \"msg_id\":{msg_id},\"node_id\":\"n1\",\"node_ids\":[\"n1\",\"n2\",\"n3\"]}}}}"
+    )
+}
+
+proptest! {
+    // Chaos events survive an encode/decode roundtrip untouched —
+    // crash-recovery snapshots carry these, so the roundtrip being
+    // exact (not just structurally similar) matters.
+    #[test]
+    fn chaos_event_roundtrips(ev in arb_chaos_event()) {
+        let mut buf = Vec::new();
+        ev.encode(&mut buf);
+        let mut view = buf.as_slice();
+        prop_assert_eq!(ChaosEvent::decode(&mut view), Some(ev));
+        prop_assert!(view.is_empty());
+    }
+
+    // A whole plan (seed + scripted nemeses, built through the public
+    // builders) roundtrips through the wire codec.
+    #[test]
+    fn chaos_plan_roundtrips(seed in any::<u64>(), events in collection::vec(arb_chaos_event(), 0..8)) {
+        let plan = plan_from(seed, events);
+        let mut buf = Vec::new();
+        plan.encode(&mut buf);
+        let mut view = buf.as_slice();
+        prop_assert_eq!(ChaosPlan::decode(&mut view), Some(plan));
+        prop_assert!(view.is_empty());
+    }
+
+    // Raw chaos decode on arbitrary bytes (which covers unknown event
+    // tags — anything >= 6) never panics and only consumes a prefix.
+    #[test]
+    fn chaos_decode_never_panics_or_over_reads(bytes in collection::vec(any::<u8>(), 0..256)) {
+        let mut view = bytes.as_slice();
+        let _ = ChaosEvent::decode(&mut view);
+        prop_assert!(view.len() <= bytes.len());
+
+        let mut view = bytes.as_slice();
+        let _ = ChaosPlan::decode(&mut view);
+        prop_assert!(view.len() <= bytes.len());
+    }
+
+    // Truncating a valid plan encoding strictly inside it decodes to
+    // `None`, never a panic or a phantom plan.
+    #[test]
+    fn truncated_chaos_plan_is_rejected(seed in any::<u64>(), events in collection::vec(arb_chaos_event(), 1..8), cut_seed in any::<u64>()) {
+        let plan = plan_from(seed, events);
+        let mut buf = Vec::new();
+        plan.encode(&mut buf);
+        let cut = (cut_seed as usize) % buf.len();
+        buf.truncate(cut);
+        let mut view = buf.as_slice();
+        // A cut inside the seed's varint or the length prefix can still
+        // decode an (empty or shorter) plan from the prefix; what must
+        // never happen is a panic or the original plan reappearing.
+        if let Some(got) = ChaosPlan::decode(&mut view) {
+            prop_assert!(got != plan, "truncated encoding decoded to the full plan");
+        }
+    }
+
+    // Flipping any single byte of a plan encoding never panics.
+    #[test]
+    fn bit_flipped_chaos_plan_never_panics(seed in any::<u64>(), events in collection::vec(arb_chaos_event(), 1..8), pos_seed in any::<u64>(), flip in 1u8..=255) {
+        let plan = plan_from(seed, events);
+        let mut buf = Vec::new();
+        plan.encode(&mut buf);
+        let pos = (pos_seed as usize) % buf.len();
+        buf[pos] ^= flip;
+        let mut view = buf.as_slice();
+        let _ = ChaosPlan::decode(&mut view);
+    }
+
+    // Maelstrom init parsing on arbitrary text: `None` or a parse,
+    // never a panic (the harness frames are attacker-shaped input as
+    // far as the node is concerned).
+    #[test]
+    fn maelstrom_init_never_panics_on_garbage(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = MaelstromInit::from_line(&line);
+    }
+
+    // Mutating one character of a valid init line never panics, and
+    // whatever still parses carries a coherent node set (own id
+    // present, remap total).
+    #[test]
+    fn maelstrom_init_survives_mutation(msg_id in any::<u64>(), pos_seed in any::<u64>(), flip in 1u8..=127) {
+        let mut line = init_line(msg_id).into_bytes();
+        let pos = (pos_seed as usize) % line.len();
+        line[pos] ^= flip;
+        let line = String::from_utf8_lossy(&line);
+        if let Some(init) = MaelstromInit::from_line(&line) {
+            prop_assert!(init.index_of(&init.node_id).is_some());
+            prop_assert!(init.name_of(init.internal_id()).is_some());
+        }
+    }
+
+    // The full serve loop fed arbitrary line soup: every line is
+    // handled (skipped, answered, or errored) and the loop exits
+    // cleanly at EOF — garbage before a valid init is a typed error,
+    // never a panic, and never an over-read past the input.
+    #[test]
+    fn maelstrom_serve_never_panics_on_line_soup(lines in collection::vec(collection::vec(any::<u8>(), 0..80), 0..8), with_init in any::<bool>()) {
+        let mut input = Vec::new();
+        if with_init {
+            input.extend_from_slice(init_line(1).as_bytes());
+            input.push(b'\n');
+        }
+        for l in &lines {
+            input.extend_from_slice(l);
+            input.push(b'\n');
+        }
+        let mut out = Vec::new();
+        let _ = maelstrom_serve(Cursor::new(input), &mut out);
+    }
+
+    // Bit-flipping a well-formed init + echo session never panics the
+    // serve loop; when the session still parses, the echo value comes
+    // back verbatim.
+    #[test]
+    fn maelstrom_serve_survives_mutation(pos_seed in any::<u64>(), flip in 1u8..=127) {
+        let mut input = init_line(1).into_bytes();
+        input.push(b'\n');
+        input.extend_from_slice(
+            br#"{"src":"c1","dest":"n1","body":{"type":"echo","msg_id":2,"echo":"smoke"}}"#,
+        );
+        input.push(b'\n');
+        let pos = (pos_seed as usize) % input.len();
+        input[pos] ^= flip;
+        let mut out = Vec::new();
+        if let Ok((_, stats)) = maelstrom_serve(Cursor::new(input), &mut out) {
+            if stats.echoes == 1 && stats.skipped == 0 {
+                let out = String::from_utf8_lossy(&out);
+                prop_assert!(out.contains("echo_ok"));
+            }
+        }
     }
 }
 

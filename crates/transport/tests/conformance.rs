@@ -16,7 +16,7 @@ use dw_transport::stdio::{
 };
 use dw_transport::tcp::{run_tcp_loopback, run_tcp_loopback_sharded};
 use dw_transport::worker::TransportConfig;
-use dw_transport::TransportRun;
+use dw_transport::{ChaosPlan, TransportRun};
 use proptest::prelude::*;
 use std::io::BufReader;
 use std::sync::mpsc::channel;
@@ -48,6 +48,9 @@ impl Protocol for Flood {
                 self.announced = false;
             }
         }
+    }
+    fn earliest_send(&self, after: Round, _ctx: &NodeCtx) -> Option<Round> {
+        (self.dist.is_some() && !self.announced).then_some(after)
     }
 }
 
@@ -452,6 +455,168 @@ proptest! {
             );
         }
     }
+}
+
+/// A sustained one-way flow: node 0 unicasts the round number to node 1
+/// every round for [`Chatter::ROUNDS`] rounds; node 1 sums what it
+/// hears. The sum is arrival-order independent, so it is comparable
+/// across backends even when a bandwidth cap reshuffles delivery
+/// rounds.
+struct Chatter {
+    sum: u64,
+    heard: u64,
+}
+
+impl Chatter {
+    const ROUNDS: Round = 12;
+}
+
+impl Protocol for Chatter {
+    type Msg = u64;
+    fn send(&mut self, round: Round, ctx: &NodeCtx, out: &mut Outbox<u64>) {
+        if ctx.id == 0 && round <= Chatter::ROUNDS {
+            out.unicast(1, round);
+        }
+    }
+    fn receive(&mut self, _round: Round, inbox: &[Envelope<u64>], _ctx: &NodeCtx) {
+        for env in inbox {
+            self.sum += env.msg();
+            self.heard += 1;
+        }
+    }
+    fn earliest_send(&self, after: Round, ctx: &NodeCtx) -> Option<Round> {
+        (ctx.id == 0 && after <= Chatter::ROUNDS).then_some(after)
+    }
+}
+
+fn new_chatter(_v: NodeId) -> Chatter {
+    Chatter { sum: 0, heard: 0 }
+}
+
+fn nemesis_cfg(plan: ChaosPlan) -> TransportConfig {
+    TransportConfig {
+        chaos: Some(plan),
+        ..TransportConfig::default()
+    }
+}
+
+/// A healed partition must leave every backend bit-identical to the
+/// fault-free simulator in final distances and outcome: cross-group
+/// payloads are parked, not lost, and flushed at the heal round.
+/// (`RunStats` legitimately differ — the deferred messages are counted
+/// as delayed.)
+#[test]
+fn healed_partition_converges_identically_on_every_backend() {
+    let n = 12usize;
+    let g = gen::gnp_connected(n, 0.25, false, WeightDist::Constant(1), 71);
+    let (nodes, _, outcome) = simulate(&g, None, 300, new_flood);
+    let dists: Vec<_> = nodes.iter().map(|f| f.dist).collect();
+    let cfg = nemesis_cfg(ChaosPlan::new(1).with_partition(vec![vec![0, 1, 2, 3]], 1, Some(8)));
+
+    let check = |run: &TransportRun<Flood>, label: &str| {
+        assert_eq!(run.outcome, outcome, "{label}");
+        assert!(
+            run.stats.delayed > 0,
+            "{label}: the partition must actually defer: {:?}",
+            run.stats
+        );
+        assert_eq!(
+            run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+            dists,
+            "{label}"
+        );
+    };
+    check(&run_threads(&g, &cfg, 300, new_flood).unwrap(), "threads");
+    check(&run_tcp_loopback(&g, &cfg, 300, new_flood).unwrap(), "tcp");
+    for p in shard_counts(n) {
+        check(
+            &run_threads_sharded(&g, &cfg, 300, p, new_flood).unwrap(),
+            &format!("threads:{p}"),
+        );
+        check(
+            &run_tcp_loopback_sharded(&g, &cfg, 300, p, new_flood).unwrap(),
+            &format!("tcp:{p}"),
+        );
+    }
+    check(&run_stdio_network(&g, &cfg, 300, new_flood), "stdio");
+}
+
+/// A permanent one-way cut on the bridge of a path graph: the flood
+/// never reaches the far side (their distance stays `None`), the
+/// reverse direction keeps flowing, and the run goes quiet instead of
+/// hanging — on every backend.
+#[test]
+fn asymmetric_loss_drops_one_way_on_every_backend() {
+    let n = 6usize;
+    let g = gen::path(n, false, WeightDist::Constant(1), 3);
+    let cfg = nemesis_cfg(ChaosPlan::new(2).with_asym_loss(2, 3, 0, dw_transport::NEVER));
+    let want: Vec<Option<u64>> = vec![Some(0), Some(1), Some(2), None, None, None];
+
+    let check = |run: &TransportRun<Flood>, label: &str| {
+        assert_eq!(run.outcome, RunOutcome::Quiet, "{label}: no hang");
+        assert!(
+            run.stats.dropped > 0,
+            "{label}: the cut must actually drop: {:?}",
+            run.stats
+        );
+        assert_eq!(
+            run.nodes.iter().map(|f| f.dist).collect::<Vec<_>>(),
+            want,
+            "{label}"
+        );
+    };
+    check(&run_threads(&g, &cfg, 200, new_flood).unwrap(), "threads");
+    check(&run_tcp_loopback(&g, &cfg, 200, new_flood).unwrap(), "tcp");
+    for p in shard_counts(n) {
+        check(
+            &run_threads_sharded(&g, &cfg, 200, p, new_flood).unwrap(),
+            &format!("threads:{p}"),
+        );
+        check(
+            &run_tcp_loopback_sharded(&g, &cfg, 200, p, new_flood).unwrap(),
+            &format!("tcp:{p}"),
+        );
+    }
+    check(&run_stdio_network(&g, &cfg, 200, new_flood), "stdio");
+}
+
+/// An undersized bandwidth cap (half the offered byte rate) must spill
+/// deliveries across rounds without losing anything: the receiver ends
+/// with the full message set on every backend, late but complete.
+#[test]
+fn bandwidth_cap_spills_but_loses_nothing_on_every_backend() {
+    let n = 2usize;
+    let g = gen::path(n, false, WeightDist::Constant(1), 5);
+    // 12 one-word (8-byte) messages against a 4-byte/round cap.
+    let cfg = nemesis_cfg(ChaosPlan::new(3).with_bandwidth_cap(0, 1, 4));
+    let want_sum: u64 = (1..=Chatter::ROUNDS).sum();
+
+    let check = |run: &TransportRun<Chatter>, label: &str| {
+        assert_eq!(run.outcome, RunOutcome::Quiet, "{label}");
+        assert!(
+            run.stats.delayed > 0 && run.stats.late_delivered > 0,
+            "{label}: the cap must actually spill: {:?}",
+            run.stats
+        );
+        assert_eq!(run.nodes[1].heard, Chatter::ROUNDS, "{label}: nothing lost");
+        assert_eq!(run.nodes[1].sum, want_sum, "{label}: nothing corrupted");
+    };
+    check(&run_threads(&g, &cfg, 200, new_chatter).unwrap(), "threads");
+    check(
+        &run_tcp_loopback(&g, &cfg, 200, new_chatter).unwrap(),
+        "tcp",
+    );
+    for p in [1usize, 2] {
+        check(
+            &run_threads_sharded(&g, &cfg, 200, p, new_chatter).unwrap(),
+            &format!("threads:{p}"),
+        );
+        check(
+            &run_tcp_loopback_sharded(&g, &cfg, 200, p, new_chatter).unwrap(),
+            &format!("tcp:{p}"),
+        );
+    }
+    check(&run_stdio_network(&g, &cfg, 200, new_chatter), "stdio");
 }
 
 #[test]
